@@ -1,0 +1,189 @@
+//! Criterion microbenchmarks for whole ECM-sketch operations: stream
+//! insertion, point queries, self-joins and order-preserving merges.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ecm::{EcmBuilder, EcmEh, EcmSketch, QueryKind};
+use std::hint::black_box;
+
+const N: u64 = 20_000;
+
+fn build(seed: u64, stride: u64, offset: u64) -> EcmEh {
+    let cfg = EcmBuilder::new(0.1, 0.1, 1 << 20).seed(seed).eh_config();
+    let mut sk = EcmEh::new(&cfg);
+    for i in 1..=N {
+        sk.insert((i * 7) % 512, i * stride + offset);
+    }
+    sk
+}
+
+fn insert_bench(c: &mut Criterion) {
+    let cfg = EcmBuilder::new(0.1, 0.1, 1 << 20).seed(1).eh_config();
+    c.bench_function("ecm_eh_insert_20k", |b| {
+        b.iter_batched(
+            || EcmEh::new(&cfg),
+            |mut sk| {
+                for i in 1..=N {
+                    sk.insert((i * 7) % 512, i);
+                }
+                sk
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn query_bench(c: &mut Criterion) {
+    let sk = build(1, 1, 0);
+    c.bench_function("ecm_eh_point_query", |b| {
+        b.iter(|| black_box(sk.point_query(black_box(42), N, N / 2)))
+    });
+    let sj_cfg = EcmBuilder::new(0.1, 0.1, 1 << 20)
+        .query_kind(QueryKind::InnerProduct)
+        .seed(2)
+        .eh_config();
+    let mut sj = EcmEh::new(&sj_cfg);
+    for i in 1..=N {
+        sj.insert((i * 13) % 256, i);
+    }
+    c.bench_function("ecm_eh_self_join", |b| {
+        b.iter(|| black_box(sj.self_join(N, N / 2)))
+    });
+    c.bench_function("ecm_eh_total_arrivals", |b| {
+        b.iter(|| black_box(sj.total_arrivals(N, N / 2)))
+    });
+}
+
+fn merge_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ecm_merge");
+    g.sample_size(10);
+    let cfg = EcmBuilder::new(0.1, 0.1, 1 << 20).seed(3).eh_config();
+    let a = {
+        let mut sk = EcmEh::new(&cfg);
+        for i in 1..=N {
+            sk.insert((i * 7) % 512, i * 2);
+        }
+        sk
+    };
+    let b2 = {
+        let mut sk = EcmEh::new(&cfg);
+        for i in 1..=N {
+            sk.insert((i * 11) % 512, i * 2 + 1);
+        }
+        sk
+    };
+    g.bench_function("two_sketches_20k_each", |bch| {
+        bch.iter(|| EcmSketch::merge(&[&a, &b2], &cfg.cell).unwrap())
+    });
+    g.bench_function("encode_sketch", |bch| {
+        bch.iter(|| {
+            let mut buf = Vec::new();
+            a.encode(&mut buf);
+            black_box(buf.len())
+        })
+    });
+    g.finish();
+}
+
+fn hierarchy_bench(c: &mut Criterion) {
+    use ecm::{EcmHierarchy, Threshold};
+    let mut g = c.benchmark_group("ecm_hierarchy");
+    g.sample_size(10);
+    let cfg = EcmBuilder::new(0.1, 0.1, 1 << 20).seed(5).eh_config();
+    let mut h = EcmHierarchy::new(16, &cfg);
+    for i in 1..=N {
+        // Zipf-flavored keys: heavy low ids plus a uniform tail.
+        let key = if i % 3 == 0 { i % 8 } else { (i * 31) % 50_000 };
+        h.insert(key, i);
+    }
+    g.bench_function("insert_one_key", |b| {
+        b.iter_batched(
+            || h.clone(),
+            |mut h| {
+                h.insert(black_box(777), N + 1);
+                h
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("heavy_hitters_rel_1pct", |b| {
+        b.iter(|| black_box(h.heavy_hitters(Threshold::Relative(0.01), N, N)))
+    });
+    g.bench_function("range_sum", |b| {
+        b.iter(|| black_box(h.range_sum(black_box(100), black_box(40_000), N, N)))
+    });
+    g.bench_function("quantile_median", |b| {
+        b.iter(|| black_box(h.quantile(0.5, N, N)))
+    });
+    g.finish();
+}
+
+fn monitoring_bench(c: &mut Criterion) {
+    use distributed::geometric::SelfJoinFn;
+    use distributed::{DriftPropagation, GeometricMonitor};
+    use sliding_window::EhConfig;
+    use stream_gen::Event;
+
+    let mut g = c.benchmark_group("monitoring");
+    g.sample_size(10);
+    let cfg = EcmBuilder::new(0.2, 0.1, 1 << 16)
+        .query_kind(QueryKind::InnerProduct)
+        .seed(6)
+        .eh_config();
+    g.bench_function("geometric_observe_2k", |b| {
+        b.iter_batched(
+            || {
+                let nodes: Vec<EcmEh> = (0..4)
+                    .map(|i| {
+                        let mut sk = EcmEh::new(&cfg);
+                        sk.set_id_namespace(i as u64 + 1);
+                        sk
+                    })
+                    .collect();
+                GeometricMonitor::new(
+                    nodes,
+                    SelfJoinFn {
+                        width: cfg.width,
+                        depth: cfg.depth,
+                    },
+                    1e9,
+                    1 << 16,
+                    0,
+                )
+            },
+            |mut m| {
+                for t in 1..=2_000u64 {
+                    m.observe(Event {
+                        ts: t,
+                        key: t % 300,
+                        site: (t % 4) as u32,
+                    });
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("drift_propagation_observe_10k", |b| {
+        b.iter_batched(
+            || DriftPropagation::new(4, &EhConfig::new(0.1, 1 << 16), 0.1),
+            |mut p| {
+                for t in 1..=10_000u64 {
+                    p.observe((t % 4) as usize, t);
+                }
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    insert_bench,
+    query_bench,
+    merge_bench,
+    hierarchy_bench,
+    monitoring_bench
+);
+criterion_main!(benches);

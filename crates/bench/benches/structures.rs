@@ -1,0 +1,122 @@
+//! Criterion microbenchmarks for the sliding-window substrates: insert
+//! throughput and query latency of exponential histograms, deterministic
+//! waves, randomized waves and the exact baseline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sliding_window::traits::WindowCounter;
+use sliding_window::{
+    DeterministicWave, DwConfig, EhConfig, ExactWindow, ExactWindowConfig,
+    ExponentialHistogram, RandomizedWave, RwConfig,
+};
+use std::hint::black_box;
+
+const N: u64 = 10_000;
+
+fn insert_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("window_insert_10k");
+    g.bench_function("exponential_histogram", |b| {
+        let cfg = EhConfig::new(0.1, N);
+        b.iter_batched(
+            || ExponentialHistogram::new(&cfg),
+            |mut eh| {
+                for i in 1..=N {
+                    eh.insert(i, i);
+                }
+                eh
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("deterministic_wave", |b| {
+        let cfg = DwConfig::new(0.1, N, N);
+        b.iter_batched(
+            || DeterministicWave::new(&cfg),
+            |mut dw| {
+                for i in 1..=N {
+                    dw.insert(i, i);
+                }
+                dw
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("randomized_wave", |b| {
+        let cfg = RwConfig::new(0.1, 0.1, N, N, 7);
+        b.iter_batched(
+            || RandomizedWave::new(&cfg),
+            |mut rw| {
+                for i in 1..=N {
+                    rw.insert(i, i);
+                }
+                rw
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("exact_window", |b| {
+        let cfg = ExactWindowConfig::new(N);
+        b.iter_batched(
+            || ExactWindow::new(&cfg),
+            |mut ex| {
+                for i in 1..=N {
+                    ex.insert(i, i);
+                }
+                ex
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn query_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("window_query");
+    let mut eh = ExponentialHistogram::new(&EhConfig::new(0.1, N));
+    let mut dw = DeterministicWave::new(&DwConfig::new(0.1, N, N));
+    let mut rw = RandomizedWave::new(&RwConfig::new(0.1, 0.1, N, N, 7));
+    for i in 1..=N {
+        eh.insert(i, i);
+        dw.insert(i, i);
+        rw.insert(i, i);
+    }
+    g.bench_function("exponential_histogram_subrange", |b| {
+        b.iter(|| black_box(eh.query(black_box(N), black_box(N / 3))))
+    });
+    g.bench_function("deterministic_wave_subrange", |b| {
+        b.iter(|| black_box(dw.query(black_box(N), black_box(N / 3))))
+    });
+    g.bench_function("randomized_wave_subrange", |b| {
+        b.iter(|| black_box(rw.query(black_box(N), black_box(N / 3))))
+    });
+    g.finish();
+}
+
+fn merge_bench(c: &mut Criterion) {
+    use sliding_window::traits::MergeableCounter;
+    let mut g = c.benchmark_group("window_merge_2x5k");
+    g.sample_size(20);
+    let cfg = EhConfig::new(0.1, 1 << 20);
+    let mut a = ExponentialHistogram::new(&cfg);
+    let mut b2 = ExponentialHistogram::new(&cfg);
+    for i in 1..=5_000u64 {
+        a.insert(i * 2, i);
+        b2.insert(i * 2 + 1, i);
+    }
+    g.bench_function("exponential_histogram", |bch| {
+        bch.iter(|| ExponentialHistogram::merge(&[&a, &b2], &cfg).unwrap())
+    });
+    let rcfg = RwConfig::new(0.1, 0.1, 1 << 20, 10_000, 7);
+    let mut ra = RandomizedWave::new(&rcfg);
+    let mut rb = RandomizedWave::new(&rcfg);
+    for i in 1..=5_000u64 {
+        ra.insert(i * 2, i * 2);
+        rb.insert(i * 2 + 1, i * 2 + 1);
+    }
+    g.bench_function("randomized_wave", |bch| {
+        bch.iter(|| RandomizedWave::merge(&[&ra, &rb], &rcfg).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, insert_bench, query_bench, merge_bench);
+criterion_main!(benches);

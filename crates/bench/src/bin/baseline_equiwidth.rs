@@ -1,0 +1,113 @@
+//! **Baseline ablation** — the paper's §2 claim, measured: equi-width
+//! sub-window counters (Hung & Ting, Dimitropoulos et al.) "cannot provide
+//! any meaningful error guarantees, especially for small query ranges",
+//! while exponential histograms keep relative error ≤ ε at every range.
+//!
+//! Both counters get comparable memory; the workload is bursty (arrivals
+//! cluster at sub-window starts), which is adversarial for proration but
+//! irrelevant to the exponential histogram.
+
+use ecm::{EcmBuilder, EcmEh, EcmEw};
+use ecm_bench::header;
+use sliding_window::{EhConfig, EquiWidthConfig, EquiWidthWindow, ExponentialHistogram};
+use sliding_window::traits::WindowCounter;
+
+fn main() {
+    println!("Baseline ablation: equi-width sub-windows vs exponential histogram");
+    let window = 100_000u64;
+    let eps = 0.1;
+    // Bursty stream: all arrivals of each 1000-tick period land in its
+    // first 100 ticks.
+    let mut ticks = Vec::new();
+    for period in 0..100u64 {
+        for i in 0..1000u64 {
+            ticks.push(period * 1000 + 1 + (i % 100));
+        }
+    }
+    ticks.sort_unstable();
+
+    let mut eh = ExponentialHistogram::new(&EhConfig::new(eps, window));
+    for &t in &ticks {
+        eh.insert_one(t);
+    }
+    // Give the equi-width baseline at least as much memory as the EH used.
+    let eh_mem = eh.memory_bytes();
+    let buckets = (eh_mem / 16).max(16);
+    let mut ew = EquiWidthWindow::new(&EquiWidthConfig::new(window, buckets));
+    for &t in &ticks {
+        ew.insert_ones(t, 1);
+    }
+
+    let now = *ticks.last().unwrap();
+    let exact = |range: u64| -> f64 {
+        ticks.iter().filter(|&&t| t > now.saturating_sub(range)).count() as f64
+    };
+
+    header(
+        &format!(
+            "relative error by query range (EH: {} B, equi-width: {} B / {} slots)",
+            eh_mem,
+            ew.memory_bytes(),
+            buckets
+        ),
+        "range      exact      EH_est     EH_relerr   EW_est     EW_relerr",
+    );
+    for range in [50u64, 200, 800, 3_000, 10_000, 50_000, 100_000] {
+        let ex = exact(range);
+        let e1 = eh.estimate(now, range);
+        let e2 = ew.estimate(now, range);
+        let r1 = (e1 - ex).abs() / ex.max(1.0);
+        let r2 = (e2 - ex).abs() / ex.max(1.0);
+        println!(
+            "{:<9} {:>8.0} {:>11.1} {:>10.4} {:>11.1} {:>10.4}",
+            range, ex, e1, r1, e2, r2
+        );
+    }
+    println!(
+        "\nshape: EH stays ≤ ε = {eps} at every range; equi-width error \
+         explodes once the range dips under its slot width ({} ticks).",
+        window.div_ceil(buckets as u64)
+    );
+
+    // Part 2: the same comparison through full ECM-sketches — ECM-EW is the
+    // complete Hung & Ting / Dimitropoulos design (Count-Min over equi-width
+    // counters), queried for a bursty key's frequency at small ranges.
+    let b = EcmBuilder::new(eps, 0.1, window).seed(5);
+    let mut ecm_eh = EcmEh::new(&b.eh_config());
+    let mut ecm_ew = EcmEw::new(&b.ew_config(64));
+    for (i, &t) in ticks.iter().enumerate() {
+        let key = (i as u64) % 50;
+        ecm_eh.insert_with_id(key, t, i as u64 + 1);
+        ecm_ew.insert_with_id(key, t, i as u64 + 1);
+    }
+    let exact_key = |key: u64, range: u64| -> f64 {
+        ticks
+            .iter()
+            .enumerate()
+            .filter(|&(i, &t)| (i as u64) % 50 == key && t > now.saturating_sub(range))
+            .count() as f64
+    };
+    header(
+        "full ECM-sketch comparison (point queries on key 7)",
+        "range      exact      ECM-EH_est  EH_relerr   ECM-EW_est  EW_relerr",
+    );
+    for range in [200u64, 800, 3_000, 10_000, 100_000] {
+        let ex = exact_key(7, range);
+        let e1 = ecm_eh.point_query(7, now, range);
+        let e2 = ecm_ew.point_query(7, now, range);
+        println!(
+            "{:<9} {:>8.0} {:>12.1} {:>10.4} {:>12.1} {:>10.4}",
+            range,
+            ex,
+            e1,
+            (e1 - ex).abs() / ex.max(1.0),
+            e2,
+            (e2 - ex).abs() / ex.max(1.0)
+        );
+    }
+    println!(
+        "\nshape: the full sketches inherit their window counters' behaviour — \
+         ECM-EH holds its Theorem 1 envelope; ECM-EW has no window guarantee \
+         below its slot width (the paper's §2 verdict on these designs)."
+    );
+}

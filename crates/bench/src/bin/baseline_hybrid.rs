@@ -1,0 +1,119 @@
+//! **Baseline: hybrid histograms (Qiao et al., §2) vs the dyadic ECM
+//! hierarchy (§6.1) on sliding-window range queries.**
+//!
+//! The paper dismisses hybrid histograms because their value dimension is a
+//! plain equi-width split with no error control: "these structures cannot
+//! give meaningful bounds on the approximation error". This binary measures
+//! that claim: both structures answer the same `(key range, time range)`
+//! queries over a Zipf-skewed trace; the table reports the observed relative
+//! error (vs ‖a_r‖₁) and memory for wide ranges, narrow ranges, and point
+//! queries (the worst case for uniformity assumptions).
+
+use ecm::{EcmBuilder, EcmHierarchy};
+use ecm_bench::{event_budget, header, mb, Dataset, WINDOW};
+use sliding_window::{HybridConfig, HybridHistogram};
+use stream_gen::WindowOracle;
+
+const KEY_BITS: u32 = 16; // the wc98-like generator draws keys < 50 000
+
+fn main() {
+    let n_events = event_budget();
+    let events = Dataset::Wc98.generate(n_events, 42);
+    let oracle = WindowOracle::from_events(&events);
+    let now = oracle.last_tick();
+    let domain = 1u64 << KEY_BITS;
+    let eps = 0.1;
+
+    // Dyadic ECM hierarchy (guaranteed error).
+    let cfg = EcmBuilder::new(eps, 0.1, WINDOW).seed(7).eh_config();
+    let mut hierarchy = EcmHierarchy::new(KEY_BITS, &cfg);
+    for e in &events {
+        hierarchy.insert(e.key, e.ts);
+    }
+
+    // Hybrid histograms at two bin resolutions (accuracy/memory knob —
+    // the only one the structure has).
+    let mut hybrids = Vec::new();
+    for &bins in &[256usize, 4096] {
+        let hcfg = HybridConfig::new(eps, WINDOW, domain, bins);
+        let mut h = HybridHistogram::new(&hcfg);
+        for e in &events {
+            h.insert(e.ts, e.key);
+        }
+        hybrids.push((bins, h));
+    }
+
+    // Query mix: wide dyadic ranges, narrow ranges, and point queries on the
+    // hottest keys.
+    let wide: Vec<(u64, u64)> = (0..8u64).map(|i| (i * 8192, (i + 1) * 8192 - 1)).collect();
+    let narrow: Vec<(u64, u64)> = (0..64u64).map(|i| (i * 40, i * 40 + 7)).collect();
+    let mut hot: Vec<(u64, u64)> = oracle
+        .keys()
+        .map(|k| (oracle.frequency(k, now, WINDOW), k))
+        .collect();
+    hot.sort_unstable_by(|a, b| b.cmp(a));
+    let points: Vec<(u64, u64)> = hot.iter().take(64).map(|&(_, k)| (k, k)).collect();
+
+    let norm = oracle.total(now, WINDOW) as f64;
+    let score = |est: &dyn Fn(u64, u64) -> f64, queries: &[(u64, u64)]| -> (f64, f64) {
+        let mut sum = 0.0;
+        let mut max = 0.0f64;
+        for &(lo, hi) in queries {
+            let exact = oracle.range_sum(lo, hi, now, WINDOW) as f64;
+            let err = (est(lo, hi) - exact).abs() / norm;
+            sum += err;
+            max = max.max(err);
+        }
+        (sum / queries.len() as f64, max)
+    };
+
+    println!(
+        "Baseline comparison: hybrid histogram vs dyadic ECM hierarchy \
+         (wc98-syn, {n_events} events, eps = {eps}, window = {WINDOW})"
+    );
+    header(
+        "observed relative error (vs ||a_r||_1) per query class",
+        "structure          wide_avg   wide_max   narrow_avg narrow_max point_avg  point_max  memory_MB",
+    );
+
+    let h_est = |lo: u64, hi: u64| hierarchy.range_sum(lo, hi, now, WINDOW);
+    let (wa, wm) = score(&h_est, &wide);
+    let (na, nm) = score(&h_est, &narrow);
+    let (pa, pm) = score(&h_est, &points);
+    println!(
+        "{:<18} {:>9.5} {:>10.5} {:>10.5} {:>10.5} {:>10.5} {:>10.5} {:>10.3}",
+        "ecm-hierarchy",
+        wa,
+        wm,
+        na,
+        nm,
+        pa,
+        pm,
+        mb(hierarchy.memory_bytes())
+    );
+
+    for (bins, h) in &hybrids {
+        let est = |lo: u64, hi: u64| h.range_query(now, WINDOW, lo, hi);
+        let (wa, wm) = score(&est, &wide);
+        let (na, nm) = score(&est, &narrow);
+        let (pa, pm) = score(&est, &points);
+        println!(
+            "{:<18} {:>9.5} {:>10.5} {:>10.5} {:>10.5} {:>10.5} {:>10.5} {:>10.3}",
+            format!("hybrid-{bins}bins"),
+            wa,
+            wm,
+            na,
+            nm,
+            pa,
+            pm,
+            mb(h.memory_bytes())
+        );
+    }
+    println!(
+        "(expected shape: averages are comparable — uniform proration is fine on average — \
+         but the hybrid's *max* error on narrow/point queries is several times the \
+         hierarchy's and shrinks only by growing bins toward the domain size; no \
+         parameter bounds it, which is the paper's point. The adversarial case — all \
+         mass on one key of a bin — is exercised in tests/range_queries.rs)"
+    );
+}

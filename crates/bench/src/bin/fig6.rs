@@ -1,0 +1,52 @@
+//! **Figure 6 (a–d)** — artificial uniform network: observed error and
+//! transfer volume as the number of nodes sweeps 1, 2, 4, …, 256 at
+//! ε = δ = 0.1.
+//!
+//! Paper shapes: ECM-EH error creeps up slowly with tree height while
+//! ECM-RW error stays flat (lossless); ECM-RW transfer volume is an order
+//! of magnitude above ECM-EH at every network size.
+
+use ecm_bench::{
+    build_distributed, event_budget, header, mb, score_point_queries, score_self_join,
+    VariantConfigs,
+};
+use stream_gen::{uniform_sites, WindowOracle};
+
+const MAX_KEYS: usize = 400;
+
+fn main() {
+    let n = event_budget();
+    println!("Figure 6 reproduction: error & transfer vs number of nodes, eps = 0.1, {n} events");
+    header(
+        "uniform network sweep",
+        "nodes   EH_pt_err   EH_sj_err   EH_MB      RW_pt_err   RW_MB",
+    );
+    for &nodes in &[1u32, 2, 4, 8, 16, 32, 64, 128, 256] {
+        let events = uniform_sites(n, nodes, 42);
+        let oracle = WindowOracle::from_events(&events);
+        let now = oracle.last_tick();
+        let u = events.len() as u64;
+
+        let cfgs = VariantConfigs::point(0.1, 0.1, u, 7);
+        let (root, stats_eh) = build_distributed(&cfgs.eh(), &events, nodes);
+        let pt = score_point_queries(&root, &oracle, now, MAX_KEYS);
+
+        let cfgs_sj = VariantConfigs::inner_product(0.1, 0.1, u, 7);
+        let (root_sj, _) = build_distributed(&cfgs_sj.eh(), &events, nodes);
+        let sj = score_self_join(&root_sj, &oracle, now);
+
+        let (root_rw, stats_rw) = build_distributed(&cfgs.rw(), &events, nodes);
+        let rw = score_point_queries(&root_rw, &oracle, now, MAX_KEYS);
+
+        println!(
+            "{:<7} {:>9.5} {:>11.5} {:>8.3} {:>11.5} {:>9.3}",
+            nodes,
+            pt.avg,
+            sj.avg,
+            mb(stats_eh.bytes as usize),
+            rw.avg,
+            mb(stats_rw.bytes as usize)
+        );
+    }
+    println!("\n(single-node rows have zero transfer: no tree edges)");
+}

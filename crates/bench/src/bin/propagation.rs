@@ -1,0 +1,73 @@
+//! **Related work: drift-triggered EH propagation (Chan et al., §2).**
+//!
+//! Continuous tracking of a distributed windowed count: each site re-ships
+//! its exponential histogram only when its local estimate drifts by more
+//! than (1 ± θ) since the last shipment. The table sweeps θ and reports the
+//! communication (shipments, bytes) against the observed tracking error,
+//! with per-arrival forwarding (16 bytes/event) as the strawman reference.
+
+use distributed::DriftPropagation;
+use ecm_bench::header;
+use sliding_window::EhConfig;
+use stream_gen::uniform_sites;
+
+const WINDOW: u64 = 100_000;
+const SITES: usize = 8;
+
+fn main() {
+    let n_events = std::env::var("ECM_EVENTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    let events = uniform_sites(n_events, SITES as u32, 77);
+    let eps = 0.05;
+
+    println!(
+        "Drift-triggered propagation (Chan et al.): {n_events} events, {SITES} sites, \
+         window {WINDOW}, local eps = {eps}"
+    );
+    header(
+        "communication vs tracking error by drift budget theta",
+        "theta    bound    shipments     bytes_KB   obs_avg_err  obs_max_err",
+    );
+
+    for &theta in &[0.02f64, 0.05, 0.1, 0.2, 0.4] {
+        let mut p = DriftPropagation::new(SITES, &EhConfig::new(eps, WINDOW), theta);
+        let mut truth: Vec<u64> = Vec::new();
+        let mut sum_err = 0.0;
+        let mut max_err = 0.0f64;
+        let mut samples = 0u32;
+        for (i, e) in events.iter().enumerate() {
+            p.observe(e.site as usize, e.ts);
+            truth.push(e.ts);
+            if i % 997 == 0 && i > n_events / 10 {
+                let cutoff = e.ts.saturating_sub(WINDOW);
+                let exact = truth.iter().rev().take_while(|&&x| x > cutoff).count() as f64;
+                if exact < 50.0 {
+                    continue;
+                }
+                let err = (p.coordinator_estimate() - exact).abs() / exact;
+                sum_err += err;
+                max_err = max_err.max(err);
+                samples += 1;
+            }
+        }
+        let s = p.stats();
+        println!(
+            "{:<8} {:<8.3} {:>9} {:>12.1} {:>12.5} {:>12.5}",
+            theta,
+            p.error_bound(),
+            s.shipments,
+            s.bytes as f64 / 1024.0,
+            sum_err / f64::from(samples.max(1)),
+            max_err
+        );
+    }
+    println!(
+        "(reference: forwarding every event costs {} messages / {} KB; expected shape: \
+         shipments fall steeply with theta while observed error stays under the \
+         theta+eps bound — communication scales with data change, not stream length)",
+        n_events,
+        n_events * 16 / 1024
+    );
+}

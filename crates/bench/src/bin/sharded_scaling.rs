@@ -1,0 +1,97 @@
+//! **Extension: ingestion throughput vs shard count.**
+//!
+//! The paper's Table 3 measures single-threaded update rates; production
+//! deployments of the intro's network monitors need more. This binary
+//! measures the wall-clock ingestion rate of [`ecm::ShardedEcm`] as the
+//! shard (worker-thread) count grows, and verifies that the sharded
+//! estimates stay inside the single-sketch accuracy envelope.
+
+use ecm::{partition_pairs, EcmBuilder, ShardedEcm};
+use ecm_bench::{event_budget, header, Dataset, WINDOW};
+use sliding_window::ExponentialHistogram;
+use std::time::Instant;
+use stream_gen::WindowOracle;
+
+fn main() {
+    let n_events = event_budget();
+    let events = Dataset::Wc98.generate(n_events, 42);
+    let oracle = WindowOracle::from_events(&events);
+    let now = oracle.last_tick();
+    let eps = 0.1;
+    let cfg = EcmBuilder::new(eps, 0.1, WINDOW).seed(7).eh_config();
+    let pairs: Vec<(u64, u64)> = events.iter().map(|e| (e.key, e.ts)).collect();
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!(
+        "Sharded ingestion scaling (wc98-syn, {n_events} events, eps = {eps}, \
+         {cores} core(s)): updates/s and accuracy vs shard count"
+    );
+    header(
+        "throughput and observed error",
+        "shards   dispatch/s   prepart/s    speedup   avg_err    max_err",
+    );
+
+    let mut base_rate = 0.0;
+    for &shards in &[1usize, 2, 4, 8] {
+        // Warm-up pass keeps allocator effects out of the measured run.
+        let _ = ShardedEcm::<ExponentialHistogram>::ingest_parallel(
+            &cfg,
+            shards,
+            pairs.iter().copied().take(10_000),
+        );
+        // Channel-fed path: a single dispatcher routes every event.
+        let start = Instant::now();
+        let sh = ShardedEcm::<ExponentialHistogram>::ingest_parallel(
+            &cfg,
+            shards,
+            pairs.iter().copied(),
+        );
+        let dispatch_rate = n_events as f64 / start.elapsed().as_secs_f64();
+
+        // Pre-partitioned path: per-shard queues, no dispatcher (the shape
+        // of per-NIC ingestion); partitioning cost excluded, as in a real
+        // pipeline where upstream routing already happened.
+        let parts = partition_pairs(pairs.iter().copied(), shards, cfg.seed);
+        let start = Instant::now();
+        let _pre =
+            ShardedEcm::<ExponentialHistogram>::ingest_prepartitioned(&cfg, parts);
+        let secs = start.elapsed().as_secs_f64();
+        let rate = n_events as f64 / secs;
+        if shards == 1 {
+            base_rate = rate;
+        }
+
+        // Accuracy: point queries over the hottest keys.
+        let norm = oracle.total(now, WINDOW) as f64;
+        let mut sum = 0.0;
+        let mut max = 0.0f64;
+        let mut n = 0usize;
+        for key in 0..2_000u64 {
+            let exact = oracle.frequency(key, now, WINDOW) as f64;
+            if exact == 0.0 {
+                continue;
+            }
+            let err = (sh.point_query(key, now, WINDOW) - exact).abs() / norm;
+            sum += err;
+            max = max.max(err);
+            n += 1;
+        }
+        println!(
+            "{:<8} {:>12.0} {:>11.0} {:>10.2}x {:>9.5} {:>10.5}",
+            shards,
+            dispatch_rate,
+            rate,
+            rate / base_rate,
+            sum / n.max(1) as f64,
+            max
+        );
+    }
+    println!(
+        "(expected shape: the dispatcher-fed path is capped by its single reader \
+         (Amdahl); the pre-partitioned path scales toward the machine's core \
+         count — flat on a single-core host; observed error only shrinks with \
+         shards, since each sketch sees a thinner stream)"
+    );
+}

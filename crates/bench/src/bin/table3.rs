@@ -1,0 +1,45 @@
+//! **Table 3** — update rate (updates per second) of the centralized
+//! ECM-sketch variants at ε = 0.1, for both datasets.
+//!
+//! Paper shape: ECM-EH fastest, ECM-DW close behind, ECM-RW roughly an
+//! order of magnitude slower.
+
+use ecm::EcmSketch;
+use ecm_bench::{event_budget, header, Dataset, VariantConfigs};
+use sliding_window::traits::WindowCounter;
+use std::time::Instant;
+
+fn rate<W: WindowCounter>(cfg: &ecm::EcmConfig<W>, events: &[stream_gen::Event]) -> f64 {
+    let mut sk = EcmSketch::new(cfg);
+    let t0 = Instant::now();
+    for (i, e) in events.iter().enumerate() {
+        sk.insert_with_id(e.key, e.ts, i as u64 + 1);
+    }
+    events.len() as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let n = event_budget();
+    println!("Table 3 reproduction: update rates (updates/s), eps = 0.1, {n} events");
+    header(
+        "update rates",
+        "dataset     ECM-EH      ECM-DW      ECM-RW",
+    );
+    for ds in [Dataset::Wc98, Dataset::Snmp] {
+        let events = ds.generate(n, 42);
+        let cfgs = VariantConfigs::point(0.1, 0.1, events.len() as u64, 7);
+        let r_eh = rate(&cfgs.eh(), &events);
+        let r_dw = rate(&cfgs.dw(), &events);
+        let r_rw = rate(&cfgs.rw(), &events);
+        println!(
+            "{:<10} {:>9.0} {:>11.0} {:>11.0}",
+            ds.label(),
+            r_eh,
+            r_dw,
+            r_rw
+        );
+        println!(
+            "           (shape: EH ≥ DW ≫ RW — paper reports 1.49M / 1.17M / 0.18M on wc98)"
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Dyadic-range decomposition over the key universe `[0, 2^bits)`.
+//!
+//! A dyadic range at level `ℓ` is `[p·2^ℓ, (p+1)·2^ℓ)` for a prefix `p`.
+//! Any interval `[lo, hi]` decomposes into at most `2·bits` dyadic ranges,
+//! which is what lets a logarithmic stack of sketches answer range sums,
+//! find heavy hitters by group testing, and binary-search quantiles
+//! (paper §6.1, after Cormode & Muthukrishnan).
+
+/// One dyadic range: the `prefix` identifies the block at `level`
+/// (covering keys `[prefix << level, ((prefix+1) << level) - 1]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DyadicRange {
+    /// Block size exponent: the range covers `2^level` keys.
+    pub level: u32,
+    /// Block index at that level.
+    pub prefix: u64,
+}
+
+impl DyadicRange {
+    /// Smallest key covered.
+    pub fn lo(&self) -> u64 {
+        self.prefix << self.level
+    }
+
+    /// Largest key covered.
+    pub fn hi(&self) -> u64 {
+        (self.prefix << self.level) | ((1u64 << self.level) - 1)
+    }
+
+    /// Number of keys covered.
+    pub fn len(&self) -> u64 {
+        1u64 << self.level
+    }
+
+    /// Dyadic ranges are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The two child ranges one level finer (`None` at level 0).
+    pub fn children(&self) -> Option<(DyadicRange, DyadicRange)> {
+        if self.level == 0 {
+            return None;
+        }
+        let l = self.level - 1;
+        Some((
+            DyadicRange {
+                level: l,
+                prefix: self.prefix << 1,
+            },
+            DyadicRange {
+                level: l,
+                prefix: (self.prefix << 1) | 1,
+            },
+        ))
+    }
+}
+
+/// Decompose the inclusive interval `[lo, hi] ⊆ [0, 2^bits)` into a minimal
+/// cover of disjoint dyadic ranges (at most `2·bits` of them).
+///
+/// # Panics
+/// If `lo > hi`, `bits > 63`, or the interval exceeds the universe.
+pub fn dyadic_cover(lo: u64, hi: u64, bits: u32) -> Vec<DyadicRange> {
+    assert!(lo <= hi, "lo {lo} > hi {hi}");
+    assert!(bits <= 63, "universe too large");
+    let max = if bits == 63 { u64::MAX >> 1 } else { (1u64 << bits) - 1 };
+    assert!(hi <= max, "interval exceeds universe of {bits} bits");
+
+    let mut out = Vec::new();
+    let mut lo = lo;
+    loop {
+        // Largest level whose block starts exactly at `lo` and fits in
+        // [lo, hi].
+        let align = if lo == 0 { bits } else { lo.trailing_zeros().min(bits) };
+        let span = hi - lo + 1;
+        let fit = if span == 0 {
+            0
+        } else {
+            63 - span.leading_zeros().min(63)
+        };
+        let level = align.min(fit);
+        out.push(DyadicRange {
+            level,
+            prefix: lo >> level,
+        });
+        let step = 1u64 << level;
+        if hi - lo + 1 == step {
+            break;
+        }
+        lo += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn covered_keys(ranges: &[DyadicRange]) -> Vec<u64> {
+        let mut keys: Vec<u64> = ranges
+            .iter()
+            .flat_map(|r| r.lo()..=r.hi())
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    #[test]
+    fn range_endpoints() {
+        let r = DyadicRange { level: 3, prefix: 5 };
+        assert_eq!(r.lo(), 40);
+        assert_eq!(r.hi(), 47);
+        assert_eq!(r.len(), 8);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn children_split_the_block() {
+        let r = DyadicRange { level: 2, prefix: 3 }; // [12, 15]
+        let (a, b) = r.children().unwrap();
+        assert_eq!((a.lo(), a.hi()), (12, 13));
+        assert_eq!((b.lo(), b.hi()), (14, 15));
+        assert!(DyadicRange { level: 0, prefix: 9 }.children().is_none());
+    }
+
+    #[test]
+    fn single_key_cover() {
+        let c = dyadic_cover(5, 5, 8);
+        assert_eq!(c, vec![DyadicRange { level: 0, prefix: 5 }]);
+    }
+
+    #[test]
+    fn full_universe_is_one_range() {
+        let c = dyadic_cover(0, 255, 8);
+        assert_eq!(c, vec![DyadicRange { level: 8, prefix: 0 }]);
+    }
+
+    #[test]
+    fn classic_example() {
+        // [1, 6] in a 3-bit universe: {1}, [2,3], [4,5], {6}.
+        let c = dyadic_cover(1, 6, 3);
+        assert_eq!(covered_keys(&c), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn cover_size_is_logarithmic() {
+        let c = dyadic_cover(1, (1 << 20) - 2, 20);
+        assert!(c.len() <= 2 * 20, "cover used {} ranges", c.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "lo")]
+    fn inverted_interval_rejected() {
+        let _ = dyadic_cover(5, 4, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe")]
+    fn oversized_interval_rejected() {
+        let _ = dyadic_cover(0, 256, 8);
+    }
+
+    proptest! {
+        /// The cover is exact: disjoint ranges whose union is [lo, hi].
+        #[test]
+        fn prop_cover_exact(lo in 0u64..500, len in 0u64..500) {
+            let hi = lo + len;
+            let c = dyadic_cover(lo, hi, 10);
+            let keys = covered_keys(&c);
+            let expected: Vec<u64> = (lo..=hi).collect();
+            prop_assert_eq!(keys, expected);
+            prop_assert!(c.len() <= 20);
+        }
+
+        /// Each range in a cover is aligned: prefix << level multiple of len.
+        #[test]
+        fn prop_cover_aligned(lo in 0u64..2000, len in 0u64..2000) {
+            let c = dyadic_cover(lo, lo + len, 12);
+            for r in c {
+                prop_assert_eq!(r.lo() % r.len(), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! A dyadic hierarchy of Count-Min sketches over `[0, 2^bits)`: range sums,
+//! heavy hitters by group testing, and quantiles by bitwise descent
+//! (Cormode & Muthukrishnan; adapted to sliding windows in the `ecm` crate,
+//! paper §6.1).
+//!
+//! `sketches[ℓ]` summarizes the stream of level-ℓ prefixes `x >> ℓ`; an
+//! update touches all `bits` sketches, and any interval query decomposes
+//! into at most `2·bits` point queries.
+
+use crate::dyadic::{dyadic_cover, DyadicRange};
+use crate::sketch::{CmConfig, CountMinSketch};
+use sliding_window::MergeError;
+
+/// Dyadic stack of Count-Min sketches (full-history model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmHierarchy {
+    bits: u32,
+    /// `sketches[ℓ]` sketches the prefixes at level ℓ, for ℓ ∈ [0, bits).
+    sketches: Vec<CountMinSketch>,
+    total: u64,
+}
+
+impl CmHierarchy {
+    /// Create a hierarchy over a `bits`-bit key universe; each level is an
+    /// independent sketch shaped by `cfg` (per-level seeds are derived).
+    ///
+    /// # Panics
+    /// If `bits == 0` or `bits > 63`.
+    pub fn new(bits: u32, cfg: &CmConfig) -> Self {
+        assert!(bits > 0 && bits <= 63, "bits must be in [1, 63]");
+        let sketches = (0..bits)
+            .map(|l| {
+                let mut level_cfg = cfg.clone();
+                // Independent hashes per level, still deterministic.
+                level_cfg.seed = cfg.seed.wrapping_add(u64::from(l) << 32 | 0x9e37);
+                CountMinSketch::new(&level_cfg)
+            })
+            .collect();
+        CmHierarchy {
+            bits,
+            sketches,
+            total: 0,
+        }
+    }
+
+    /// Key-universe size exponent.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Total weight inserted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Add `value` to key `x`.
+    ///
+    /// # Panics
+    /// If `x` is outside the universe.
+    pub fn add(&mut self, x: u64, value: u64) {
+        assert!(
+            self.bits == 63 || x < (1u64 << self.bits),
+            "key {x} outside universe"
+        );
+        for (l, sk) in self.sketches.iter_mut().enumerate() {
+            sk.add(x >> l, value);
+        }
+        self.total += value;
+    }
+
+    /// Estimated weight of one dyadic range.
+    pub fn range_point(&self, r: DyadicRange) -> u64 {
+        if r.level >= self.bits {
+            self.total
+        } else {
+            self.sketches[r.level as usize].point(r.prefix)
+        }
+    }
+
+    /// Estimated total weight of keys in `[lo, hi]` (sum over the dyadic
+    /// cover; never underestimates, whp overestimates by `≤ 2·bits·ε·‖a‖₁`).
+    pub fn range_sum(&self, lo: u64, hi: u64) -> u64 {
+        dyadic_cover(lo, hi, self.bits)
+            .into_iter()
+            .map(|r| self.range_point(r))
+            .sum()
+    }
+
+    /// All keys whose estimated weight is at least `threshold`, found by
+    /// group testing: descend from the root, pruning any dyadic block whose
+    /// estimate is below the threshold. Returns `(key, estimate)` pairs in
+    /// increasing key order. Guarantees (paper Theorem 5 semantics): every
+    /// key with true weight ≥ threshold is returned (CM never
+    /// underestimates); keys below `threshold − ε·‖a‖₁` appear only with
+    /// probability δ each.
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(u64, u64)> {
+        if self.total == 0 || threshold == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut stack = vec![DyadicRange {
+            level: self.bits,
+            prefix: 0,
+        }];
+        while let Some(r) = stack.pop() {
+            let est = self.range_point(r);
+            if est < threshold {
+                continue;
+            }
+            match r.children() {
+                None => out.push((r.prefix, est)),
+                Some((a, b)) => {
+                    // Push right first so keys pop in increasing order.
+                    stack.push(b);
+                    stack.push(a);
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// The smallest key whose cumulative estimated weight reaches `rank`
+    /// (1-based); `None` if `rank` exceeds the total. A φ-quantile is
+    /// `quantile_by_rank(⌈φ·total⌉)`.
+    pub fn quantile_by_rank(&self, rank: u64) -> Option<u64> {
+        if rank == 0 || rank > self.total {
+            return None;
+        }
+        let mut acc = 0u64;
+        let mut node = DyadicRange {
+            level: self.bits,
+            prefix: 0,
+        };
+        while let Some((left, right)) = node.children() {
+            let left_w = self.range_point(left);
+            if acc + left_w >= rank {
+                node = left;
+            } else {
+                acc += left_w;
+                node = right;
+            }
+        }
+        Some(node.prefix)
+    }
+
+    /// Merge another hierarchy into this one level-by-level.
+    ///
+    /// # Errors
+    /// [`MergeError::IncompatibleConfig`] if universes or shapes differ.
+    pub fn merge_from(&mut self, other: &CmHierarchy) -> Result<(), MergeError> {
+        if self.bits != other.bits {
+            return Err(MergeError::IncompatibleConfig {
+                detail: format!("universe bits {} vs {}", self.bits, other.bits),
+            });
+        }
+        for (a, b) in self.sketches.iter_mut().zip(&other.sketches) {
+            a.merge_from(b)?;
+        }
+        self.total += other.total;
+        Ok(())
+    }
+
+    /// Bytes of memory held across all levels.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .sketches
+                .iter()
+                .map(CountMinSketch::memory_bytes)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    fn small() -> CmHierarchy {
+        CmHierarchy::new(10, &CmConfig::from_error_bounds(0.005, 0.01, 7))
+    }
+
+    #[test]
+    fn range_sum_matches_truth_on_skew() {
+        let mut h = small();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..20_000u64 {
+            let key = (i * i + 7) % 1024;
+            h.add(key, 1);
+            *truth.entry(key).or_default() += 1;
+        }
+        for &(lo, hi) in &[(0u64, 1023u64), (0, 99), (100, 500), (1000, 1023), (512, 512)] {
+            let exact: u64 = truth
+                .iter()
+                .filter(|&(&k, _)| k >= lo && k <= hi)
+                .map(|(_, &v)| v)
+                .sum();
+            let est = h.range_sum(lo, hi);
+            assert!(est >= exact, "[{lo},{hi}] {est} < {exact}");
+            let budget = (2.0 * 10.0 * 0.005 * h.total() as f64) as u64;
+            assert!(
+                est <= exact + budget,
+                "[{lo},{hi}] est={est} exact={exact} budget={budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_found_exactly_on_clean_input() {
+        let mut h = small();
+        // Three heavy keys and light background noise on distinct keys.
+        for _ in 0..1000 {
+            h.add(17, 1);
+            h.add(333, 1);
+            h.add(900, 1);
+        }
+        for k in 0..512u64 {
+            h.add(k, 1);
+        }
+        let hh = h.heavy_hitters(500);
+        let keys: Vec<u64> = hh.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![17, 333, 900]);
+        for &(_, est) in &hh {
+            assert!(est >= 1000);
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_empty_cases() {
+        let h = small();
+        assert!(h.heavy_hitters(10).is_empty());
+        let mut h2 = small();
+        h2.add(5, 3);
+        assert!(h2.heavy_hitters(0).is_empty());
+        assert_eq!(h2.heavy_hitters(1), vec![(5, 3)]);
+    }
+
+    #[test]
+    fn quantiles_on_uniform_stream() {
+        let mut h = small();
+        for k in 0..1000u64 {
+            h.add(k, 1);
+        }
+        // Median of 0..999 is ~499/500.
+        let med = h.quantile_by_rank(500).unwrap();
+        assert!((495..=505).contains(&med), "median={med}");
+        let p10 = h.quantile_by_rank(100).unwrap();
+        assert!((95..=105).contains(&p10), "p10={p10}");
+        assert_eq!(h.quantile_by_rank(0), None);
+        assert_eq!(h.quantile_by_rank(1001), None);
+        assert!(h.quantile_by_rank(1).unwrap() <= 5);
+        assert!(h.quantile_by_rank(1000).unwrap() >= 995);
+    }
+
+    #[test]
+    fn merge_matches_union() {
+        let cfg = CmConfig::from_error_bounds(0.01, 0.05, 3);
+        let mut a = CmHierarchy::new(8, &cfg);
+        let mut b = CmHierarchy::new(8, &cfg);
+        let mut whole = CmHierarchy::new(8, &cfg);
+        for i in 0..4000u64 {
+            let key = i % 256;
+            if i % 3 == 0 {
+                a.add(key, 1);
+            } else {
+                b.add(key, 1);
+            }
+            whole.add(key, 1);
+        }
+        let mut merged = a.clone();
+        merged.merge_from(&b).unwrap();
+        assert_eq!(merged, whole);
+        let mut bad = CmHierarchy::new(9, &cfg);
+        assert!(bad.merge_from(&a).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_key_rejected() {
+        let mut h = small();
+        h.add(1 << 10, 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Heavy hitters never miss a truly heavy key (no false negatives).
+        #[test]
+        fn prop_no_false_negatives(
+            keys in proptest::collection::vec(0u64..256, 200..800),
+            threshold in 5u64..40,
+        ) {
+            let mut h = CmHierarchy::new(8, &CmConfig::from_error_bounds(0.01, 0.01, 11));
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            for &k in &keys {
+                h.add(k, 1);
+                *truth.entry(k).or_default() += 1;
+            }
+            let found: Vec<u64> = h.heavy_hitters(threshold).iter().map(|&(k, _)| k).collect();
+            for (&k, &v) in &truth {
+                if v >= threshold {
+                    prop_assert!(found.contains(&k), "missed heavy key {} (count {})", k, v);
+                }
+            }
+        }
+
+        /// Quantile answers are consistent with the (over-estimating) ranks.
+        #[test]
+        fn prop_quantile_rank_sane(
+            n in 100u64..1000,
+        ) {
+            let mut h = CmHierarchy::new(10, &CmConfig::from_error_bounds(0.002, 0.01, 5));
+            for k in 0..n { h.add(k, 1); }
+            for &q in &[0.25f64, 0.5, 0.75] {
+                let rank = (q * n as f64).ceil() as u64;
+                let x = h.quantile_by_rank(rank).unwrap();
+                // With ε·bits slack the answer is near rank-1 in a uniform
+                // 1-per-key stream.
+                let slack = (0.002 * 2.0 * 10.0 * n as f64).ceil() as u64 + 2;
+                prop_assert!(x + slack >= rank.saturating_sub(1));
+                prop_assert!(x <= rank + slack);
+            }
+        }
+    }
+}

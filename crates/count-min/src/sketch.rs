@@ -1,0 +1,452 @@
+//! The classic Count-Min sketch over full-history streams (paper §3).
+//!
+//! A `w × d` array of counters; item `x` with value `v` increments
+//! `CM[h_j(x), j]` for each of the `d` rows. Point queries return the row
+//! minimum and overestimate by at most `ε·‖a‖₁` with probability `1 − δ`
+//! for `w = ⌈e/ε⌉`, `d = ⌈ln(1/δ)⌉`.
+
+use crate::hash::HashFamily;
+use sliding_window::codec::{get_u8, get_varint, put_u8, put_varint};
+use sliding_window::{CodecError, MergeError};
+use std::fmt;
+
+const CODEC_VERSION: u8 = 1;
+
+/// Errors raised by sketch operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SketchError {
+    /// Two sketches with different shapes/seeds cannot be combined.
+    Incompatible {
+        /// Description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::Incompatible { detail } => {
+                write!(f, "incompatible sketches: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+/// Construction parameters for a [`CountMinSketch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmConfig {
+    /// Number of counters per row (`w`).
+    pub width: usize,
+    /// Number of rows / hash functions (`d`).
+    pub depth: usize,
+    /// Seed for the shared hash family.
+    pub seed: u64,
+}
+
+impl CmConfig {
+    /// Dimension the sketch from accuracy targets: `w = ⌈e/ε⌉`,
+    /// `d = ⌈ln(1/δ)⌉` (paper §3).
+    ///
+    /// # Panics
+    /// If `epsilon ∉ (0,1]` or `delta ∉ (0,1)`.
+    pub fn from_error_bounds(epsilon: f64, delta: f64, seed: u64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must be in (0,1], got {epsilon}"
+        );
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "delta must be in (0,1), got {delta}"
+        );
+        CmConfig {
+            width: (std::f64::consts::E / epsilon).ceil() as usize,
+            depth: (1.0 / delta).ln().ceil().max(1.0) as usize,
+            seed,
+        }
+    }
+
+    /// Explicit dimensions.
+    ///
+    /// # Panics
+    /// If either dimension is zero.
+    pub fn from_dimensions(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width > 0 && depth > 0, "dimensions must be positive");
+        CmConfig { width, depth, seed }
+    }
+
+    /// The ε this shape guarantees (`e / w`).
+    pub fn epsilon(&self) -> f64 {
+        std::f64::consts::E / self.width as f64
+    }
+
+    /// The δ this shape guarantees (`e^(−d)`).
+    pub fn delta(&self) -> f64 {
+        (-(self.depth as f64)).exp()
+    }
+}
+
+/// Count-Min sketch with `u64` counters (full-history / cash-register model).
+///
+/// ```
+/// use count_min::{CmConfig, CountMinSketch};
+///
+/// let cfg = CmConfig::from_error_bounds(0.01, 0.01, /*seed=*/ 42);
+/// let mut cm = CountMinSketch::new(&cfg);
+/// for i in 0..10_000u64 {
+///     cm.add(i % 100, 1);
+/// }
+/// // Never underestimates; overestimates by at most ε‖a‖₁ whp.
+/// assert!(cm.point(5) >= 100);
+/// assert!(cm.point(5) <= 100 + (0.01 * 10_000.0) as u64);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    hashes: HashFamily,
+    /// Row-major `depth × width` counter array.
+    counters: Vec<u64>,
+    /// Total weight inserted (‖a‖₁).
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// Create an empty sketch.
+    pub fn new(cfg: &CmConfig) -> Self {
+        CountMinSketch {
+            width: cfg.width,
+            depth: cfg.depth,
+            hashes: HashFamily::from_seed(cfg.seed, cfg.depth),
+            counters: vec![0; cfg.width * cfg.depth],
+            total: 0,
+        }
+    }
+
+    /// Sketch width `w`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sketch depth `d`.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total weight inserted (‖a‖₁).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The hash family (shared by mergeable sketches).
+    pub fn hashes(&self) -> &HashFamily {
+        &self.hashes
+    }
+
+    /// Add `value` to item `x`.
+    pub fn add(&mut self, x: u64, value: u64) {
+        for j in 0..self.depth {
+            let idx = j * self.width + self.hashes.bucket(j, x, self.width);
+            self.counters[idx] += value;
+        }
+        self.total += value;
+    }
+
+    /// Point query: estimated frequency of `x` (never underestimates).
+    pub fn point(&self, x: u64) -> u64 {
+        (0..self.depth)
+            .map(|j| self.counters[j * self.width + self.hashes.bucket(j, x, self.width)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Inner-product query `â ⊙ b` (paper §4.1, classic form): per-row dot
+    /// product of counter rows, minimized across rows.
+    ///
+    /// # Errors
+    /// [`SketchError::Incompatible`] if shapes or hash seeds differ.
+    pub fn inner_product(&self, other: &CountMinSketch) -> Result<u64, SketchError> {
+        self.check_compatible(other)?;
+        let ip = (0..self.depth)
+            .map(|j| {
+                let row = j * self.width;
+                (0..self.width)
+                    .map(|i| self.counters[row + i] * other.counters[row + i])
+                    .sum::<u64>()
+            })
+            .min()
+            .unwrap_or(0);
+        Ok(ip)
+    }
+
+    /// Self-join size (second frequency moment `F₂`) estimate.
+    pub fn self_join(&self) -> u64 {
+        self.inner_product(self).expect("self is compatible with self")
+    }
+
+    /// Merge another sketch into this one (counter-wise sum).
+    ///
+    /// # Errors
+    /// [`MergeError::IncompatibleConfig`] if shapes or hash seeds differ.
+    pub fn merge_from(&mut self, other: &CountMinSketch) -> Result<(), MergeError> {
+        self.check_compatible(other)
+            .map_err(|e| MergeError::IncompatibleConfig {
+                detail: e.to_string(),
+            })?;
+        for (c, o) in self.counters.iter_mut().zip(&other.counters) {
+            *c += o;
+        }
+        self.total += other.total;
+        Ok(())
+    }
+
+    fn check_compatible(&self, other: &CountMinSketch) -> Result<(), SketchError> {
+        if self.width != other.width
+            || self.depth != other.depth
+            || self.hashes != other.hashes
+        {
+            return Err(SketchError::Incompatible {
+                detail: format!(
+                    "shape {}x{} seed {} vs shape {}x{} seed {}",
+                    self.width,
+                    self.depth,
+                    self.hashes.seed(),
+                    other.width,
+                    other.depth,
+                    other.hashes.seed()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Bytes of memory held.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.counters.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Append the wire encoding.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        put_u8(buf, CODEC_VERSION);
+        put_varint(buf, self.width as u64);
+        put_varint(buf, self.depth as u64);
+        self.hashes.encode(buf);
+        for &c in &self.counters {
+            put_varint(buf, c);
+        }
+        put_varint(buf, self.total);
+    }
+
+    /// Decode from the wire encoding.
+    pub fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let version = get_u8(input, "cm version")?;
+        if version != CODEC_VERSION {
+            return Err(CodecError::BadVersion { found: version });
+        }
+        let width = get_varint(input, "cm width")? as usize;
+        let depth = get_varint(input, "cm depth")? as usize;
+        if width == 0 || depth == 0 || width.saturating_mul(depth) > (1 << 30) {
+            return Err(CodecError::Corrupt { context: "cm shape" });
+        }
+        let hashes = HashFamily::decode(input)?;
+        if hashes.depth() != depth {
+            return Err(CodecError::Corrupt { context: "cm hashes" });
+        }
+        let mut counters = Vec::with_capacity(width * depth);
+        for _ in 0..width * depth {
+            counters.push(get_varint(input, "cm counter")?);
+        }
+        let total = get_varint(input, "cm total")?;
+        Ok(CountMinSketch {
+            width,
+            depth,
+            hashes,
+            counters,
+            total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    fn cfg(eps: f64, delta: f64) -> CmConfig {
+        CmConfig::from_error_bounds(eps, delta, 42)
+    }
+
+    #[test]
+    fn dimensions_follow_paper_formulas() {
+        let c = cfg(0.1, 0.1);
+        assert_eq!(c.width, 28); // ceil(e/0.1)
+        assert_eq!(c.depth, 3); // ceil(ln 10)
+        assert!(c.epsilon() <= 0.1);
+        assert!(c.delta() <= 0.1);
+    }
+
+    #[test]
+    fn point_query_never_underestimates() {
+        let mut cm = CountMinSketch::new(&cfg(0.05, 0.05));
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..5000u64 {
+            let key = i % 97;
+            let val = 1 + i % 3;
+            cm.add(key, val);
+            *truth.entry(key).or_default() += val;
+        }
+        for (&k, &v) in &truth {
+            assert!(cm.point(k) >= v, "key {k}: {} < {v}", cm.point(k));
+        }
+        assert_eq!(cm.total(), truth.values().sum::<u64>());
+    }
+
+    #[test]
+    fn point_query_error_bounded() {
+        let c = cfg(0.01, 0.01);
+        let mut cm = CountMinSketch::new(&c);
+        for i in 0..20_000u64 {
+            cm.add(i % 1000, 1);
+        }
+        let budget = (c.epsilon() * cm.total() as f64).ceil() as u64;
+        let mut violations = 0;
+        for k in 0..1000u64 {
+            if cm.point(k) > 20 + budget {
+                violations += 1;
+            }
+        }
+        // δ = 1% per query; allow a tiny excursion count.
+        assert!(violations <= 20, "violations={violations}");
+    }
+
+    #[test]
+    fn unseen_items_bounded_by_collisions_only() {
+        let mut cm = CountMinSketch::new(&cfg(0.01, 0.01));
+        for i in 0..1000u64 {
+            cm.add(i, 1);
+        }
+        // An unseen key can only pick up collision mass ≤ ε‖a‖₁ (whp).
+        let est = cm.point(123_456_789);
+        assert!(est <= (0.05 * 1000.0) as u64 + 1, "est={est}");
+    }
+
+    #[test]
+    fn inner_product_overestimates_and_bounds() {
+        let c = cfg(0.02, 0.05);
+        let mut a = CountMinSketch::new(&c);
+        let mut b = CountMinSketch::new(&c);
+        let mut fa: HashMap<u64, u64> = HashMap::new();
+        let mut fb: HashMap<u64, u64> = HashMap::new();
+        for i in 0..3000u64 {
+            a.add(i % 50, 1);
+            *fa.entry(i % 50).or_default() += 1;
+            b.add(i % 70, 2);
+            *fb.entry(i % 70).or_default() += 2;
+        }
+        let exact: u64 = fa
+            .iter()
+            .map(|(k, &va)| va * fb.get(k).copied().unwrap_or(0))
+            .sum();
+        let est = a.inner_product(&b).unwrap();
+        assert!(est >= exact);
+        let budget = (c.epsilon() * (a.total() as f64) * (b.total() as f64)) as u64;
+        assert!(est <= exact + budget, "est={est} exact={exact} budget={budget}");
+    }
+
+    #[test]
+    fn self_join_matches_exact_on_skewed_input() {
+        let c = cfg(0.005, 0.05);
+        let mut cm = CountMinSketch::new(&c);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..10_000u64 {
+            let key = (i as f64).sqrt() as u64; // skewed multiplicities
+            cm.add(key, 1);
+            *truth.entry(key).or_default() += 1;
+        }
+        let exact: u64 = truth.values().map(|&v| v * v).sum();
+        let est = cm.self_join();
+        assert!(est >= exact);
+        assert!((est as f64) <= exact as f64 * 1.05 + c.epsilon() * (cm.total() as f64).powi(2));
+    }
+
+    #[test]
+    fn incompatible_sketches_rejected() {
+        let a = CountMinSketch::new(&CmConfig::from_dimensions(16, 3, 1));
+        let b = CountMinSketch::new(&CmConfig::from_dimensions(16, 3, 2));
+        assert!(a.inner_product(&b).is_err());
+        let c = CountMinSketch::new(&CmConfig::from_dimensions(32, 3, 1));
+        assert!(a.inner_product(&c).is_err());
+        let mut a2 = a.clone();
+        assert!(a2.merge_from(&c).is_err());
+    }
+
+    #[test]
+    fn merge_equals_union_stream() {
+        let c = cfg(0.05, 0.1);
+        let mut a = CountMinSketch::new(&c);
+        let mut b = CountMinSketch::new(&c);
+        let mut whole = CountMinSketch::new(&c);
+        for i in 0..2000u64 {
+            let key = i % 31;
+            if i % 2 == 0 {
+                a.add(key, 1);
+            } else {
+                b.add(key, 1);
+            }
+            whole.add(key, 1);
+        }
+        let mut merged = a.clone();
+        merged.merge_from(&b).unwrap();
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let c = cfg(0.1, 0.1);
+        let mut cm = CountMinSketch::new(&c);
+        for i in 0..500u64 {
+            cm.add(i * i, 1 + i % 5);
+        }
+        let mut buf = Vec::new();
+        cm.encode(&mut buf);
+        let mut s = buf.as_slice();
+        let back = CountMinSketch::decode(&mut s).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(back, cm);
+        for cut in 0..buf.len().min(64) {
+            let mut s = &buf[..cut];
+            assert!(CountMinSketch::decode(&mut s).is_err());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Fundamental CM property on arbitrary streams: no underestimation,
+        /// and overestimation bounded by the collision budget on every key.
+        #[test]
+        fn prop_point_bounds(
+            items in proptest::collection::vec((0u64..200, 1u64..4), 1..600),
+            seed in any::<u64>(),
+        ) {
+            let c = CmConfig::from_error_bounds(0.02, 0.01, seed);
+            let mut cm = CountMinSketch::new(&c);
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            for &(k, v) in &items {
+                cm.add(k, v);
+                *truth.entry(k).or_default() += v;
+            }
+            let budget = (c.epsilon() * cm.total() as f64).ceil() as u64;
+            let mut over = 0usize;
+            for (&k, &v) in &truth {
+                let est = cm.point(k);
+                prop_assert!(est >= v);
+                if est > v + budget { over += 1; }
+            }
+            // δ-fraction of keys may exceed; keep a generous margin.
+            prop_assert!(over <= 1 + truth.len() / 10, "over={}", over);
+        }
+    }
+}

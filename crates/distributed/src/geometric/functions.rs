@@ -1,0 +1,302 @@
+//! Monitored functions with closed-form extrema over bounding balls — the
+//! "closed form equations for simple functions, like self-joins" of paper
+//! §6.2.
+
+/// Sound enclosure of a function's values over a ball.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BallBounds {
+    /// Lower bound of `f` on the ball.
+    pub min: f64,
+    /// Upper bound of `f` on the ball.
+    pub max: f64,
+}
+
+/// A function of a statistics vector (the flattened `d × w` estimate
+/// matrix of an ECM-sketch) that can bound its own range over a ball.
+///
+/// Soundness contract: for every `v` with `‖v − center‖₂ ≤ radius`,
+/// `bounds.min ≤ f(v) ≤ bounds.max`. Bounds need not be tight — looser
+/// bounds cost extra synchronizations, never correctness.
+pub trait MonitoredFunction {
+    /// Evaluate `f(v)`.
+    fn value(&self, v: &[f64]) -> f64;
+
+    /// Enclose `f` over the ball `B(center, radius)`.
+    fn bounds_on_ball(&self, center: &[f64], radius: f64) -> BallBounds;
+}
+
+/// Self-join size (F₂) estimate from a sketch vector: the row-wise minimum
+/// of squared row norms, `f(v) = min_j Σ_i v[j·w + i]²` (paper §4.1).
+#[derive(Debug, Clone, Copy)]
+pub struct SelfJoinFn {
+    /// Sketch width `w`.
+    pub width: usize,
+    /// Sketch depth `d`.
+    pub depth: usize,
+}
+
+impl SelfJoinFn {
+    fn row_norm(&self, v: &[f64], j: usize) -> f64 {
+        let row = &v[j * self.width..(j + 1) * self.width];
+        row.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+impl MonitoredFunction for SelfJoinFn {
+    fn value(&self, v: &[f64]) -> f64 {
+        assert_eq!(v.len(), self.width * self.depth, "vector shape mismatch");
+        (0..self.depth)
+            .map(|j| {
+                let row = &v[j * self.width..(j + 1) * self.width];
+                row.iter().map(|x| x * x).sum::<f64>()
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn bounds_on_ball(&self, center: &[f64], radius: f64) -> BallBounds {
+        assert_eq!(center.len(), self.width * self.depth, "vector shape mismatch");
+        // For one row g_j(v) = ‖v_j‖²: over the ball, the row block moves by
+        // at most `radius`, so g_j ∈ [max(0, ‖κ_j‖ − r)², (‖κ_j‖ + r)²].
+        // min over ball of min_j g_j = min_j (row minimum) — exact;
+        // max over ball of min_j g_j ≤ min_j (row maximum) — sound.
+        let mut min = f64::INFINITY;
+        let mut max = f64::INFINITY;
+        for j in 0..self.depth {
+            let n = self.row_norm(center, j);
+            let lo = (n - radius).max(0.0);
+            let hi = n + radius;
+            min = min.min(lo * lo);
+            max = max.min(hi * hi);
+        }
+        BallBounds { min, max }
+    }
+}
+
+/// Point-frequency estimate from a sketch vector: `f(v) = min_j v[j·w+c_j]`
+/// where `c_j` is the monitored item's bucket in row `j`.
+#[derive(Debug, Clone)]
+pub struct PointFn {
+    /// Sketch width `w`.
+    pub width: usize,
+    /// The monitored item's column per row (`d` entries).
+    pub columns: Vec<usize>,
+}
+
+impl MonitoredFunction for PointFn {
+    fn value(&self, v: &[f64]) -> f64 {
+        self.columns
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| v[j * self.width + c])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn bounds_on_ball(&self, center: &[f64], radius: f64) -> BallBounds {
+        // Each coordinate moves by at most the ball radius; min of linear
+        // coordinates: exact lower, sound upper.
+        let mut min = f64::INFINITY;
+        let mut max = f64::INFINITY;
+        for (j, &c) in self.columns.iter().enumerate() {
+            let k = center[j * self.width + c];
+            min = min.min(k - radius);
+            max = max.min(k + radius);
+        }
+        BallBounds { min, max }
+    }
+}
+
+/// Inner-product estimate between two stream groups from a *concatenated*
+/// statistics vector (paper §6.2 mentions "continuous monitoring of the
+/// value of inner joins"): each site tracks two sketches — one per stream —
+/// and its statistics vector is `[v_a ‖ v_b]` of length `2·w·d`. The
+/// monitored function is `f(v) = min_j Σ_i v_a[j,i] · v_b[j,i]`, the paper's
+/// §4.1 estimator applied to the averaged vectors.
+#[derive(Debug, Clone, Copy)]
+pub struct InnerProductFn {
+    /// Sketch width `w`.
+    pub width: usize,
+    /// Sketch depth `d`.
+    pub depth: usize,
+}
+
+impl InnerProductFn {
+    fn halves<'v>(&self, v: &'v [f64]) -> (&'v [f64], &'v [f64]) {
+        let wd = self.width * self.depth;
+        assert_eq!(v.len(), 2 * wd, "vector shape mismatch");
+        v.split_at(wd)
+    }
+
+    fn row_dot(&self, a: &[f64], b: &[f64], j: usize) -> f64 {
+        let row = j * self.width..(j + 1) * self.width;
+        a[row.clone()].iter().zip(&b[row]).map(|(x, y)| x * y).sum()
+    }
+
+    fn row_norm(v: &[f64], j: usize, w: usize) -> f64 {
+        v[j * w..(j + 1) * w]
+            .iter()
+            .map(|x| x * x)
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl MonitoredFunction for InnerProductFn {
+    fn value(&self, v: &[f64]) -> f64 {
+        let (a, b) = self.halves(v);
+        (0..self.depth)
+            .map(|j| self.row_dot(a, b, j))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn bounds_on_ball(&self, center: &[f64], radius: f64) -> BallBounds {
+        let (ca, cb) = self.halves(center);
+        // For one row, g_j(x, y) = ⟨x_j, y_j⟩ with (x, y) within `radius` of
+        // (ca, cb) jointly. Writing x = ca + dx, y = cb + dy with
+        // ‖dx‖² + ‖dy‖² ≤ r²:
+        //   |g_j − ⟨ca_j, cb_j⟩| ≤ ‖ca_j‖·‖dy‖ + ‖cb_j‖·‖dx‖ + ‖dx‖·‖dy‖
+        //                         ≤ r·(‖ca_j‖ + ‖cb_j‖) + r²/2
+        // (Cauchy–Schwarz, then ‖dx‖‖dy‖ ≤ (‖dx‖²+‖dy‖²)/2). The min over
+        // rows composes as for the self-join: exact lower, sound upper.
+        let mut min = f64::INFINITY;
+        let mut max = f64::INFINITY;
+        for j in 0..self.depth {
+            let g = self.row_dot(ca, cb, j);
+            let na = Self::row_norm(ca, j, self.width);
+            let nb = Self::row_norm(cb, j, self.width);
+            let slack = radius * (na + nb) + radius * radius / 2.0;
+            min = min.min(g - slack);
+            max = max.min(g + slack);
+        }
+        BallBounds { min, max }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_join_value_is_row_min_of_squared_norms() {
+        let f = SelfJoinFn { width: 2, depth: 2 };
+        // Row 0: (3,4) → 25. Row 1: (1,1) → 2.
+        let v = [3.0, 4.0, 1.0, 1.0];
+        assert_eq!(f.value(&v), 2.0);
+    }
+
+    #[test]
+    fn self_join_ball_bounds_enclose_samples() {
+        let f = SelfJoinFn { width: 3, depth: 2 };
+        let center = [1.0, -2.0, 0.5, 3.0, 0.0, 1.0];
+        let radius = 0.7;
+        let b = f.bounds_on_ball(&center, radius);
+        assert!(b.min <= f.value(&center));
+        assert!(b.max >= f.value(&center));
+        // Perturb within the ball along axis directions and check enclosure.
+        for i in 0..center.len() {
+            for delta in [-radius, radius] {
+                let mut v = center;
+                v[i] += delta;
+                let fv = f.value(&v);
+                assert!(
+                    b.min - 1e-9 <= fv && fv <= b.max + 1e-9,
+                    "axis {i} delta {delta}: {fv} outside [{}, {}]",
+                    b.min,
+                    b.max
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_join_min_clamps_at_zero() {
+        let f = SelfJoinFn { width: 1, depth: 1 };
+        let b = f.bounds_on_ball(&[0.5], 2.0);
+        assert_eq!(b.min, 0.0);
+        assert!((b.max - 6.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_fn_value_and_bounds() {
+        let f = PointFn {
+            width: 3,
+            columns: vec![0, 2],
+        };
+        let v = [5.0, 0.0, 0.0, 0.0, 0.0, 7.0];
+        assert_eq!(f.value(&v), 5.0);
+        let b = f.bounds_on_ball(&v, 1.0);
+        assert_eq!(b.min, 4.0);
+        assert_eq!(b.max, 6.0);
+        // Enclosure on perturbations.
+        let mut w = v;
+        w[0] -= 1.0;
+        assert!(f.value(&w) >= b.min - 1e-9 && f.value(&w) <= b.max + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn self_join_rejects_wrong_shape() {
+        let f = SelfJoinFn { width: 4, depth: 2 };
+        let _ = f.value(&[1.0; 7]);
+    }
+
+    #[test]
+    fn inner_product_value_is_row_min_of_dots() {
+        let f = InnerProductFn { width: 2, depth: 2 };
+        // a rows: (1,2), (3,0); b rows: (4,5), (0,2).
+        let v = [1.0, 2.0, 3.0, 0.0, 4.0, 5.0, 0.0, 2.0];
+        // Row dots: 1·4 + 2·5 = 14; 3·0 + 0·2 = 0 → min = 0.
+        assert_eq!(f.value(&v), 0.0);
+    }
+
+    #[test]
+    fn inner_product_bounds_enclose_ball_samples() {
+        let f = InnerProductFn { width: 3, depth: 2 };
+        let center = [1.0, -2.0, 0.5, 3.0, 0.0, 1.0, 0.25, 1.5, -1.0, 2.0, 0.5, 0.0];
+        let radius = 0.6;
+        let b = f.bounds_on_ball(&center, radius);
+        assert!(b.min <= f.value(&center) + 1e-9);
+        assert!(b.max >= f.value(&center) - 1e-9);
+        // Axis-aligned perturbations of norm ≤ radius stay enclosed.
+        for i in 0..center.len() {
+            for delta in [-radius, radius] {
+                let mut v = center;
+                v[i] += delta;
+                let fv = f.value(&v);
+                assert!(
+                    b.min - 1e-9 <= fv && fv <= b.max + 1e-9,
+                    "axis {i} delta {delta}: {fv} outside [{}, {}]",
+                    b.min,
+                    b.max
+                );
+            }
+        }
+        // A joint perturbation spread across both halves (norm = radius).
+        let mut v = center;
+        let spread = radius / (center.len() as f64).sqrt();
+        for x in v.iter_mut() {
+            *x += spread;
+        }
+        let fv = f.value(&v);
+        assert!(b.min - 1e-9 <= fv && fv <= b.max + 1e-9, "joint: {fv}");
+    }
+
+    #[test]
+    fn inner_product_bounds_shrink_with_radius() {
+        let f = InnerProductFn { width: 2, depth: 1 };
+        let center = [3.0, 4.0, 1.0, 2.0];
+        let wide = f.bounds_on_ball(&center, 2.0);
+        let tight = f.bounds_on_ball(&center, 0.1);
+        assert!(tight.max - tight.min < wide.max - wide.min);
+        // Zero radius collapses to the value.
+        let point = f.bounds_on_ball(&center, 0.0);
+        assert!((point.min - f.value(&center)).abs() < 1e-12);
+        assert!((point.max - f.value(&center)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn inner_product_rejects_wrong_shape() {
+        let f = InnerProductFn { width: 2, depth: 2 };
+        let _ = f.value(&[0.0; 9]);
+    }
+}

@@ -1,0 +1,19 @@
+//! The geometric method (Sharfman, Schuster, Keren — SIGMOD 2006) applied to
+//! ECM-sketches (paper §6.2): continuous, communication-efficient monitoring
+//! of threshold crossings of a (possibly non-linear) function of the
+//! *average* of distributed statistics vectors.
+//!
+//! Each site's statistics vector is the `d × w` estimate matrix extracted
+//! from its local ECM-sketch for the monitored query range. Between
+//! synchronizations every site checks a purely local constraint: the ball
+//! whose diameter connects the last global estimate vector `e` and the
+//! site's drift vector `u_i = e + (v_i(t′) − v_i(t_sync))`. The average
+//! vector is guaranteed to lie in the convex hull of the drift vectors,
+//! which the union of the balls covers — so if no site's ball crosses the
+//! threshold, neither does the global function value.
+
+mod functions;
+mod monitor;
+
+pub use functions::{BallBounds, InnerProductFn, MonitoredFunction, PointFn, SelfJoinFn};
+pub use monitor::{GeometricMonitor, MonitorEvent, MonitorStats};

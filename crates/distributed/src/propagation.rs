@@ -1,0 +1,298 @@
+//! Drift-triggered propagation of local sliding-window summaries — the
+//! scheme of Chan, Lam, Lee and Ting (Algorithmica 2012) from the paper's
+//! related work (§2): "continuous monitoring of exponential-histogram
+//! aggregates over distributed sliding windows [...] efficient scheduling of
+//! the propagation of the local exponential-histogram summaries to a
+//! coordinator, without violating prescribed accuracy guarantees".
+//!
+//! The coordinator continuously tracks the total windowed count over `n`
+//! sites as the sum of the *last received* per-site estimates. Each site
+//! re-ships its exponential histogram only when its own current estimate has
+//! drifted multiplicatively by more than a factor `(1 ± θ)` from the value
+//! it last shipped — so a site whose count is stable (or whose window
+//! content expires smoothly) stays silent. The coordinator's answer is then
+//! within a `θ + ε + θ·ε` relative envelope of the truth (local EH error ε
+//! composing with the unreported drift θ), at a communication cost that
+//! scales with *data change*, not stream length.
+//!
+//! This complements [`crate::continuous`]: that module monitors *threshold
+//! crossings* of non-linear functions via the geometric method; this one
+//! continuously *approximates a value* (the windowed count) — the two
+//! classic flavors of distributed stream monitoring.
+
+use sliding_window::{EhConfig, ExponentialHistogram};
+
+/// Communication accounting for a propagation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PropagationStats {
+    /// Summaries shipped to the coordinator (including the initial ones).
+    pub shipments: u64,
+    /// Bytes shipped (compact codec lengths).
+    pub bytes: u64,
+    /// Local drift checks performed (communication-free).
+    pub checks: u64,
+}
+
+/// One site: its live histogram plus the estimate it last shipped.
+#[derive(Debug, Clone)]
+struct Site {
+    eh: ExponentialHistogram,
+    /// The site's window estimate at its last shipment.
+    shipped_estimate: f64,
+    /// Whether this site has shipped at least once.
+    initialized: bool,
+}
+
+/// Coordinator + sites tracking a distributed windowed count within
+/// `θ + ε + θ·ε` using drift-triggered shipping (Chan et al.).
+///
+/// ```
+/// use distributed::DriftPropagation;
+/// use sliding_window::EhConfig;
+///
+/// let mut p = DriftPropagation::new(2, &EhConfig::new(0.1, 1_000), 0.1);
+/// for t in 1..=500u64 {
+///     p.observe((t % 2) as usize, t);
+/// }
+/// // ~500 arrivals in-window, tracked within θ + ε + θε ≈ 21%.
+/// let est = p.coordinator_estimate();
+/// assert!((est - 500.0).abs() <= p.error_bound() * 500.0 + 2.0);
+/// // Far fewer shipments than arrivals.
+/// assert!(p.stats().shipments < 120);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftPropagation {
+    cfg: EhConfig,
+    theta: f64,
+    sites: Vec<Site>,
+    /// Coordinator's view: the per-site estimates as of their last shipment.
+    coordinator: Vec<f64>,
+    stats: PropagationStats,
+}
+
+impl DriftPropagation {
+    /// Set up `n` sites with local error `cfg.epsilon` and drift budget
+    /// `theta`.
+    ///
+    /// # Panics
+    /// If `n == 0` or `theta ∉ (0, 1)`.
+    pub fn new(n: usize, cfg: &EhConfig, theta: f64) -> Self {
+        assert!(n > 0, "need at least one site");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+        DriftPropagation {
+            cfg: cfg.clone(),
+            theta,
+            sites: (0..n)
+                .map(|_| Site {
+                    eh: ExponentialHistogram::new(cfg),
+                    shipped_estimate: 0.0,
+                    initialized: false,
+                })
+                .collect(),
+            coordinator: vec![0.0; n],
+            stats: PropagationStats::default(),
+        }
+    }
+
+    /// The worst-case relative error of the coordinator's answer:
+    /// `θ + ε + θ·ε` (unreported drift compounding with local EH error).
+    pub fn error_bound(&self) -> f64 {
+        self.theta + self.cfg.epsilon + self.theta * self.cfg.epsilon
+    }
+
+    /// Communication accounting so far.
+    pub fn stats(&self) -> PropagationStats {
+        self.stats
+    }
+
+    /// Record an arrival at `site` at tick `ts`, then run that site's drift
+    /// check (ticks must be non-decreasing per site; feeding a globally
+    /// ordered stream satisfies this).
+    pub fn observe(&mut self, site: usize, ts: u64) {
+        assert!(site < self.sites.len(), "site {site} out of range");
+        self.sites[site].eh.insert_one(ts);
+        self.check_site(site, ts);
+    }
+
+    /// Run drift checks for every site at tick `now` (windows drift by pure
+    /// expiry even without arrivals — exactly the case that forces
+    /// re-shipping on the way *down*).
+    pub fn tick(&mut self, now: u64) {
+        for site in 0..self.sites.len() {
+            self.sites[site].eh.expire(now);
+            self.check_site(site, now);
+        }
+    }
+
+    fn check_site(&mut self, site: usize, now: u64) {
+        self.stats.checks += 1;
+        let s = &self.sites[site];
+        let current = s.eh.estimate(now, self.cfg.window);
+        let drifted = if !s.initialized {
+            current > 0.0
+        } else {
+            // Multiplicative drift with an additive-1 floor so near-zero
+            // counts do not thrash.
+            let hi = s.shipped_estimate * (1.0 + self.theta) + 1.0;
+            let lo = s.shipped_estimate * (1.0 - self.theta) - 1.0;
+            current > hi || current < lo
+        };
+        if drifted {
+            self.ship(site, now, current);
+        }
+    }
+
+    fn ship(&mut self, site: usize, _now: u64, current: f64) {
+        let s = &mut self.sites[site];
+        s.shipped_estimate = current;
+        s.initialized = true;
+        self.coordinator[site] = current;
+        self.stats.shipments += 1;
+        self.stats.bytes += {
+            use sliding_window::traits::WindowCounter;
+            s.eh.encoded_len() as u64
+        };
+    }
+
+    /// The coordinator's current estimate of the total windowed count —
+    /// no communication involved.
+    pub fn coordinator_estimate(&self) -> f64 {
+        self.coordinator.iter().sum()
+    }
+
+    /// The true aggregate of the sites' *local estimates* at tick `now`
+    /// (what a ship-on-every-update deployment would know; still carries
+    /// each site's ε).
+    pub fn fresh_estimate(&self, now: u64) -> f64 {
+        self.sites
+            .iter()
+            .map(|s| s.eh.estimate(now, self.cfg.window))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn harness(n: usize, eps: f64, theta: f64, window: u64) -> DriftPropagation {
+        DriftPropagation::new(n, &EhConfig::new(eps, window), theta)
+    }
+
+    #[test]
+    fn coordinator_tracks_exact_count_within_bound() {
+        let window = 10_000u64;
+        let mut p = harness(4, 0.1, 0.1, window);
+        let mut truth: Vec<u64> = Vec::new();
+        for t in 1..=50_000u64 {
+            p.observe((t % 4) as usize, t);
+            truth.push(t);
+            if t % 1_000 == 0 {
+                let cutoff = t.saturating_sub(window);
+                let exact = truth.iter().filter(|&&x| x > cutoff).count() as f64;
+                let est = p.coordinator_estimate();
+                let bound = p.error_bound() * exact + 4.0; // +1 floor per site
+                assert!(
+                    (est - exact).abs() <= bound,
+                    "t={t} est={est} exact={exact} bound={bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stable_load_ships_logarithmically() {
+        // Once every site's window is saturated at a steady rate, drift
+        // stays inside θ and shipments stop.
+        let window = 5_000u64;
+        let mut p = harness(2, 0.1, 0.2, window);
+        for t in 1..=window * 2 {
+            p.observe((t % 2) as usize, t);
+        }
+        let warmup = p.stats().shipments;
+        for t in window * 2 + 1..=window * 10 {
+            p.observe((t % 2) as usize, t);
+        }
+        let steady = p.stats().shipments - warmup;
+        // Steady state: counts pinned at the window size; the only drift is
+        // EH bucket granularity. Shipments must be a tiny fraction of the
+        // 40 000 steady-state arrivals.
+        assert!(
+            steady < 200,
+            "steady-state shipments should be rare: {steady}"
+        );
+        // And the warm-up phase itself was geometric, not linear.
+        assert!(
+            warmup < 150,
+            "warm-up shipments track (1+θ)^k growth: {warmup}"
+        );
+    }
+
+    #[test]
+    fn drift_down_via_expiry_is_reported() {
+        let window = 1_000u64;
+        let mut p = harness(1, 0.1, 0.15, window);
+        for t in 1..=1_000u64 {
+            p.observe(0, t);
+        }
+        let before = p.coordinator_estimate();
+        assert!(before > 800.0);
+        // Silence: the window empties; ticks drive expiry-triggered checks.
+        for t in (1_100..=4_000u64).step_by(50) {
+            p.tick(t);
+        }
+        let after = p.coordinator_estimate();
+        assert!(
+            after <= 2.0,
+            "coordinator must learn the count collapsed: {after}"
+        );
+    }
+
+    #[test]
+    fn communication_scales_with_change_not_length() {
+        let window = 2_000u64;
+        // Stream A: constant rate for 100k ticks.
+        let mut stable = harness(1, 0.1, 0.1, window);
+        for t in 1..=100_000u64 {
+            stable.observe(0, t);
+        }
+        // Stream B: same number of arrivals, arriving in widely separated
+        // bursts (each burst drains before the next).
+        let mut bursty = harness(1, 0.1, 0.1, window);
+        let mut t = 1u64;
+        for _ in 0..20 {
+            for _ in 0..5_000u64 {
+                bursty.observe(0, t);
+                t += 1;
+            }
+            t += 10 * window; // silence long enough to fully expire
+            bursty.tick(t);
+        }
+        let s = stable.stats().shipments;
+        let b = bursty.stats().shipments;
+        assert!(
+            b > 2 * s,
+            "bursty data must cost more communication: stable={s} bursty={b}"
+        );
+        // But both are orders of magnitude below one-message-per-arrival.
+        assert!(s < 200 && b < 2_000, "stable={s} bursty={b}");
+    }
+
+    #[test]
+    fn error_bound_composition() {
+        let p = harness(1, 0.1, 0.2, 100);
+        assert!((p.error_bound() - (0.1 + 0.2 + 0.02)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn bad_theta_rejected() {
+        let _ = harness(1, 0.1, 1.5, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn zero_sites_rejected() {
+        let _ = harness(0, 0.1, 0.1, 100);
+    }
+}

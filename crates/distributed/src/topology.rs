@@ -1,0 +1,216 @@
+//! Balanced binary aggregation trees (paper §7.3: sites sit at the leaves;
+//! randomly chosen sites double as internal aggregators; the root ends up
+//! holding the order-preserving aggregate of all streams after
+//! `⌈log₂ n⌉` rounds).
+
+/// A balanced binary tree over `n` leaf sites, represented implicitly by
+/// recursive range splitting: node = a contiguous leaf range `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinaryTree {
+    /// Number of leaf sites.
+    pub leaves: usize,
+}
+
+impl BinaryTree {
+    /// Build a tree over `n ≥ 1` leaves.
+    ///
+    /// # Panics
+    /// If `n == 0`.
+    pub fn new(leaves: usize) -> Self {
+        assert!(leaves > 0, "tree needs at least one leaf");
+        BinaryTree { leaves }
+    }
+
+    /// Height = number of aggregation rounds = `⌈log₂ n⌉`.
+    pub fn height(&self) -> u32 {
+        (usize::BITS - (self.leaves - 1).leading_zeros()) * u32::from(self.leaves > 1)
+    }
+
+    /// Number of internal (aggregating) nodes.
+    pub fn internal_nodes(&self) -> usize {
+        self.leaves.saturating_sub(1)
+    }
+
+    /// Split a leaf range `[lo, hi)` into the two child ranges.
+    /// Returns `None` when the range is a single leaf.
+    pub fn split(lo: usize, hi: usize) -> Option<((usize, usize), (usize, usize))> {
+        debug_assert!(lo < hi);
+        if hi - lo <= 1 {
+            return None;
+        }
+        // Left-balanced split: the left subtree gets the next power of two
+        // at or above half, matching a classic balanced layout.
+        let mid = lo + (hi - lo).div_ceil(2);
+        Some(((lo, mid), (mid, hi)))
+    }
+}
+
+/// A balanced k-ary aggregation tree over `n` leaf sites.
+///
+/// The paper's multi-level analysis (§5.1) makes tree *height* the error
+/// driver (`err ≤ h·ε·(1+ε) + ε`), and notes that topology construction can
+/// control it: a higher fanout flattens the tree — fewer aggregation levels
+/// and less error inflation — at the cost of each internal node merging more
+/// children at once. [`BinaryTree`] is the paper's experimental layout
+/// (`k = 2`); this generalization powers the fanout ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KaryTree {
+    /// Number of leaf sites.
+    pub leaves: usize,
+    /// Fanout `k ≥ 2`.
+    pub fanout: usize,
+}
+
+impl KaryTree {
+    /// Build a tree over `n ≥ 1` leaves with fanout `k ≥ 2`.
+    ///
+    /// # Panics
+    /// If `leaves == 0` or `fanout < 2`.
+    pub fn new(leaves: usize, fanout: usize) -> Self {
+        assert!(leaves > 0, "tree needs at least one leaf");
+        assert!(fanout >= 2, "fanout must be at least 2");
+        KaryTree { leaves, fanout }
+    }
+
+    /// Height = number of aggregation rounds = `⌈log_k n⌉`.
+    pub fn height(&self) -> u32 {
+        let mut h = 0u32;
+        let mut cover = 1usize;
+        while cover < self.leaves {
+            cover = cover.saturating_mul(self.fanout);
+            h += 1;
+        }
+        h
+    }
+
+    /// Split a leaf range `[lo, hi)` into up to `fanout` child ranges of
+    /// near-equal size. Returns an empty vector when the range is a single
+    /// leaf.
+    pub fn split(&self, lo: usize, hi: usize) -> Vec<(usize, usize)> {
+        debug_assert!(lo < hi);
+        let n = hi - lo;
+        if n <= 1 {
+            return Vec::new();
+        }
+        // Children sized so each subtree needs height ⌈log_k n⌉ − 1: cover
+        // per child is k^(h−1).
+        let h = KaryTree::new(n, self.fanout).height();
+        let child_cap = self.fanout.pow(h - 1);
+        let mut out = Vec::new();
+        let mut start = lo;
+        while start < hi {
+            let end = (start + child_cap).min(hi);
+            out.push((start, end));
+            start = end;
+        }
+        debug_assert!(out.len() <= self.fanout);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heights_match_log2() {
+        for (n, h) in [(1usize, 0u32), (2, 1), (3, 2), (4, 2), (5, 3), (33, 6), (256, 8), (535, 10)]
+        {
+            assert_eq!(BinaryTree::new(n).height(), h, "n={n}");
+        }
+    }
+
+    #[test]
+    fn internal_node_count() {
+        assert_eq!(BinaryTree::new(1).internal_nodes(), 0);
+        assert_eq!(BinaryTree::new(2).internal_nodes(), 1);
+        assert_eq!(BinaryTree::new(33).internal_nodes(), 32);
+    }
+
+    #[test]
+    fn split_covers_range_without_overlap() {
+        fn check(lo: usize, hi: usize, depth: u32) -> u32 {
+            match BinaryTree::split(lo, hi) {
+                None => depth,
+                Some(((a, b), (c, d))) => {
+                    assert_eq!(a, lo);
+                    assert_eq!(b, c);
+                    assert_eq!(d, hi);
+                    assert!(b > a && d > c);
+                    check(a, b, depth + 1).max(check(c, d, depth + 1))
+                }
+            }
+        }
+        for n in [1usize, 2, 3, 7, 8, 33, 100] {
+            let depth = check(0, n, 0);
+            assert_eq!(depth, BinaryTree::new(n).height(), "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn empty_tree_rejected() {
+        let _ = BinaryTree::new(0);
+    }
+
+    #[test]
+    fn kary_heights_match_logk() {
+        for (n, k, h) in [
+            (1usize, 2usize, 0u32),
+            (2, 2, 1),
+            (33, 2, 6),
+            (33, 4, 3),
+            (33, 33, 1),
+            (256, 4, 4),
+            (256, 16, 2),
+            (535, 8, 4),
+        ] {
+            assert_eq!(KaryTree::new(n, k).height(), h, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn kary_binary_matches_binary_tree() {
+        for n in [1usize, 2, 3, 7, 8, 33, 100, 256] {
+            assert_eq!(
+                KaryTree::new(n, 2).height(),
+                BinaryTree::new(n).height(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn kary_split_covers_range_within_height() {
+        fn check(tree: KaryTree, lo: usize, hi: usize, depth: u32) -> u32 {
+            let children = tree.split(lo, hi);
+            if children.is_empty() {
+                return depth;
+            }
+            assert!(children.len() <= tree.fanout);
+            assert_eq!(children.first().unwrap().0, lo);
+            assert_eq!(children.last().unwrap().1, hi);
+            for w in children.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "children must tile the range");
+            }
+            children
+                .iter()
+                .map(|&(a, b)| check(tree, a, b, depth + 1))
+                .max()
+                .unwrap()
+        }
+        for n in [1usize, 5, 33, 100, 535] {
+            for k in [2usize, 3, 4, 8, 16] {
+                let tree = KaryTree::new(n, k);
+                let depth = check(tree, 0, n, 0);
+                assert_eq!(depth, tree.height(), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout")]
+    fn unary_fanout_rejected() {
+        let _ = KaryTree::new(4, 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Count-Min over exponentially decayed counters — the decayed analogue of
+//! the ECM-sketch, for the time-decay model the paper's introduction cites
+//! as the sliding window's main alternative (Cohen & Strauss; §1).
+//!
+//! Each cell is an O(1)-space [`ExpDecayCounter`], so the whole sketch is
+//! constant-size regardless of stream length — the memory argument *for*
+//! decay. The semantic argument *against* it (bursts never fully age out)
+//! is what the paper's monitoring applications need sliding windows for;
+//! `sliding_window::decay` documents and tests the contrast.
+
+use count_min::HashFamily;
+use sliding_window::decay::ExpDecayCounter;
+
+/// Count-Min sketch over exponentially decayed counters: ε‖a‖-style
+/// overestimates of each key's *decayed* frequency, in O(1) memory per cell.
+///
+/// ```
+/// use ecm::DecayedCm;
+///
+/// let mut cm = DecayedCm::new(64, 3, /*half_life=*/ 100, /*seed=*/ 7);
+/// for t in 0..1_000u64 {
+///     cm.insert(t % 10, t);
+/// }
+/// // Every key keeps a decayed presence; recent mass dominates.
+/// assert!(cm.point_query(3, 1_000) > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecayedCm {
+    width: usize,
+    depth: usize,
+    hashes: HashFamily,
+    cells: Vec<ExpDecayCounter>,
+}
+
+impl DecayedCm {
+    /// A `width × depth` array of decayed counters sharing `half_life`,
+    /// with hashes derived from `seed`.
+    ///
+    /// # Panics
+    /// If `width == 0`, `depth == 0`, or `half_life == 0`.
+    pub fn new(width: usize, depth: usize, half_life: u64, seed: u64) -> Self {
+        assert!(width > 0 && depth > 0, "dimensions must be positive");
+        DecayedCm {
+            width,
+            depth,
+            hashes: HashFamily::from_seed(seed, depth),
+            cells: vec![ExpDecayCounter::new(half_life); width * depth],
+        }
+    }
+
+    /// Record one occurrence of `item` at tick `now` (non-decreasing).
+    pub fn insert(&mut self, item: u64, now: u64) {
+        for j in 0..self.depth {
+            let idx = j * self.width + self.hashes.bucket(j, item, self.width);
+            self.cells[idx].add(now, 1.0);
+        }
+    }
+
+    /// Decayed frequency estimate of `item` at tick `now` (row minimum —
+    /// overestimates only, exactly as for the plain Count-Min).
+    pub fn point_query(&self, item: u64, now: u64) -> f64 {
+        (0..self.depth)
+            .map(|j| {
+                let idx = j * self.width + self.hashes.bucket(j, item, self.width);
+                self.cells[idx].value(now)
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Memory held — constant in the stream, the model's selling point.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.cells.capacity() * std::mem::size_of::<ExpDecayCounter>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decayed_cm_overestimates_only_and_stays_small() {
+        let mut cm = DecayedCm::new(64, 3, 500, 9);
+        // Skewed stream: key 5 hot, 200 cold keys of noise.
+        for t in 0..20_000u64 {
+            cm.insert(if t % 4 == 0 { 5 } else { t % 200 }, t);
+        }
+        let now = 20_000u64;
+        // True decayed count of key 5: arrivals every 4 ticks, weight
+        // 2^(−age/500) → geometric series ≈ 500/(4·ln2) ≈ 180.
+        let exact: f64 = (0..20_000u64)
+            .filter(|t| t % 4 == 0)
+            .map(|t| 2f64.powf(-((now - t) as f64) / 500.0))
+            .sum();
+        let est = cm.point_query(5, now);
+        assert!(est >= exact - 1e-6, "CM must not underestimate");
+        assert!(est <= exact * 1.5 + 20.0, "est={est} exact={exact}");
+        // A never-seen key collects only collision mass.
+        assert!(cm.point_query(123_456, now) < exact / 2.0);
+        // O(1) memory regardless of stream length.
+        assert!(cm.memory_bytes() < 64 * 3 * 64);
+    }
+
+    #[test]
+    fn empty_sketch_answers_zero() {
+        let cm = DecayedCm::new(8, 2, 10, 1);
+        assert_eq!(cm.point_query(3, 50), 0.0);
+    }
+
+    #[test]
+    fn memory_is_flat_in_stream_length() {
+        let mut cm = DecayedCm::new(32, 3, 1_000, 2);
+        cm.insert(1, 1);
+        let early = cm.memory_bytes();
+        for t in 2..=200_000u64 {
+            cm.insert(t % 5_000, t);
+        }
+        assert_eq!(cm.memory_bytes(), early, "decayed CM must be O(1)-sized");
+    }
+}

@@ -1,0 +1,55 @@
+//! ECM-sketches: Count-Min sketches over sliding windows, with
+//! order-preserving distributed aggregation.
+//!
+//! This crate is the primary contribution of *Papapetrou, Garofalakis,
+//! Deligiannakis — "Sketch-based Querying of Distributed Sliding-Window Data
+//! Streams", VLDB 2012*. An [`EcmSketch`] is a `w × d` Count-Min array whose
+//! integer counters are replaced by sliding-window synopses (exponential
+//! histograms by default), yielding ε-approximate point, inner-product and
+//! self-join queries over any sub-range of a time- or count-based sliding
+//! window (paper §4), plus:
+//!
+//! * **ε-split optimization** ([`config`]): how to divide an end-to-end error
+//!   budget between the Count-Min dimension and the per-counter window error
+//!   so that memory is minimized (paper §4.1).
+//! * **Order-preserving aggregation** ([`EcmSketch::merge`], paper §5):
+//!   compose per-site sketches into one sketch of the interleaved union
+//!   stream, with Theorem-4 error inflation for deterministic counters and
+//!   lossless composition for randomized waves.
+//! * **Derived queries** ([`hierarchy`], paper §6.1): sliding-window heavy
+//!   hitters, range sums and quantiles through a dyadic stack of sketches.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ecm::{EcmBuilder, QueryKind};
+//!
+//! // 0.1-approximate point queries over a 1-hour (3600-tick) window.
+//! let cfg = EcmBuilder::new(0.1, 0.1, 3_600)
+//!     .query_kind(QueryKind::Point)
+//!     .seed(42)
+//!     .eh_config();
+//! let mut sketch = ecm::EcmEh::new(&cfg);
+//! for t in 1..=1000u64 {
+//!     sketch.insert(t % 50, t); // item, tick
+//! }
+//! let freq = sketch.point_query(7, 1000, 3_600);
+//! assert!(freq >= 20.0 * (1.0 - 0.1) && freq <= 20.0 + 0.1 * 1000.0);
+//! ```
+
+pub mod concurrent;
+pub mod config;
+pub mod count_based;
+pub mod decayed_cm;
+pub mod hierarchy;
+pub mod sketch;
+
+pub use concurrent::{partition_pairs, ShardedEcm};
+pub use config::{
+    split_inner_product, split_point_query, split_point_query_randomized, EcmBuilder,
+    EcmConfig, QueryKind,
+};
+pub use count_based::{CountBasedEcm, CountBasedHierarchy};
+pub use decayed_cm::DecayedCm;
+pub use hierarchy::{EcmHierarchy, Threshold};
+pub use sketch::{EcmDw, EcmEh, EcmEw, EcmExact, EcmRw, EcmSketch};

@@ -1,0 +1,353 @@
+//! The ECM-sketch itself (paper §4): a Count-Min array whose counters are
+//! sliding-window synopses, generic over the counter type.
+
+use crate::config::EcmConfig;
+use count_min::HashFamily;
+use sliding_window::codec::{get_u8, get_varint, put_u8, put_varint};
+use sliding_window::traits::{MergeableCounter, WindowCounter};
+use sliding_window::{
+    CodecError, DeterministicWave, EquiWidthWindow, ExactWindow, ExponentialHistogram,
+    MergeError, RandomizedWave,
+};
+
+const CODEC_VERSION: u8 = 1;
+
+/// ECM-sketch over exponential histograms — the paper's default (ECM-EH).
+pub type EcmEh = EcmSketch<ExponentialHistogram>;
+/// ECM-sketch over deterministic waves (ECM-DW).
+pub type EcmDw = EcmSketch<DeterministicWave>;
+/// ECM-sketch over randomized waves (ECM-RW) — losslessly mergeable.
+pub type EcmRw = EcmSketch<RandomizedWave>;
+/// ECM-sketch over exact window counters — zero window error, used as a
+/// same-API harness in tests and benchmarks.
+pub type EcmExact = EcmSketch<ExactWindow>;
+/// ECM-sketch over equi-width sub-window counters — the design of Hung &
+/// Ting (LATIN 2008) and Dimitropoulos et al. (Computer Networks 2008) that
+/// the paper's related work contrasts against (§2): fast and compact, but
+/// with **no meaningful error guarantee** on query ranges comparable to one
+/// sub-window. Kept as a measurable baseline.
+pub type EcmEw = EcmSketch<EquiWidthWindow>;
+
+/// Count-Min sketch over sliding windows (paper §4).
+///
+/// Each of the `w × d` cells is a [`WindowCounter`]. Inserting item `x` at
+/// tick `ts` registers the arrival in the `d` cells `CM[h_j(x), j]`; point
+/// queries take the row minimum of per-cell window estimates, inner products
+/// the row minimum of per-cell estimate products (paper §4.1).
+#[derive(Debug, Clone)]
+pub struct EcmSketch<W: WindowCounter> {
+    width: usize,
+    depth: usize,
+    hashes: HashFamily,
+    /// Row-major `depth × width` counter cells.
+    cells: Vec<W>,
+    cell_cfg: W::Config,
+    /// Arrival-identity namespace: auto-assigned ids are
+    /// `(namespace << 40) + seq`, keeping ids from distinct sites disjoint
+    /// (required for lossless randomized-wave composition).
+    id_namespace: u64,
+    /// Local arrival sequence number.
+    seq: u64,
+    /// Tick of the most recent insertion.
+    last_ts: u64,
+    /// Lifetime arrivals inserted.
+    lifetime: u64,
+}
+
+impl<W: WindowCounter> EcmSketch<W> {
+    /// Create an empty sketch.
+    pub fn new(cfg: &EcmConfig<W>) -> Self {
+        assert!(cfg.width > 0 && cfg.depth > 0, "dimensions must be positive");
+        let cells = (0..cfg.width * cfg.depth)
+            .map(|_| W::new(&cfg.cell))
+            .collect();
+        EcmSketch {
+            width: cfg.width,
+            depth: cfg.depth,
+            hashes: HashFamily::from_seed(cfg.seed, cfg.depth),
+            cells,
+            cell_cfg: cfg.cell.clone(),
+            id_namespace: 0,
+            seq: 0,
+            last_ts: 0,
+            lifetime: 0,
+        }
+    }
+
+    /// Sketch width `w`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sketch depth `d`.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The per-cell window configuration.
+    pub fn cell_config(&self) -> &W::Config {
+        &self.cell_cfg
+    }
+
+    /// Window length in ticks.
+    pub fn window_len(&self) -> u64 {
+        self.cells
+            .first()
+            .map(WindowCounter::window_len)
+            .unwrap_or(0)
+    }
+
+    /// Lifetime arrivals inserted into this sketch.
+    pub fn lifetime_arrivals(&self) -> u64 {
+        self.lifetime
+    }
+
+    /// Tick of the most recent insertion (0 if empty).
+    pub fn last_tick(&self) -> u64 {
+        self.last_ts
+    }
+
+    /// Set the arrival-identity namespace (e.g. a site id) so that the
+    /// auto-generated ids of different sites never collide. Must be set
+    /// before the first insertion.
+    ///
+    /// # Panics
+    /// If arrivals were already inserted, or `namespace ≥ 2²⁴`.
+    pub fn set_id_namespace(&mut self, namespace: u64) {
+        assert_eq!(self.seq, 0, "namespace must be set before insertions");
+        assert!(namespace < (1 << 24), "namespace must fit in 24 bits");
+        self.id_namespace = namespace;
+    }
+
+    /// Insert one occurrence of `item` at tick `ts` (non-decreasing).
+    pub fn insert(&mut self, item: u64, ts: u64) {
+        self.seq += 1;
+        let id = (self.id_namespace << 40) + self.seq;
+        self.insert_with_id(item, ts, id);
+    }
+
+    /// Insert one occurrence of `item` at tick `ts` with an explicit
+    /// stream-unique arrival id (drives randomized-wave sampling; ignored by
+    /// deterministic counters).
+    pub fn insert_with_id(&mut self, item: u64, ts: u64, id: u64) {
+        debug_assert!(
+            self.lifetime == 0 || ts >= self.last_ts,
+            "timestamps must be non-decreasing"
+        );
+        self.last_ts = ts;
+        self.lifetime += 1;
+        for j in 0..self.depth {
+            let idx = j * self.width + self.hashes.bucket(j, item, self.width);
+            self.cells[idx].insert(ts, id);
+        }
+    }
+
+    /// Insert `weight` occurrences of `item` at tick `ts`.
+    pub fn insert_weighted(&mut self, item: u64, ts: u64, weight: u64) {
+        for _ in 0..weight {
+            self.insert(item, ts);
+        }
+    }
+
+    /// Point query (paper §4.1, Theorem 1): estimated frequency of `item`
+    /// among arrivals with tick in `(now − range, now]`.
+    pub fn point_query(&self, item: u64, now: u64, range: u64) -> f64 {
+        (0..self.depth)
+            .map(|j| {
+                let idx = j * self.width + self.hashes.bucket(j, item, self.width);
+                self.cells[idx].query(now, range)
+            })
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::MAX)
+    }
+
+    /// Self-join size (second frequency moment `F₂`) estimate over the
+    /// query range (paper §4.1, Theorem 2 with `b = a`).
+    pub fn self_join(&self, now: u64, range: u64) -> f64 {
+        (0..self.depth)
+            .map(|j| self.row_dot(self, j, now, range))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Inner-product estimate `â_r ⊙ b_r` against another sketch over the
+    /// same query range (paper §4.1, Theorem 2).
+    ///
+    /// # Errors
+    /// [`MergeError::IncompatibleConfig`] if shapes or hash seeds differ.
+    pub fn inner_product(
+        &self,
+        other: &EcmSketch<W>,
+        now: u64,
+        range: u64,
+    ) -> Result<f64, MergeError> {
+        self.check_compatible(other)?;
+        Ok((0..self.depth)
+            .map(|j| self.row_dot(other, j, now, range))
+            .fold(f64::INFINITY, f64::min))
+    }
+
+    fn row_dot(&self, other: &EcmSketch<W>, j: usize, now: u64, range: u64) -> f64 {
+        let row = j * self.width;
+        (0..self.width)
+            .map(|i| {
+                self.cells[row + i].query(now, range) * other.cells[row + i].query(now, range)
+            })
+            .sum()
+    }
+
+    /// Estimate of the total number of arrivals in the query range, computed
+    /// as the average of per-row cell-estimate sums (paper §6.1: each row's
+    /// sum counts every arrival exactly once, modulo window error; averaging
+    /// rows cancels independent per-counter errors).
+    pub fn total_arrivals(&self, now: u64, range: u64) -> f64 {
+        let mut sum = 0.0;
+        for j in 0..self.depth {
+            let row = j * self.width;
+            for i in 0..self.width {
+                sum += self.cells[row + i].query(now, range);
+            }
+        }
+        sum / self.depth as f64
+    }
+
+    /// Direct access to a cell's window estimate (used by the geometric-
+    /// method monitor to extract statistics vectors, paper §6.2).
+    pub fn cell_estimate(&self, row: usize, col: usize, now: u64, range: u64) -> f64 {
+        assert!(row < self.depth && col < self.width, "cell out of bounds");
+        self.cells[row * self.width + col].query(now, range)
+    }
+
+    /// Extract the whole `d × w` estimate matrix for a query range as a flat
+    /// row-major vector — the "statistics vector" of the geometric method.
+    pub fn estimate_vector(&self, now: u64, range: u64) -> Vec<f64> {
+        self.cells.iter().map(|c| c.query(now, range)).collect()
+    }
+
+    fn check_compatible(&self, other: &EcmSketch<W>) -> Result<(), MergeError> {
+        if self.width != other.width
+            || self.depth != other.depth
+            || self.hashes != other.hashes
+        {
+            return Err(MergeError::IncompatibleConfig {
+                detail: format!(
+                    "shape {}x{} seed {} vs {}x{} seed {}",
+                    self.width,
+                    self.depth,
+                    self.hashes.seed(),
+                    other.width,
+                    other.depth,
+                    other.hashes.seed(),
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Bytes of memory currently held (dominated by the cells).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.cells.iter().map(W::memory_bytes).sum::<usize>()
+    }
+
+    /// Append the compact wire encoding (what a site ships to its
+    /// aggregation parent; the distributed experiments charge network cost
+    /// by this length).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        put_u8(buf, CODEC_VERSION);
+        put_varint(buf, self.width as u64);
+        put_varint(buf, self.depth as u64);
+        self.hashes.encode(buf);
+        for cell in &self.cells {
+            cell.encode(buf);
+        }
+        put_varint(buf, self.id_namespace);
+        put_varint(buf, self.seq);
+        put_varint(buf, self.last_ts);
+        put_varint(buf, self.lifetime);
+    }
+
+    /// Size of the wire encoding in bytes.
+    pub fn encoded_len(&self) -> usize {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
+
+    /// Decode a sketch previously produced by [`encode`](Self::encode);
+    /// `cfg` must match the encoder's configuration.
+    pub fn decode(cfg: &EcmConfig<W>, input: &mut &[u8]) -> Result<Self, CodecError> {
+        let version = get_u8(input, "ecm version")?;
+        if version != CODEC_VERSION {
+            return Err(CodecError::BadVersion { found: version });
+        }
+        let width = get_varint(input, "ecm width")? as usize;
+        let depth = get_varint(input, "ecm depth")? as usize;
+        if width != cfg.width || depth != cfg.depth {
+            return Err(CodecError::Corrupt { context: "ecm shape" });
+        }
+        let hashes = HashFamily::decode(input)?;
+        if hashes.depth() != depth || hashes.seed() != cfg.seed {
+            return Err(CodecError::Corrupt { context: "ecm hashes" });
+        }
+        let mut cells = Vec::with_capacity(width * depth);
+        for _ in 0..width * depth {
+            cells.push(W::decode(&cfg.cell, input)?);
+        }
+        let id_namespace = get_varint(input, "ecm namespace")?;
+        let seq = get_varint(input, "ecm seq")?;
+        let last_ts = get_varint(input, "ecm last_ts")?;
+        let lifetime = get_varint(input, "ecm lifetime")?;
+        Ok(EcmSketch {
+            width,
+            depth,
+            hashes,
+            cells,
+            cell_cfg: cfg.cell.clone(),
+            id_namespace,
+            seq,
+            last_ts,
+            lifetime,
+        })
+    }
+}
+
+impl<W: MergeableCounter> EcmSketch<W> {
+    /// Order-preserving aggregation `⊕` of per-site sketches (paper §5.3):
+    /// every cell of the result is the `⊕`-merge of the corresponding cells.
+    /// All inputs must share shape and hash seed; `out_cell_cfg` configures
+    /// the merged cells (for exponential histograms this carries ε′ of
+    /// Theorem 4; for randomized waves it must equal the inputs' config and
+    /// the merge is lossless).
+    ///
+    /// # Errors
+    /// [`MergeError::Empty`] on no inputs, or
+    /// [`MergeError::IncompatibleConfig`] on shape/seed mismatch.
+    pub fn merge(
+        parts: &[&EcmSketch<W>],
+        out_cell_cfg: &W::Config,
+    ) -> Result<EcmSketch<W>, MergeError> {
+        let first = parts.first().ok_or(MergeError::Empty)?;
+        for p in &parts[1..] {
+            first.check_compatible(p)?;
+        }
+        let mut cells = Vec::with_capacity(first.cells.len());
+        for idx in 0..first.cells.len() {
+            let cell_parts: Vec<&W> = parts.iter().map(|p| &p.cells[idx]).collect();
+            cells.push(W::merge(&cell_parts, out_cell_cfg)?);
+        }
+        Ok(EcmSketch {
+            width: first.width,
+            depth: first.depth,
+            hashes: first.hashes.clone(),
+            cells,
+            cell_cfg: out_cell_cfg.clone(),
+            id_namespace: 0,
+            seq: parts.iter().map(|p| p.seq).sum(),
+            last_ts: parts.iter().map(|p| p.last_ts).max().unwrap_or(0),
+            lifetime: parts.iter().map(|p| p.lifetime).sum(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,410 @@
+use crate::config::{EcmBuilder, QueryKind};
+use crate::sketch::{EcmDw, EcmEh, EcmExact, EcmRw, EcmSketch};
+use proptest::prelude::*;
+use sliding_window::MergeError;
+use std::collections::HashMap;
+
+/// Exact per-key frequency of arrivals in `(now - range, now]`.
+fn exact_freqs(events: &[(u64, u64)], now: u64, range: u64) -> HashMap<u64, u64> {
+    let cutoff = now.saturating_sub(range);
+    let mut m = HashMap::new();
+    for &(item, ts) in events {
+        if ts > cutoff && ts <= now {
+            *m.entry(item).or_insert(0) += 1;
+        }
+    }
+    m
+}
+
+fn exact_self_join(freqs: &HashMap<u64, u64>) -> f64 {
+    freqs.values().map(|&v| (v * v) as f64).sum()
+}
+
+/// Simple deterministic skewed stream: key `i % 64` with quadratic bias.
+fn skewed_stream(n: u64) -> Vec<(u64, u64)> {
+    (1..=n)
+        .map(|i| {
+            let r = (i.wrapping_mul(2_654_435_761)) % 100;
+            let key = if r < 50 { r % 8 } else { r % 64 };
+            (key, i)
+        })
+        .collect()
+}
+
+#[test]
+fn point_queries_respect_theorem1_bound() {
+    let eps = 0.1;
+    let window = 1 << 20;
+    let cfg = EcmBuilder::new(eps, 0.05, window).seed(9).eh_config();
+    let mut sk = EcmEh::new(&cfg);
+    let events = skewed_stream(30_000);
+    for &(item, ts) in &events {
+        sk.insert(item, ts);
+    }
+    let now = 30_000u64;
+    for range in [1_000u64, 10_000, 30_000] {
+        let truth = exact_freqs(&events, now, range);
+        let norm: u64 = truth.values().sum();
+        for key in 0..64u64 {
+            let exact = *truth.get(&key).unwrap_or(&0) as f64;
+            let est = sk.point_query(key, now, range);
+            assert!(
+                (est - exact).abs() <= eps * norm as f64 + 1.0,
+                "key={key} range={range} est={est} exact={exact} norm={norm}"
+            );
+        }
+    }
+}
+
+#[test]
+fn self_join_respects_theorem2_bound() {
+    let eps = 0.1;
+    let cfg = EcmBuilder::new(eps, 0.05, 1 << 20)
+        .query_kind(QueryKind::InnerProduct)
+        .seed(4)
+        .eh_config();
+    let mut sk = EcmEh::new(&cfg);
+    let events = skewed_stream(20_000);
+    for &(item, ts) in &events {
+        sk.insert(item, ts);
+    }
+    let now = 20_000u64;
+    for range in [2_000u64, 20_000] {
+        let truth = exact_freqs(&events, now, range);
+        let norm: u64 = truth.values().sum();
+        let exact = exact_self_join(&truth);
+        let est = sk.self_join(now, range);
+        let budget = eps * (norm as f64) * (norm as f64);
+        assert!(
+            (est - exact).abs() <= budget + 4.0,
+            "range={range} est={est} exact={exact} budget={budget}"
+        );
+    }
+}
+
+#[test]
+fn inner_product_between_streams() {
+    let eps = 0.15;
+    let cfg = EcmBuilder::new(eps, 0.05, 1 << 20)
+        .query_kind(QueryKind::InnerProduct)
+        .seed(12)
+        .eh_config();
+    let mut a = EcmEh::new(&cfg);
+    let mut b = EcmEh::new(&cfg);
+    let ev_a: Vec<(u64, u64)> = (1..=8000u64).map(|i| (i % 40, i)).collect();
+    let ev_b: Vec<(u64, u64)> = (1..=8000u64).map(|i| (i % 25, i)).collect();
+    for &(k, t) in &ev_a {
+        a.insert(k, t);
+    }
+    for &(k, t) in &ev_b {
+        b.insert(k, t);
+    }
+    let now = 8000u64;
+    let range = 5000u64;
+    let fa = exact_freqs(&ev_a, now, range);
+    let fb = exact_freqs(&ev_b, now, range);
+    let exact: f64 = fa
+        .iter()
+        .map(|(k, &va)| va as f64 * *fb.get(k).unwrap_or(&0) as f64)
+        .sum();
+    let na: u64 = fa.values().sum();
+    let nb: u64 = fb.values().sum();
+    let est = a.inner_product(&b, now, range).unwrap();
+    let budget = eps * na as f64 * nb as f64;
+    assert!(
+        (est - exact).abs() <= budget,
+        "est={est} exact={exact} budget={budget}"
+    );
+}
+
+#[test]
+fn incompatible_sketches_rejected() {
+    let cfg1 = EcmBuilder::new(0.1, 0.1, 100).seed(1).eh_config();
+    let cfg2 = EcmBuilder::new(0.1, 0.1, 100).seed(2).eh_config();
+    let a = EcmEh::new(&cfg1);
+    let b = EcmEh::new(&cfg2);
+    assert!(matches!(
+        a.inner_product(&b, 10, 10),
+        Err(MergeError::IncompatibleConfig { .. })
+    ));
+    assert!(matches!(
+        EcmSketch::merge(&[&a, &b], &cfg1.cell),
+        Err(MergeError::IncompatibleConfig { .. })
+    ));
+    let empty: [&EcmEh; 0] = [];
+    assert!(matches!(
+        EcmSketch::merge(&empty, &cfg1.cell),
+        Err(MergeError::Empty)
+    ));
+}
+
+#[test]
+fn merge_of_eh_sketches_matches_union_stream() {
+    let eps = 0.1;
+    let window = 1 << 20;
+    let cfg = EcmBuilder::new(eps, 0.05, window).seed(33).eh_config();
+    let mut a = EcmEh::new(&cfg);
+    let mut b = EcmEh::new(&cfg);
+    a.set_id_namespace(1);
+    b.set_id_namespace(2);
+    let events = skewed_stream(24_000);
+    for (i, &(item, ts)) in events.iter().enumerate() {
+        if i % 2 == 0 {
+            a.insert(item, ts);
+        } else {
+            b.insert(item, ts);
+        }
+    }
+    let merged = EcmSketch::merge(&[&a, &b], &cfg.cell).unwrap();
+    assert_eq!(merged.lifetime_arrivals(), 24_000);
+
+    let now = 24_000u64;
+    for range in [3_000u64, 24_000] {
+        let truth = exact_freqs(&events, now, range);
+        let norm: u64 = truth.values().sum();
+        // Theorem 4 + Theorem 1 envelope: (ε_sw + ε′_sw + ε_swε′_sw) in the
+        // window dimension plus ε_cm hashing error ≈ 2ε overall.
+        let envelope = 2.0 * eps;
+        for key in 0..64u64 {
+            let exact = *truth.get(&key).unwrap_or(&0) as f64;
+            let est = merged.point_query(key, now, range);
+            assert!(
+                (est - exact).abs() <= envelope * norm as f64 + 2.0,
+                "key={key} range={range} est={est} exact={exact}"
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_of_rw_sketches_is_lossless() {
+    let cfg = EcmBuilder::new(0.2, 0.1, 1 << 20)
+        .max_arrivals(40_000)
+        .seed(77)
+        .rw_config();
+    let mut whole = EcmRw::new(&cfg);
+    let mut a = EcmRw::new(&cfg);
+    let mut b = EcmRw::new(&cfg);
+    let events = skewed_stream(16_000);
+    for (i, &(item, ts)) in events.iter().enumerate() {
+        // Shared explicit ids reproduce the union wave exactly.
+        let id = (i as u64) + 1;
+        whole.insert_with_id(item, ts, id);
+        if i % 3 == 0 {
+            a.insert_with_id(item, ts, id);
+        } else {
+            b.insert_with_id(item, ts, id);
+        }
+    }
+    let merged = EcmSketch::merge(&[&a, &b], &cfg.cell).unwrap();
+    let now = 16_000u64;
+    for range in [1_000u64, 16_000] {
+        for key in 0..64u64 {
+            assert_eq!(
+                merged.point_query(key, now, range),
+                whole.point_query(key, now, range),
+                "key={key} range={range}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dw_variant_answers_point_queries() {
+    let eps = 0.15;
+    let cfg = EcmBuilder::new(eps, 0.05, 1 << 20)
+        .max_arrivals(20_000)
+        .seed(3)
+        .dw_config();
+    let mut sk = EcmDw::new(&cfg);
+    let events = skewed_stream(12_000);
+    for &(item, ts) in &events {
+        sk.insert(item, ts);
+    }
+    let now = 12_000u64;
+    let range = 6_000u64;
+    let truth = exact_freqs(&events, now, range);
+    let norm: u64 = truth.values().sum();
+    for key in 0..64u64 {
+        let exact = *truth.get(&key).unwrap_or(&0) as f64;
+        let est = sk.point_query(key, now, range);
+        assert!(
+            (est - exact).abs() <= eps * norm as f64 + 1.0,
+            "key={key} est={est} exact={exact}"
+        );
+    }
+}
+
+#[test]
+fn exact_variant_matches_cm_semantics() {
+    // With exact window counters the only error is hash collisions, which
+    // can only overestimate — the classic CM property, per range.
+    let cfg = EcmBuilder::new(0.05, 0.01, 1 << 20).seed(8).exact_config();
+    let mut sk = EcmExact::new(&cfg);
+    let events = skewed_stream(10_000);
+    for &(item, ts) in &events {
+        sk.insert(item, ts);
+    }
+    let now = 10_000u64;
+    for range in [500u64, 10_000] {
+        let truth = exact_freqs(&events, now, range);
+        for key in 0..64u64 {
+            let exact = *truth.get(&key).unwrap_or(&0) as f64;
+            let est = sk.point_query(key, now, range);
+            assert!(est >= exact, "no underestimation: key={key}");
+        }
+    }
+}
+
+#[test]
+fn total_arrivals_row_average_estimator() {
+    let cfg = EcmBuilder::new(0.1, 0.05, 1 << 20).seed(21).eh_config();
+    let mut sk = EcmEh::new(&cfg);
+    let events = skewed_stream(20_000);
+    for &(item, ts) in &events {
+        sk.insert(item, ts);
+    }
+    let now = 20_000u64;
+    for range in [2_000u64, 20_000] {
+        let exact: u64 = exact_freqs(&events, now, range).values().sum();
+        let est = sk.total_arrivals(now, range);
+        assert!(
+            (est - exact as f64).abs() <= 0.1 * exact as f64 + 2.0,
+            "range={range} est={est} exact={exact}"
+        );
+    }
+}
+
+#[test]
+fn estimate_vector_has_sketch_shape() {
+    let cfg = EcmBuilder::new(0.2, 0.2, 1000).seed(5).eh_config();
+    let mut sk = EcmEh::new(&cfg);
+    for t in 1..=100u64 {
+        sk.insert(t % 10, t);
+    }
+    let v = sk.estimate_vector(100, 1000);
+    assert_eq!(v.len(), sk.width() * sk.depth());
+    // Every row's cell estimates sum to ~100 (each arrival hits one cell
+    // per row).
+    for j in 0..sk.depth() {
+        let row_sum: f64 = v[j * sk.width()..(j + 1) * sk.width()].iter().sum();
+        assert!((row_sum - 100.0).abs() <= 10.0, "row {j} sums to {row_sum}");
+    }
+    assert_eq!(
+        sk.cell_estimate(0, 0, 100, 1000),
+        v[0],
+        "cell_estimate must agree with estimate_vector"
+    );
+}
+
+#[test]
+#[should_panic(expected = "before insertions")]
+fn namespace_after_insert_rejected() {
+    let cfg = EcmBuilder::new(0.2, 0.2, 100).eh_config();
+    let mut sk = EcmEh::new(&cfg);
+    sk.insert(1, 1);
+    sk.set_id_namespace(3);
+}
+
+#[test]
+fn codec_round_trips_eh() {
+    let cfg = EcmBuilder::new(0.15, 0.1, 10_000).seed(6).eh_config();
+    let mut sk = EcmEh::new(&cfg);
+    for &(item, ts) in &skewed_stream(5_000) {
+        sk.insert(item, ts);
+    }
+    let mut buf = Vec::new();
+    sk.encode(&mut buf);
+    assert_eq!(buf.len(), sk.encoded_len());
+    let mut slice = buf.as_slice();
+    let back = EcmEh::decode(&cfg, &mut slice).unwrap();
+    assert!(slice.is_empty());
+    for key in [0u64, 3, 17, 60] {
+        assert_eq!(
+            back.point_query(key, 5_000, 2_000),
+            sk.point_query(key, 5_000, 2_000)
+        );
+    }
+    assert_eq!(back.lifetime_arrivals(), sk.lifetime_arrivals());
+    // Wrong config shape must be rejected.
+    let other = EcmBuilder::new(0.3, 0.1, 10_000).seed(6).eh_config();
+    let mut slice = buf.as_slice();
+    assert!(EcmEh::decode(&other, &mut slice).is_err());
+}
+
+#[test]
+fn weighted_insert_counts_multiply() {
+    let cfg = EcmBuilder::new(0.1, 0.1, 1000).seed(2).eh_config();
+    let mut sk = EcmEh::new(&cfg);
+    sk.insert_weighted(42, 10, 7);
+    let est = sk.point_query(42, 10, 1000);
+    assert!((est - 7.0).abs() < 1e-9, "est={est}");
+    assert_eq!(sk.lifetime_arrivals(), 7);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// ECM-EH point queries satisfy the Theorem-1 envelope on random
+    /// streams and random ranges.
+    #[test]
+    fn prop_point_query_envelope(
+        keys in proptest::collection::vec(0u64..32, 500..3000),
+        seed in any::<u64>(),
+        range_frac in 0.1f64..1.0,
+    ) {
+        let eps = 0.15;
+        let cfg = EcmBuilder::new(eps, 0.05, 1 << 20).seed(seed).eh_config();
+        let mut sk = EcmEh::new(&cfg);
+        let events: Vec<(u64, u64)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, (i + 1) as u64))
+            .collect();
+        for &(k, t) in &events {
+            sk.insert(k, t);
+        }
+        let now = events.len() as u64;
+        let range = ((now as f64 * range_frac) as u64).max(1);
+        let truth = exact_freqs(&events, now, range);
+        let norm: u64 = truth.values().sum();
+        let mut over = 0usize;
+        for key in 0..32u64 {
+            let exact = *truth.get(&key).unwrap_or(&0) as f64;
+            let est = sk.point_query(key, now, range);
+            if (est - exact).abs() > eps * norm as f64 + 1.0 {
+                over += 1;
+            }
+        }
+        // δ = 5% per query over 32 keys: allow a small number of excursions.
+        prop_assert!(over <= 3, "envelope violations: {}", over);
+    }
+
+    /// Merging with explicit shared ids is deterministic and bounded.
+    #[test]
+    fn prop_merge_point_envelope(
+        n in 1000u64..4000,
+        split in 2u64..5,
+    ) {
+        let eps = 0.2;
+        let window = 1u64 << 20;
+        let cfg = EcmBuilder::new(eps, 0.1, window).seed(13).eh_config();
+        let mut parts: Vec<EcmEh> = (0..split).map(|_| EcmEh::new(&cfg)).collect();
+        let events: Vec<(u64, u64)> = (1..=n).map(|i| (i % 16, i)).collect();
+        for (i, &(k, t)) in events.iter().enumerate() {
+            parts[i % split as usize].insert(k, t);
+        }
+        let refs: Vec<&EcmEh> = parts.iter().collect();
+        let merged = EcmSketch::merge(&refs, &cfg.cell).unwrap();
+        let truth = exact_freqs(&events, n, n);
+        let norm: u64 = truth.values().sum();
+        for key in 0..16u64 {
+            let exact = *truth.get(&key).unwrap_or(&0) as f64;
+            let est = merged.point_query(key, n, n);
+            prop_assert!(
+                (est - exact).abs() <= 2.0 * eps * norm as f64 + 2.0,
+                "key={} est={} exact={}", key, est, exact
+            );
+        }
+    }
+}

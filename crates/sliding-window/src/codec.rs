@@ -1,0 +1,180 @@
+//! Compact binary encoding helpers shared by every synopsis in the workspace.
+//!
+//! The distributed experiments of the paper charge network cost by the size of
+//! the synopses shipped between sites, so the workspace uses a hand-rolled,
+//! byte-accurate wire format rather than a general-purpose serializer:
+//! LEB128 varints for counts and deltas, fixed little-endian words only where
+//! the full range is genuinely needed.
+
+use crate::error::CodecError;
+
+/// Append a LEB128 varint.
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint, advancing the slice.
+pub fn get_varint(input: &mut &[u8], context: &'static str) -> Result<u64, CodecError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = input
+            .split_first()
+            .ok_or(CodecError::Truncated { context })?;
+        *input = rest;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(CodecError::Corrupt { context });
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Append a fixed 8-byte little-endian word.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read a fixed 8-byte little-endian word, advancing the slice.
+pub fn get_u64(input: &mut &[u8], context: &'static str) -> Result<u64, CodecError> {
+    if input.len() < 8 {
+        return Err(CodecError::Truncated { context });
+    }
+    let (head, rest) = input.split_at(8);
+    *input = rest;
+    Ok(u64::from_le_bytes(head.try_into().expect("8-byte split")))
+}
+
+/// Append an `f64` as its IEEE-754 bit pattern.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+/// Read an `f64` from its IEEE-754 bit pattern.
+pub fn get_f64(input: &mut &[u8], context: &'static str) -> Result<f64, CodecError> {
+    Ok(f64::from_bits(get_u64(input, context)?))
+}
+
+/// Append a single byte.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Read a single byte, advancing the slice.
+pub fn get_u8(input: &mut &[u8], context: &'static str) -> Result<u8, CodecError> {
+    let (&byte, rest) = input
+        .split_first()
+        .ok_or(CodecError::Truncated { context })?;
+    *input = rest;
+    Ok(byte)
+}
+
+/// Number of bytes `put_varint` would use for `v`.
+pub fn varint_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "length model for {v}");
+            let mut slice = buf.as_slice();
+            assert_eq!(get_varint(&mut slice, "t").unwrap(), v);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut slice = &buf[..cut];
+            assert!(matches!(
+                get_varint(&mut slice, "t"),
+                Err(CodecError::Truncated { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong_encoding() {
+        // Eleven continuation bytes encode more than 64 bits.
+        let bytes = [0xffu8; 10];
+        let mut slice = &bytes[..];
+        assert!(matches!(
+            get_varint(&mut slice, "t"),
+            Err(CodecError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn u64_and_f64_round_trip() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 0xdead_beef_cafe_f00d);
+        put_f64(&mut buf, -0.125);
+        put_u8(&mut buf, 7);
+        let mut s = buf.as_slice();
+        assert_eq!(get_u64(&mut s, "a").unwrap(), 0xdead_beef_cafe_f00d);
+        assert_eq!(get_f64(&mut s, "b").unwrap(), -0.125);
+        assert_eq!(get_u8(&mut s, "c").unwrap(), 7);
+        assert!(s.is_empty());
+        let mut empty: &[u8] = &[];
+        assert!(get_u64(&mut empty, "a").is_err());
+        assert!(get_u8(&mut empty, "a").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn varint_round_trips_any(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut slice = buf.as_slice();
+            prop_assert_eq!(get_varint(&mut slice, "p").unwrap(), v);
+            prop_assert!(slice.is_empty());
+        }
+
+        #[test]
+        fn varint_sequences_round_trip(vs in proptest::collection::vec(any::<u64>(), 0..64)) {
+            let mut buf = Vec::new();
+            for &v in &vs { put_varint(&mut buf, v); }
+            let mut slice = buf.as_slice();
+            for &v in &vs {
+                prop_assert_eq!(get_varint(&mut slice, "p").unwrap(), v);
+            }
+            prop_assert!(slice.is_empty());
+        }
+    }
+}

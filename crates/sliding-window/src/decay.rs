@@ -1,0 +1,190 @@
+//! Exponential time-decay counters (Cohen & Strauss, J. Algorithms 2006) —
+//! the *other* time-decay model the paper's introduction positions the
+//! sliding window against (§1: "various time-decay models [...] e.g.,
+//! exponential or polynomial decay").
+//!
+//! An exponentially decayed count weights an arrival of age `a` by
+//! `2^(−a / half_life)` instead of the window's hard 0/1 cutoff. The
+//! trade-offs against sliding windows are instructive and measurable:
+//!
+//! * **Memory**: a decayed count needs *one* number (lazily rescaled),
+//!   versus the window's `Ω(log²(N)/ε)` lower bound — decay is the cheap
+//!   model.
+//! * **Semantics**: decay can never express "exactly the last N ticks";
+//!   stale items retain weight forever (halving per half-life), so a burst
+//!   never fully ages out — the reason the paper's monitoring applications
+//!   (DDoS windows, "last 24 hours" analytics) need sliding windows despite
+//!   the memory premium.
+//!
+//! [`ExpDecayCounter`] is exact (no approximation parameter); the `ecm`
+//! crate's `DecayedCm` drops it into a Count-Min array for decayed frequency
+//! estimates over arbitrary key universes — the decayed analogue of the
+//! ECM-sketch, used as a semantic baseline in tests.
+
+/// An exactly maintained exponentially decayed count.
+///
+/// The decayed value at tick `t` is `Σ_i w_i · 2^(−(t − t_i)/half_life)`
+/// over all arrivals `(t_i, w_i)`. Maintained lazily in O(1) space: the
+/// stored value is the decayed count as of the last update, rescaled on
+/// access.
+///
+/// ```
+/// use sliding_window::decay::ExpDecayCounter;
+///
+/// let mut c = ExpDecayCounter::new(100); // half-life: 100 ticks
+/// c.add(0, 8.0);
+/// // One half-life later the mass has halved; two later, quartered.
+/// assert!((c.value(100) - 4.0).abs() < 1e-9);
+/// assert!((c.value(200) - 2.0).abs() < 1e-9);
+/// // New arrivals stack on the surviving mass.
+/// c.add(200, 2.0);
+/// assert!((c.value(200) - 4.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpDecayCounter {
+    half_life: u64,
+    /// Decayed value as of `as_of`.
+    value: f64,
+    as_of: u64,
+}
+
+impl ExpDecayCounter {
+    /// A counter with the given half-life in ticks.
+    ///
+    /// # Panics
+    /// If `half_life == 0`.
+    pub fn new(half_life: u64) -> Self {
+        assert!(half_life > 0, "half-life must be positive");
+        ExpDecayCounter {
+            half_life,
+            value: 0.0,
+            as_of: 0,
+        }
+    }
+
+    /// The configured half-life.
+    pub fn half_life(&self) -> u64 {
+        self.half_life
+    }
+
+    fn decay_to(&mut self, now: u64) {
+        debug_assert!(now >= self.as_of, "time must not run backwards");
+        if now > self.as_of {
+            let dt = (now - self.as_of) as f64 / self.half_life as f64;
+            self.value *= (-dt * std::f64::consts::LN_2).exp();
+            self.as_of = now;
+        }
+    }
+
+    /// Record `weight` arriving at tick `now` (non-decreasing ticks).
+    pub fn add(&mut self, now: u64, weight: f64) {
+        self.decay_to(now);
+        self.value += weight;
+    }
+
+    /// The decayed count as of tick `now ≥` the last update.
+    pub fn value(&self, now: u64) -> f64 {
+        let mut c = *self;
+        c.decay_to(now);
+        c.value
+    }
+
+    /// Merge another counter observing a disjoint stream: decayed counts
+    /// are linear, so this is exact (the decayed analogue of the paper's
+    /// lossless composition, and trivially so — the reason decayed models
+    /// "cover linearity by default", §5).
+    pub fn merge_from(&mut self, other: &ExpDecayCounter, now: u64) {
+        assert_eq!(
+            self.half_life, other.half_life,
+            "half-lives must match to merge"
+        );
+        self.decay_to(now);
+        self.value += other.value(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_life_halves() {
+        let mut c = ExpDecayCounter::new(50);
+        c.add(10, 16.0);
+        assert!((c.value(10) - 16.0).abs() < 1e-12);
+        assert!((c.value(60) - 8.0).abs() < 1e-9);
+        assert!((c.value(160) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lazy_rescaling_matches_eager_sum() {
+        // Interleaved adds at many ticks: compare against the direct
+        // Σ w·2^(−age/h) formula.
+        let h = 64u64;
+        let arrivals: Vec<(u64, f64)> =
+            (0..200u64).map(|i| (i * 3, 1.0 + (i % 5) as f64)).collect();
+        let mut c = ExpDecayCounter::new(h);
+        for &(t, w) in &arrivals {
+            c.add(t, w);
+        }
+        let now = 700u64;
+        let direct: f64 = arrivals
+            .iter()
+            .map(|&(t, w)| w * 2f64.powf(-((now - t) as f64) / h as f64))
+            .sum();
+        assert!(
+            (c.value(now) - direct).abs() < 1e-9 * direct.max(1.0),
+            "lazy {} vs direct {direct}",
+            c.value(now)
+        );
+    }
+
+    #[test]
+    fn merge_is_exactly_linear() {
+        let mut a = ExpDecayCounter::new(100);
+        let mut b = ExpDecayCounter::new(100);
+        let mut whole = ExpDecayCounter::new(100);
+        for t in 0..500u64 {
+            let w = 1.0 + (t % 3) as f64;
+            whole.add(t, w);
+            if t % 2 == 0 {
+                a.add(t, w);
+            } else {
+                b.add(t, w);
+            }
+        }
+        a.merge_from(&b, 500);
+        assert!((a.value(500) - whole.value(500)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "half-lives")]
+    fn merge_rejects_mismatched_half_lives() {
+        let mut a = ExpDecayCounter::new(10);
+        let b = ExpDecayCounter::new(20);
+        a.merge_from(&b, 0);
+    }
+
+    #[test]
+    fn decay_never_fully_forgets_a_burst() {
+        // The semantic contrast with sliding windows: mass from a burst
+        // survives every horizon (halved per half-life), where a window
+        // would have dropped it entirely.
+        let mut c = ExpDecayCounter::new(1_000);
+        c.add(0, 1_000_000.0);
+        // After 10 half-lives, ~977 units remain — far from zero.
+        let v = c.value(10_000);
+        assert!(v > 900.0 && v < 1_100.0, "v={v}");
+        use crate::{EhConfig, ExponentialHistogram};
+        let mut eh = ExponentialHistogram::new(&EhConfig::new(0.1, 1_000));
+        eh.insert_ones(1, 1_000_000);
+        // The window forgets completely.
+        assert_eq!(eh.estimate(10_000, 1_000), 0.0);
+    }
+
+    #[test]
+    fn value_before_any_add_is_zero() {
+        let c = ExpDecayCounter::new(10);
+        assert_eq!(c.value(1_000), 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Error types shared by the sliding-window synopses and their codecs.
+
+use std::fmt;
+
+/// Failure while merging synopses with the order-preserving `⊕` operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// The inputs were built with incompatible configurations
+    /// (different window lengths, hash seeds, or dimensions).
+    IncompatibleConfig {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// Nothing to merge.
+    Empty,
+    /// The synopsis type does not support order-preserving aggregation
+    /// under the requested clock model (e.g. count-based windows, paper Fig. 2).
+    Unsupported {
+        /// Why the aggregation is impossible.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::IncompatibleConfig { detail } => {
+                write!(f, "incompatible merge inputs: {detail}")
+            }
+            MergeError::Empty => write!(f, "no synopses supplied to merge"),
+            MergeError::Unsupported { detail } => {
+                write!(f, "unsupported aggregation: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Failure while decoding a synopsis from its compact wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Ran out of bytes mid-structure.
+    Truncated {
+        /// What was being decoded when the input ended.
+        context: &'static str,
+    },
+    /// A tag or length field held an impossible value.
+    Corrupt {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// The encoded structure version is not understood.
+    BadVersion {
+        /// The version byte found on the wire.
+        found: u8,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { context } => {
+                write!(f, "truncated input while decoding {context}")
+            }
+            CodecError::Corrupt { context } => {
+                write!(f, "corrupt field while decoding {context}")
+            }
+            CodecError::BadVersion { found } => {
+                write!(f, "unsupported codec version {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_error_display_mentions_detail() {
+        let e = MergeError::IncompatibleConfig {
+            detail: "window 10 vs 20".into(),
+        };
+        assert!(e.to_string().contains("window 10 vs 20"));
+        assert!(MergeError::Empty.to_string().contains("no synopses"));
+        let u = MergeError::Unsupported {
+            detail: "count-based".into(),
+        };
+        assert!(u.to_string().contains("count-based"));
+    }
+
+    #[test]
+    fn codec_error_display_mentions_context() {
+        let e = CodecError::Truncated { context: "bucket" };
+        assert!(e.to_string().contains("bucket"));
+        let c = CodecError::Corrupt { context: "level" };
+        assert!(c.to_string().contains("level"));
+        assert!(CodecError::BadVersion { found: 9 }.to_string().contains('9'));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<MergeError>();
+        assert_err::<CodecError>();
+    }
+}

@@ -1,0 +1,337 @@
+//! Exact sliding-window counter: the zero-error, `O(arrivals)`-space baseline
+//! used as ground truth by the test and benchmark suites.
+
+use std::collections::VecDeque;
+
+use crate::codec::{get_u8, get_varint, put_u8, put_varint};
+use crate::error::{CodecError, MergeError};
+use crate::traits::{MergeableCounter, WindowCounter};
+
+const CODEC_VERSION: u8 = 1;
+
+/// Construction parameters for an [`ExactWindow`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactWindowConfig {
+    /// Window length in ticks.
+    pub window: u64,
+}
+
+impl ExactWindowConfig {
+    /// Build a config. Panics if `window == 0`.
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        ExactWindowConfig { window }
+    }
+}
+
+/// Exact sliding-window counter storing `(tick, multiplicity)` runs.
+///
+/// Consecutive arrivals at the same tick are run-length compressed, so space
+/// is `O(distinct ticks in window)` rather than `O(arrivals)`.
+#[derive(Debug, Clone)]
+pub struct ExactWindow {
+    window: u64,
+    /// `(tick, count)` runs, oldest at the front; ticks strictly increasing.
+    runs: VecDeque<(u64, u64)>,
+    total: u64,
+    last_ts: u64,
+    lifetime: u64,
+}
+
+impl ExactWindow {
+    /// Create an empty counter.
+    pub fn new(cfg: &ExactWindowConfig) -> Self {
+        ExactWindow {
+            window: cfg.window,
+            runs: VecDeque::new(),
+            total: 0,
+            last_ts: 0,
+            lifetime: 0,
+        }
+    }
+
+    /// Record `n` arrivals at tick `ts` (non-decreasing).
+    pub fn insert_ones(&mut self, ts: u64, n: u64) {
+        debug_assert!(
+            self.runs.is_empty() || ts >= self.last_ts,
+            "timestamps must be non-decreasing"
+        );
+        if n == 0 {
+            return;
+        }
+        self.last_ts = ts;
+        self.lifetime += n;
+        match self.runs.back_mut() {
+            Some((t, c)) if *t == ts => *c += n,
+            _ => self.runs.push_back((ts, n)),
+        }
+        self.total += n;
+        self.expire(ts);
+    }
+
+    /// Drop runs that left the window ending at `now`.
+    pub fn expire(&mut self, now: u64) {
+        let cutoff = now.saturating_sub(self.window);
+        while let Some(&(t, c)) = self.runs.front() {
+            if t <= cutoff {
+                self.runs.pop_front();
+                self.total -= c;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Exact number of arrivals with tick in `(now - range, now]`.
+    pub fn count(&self, now: u64, range: u64) -> u64 {
+        let range = range.min(self.window);
+        let cutoff = now.saturating_sub(range);
+        // Runs are sorted by tick: binary search the first in-range run.
+        let (a, b) = self.runs.as_slices();
+        let mut sum = 0u64;
+        let ia = a.partition_point(|&(t, _)| t <= cutoff);
+        for &(t, c) in &a[ia..] {
+            if t <= now {
+                sum += c;
+            }
+        }
+        let ib = b.partition_point(|&(t, _)| t <= cutoff);
+        for &(t, c) in &b[ib..] {
+            if t <= now {
+                sum += c;
+            }
+        }
+        sum
+    }
+
+    /// Arrivals currently retained (the full window).
+    pub fn stored_ones(&self) -> u64 {
+        self.total
+    }
+
+    /// Lifetime arrivals inserted.
+    pub fn lifetime_ones(&self) -> u64 {
+        self.lifetime
+    }
+}
+
+impl WindowCounter for ExactWindow {
+    type Config = ExactWindowConfig;
+
+    fn new(cfg: &Self::Config) -> Self {
+        ExactWindow::new(cfg)
+    }
+
+    fn insert(&mut self, ts: u64, _id: u64) {
+        self.insert_ones(ts, 1);
+    }
+
+    fn query(&self, now: u64, range: u64) -> f64 {
+        self.count(now, range) as f64
+    }
+
+    fn window_len(&self) -> u64 {
+        self.window
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.runs.capacity() * std::mem::size_of::<(u64, u64)>()
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u8(buf, CODEC_VERSION);
+        put_varint(buf, self.runs.len() as u64);
+        let mut prev = 0u64;
+        for &(t, c) in &self.runs {
+            put_varint(buf, t - prev);
+            put_varint(buf, c);
+            prev = t;
+        }
+        put_varint(buf, self.last_ts);
+        put_varint(buf, self.lifetime);
+    }
+
+    fn decode(cfg: &Self::Config, input: &mut &[u8]) -> Result<Self, CodecError> {
+        let version = get_u8(input, "exact version")?;
+        if version != CODEC_VERSION {
+            return Err(CodecError::BadVersion { found: version });
+        }
+        let n = get_varint(input, "exact runs")? as usize;
+        let mut runs = VecDeque::with_capacity(n);
+        let mut prev = 0u64;
+        let mut total = 0u64;
+        for _ in 0..n {
+            let dt = get_varint(input, "exact tick")?;
+            let c = get_varint(input, "exact count")?;
+            if c == 0 || (prev > 0 && dt == 0) {
+                return Err(CodecError::Corrupt { context: "exact run" });
+            }
+            prev += dt;
+            total += c;
+            runs.push_back((prev, c));
+        }
+        let last_ts = get_varint(input, "exact last_ts")?;
+        let lifetime = get_varint(input, "exact lifetime")?;
+        Ok(ExactWindow {
+            window: cfg.window,
+            runs,
+            total,
+            last_ts,
+            lifetime,
+        })
+    }
+}
+
+impl MergeableCounter for ExactWindow {
+    /// Exact merge: interleave runs by tick. Always lossless.
+    fn merge(parts: &[&Self], out_cfg: &Self::Config) -> Result<Self, MergeError> {
+        if parts.is_empty() {
+            return Err(MergeError::Empty);
+        }
+        for (i, p) in parts.iter().enumerate() {
+            if p.window != out_cfg.window {
+                return Err(MergeError::IncompatibleConfig {
+                    detail: format!(
+                        "window mismatch at part {i}: {} vs {}",
+                        p.window, out_cfg.window
+                    ),
+                });
+            }
+        }
+        let mut events: Vec<(u64, u64)> = parts
+            .iter()
+            .flat_map(|p| p.runs.iter().copied())
+            .collect();
+        events.sort_unstable_by_key(|&(t, _)| t);
+        let mut out = ExactWindow::new(out_cfg);
+        for (t, c) in events {
+            out.insert_ones(t, c);
+        }
+        let now = parts.iter().map(|p| p.last_ts).max().unwrap_or(0);
+        if now > out.last_ts {
+            out.last_ts = now;
+            out.expire(now);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counts_are_exact() {
+        let mut w = ExactWindow::new(&ExactWindowConfig::new(100));
+        for t in 1..=50u64 {
+            w.insert_ones(t, 2);
+        }
+        assert_eq!(w.count(50, 100), 100);
+        assert_eq!(w.count(50, 10), 20);
+        assert_eq!(w.count(50, 1), 2);
+        assert_eq!(w.stored_ones(), 100);
+        assert_eq!(w.lifetime_ones(), 100);
+    }
+
+    #[test]
+    fn expiry_is_exact() {
+        let mut w = ExactWindow::new(&ExactWindowConfig::new(10));
+        for t in 1..=100u64 {
+            w.insert_ones(t, 1);
+        }
+        assert_eq!(w.stored_ones(), 10); // ticks 91..=100
+        assert_eq!(w.count(100, 10), 10);
+        assert_eq!(w.count(100, 5), 5);
+    }
+
+    #[test]
+    fn run_length_compression_collapses_same_tick() {
+        let mut w = ExactWindow::new(&ExactWindowConfig::new(100));
+        for _ in 0..1000 {
+            w.insert_ones(5, 1);
+        }
+        assert_eq!(w.runs.len(), 1);
+        assert_eq!(w.count(5, 100), 1000);
+    }
+
+    #[test]
+    fn merge_is_lossless() {
+        let cfg = ExactWindowConfig::new(1000);
+        let mut a = ExactWindow::new(&cfg);
+        let mut b = ExactWindow::new(&cfg);
+        for t in 1..=100u64 {
+            if t % 2 == 0 {
+                a.insert_ones(t, 1);
+            } else {
+                b.insert_ones(t, 3);
+            }
+        }
+        let merged = ExactWindow::merge(&[&a, &b], &cfg).unwrap();
+        assert_eq!(merged.count(100, 1000), a.count(100, 1000) + b.count(100, 1000));
+        assert_eq!(merged.count(100, 7), a.count(100, 7) + b.count(100, 7));
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_windows() {
+        let a = ExactWindow::new(&ExactWindowConfig::new(10));
+        let cfg = ExactWindowConfig::new(20);
+        assert!(matches!(
+            ExactWindow::merge(&[&a], &cfg),
+            Err(MergeError::IncompatibleConfig { .. })
+        ));
+        assert!(matches!(
+            ExactWindow::merge(&[], &cfg),
+            Err(MergeError::Empty)
+        ));
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let cfg = ExactWindowConfig::new(500);
+        let mut w = ExactWindow::new(&cfg);
+        for t in [3u64, 3, 9, 12, 400, 401, 401] {
+            w.insert_ones(t, 1);
+        }
+        let mut buf = Vec::new();
+        w.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let back = ExactWindow::decode(&cfg, &mut slice).unwrap();
+        assert!(slice.is_empty());
+        assert_eq!(back.count(401, 500), w.count(401, 500));
+        assert_eq!(back.count(401, 10), w.count(401, 10));
+        for cut in 0..buf.len() {
+            let mut s = &buf[..cut];
+            assert!(ExactWindow::decode(&cfg, &mut s).is_err());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_naive(
+            gaps in proptest::collection::vec((0u64..5, 1u64..4), 1..300),
+            window in 10u64..500,
+            range in 1u64..600,
+        ) {
+            let cfg = ExactWindowConfig::new(window);
+            let mut w = ExactWindow::new(&cfg);
+            let mut all: Vec<(u64, u64)> = Vec::new();
+            let mut t = 1u64;
+            for (g, c) in gaps {
+                t += g;
+                w.insert_ones(t, c);
+                all.push((t, c));
+            }
+            let now = t;
+            let eff = range.min(window);
+            let cutoff = now.saturating_sub(eff);
+            let naive: u64 = all
+                .iter()
+                .filter(|&&(ts, _)| ts > cutoff && ts <= now)
+                .map(|&(_, c)| c)
+                .sum();
+            prop_assert_eq!(w.count(now, range), naive);
+        }
+    }
+}

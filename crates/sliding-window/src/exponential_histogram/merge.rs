@@ -1,0 +1,158 @@
+//! Order-preserving aggregation `⊕` of time-based exponential histograms
+//! (paper §5.1, Theorem 4).
+//!
+//! Each input histogram is treated as a log of its own stream: a bucket of
+//! size `|b|` is replayed as `|b|/2` 1-bits at the bucket's start tick and
+//! `|b|/2` at its end tick (a size-1 bucket is replayed exactly, at its end
+//! tick, which *is* its bit's arrival tick). The replayed events of all
+//! inputs are interleaved in tick order and inserted into a fresh histogram
+//! with error parameter ε′.
+//!
+//! Theorem 4: if the inputs were built with error ε, the result answers any
+//! query with maximum relative error `ε + ε′ + ε·ε′`. The error is additive
+//! across aggregation levels (err₂ of the paper), so an `h`-level hierarchy
+//! yields `h·ε·(1+ε) + ε` — see [`multilevel_epsilon`] for the inverse.
+
+use super::{EhConfig, ExponentialHistogram};
+use crate::error::MergeError;
+
+/// Merge time-based exponential histograms into one summarizing the
+/// order-preserving union of their streams.
+///
+/// All inputs must cover the same window length; their ε may differ (the
+/// effective input error is the maximum). The output is built with
+/// `out_cfg.epsilon` = ε′.
+///
+/// ```
+/// use sliding_window::{EhConfig, ExponentialHistogram};
+/// use sliding_window::merge_exponential_histograms;
+///
+/// let cfg = EhConfig::new(0.1, 10_000);
+/// let mut site_a = ExponentialHistogram::new(&cfg);
+/// let mut site_b = ExponentialHistogram::new(&cfg);
+/// for t in 1..=3000u64 {
+///     if t % 2 == 0 { site_a.insert_one(t) } else { site_b.insert_one(t) }
+/// }
+/// let global = merge_exponential_histograms(&[&site_a, &site_b], &cfg).unwrap();
+/// // Theorem 4: relative error ≤ ε + ε' + ε·ε' = 0.21 on the union stream.
+/// let est = global.estimate(3000, 1000);
+/// assert!((est - 1000.0).abs() <= 0.21 * 1000.0 + 2.0);
+/// ```
+///
+/// # Errors
+/// [`MergeError::Empty`] if `parts` is empty, and
+/// [`MergeError::IncompatibleConfig`] on window-length mismatch.
+pub fn merge_exponential_histograms(
+    parts: &[&ExponentialHistogram],
+    out_cfg: &EhConfig,
+) -> Result<ExponentialHistogram, MergeError> {
+    if parts.is_empty() {
+        return Err(MergeError::Empty);
+    }
+    let window = parts[0].cfg.window;
+    for (i, p) in parts.iter().enumerate() {
+        if p.cfg.window != window {
+            return Err(MergeError::IncompatibleConfig {
+                detail: format!(
+                    "window mismatch: part 0 covers {window} ticks, part {i} covers {}",
+                    p.cfg.window
+                ),
+            });
+        }
+    }
+    if out_cfg.window != window {
+        return Err(MergeError::IncompatibleConfig {
+            detail: format!(
+                "output window {} != input window {window}",
+                out_cfg.window
+            ),
+        });
+    }
+
+    // Replay each bucket as half its bits at the start tick, half at the end.
+    let mut events: Vec<(u64, u64)> = Vec::new();
+    for p in parts {
+        for b in p.buckets() {
+            if b.size == 1 {
+                events.push((b.end, 1));
+            } else {
+                events.push((b.start, b.size / 2));
+                events.push((b.end, b.size - b.size / 2));
+            }
+        }
+    }
+    events.sort_unstable_by_key(|&(ts, _)| ts);
+
+    let mut out = ExponentialHistogram::new(out_cfg);
+    for (ts, n) in events {
+        out.insert_ones(ts, n);
+    }
+    // Advance the merged clock to the latest input clock so that expiry and
+    // subsequent window queries line up even if one site was idle.
+    let now = parts.iter().map(|p| p.last_ts).max().unwrap_or(0);
+    if now > out.last_ts {
+        out.last_ts = now;
+        out.expire(now);
+    }
+    Ok(out)
+}
+
+/// Per-site ε that makes an `h`-level aggregation hierarchy come out at a
+/// target relative error `ε_target` (paper §5.1, multi-level aggregation):
+/// solves `h·ε·(1+ε) + ε = ε_target` for ε, i.e.
+/// `ε = (√(1 + 2h + h² + 4h·ε_target) − 1 − h) / (2h)`.
+///
+/// For `h == 0` (no aggregation) this is just `ε_target`.
+pub fn multilevel_epsilon(eps_target: f64, levels: u32) -> f64 {
+    assert!(eps_target > 0.0, "target epsilon must be positive");
+    if levels == 0 {
+        return eps_target;
+    }
+    let h = f64::from(levels);
+    ((1.0 + 2.0 * h + h * h + 4.0 * h * eps_target).sqrt() - 1.0 - h) / (2.0 * h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multilevel_epsilon_inverts_error_recursion() {
+        for &target in &[0.05, 0.1, 0.2, 0.3] {
+            for h in 1..6u32 {
+                let eps = multilevel_epsilon(target, h);
+                assert!(eps > 0.0 && eps < target);
+                let achieved = f64::from(h) * eps * (1.0 + eps) + eps;
+                assert!(
+                    (achieved - target).abs() < 1e-9,
+                    "h={h} target={target} eps={eps} achieved={achieved}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multilevel_epsilon_zero_levels_is_identity() {
+        assert_eq!(multilevel_epsilon(0.1, 0), 0.1);
+    }
+
+    #[test]
+    fn merge_rejects_empty_and_mismatched_windows() {
+        let cfg = EhConfig::new(0.1, 100);
+        assert!(matches!(
+            merge_exponential_histograms(&[], &cfg),
+            Err(MergeError::Empty)
+        ));
+        let a = ExponentialHistogram::new(&EhConfig::new(0.1, 100));
+        let b = ExponentialHistogram::new(&EhConfig::new(0.1, 200));
+        assert!(matches!(
+            merge_exponential_histograms(&[&a, &b], &cfg),
+            Err(MergeError::IncompatibleConfig { .. })
+        ));
+        let bad_out = EhConfig::new(0.1, 50);
+        assert!(matches!(
+            merge_exponential_histograms(&[&a], &bad_out),
+            Err(MergeError::IncompatibleConfig { .. })
+        ));
+    }
+}

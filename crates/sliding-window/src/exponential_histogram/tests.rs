@@ -1,0 +1,402 @@
+use super::*;
+use crate::traits::WindowCounter;
+use proptest::prelude::*;
+
+/// Exact count of arrivals with tick in `(now - range, now]`.
+fn exact_count(ticks: &[u64], now: u64, range: u64) -> u64 {
+    let cutoff = now.saturating_sub(range);
+    ticks.iter().filter(|&&t| t > cutoff && t <= now).count() as u64
+}
+
+fn build(eps: f64, window: u64, ticks: &[u64]) -> ExponentialHistogram {
+    let mut eh = ExponentialHistogram::new(&EhConfig::new(eps, window));
+    for &t in ticks {
+        eh.insert_one(t);
+    }
+    eh
+}
+
+#[test]
+fn empty_histogram_reports_zero() {
+    let eh = ExponentialHistogram::new(&EhConfig::new(0.1, 100));
+    assert_eq!(eh.estimate(50, 100), 0.0);
+    assert_eq!(eh.stored_ones(), 0);
+    assert_eq!(eh.bucket_count(), 0);
+    assert!(eh.validate().is_ok());
+}
+
+#[test]
+#[should_panic(expected = "epsilon")]
+fn zero_epsilon_rejected() {
+    let _ = EhConfig::new(0.0, 10);
+}
+
+#[test]
+#[should_panic(expected = "window")]
+fn zero_window_rejected() {
+    let _ = EhConfig::new(0.1, 0);
+}
+
+#[test]
+fn level_capacity_formula() {
+    // k = ceil(1/eps); cap = ceil(k/2) + 2.
+    assert_eq!(EhConfig::new(0.1, 10).level_capacity(), 7);
+    assert_eq!(EhConfig::new(0.5, 10).level_capacity(), 3);
+    assert_eq!(EhConfig::new(1.0, 10).level_capacity(), 3);
+    assert_eq!(EhConfig::new(0.05, 10).level_capacity(), 12);
+}
+
+#[test]
+fn small_streams_are_exact() {
+    // While every bucket has size 1 the structure is lossless for queries
+    // whose cutoff does not split a bucket.
+    let eh = build(0.1, 1000, &[1, 2, 3, 4, 5]);
+    assert_eq!(eh.estimate(5, 1000), 5.0);
+    assert_eq!(eh.estimate(5, 2), 2.0); // ticks 4,5
+    assert_eq!(eh.estimate(5, 4), 4.0); // ticks 2..=5
+    assert_eq!(eh.stored_ones(), 5);
+}
+
+#[test]
+fn expiry_drops_old_buckets() {
+    let mut eh = build(0.1, 10, &(1..=100).collect::<Vec<_>>());
+    eh.expire(100);
+    // Everything with tick <= 90 is expirable; buckets may slightly lag but
+    // stored ones must stay within the theoretical residue.
+    assert!(eh.stored_ones() >= 10);
+    assert!(eh.validate().is_ok());
+    // A query over the window is close to the true 10.
+    let est = eh.estimate(100, 10);
+    assert!((est - 10.0).abs() <= 1.0 + 0.2 * 10.0, "est={est}");
+}
+
+#[test]
+fn expiry_keeps_totals_consistent_over_long_stream() {
+    let mut eh = ExponentialHistogram::new(&EhConfig::new(0.2, 50));
+    for t in 1..=10_000u64 {
+        eh.insert_one(t);
+        if t % 997 == 0 {
+            assert!(eh.validate().is_ok(), "at t={t}");
+        }
+    }
+    assert!(eh.validate().is_ok());
+    // Memory is bounded: levels * capacity.
+    assert!(eh.bucket_count() <= 64 * eh.config().level_capacity());
+}
+
+#[test]
+fn estimate_error_within_half_of_straddling_bucket() {
+    // Deterministic guarantee: the only uncertainty is the oldest,
+    // partially-overlapping bucket, counted as half its size.
+    let ticks: Vec<u64> = (1..=5000).map(|i| i * 3 % 7919 + 1).collect();
+    let mut sorted = ticks.clone();
+    sorted.sort_unstable();
+    let eh = build(0.1, 1_000_000, &sorted);
+    let now = *sorted.last().unwrap();
+    for range in [1u64, 10, 100, 1000, 5000, 10_000] {
+        let est = eh.estimate(now, range);
+        let exact = exact_count(&sorted, now, range) as f64;
+        let cutoff = now.saturating_sub(range);
+        let straddler = eh
+            .buckets()
+            .find(|b| b.end > cutoff)
+            .map_or(0.0, |b| b.size as f64);
+        assert!(
+            (est - exact).abs() <= straddler / 2.0 + 1e-9,
+            "range={range} est={est} exact={exact} straddler={straddler}"
+        );
+    }
+}
+
+#[test]
+fn full_window_query_has_relative_error_eps() {
+    for &eps in &[0.05, 0.1, 0.2] {
+        let ticks: Vec<u64> = (1..=20_000u64).collect();
+        let window = 5_000u64;
+        let eh = build(eps, window, &ticks);
+        let est = eh.estimate(20_000, window);
+        let exact = 5_000.0;
+        let rel = (est - exact).abs() / exact;
+        assert!(rel <= eps, "eps={eps} rel={rel}");
+    }
+}
+
+#[test]
+fn buckets_iterate_oldest_to_newest_with_contiguous_ranges() {
+    let eh = build(0.3, 10_000, &(1..=200).collect::<Vec<_>>());
+    let buckets: Vec<BucketView> = eh.buckets().collect();
+    assert!(!buckets.is_empty());
+    for w in buckets.windows(2) {
+        assert!(w[0].end <= w[1].end, "ends must be non-decreasing");
+        assert_eq!(w[1].start, w[0].end, "ranges must chain");
+        assert!(w[0].size >= w[1].size, "sizes non-increasing toward newest");
+    }
+    let total: u64 = buckets.iter().map(|b| b.size).sum();
+    assert_eq!(total, eh.stored_ones());
+}
+
+#[test]
+fn window_counter_trait_roundtrip() {
+    let cfg = EhConfig::new(0.1, 500);
+    let mut eh = <ExponentialHistogram as WindowCounter>::new(&cfg);
+    for t in 1..=300u64 {
+        eh.insert(t, t);
+    }
+    assert_eq!(eh.window_len(), 500);
+    assert!(eh.memory_bytes() > 0);
+    assert!((eh.query_window(300) - 300.0).abs() <= 0.1 * 300.0);
+}
+
+#[test]
+fn codec_round_trips() {
+    let cfg = EhConfig::new(0.1, 1000);
+    let mut eh = ExponentialHistogram::new(&cfg);
+    for t in 1..=2500u64 {
+        eh.insert_one(t * 2);
+    }
+    let mut buf = Vec::new();
+    eh.encode(&mut buf);
+    assert_eq!(buf.len(), eh.encoded_len());
+    let mut slice = buf.as_slice();
+    let back = ExponentialHistogram::decode(&cfg, &mut slice).unwrap();
+    assert!(slice.is_empty());
+    assert_eq!(back.stored_ones(), eh.stored_ones());
+    assert_eq!(back.lifetime_ones(), eh.lifetime_ones());
+    for range in [10u64, 100, 999] {
+        assert_eq!(back.estimate(5000, range), eh.estimate(5000, range));
+    }
+    assert!(back.validate().is_ok());
+}
+
+#[test]
+fn codec_rejects_truncation_and_bad_version() {
+    let cfg = EhConfig::new(0.1, 1000);
+    let mut eh = ExponentialHistogram::new(&cfg);
+    for t in 1..=100u64 {
+        eh.insert_one(t);
+    }
+    let mut buf = Vec::new();
+    eh.encode(&mut buf);
+    for cut in 0..buf.len() {
+        let mut slice = &buf[..cut];
+        assert!(
+            ExponentialHistogram::decode(&cfg, &mut slice).is_err(),
+            "cut={cut} should fail"
+        );
+    }
+    let mut bad = buf.clone();
+    bad[0] = 99;
+    let mut slice = bad.as_slice();
+    assert!(matches!(
+        ExponentialHistogram::decode(&cfg, &mut slice),
+        Err(crate::CodecError::BadVersion { found: 99 })
+    ));
+}
+
+#[test]
+fn empty_codec_round_trips() {
+    let cfg = EhConfig::new(0.25, 64);
+    let eh = ExponentialHistogram::new(&cfg);
+    let mut buf = Vec::new();
+    eh.encode(&mut buf);
+    let mut slice = buf.as_slice();
+    let back = ExponentialHistogram::decode(&cfg, &mut slice).unwrap();
+    assert_eq!(back.stored_ones(), 0);
+    assert_eq!(back.estimate(100, 64), 0.0);
+}
+
+#[test]
+fn merge_two_histograms_approximates_union() {
+    let cfg = EhConfig::new(0.1, 100_000);
+    let a_ticks: Vec<u64> = (1..=4000).map(|i| i * 2).collect();
+    let b_ticks: Vec<u64> = (1..=4000).map(|i| i * 2 + 1).collect();
+    let a = build(0.1, 100_000, &a_ticks);
+    let b = build(0.1, 100_000, &b_ticks);
+    let merged = merge_exponential_histograms(&[&a, &b], &cfg).unwrap();
+    assert!(merged.validate().is_ok());
+
+    let mut union: Vec<u64> = a_ticks.iter().chain(&b_ticks).copied().collect();
+    union.sort_unstable();
+    let now = *union.last().unwrap();
+    // Theorem 4 envelope with eps = eps' = 0.1: 2eps + eps^2 = 0.21.
+    let envelope = 0.21;
+    for range in [500u64, 2000, 8000] {
+        let est = merged.estimate(now, range);
+        let exact = exact_count(&union, now, range) as f64;
+        assert!(
+            (est - exact).abs() <= envelope * exact + 2.0,
+            "range={range} est={est} exact={exact}"
+        );
+    }
+}
+
+#[test]
+fn merge_single_part_is_near_identity() {
+    let cfg = EhConfig::new(0.05, 10_000);
+    let ticks: Vec<u64> = (1..=3000u64).collect();
+    let eh = build(0.05, 10_000, &ticks);
+    let merged = merge_exponential_histograms(&[&eh], &cfg).unwrap();
+    // Totals preserved exactly: replay moves bits within bucket ranges but
+    // never loses them.
+    assert_eq!(merged.stored_ones(), eh.stored_ones());
+}
+
+#[test]
+fn merge_respects_idle_site_clock() {
+    // One site saw recent events, the other has been idle; the merged clock
+    // must advance to the most recent tick so expiry is correct.
+    let cfg = EhConfig::new(0.1, 100);
+    let idle = build(0.1, 100, &[1, 2, 3]);
+    let busy = build(0.1, 100, &(200..=300).collect::<Vec<_>>());
+    let merged = merge_exponential_histograms(&[&idle, &busy], &cfg).unwrap();
+    assert_eq!(merged.last_tick(), 300);
+    // The idle site's ancient ticks are outside the merged window.
+    let est = merged.estimate(300, 100);
+    assert!(
+        (est - 100.0).abs() <= 0.21 * 100.0 + 2.0,
+        "idle events must have expired, est={est}"
+    );
+}
+
+#[test]
+fn hierarchical_merge_error_stays_bounded() {
+    // 4 sites, 2 levels of pairwise merging.
+    let window = 1_000_000u64;
+    let eps = 0.1;
+    let cfg = EhConfig::new(eps, window);
+    let mut site_ticks: Vec<Vec<u64>> = Vec::new();
+    for s in 0..4u64 {
+        site_ticks.push((1..=3000).map(|i| i * 4 + s).collect());
+    }
+    let sites: Vec<ExponentialHistogram> = site_ticks
+        .iter()
+        .map(|t| build(eps, window, t))
+        .collect();
+    let l1a =
+        merge_exponential_histograms(&[&sites[0], &sites[1]], &cfg).unwrap();
+    let l1b =
+        merge_exponential_histograms(&[&sites[2], &sites[3]], &cfg).unwrap();
+    let root = merge_exponential_histograms(&[&l1a, &l1b], &cfg).unwrap();
+
+    let mut union: Vec<u64> = site_ticks.concat();
+    union.sort_unstable();
+    let now = *union.last().unwrap();
+    // h=2 levels: bound = h*eps*(1+eps) + eps = 0.32; observed is far lower.
+    for range in [1000u64, 4000, 12_000] {
+        let est = root.estimate(now, range);
+        let exact = exact_count(&union, now, range) as f64;
+        assert!(
+            (est - exact).abs() <= 0.32 * exact + 2.0,
+            "range={range} est={est} exact={exact}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Core deterministic guarantee: estimate error never exceeds half the
+    /// straddling bucket.
+    #[test]
+    fn prop_error_bounded_by_straddler(
+        gaps in proptest::collection::vec(1u64..20, 1..800),
+        eps in 0.05f64..0.5,
+        range_frac in 0.01f64..1.0,
+    ) {
+        let mut ticks = Vec::with_capacity(gaps.len());
+        let mut t = 0u64;
+        for g in gaps { t += g; ticks.push(t); }
+        let now = *ticks.last().unwrap();
+        let window = now + 1;
+        let eh = build(eps, window, &ticks);
+        prop_assert!(eh.validate().is_ok());
+        let range = ((now as f64 * range_frac) as u64).max(1);
+        let est = eh.estimate(now, range);
+        let exact = exact_count(&ticks, now, range) as f64;
+        let cutoff = now.saturating_sub(range);
+        let straddler = eh
+            .buckets()
+            .find(|b| b.end > cutoff)
+            .map_or(0.0, |b| b.size as f64);
+        prop_assert!(
+            (est - exact).abs() <= straddler / 2.0 + 1e-9,
+            "est={} exact={} straddler={}", est, exact, straddler
+        );
+    }
+
+    /// Paper-level guarantee on saturated windows: relative error ≤ ε
+    /// for full-window queries once the window holds plenty of arrivals.
+    #[test]
+    fn prop_full_window_relative_error(
+        n in 2000usize..6000,
+        eps in 0.05f64..0.3,
+    ) {
+        let ticks: Vec<u64> = (1..=n as u64).collect();
+        let window = (n / 2) as u64;
+        let eh = build(eps, window, &ticks);
+        let est = eh.estimate(n as u64, window);
+        let exact = window as f64;
+        let rel = (est - exact).abs() / exact;
+        prop_assert!(rel <= eps + 1e-9, "rel={} eps={}", rel, eps);
+    }
+
+    /// Codec round-trips preserve estimates exactly.
+    #[test]
+    fn prop_codec_roundtrip(
+        gaps in proptest::collection::vec(1u64..50, 0..300),
+        eps in 0.05f64..0.5,
+    ) {
+        let cfg = EhConfig::new(eps, 10_000);
+        let mut eh = ExponentialHistogram::new(&cfg);
+        let mut t = 0u64;
+        for g in &gaps { t += g; eh.insert_one(t); }
+        let mut buf = Vec::new();
+        eh.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let back = ExponentialHistogram::decode(&cfg, &mut slice).unwrap();
+        prop_assert!(slice.is_empty());
+        for range in [1u64, 7, 100, 9999] {
+            prop_assert_eq!(back.estimate(t, range), eh.estimate(t, range));
+        }
+    }
+
+    /// Theorem 4: merged estimate within (ε + ε' + εε') of the union stream,
+    /// plus a one-bucket additive slack for degenerate tiny counts.
+    #[test]
+    fn prop_merge_error_theorem4(
+        seed_a in proptest::collection::vec(1u64..9, 50..400),
+        seed_b in proptest::collection::vec(1u64..9, 50..400),
+        eps in 0.08f64..0.3,
+    ) {
+        let window = 1_000_000u64;
+        let mut a_ticks = Vec::new();
+        let mut t = 0u64;
+        for g in seed_a { t += g; a_ticks.push(t); }
+        let mut b_ticks = Vec::new();
+        let mut t = 1u64;
+        for g in seed_b { t += g; b_ticks.push(t); }
+        let a = build(eps, window, &a_ticks);
+        let b = build(eps, window, &b_ticks);
+        let out_cfg = EhConfig::new(eps, window);
+        let merged = merge_exponential_histograms(&[&a, &b], &out_cfg).unwrap();
+        prop_assert!(merged.validate().is_ok());
+
+        let mut union: Vec<u64> = a_ticks.iter().chain(&b_ticks).copied().collect();
+        union.sort_unstable();
+        let now = (*union.last().unwrap()).max(a.last_tick()).max(b.last_tick());
+        let envelope = eps + eps + eps * eps;
+        for frac in [0.25f64, 0.5, 1.0] {
+            let range = ((now as f64 * frac) as u64).max(1);
+            let est = merged.estimate(now, range);
+            let exact = exact_count(&union, now, range) as f64;
+            let straddler = merged
+                .buckets()
+                .find(|bk| bk.end > now.saturating_sub(range))
+                .map_or(0.0, |bk| bk.size as f64);
+            prop_assert!(
+                (est - exact).abs() <= envelope * exact + straddler / 2.0 + 2.0,
+                "est={} exact={} envelope={}", est, exact, envelope
+            );
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! Randomized waves (Gibbons & Tirthapura, SPAA 2002): an (ε, δ)-approximate
+//! sliding-window counter whose per-level *sampling* is driven by a shared
+//! hash of the arrival identity — which is exactly what makes waves built
+//! over disjoint streams **losslessly mergeable** (paper §5.2).
+//!
+//! Every arrival carries a stream-unique `id`. A seeded hash assigns it a
+//! geometric level `ℓ(id)` (`P[ℓ ≥ i] = 2⁻ⁱ`) and the arrival is stored in
+//! the queues of levels `0..=ℓ(id)`, each of which retains the most recent
+//! `O(log(1/δ)/ε²)` entries. A query picks the finest level still covering
+//! its cutoff and scales the in-range entry count by `2ⁱ`.
+//!
+//! Because the level assignment depends only on `(seed, id)` and never on
+//! which site observed the arrival, concatenating the per-level queues of
+//! several waves, re-sorting by tick and truncating to capacity reproduces
+//! *exactly* the wave that a single site observing the union stream would
+//! have built — the lossless aggregation the paper contrasts against the
+//! lossy-but-compact exponential-histogram merge.
+
+use std::collections::VecDeque;
+
+use crate::codec::{get_u8, get_varint, put_u8, put_varint};
+use crate::error::{CodecError, MergeError};
+use crate::traits::{MergeableCounter, WindowCounter};
+
+const CODEC_VERSION: u8 = 3;
+
+/// SplitMix64: tiny, high-quality 64-bit mixer used for level sampling.
+#[inline]
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Construction parameters for a [`RandomizedWave`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RwConfig {
+    /// Target relative error ε ∈ (0, 1].
+    pub epsilon: f64,
+    /// Failure probability δ ∈ (0, 1).
+    pub delta: f64,
+    /// Window length in ticks.
+    pub window: u64,
+    /// Upper bound on arrivals within one window (sizes the level pyramid).
+    pub max_arrivals: u64,
+    /// Hash seed. Waves can only be merged when seeds match.
+    pub seed: u64,
+}
+
+impl RwConfig {
+    /// Build a config, validating ranges.
+    ///
+    /// # Panics
+    /// If `epsilon ∉ (0,1]`, `delta ∉ (0,1)`, `window == 0`, or
+    /// `max_arrivals == 0`.
+    pub fn new(epsilon: f64, delta: f64, window: u64, max_arrivals: u64, seed: u64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must be in (0,1], got {epsilon}"
+        );
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "delta must be in (0,1), got {delta}"
+        );
+        assert!(window > 0, "window must be positive");
+        assert!(max_arrivals > 0, "max_arrivals must be positive");
+        RwConfig {
+            epsilon,
+            delta,
+            window,
+            max_arrivals,
+            seed,
+        }
+    }
+
+    /// Entries retained per level: `⌈(4/ε²)·ln(4/δ)⌉` — the quadratic
+    /// `1/ε²` dependence that makes randomized waves an order of magnitude
+    /// larger than the deterministic synopses (paper §4.2.2, Table 2).
+    pub fn level_capacity(&self) -> usize {
+        ((4.0 / (self.epsilon * self.epsilon)) * (4.0 / self.delta).ln()).ceil() as usize
+    }
+
+    /// Number of sampling levels: enough that the coarsest level is expected
+    /// to retain the whole window within the arrival bound.
+    pub fn level_count(&self) -> usize {
+        let cap = self.level_capacity() as u64;
+        let mut l = 1usize;
+        while cap.saturating_mul(1u64 << (l - 1)) < self.max_arrivals && l < 63 {
+            l += 1;
+        }
+        l
+    }
+}
+
+/// A sampled arrival: its tick and stream-unique identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Sample {
+    pos: u64,
+    id: u64,
+}
+
+/// Randomized (ε, δ)-approximate sliding-window counter with lossless
+/// aggregation. See the [module docs](self).
+///
+/// ```
+/// use sliding_window::{merge_randomized_waves, RandomizedWave, RwConfig};
+///
+/// let cfg = RwConfig::new(0.2, 0.1, 1 << 20, 10_000, /*seed=*/ 7);
+/// let mut site_a = RandomizedWave::new(&cfg);
+/// let mut site_b = RandomizedWave::new(&cfg);
+/// let mut union = RandomizedWave::new(&cfg);
+/// for id in 1..=4000u64 {
+///     let ts = id;
+///     union.insert_one(ts, id);
+///     if id % 2 == 0 { site_a.insert_one(ts, id) } else { site_b.insert_one(ts, id) }
+/// }
+/// // Same seed + disjoint ids ⇒ the merge is *identical* to the wave that
+/// // watched the union stream (paper §5.2).
+/// let merged = merge_randomized_waves(&[&site_a, &site_b], &cfg).unwrap();
+/// assert_eq!(merged.estimate(4000, 2000), union.estimate(4000, 2000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomizedWave {
+    cfg: RwConfig,
+    cap: usize,
+    /// `queues[i]`: arrivals sampled at level ≥ i, oldest at the front.
+    queues: Vec<VecDeque<Sample>>,
+    /// Whether level `i` has ever evicted.
+    evicted: Vec<bool>,
+    /// Lifetime arrivals observed.
+    count: u64,
+    last_ts: u64,
+}
+
+impl RandomizedWave {
+    /// Create an empty wave.
+    pub fn new(cfg: &RwConfig) -> Self {
+        let levels = cfg.level_count();
+        RandomizedWave {
+            cap: cfg.level_capacity(),
+            cfg: cfg.clone(),
+            queues: vec![VecDeque::new(); levels],
+            evicted: vec![false; levels],
+            count: 0,
+            last_ts: 0,
+        }
+    }
+
+    /// The configuration this wave was built with.
+    pub fn config(&self) -> &RwConfig {
+        &self.cfg
+    }
+
+    /// Sampling level of an arrival identity under this wave's seed.
+    #[inline]
+    fn level_of(&self, id: u64) -> usize {
+        let h = splitmix64(id ^ self.cfg.seed);
+        (h.trailing_zeros() as usize).min(self.queues.len() - 1)
+    }
+
+    /// Record one arrival with stream-unique `id` at tick `ts`.
+    pub fn insert_one(&mut self, ts: u64, id: u64) {
+        debug_assert!(
+            self.count == 0 || ts >= self.last_ts,
+            "timestamps must be non-decreasing"
+        );
+        self.last_ts = ts;
+        self.count += 1;
+        let lvl = self.level_of(id);
+        for i in 0..=lvl {
+            self.queues[i].push_back(Sample { pos: ts, id });
+            if self.queues[i].len() > self.cap {
+                self.queues[i].pop_front();
+                self.evicted[i] = true;
+            }
+        }
+    }
+
+    /// Lifetime arrivals observed.
+    pub fn lifetime_ones(&self) -> u64 {
+        self.count
+    }
+
+    /// Tick of the latest arrival (0 if empty).
+    pub fn last_tick(&self) -> u64 {
+        self.last_ts
+    }
+
+    /// Estimated number of arrivals with tick in `(now - range, now]`.
+    pub fn estimate(&self, now: u64, range: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let range = range.min(self.cfg.window);
+        let cutoff = now.saturating_sub(range);
+        for (i, q) in self.queues.iter().enumerate() {
+            let covers = !self.evicted[i]
+                || q.front().is_some_and(|s| s.pos <= cutoff);
+            if !covers {
+                continue;
+            }
+            let in_range = Self::count_in_range(q, cutoff, now);
+            return (in_range as f64) * (1u64 << i) as f64;
+        }
+        let q = self.queues.last().expect("at least one level");
+        let i = self.queues.len() - 1;
+        (Self::count_in_range(q, cutoff, now) as f64) * (1u64 << i) as f64
+    }
+
+    fn count_in_range(q: &VecDeque<Sample>, cutoff: u64, now: u64) -> usize {
+        let (a, b) = q.as_slices();
+        let count_slice = |s: &[Sample]| {
+            let lo = s.partition_point(|e| e.pos <= cutoff);
+            let hi = s.partition_point(|e| e.pos <= now);
+            hi - lo
+        };
+        count_slice(a) + count_slice(b)
+    }
+}
+
+impl WindowCounter for RandomizedWave {
+    type Config = RwConfig;
+
+    fn new(cfg: &Self::Config) -> Self {
+        RandomizedWave::new(cfg)
+    }
+
+    fn insert(&mut self, ts: u64, id: u64) {
+        self.insert_one(ts, id);
+    }
+
+    fn query(&self, now: u64, range: u64) -> f64 {
+        self.estimate(now, range)
+    }
+
+    fn window_len(&self) -> u64 {
+        self.cfg.window
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.queues.capacity() * std::mem::size_of::<VecDeque<Sample>>()
+            + self
+                .queues
+                .iter()
+                .map(|q| q.capacity() * std::mem::size_of::<Sample>())
+                .sum::<usize>()
+            + self.evicted.capacity()
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u8(buf, CODEC_VERSION);
+        put_varint(buf, self.queues.len() as u64);
+        for (i, q) in self.queues.iter().enumerate() {
+            put_u8(buf, u8::from(self.evicted[i]));
+            put_varint(buf, q.len() as u64);
+            let mut prev_pos = 0u64;
+            for &s in q {
+                put_varint(buf, s.pos - prev_pos);
+                put_varint(buf, s.id);
+                prev_pos = s.pos;
+            }
+        }
+        put_varint(buf, self.count);
+        put_varint(buf, self.last_ts);
+    }
+
+    fn decode(cfg: &Self::Config, input: &mut &[u8]) -> Result<Self, CodecError> {
+        let version = get_u8(input, "rw version")?;
+        if version != CODEC_VERSION {
+            return Err(CodecError::BadVersion { found: version });
+        }
+        let n_levels = get_varint(input, "rw levels")? as usize;
+        if n_levels != cfg.level_count() {
+            return Err(CodecError::Corrupt { context: "rw levels" });
+        }
+        let cap = cfg.level_capacity();
+        let mut queues = Vec::with_capacity(n_levels);
+        let mut evicted = Vec::with_capacity(n_levels);
+        for _ in 0..n_levels {
+            evicted.push(get_u8(input, "rw evicted")? != 0);
+            let n = get_varint(input, "rw queue len")? as usize;
+            if n > cap {
+                return Err(CodecError::Corrupt {
+                    context: "rw queue len",
+                });
+            }
+            let mut q = VecDeque::with_capacity(n);
+            let mut prev_pos = 0u64;
+            for _ in 0..n {
+                let dp = get_varint(input, "rw pos")?;
+                let id = get_varint(input, "rw id")?;
+                prev_pos += dp;
+                q.push_back(Sample { pos: prev_pos, id });
+            }
+            queues.push(q);
+        }
+        let count = get_varint(input, "rw count")?;
+        let last_ts = get_varint(input, "rw last_ts")?;
+        Ok(RandomizedWave {
+            cap,
+            cfg: cfg.clone(),
+            queues,
+            evicted,
+            count,
+            last_ts,
+        })
+    }
+}
+
+/// Lossless aggregation of randomized waves built over disjoint streams with
+/// identical configurations (paper §5.2): per level, concatenate, sort by
+/// tick, and retain the newest `capacity` samples.
+pub fn merge_randomized_waves(
+    parts: &[&RandomizedWave],
+    out_cfg: &RwConfig,
+) -> Result<RandomizedWave, MergeError> {
+    if parts.is_empty() {
+        return Err(MergeError::Empty);
+    }
+    for (i, p) in parts.iter().enumerate() {
+        if p.cfg != *out_cfg {
+            return Err(MergeError::IncompatibleConfig {
+                detail: format!(
+                    "part {i} config differs from output config \
+                     (seed/window/eps/delta/bound must all match)"
+                ),
+            });
+        }
+    }
+    let mut out = RandomizedWave::new(out_cfg);
+    for i in 0..out.queues.len() {
+        let mut all: Vec<Sample> = parts
+            .iter()
+            .flat_map(|p| p.queues[i].iter().copied())
+            .collect();
+        all.sort_by_key(|s| s.pos);
+        let evicted_any = parts.iter().any(|p| p.evicted[i]);
+        let overflow = all.len().saturating_sub(out.cap);
+        out.evicted[i] = evicted_any || overflow > 0;
+        out.queues[i] = all.into_iter().skip(overflow).collect();
+    }
+    out.count = parts.iter().map(|p| p.count).sum();
+    out.last_ts = parts.iter().map(|p| p.last_ts).max().unwrap_or(0);
+    Ok(out)
+}
+
+impl MergeableCounter for RandomizedWave {
+    fn merge(parts: &[&Self], out_cfg: &Self::Config) -> Result<Self, MergeError> {
+        merge_randomized_waves(parts, out_cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn build(cfg: &RwConfig, arrivals: &[(u64, u64)]) -> RandomizedWave {
+        let mut w = RandomizedWave::new(cfg);
+        for &(ts, id) in arrivals {
+            w.insert_one(ts, id);
+        }
+        w
+    }
+
+    #[test]
+    fn empty_wave_reports_zero() {
+        let cfg = RwConfig::new(0.2, 0.1, 100, 1000, 7);
+        let w = RandomizedWave::new(&cfg);
+        assert_eq!(w.estimate(50, 100), 0.0);
+    }
+
+    #[test]
+    fn capacity_scales_quadratically_in_inverse_eps() {
+        let c1 = RwConfig::new(0.2, 0.1, 1, 1, 0).level_capacity();
+        let c2 = RwConfig::new(0.1, 0.1, 1, 1, 0).level_capacity();
+        assert!(c2 >= 4 * c1 - 4, "c({c2}) should be ~4x c({c1})");
+    }
+
+    #[test]
+    fn small_streams_are_exact_at_level_zero() {
+        let cfg = RwConfig::new(0.3, 0.1, 1000, 10_000, 42);
+        let arrivals: Vec<(u64, u64)> = (1..=40u64).map(|i| (i, i)).collect();
+        let w = build(&cfg, &arrivals);
+        // Level 0 holds everything (capacity far exceeds 40).
+        assert_eq!(w.estimate(40, 1000), 40.0);
+        assert_eq!(w.estimate(40, 10), 10.0);
+    }
+
+    #[test]
+    fn estimate_within_eps_on_long_stream() {
+        let eps = 0.15;
+        let cfg = RwConfig::new(eps, 0.05, 1 << 20, 200_000, 99);
+        let arrivals: Vec<(u64, u64)> = (1..=150_000u64).map(|i| (i, i)).collect();
+        let w = build(&cfg, &arrivals);
+        let now = 150_000u64;
+        for range in [20_000u64, 60_000, 140_000] {
+            let est = w.estimate(now, range);
+            let exact = range as f64;
+            let rel = (est - exact).abs() / exact;
+            assert!(rel <= eps, "range={range} est={est} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn merge_is_lossless_vs_union_built_wave() {
+        // Build one wave over the union stream and two waves over a split of
+        // it; the merged pair must be *identical* to the union wave.
+        let cfg = RwConfig::new(0.2, 0.1, 1 << 20, 100_000, 1234);
+        let mut union = RandomizedWave::new(&cfg);
+        let mut a = RandomizedWave::new(&cfg);
+        let mut b = RandomizedWave::new(&cfg);
+        for i in 1..=50_000u64 {
+            let ts = i;
+            let id = splitmix64(i); // arbitrary unique ids
+            union.insert_one(ts, id);
+            if i % 2 == 0 {
+                a.insert_one(ts, id);
+            } else {
+                b.insert_one(ts, id);
+            }
+        }
+        let merged = merge_randomized_waves(&[&a, &b], &cfg).unwrap();
+        assert_eq!(merged.count, union.count);
+        for i in 0..union.queues.len() {
+            assert_eq!(
+                merged.queues[i], union.queues[i],
+                "level {i} differs after merge"
+            );
+        }
+        for range in [100u64, 5_000, 49_999] {
+            assert_eq!(merged.estimate(50_000, range), union.estimate(50_000, range));
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_seeds() {
+        let a = RandomizedWave::new(&RwConfig::new(0.2, 0.1, 100, 1000, 1));
+        let cfg2 = RwConfig::new(0.2, 0.1, 100, 1000, 2);
+        assert!(matches!(
+            merge_randomized_waves(&[&a], &cfg2),
+            Err(MergeError::IncompatibleConfig { .. })
+        ));
+        assert!(matches!(
+            merge_randomized_waves(&[], &cfg2),
+            Err(MergeError::Empty)
+        ));
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let cfg = RwConfig::new(0.25, 0.1, 10_000, 20_000, 77);
+        let arrivals: Vec<(u64, u64)> =
+            (1..=5_000u64).map(|i| (i, splitmix64(i ^ 5))).collect();
+        let w = build(&cfg, &arrivals);
+        let mut buf = Vec::new();
+        w.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let back = RandomizedWave::decode(&cfg, &mut slice).unwrap();
+        assert!(slice.is_empty());
+        assert_eq!(back.count, w.count);
+        for range in [37u64, 800, 9_999] {
+            assert_eq!(back.estimate(5_000, range), w.estimate(5_000, range));
+        }
+        for cut in 0..buf.len().min(200) {
+            let mut s = &buf[..cut];
+            assert!(RandomizedWave::decode(&cfg, &mut s).is_err());
+        }
+    }
+
+    #[test]
+    fn level_sampling_is_geometric() {
+        let cfg = RwConfig::new(0.3, 0.1, 1 << 30, 1 << 20, 2024);
+        let w = RandomizedWave::new(&cfg);
+        let n = 100_000u64;
+        let mut at_least_one = 0u64;
+        for id in 0..n {
+            if w.level_of(id) >= 1 {
+                at_least_one += 1;
+            }
+        }
+        let frac = at_least_one as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "P[lvl>=1]={frac}, want 0.5");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Estimates over a random split merge exactly like the union wave.
+        #[test]
+        fn prop_merge_lossless(split_mod in 2u64..6, n in 1000u64..20_000) {
+            let cfg = RwConfig::new(0.25, 0.1, 1 << 20, 50_000, 555);
+            let mut union = RandomizedWave::new(&cfg);
+            let mut parts: Vec<RandomizedWave> =
+                (0..split_mod).map(|_| RandomizedWave::new(&cfg)).collect();
+            for i in 1..=n {
+                let id = splitmix64(i.wrapping_mul(0x9e37));
+                union.insert_one(i, id);
+                parts[(i % split_mod) as usize].insert_one(i, id);
+            }
+            let refs: Vec<&RandomizedWave> = parts.iter().collect();
+            let merged = merge_randomized_waves(&refs, &cfg).unwrap();
+            for range in [n / 7 + 1, n / 2 + 1, n] {
+                prop_assert_eq!(
+                    merged.estimate(n, range),
+                    union.estimate(n, range)
+                );
+            }
+        }
+
+        /// (ε,δ) accuracy envelope on uniform streams: allow a small number
+        /// of excursions consistent with δ.
+        #[test]
+        fn prop_estimate_accuracy(seed in 0u64..50) {
+            let eps = 0.2;
+            let cfg = RwConfig::new(eps, 0.05, 1 << 20, 100_000, seed);
+            let n = 60_000u64;
+            let mut w = RandomizedWave::new(&cfg);
+            for i in 1..=n {
+                w.insert_one(i, splitmix64(i ^ (seed << 32)));
+            }
+            let range = 30_000u64;
+            let est = w.estimate(n, range);
+            let exact = range as f64;
+            // 2ε envelope leaves headroom for the δ tail across cases.
+            prop_assert!(
+                (est - exact).abs() <= 2.0 * eps * exact,
+                "est={} exact={}", est, exact
+            );
+        }
+    }
+}

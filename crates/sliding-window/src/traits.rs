@@ -1,0 +1,74 @@
+//! The [`WindowCounter`] abstraction that lets the ECM-sketch swap its
+//! per-cell sliding-window algorithm (paper §4.2.2).
+
+use crate::error::{CodecError, MergeError};
+
+/// A sliding-window "basic counting" synopsis: it summarizes a stream of
+/// timestamped unit arrivals (*1-bits*) and answers *"how many arrivals fell
+/// in the last `r` ticks?"* with bounded relative error.
+///
+/// # Contract
+///
+/// * Timestamps passed to [`insert`](WindowCounter::insert) must be
+///   non-decreasing; implementations may debug-assert this.
+/// * `id` is a stream-unique identifier of the arrival (the ECM-sketch uses
+///   the global arrival sequence number). Deterministic synopses ignore it;
+///   the [`RandomizedWave`](crate::RandomizedWave) hashes it to pick sample
+///   levels, which is what makes independently built waves losslessly
+///   mergeable.
+/// * [`query`](WindowCounter::query) never sees a range larger than
+///   [`window_len`](WindowCounter::window_len); callers clamp.
+pub trait WindowCounter: Clone {
+    /// Constructor parameters (window length, error targets, seeds, ...).
+    type Config: Clone + std::fmt::Debug;
+
+    /// Create an empty counter.
+    fn new(cfg: &Self::Config) -> Self;
+
+    /// Record one arrival with stream-unique `id` at tick `ts`.
+    fn insert(&mut self, ts: u64, id: u64);
+
+    /// Estimated number of arrivals with tick in `(now - range, now]`.
+    ///
+    /// Fractional results are meaningful: the exponential histogram counts
+    /// half of its oldest, partially overlapping bucket.
+    fn query(&self, now: u64, range: u64) -> f64;
+
+    /// Estimated number of arrivals in the whole window ending at `now`.
+    fn query_window(&self, now: u64) -> f64 {
+        self.query(now, self.window_len())
+    }
+
+    /// Configured window length in ticks.
+    fn window_len(&self) -> u64;
+
+    /// Bytes of heap + inline memory currently held.
+    fn memory_bytes(&self) -> usize;
+
+    /// Append the compact wire encoding to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decode a counter previously produced by [`encode`](WindowCounter::encode),
+    /// advancing `input` past the consumed bytes. `cfg` must match the encoder's.
+    fn decode(cfg: &Self::Config, input: &mut &[u8]) -> Result<Self, CodecError>;
+
+    /// Size of the wire encoding, in bytes.
+    fn encoded_len(&self) -> usize {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
+}
+
+/// Synopses supporting the order-preserving aggregation operator `⊕`
+/// (paper §5): combining per-site counters into one counter for the
+/// interleaved union stream.
+pub trait MergeableCounter: WindowCounter {
+    /// Merge `parts` into a fresh counter configured by `out_cfg`.
+    ///
+    /// For exponential histograms the output error parameter ε′ may differ
+    /// from the inputs' ε — Theorem 4 bounds the combined error by
+    /// `ε + ε′ + ε·ε′`. For randomized waves the merge is lossless and
+    /// `out_cfg` must equal the inputs' config (same seed).
+    fn merge(parts: &[&Self], out_cfg: &Self::Config) -> Result<Self, MergeError>;
+}

@@ -1,0 +1,237 @@
+//! Exact sliding-window frequency oracle: the ground truth against which
+//! every sketch estimate in the test and benchmark suites is scored.
+//!
+//! Events are indexed per key as sorted tick vectors, so any
+//! `(key, now, range)` frequency is two binary searches, and norms,
+//! self-joins, inner products and exact heavy hitters are per-key scans.
+
+use crate::event::Event;
+use std::collections::HashMap;
+
+/// Exact windowed-frequency index over a finished trace.
+#[derive(Debug, Clone, Default)]
+pub struct WindowOracle {
+    /// Per-key sorted arrival ticks.
+    per_key: HashMap<u64, Vec<u64>>,
+    /// All arrival ticks, sorted.
+    all_ts: Vec<u64>,
+}
+
+impl WindowOracle {
+    /// Build the index from a trace (any order; ticks are sorted per key).
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut per_key: HashMap<u64, Vec<u64>> = HashMap::new();
+        let mut all_ts = Vec::with_capacity(events.len());
+        for e in events {
+            per_key.entry(e.key).or_default().push(e.ts);
+            all_ts.push(e.ts);
+        }
+        for v in per_key.values_mut() {
+            v.sort_unstable();
+        }
+        all_ts.sort_unstable();
+        WindowOracle { per_key, all_ts }
+    }
+
+    /// Number of distinct keys observed.
+    pub fn distinct_keys(&self) -> usize {
+        self.per_key.len()
+    }
+
+    /// Iterate the distinct keys.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.per_key.keys().copied()
+    }
+
+    /// Exact frequency of `key` among arrivals in `(now − range, now]`.
+    pub fn frequency(&self, key: u64, now: u64, range: u64) -> u64 {
+        self.per_key
+            .get(&key)
+            .map_or(0, |ts| count_in(ts, now, range))
+    }
+
+    /// Exact total arrivals (‖a_r‖₁) in the query range.
+    pub fn total(&self, now: u64, range: u64) -> u64 {
+        count_in(&self.all_ts, now, range)
+    }
+
+    /// Exact self-join size (F₂) of the query range.
+    pub fn self_join(&self, now: u64, range: u64) -> f64 {
+        self.per_key
+            .values()
+            .map(|ts| {
+                let f = count_in(ts, now, range) as f64;
+                f * f
+            })
+            .sum()
+    }
+
+    /// Exact inner product with another stream over the query range.
+    pub fn inner_product(&self, other: &WindowOracle, now: u64, range: u64) -> f64 {
+        // Iterate the smaller key set.
+        let (small, big) = if self.per_key.len() <= other.per_key.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .per_key
+            .iter()
+            .map(|(&k, ts)| {
+                let fa = count_in(ts, now, range) as f64;
+                if fa == 0.0 {
+                    0.0
+                } else {
+                    fa * big.frequency(k, now, range) as f64
+                }
+            })
+            .sum()
+    }
+
+    /// Exact number of arrivals with key in `[key_lo, key_hi]` and tick in
+    /// `(now − range, now]` — ground truth for sliding-window range queries.
+    pub fn range_sum(&self, key_lo: u64, key_hi: u64, now: u64, range: u64) -> u64 {
+        self.per_key
+            .iter()
+            .filter(|&(&k, _)| k >= key_lo && k <= key_hi)
+            .map(|(_, ts)| count_in(ts, now, range))
+            .sum()
+    }
+
+    /// Exact heavy hitters: keys with in-range frequency ≥ `threshold`,
+    /// sorted by key.
+    pub fn heavy_hitters(&self, threshold: u64, now: u64, range: u64) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self
+            .per_key
+            .iter()
+            .filter_map(|(&k, ts)| {
+                let f = count_in(ts, now, range);
+                (f >= threshold && threshold > 0).then_some((k, f))
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// Exact rank quantile: smallest key whose cumulative in-range frequency
+    /// (by increasing key) reaches `rank`; `None` beyond the total.
+    pub fn quantile_by_rank(&self, rank: u64, now: u64, range: u64) -> Option<u64> {
+        if rank == 0 || rank > self.total(now, range) {
+            return None;
+        }
+        let mut keys: Vec<u64> = self.per_key.keys().copied().collect();
+        keys.sort_unstable();
+        let mut acc = 0u64;
+        for k in keys {
+            acc += self.frequency(k, now, range);
+            if acc >= rank {
+                return Some(k);
+            }
+        }
+        None
+    }
+
+    /// Tick of the last arrival in the trace (0 if empty).
+    pub fn last_tick(&self) -> u64 {
+        self.all_ts.last().copied().unwrap_or(0)
+    }
+}
+
+/// Count ticks in `(now − range, now]` within a sorted vector.
+fn count_in(sorted: &[u64], now: u64, range: u64) -> u64 {
+    let cutoff = now.saturating_sub(range);
+    let lo = sorted.partition_point(|&t| t <= cutoff);
+    let hi = sorted.partition_point(|&t| t <= now);
+    (hi - lo) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, key: u64) -> Event {
+        Event { ts, key, site: 0 }
+    }
+
+    #[test]
+    fn frequencies_and_totals() {
+        let events = vec![ev(1, 5), ev(2, 5), ev(3, 9), ev(10, 5), ev(11, 9)];
+        let o = WindowOracle::from_events(&events);
+        assert_eq!(o.frequency(5, 11, 100), 3);
+        assert_eq!(o.frequency(5, 11, 2), 1); // only tick 10
+        assert_eq!(o.frequency(9, 11, 1), 1);
+        assert_eq!(o.frequency(404, 11, 100), 0);
+        assert_eq!(o.total(11, 100), 5);
+        assert_eq!(o.total(11, 1), 1);
+        assert_eq!(o.distinct_keys(), 2);
+        assert_eq!(o.last_tick(), 11);
+    }
+
+    #[test]
+    fn self_join_and_inner_product() {
+        let a = WindowOracle::from_events(&[ev(1, 1), ev(2, 1), ev(3, 2)]);
+        // F2 = 2² + 1² = 5.
+        assert_eq!(a.self_join(3, 100), 5.0);
+        let b = WindowOracle::from_events(&[ev(1, 1), ev(2, 3)]);
+        // a⊙b = f_a(1)·f_b(1) = 2·1.
+        assert_eq!(a.inner_product(&b, 3, 100), 2.0);
+        assert_eq!(b.inner_product(&a, 3, 100), 2.0);
+    }
+
+    #[test]
+    fn windowing_excludes_cutoff_tick() {
+        let o = WindowOracle::from_events(&[ev(5, 1), ev(6, 1)]);
+        // Range 1 at now=6 covers (5, 6]: only the tick-6 arrival.
+        assert_eq!(o.frequency(1, 6, 1), 1);
+    }
+
+    #[test]
+    fn heavy_hitters_and_quantiles() {
+        let mut events = Vec::new();
+        for t in 1..=30u64 {
+            events.push(ev(t, t % 3));
+        }
+        let o = WindowOracle::from_events(&events);
+        let hh = o.heavy_hitters(10, 30, 30);
+        assert_eq!(hh, vec![(0, 10), (1, 10), (2, 10)]);
+        assert!(o.heavy_hitters(11, 30, 30).is_empty());
+        assert!(o.heavy_hitters(0, 30, 30).is_empty());
+        assert_eq!(o.quantile_by_rank(1, 30, 30), Some(0));
+        assert_eq!(o.quantile_by_rank(15, 30, 30), Some(1));
+        assert_eq!(o.quantile_by_rank(30, 30, 30), Some(2));
+        assert_eq!(o.quantile_by_rank(31, 30, 30), None);
+    }
+
+    #[test]
+    fn range_sums_match_frequency_sums() {
+        let mut events = Vec::new();
+        for t in 1..=100u64 {
+            events.push(ev(t, t % 10));
+        }
+        let o = WindowOracle::from_events(&events);
+        assert_eq!(o.range_sum(0, 9, 100, 100), 100);
+        assert_eq!(o.range_sum(3, 5, 100, 100), 30);
+        assert_eq!(o.range_sum(7, 3, 100, 100), 0); // inverted = empty
+        assert_eq!(o.range_sum(42, 99, 100, 100), 0);
+        // Windowing applies inside the range.
+        assert_eq!(o.range_sum(0, 9, 100, 10), 10);
+    }
+
+    #[test]
+    fn matches_brute_force_on_generated_trace() {
+        let events = crate::workloads::worldcup_like(3_000, 2);
+        let o = WindowOracle::from_events(&events);
+        let now = events.last().unwrap().ts;
+        for range in [1000u64, 100_000, 10_000_000] {
+            let cutoff = now.saturating_sub(range);
+            let brute_total = events.iter().filter(|e| e.ts > cutoff).count() as u64;
+            assert_eq!(o.total(now, range), brute_total);
+            let key = events[0].key;
+            let brute_f = events
+                .iter()
+                .filter(|e| e.key == key && e.ts > cutoff)
+                .count() as u64;
+            assert_eq!(o.frequency(key, now, range), brute_f);
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Adversarial and event-driven scenario generators.
+//!
+//! The base workloads ([`crate::workloads`]) reproduce the *steady-state*
+//! shape of the paper's two traces. The monitoring applications the paper
+//! motivates (§1: DDoS detection, misbehaving wireless nodes) are about
+//! *departures* from steady state, and the asynchronous-streams line of its
+//! related work (§2: Xu et al., Cormode et al., Busch & Tirthapura) is about
+//! arrival-order perturbations. This module generates both:
+//!
+//! * [`inject_flash_crowd`] — superimposes a DDoS-style burst toward one
+//!   target key over a window of the trace, the event the intro's
+//!   distributed-trigger example must detect.
+//! * [`inject_poll_bursts`] — periodic synchronized bursts (SNMP poll
+//!   rounds): every site emits a probe burst at fixed intervals.
+//! * [`bounded_delay_shuffle`] — perturbs delivery order within a bounded
+//!   delay horizon, producing the out-of-order arrival patterns that the
+//!   `sliding-window` crate's `ReorderBuffer` exists to repair.
+
+use crate::event::Event;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a flash-crowd / DDoS injection.
+#[derive(Debug, Clone)]
+pub struct FlashCrowd {
+    /// The attacked key (target IP / URL).
+    pub target_key: u64,
+    /// First tick of the burst.
+    pub start: u64,
+    /// Burst duration in ticks.
+    pub duration: u64,
+    /// Total extra events aimed at the target during the burst.
+    pub volume: usize,
+    /// Number of participating (attacking) sites; the burst is spread
+    /// uniformly over sites `0..sources`.
+    pub sources: u32,
+    /// RNG seed for the burst's arrival jitter.
+    pub seed: u64,
+}
+
+/// Superimpose a flash crowd on a timestamp-ordered base trace.
+///
+/// Returns a new, still timestamp-ordered trace containing all base events
+/// plus `crowd.volume` extra arrivals of `crowd.target_key` spread uniformly
+/// over `[start, start + duration)` and over the attacking sites.
+///
+/// ```
+/// use stream_gen::{uniform_sites, inject_flash_crowd, FlashCrowd};
+///
+/// let base = uniform_sites(10_000, 8, 42);
+/// let attacked = inject_flash_crowd(&base, &FlashCrowd {
+///     target_key: 99,
+///     start: 1_000_000,
+///     duration: 50_000,
+///     volume: 5_000,
+///     sources: 8,
+///     seed: 1,
+/// });
+/// assert_eq!(attacked.len(), 15_000);
+/// ```
+///
+/// # Panics
+/// If `duration == 0`, `volume == 0`, or `sources == 0`.
+pub fn inject_flash_crowd(base: &[Event], crowd: &FlashCrowd) -> Vec<Event> {
+    assert!(crowd.duration > 0, "burst duration must be positive");
+    assert!(crowd.volume > 0, "burst volume must be positive");
+    assert!(crowd.sources > 0, "need at least one source");
+    let mut rng = StdRng::seed_from_u64(crowd.seed);
+    let mut burst: Vec<Event> = (0..crowd.volume)
+        .map(|i| {
+            // Stratified jitter keeps the burst dense across its whole span.
+            let u = (i as f64 + rng.gen::<f64>()) / crowd.volume as f64;
+            Event {
+                ts: crowd.start + (u * crowd.duration as f64) as u64,
+                key: crowd.target_key,
+                site: rng.gen_range(0..crowd.sources),
+            }
+        })
+        .collect();
+    burst.sort_unstable_by_key(|e| e.ts);
+    merge_sorted(base, &burst)
+}
+
+/// Parameters of periodic synchronized poll bursts.
+#[derive(Debug, Clone)]
+pub struct PollBursts {
+    /// Tick interval between poll rounds.
+    pub interval: u64,
+    /// Events per site per round.
+    pub per_site: usize,
+    /// Number of sites, `0..sites` each emit every round.
+    pub sites: u32,
+    /// Key emitted by site `s` in round `r` is `key_base + s`.
+    pub key_base: u64,
+    /// First round's tick.
+    pub start: u64,
+    /// Last tick (rounds stop at or before this).
+    pub end: u64,
+}
+
+/// Generate an SNMP-style poll trace: every `interval` ticks, every site
+/// emits `per_site` arrivals of its own key within a short window at the
+/// round boundary.
+///
+/// # Panics
+/// If `interval == 0`, `per_site == 0`, `sites == 0`, or `end < start`.
+pub fn inject_poll_bursts(base: &[Event], polls: &PollBursts) -> Vec<Event> {
+    assert!(polls.interval > 0, "interval must be positive");
+    assert!(polls.per_site > 0, "per_site must be positive");
+    assert!(polls.sites > 0, "need at least one site");
+    assert!(polls.end >= polls.start, "end must not precede start");
+    let mut burst = Vec::new();
+    let mut round_start = polls.start;
+    while round_start <= polls.end {
+        for s in 0..polls.sites {
+            for i in 0..polls.per_site {
+                burst.push(Event {
+                    // Probes land in the first `per_site` ticks of the round.
+                    ts: round_start + i as u64,
+                    key: polls.key_base + u64::from(s),
+                    site: s,
+                });
+            }
+        }
+        round_start += polls.interval;
+    }
+    burst.sort_unstable_by_key(|e| e.ts);
+    merge_sorted(base, &burst)
+}
+
+/// Perturb delivery order within a bounded delay horizon: each event's
+/// *delivery* is delayed by a uniform random amount in `[0, max_delay]`
+/// ticks, and the trace is re-sorted by delivery time while keeping the
+/// original timestamps. The result is the classic bounded-disorder stream:
+/// an event may be delivered after events up to `max_delay` ticks younger.
+///
+/// Returns `(delivery_order, max_observed_inversion)` where the inversion is
+/// the largest `ts_prev − ts_next` over consecutive delivered events —
+/// by construction at most `max_delay`.
+pub fn bounded_delay_shuffle(
+    base: &[Event],
+    max_delay: u64,
+    seed: u64,
+) -> (Vec<Event>, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tagged: Vec<(u64, usize, Event)> = base
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| (e.ts + rng.gen_range(0..=max_delay), i, e))
+        .collect();
+    // Stable by (delivery, original index): equal delivery ticks preserve
+    // stream order, as a real network with FIFO links would.
+    tagged.sort_unstable_by_key(|&(d, i, _)| (d, i));
+    let delivered: Vec<Event> = tagged.into_iter().map(|(_, _, e)| e).collect();
+    let mut max_inv = 0u64;
+    for w in delivered.windows(2) {
+        max_inv = max_inv.max(w[0].ts.saturating_sub(w[1].ts));
+    }
+    (delivered, max_inv)
+}
+
+/// Merge two timestamp-ordered traces into one.
+fn merge_sorted(a: &[Event], b: &[Event]) -> Vec<Event> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].ts <= b[j].ts {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::uniform_sites;
+
+    fn is_sorted(events: &[Event]) -> bool {
+        events.windows(2).all(|w| w[0].ts <= w[1].ts)
+    }
+
+    #[test]
+    fn flash_crowd_adds_volume_in_its_window() {
+        let base = uniform_sites(20_000, 4, 9);
+        let crowd = FlashCrowd {
+            target_key: 12345,
+            start: 1_000_000,
+            duration: 100_000,
+            volume: 8_000,
+            sources: 4,
+            seed: 3,
+        };
+        let attacked = inject_flash_crowd(&base, &crowd);
+        assert_eq!(attacked.len(), 28_000);
+        assert!(is_sorted(&attacked));
+        let in_window = attacked
+            .iter()
+            .filter(|e| {
+                e.key == 12345 && e.ts >= crowd.start && e.ts < crowd.start + crowd.duration
+            })
+            .count();
+        assert!(in_window >= 8_000, "burst mass missing: {in_window}");
+        // Outside the burst window, the target key is (almost) absent.
+        let outside = attacked
+            .iter()
+            .filter(|e| e.key == 12345 && (e.ts < crowd.start || e.ts >= crowd.start + crowd.duration))
+            .count();
+        assert!(outside < 50, "too much target mass outside: {outside}");
+    }
+
+    #[test]
+    fn flash_crowd_spreads_over_sources() {
+        let crowd = FlashCrowd {
+            target_key: 1,
+            start: 10,
+            duration: 1_000,
+            volume: 4_000,
+            sources: 4,
+            seed: 8,
+        };
+        let attacked = inject_flash_crowd(&[], &crowd);
+        let mut per_site = [0u32; 4];
+        for e in &attacked {
+            per_site[e.site as usize] += 1;
+        }
+        for (s, &c) in per_site.iter().enumerate() {
+            assert!(
+                (500..=1_500).contains(&c),
+                "site {s} got {c} of 4000 events"
+            );
+        }
+    }
+
+    #[test]
+    fn poll_bursts_hit_every_site_every_round() {
+        let polls = PollBursts {
+            interval: 300,
+            per_site: 5,
+            sites: 3,
+            key_base: 1_000,
+            start: 0,
+            end: 899, // rounds at 0, 300, 600
+        };
+        let trace = inject_poll_bursts(&[], &polls);
+        assert_eq!(trace.len(), 3 * 3 * 5);
+        assert!(is_sorted(&trace));
+        for s in 0..3u32 {
+            let count = trace.iter().filter(|e| e.site == s).count();
+            assert_eq!(count, 15, "site {s}");
+            assert!(trace
+                .iter()
+                .filter(|e| e.site == s)
+                .all(|e| e.key == 1_000 + u64::from(s)));
+        }
+    }
+
+    #[test]
+    fn poll_bursts_merge_with_base() {
+        let base = uniform_sites(5_000, 3, 4);
+        let polls = PollBursts {
+            interval: 100_000,
+            per_site: 10,
+            sites: 3,
+            key_base: 10_000_000,
+            start: 0,
+            end: 2_600_000,
+        };
+        let merged = inject_poll_bursts(&base, &polls);
+        assert_eq!(merged.len(), 5_000 + 27 * 30);
+        assert!(is_sorted(&merged));
+    }
+
+    #[test]
+    fn shuffle_bounds_inversions() {
+        let base = uniform_sites(10_000, 2, 6);
+        for max_delay in [0u64, 10, 1_000, 50_000] {
+            let (delivered, max_inv) = bounded_delay_shuffle(&base, max_delay, 77);
+            assert_eq!(delivered.len(), base.len());
+            assert!(
+                max_inv <= max_delay,
+                "inversion {max_inv} exceeds bound {max_delay}"
+            );
+            // Same multiset of events.
+            let mut a = base.clone();
+            let mut b = delivered.clone();
+            a.sort_unstable_by_key(|e| (e.ts, e.key, e.site));
+            b.sort_unstable_by_key(|e| (e.ts, e.key, e.site));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn shuffle_with_zero_delay_is_identity() {
+        let base = uniform_sites(2_000, 2, 1);
+        let (delivered, max_inv) = bounded_delay_shuffle(&base, 0, 5);
+        assert_eq!(delivered, base);
+        assert_eq!(max_inv, 0);
+    }
+
+    #[test]
+    fn shuffle_actually_disorders() {
+        let base = uniform_sites(5_000, 2, 2);
+        let (delivered, max_inv) = bounded_delay_shuffle(&base, 100_000, 2);
+        assert!(max_inv > 0, "a large horizon must produce inversions");
+        assert_ne!(delivered, base);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Flash-crowd injection always yields a sorted trace containing
+            /// the base multiset plus exactly the burst volume.
+            #[test]
+            fn prop_flash_crowd_preserves_base(
+                n_base in 100usize..2_000,
+                volume in 1usize..2_000,
+                start in 0u64..2_000_000,
+                duration in 1u64..500_000,
+                seed in proptest::num::u64::ANY,
+            ) {
+                let base = uniform_sites(n_base, 3, 7);
+                let crowd = FlashCrowd {
+                    target_key: 424242,
+                    start,
+                    duration,
+                    volume,
+                    sources: 3,
+                    seed,
+                };
+                let merged = inject_flash_crowd(&base, &crowd);
+                prop_assert_eq!(merged.len(), n_base + volume);
+                prop_assert!(merged.windows(2).all(|w| w[0].ts <= w[1].ts));
+                let injected = merged.iter().filter(|e| e.key == 424242).count();
+                prop_assert!(injected >= volume, "{} < {}", injected, volume);
+                // Base events survive untouched.
+                let survivors = merged.iter().filter(|e| e.key != 424242).count();
+                let base_other = base.iter().filter(|e| e.key != 424242).count();
+                prop_assert_eq!(survivors, base_other);
+            }
+
+            /// The bounded-delay shuffle never exceeds its inversion bound
+            /// and never loses or duplicates an event.
+            #[test]
+            fn prop_shuffle_respects_its_bound(
+                n in 50usize..1_500,
+                max_delay in 0u64..200_000,
+                seed in proptest::num::u64::ANY,
+            ) {
+                let base = uniform_sites(n, 2, 11);
+                let (delivered, max_inv) = bounded_delay_shuffle(&base, max_delay, seed);
+                prop_assert!(max_inv <= max_delay);
+                prop_assert_eq!(delivered.len(), base.len());
+                let mut a = base.clone();
+                let mut b = delivered.clone();
+                a.sort_unstable_by_key(|e| (e.ts, e.key, e.site));
+                b.sort_unstable_by_key(|e| (e.ts, e.key, e.site));
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_sorted_handles_empty_and_interleaved() {
+        let a = [Event { ts: 1, key: 0, site: 0 }, Event { ts: 5, key: 0, site: 0 }];
+        let b = [Event { ts: 3, key: 1, site: 1 }];
+        let m = merge_sorted(&a, &b);
+        assert_eq!(m.iter().map(|e| e.ts).collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(merge_sorted(&[], &b), b.to_vec());
+        assert_eq!(merge_sorted(&a, &[]), a.to_vec());
+    }
+}

@@ -1,0 +1,115 @@
+//! Zipf-distributed sampling over a finite key domain via a precomputed
+//! cumulative table and binary search — exact, O(log n) per draw, no extra
+//! dependencies.
+
+use rand::Rng;
+
+/// Samples keys `0..n` with `P(k) ∝ 1/(k+1)^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative probabilities; `cdf[k]` = P(key ≤ k).
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `n` keys with skew `s ≥ 0` (`s = 0` is uniform).
+    ///
+    /// # Panics
+    /// If `n == 0` or `s < 0`.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        assert!(s >= 0.0, "skew must be non-negative");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for c in &mut cdf {
+            *c /= norm;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Probability mass of key `k`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        let k = k as usize;
+        assert!(k < self.cdf.len(), "key outside domain");
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Draw one key.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = ZipfSampler::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_is_monotone() {
+        let z = ZipfSampler::new(1000, 1.1);
+        let total: f64 = (0..1000).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..1000 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-15, "pmf must decay");
+        }
+    }
+
+    #[test]
+    fn empirical_head_matches_pmf() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut counts = vec![0u64; 100];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for k in 0..5u64 {
+            let emp = counts[k as usize] as f64 / n as f64;
+            let want = z.pmf(k);
+            assert!(
+                (emp - want).abs() < 0.15 * want + 0.002,
+                "key {k}: emp {emp} vs pmf {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = ZipfSampler::new(7, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_rejected() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

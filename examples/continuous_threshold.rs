@@ -1,0 +1,98 @@
+//! Continuous distributed monitoring with the geometric method (paper
+//! §6.2): four sites keep local ECM-sketches; a coordinator must know at all
+//! times whether the self-join size (a skew indicator) of the union stream's
+//! recent window is above a threshold — while communicating only when some
+//! site's local drift ball actually crosses it.
+//!
+//! ```bash
+//! cargo run --release --example continuous_threshold
+//! ```
+
+use distributed::{GeometricMonitor, MonitorEvent, SelfJoinFn};
+use ecm::{EcmBuilder, EcmEh, QueryKind};
+use stream_gen::Event;
+
+const SITES: u32 = 4;
+const WINDOW: u64 = 5_000;
+
+fn main() {
+    let cfg = EcmBuilder::new(0.1, 0.1, WINDOW)
+        .query_kind(QueryKind::InnerProduct)
+        .seed(99)
+        .eh_config();
+    let nodes: Vec<EcmEh> = (0..SITES)
+        .map(|i| {
+            let mut sk = EcmEh::new(&cfg);
+            sk.set_id_namespace(u64::from(i) + 1);
+            sk
+        })
+        .collect();
+    let func = SelfJoinFn {
+        width: cfg.width,
+        depth: cfg.depth,
+    };
+    // Threshold on the self-join of the *average* statistics vector.
+    // Note the scaling: f(avg) ≈ F2(union)/n², so the diverse background
+    // (≈ 62 500 / 16 ≈ 4 000) sits below, and the flood (≈ 16M / 16 ≈ 1M)
+    // far above.
+    let threshold = 50_000.0;
+    let mut monitor = GeometricMonitor::new(nodes, func, threshold, WINDOW, 0);
+    println!(
+        "monitoring F2(avg vector) > {threshold} across {SITES} sites \
+         (sketch {}x{})",
+        cfg.width, cfg.depth
+    );
+
+    // Phase 1: diverse traffic (low skew). Phase 2: one key floods (skew
+    // spikes → crossing). Phase 3: flood stops; window drains (crossing
+    // back down).
+    let mut events_seen = 0u64;
+    let mut crossings = Vec::new();
+    for t in 1..=30_000u64 {
+        let key = if (8_000..12_000).contains(&t) {
+            77 // flood
+        } else {
+            t % 400
+        };
+        let ev = Event {
+            ts: t,
+            key,
+            site: (t % u64::from(SITES)) as u32,
+        };
+        events_seen += 1;
+        if let MonitorEvent::Synced { value, above } = monitor.observe(ev) {
+            crossings.push((t, value, above));
+        }
+    }
+
+    println!("\nsynchronizations ({} total):", crossings.len());
+    for &(t, value, above) in crossings.iter().take(12) {
+        println!(
+            "  t = {t:>6}: F2 ≈ {value:>10.0} → {}",
+            if above { "ABOVE" } else { "below" }
+        );
+    }
+    if crossings.len() > 12 {
+        println!("  ... ({} more)", crossings.len() - 12);
+    }
+
+    let stats = monitor.stats();
+    let naive_bytes = events_seen * monitor.sync_bytes() / u64::from(SITES) / 2;
+    println!("\ncommunication:");
+    println!("  local checks:     {:>10}", stats.checks);
+    println!("  syncs:            {:>10}", stats.syncs);
+    println!("  bytes shipped:    {:>10}", stats.bytes);
+    println!("  ship-every-update baseline: {naive_bytes} bytes");
+    println!(
+        "  savings: {:.1}x",
+        naive_bytes as f64 / stats.bytes as f64
+    );
+    assert!(
+        crossings.iter().any(|&(_, _, above)| above),
+        "the flood must push the function above the threshold"
+    );
+    assert!(
+        !crossings.last().unwrap().2,
+        "after the window drains the function must come back down"
+    );
+}

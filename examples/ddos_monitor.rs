@@ -1,0 +1,82 @@
+//! The paper's motivating scenario (§1): network nodes maintain
+//! sliding-window frequency statistics of target IPs; a coordinator
+//! aggregates them and flags targets whose recent request count exceeds a
+//! capacity threshold — the distributed-trigger DDoS detection scheme of
+//! Jain et al.
+//!
+//! This example runs 8 "routers", injects a flood toward one target IP in
+//! the last quarter of the trace, aggregates the per-router hierarchies and
+//! reports sliding-window heavy hitters.
+//!
+//! ```bash
+//! cargo run --release --example ddos_monitor
+//! ```
+
+use ecm::{EcmBuilder, EcmHierarchy, Threshold};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sliding_window::ExponentialHistogram;
+
+const ROUTERS: usize = 8;
+const WINDOW: u64 = 10_000; // seconds
+const UNIVERSE_BITS: u32 = 16; // 65 536 target addresses
+
+fn main() {
+    let cfg = EcmBuilder::new(0.05, 0.05, WINDOW).seed(2024).eh_config();
+    let mut routers: Vec<EcmHierarchy<ExponentialHistogram>> = (0..ROUTERS)
+        .map(|_| EcmHierarchy::new(UNIVERSE_BITS, &cfg))
+        .collect();
+
+    // Background traffic: uniform-ish requests to many targets, observed by
+    // random routers. Flood: target 0xBEEF hammered in the last quarter.
+    let mut rng = StdRng::seed_from_u64(7);
+    let total_ticks = 40_000u64;
+    let victim = 0xBEEFu64;
+    let mut victim_requests = 0u64;
+    for t in 1..=total_ticks {
+        let router = rng.gen_range(0..ROUTERS);
+        let target = rng.gen_range(0u64..(1 << UNIVERSE_BITS));
+        routers[router].insert(target, t);
+        if t > 3 * total_ticks / 4 {
+            // Flood wave: every tick, several routers see the victim.
+            for _ in 0..3 {
+                let router = rng.gen_range(0..ROUTERS);
+                routers[router].insert(victim, t);
+                victim_requests += 1;
+            }
+        }
+    }
+    println!("injected {victim_requests} flood requests toward {victim:#x}");
+
+    // Coordinator: order-preserving aggregation of the router hierarchies.
+    let refs: Vec<&EcmHierarchy<ExponentialHistogram>> = routers.iter().collect();
+    let global = EcmHierarchy::merge(&refs, &cfg.cell).unwrap();
+
+    let now = total_ticks;
+    let in_window = global.total_arrivals(now, WINDOW);
+    println!("arrivals in the last {WINDOW}s (all routers): ≈ {in_window:.0}");
+
+    // Capacity threshold: no single target should receive more than 5% of
+    // recent traffic.
+    let alerts = global.heavy_hitters(Threshold::Relative(0.05), now, WINDOW);
+    println!("\ntargets above 5% of recent traffic:");
+    for (target, est) in &alerts {
+        println!("  {target:#07x}: ≈ {est:.0} requests in window");
+    }
+    assert!(
+        alerts.iter().any(|&(t, _)| t == victim),
+        "the flooded target must be flagged"
+    );
+
+    // Drill-down: victim's request rate over exponentially growing ranges.
+    println!("\nvictim rate profile:");
+    for range in [100u64, 1_000, 10_000] {
+        let est = global
+            .levels()
+            .first()
+            .unwrap()
+            .point_query(victim, now, range);
+        println!("  last {range:>6}s: ≈ {est:>8.0} requests");
+    }
+    println!("\nper-router memory: {} KiB", routers[0].memory_bytes() / 1024);
+}

@@ -1,0 +1,86 @@
+//! Quickstart: build an ECM-sketch over a sliding window, answer point and
+//! self-join queries, and compare against exact counts.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use ecm::{EcmBuilder, EcmEh, QueryKind};
+use std::collections::HashMap;
+
+fn main() {
+    // A 0.1-approximate, 90%-confidence sketch over a 1-hour window
+    // (ticks are seconds here).
+    let window = 3_600u64;
+    let cfg = EcmBuilder::new(0.1, 0.1, window)
+        .query_kind(QueryKind::Point)
+        .seed(42)
+        .eh_config();
+    let mut sketch = EcmEh::new(&cfg);
+    println!(
+        "ECM-EH sketch: {}x{} cells, ε_sw = {:.4}, window = {window}s",
+        sketch.width(),
+        sketch.depth(),
+        cfg.cell.epsilon
+    );
+
+    // Feed two hours of a skewed synthetic stream: key 7 is hot early,
+    // key 13 is hot late.
+    let mut exact: HashMap<u64, Vec<u64>> = HashMap::new();
+    for t in 1..=7_200u64 {
+        let key = if t <= 3_600 {
+            if t % 3 == 0 {
+                7
+            } else {
+                t % 100
+            }
+        } else if t % 3 == 0 {
+            13
+        } else {
+            t % 100
+        };
+        sketch.insert(key, t);
+        exact.entry(key).or_default().push(t);
+    }
+
+    let now = 7_200u64;
+    let truth = |key: u64, range: u64| -> u64 {
+        exact.get(&key).map_or(0, |ts| {
+            ts.iter().filter(|&&t| t > now.saturating_sub(range)).count() as u64
+        })
+    };
+
+    println!("\npoint queries over the last hour (window covers 3600..7200):");
+    for key in [7u64, 13, 50] {
+        let est = sketch.point_query(key, now, window);
+        println!(
+            "  key {key:>3}: estimated {est:>7.1}, exact {:>5}",
+            truth(key, window)
+        );
+    }
+
+    println!("\npoint queries over the last 10 minutes:");
+    for key in [7u64, 13, 50] {
+        let est = sketch.point_query(key, now, 600);
+        println!(
+            "  key {key:>3}: estimated {est:>7.1}, exact {:>5}",
+            truth(key, 600)
+        );
+    }
+
+    // Self-join (F2) over the last hour — a measure of stream skew.
+    let sj = sketch.self_join(now, window);
+    let exact_sj: f64 = exact
+        .keys()
+        .map(|&k| {
+            let f = truth(k, window) as f64;
+            f * f
+        })
+        .sum();
+    println!("\nself-join over the last hour: estimated {sj:.0}, exact {exact_sj:.0}");
+    println!(
+        "total arrivals in window: estimated {:.0}, exact 3600",
+        sketch.total_arrivals(now, window)
+    );
+    println!("sketch memory: {} KiB", sketch.memory_bytes() / 1024);
+}

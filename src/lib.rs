@@ -1,0 +1,13 @@
+//! Meta-crate for the ECM-sketch reproduction workspace.
+//!
+//! Re-exports the public APIs of every workspace crate so the runnable
+//! examples under `examples/` and the cross-crate integration tests under
+//! `tests/` have a single import root. Library users should depend on the
+//! individual crates (`ecm`, `sliding-window`, `count-min`, `stream-gen`,
+//! `distributed`) directly.
+
+pub use count_min;
+pub use distributed;
+pub use ecm;
+pub use sliding_window;
+pub use stream_gen;

@@ -1,0 +1,165 @@
+//! Failure injection across the workspace: corrupted wire data, mismatched
+//! configurations, and contract violations must fail loudly and precisely —
+//! never corrupt state or silently return wrong answers.
+
+use ecm::{EcmBuilder, EcmEh, EcmRw, EcmSketch};
+use sliding_window::traits::WindowCounter;
+use sliding_window::{
+    merge_randomized_waves, CodecError, DwConfig, EhConfig, ExponentialHistogram,
+    MergeError, RandomizedWave, RwConfig,
+};
+
+fn sample_sketch(seed: u64) -> (ecm::EcmConfig<ExponentialHistogram>, EcmEh) {
+    let cfg = EcmBuilder::new(0.2, 0.1, 10_000).seed(seed).eh_config();
+    let mut sk = EcmEh::new(&cfg);
+    for t in 1..=500u64 {
+        sk.insert(t % 20, t);
+    }
+    (cfg, sk)
+}
+
+#[test]
+fn truncated_sketch_bytes_are_rejected_or_visibly_different() {
+    let (cfg, sk) = sample_sketch(1);
+    let mut buf = Vec::new();
+    sk.encode(&mut buf);
+    // Every strict prefix either fails to decode or decodes to something
+    // that re-encodes differently (prefixes can be valid smaller values).
+    for cut in (0..buf.len()).step_by(7) {
+        let mut slice = &buf[..cut];
+        if let Ok(partial) = EcmEh::decode(&cfg, &mut slice) {
+            let mut re = Vec::new();
+            partial.encode(&mut re);
+            assert_ne!(re, buf, "cut {cut} produced an identical sketch");
+        }
+    }
+}
+
+#[test]
+fn bitflipped_header_fails_with_precise_errors() {
+    let (cfg, sk) = sample_sketch(2);
+    let mut buf = Vec::new();
+    sk.encode(&mut buf);
+    // Version byte.
+    let mut bad = buf.clone();
+    bad[0] = 0xee;
+    let mut slice = bad.as_slice();
+    assert!(matches!(
+        EcmEh::decode(&cfg, &mut slice),
+        Err(CodecError::BadVersion { found: 0xee })
+    ));
+    // Shape field.
+    let mut bad = buf.clone();
+    bad[1] = bad[1].wrapping_add(1);
+    let mut slice = bad.as_slice();
+    assert!(EcmEh::decode(&cfg, &mut slice).is_err());
+}
+
+#[test]
+fn decoding_with_the_wrong_config_is_rejected() {
+    let (_, sk) = sample_sketch(3);
+    let mut buf = Vec::new();
+    sk.encode(&mut buf);
+    // Same shape, different seed: the hash family disagrees.
+    let other = EcmBuilder::new(0.2, 0.1, 10_000).seed(999).eh_config();
+    let mut slice = buf.as_slice();
+    assert!(matches!(
+        EcmEh::decode(&other, &mut slice),
+        Err(CodecError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn merge_rejects_every_kind_of_mismatch() {
+    let a = EcmEh::new(&EcmBuilder::new(0.2, 0.1, 1_000).seed(1).eh_config());
+    let cfg_b = EcmBuilder::new(0.2, 0.1, 1_000).seed(2).eh_config();
+    let b = EcmEh::new(&cfg_b);
+    // Different hash seeds.
+    assert!(matches!(
+        EcmSketch::merge(&[&a, &b], &cfg_b.cell),
+        Err(MergeError::IncompatibleConfig { .. })
+    ));
+    // Different shapes.
+    let cfg_c = EcmBuilder::new(0.4, 0.1, 1_000).seed(1).eh_config();
+    let c = EcmEh::new(&cfg_c);
+    assert!(matches!(
+        EcmSketch::merge(&[&a, &c], &cfg_c.cell),
+        Err(MergeError::IncompatibleConfig { .. })
+    ));
+    // Different window lengths surface from the cell merge.
+    let cfg_d = EcmBuilder::new(0.2, 0.1, 2_000).seed(1).eh_config();
+    assert!(EcmSketch::merge(&[&a, &a], &cfg_d.cell).is_err());
+}
+
+#[test]
+fn rw_merge_guards_randomization_compatibility() {
+    // Same ε/δ/window but different seeds: silent merging would break the
+    // sampling invariants, so it must be refused.
+    let c1 = RwConfig::new(0.2, 0.1, 1_000, 5_000, 1);
+    let c2 = RwConfig::new(0.2, 0.1, 1_000, 5_000, 2);
+    let w1 = RandomizedWave::new(&c1);
+    assert!(matches!(
+        merge_randomized_waves(&[&w1], &c2),
+        Err(MergeError::IncompatibleConfig { .. })
+    ));
+    // Whole-sketch level: ECM-RW built from different builder seeds.
+    let cfg1 = EcmBuilder::new(0.2, 0.1, 1_000).seed(1).rw_config();
+    let cfg2 = EcmBuilder::new(0.2, 0.1, 1_000).seed(2).rw_config();
+    let s1 = EcmRw::new(&cfg1);
+    let s2 = EcmRw::new(&cfg2);
+    assert!(EcmSketch::merge(&[&s1, &s2], &cfg1.cell).is_err());
+}
+
+#[test]
+fn garbage_bytes_never_panic_the_decoders() {
+    // Fuzz-lite: deterministic pseudo-random byte soup must produce errors,
+    // not panics.
+    let cfg_eh = EhConfig::new(0.2, 1_000);
+    let cfg_dw = DwConfig::new(0.2, 1_000, 5_000);
+    let cfg_rw = RwConfig::new(0.2, 0.1, 1_000, 5_000, 3);
+    let mut state = 0x12345678u64;
+    for round in 0..200 {
+        let len = (round * 7) % 64;
+        let bytes: Vec<u8> = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        let mut s: &[u8] = &bytes;
+        let _ = ExponentialHistogram::decode(&cfg_eh, &mut s);
+        let mut s: &[u8] = &bytes;
+        let _ = sliding_window::DeterministicWave::decode(&cfg_dw, &mut s);
+        let mut s: &[u8] = &bytes;
+        let _ = RandomizedWave::decode(&cfg_rw, &mut s);
+        let mut s: &[u8] = &bytes;
+        let _ = count_min::CountMinSketch::decode(&mut s);
+    }
+}
+
+#[test]
+fn monotonicity_contract_is_enforced_in_debug() {
+    // Out-of-order timestamps violate the documented contract; debug builds
+    // must catch them.
+    let result = std::panic::catch_unwind(|| {
+        let mut eh = ExponentialHistogram::new(&EhConfig::new(0.2, 100));
+        eh.insert_one(10);
+        eh.insert_one(5);
+    });
+    if cfg!(debug_assertions) {
+        assert!(result.is_err(), "debug builds must reject time travel");
+    }
+}
+
+#[test]
+fn empty_merges_and_zero_budgets_fail_cleanly() {
+    let cfg = EcmBuilder::new(0.2, 0.1, 1_000).seed(9).eh_config();
+    let empty: [&EcmEh; 0] = [];
+    assert!(matches!(
+        EcmSketch::merge(&empty, &cfg.cell),
+        Err(MergeError::Empty)
+    ));
+    assert!(std::panic::catch_unwind(|| EcmBuilder::new(0.0, 0.1, 10)).is_err());
+    assert!(std::panic::catch_unwind(|| EcmBuilder::new(0.1, 1.0, 10)).is_err());
+    assert!(std::panic::catch_unwind(|| EcmBuilder::new(0.1, 0.1, 0)).is_err());
+}

@@ -1,0 +1,75 @@
+//! Cross-crate validation of drift-triggered propagation (Chan et al., §2)
+//! on generated workloads: the coordinator's continuously maintained count
+//! respects the θ+ε envelope through diurnal load swings and flash crowds,
+//! at a communication cost far under per-arrival forwarding.
+
+use ecm_suite::distributed::DriftPropagation;
+use ecm_suite::sliding_window::EhConfig;
+use ecm_suite::stream_gen::{inject_flash_crowd, uniform_sites, FlashCrowd};
+
+const WINDOW: u64 = 100_000;
+const SITES: usize = 8;
+
+#[test]
+fn envelope_holds_through_a_flash_crowd() {
+    let base = uniform_sites(60_000, SITES as u32, 5);
+    let events = inject_flash_crowd(
+        &base,
+        &FlashCrowd {
+            target_key: 1,
+            start: 1_200_000,
+            duration: WINDOW / 2,
+            volume: 20_000,
+            sources: SITES as u32,
+            seed: 2,
+        },
+    );
+    let (eps, theta) = (0.05, 0.1);
+    let mut p = DriftPropagation::new(SITES, &EhConfig::new(eps, WINDOW), theta);
+    let bound = p.error_bound();
+    let mut window_ticks: Vec<u64> = Vec::new();
+    let mut checked = 0u32;
+    for (i, e) in events.iter().enumerate() {
+        p.observe(e.site as usize, e.ts);
+        window_ticks.push(e.ts);
+        if i % 500 == 0 && i > 0 {
+            let cutoff = e.ts.saturating_sub(WINDOW);
+            let exact = window_ticks.iter().rev().take_while(|&&t| t > cutoff).count() as f64;
+            if exact < 200.0 {
+                continue;
+            }
+            let est = p.coordinator_estimate();
+            assert!(
+                (est - exact).abs() <= bound * exact + SITES as f64,
+                "i={i} est={est} exact={exact} bound={bound}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 50, "not enough checkpoints: {checked}");
+    // Communication: far below one message per arrival, even with the burst.
+    let s = p.stats();
+    assert!(
+        s.shipments * 10 < events.len() as u64,
+        "{} shipments for {} events",
+        s.shipments,
+        events.len()
+    );
+}
+
+#[test]
+fn tighter_theta_costs_more_communication() {
+    let events = uniform_sites(40_000, SITES as u32, 9);
+    let mut shipments = Vec::new();
+    for &theta in &[0.02f64, 0.1, 0.4] {
+        let mut p = DriftPropagation::new(SITES, &EhConfig::new(0.05, WINDOW), theta);
+        for e in &events {
+            p.observe(e.site as usize, e.ts);
+        }
+        shipments.push(p.stats().shipments);
+    }
+    assert!(
+        shipments[0] > shipments[1] && shipments[1] > shipments[2],
+        "shipments must fall with theta: {shipments:?}"
+    );
+}

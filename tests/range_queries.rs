@@ -1,0 +1,127 @@
+//! Sliding-window range queries: the dyadic ECM hierarchy (paper §6.1)
+//! against the exact oracle and against the hybrid-histogram baseline the
+//! related-work section dismisses (§2).
+
+use ecm_suite::ecm::{EcmBuilder, EcmHierarchy};
+use ecm_suite::sliding_window::{HybridConfig, HybridHistogram};
+use ecm_suite::stream_gen::{worldcup_like, WindowOracle};
+
+const WINDOW: u64 = 1_000_000;
+const KEY_BITS: u32 = 16;
+
+fn build_inputs(events: usize, seed: u64) -> (Vec<ecm_suite::stream_gen::Event>, WindowOracle) {
+    let events = worldcup_like(events, seed);
+    let oracle = WindowOracle::from_events(&events);
+    (events, oracle)
+}
+
+#[test]
+fn hierarchy_range_sums_meet_dyadic_envelope() {
+    let (events, oracle) = build_inputs(30_000, 3);
+    let eps = 0.1;
+    let cfg = EcmBuilder::new(eps, 0.05, WINDOW).seed(5).eh_config();
+    let mut h = EcmHierarchy::new(KEY_BITS, &cfg);
+    for e in &events {
+        h.insert(e.key, e.ts);
+    }
+    let now = oracle.last_tick();
+
+    for range in [10_000u64, 100_000, WINDOW] {
+        let norm = oracle.total(now, range) as f64;
+        if norm < 100.0 {
+            continue;
+        }
+        // Any [lo, hi] decomposes into ≤ 2·KEY_BITS dyadic ranges, each with
+        // its own ε‖a_r‖₁ envelope (paper §6.1 range-sum analysis).
+        let envelope = 2.0 * f64::from(KEY_BITS) * eps * norm;
+        for (lo, hi) in [
+            (0u64, (1 << KEY_BITS) - 1), // whole domain
+            (0, 999),
+            (10_000, 20_000),
+            (123, 456),
+            (40_000, 49_999),
+        ] {
+            let exact = oracle.range_sum(lo, hi, now, range) as f64;
+            let est = h.range_sum(lo, hi, now, range);
+            assert!(
+                (est - exact).abs() <= envelope + 2.0,
+                "range=({lo},{hi}) window={range} est={est} exact={exact} envelope={envelope}"
+            );
+        }
+    }
+}
+
+#[test]
+fn whole_domain_range_equals_total_arrivals_estimate() {
+    let (events, oracle) = build_inputs(10_000, 9);
+    let cfg = EcmBuilder::new(0.1, 0.1, WINDOW).seed(2).eh_config();
+    let mut h = EcmHierarchy::new(KEY_BITS, &cfg);
+    for e in &events {
+        h.insert(e.key, e.ts);
+    }
+    let now = oracle.last_tick();
+    let exact = oracle.total(now, WINDOW) as f64;
+    let est = h.range_sum(0, (1 << KEY_BITS) - 1, now, WINDOW);
+    assert!(
+        (est - exact).abs() <= 0.2 * exact + 2.0,
+        "est={est} exact={exact}"
+    );
+}
+
+#[test]
+fn hybrid_baseline_fails_where_hierarchy_holds() {
+    // Skewed mass inside one value bin: the hybrid histogram has no handle
+    // on the value dimension, the hierarchy does. This is the paper's §2
+    // criticism as an executable statement.
+    let eps = 0.1;
+    let domain = 1u64 << KEY_BITS;
+    let hcfg = HybridConfig::new(eps, WINDOW, domain, 256); // bins of 256 keys
+    let mut hybrid = HybridHistogram::new(&hcfg);
+    let cfg = EcmBuilder::new(eps, 0.05, WINDOW).seed(5).eh_config();
+    let mut hierarchy = EcmHierarchy::new(KEY_BITS, &cfg);
+
+    // All mass on key 1000 (bin 3: keys 768..1023).
+    let n = 20_000u64;
+    for t in 1..=n {
+        hybrid.insert(t, 1_000);
+        hierarchy.insert(1_000, t);
+    }
+    // Query a sibling key range in the same bin, truly empty.
+    let (lo, hi) = (800u64, 900u64);
+    let hybrid_est = hybrid.range_query(n, WINDOW, lo, hi);
+    let hier_est = hierarchy.range_sum(lo, hi, n, WINDOW);
+    assert!(
+        hybrid_est > 0.3 * n as f64 * (101.0 / 256.0),
+        "hybrid proration should misattribute mass, got {hybrid_est}"
+    );
+    assert!(
+        hier_est <= 0.25 * n as f64,
+        "hierarchy must keep its guarantee, got {hier_est}"
+    );
+    assert!(
+        hier_est < hybrid_est / 2.0,
+        "hierarchy ({hier_est}) must beat hybrid ({hybrid_est}) on skew"
+    );
+}
+
+#[test]
+fn range_queries_respect_the_time_dimension() {
+    let eps = 0.1;
+    let cfg = EcmBuilder::new(eps, 0.05, 1_000).seed(8).eh_config();
+    let mut h = EcmHierarchy::new(8, &cfg);
+    // Two epochs: keys 0..16 early, keys 64..80 late.
+    for t in 1..=1_000u64 {
+        h.insert(t % 16, t);
+    }
+    for t in 1_001..=2_000u64 {
+        h.insert(64 + t % 16, t);
+    }
+    // Recent window: early keys aged out.
+    let early = h.range_sum(0, 15, 2_000, 900);
+    let late = h.range_sum(64, 79, 2_000, 900);
+    assert!(early <= 150.0, "stale range must have aged out: {early}");
+    assert!(
+        (late - 900.0).abs() <= 250.0,
+        "recent range must be present: {late}"
+    );
+}

@@ -1,0 +1,149 @@
+//! Cross-crate checks of the sharded-ingestion extension against the
+//! scenario generators: parallel ingestion must behave identically to
+//! sequential processing under flash crowds, poll bursts and bounded-delay
+//! reordering (repaired by the reorder buffer).
+
+use ecm_suite::ecm::{partition_pairs, EcmBuilder, ShardedEcm};
+use ecm_suite::sliding_window::ExponentialHistogram;
+use ecm_suite::stream_gen::{
+    bounded_delay_shuffle, inject_flash_crowd, inject_poll_bursts, uniform_sites, FlashCrowd,
+    PollBursts, WindowOracle,
+};
+use std::collections::BTreeMap;
+
+type Sharded = ShardedEcm<ExponentialHistogram>;
+
+const WINDOW: u64 = 300_000;
+
+#[test]
+fn sharded_sketch_detects_the_flash_crowd() {
+    let base = uniform_sites(30_000, 4, 3);
+    let start = 2_000_000u64;
+    let events = inject_flash_crowd(
+        &base,
+        &FlashCrowd {
+            target_key: 777,
+            start,
+            duration: WINDOW / 3,
+            volume: 6_000,
+            sources: 4,
+            seed: 1,
+        },
+    );
+    let eps = 0.1;
+    let cfg = EcmBuilder::new(eps, 0.05, WINDOW).seed(9).eh_config();
+    let mid = start + WINDOW / 3;
+
+    // Ingest in parallel up to mid-attack.
+    let prefix: Vec<(u64, u64)> = events
+        .iter()
+        .take_while(|e| e.ts <= mid)
+        .map(|e| (e.key, e.ts))
+        .collect();
+    let oracle = WindowOracle::from_events(&events[..prefix.len()]);
+    let sh = Sharded::ingest_parallel(&cfg, 4, prefix.iter().copied());
+
+    let exact = oracle.frequency(777, mid, WINDOW) as f64;
+    let est = sh.point_query(777, mid, WINDOW);
+    let norm = oracle.total(mid, WINDOW) as f64;
+    assert!(exact > 3_000.0, "attack missing from the oracle: {exact}");
+    assert!(
+        (est - exact).abs() <= eps * norm + 2.0,
+        "est={est} exact={exact}"
+    );
+}
+
+#[test]
+fn poll_bursts_show_up_as_per_site_keys() {
+    let polls = PollBursts {
+        interval: 50_000,
+        per_site: 40,
+        sites: 5,
+        key_base: 9_000_000,
+        start: 0,
+        end: 2_599_999,
+    };
+    let events = inject_poll_bursts(&uniform_sites(10_000, 5, 8), &polls);
+    let cfg = EcmBuilder::new(0.1, 0.05, WINDOW).seed(4).eh_config();
+    let pairs: Vec<(u64, u64)> = events.iter().map(|e| (e.key, e.ts)).collect();
+    let sh = Sharded::ingest_prepartitioned(&cfg, partition_pairs(pairs, 3, cfg.seed));
+
+    let now = events.last().unwrap().ts;
+    // Each site's poll key fires per interval: WINDOW/interval rounds of
+    // per_site events each are inside the window.
+    let rounds_in_window = WINDOW / polls.interval;
+    let expected = (rounds_in_window * polls.per_site as u64) as f64;
+    for s in 0..5u64 {
+        let est = sh.point_query(9_000_000 + s, now, WINDOW);
+        assert!(
+            est >= expected * 0.6 && est <= expected * 1.8 + 100.0,
+            "site {s}: est={est} expected≈{expected}"
+        );
+    }
+}
+
+#[test]
+fn reorder_buffer_repairs_bounded_delay_for_sharded_ingestion() {
+    let base = uniform_sites(20_000, 2, 5);
+    let max_delay = 5_000u64;
+    let (delivered, max_inv) = bounded_delay_shuffle(&base, max_delay, 13);
+    assert!(max_inv > 0, "shuffle must produce disorder");
+
+    // Repair the delivery order with a watermark buffer (the event-stream
+    // analogue of `sliding_window::ReorderBuffer`, which wraps a single
+    // counter): hold events until the watermark passes their tick by the
+    // delay bound, then release in tick order.
+    let mut pending: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut watermark = 0u64;
+    let mut peak_buffered = 0usize;
+    let mut buffered = 0usize;
+    let mut repaired: Vec<(u64, u64)> = Vec::with_capacity(delivered.len());
+    for e in &delivered {
+        watermark = watermark.max(e.ts);
+        pending.entry(e.ts).or_default().push(e.key);
+        buffered += 1;
+        peak_buffered = peak_buffered.max(buffered);
+        let horizon = watermark.saturating_sub(max_delay);
+        while let Some((&ts, _)) = pending.first_key_value() {
+            if ts >= horizon {
+                break;
+            }
+            let (ts, keys) = pending.pop_first().unwrap();
+            buffered -= keys.len();
+            repaired.extend(keys.into_iter().map(|k| (k, ts)));
+        }
+    }
+    while let Some((ts, keys)) = pending.pop_first() {
+        repaired.extend(keys.into_iter().map(|k| (k, ts)));
+    }
+    assert_eq!(repaired.len(), base.len(), "no events may be dropped");
+    // Bounded-delay repair needs only bounded memory: never more events
+    // buffered than can arrive within one delay horizon.
+    let max_density = base.len() as u64 * 2 * max_delay / 2_600_000 + 50;
+    assert!(
+        (peak_buffered as u64) <= max_density,
+        "peak buffer {peak_buffered} exceeds horizon density {max_density}"
+    );
+    assert!(
+        repaired.windows(2).all(|w| w[0].1 <= w[1].1),
+        "repaired stream must be tick-ordered"
+    );
+
+    let eps = 0.1;
+    let cfg = EcmBuilder::new(eps, 0.05, WINDOW).seed(21).eh_config();
+    let sh = Sharded::ingest_parallel(&cfg, 4, repaired.iter().copied());
+
+    // Estimates must match a sketch of the original in-order stream exactly:
+    // the repaired stream is a permutation restoring tick order, and ties
+    // within one tick do not affect any window counter.
+    let in_order: Vec<(u64, u64)> = base.iter().map(|e| (e.key, e.ts)).collect();
+    let reference = Sharded::ingest_parallel(&cfg, 4, in_order.iter().copied());
+    let now = base.last().unwrap().ts;
+    for key in (0..2_000u64).step_by(29) {
+        assert_eq!(
+            sh.point_query(key, now, WINDOW),
+            reference.point_query(key, now, WINDOW),
+            "key={key}"
+        );
+    }
+}

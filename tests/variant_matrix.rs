@@ -1,0 +1,163 @@
+//! The full variant matrix in one place: every window-counter instantiation
+//! of the ECM-sketch (EH, DW, RW, exact baseline, equi-width baseline) runs
+//! through the same centralized pipeline — insert, query, serialize,
+//! deserialize — and the mergeable ones also through tree aggregation. One
+//! test per contract the paper states, parameterized over the variants.
+
+use ecm_suite::distributed::aggregate_tree;
+use ecm_suite::ecm::{EcmBuilder, EcmConfig, EcmSketch};
+use ecm_suite::sliding_window::traits::{MergeableCounter, WindowCounter};
+use ecm_suite::stream_gen::{worldcup_like, WindowOracle};
+
+const WINDOW: u64 = 1_000_000;
+const EVENTS: usize = 12_000;
+const EPS: f64 = 0.15;
+
+/// Insert the trace with globally unique ids, query the hottest keys, and
+/// assert the Theorem 1 envelope; then round-trip the codec and require
+/// identical answers.
+fn centralized_contract<W: WindowCounter>(cfg: &EcmConfig<W>, label: &str) {
+    let events = worldcup_like(EVENTS, 77);
+    let oracle = WindowOracle::from_events(&events);
+    let mut sk = EcmSketch::new(cfg);
+    for (i, e) in events.iter().enumerate() {
+        sk.insert_with_id(e.key, e.ts, i as u64 + 1);
+    }
+    let now = oracle.last_tick();
+    let norm = oracle.total(now, WINDOW) as f64;
+
+    for key in 0..300u64 {
+        let exact = oracle.frequency(key, now, WINDOW) as f64;
+        if exact == 0.0 {
+            continue;
+        }
+        let est = sk.point_query(key, now, WINDOW);
+        assert!(
+            (est - exact).abs() <= EPS * norm + 2.0,
+            "{label}: key={key} est={est} exact={exact}"
+        );
+    }
+
+    let mut buf = Vec::new();
+    sk.encode(&mut buf);
+    let back = EcmSketch::decode(cfg, &mut buf.as_slice()).expect("codec");
+    for key in (0..300u64).step_by(17) {
+        assert_eq!(
+            sk.point_query(key, now, WINDOW),
+            back.point_query(key, now, WINDOW),
+            "{label}: codec must preserve answers for key {key}"
+        );
+    }
+
+    // Truncated wire bytes must never decode successfully.
+    for cut in [0usize, 1, buf.len() / 2, buf.len() - 1] {
+        assert!(
+            EcmSketch::decode(cfg, &mut &buf[..cut]).is_err(),
+            "{label}: truncation at {cut} must fail"
+        );
+    }
+}
+
+/// Tree-aggregate per-site sketches and assert the multi-level envelope.
+fn distributed_contract<W: MergeableCounter>(cfg: &EcmConfig<W>, label: &str, envelope: f64) {
+    let sites = 8u32;
+    let events = worldcup_like(EVENTS, 99);
+    let oracle = WindowOracle::from_events(&events);
+    // The wc98-like trace has 33 sites; fold them onto the 8-leaf tree.
+    let mut site_events: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); sites as usize];
+    for (i, e) in events.iter().enumerate() {
+        site_events[(e.site % sites) as usize].push((e.key, e.ts, i as u64 + 1));
+    }
+    let out = aggregate_tree(
+        sites as usize,
+        |i| {
+            let mut sk = EcmSketch::new(cfg);
+            for &(k, t, id) in &site_events[i] {
+                sk.insert_with_id(k, t, id);
+            }
+            sk
+        },
+        &cfg.cell,
+    )
+    .expect("homogeneous merge");
+    assert_eq!(out.root.lifetime_arrivals(), EVENTS as u64);
+    assert!(out.stats.bytes > 0);
+
+    let now = oracle.last_tick();
+    let norm = oracle.total(now, WINDOW) as f64;
+    let mut checked = 0u32;
+    for key in 0..400u64 {
+        let exact = oracle.frequency(key, now, WINDOW) as f64;
+        if exact == 0.0 {
+            continue;
+        }
+        checked += 1;
+        let est = out.root.point_query(key, now, WINDOW);
+        assert!(
+            (est - exact).abs() <= envelope * norm + 2.0,
+            "{label}: key={key} est={est} exact={exact}"
+        );
+    }
+    assert!(checked > 100, "{label}: workload too sparse");
+}
+
+#[test]
+fn eh_centralized_and_distributed() {
+    let b = EcmBuilder::new(EPS, 0.05, WINDOW).seed(3);
+    centralized_contract(&b.eh_config(), "ECM-EH");
+    // 3 merge levels: h·ε_sw(1+ε_sw) + ε_sw + ε_cm.
+    distributed_contract(&b.eh_config(), "ECM-EH", 4.0 * EPS);
+}
+
+#[test]
+fn dw_centralized_and_distributed() {
+    let b = EcmBuilder::new(EPS, 0.05, WINDOW)
+        .max_arrivals(EVENTS as u64)
+        .seed(4);
+    centralized_contract(&b.dw_config(), "ECM-DW");
+    distributed_contract(&b.dw_config(), "ECM-DW", 4.0 * EPS);
+}
+
+#[test]
+fn rw_centralized_and_distributed() {
+    let b = EcmBuilder::new(EPS, 0.1, WINDOW)
+        .max_arrivals(EVENTS as u64)
+        .seed(5);
+    centralized_contract(&b.rw_config(), "ECM-RW");
+    // Lossless composition: the centralized envelope suffices.
+    distributed_contract(&b.rw_config(), "ECM-RW", EPS);
+}
+
+#[test]
+fn exact_variant_is_a_pure_count_min() {
+    let b = EcmBuilder::new(EPS, 0.05, WINDOW).seed(6);
+    centralized_contract(&b.exact_config(), "ECM-exact");
+}
+
+#[test]
+fn ew_baseline_centralized_wide_ranges_only() {
+    // The equi-width baseline has no window guarantee on narrow ranges, but
+    // whole-window queries land within a slot of the truth — and its
+    // grid-aligned merge is exact, so the distributed contract holds with
+    // the same (wide-range) envelope.
+    let b = EcmBuilder::new(EPS, 0.05, WINDOW).seed(7);
+    let cfg = b.ew_config(64);
+    centralized_contract(&cfg, "ECM-EW");
+    distributed_contract(&cfg, "ECM-EW", EPS + 1.0 / 64.0);
+}
+
+#[test]
+fn variants_agree_on_empty_sketches() {
+    let b = EcmBuilder::new(0.1, 0.1, 1_000).seed(8);
+    assert_eq!(EcmSketch::new(&b.eh_config()).point_query(5, 100, 1_000), 0.0);
+    assert_eq!(EcmSketch::new(&b.dw_config()).point_query(5, 100, 1_000), 0.0);
+    assert_eq!(EcmSketch::new(&b.rw_config()).point_query(5, 100, 1_000), 0.0);
+    assert_eq!(
+        EcmSketch::new(&b.exact_config()).point_query(5, 100, 1_000),
+        0.0
+    );
+    assert_eq!(
+        EcmSketch::new(&b.ew_config(10)).point_query(5, 100, 1_000),
+        0.0
+    );
+}
