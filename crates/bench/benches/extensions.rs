@@ -3,11 +3,11 @@
 //! reorder buffer, and wraparound-timestamp packing.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use ecm::{EcmBuilder, ShardedEcm};
+use ecm::{EcmBuilder, Query, ShardedEcm, SketchReader, WindowSpec};
 use sliding_window::traits::WindowCounter;
 use sliding_window::{
-    BitPacker, EquiWidthConfig, EquiWidthWindow, HybridConfig, HybridHistogram,
-    ReorderBuffer, ReorderConfig, WrapClock,
+    BitPacker, EquiWidthConfig, EquiWidthWindow, HybridConfig, HybridHistogram, ReorderBuffer,
+    ReorderConfig, WrapClock,
 };
 use std::hint::black_box;
 
@@ -81,7 +81,8 @@ fn sharded_bench(c: &mut Criterion) {
         pairs.iter().copied(),
     );
     g.bench_function("point_query", |b| {
-        b.iter(|| black_box(sh.point_query(black_box(42), N, N)))
+        let w = WindowSpec::time(N, N);
+        b.iter(|| black_box(sh.query(&Query::point(black_box(42)), w).unwrap()))
     });
     g.finish();
 }

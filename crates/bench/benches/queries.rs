@@ -2,7 +2,7 @@
 //! insertion, point queries, self-joins and order-preserving merges.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use ecm::{EcmBuilder, EcmEh, EcmSketch, QueryKind};
+use ecm::{EcmBuilder, EcmEh, EcmSketch, Query, QueryKind, SketchReader, WindowSpec};
 use std::hint::black_box;
 
 const N: u64 = 20_000;
@@ -35,7 +35,8 @@ fn insert_bench(c: &mut Criterion) {
 fn query_bench(c: &mut Criterion) {
     let sk = build(1, 1, 0);
     c.bench_function("ecm_eh_point_query", |b| {
-        b.iter(|| black_box(sk.point_query(black_box(42), N, N / 2)))
+        let w = WindowSpec::time(N, N / 2);
+        b.iter(|| black_box(sk.query(&Query::point(black_box(42)), w).unwrap()))
     });
     let sj_cfg = EcmBuilder::new(0.1, 0.1, 1 << 20)
         .query_kind(QueryKind::InnerProduct)
@@ -46,10 +47,12 @@ fn query_bench(c: &mut Criterion) {
         sj.insert((i * 13) % 256, i);
     }
     c.bench_function("ecm_eh_self_join", |b| {
-        b.iter(|| black_box(sj.self_join(N, N / 2)))
+        let w = WindowSpec::time(N, N / 2);
+        b.iter(|| black_box(sj.query(&Query::self_join(), w).unwrap()))
     });
     c.bench_function("ecm_eh_total_arrivals", |b| {
-        b.iter(|| black_box(sj.total_arrivals(N, N / 2)))
+        let w = WindowSpec::time(N, N / 2);
+        b.iter(|| black_box(sj.query(&Query::total_arrivals(), w).unwrap()))
     });
 }
 
@@ -106,13 +109,21 @@ fn hierarchy_bench(c: &mut Criterion) {
         )
     });
     g.bench_function("heavy_hitters_rel_1pct", |b| {
-        b.iter(|| black_box(h.heavy_hitters(Threshold::Relative(0.01), N, N)))
+        let w = WindowSpec::time(N, N);
+        b.iter(|| {
+            black_box(
+                h.query(&Query::heavy_hitters(Threshold::Relative(0.01)), w)
+                    .unwrap(),
+            )
+        })
     });
     g.bench_function("range_sum", |b| {
-        b.iter(|| black_box(h.range_sum(black_box(100), black_box(40_000), N, N)))
+        let w = WindowSpec::time(N, N);
+        b.iter(|| black_box(h.query(&Query::range_sum(100, 40_000), w).unwrap()))
     });
     g.bench_function("quantile_median", |b| {
-        b.iter(|| black_box(h.quantile(0.5, N, N)))
+        let w = WindowSpec::time(N, N);
+        b.iter(|| black_box(h.query(&Query::quantile(0.5), w).unwrap()))
     });
     g.finish();
 }

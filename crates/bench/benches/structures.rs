@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use sliding_window::traits::WindowCounter;
 use sliding_window::{
-    DeterministicWave, DwConfig, EhConfig, ExactWindow, ExactWindowConfig,
-    ExponentialHistogram, RandomizedWave, RwConfig,
+    DeterministicWave, DwConfig, EhConfig, ExactWindow, ExactWindowConfig, ExponentialHistogram,
+    RandomizedWave, RwConfig,
 };
 use std::hint::black_box;
 

@@ -59,7 +59,9 @@ fn main() {
             mb(out.root.memory_bytes())
         );
     }
-    println!("(Theorem 4: total ≤ eps + eps' + eps·eps'; smaller eps' → bigger, more accurate root)");
+    println!(
+        "(Theorem 4: total ≤ eps + eps' + eps·eps'; smaller eps' → bigger, more accurate root)"
+    );
 
     // Sweep 2: hierarchy depth with and without multilevel compensation.
     println!("\nAblation 2: hierarchy depth h (target root error 0.1)");

@@ -7,8 +7,8 @@
 //! `ε_sw + ε_cm + ε_sw·ε_cm = ε`, build the resulting ECM-EH sketch over the
 //! same stream and report measured memory and observed error.
 
-use ecm::{EcmConfig, EcmEh};
 use ecm::{split_inner_product, split_point_query};
+use ecm::{EcmConfig, EcmEh};
 use ecm_bench::{header, mb, score_point_queries, Dataset};
 use sliding_window::EhConfig;
 use stream_gen::WindowOracle;

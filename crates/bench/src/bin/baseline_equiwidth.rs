@@ -7,10 +7,10 @@
 //! cluster at sub-window starts), which is adversarial for proration but
 //! irrelevant to the exponential histogram.
 
-use ecm::{EcmBuilder, EcmEh, EcmEw};
+use ecm::{EcmBuilder, EcmEh, EcmEw, Query, SketchReader, WindowSpec};
 use ecm_bench::header;
-use sliding_window::{EhConfig, EquiWidthConfig, EquiWidthWindow, ExponentialHistogram};
 use sliding_window::traits::WindowCounter;
+use sliding_window::{EhConfig, EquiWidthConfig, EquiWidthWindow, ExponentialHistogram};
 
 fn main() {
     println!("Baseline ablation: equi-width sub-windows vs exponential histogram");
@@ -40,7 +40,10 @@ fn main() {
 
     let now = *ticks.last().unwrap();
     let exact = |range: u64| -> f64 {
-        ticks.iter().filter(|&&t| t > now.saturating_sub(range)).count() as f64
+        ticks
+            .iter()
+            .filter(|&&t| t > now.saturating_sub(range))
+            .count() as f64
     };
 
     header(
@@ -93,8 +96,17 @@ fn main() {
     );
     for range in [200u64, 800, 3_000, 10_000, 100_000] {
         let ex = exact_key(7, range);
-        let e1 = ecm_eh.point_query(7, now, range);
-        let e2 = ecm_ew.point_query(7, now, range);
+        let w = WindowSpec::time(now, range);
+        let e1 = ecm_eh
+            .query(&Query::point(7), w)
+            .unwrap()
+            .into_value()
+            .value;
+        let e2 = ecm_ew
+            .query(&Query::point(7), w)
+            .unwrap()
+            .into_value()
+            .value;
         println!(
             "{:<9} {:>8.0} {:>12.1} {:>10.4} {:>12.1} {:>10.4}",
             range,

@@ -9,7 +9,7 @@
 //! error (vs ‖a_r‖₁) and memory for wide ranges, narrow ranges, and point
 //! queries (the worst case for uniformity assumptions).
 
-use ecm::{EcmBuilder, EcmHierarchy};
+use ecm::{EcmBuilder, EcmHierarchy, Query, SketchReader, WindowSpec};
 use ecm_bench::{event_budget, header, mb, Dataset, WINDOW};
 use sliding_window::{HybridConfig, HybridHistogram};
 use stream_gen::WindowOracle;
@@ -76,7 +76,13 @@ fn main() {
         "structure          wide_avg   wide_max   narrow_avg narrow_max point_avg  point_max  memory_MB",
     );
 
-    let h_est = |lo: u64, hi: u64| hierarchy.range_sum(lo, hi, now, WINDOW);
+    let h_est = |lo: u64, hi: u64| {
+        hierarchy
+            .query(&Query::range_sum(lo, hi), WindowSpec::time(now, WINDOW))
+            .unwrap()
+            .into_value()
+            .value
+    };
     let (wa, wm) = score(&h_est, &wide);
     let (na, nm) = score(&h_est, &narrow);
     let (pa, pm) = score(&h_est, &points);

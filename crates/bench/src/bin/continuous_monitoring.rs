@@ -11,8 +11,8 @@
 
 use distributed::geometric::SelfJoinFn;
 use distributed::{
-    run_protocol, ForwardAllProtocol, GeometricMonitor, MonitoringProtocol,
-    PeriodicPushProtocol, RunReport,
+    run_protocol, ForwardAllProtocol, GeometricMonitor, MonitoringProtocol, PeriodicPushProtocol,
+    RunReport,
 };
 use ecm::{EcmBuilder, EcmEh, QueryKind};
 use ecm_bench::header;
@@ -43,7 +43,12 @@ fn nodes_and_fn(seed: u64) -> (Vec<EcmEh>, SelfJoinFn) {
 fn row(name: &str, r: &RunReport) {
     println!(
         "{:<14} {:>6} {:>9} {:>12} {:>12} {:>10}",
-        name, r.stats.syncs, r.stats.messages, r.stats.bytes, r.wrong_side_events, r.max_delay_events
+        name,
+        r.stats.syncs,
+        r.stats.messages,
+        r.stats.bytes,
+        r.wrong_side_events,
+        r.max_delay_events
     );
 }
 

@@ -5,8 +5,8 @@
 //! above ECM-EH at equal ε, while its (lossless) error is mildly lower.
 
 use ecm_bench::{
-    build_distributed, event_budget, header, mb, score_point_queries, score_self_join,
-    Dataset, VariantConfigs,
+    build_distributed, event_budget, header, mb, score_point_queries, score_self_join, Dataset,
+    VariantConfigs,
 };
 use stream_gen::WindowOracle;
 

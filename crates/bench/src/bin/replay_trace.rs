@@ -11,8 +11,8 @@
 //! ECM_EPS=0.05 cargo run --release -p ecm-bench --bin replay_trace -- trace.bin
 //! ```
 
-use ecm_bench::{header, mb, score_point_queries, score_self_join};
 use ecm::{EcmBuilder, EcmEh, QueryKind};
+use ecm_bench::{header, mb, score_point_queries, score_self_join};
 use std::fs::File;
 use stream_gen::{read_binary, read_csv, uniform_sites, write_csv, Event, WindowOracle};
 

@@ -6,7 +6,7 @@
 //! shard (worker-thread) count grows, and verifies that the sharded
 //! estimates stay inside the single-sketch accuracy envelope.
 
-use ecm::{partition_pairs, EcmBuilder, ShardedEcm};
+use ecm::{partition_pairs, EcmBuilder, Query, ShardedEcm, SketchReader, WindowSpec};
 use ecm_bench::{event_budget, header, Dataset, WINDOW};
 use sliding_window::ExponentialHistogram;
 use std::time::Instant;
@@ -55,8 +55,7 @@ fn main() {
         // pipeline where upstream routing already happened.
         let parts = partition_pairs(pairs.iter().copied(), shards, cfg.seed);
         let start = Instant::now();
-        let _pre =
-            ShardedEcm::<ExponentialHistogram>::ingest_prepartitioned(&cfg, parts);
+        let _pre = ShardedEcm::<ExponentialHistogram>::ingest_prepartitioned(&cfg, parts);
         let secs = start.elapsed().as_secs_f64();
         let rate = n_events as f64 / secs;
         if shards == 1 {
@@ -73,7 +72,12 @@ fn main() {
             if exact == 0.0 {
                 continue;
             }
-            let err = (sh.point_query(key, now, WINDOW) - exact).abs() / norm;
+            let est = sh
+                .query(&Query::point(key), WindowSpec::time(now, WINDOW))
+                .unwrap()
+                .into_value()
+                .value;
+            let err = (est - exact).abs() / norm;
             sum += err;
             max = max.max(err);
             n += 1;

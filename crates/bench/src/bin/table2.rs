@@ -42,15 +42,21 @@ fn main() {
         "structure      eps    memory_B   update_ns   query_ns",
     );
     for &eps in &[0.05f64, 0.1, 0.2] {
-        let (m, u, q) =
-            time_counter::<ExponentialHistogram>(&EhConfig::new(eps, n), n);
-        println!("{:<12} {:>6.2} {:>10} {:>11.1} {:>10.1}", "EH", eps, m, u, q);
-        let (m, u, q) =
-            time_counter::<DeterministicWave>(&DwConfig::new(eps, n, n), n);
-        println!("{:<12} {:>6.2} {:>10} {:>11.1} {:>10.1}", "DW", eps, m, u, q);
-        let (m, u, q) =
-            time_counter::<RandomizedWave>(&RwConfig::new(eps, 0.1, n, n, 7), n);
-        println!("{:<12} {:>6.2} {:>10} {:>11.1} {:>10.1}", "RW", eps, m, u, q);
+        let (m, u, q) = time_counter::<ExponentialHistogram>(&EhConfig::new(eps, n), n);
+        println!(
+            "{:<12} {:>6.2} {:>10} {:>11.1} {:>10.1}",
+            "EH", eps, m, u, q
+        );
+        let (m, u, q) = time_counter::<DeterministicWave>(&DwConfig::new(eps, n, n), n);
+        println!(
+            "{:<12} {:>6.2} {:>10} {:>11.1} {:>10.1}",
+            "DW", eps, m, u, q
+        );
+        let (m, u, q) = time_counter::<RandomizedWave>(&RwConfig::new(eps, 0.1, n, n, 7), n);
+        println!(
+            "{:<12} {:>6.2} {:>10} {:>11.1} {:>10.1}",
+            "RW", eps, m, u, q
+        );
     }
 
     header(

@@ -21,10 +21,7 @@ fn rate<W: WindowCounter>(cfg: &ecm::EcmConfig<W>, events: &[stream_gen::Event])
 fn main() {
     let n = event_budget();
     println!("Table 3 reproduction: update rates (updates/s), eps = 0.1, {n} events");
-    header(
-        "update rates",
-        "dataset     ECM-EH      ECM-DW      ECM-RW",
-    );
+    header("update rates", "dataset     ECM-EH      ECM-DW      ECM-RW");
     for ds in [Dataset::Wc98, Dataset::Snmp] {
         let events = ds.generate(n, 42);
         let cfgs = VariantConfigs::point(0.1, 0.1, events.len() as u64, 7);
@@ -38,8 +35,6 @@ fn main() {
             r_dw,
             r_rw
         );
-        println!(
-            "           (shape: EH ≥ DW ≫ RW — paper reports 1.49M / 1.17M / 0.18M on wc98)"
-        );
+        println!("           (shape: EH ≥ DW ≫ RW — paper reports 1.49M / 1.17M / 0.18M on wc98)");
     }
 }

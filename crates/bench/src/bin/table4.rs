@@ -6,8 +6,8 @@
 //! and ≈ 1.0 for ECM-RW (lossless aggregation).
 
 use ecm_bench::{
-    build_distributed, build_sketch, event_budget, header, score_point_queries,
-    score_self_join, Dataset, VariantConfigs,
+    build_distributed, build_sketch, event_budget, header, score_point_queries, score_self_join,
+    Dataset, VariantConfigs,
 };
 use stream_gen::WindowOracle;
 

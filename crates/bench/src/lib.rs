@@ -8,7 +8,7 @@
 //! full suite runs in minutes on a laptop; raise it to approach paper-scale
 //! runs.
 
-use ecm::{EcmBuilder, EcmSketch, QueryKind};
+use ecm::{EcmBuilder, EcmSketch, Query, QueryKind, SketchReader, WindowSpec};
 use sliding_window::traits::{MergeableCounter, WindowCounter};
 use stream_gen::{partition_by_site, snmp_like, worldcup_like, Event, WindowOracle};
 
@@ -78,7 +78,7 @@ pub struct ErrorSummary {
 /// Score point queries over every distinct in-range key for each query
 /// range (paper §7.1: one point query per distinct item in the range),
 /// capped at `max_keys` per range for tractability.
-pub fn score_point_queries<W: WindowCounter>(
+pub fn score_point_queries<W: WindowCounter + 'static>(
     sk: &EcmSketch<W>,
     oracle: &WindowOracle,
     now: u64,
@@ -100,7 +100,11 @@ pub fn score_point_queries<W: WindowCounter>(
         keys.sort_unstable();
         for key in keys.into_iter().take(max_keys) {
             let exact = oracle.frequency(key, now, range) as f64;
-            let est = sk.point_query(key, now, range);
+            let est = sk
+                .query(&Query::point(key), WindowSpec::time(now, range))
+                .expect("query ranges never exceed the configured window")
+                .into_value()
+                .value;
             let err = (est - exact).abs() / norm;
             sum += err;
             max = max.max(err);
@@ -116,7 +120,7 @@ pub fn score_point_queries<W: WindowCounter>(
 
 /// Score self-join queries for each query range:
 /// `err = |est − exact| / ‖a_r‖₁²` (paper §7.2).
-pub fn score_self_join<W: WindowCounter>(
+pub fn score_self_join<W: WindowCounter + 'static>(
     sk: &EcmSketch<W>,
     oracle: &WindowOracle,
     now: u64,
@@ -130,7 +134,11 @@ pub fn score_self_join<W: WindowCounter>(
             continue;
         }
         let exact = oracle.self_join(now, range);
-        let est = sk.self_join(now, range);
+        let est = sk
+            .query(&Query::self_join(), WindowSpec::time(now, range))
+            .expect("query ranges never exceed the configured window")
+            .into_value()
+            .value;
         let err = (est - exact).abs() / (norm * norm);
         sum += err;
         max = max.max(err);
@@ -144,10 +152,7 @@ pub fn score_self_join<W: WindowCounter>(
 }
 
 /// Build a centralized sketch of `events` with the given inserter.
-pub fn build_sketch<W: WindowCounter>(
-    cfg: &ecm::EcmConfig<W>,
-    events: &[Event],
-) -> EcmSketch<W> {
+pub fn build_sketch<W: WindowCounter>(cfg: &ecm::EcmConfig<W>, events: &[Event]) -> EcmSketch<W> {
     let mut sk = EcmSketch::new(cfg);
     for (i, e) in events.iter().enumerate() {
         sk.insert_with_id(e.key, e.ts, i as u64 + 1);

@@ -64,7 +64,11 @@ impl DyadicRange {
 pub fn dyadic_cover(lo: u64, hi: u64, bits: u32) -> Vec<DyadicRange> {
     assert!(lo <= hi, "lo {lo} > hi {hi}");
     assert!(bits <= 63, "universe too large");
-    let max = if bits == 63 { u64::MAX >> 1 } else { (1u64 << bits) - 1 };
+    let max = if bits == 63 {
+        u64::MAX >> 1
+    } else {
+        (1u64 << bits) - 1
+    };
     assert!(hi <= max, "interval exceeds universe of {bits} bits");
 
     let mut out = Vec::new();
@@ -72,7 +76,11 @@ pub fn dyadic_cover(lo: u64, hi: u64, bits: u32) -> Vec<DyadicRange> {
     loop {
         // Largest level whose block starts exactly at `lo` and fits in
         // [lo, hi].
-        let align = if lo == 0 { bits } else { lo.trailing_zeros().min(bits) };
+        let align = if lo == 0 {
+            bits
+        } else {
+            lo.trailing_zeros().min(bits)
+        };
         let span = hi - lo + 1;
         let fit = if span == 0 {
             0
@@ -99,17 +107,17 @@ mod tests {
     use proptest::prelude::*;
 
     fn covered_keys(ranges: &[DyadicRange]) -> Vec<u64> {
-        let mut keys: Vec<u64> = ranges
-            .iter()
-            .flat_map(|r| r.lo()..=r.hi())
-            .collect();
+        let mut keys: Vec<u64> = ranges.iter().flat_map(|r| r.lo()..=r.hi()).collect();
         keys.sort_unstable();
         keys
     }
 
     #[test]
     fn range_endpoints() {
-        let r = DyadicRange { level: 3, prefix: 5 };
+        let r = DyadicRange {
+            level: 3,
+            prefix: 5,
+        };
         assert_eq!(r.lo(), 40);
         assert_eq!(r.hi(), 47);
         assert_eq!(r.len(), 8);
@@ -118,23 +126,43 @@ mod tests {
 
     #[test]
     fn children_split_the_block() {
-        let r = DyadicRange { level: 2, prefix: 3 }; // [12, 15]
+        let r = DyadicRange {
+            level: 2,
+            prefix: 3,
+        }; // [12, 15]
         let (a, b) = r.children().unwrap();
         assert_eq!((a.lo(), a.hi()), (12, 13));
         assert_eq!((b.lo(), b.hi()), (14, 15));
-        assert!(DyadicRange { level: 0, prefix: 9 }.children().is_none());
+        assert!(DyadicRange {
+            level: 0,
+            prefix: 9
+        }
+        .children()
+        .is_none());
     }
 
     #[test]
     fn single_key_cover() {
         let c = dyadic_cover(5, 5, 8);
-        assert_eq!(c, vec![DyadicRange { level: 0, prefix: 5 }]);
+        assert_eq!(
+            c,
+            vec![DyadicRange {
+                level: 0,
+                prefix: 5
+            }]
+        );
     }
 
     #[test]
     fn full_universe_is_one_range() {
         let c = dyadic_cover(0, 255, 8);
-        assert_eq!(c, vec![DyadicRange { level: 8, prefix: 0 }]);
+        assert_eq!(
+            c,
+            vec![DyadicRange {
+                level: 8,
+                prefix: 0
+            }]
+        );
     }
 
     #[test]

@@ -124,7 +124,6 @@ impl HashFamily {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn raw_is_below_p_and_deterministic() {

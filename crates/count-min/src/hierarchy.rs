@@ -191,7 +191,13 @@ mod tests {
             h.add(key, 1);
             *truth.entry(key).or_default() += 1;
         }
-        for &(lo, hi) in &[(0u64, 1023u64), (0, 99), (100, 500), (1000, 1023), (512, 512)] {
+        for &(lo, hi) in &[
+            (0u64, 1023u64),
+            (0, 99),
+            (100, 500),
+            (1000, 1023),
+            (512, 512),
+        ] {
             let exact: u64 = truth
                 .iter()
                 .filter(|&(&k, _)| k >= lo && k <= hi)

@@ -182,7 +182,8 @@ impl CountMinSketch {
 
     /// Self-join size (second frequency moment `F₂`) estimate.
     pub fn self_join(&self) -> u64 {
-        self.inner_product(self).expect("self is compatible with self")
+        self.inner_product(self)
+            .expect("self is compatible with self")
     }
 
     /// Merge another sketch into this one (counter-wise sum).
@@ -202,10 +203,7 @@ impl CountMinSketch {
     }
 
     fn check_compatible(&self, other: &CountMinSketch) -> Result<(), SketchError> {
-        if self.width != other.width
-            || self.depth != other.depth
-            || self.hashes != other.hashes
-        {
+        if self.width != other.width || self.depth != other.depth || self.hashes != other.hashes {
             return Err(SketchError::Incompatible {
                 detail: format!(
                     "shape {}x{} seed {} vs shape {}x{} seed {}",
@@ -247,11 +245,15 @@ impl CountMinSketch {
         let width = get_varint(input, "cm width")? as usize;
         let depth = get_varint(input, "cm depth")? as usize;
         if width == 0 || depth == 0 || width.saturating_mul(depth) > (1 << 30) {
-            return Err(CodecError::Corrupt { context: "cm shape" });
+            return Err(CodecError::Corrupt {
+                context: "cm shape",
+            });
         }
         let hashes = HashFamily::decode(input)?;
         if hashes.depth() != depth {
-            return Err(CodecError::Corrupt { context: "cm hashes" });
+            return Err(CodecError::Corrupt {
+                context: "cm hashes",
+            });
         }
         let mut counters = Vec::with_capacity(width * depth);
         for _ in 0..width * depth {
@@ -352,7 +354,10 @@ mod tests {
         let est = a.inner_product(&b).unwrap();
         assert!(est >= exact);
         let budget = (c.epsilon() * (a.total() as f64) * (b.total() as f64)) as u64;
-        assert!(est <= exact + budget, "est={est} exact={exact} budget={budget}");
+        assert!(
+            est <= exact + budget,
+            "est={est} exact={exact} budget={budget}"
+        );
     }
 
     #[test]

@@ -16,8 +16,8 @@
 //! budgeted vs un-budgeted hierarchies against these predictions.
 
 use ecm::config::split_point_query;
-use sliding_window::timestamp::compact_eh_bits;
 pub use sliding_window::exponential_histogram::multilevel_epsilon;
+use sliding_window::timestamp::compact_eh_bits;
 
 use crate::topology::BinaryTree;
 
@@ -167,9 +167,7 @@ impl HierarchyPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sliding_window::{
-        merge_exponential_histograms, EhConfig, ExponentialHistogram,
-    };
+    use sliding_window::{merge_exponential_histograms, EhConfig, ExponentialHistogram};
 
     #[test]
     fn achieved_epsilon_matches_paper_recursion() {

@@ -445,7 +445,11 @@ mod tests {
         let mut p = PeriodicPushProtocol::new(nodes, func, 10.0, 1000, 10, 0);
         // A burst, then a long silent gap spanning many periods.
         for t in 1..=20u64 {
-            p.observe(Event { ts: t, key: 1, site: 0 });
+            p.observe(Event {
+                ts: t,
+                key: 1,
+                site: 0,
+            });
         }
         let syncs_before = p.stats().syncs;
         p.observe(Event {

@@ -54,7 +54,11 @@ impl MonitoredFunction for SelfJoinFn {
     }
 
     fn bounds_on_ball(&self, center: &[f64], radius: f64) -> BallBounds {
-        assert_eq!(center.len(), self.width * self.depth, "vector shape mismatch");
+        assert_eq!(
+            center.len(),
+            self.width * self.depth,
+            "vector shape mismatch"
+        );
         // For one row g_j(v) = ‖v_j‖²: over the ball, the row block moves by
         // at most `radius`, so g_j ∈ [max(0, ‖κ_j‖ − r)², (‖κ_j‖ + r)²].
         // min over ball of min_j g_j = min_j (row minimum) — exact;
@@ -251,7 +255,9 @@ mod tests {
     #[test]
     fn inner_product_bounds_enclose_ball_samples() {
         let f = InnerProductFn { width: 3, depth: 2 };
-        let center = [1.0, -2.0, 0.5, 3.0, 0.0, 1.0, 0.25, 1.5, -1.0, 2.0, 0.5, 0.0];
+        let center = [
+            1.0, -2.0, 0.5, 3.0, 0.0, 1.0, 0.25, 1.5, -1.0, 2.0, 0.5, 0.0,
+        ];
         let radius = 0.6;
         let b = f.bounds_on_ball(&center, radius);
         assert!(b.min <= f.value(&center) + 1e-9);

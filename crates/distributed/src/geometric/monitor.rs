@@ -233,9 +233,7 @@ impl<W: WindowCounter, F: MonitoredFunction> GeometricMonitor<W, F> {
                 // Assign slacks so every member's drift equals b.
                 for &j in &members {
                     let u_j = self.drift_vector(j, now);
-                    for ((slack, &bk), &uk) in
-                        self.slacks[j].iter_mut().zip(&b).zip(&u_j)
-                    {
+                    for ((slack, &bk), &uk) in self.slacks[j].iter_mut().zip(&b).zip(&u_j) {
                         *slack += bk - uk;
                     }
                 }
@@ -307,10 +305,10 @@ mod tests {
     use ecm::{EcmBuilder, EcmEh, QueryKind};
     use stream_gen::Event;
 
-    fn make_monitor(n_sites: usize, threshold: f64) -> GeometricMonitor<
-        sliding_window::ExponentialHistogram,
-        SelfJoinFn,
-    > {
+    fn make_monitor(
+        n_sites: usize,
+        threshold: f64,
+    ) -> GeometricMonitor<sliding_window::ExponentialHistogram, SelfJoinFn> {
         let cfg = EcmBuilder::new(0.1, 0.1, 1 << 20)
             .query_kind(QueryKind::InnerProduct)
             .seed(17)
@@ -361,10 +359,7 @@ mod tests {
                 MonitorEvent::LocalOk | MonitorEvent::Balanced { .. } => {
                     // Core geometric-method guarantee: between syncs the true
                     // global value stays on the last known side.
-                    assert_eq!(
-                        truth_above, last_known_side,
-                        "missed crossing at t={t}"
-                    );
+                    assert_eq!(truth_above, last_known_side, "missed crossing at t={t}");
                 }
             }
         }
@@ -478,10 +473,7 @@ mod tests {
         // see. Its local ball violates early, but the *average* stays far
         // from the threshold, which is exactly when balancing pays.
         let threshold = 1_000.0;
-        let feed = |m: &mut GeometricMonitor<
-            sliding_window::ExponentialHistogram,
-            SelfJoinFn,
-        >| {
+        let feed = |m: &mut GeometricMonitor<sliding_window::ExponentialHistogram, SelfJoinFn>| {
             for t in 1..=1_500u64 {
                 let (key, site) = if t % 3 == 0 {
                     (9, 0) // site 0 hammers one key
@@ -535,12 +527,6 @@ mod tests {
     #[should_panic(expected = "at least one site")]
     fn empty_monitor_rejected() {
         let _: GeometricMonitor<sliding_window::ExponentialHistogram, SelfJoinFn> =
-            GeometricMonitor::new(
-                Vec::new(),
-                SelfJoinFn { width: 1, depth: 1 },
-                1.0,
-                10,
-                0,
-            );
+            GeometricMonitor::new(Vec::new(), SelfJoinFn { width: 1, depth: 1 }, 1.0, 10, 0);
     }
 }

@@ -29,16 +29,14 @@ pub mod topology;
 
 pub use aggregation::{aggregate_kary_tree, aggregate_tree, AggregationOutcome, TransferStats};
 pub use budget::{
-    achieved_epsilon, multilevel_epsilon, naive_compounded_epsilon, per_level_errors,
-    HierarchyPlan,
+    achieved_epsilon, multilevel_epsilon, naive_compounded_epsilon, per_level_errors, HierarchyPlan,
 };
 pub use continuous::{
     run_protocol, ForwardAllProtocol, MonitoringProtocol, PeriodicPushProtocol, RunReport,
 };
 pub use geometric::{
     BallBounds, GeometricMonitor, InnerProductFn, MonitorEvent, MonitorStats, MonitoredFunction,
-    PointFn,
-    SelfJoinFn,
+    PointFn, SelfJoinFn,
 };
 pub use propagation::{DriftPropagation, PropagationStats};
 pub use topology::{BinaryTree, KaryTree};

@@ -114,8 +114,16 @@ mod tests {
 
     #[test]
     fn heights_match_log2() {
-        for (n, h) in [(1usize, 0u32), (2, 1), (3, 2), (4, 2), (5, 3), (33, 6), (256, 8), (535, 10)]
-        {
+        for (n, h) in [
+            (1usize, 0u32),
+            (2, 1),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (33, 6),
+            (256, 8),
+            (535, 10),
+        ] {
             assert_eq!(BinaryTree::new(n).height(), h, "n={n}");
         }
     }

@@ -49,7 +49,7 @@ const BATCH: usize = 4096;
 /// A key-partitioned array of ECM-sketches with exact query composition.
 ///
 /// ```
-/// use ecm::{EcmBuilder, ShardedEcm};
+/// use ecm::{EcmBuilder, Query, ShardedEcm, SketchReader, WindowSpec};
 /// use sliding_window::ExponentialHistogram;
 ///
 /// let cfg = EcmBuilder::new(0.1, 0.1, 1_000).seed(1).eh_config();
@@ -57,8 +57,11 @@ const BATCH: usize = 4096;
 /// let sk: ShardedEcm<ExponentialHistogram> =
 ///     ShardedEcm::ingest_parallel(&cfg, 4, (1..=10_000u64).map(|t| (t % 20, t)));
 /// // Each of the 20 keys holds ~50 of the last 1000 arrivals.
-/// let est = sk.point_query(7, 10_000, 1_000);
-/// assert!((est - 50.0).abs() <= 0.1 * 1_000.0 + 1.0);
+/// let est = sk
+///     .query(&Query::point(7), WindowSpec::time(10_000, 1_000))
+///     .unwrap()
+///     .into_value();
+/// assert!((est.value - 50.0).abs() <= 0.1 * 1_000.0 + 1.0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct ShardedEcm<W: WindowCounter> {
@@ -105,12 +108,22 @@ impl<W: WindowCounter> ShardedEcm<W> {
 
     /// Point query: routed to the owning shard; Theorem 1 applies with the
     /// shard's (smaller) stream norm.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use query::SketchReader::query with Query::point"
+    )]
+    #[allow(deprecated)]
     pub fn point_query(&self, item: u64, now: u64, range: u64) -> f64 {
         self.shards[self.shard_of(item)].point_query(item, now, range)
     }
 
     /// Self-join (F₂) estimate: the exact key-disjoint decomposition
     /// `Σ_shards F₂(shard)`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use query::SketchReader::query with Query::self_join"
+    )]
+    #[allow(deprecated)]
     pub fn self_join(&self, now: u64, range: u64) -> f64 {
         self.shards.iter().map(|s| s.self_join(now, range)).sum()
     }
@@ -121,6 +134,11 @@ impl<W: WindowCounter> ShardedEcm<W> {
     /// # Errors
     /// [`MergeError::IncompatibleConfig`] on shard-count or seed mismatch,
     /// or if any shard pair is incompatible.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use query::SketchReader::query with Query::inner_product"
+    )]
+    #[allow(deprecated)]
     pub fn inner_product(
         &self,
         other: &ShardedEcm<W>,
@@ -146,6 +164,11 @@ impl<W: WindowCounter> ShardedEcm<W> {
     }
 
     /// Estimated total arrivals in the query range (sum over shards).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use query::SketchReader::query with Query::total_arrivals"
+    )]
+    #[allow(deprecated)]
     pub fn total_arrivals(&self, now: u64, range: u64) -> f64 {
         self.shards
             .iter()
@@ -246,10 +269,7 @@ where
     ///
     /// # Panics
     /// If `parts` is empty, or propagates a worker panic.
-    pub fn ingest_prepartitioned(
-        cfg: &EcmConfig<W>,
-        parts: Vec<Vec<(u64, u64)>>,
-    ) -> Self {
+    pub fn ingest_prepartitioned(cfg: &EcmConfig<W>, parts: Vec<Vec<(u64, u64)>>) -> Self {
         assert!(!parts.is_empty(), "need at least one shard");
         let shards = parts.len();
         let route_seed = cfg.seed;
@@ -304,6 +324,10 @@ pub fn partition_pairs(
 
 #[cfg(test)]
 mod tests {
+    // These tests exercise the legacy positional-argument shims on purpose:
+    // they pin down the computational core the typed query layer delegates
+    // to. Query-surface coverage lives in the query module's own tests.
+    #![allow(deprecated)]
     use super::*;
     use crate::config::{EcmBuilder, QueryKind};
     use sliding_window::ExponentialHistogram;

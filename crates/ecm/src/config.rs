@@ -4,8 +4,8 @@
 //! `∝ 1/(ε_sw·ε_cm)` is minimized under the composition constraint of the
 //! relevant theorem.
 
-use sliding_window::{DwConfig, EhConfig, EquiWidthConfig, ExactWindowConfig, RwConfig};
 use sliding_window::traits::WindowCounter;
+use sliding_window::{DwConfig, EhConfig, EquiWidthConfig, ExactWindowConfig, RwConfig};
 
 /// Which query type the ε-split should be optimized for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -19,7 +19,7 @@ use sliding_window::ExponentialHistogram;
 /// ECM-sketch over a count-based window of the last `N` arrivals.
 ///
 /// ```
-/// use ecm::{CountBasedEcm, EcmBuilder};
+/// use ecm::{CountBasedEcm, EcmBuilder, Query, SketchReader, WindowSpec};
 ///
 /// // Frequencies over the last 1000 arrivals, ε = 0.1.
 /// let cfg = EcmBuilder::new(0.1, 0.1, 1000).seed(1).eh_config();
@@ -28,8 +28,13 @@ use sliding_window::ExponentialHistogram;
 ///     sk.insert(i % 10);
 /// }
 /// // Each key holds ~100 of the last 1000 arrivals.
-/// let est = sk.point_query(3, 1000);
-/// assert!((est - 100.0).abs() <= 0.1 * 1000.0 + 1.0);
+/// let est = sk
+///     .query(&Query::point(3), WindowSpec::last(1000))
+///     .unwrap()
+///     .into_value();
+/// assert!((est.value - 100.0).abs() <= 0.1 * 1000.0 + 1.0);
+/// // Count-based backends answer count-based windows only.
+/// assert!(sk.query(&Query::point(3), WindowSpec::time(5000, 1000)).is_err());
 /// ```
 #[derive(Debug, Clone)]
 pub struct CountBasedEcm<W: WindowCounter = ExponentialHistogram> {
@@ -51,15 +56,26 @@ impl<W: WindowCounter> CountBasedEcm<W> {
     /// Record one occurrence of `item` (the clock advances by one).
     pub fn insert(&mut self, item: u64) {
         self.arrivals += 1;
-        self.inner.insert_with_id(item, self.arrivals, self.arrivals);
+        self.inner
+            .insert_with_id(item, self.arrivals, self.arrivals);
     }
 
     /// Estimated frequency of `item` among the last `last_n` arrivals.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use query::SketchReader::query with Query::point and WindowSpec::last"
+    )]
+    #[allow(deprecated)]
     pub fn point_query(&self, item: u64, last_n: u64) -> f64 {
         self.inner.point_query(item, self.arrivals, last_n)
     }
 
     /// Self-join size estimate over the last `last_n` arrivals.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use query::SketchReader::query with Query::self_join and WindowSpec::last"
+    )]
+    #[allow(deprecated)]
     pub fn self_join(&self, last_n: u64) -> f64 {
         self.inner.self_join(self.arrivals, last_n)
     }
@@ -73,6 +89,11 @@ impl<W: WindowCounter> CountBasedEcm<W> {
     ///
     /// # Errors
     /// Propagates shape/seed mismatches.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use query::SketchReader::query with Query::inner_product and WindowSpec::last"
+    )]
+    #[allow(deprecated)]
     pub fn inner_product(
         &self,
         other: &CountBasedEcm<W>,
@@ -94,9 +115,7 @@ impl<W: WindowCounter> CountBasedEcm<W> {
         let d = self.inner.depth();
         let mut best = f64::INFINITY;
         for j in 0..d {
-            let dot: f64 = (0..w)
-                .map(|i| va[j * w + i] * vb[j * w + i])
-                .sum();
+            let dot: f64 = (0..w).map(|i| va[j * w + i] * vb[j * w + i]).sum();
             best = best.min(dot);
         }
         Ok(best)
@@ -109,6 +128,11 @@ impl<W: WindowCounter> CountBasedEcm<W> {
 
     /// Estimated arrivals among the last `last_n` (≈ `min(last_n, arrivals)`;
     /// useful as a sanity probe of the row-average estimator).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use query::SketchReader::query with Query::total_arrivals and WindowSpec::last"
+    )]
+    #[allow(deprecated)]
     pub fn total_arrivals(&self, last_n: u64) -> f64 {
         self.inner.total_arrivals(self.arrivals, last_n)
     }
@@ -132,7 +156,7 @@ impl<W: WindowCounter> CountBasedEcm<W> {
 /// like [`CountBasedEcm`], it deliberately exposes no merge (paper Fig. 2).
 ///
 /// ```
-/// use ecm::{CountBasedHierarchy, EcmBuilder, Threshold};
+/// use ecm::{CountBasedHierarchy, EcmBuilder, Query, SketchReader, Threshold, WindowSpec};
 ///
 /// let cfg = EcmBuilder::new(0.05, 0.05, 1_000).seed(2).eh_config();
 /// let mut h: CountBasedHierarchy = CountBasedHierarchy::new(8, &cfg);
@@ -140,7 +164,13 @@ impl<W: WindowCounter> CountBasedEcm<W> {
 ///     // Key 42 takes a third of the recent traffic.
 ///     h.insert(if i % 3 == 0 { 42 } else { i % 200 });
 /// }
-/// let hot = h.heavy_hitters(Threshold::Relative(0.2), 1_000);
+/// let hot = h
+///     .query(
+///         &Query::heavy_hitters(Threshold::Relative(0.2)),
+///         WindowSpec::last(1_000),
+///     )
+///     .unwrap()
+///     .into_heavy_hitters();
 /// assert!(hot.iter().any(|&(k, _)| k == 42));
 /// ```
 #[derive(Debug, Clone)]
@@ -179,11 +209,21 @@ impl<W: WindowCounter> CountBasedHierarchy<W> {
     }
 
     /// Heavy hitters among the last `last_n` arrivals.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use query::SketchReader::query with Query::heavy_hitters and WindowSpec::last"
+    )]
+    #[allow(deprecated)]
     pub fn heavy_hitters(&self, threshold: Threshold, last_n: u64) -> Vec<(u64, f64)> {
         self.inner.heavy_hitters(threshold, self.arrivals, last_n)
     }
 
     /// Estimated number of the last `last_n` arrivals with key in `[lo, hi]`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use query::SketchReader::query with Query::range_sum and WindowSpec::last"
+    )]
+    #[allow(deprecated)]
     pub fn range_sum(&self, lo: u64, hi: u64, last_n: u64) -> f64 {
         self.inner.range_sum(lo, hi, self.arrivals, last_n)
     }
@@ -192,12 +232,22 @@ impl<W: WindowCounter> CountBasedHierarchy<W> {
     ///
     /// # Panics
     /// If `phi ∉ (0, 1]`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use query::SketchReader::query with Query::quantile and WindowSpec::last"
+    )]
+    #[allow(deprecated)]
     pub fn quantile(&self, phi: f64, last_n: u64) -> Option<u64> {
         self.inner.quantile(phi, self.arrivals, last_n)
     }
 
     /// Estimated arrivals among the last `last_n`
     /// (≈ `min(last_n, arrivals)`).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use query::SketchReader::query with Query::total_arrivals and WindowSpec::last"
+    )]
+    #[allow(deprecated)]
     pub fn total_arrivals(&self, last_n: u64) -> f64 {
         self.inner.total_arrivals(self.arrivals, last_n)
     }
@@ -215,6 +265,10 @@ impl<W: WindowCounter> CountBasedHierarchy<W> {
 
 #[cfg(test)]
 mod tests {
+    // These tests exercise the legacy positional-argument shims on purpose:
+    // they pin down the computational core the typed query layer delegates
+    // to. Query-surface coverage lives in the query module's own tests.
+    #![allow(deprecated)]
     use super::*;
     use crate::config::EcmBuilder;
     use std::collections::HashMap;
@@ -236,7 +290,10 @@ mod tests {
         }
         let est1 = sk.point_query(1, 100);
         let est2 = sk.point_query(2, 100);
-        assert!(est1 <= 0.1 * 100.0 + 1.0, "key 1 must have aged out: {est1}");
+        assert!(
+            est1 <= 0.1 * 100.0 + 1.0,
+            "key 1 must have aged out: {est1}"
+        );
         assert!((est2 - 100.0).abs() <= 0.1 * 100.0, "est2={est2}");
         assert_eq!(sk.arrivals(), 600);
     }
@@ -275,10 +332,7 @@ mod tests {
         }
         // Last 500 arrivals: 100 each of 5 keys → F2 = 5·100² = 50 000.
         let sj = sk.self_join(500);
-        assert!(
-            (sj - 50_000.0).abs() <= 0.25 * 50_000.0,
-            "sj={sj}"
-        );
+        assert!((sj - 50_000.0).abs() <= 0.25 * 50_000.0, "sj={sj}");
         let total = sk.total_arrivals(500);
         assert!((total - 500.0).abs() <= 60.0, "total={total}");
     }

@@ -69,8 +69,7 @@ impl DecayedCm {
 
     /// Memory held — constant in the stream, the model's selling point.
     pub fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.cells.capacity() * std::mem::size_of::<ExpDecayCounter>()
+        std::mem::size_of::<Self>() + self.cells.capacity() * std::mem::size_of::<ExpDecayCounter>()
     }
 }
 

@@ -77,6 +77,7 @@ impl<W: WindowCounter> EcmHierarchy<W> {
     }
 
     /// Estimated weight of one dyadic range within `(now − range, now]`.
+    #[allow(deprecated)] // plumbing shared by the legacy shims and the query layer
     pub fn range_point(&self, r: DyadicRange, now: u64, range: u64) -> f64 {
         if r.level >= self.bits {
             self.total_arrivals(now, range)
@@ -87,6 +88,11 @@ impl<W: WindowCounter> EcmHierarchy<W> {
 
     /// Estimated number of arrivals with key in `[lo, hi]` and tick in
     /// `(now − range, now]` (sliding-window range query, paper §6.1).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use query::SketchReader::query with Query::range_sum"
+    )]
+    #[allow(deprecated)]
     pub fn range_sum(&self, lo: u64, hi: u64, now: u64, range: u64) -> f64 {
         dyadic_cover(lo, hi, self.bits)
             .into_iter()
@@ -96,6 +102,11 @@ impl<W: WindowCounter> EcmHierarchy<W> {
 
     /// Estimated total arrivals in the query range, from the level-0
     /// sketch's row-average (paper §6.1).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use query::SketchReader::query with Query::total_arrivals"
+    )]
+    #[allow(deprecated)]
     pub fn total_arrivals(&self, now: u64, range: u64) -> f64 {
         self.sketches[0].total_arrivals(now, range)
     }
@@ -107,6 +118,11 @@ impl<W: WindowCounter> EcmHierarchy<W> {
     /// Guarantees (Theorem 5 semantics): every key with true frequency
     /// ≥ (φ + ε)·‖a_r‖₁ is reported; keys with frequency < φ·‖a_r‖₁ are
     /// reported only with probability δ each.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use query::SketchReader::query with Query::heavy_hitters"
+    )]
+    #[allow(deprecated)]
     pub fn heavy_hitters(&self, threshold: Threshold, now: u64, range: u64) -> Vec<(u64, f64)> {
         let thresh = match threshold {
             Threshold::Absolute(t) => t,
@@ -147,6 +163,11 @@ impl<W: WindowCounter> EcmHierarchy<W> {
     ///
     /// # Panics
     /// If `phi ∉ (0, 1]`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use query::SketchReader::query with Query::quantile"
+    )]
+    #[allow(deprecated)]
     pub fn quantile(&self, phi: f64, now: u64, range: u64) -> Option<u64> {
         assert!(phi > 0.0 && phi <= 1.0, "φ must be in (0,1], got {phi}");
         let total = self.total_arrivals(now, range);
@@ -159,6 +180,7 @@ impl<W: WindowCounter> EcmHierarchy<W> {
     /// Smallest key whose cumulative in-range weight reaches `rank` by
     /// bitwise descent; `None` if the range holds less weight than `rank`.
     /// The φ-quantile of the window is `quantile_by_rank(φ·‖a_r‖₁, ..)`.
+    #[allow(deprecated)] // plumbing shared by the legacy shims and the query layer
     pub fn quantile_by_rank(&self, rank: f64, now: u64, range: u64) -> Option<u64> {
         if rank <= 0.0 || rank > self.total_arrivals(now, range) + 0.5 {
             return None;
@@ -201,11 +223,7 @@ impl<W: WindowCounter> EcmHierarchy<W> {
     /// Decode a hierarchy previously produced by [`encode`](Self::encode);
     /// `cfg` must match the encoder's construction config (the per-level
     /// seed derivation is re-applied).
-    pub fn decode(
-        bits: u32,
-        cfg: &EcmConfig<W>,
-        input: &mut &[u8],
-    ) -> Result<Self, CodecError> {
+    pub fn decode(bits: u32, cfg: &EcmConfig<W>, input: &mut &[u8]) -> Result<Self, CodecError> {
         let version = get_u8(input, "hierarchy version")?;
         if version != CODEC_VERSION {
             return Err(CodecError::BadVersion { found: version });
@@ -257,8 +275,7 @@ impl<W: MergeableCounter> EcmHierarchy<W> {
         }
         let mut sketches = Vec::with_capacity(first.sketches.len());
         for l in 0..first.sketches.len() {
-            let level_parts: Vec<&EcmSketch<W>> =
-                parts.iter().map(|p| &p.sketches[l]).collect();
+            let level_parts: Vec<&EcmSketch<W>> = parts.iter().map(|p| &p.sketches[l]).collect();
             sketches.push(EcmSketch::merge(&level_parts, out_cell_cfg)?);
         }
         Ok(EcmHierarchy {
@@ -270,6 +287,10 @@ impl<W: MergeableCounter> EcmHierarchy<W> {
 
 #[cfg(test)]
 mod tests {
+    // These tests exercise the legacy positional-argument shims on purpose:
+    // they pin down the computational core the typed query layer delegates
+    // to. Query-surface coverage lives in the query module's own tests.
+    #![allow(deprecated)]
     use super::*;
     use crate::config::EcmBuilder;
     use sliding_window::ExponentialHistogram;
@@ -282,11 +303,7 @@ mod tests {
         EcmHierarchy::new(bits, &cfg)
     }
 
-    fn exact_in_range(
-        events: &[(u64, u64)],
-        now: u64,
-        range: u64,
-    ) -> HashMap<u64, u64> {
+    fn exact_in_range(events: &[(u64, u64)], now: u64, range: u64) -> HashMap<u64, u64> {
         let cutoff = now.saturating_sub(range);
         let mut m = HashMap::new();
         for &(k, t) in events {
@@ -321,8 +338,11 @@ mod tests {
             h.insert(k, t);
         }
         let now = 20_000;
-        for &(lo, hi, range) in &[(0u64, 255u64, 20_000u64), (10, 20, 4_000), (128, 255, 10_000)]
-        {
+        for &(lo, hi, range) in &[
+            (0u64, 255u64, 20_000u64),
+            (10, 20, 4_000),
+            (128, 255, 10_000),
+        ] {
             let truth = exact_in_range(&events, now, range);
             let exact: u64 = truth
                 .iter()
@@ -389,9 +409,7 @@ mod tests {
     #[test]
     fn relative_threshold_validates_phi() {
         let h = hierarchy(4, 0.1);
-        let r = std::panic::catch_unwind(|| {
-            h.heavy_hitters(Threshold::Relative(1.5), 10, 10)
-        });
+        let r = std::panic::catch_unwind(|| h.heavy_hitters(Threshold::Relative(1.5), 10, 10));
         assert!(r.is_err(), "φ > 1 must panic");
     }
 
@@ -586,11 +604,15 @@ mod tests {
         let mut buf = Vec::new();
         h.encode(&mut buf);
         // Wrong expected bits.
-        assert!(EcmHierarchy::<ExponentialHistogram>::decode(7, &cfg, &mut buf.as_slice()).is_err());
+        assert!(
+            EcmHierarchy::<ExponentialHistogram>::decode(7, &cfg, &mut buf.as_slice()).is_err()
+        );
         // Wrong version byte.
         let mut bad = buf.clone();
         bad[0] = 99;
-        assert!(EcmHierarchy::<ExponentialHistogram>::decode(6, &cfg, &mut bad.as_slice()).is_err());
+        assert!(
+            EcmHierarchy::<ExponentialHistogram>::decode(6, &cfg, &mut bad.as_slice()).is_err()
+        );
         // Truncations.
         for cut in [0usize, 1, buf.len() / 3, buf.len() - 1] {
             let mut input = &buf[..cut];

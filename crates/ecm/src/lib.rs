@@ -21,8 +21,12 @@
 //!
 //! # Quick start
 //!
+//! Every backend answers the same typed [`query::Query`] vocabulary through
+//! [`query::SketchReader`], and every estimate carries its (ε, δ)
+//! guarantee:
+//!
 //! ```
-//! use ecm::{EcmBuilder, QueryKind};
+//! use ecm::{EcmBuilder, Query, QueryKind, SketchReader, WindowSpec};
 //!
 //! // 0.1-approximate point queries over a 1-hour (3600-tick) window.
 //! let cfg = EcmBuilder::new(0.1, 0.1, 3_600)
@@ -33,8 +37,12 @@
 //! for t in 1..=1000u64 {
 //!     sketch.insert(t % 50, t); // item, tick
 //! }
-//! let freq = sketch.point_query(7, 1000, 3_600);
-//! assert!(freq >= 20.0 * (1.0 - 0.1) && freq <= 20.0 + 0.1 * 1000.0);
+//! let freq = sketch
+//!     .query(&Query::point(7), WindowSpec::time(1000, 3_600))
+//!     .unwrap()
+//!     .into_value();
+//! let eps = freq.guarantee.unwrap().epsilon; // ≤ the configured 0.1
+//! assert!(freq.value >= 20.0 * (1.0 - eps) && freq.value <= 20.0 + eps * 1000.0);
 //! ```
 
 pub mod concurrent;
@@ -42,14 +50,16 @@ pub mod config;
 pub mod count_based;
 pub mod decayed_cm;
 pub mod hierarchy;
+pub mod query;
 pub mod sketch;
 
 pub use concurrent::{partition_pairs, ShardedEcm};
 pub use config::{
-    split_inner_product, split_point_query, split_point_query_randomized, EcmBuilder,
-    EcmConfig, QueryKind,
+    split_inner_product, split_point_query, split_point_query_randomized, EcmBuilder, EcmConfig,
+    QueryKind,
 };
 pub use count_based::{CountBasedEcm, CountBasedHierarchy};
 pub use decayed_cm::DecayedCm;
 pub use hierarchy::{EcmHierarchy, Threshold};
+pub use query::{Answer, Estimate, Guarantee, Query, QueryError, SketchReader, WindowSpec};
 pub use sketch::{EcmDw, EcmEh, EcmEw, EcmExact, EcmRw, EcmSketch};

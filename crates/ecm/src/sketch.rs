@@ -6,8 +6,8 @@ use count_min::HashFamily;
 use sliding_window::codec::{get_u8, get_varint, put_u8, put_varint};
 use sliding_window::traits::{MergeableCounter, WindowCounter};
 use sliding_window::{
-    CodecError, DeterministicWave, EquiWidthWindow, ExactWindow, ExponentialHistogram,
-    MergeError, RandomizedWave,
+    CodecError, DeterministicWave, EquiWidthWindow, ExactWindow, ExponentialHistogram, MergeError,
+    RandomizedWave,
 };
 
 const CODEC_VERSION: u8 = 1;
@@ -57,7 +57,10 @@ pub struct EcmSketch<W: WindowCounter> {
 impl<W: WindowCounter> EcmSketch<W> {
     /// Create an empty sketch.
     pub fn new(cfg: &EcmConfig<W>) -> Self {
-        assert!(cfg.width > 0 && cfg.depth > 0, "dimensions must be positive");
+        assert!(
+            cfg.width > 0 && cfg.depth > 0,
+            "dimensions must be positive"
+        );
         let cells = (0..cfg.width * cfg.depth)
             .map(|_| W::new(&cfg.cell))
             .collect();
@@ -151,6 +154,11 @@ impl<W: WindowCounter> EcmSketch<W> {
 
     /// Point query (paper §4.1, Theorem 1): estimated frequency of `item`
     /// among arrivals with tick in `(now − range, now]`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use query::SketchReader::query with Query::point"
+    )]
+    #[allow(deprecated)]
     pub fn point_query(&self, item: u64, now: u64, range: u64) -> f64 {
         (0..self.depth)
             .map(|j| {
@@ -163,6 +171,11 @@ impl<W: WindowCounter> EcmSketch<W> {
 
     /// Self-join size (second frequency moment `F₂`) estimate over the
     /// query range (paper §4.1, Theorem 2 with `b = a`).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use query::SketchReader::query with Query::self_join"
+    )]
+    #[allow(deprecated)]
     pub fn self_join(&self, now: u64, range: u64) -> f64 {
         (0..self.depth)
             .map(|j| self.row_dot(self, j, now, range))
@@ -174,6 +187,11 @@ impl<W: WindowCounter> EcmSketch<W> {
     ///
     /// # Errors
     /// [`MergeError::IncompatibleConfig`] if shapes or hash seeds differ.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use query::SketchReader::query with Query::inner_product"
+    )]
+    #[allow(deprecated)]
     pub fn inner_product(
         &self,
         other: &EcmSketch<W>,
@@ -189,9 +207,7 @@ impl<W: WindowCounter> EcmSketch<W> {
     fn row_dot(&self, other: &EcmSketch<W>, j: usize, now: u64, range: u64) -> f64 {
         let row = j * self.width;
         (0..self.width)
-            .map(|i| {
-                self.cells[row + i].query(now, range) * other.cells[row + i].query(now, range)
-            })
+            .map(|i| self.cells[row + i].query(now, range) * other.cells[row + i].query(now, range))
             .sum()
     }
 
@@ -199,6 +215,11 @@ impl<W: WindowCounter> EcmSketch<W> {
     /// as the average of per-row cell-estimate sums (paper §6.1: each row's
     /// sum counts every arrival exactly once, modulo window error; averaging
     /// rows cancels independent per-counter errors).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use query::SketchReader::query with Query::total_arrivals"
+    )]
+    #[allow(deprecated)]
     pub fn total_arrivals(&self, now: u64, range: u64) -> f64 {
         let mut sum = 0.0;
         for j in 0..self.depth {
@@ -224,10 +245,7 @@ impl<W: WindowCounter> EcmSketch<W> {
     }
 
     fn check_compatible(&self, other: &EcmSketch<W>) -> Result<(), MergeError> {
-        if self.width != other.width
-            || self.depth != other.depth
-            || self.hashes != other.hashes
-        {
+        if self.width != other.width || self.depth != other.depth || self.hashes != other.hashes {
             return Err(MergeError::IncompatibleConfig {
                 detail: format!(
                     "shape {}x{} seed {} vs {}x{} seed {}",
@@ -245,8 +263,7 @@ impl<W: WindowCounter> EcmSketch<W> {
 
     /// Bytes of memory currently held (dominated by the cells).
     pub fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.cells.iter().map(W::memory_bytes).sum::<usize>()
+        std::mem::size_of::<Self>() + self.cells.iter().map(W::memory_bytes).sum::<usize>()
     }
 
     /// Append the compact wire encoding (what a site ships to its
@@ -283,11 +300,15 @@ impl<W: WindowCounter> EcmSketch<W> {
         let width = get_varint(input, "ecm width")? as usize;
         let depth = get_varint(input, "ecm depth")? as usize;
         if width != cfg.width || depth != cfg.depth {
-            return Err(CodecError::Corrupt { context: "ecm shape" });
+            return Err(CodecError::Corrupt {
+                context: "ecm shape",
+            });
         }
         let hashes = HashFamily::decode(input)?;
         if hashes.depth() != depth || hashes.seed() != cfg.seed {
-            return Err(CodecError::Corrupt { context: "ecm hashes" });
+            return Err(CodecError::Corrupt {
+                context: "ecm hashes",
+            });
         }
         let mut cells = Vec::with_capacity(width * depth);
         for _ in 0..width * depth {

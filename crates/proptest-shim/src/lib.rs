@@ -1,0 +1,375 @@
+//! Dependency-free stand-in for the subset of [proptest](https://docs.rs/proptest)
+//! this workspace uses.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This shim keeps every property-based test in the workspace
+//! *running* (not just compiling) by re-implementing the needed surface:
+//!
+//! * range strategies over `u64`, `u32`, `usize` and `f64`
+//! * tuple and [`collection::vec`] combinators
+//! * [`any`] / `num::u64::ANY`
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`
+//! * `prop_assert!` / `prop_assert_eq!`
+//!
+//! Differences from the real crate: inputs are sampled from a fixed-seed
+//! deterministic generator (per test function, stable across runs), and
+//! failing cases are **not shrunk** — the assertion message carries the
+//! failing values instead. Swap in the real `proptest` by replacing the
+//! `proptest` entry in `[dev-dependencies]` when a vendored copy exists.
+
+/// Test-case generation: deterministic RNG and run configuration.
+pub mod test_runner {
+    /// How many cases [`crate::proptest!`](proptest) runs per property.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of sampled inputs per property function.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run each property `cases` times.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Failure raised from inside a property body (via `?` or explicitly).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Mark the current case as failed with `reason`.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// SplitMix64 generator seeded from the test's source location, so every
+    /// property function draws a distinct but reproducible input stream.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test's source location and name (stable across runs
+        /// of a given build).
+        pub fn for_test(file: &str, line: u32) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in file.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ (u64::from(line) << 32),
+            }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform draw in `[0, span)`.
+        pub fn bounded(&mut self, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+        }
+    }
+}
+
+/// Value-generation strategies (sampling only; no shrinking).
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<u64> {
+        type Value = u64;
+        fn sample(&self, rng: &mut TestRng) -> u64 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + rng.bounded(self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<u32> {
+        type Value = u32;
+        fn sample(&self, rng: &mut TestRng) -> u32 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + rng.bounded(u64::from(self.end - self.start)) as u32
+        }
+    }
+
+    impl Strategy for Range<usize> {
+        type Value = usize;
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + rng.bounded((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
+    }
+
+    /// Full-domain strategy for a primitive type; see [`crate::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl Strategy for Any<u64> {
+        type Value = u64;
+        fn sample(&self, rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Strategy for Any<u32> {
+        type Value = u32;
+        fn sample(&self, rng: &mut TestRng) -> u32 {
+            rng.next_u64() as u32
+        }
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Strategy over the full domain of `T` (`any::<u64>()` etc.).
+pub fn any<T>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy: each element drawn from `elem`, length from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.clone().sample(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Per-type strategy constants mirroring `proptest::num`.
+pub mod num {
+    /// `u64` strategies.
+    pub mod u64 {
+        /// The full-domain `u64` strategy.
+        pub const ANY: crate::strategy::Any<u64> = crate::strategy::Any(std::marker::PhantomData);
+    }
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Assert inside a property; on failure the test panics with the message
+/// (inputs are not shrunk — include them in the format string).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Define property tests: each function body runs once per sampled input
+/// set. Inside a `#[cfg(test)]` module, write `#[test]` above each property
+/// function exactly as with the real crate; the attribute passes through.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// # addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr);
+     $($(#[$attr:meta])*
+       fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                // The function name goes into the seed: several properties
+                // expanded from one `proptest!` block share file!()/line!(),
+                // and each must draw a distinct input stream.
+                let mut __rng = $crate::test_runner::TestRng::for_test(
+                    ::core::concat!(::core::file!(), "::", ::core::stringify!($name)),
+                    ::core::line!(),
+                );
+                for __case in 0..__cfg.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    // The closure gives `?` and TestCaseError a place to
+                    // land, mirroring the real proptest body contract.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(e) = __outcome {
+                        panic!("property case failed: {e}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+// Re-exported so `Range` strategies resolve without the caller importing it.
+#[doc(hidden)]
+pub use std::ops::Range as __Range;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut rng = TestRng::for_test("shim", 1);
+        for _ in 0..1_000 {
+            let v = (5u64..10).sample(&mut rng);
+            assert!((5..10).contains(&v));
+            let f = (0.25f64..0.5).sample(&mut rng);
+            assert!((0.25..0.5).contains(&f));
+            let (a, b) = (0u64..4, 1u32..3).sample(&mut rng);
+            assert!(a < 4 && (1..3).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = TestRng::for_test("shim", 2);
+        let strat = crate::collection::vec(0u64..100, 3..7);
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn any_covers_high_bits() {
+        let mut rng = TestRng::for_test("shim", 3);
+        let saw_high = (0..100).any(|_| any::<u64>().sample(&mut rng) > u64::MAX / 2);
+        assert!(saw_high);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_runs_and_binds(a in 0u64..10, b in 0usize..5,) {
+            prop_assert!(a < 10 && b < 5, "a={} b={}", a, b);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(v in crate::collection::vec(crate::num::u64::ANY, 0..4)) {
+            prop_assert!(v.len() < 4);
+        }
+    }
+}

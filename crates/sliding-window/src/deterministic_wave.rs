@@ -23,7 +23,7 @@ use std::collections::VecDeque;
 
 use crate::codec::{get_u8, get_varint, put_u8, put_varint};
 use crate::error::{CodecError, MergeError};
-use crate::traits::{MergeableCounter, WindowCounter};
+use crate::traits::{MergeableCounter, WindowCounter, WindowGuarantee};
 
 const CODEC_VERSION: u8 = 2;
 
@@ -164,8 +164,7 @@ impl DeterministicWave {
         // Finest covering level: never evicted, or oldest entry at/before
         // the cutoff.
         for (i, q) in self.queues.iter().enumerate() {
-            let covers = !self.evicted[i]
-                || q.front().is_some_and(|e| e.pos <= cutoff);
+            let covers = !self.evicted[i] || q.front().is_some_and(|e| e.pos <= cutoff);
             if !covers {
                 continue;
             }
@@ -219,11 +218,7 @@ impl DeterministicWave {
     /// ticks; half are replayed at each boundary (mirroring the exponential-
     /// histogram replay of paper §5.1).
     pub fn replay_events(&self) -> Vec<(u64, u64)> {
-        let mut entries: Vec<Entry> = self
-            .queues
-            .iter()
-            .flat_map(|q| q.iter().copied())
-            .collect();
+        let mut entries: Vec<Entry> = self.queues.iter().flat_map(|q| q.iter().copied()).collect();
         entries.sort_unstable_by_key(|e| e.rank);
         entries.dedup_by_key(|e| e.rank);
         let mut events = Vec::with_capacity(entries.len() * 2 + 1);
@@ -283,6 +278,10 @@ impl WindowCounter for DeterministicWave {
         self.cfg.window
     }
 
+    fn guarantee(cfg: &Self::Config) -> Option<WindowGuarantee> {
+        Some(WindowGuarantee::deterministic(cfg.epsilon))
+    }
+
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.queues.capacity() * std::mem::size_of::<VecDeque<Entry>>()
@@ -318,7 +317,9 @@ impl WindowCounter for DeterministicWave {
         }
         let n_levels = get_varint(input, "dw levels")? as usize;
         if n_levels != cfg.level_count() {
-            return Err(CodecError::Corrupt { context: "dw levels" });
+            return Err(CodecError::Corrupt {
+                context: "dw levels",
+            });
         }
         let cap = cfg.level_capacity();
         let mut queues = Vec::with_capacity(n_levels);
@@ -369,6 +370,8 @@ impl WindowCounter for DeterministicWave {
 }
 
 impl MergeableCounter for DeterministicWave {
+    const LOSSLESS_MERGE: bool = false;
+
     /// Order-preserving aggregation via stream replay (paper §5.1 extends
     /// the exponential-histogram scheme to waves).
     fn merge(parts: &[&Self], out_cfg: &Self::Config) -> Result<Self, MergeError> {
@@ -385,10 +388,7 @@ impl MergeableCounter for DeterministicWave {
                 });
             }
         }
-        let mut events: Vec<(u64, u64)> = parts
-            .iter()
-            .flat_map(|p| p.replay_events())
-            .collect();
+        let mut events: Vec<(u64, u64)> = parts.iter().flat_map(|p| p.replay_events()).collect();
         events.sort_unstable_by_key(|&(ts, _)| ts);
         let mut out = DeterministicWave::new(out_cfg);
         for (ts, n) in events {

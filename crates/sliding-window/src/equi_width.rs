@@ -16,7 +16,7 @@ use std::collections::VecDeque;
 
 use crate::codec::{get_u8, get_varint, put_u8, put_varint};
 use crate::error::{CodecError, MergeError};
-use crate::traits::{MergeableCounter, WindowCounter};
+use crate::traits::{MergeableCounter, WindowCounter, WindowGuarantee};
 
 const CODEC_VERSION: u8 = 4;
 
@@ -162,9 +162,12 @@ impl WindowCounter for EquiWidthWindow {
         self.window
     }
 
+    fn guarantee(_cfg: &Self::Config) -> Option<WindowGuarantee> {
+        None
+    }
+
     fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.slots.capacity() * std::mem::size_of::<Slot>()
+        std::mem::size_of::<Self>() + self.slots.capacity() * std::mem::size_of::<Slot>()
     }
 
     fn encode(&self, buf: &mut Vec<u8>) {
@@ -187,7 +190,9 @@ impl WindowCounter for EquiWidthWindow {
         }
         let n = get_varint(input, "ew slots")? as usize;
         if n > cfg.buckets + 1 {
-            return Err(CodecError::Corrupt { context: "ew slots" });
+            return Err(CodecError::Corrupt {
+                context: "ew slots",
+            });
         }
         let mut slots = VecDeque::with_capacity(n);
         let mut prev = 0u64;
@@ -214,6 +219,8 @@ impl WindowCounter for EquiWidthWindow {
 }
 
 impl MergeableCounter for EquiWidthWindow {
+    const LOSSLESS_MERGE: bool = true;
+
     /// Grid-aligned slot-wise sum. Exact with respect to the slot grid
     /// (both inputs bucket arrivals identically), so the merged counter
     /// equals the counter of the interleaved union stream.
@@ -234,10 +241,7 @@ impl MergeableCounter for EquiWidthWindow {
                 });
             }
         }
-        let mut all: Vec<Slot> = parts
-            .iter()
-            .flat_map(|p| p.slots.iter().copied())
-            .collect();
+        let mut all: Vec<Slot> = parts.iter().flat_map(|p| p.slots.iter().copied()).collect();
         all.sort_unstable_by_key(|s| s.index);
         let mut out = EquiWidthWindow::new(out_cfg);
         for s in all {

@@ -98,7 +98,9 @@ mod tests {
         assert!(e.to_string().contains("bucket"));
         let c = CodecError::Corrupt { context: "level" };
         assert!(c.to_string().contains("level"));
-        assert!(CodecError::BadVersion { found: 9 }.to_string().contains('9'));
+        assert!(CodecError::BadVersion { found: 9 }
+            .to_string()
+            .contains('9'));
     }
 
     #[test]

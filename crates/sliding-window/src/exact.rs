@@ -5,7 +5,7 @@ use std::collections::VecDeque;
 
 use crate::codec::{get_u8, get_varint, put_u8, put_varint};
 use crate::error::{CodecError, MergeError};
-use crate::traits::{MergeableCounter, WindowCounter};
+use crate::traits::{MergeableCounter, WindowCounter, WindowGuarantee};
 
 const CODEC_VERSION: u8 = 1;
 
@@ -134,9 +134,12 @@ impl WindowCounter for ExactWindow {
         self.window
     }
 
+    fn guarantee(_cfg: &Self::Config) -> Option<WindowGuarantee> {
+        Some(WindowGuarantee::EXACT)
+    }
+
     fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.runs.capacity() * std::mem::size_of::<(u64, u64)>()
+        std::mem::size_of::<Self>() + self.runs.capacity() * std::mem::size_of::<(u64, u64)>()
     }
 
     fn encode(&self, buf: &mut Vec<u8>) {
@@ -165,7 +168,9 @@ impl WindowCounter for ExactWindow {
             let dt = get_varint(input, "exact tick")?;
             let c = get_varint(input, "exact count")?;
             if c == 0 || (prev > 0 && dt == 0) {
-                return Err(CodecError::Corrupt { context: "exact run" });
+                return Err(CodecError::Corrupt {
+                    context: "exact run",
+                });
             }
             prev += dt;
             total += c;
@@ -184,6 +189,8 @@ impl WindowCounter for ExactWindow {
 }
 
 impl MergeableCounter for ExactWindow {
+    const LOSSLESS_MERGE: bool = true;
+
     /// Exact merge: interleave runs by tick. Always lossless.
     fn merge(parts: &[&Self], out_cfg: &Self::Config) -> Result<Self, MergeError> {
         if parts.is_empty() {
@@ -199,10 +206,8 @@ impl MergeableCounter for ExactWindow {
                 });
             }
         }
-        let mut events: Vec<(u64, u64)> = parts
-            .iter()
-            .flat_map(|p| p.runs.iter().copied())
-            .collect();
+        let mut events: Vec<(u64, u64)> =
+            parts.iter().flat_map(|p| p.runs.iter().copied()).collect();
         events.sort_unstable_by_key(|&(t, _)| t);
         let mut out = ExactWindow::new(out_cfg);
         for (t, c) in events {
@@ -269,7 +274,10 @@ mod tests {
             }
         }
         let merged = ExactWindow::merge(&[&a, &b], &cfg).unwrap();
-        assert_eq!(merged.count(100, 1000), a.count(100, 1000) + b.count(100, 1000));
+        assert_eq!(
+            merged.count(100, 1000),
+            a.count(100, 1000) + b.count(100, 1000)
+        );
         assert_eq!(merged.count(100, 7), a.count(100, 7) + b.count(100, 7));
     }
 

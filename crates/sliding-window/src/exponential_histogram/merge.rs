@@ -62,10 +62,7 @@ pub fn merge_exponential_histograms(
     }
     if out_cfg.window != window {
         return Err(MergeError::IncompatibleConfig {
-            detail: format!(
-                "output window {} != input window {window}",
-                out_cfg.window
-            ),
+            detail: format!("output window {} != input window {window}", out_cfg.window),
         });
     }
 

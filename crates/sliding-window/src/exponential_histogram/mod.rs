@@ -24,7 +24,7 @@ use std::collections::VecDeque;
 
 use crate::codec::{get_u8, get_varint, put_u8, put_varint};
 use crate::error::CodecError;
-use crate::traits::{MergeableCounter, WindowCounter};
+use crate::traits::{MergeableCounter, WindowCounter, WindowGuarantee};
 
 const CODEC_VERSION: u8 = 1;
 
@@ -367,6 +367,10 @@ impl WindowCounter for ExponentialHistogram {
         self.cfg.window
     }
 
+    fn guarantee(cfg: &Self::Config) -> Option<WindowGuarantee> {
+        Some(WindowGuarantee::deterministic(cfg.epsilon))
+    }
+
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.levels.capacity() * std::mem::size_of::<VecDeque<u64>>()
@@ -418,7 +422,9 @@ impl WindowCounter for ExponentialHistogram {
         }
         let n_levels = get_varint(input, "eh levels")? as usize;
         if n_levels > 64 {
-            return Err(CodecError::Corrupt { context: "eh levels" });
+            return Err(CodecError::Corrupt {
+                context: "eh levels",
+            });
         }
         let cap = cfg.level_capacity();
         let mut levels = Vec::with_capacity(n_levels);
@@ -463,7 +469,9 @@ impl WindowCounter for ExponentialHistogram {
             .map(|(i, l)| (l.len() as u64) << i)
             .sum();
         if sum != total {
-            return Err(CodecError::Corrupt { context: "eh total" });
+            return Err(CodecError::Corrupt {
+                context: "eh total",
+            });
         }
         Ok(ExponentialHistogram {
             cap,
@@ -479,10 +487,9 @@ impl WindowCounter for ExponentialHistogram {
 }
 
 impl MergeableCounter for ExponentialHistogram {
-    fn merge(
-        parts: &[&Self],
-        out_cfg: &Self::Config,
-    ) -> Result<Self, crate::error::MergeError> {
+    const LOSSLESS_MERGE: bool = false;
+
+    fn merge(parts: &[&Self], out_cfg: &Self::Config) -> Result<Self, crate::error::MergeError> {
         merge_exponential_histograms(parts, out_cfg)
     }
 }

@@ -268,14 +268,10 @@ fn hierarchical_merge_error_stays_bounded() {
     for s in 0..4u64 {
         site_ticks.push((1..=3000).map(|i| i * 4 + s).collect());
     }
-    let sites: Vec<ExponentialHistogram> = site_ticks
-        .iter()
-        .map(|t| build(eps, window, t))
-        .collect();
-    let l1a =
-        merge_exponential_histograms(&[&sites[0], &sites[1]], &cfg).unwrap();
-    let l1b =
-        merge_exponential_histograms(&[&sites[2], &sites[3]], &cfg).unwrap();
+    let sites: Vec<ExponentialHistogram> =
+        site_ticks.iter().map(|t| build(eps, window, t)).collect();
+    let l1a = merge_exponential_histograms(&[&sites[0], &sites[1]], &cfg).unwrap();
+    let l1b = merge_exponential_histograms(&[&sites[2], &sites[3]], &cfg).unwrap();
     let root = merge_exponential_histograms(&[&l1a, &l1b], &cfg).unwrap();
 
     let mut union: Vec<u64> = site_ticks.concat();

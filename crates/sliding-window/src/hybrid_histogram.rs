@@ -338,8 +338,8 @@ impl HybridHistogram {
     /// full `bins`-wide counter vector — the structural cost the paper's
     /// comparison highlights.
     pub fn memory_bytes(&self) -> usize {
-        let bucket = std::mem::size_of::<HybridBucket>()
-            + self.cfg.bins * std::mem::size_of::<u64>();
+        let bucket =
+            std::mem::size_of::<HybridBucket>() + self.cfg.bins * std::mem::size_of::<u64>();
         std::mem::size_of::<Self>()
             + self.levels.capacity() * std::mem::size_of::<VecDeque<HybridBucket>>()
             + self

@@ -51,4 +51,4 @@ pub use hybrid_histogram::{HybridConfig, HybridHistogram};
 pub use randomized_wave::{merge_randomized_waves, RandomizedWave, RwConfig};
 pub use reorder::{ReorderBuffer, ReorderConfig};
 pub use timestamp::{compact_eh_bits, BitPacker, WrapClock};
-pub use traits::{MergeableCounter, WindowCounter};
+pub use traits::{MergeableCounter, WindowCounter, WindowGuarantee};

@@ -20,7 +20,7 @@ use std::collections::VecDeque;
 
 use crate::codec::{get_u8, get_varint, put_u8, put_varint};
 use crate::error::{CodecError, MergeError};
-use crate::traits::{MergeableCounter, WindowCounter};
+use crate::traits::{MergeableCounter, WindowCounter, WindowGuarantee};
 
 const CODEC_VERSION: u8 = 3;
 
@@ -195,8 +195,7 @@ impl RandomizedWave {
         let range = range.min(self.cfg.window);
         let cutoff = now.saturating_sub(range);
         for (i, q) in self.queues.iter().enumerate() {
-            let covers = !self.evicted[i]
-                || q.front().is_some_and(|s| s.pos <= cutoff);
+            let covers = !self.evicted[i] || q.front().is_some_and(|s| s.pos <= cutoff);
             if !covers {
                 continue;
             }
@@ -238,6 +237,13 @@ impl WindowCounter for RandomizedWave {
         self.cfg.window
     }
 
+    fn guarantee(cfg: &Self::Config) -> Option<WindowGuarantee> {
+        Some(WindowGuarantee {
+            epsilon: cfg.epsilon,
+            delta: cfg.delta,
+        })
+    }
+
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.queues.capacity() * std::mem::size_of::<VecDeque<Sample>>()
@@ -273,7 +279,9 @@ impl WindowCounter for RandomizedWave {
         }
         let n_levels = get_varint(input, "rw levels")? as usize;
         if n_levels != cfg.level_count() {
-            return Err(CodecError::Corrupt { context: "rw levels" });
+            return Err(CodecError::Corrupt {
+                context: "rw levels",
+            });
         }
         let cap = cfg.level_capacity();
         let mut queues = Vec::with_capacity(n_levels);
@@ -347,6 +355,8 @@ pub fn merge_randomized_waves(
 }
 
 impl MergeableCounter for RandomizedWave {
+    const LOSSLESS_MERGE: bool = true;
+
     fn merge(parts: &[&Self], out_cfg: &Self::Config) -> Result<Self, MergeError> {
         merge_randomized_waves(parts, out_cfg)
     }
@@ -431,7 +441,10 @@ mod tests {
             );
         }
         for range in [100u64, 5_000, 49_999] {
-            assert_eq!(merged.estimate(50_000, range), union.estimate(50_000, range));
+            assert_eq!(
+                merged.estimate(50_000, range),
+                union.estimate(50_000, range)
+            );
         }
     }
 
@@ -452,8 +465,7 @@ mod tests {
     #[test]
     fn codec_round_trips() {
         let cfg = RwConfig::new(0.25, 0.1, 10_000, 20_000, 77);
-        let arrivals: Vec<(u64, u64)> =
-            (1..=5_000u64).map(|i| (i, splitmix64(i ^ 5))).collect();
+        let arrivals: Vec<(u64, u64)> = (1..=5_000u64).map(|i| (i, splitmix64(i ^ 5))).collect();
         let w = build(&cfg, &arrivals);
         let mut buf = Vec::new();
         w.encode(&mut buf);

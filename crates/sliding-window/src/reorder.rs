@@ -199,7 +199,10 @@ mod tests {
         let now = *offered.last().unwrap();
         let exact = offered.iter().filter(|&&t| t > now - 100).count() as f64;
         let est = r.query(now, 100);
-        assert!((est - exact).abs() <= 0.1 * exact + 1.0, "est={est} exact={exact}");
+        assert!(
+            (est - exact).abs() <= 0.1 * exact + 1.0,
+            "est={est} exact={exact}"
+        );
     }
 
     #[test]

@@ -84,7 +84,11 @@ impl WrapClock {
     /// Panics if `bits` is zero or exceeds 64.
     pub fn with_bits(bits: u32) -> Self {
         assert!((1..=64).contains(&bits), "bits must be in 1..=64");
-        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         WrapClock { bits, mask }
     }
 
@@ -226,7 +230,11 @@ impl BitPacker {
     /// # Panics
     /// Panics if `idx >= len()`.
     pub fn get(&self, idx: usize) -> u64 {
-        assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "index {idx} out of bounds (len {})",
+            self.len
+        );
         let bit = idx as u64 * self.width as u64;
         let word = (bit / 64) as usize;
         let off = (bit % 64) as u32;
@@ -304,7 +312,10 @@ mod tests {
     fn for_window_sizes_modulus() {
         let c = WrapClock::for_window(1000);
         assert!(c.modulus() > 2000);
-        assert!(c.modulus() <= 4000, "modulus should be the next power of two");
+        assert!(
+            c.modulus() <= 4000,
+            "modulus should be the next power of two"
+        );
         assert_eq!(c.bits(), 11);
     }
 
@@ -330,7 +341,7 @@ mod tests {
     #[test]
     fn unwrap_across_wrap_boundary() {
         let c = WrapClock::with_bits(4); // modulus 16
-        // now wraps to 1, ts = now-3 wraps to 14: recovery must borrow.
+                                         // now wraps to 1, ts = now-3 wraps to 14: recovery must borrow.
         let now = 17u64;
         let ts = 14u64;
         assert_eq!(c.wrap(now), 1);

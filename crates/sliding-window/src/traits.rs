@@ -3,6 +3,38 @@
 
 use crate::error::{CodecError, MergeError};
 
+/// The accuracy contract a window counter's configuration promises: the
+/// estimate of any in-window range count is within `epsilon` relative error
+/// with probability at least `1 − delta`.
+///
+/// Deterministic synopses have `delta = 0`; the exact baseline has
+/// `epsilon = 0` as well. Counters with no analytical guarantee (the
+/// equi-width baseline) return `None` from
+/// [`WindowCounter::guarantee`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowGuarantee {
+    /// Relative error bound.
+    pub epsilon: f64,
+    /// Failure probability of the bound.
+    pub delta: f64,
+}
+
+impl WindowGuarantee {
+    /// An exact counter: zero error, zero failure probability.
+    pub const EXACT: WindowGuarantee = WindowGuarantee {
+        epsilon: 0.0,
+        delta: 0.0,
+    };
+
+    /// A deterministic ε-bound (`delta = 0`).
+    pub fn deterministic(epsilon: f64) -> Self {
+        WindowGuarantee {
+            epsilon,
+            delta: 0.0,
+        }
+    }
+}
+
 /// A sliding-window "basic counting" synopsis: it summarizes a stream of
 /// timestamped unit arrivals (*1-bits*) and answers *"how many arrivals fell
 /// in the last `r` ticks?"* with bounded relative error.
@@ -42,6 +74,12 @@ pub trait WindowCounter: Clone {
     /// Configured window length in ticks.
     fn window_len(&self) -> u64;
 
+    /// The (ε, δ) accuracy contract `cfg` promises for in-window range
+    /// estimates, or `None` for synopses without an analytical guarantee
+    /// (the equi-width baseline). Consumed by the `ecm` crate's query layer
+    /// to annotate every estimate with its end-to-end error bound.
+    fn guarantee(cfg: &Self::Config) -> Option<WindowGuarantee>;
+
     /// Bytes of heap + inline memory currently held.
     fn memory_bytes(&self) -> usize;
 
@@ -64,6 +102,16 @@ pub trait WindowCounter: Clone {
 /// (paper §5): combining per-site counters into one counter for the
 /// interleaved union stream.
 pub trait MergeableCounter: WindowCounter {
+    /// Whether `⊕`-merging preserves the inputs' accuracy exactly.
+    ///
+    /// `true` for randomized waves (lossless composition, paper §5.2), the
+    /// exact baseline and the grid-aligned equi-width baseline; `false`
+    /// for the deterministic synopses, whose every merge level inflates the
+    /// window error by Theorem 4. Consumers (e.g. the `ecm` query layer's
+    /// distributed backend) use this to decide whether merged estimates
+    /// need their guarantees widened.
+    const LOSSLESS_MERGE: bool;
+
     /// Merge `parts` into a fresh counter configured by `out_cfg`.
     ///
     /// For exponential histograms the output error parameter ε′ may differ

@@ -11,6 +11,7 @@
 
 pub mod event;
 pub mod oracle;
+pub mod rng;
 pub mod scenarios;
 pub mod trace_io;
 pub mod workloads;
@@ -18,6 +19,7 @@ pub mod zipf;
 
 pub use event::{partition_by_site, Event};
 pub use oracle::WindowOracle;
+pub use rng::SeededRng;
 pub use scenarios::{
     bounded_delay_shuffle, inject_flash_crowd, inject_poll_bursts, FlashCrowd, PollBursts,
 };

@@ -1,0 +1,171 @@
+//! Self-contained deterministic PRNG for workload generation.
+//!
+//! The generators only need reproducible, statistically reasonable draws —
+//! not cryptographic strength — so a SplitMix64 core keeps the crate free of
+//! external dependencies. Identical seeds give identical streams on every
+//! platform and release.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic pseudo-random generator (SplitMix64 core).
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    state: u64,
+}
+
+impl SeededRng {
+    /// Create a generator whose output stream is a pure function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SeededRng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    ///
+    /// # Panics
+    /// If `p ∉ [0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.gen_f64() < p
+    }
+
+    /// Uniform draw from an integer range.
+    ///
+    /// # Panics
+    /// If the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Out {
+        range.draw(self)
+    }
+
+    /// Uniform draw in `[0, span)` by multiply-shift reduction.
+    fn bounded(&mut self, span: u64) -> u64 {
+        assert!(span > 0, "cannot sample from an empty range");
+        ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+}
+
+/// Integer ranges [`SeededRng::gen_range`] can draw from.
+pub trait SampleRange {
+    /// The element type produced.
+    type Out;
+    /// Draw one uniform element.
+    fn draw(self, rng: &mut SeededRng) -> Self::Out;
+}
+
+impl SampleRange for Range<u64> {
+    type Out = u64;
+    fn draw(self, rng: &mut SeededRng) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.bounded(self.end - self.start)
+    }
+}
+
+impl SampleRange for RangeInclusive<u64> {
+    type Out = u64;
+    fn draw(self, rng: &mut SeededRng) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        lo + rng.bounded(span + 1)
+    }
+}
+
+impl SampleRange for Range<u32> {
+    type Out = u32;
+    fn draw(self, rng: &mut SeededRng) -> u32 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.bounded(u64::from(self.end - self.start)) as u32
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Out = usize;
+    fn draw(self, rng: &mut SeededRng) -> usize {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.bounded((self.end - self.start) as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SeededRng::seed_from_u64(7);
+        let mut b = SeededRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SeededRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_draws_cover_the_unit_interval() {
+        let mut rng = SeededRng::seed_from_u64(3);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut lo = 0u32;
+        for _ in 0..n {
+            let u = rng.gen_f64();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+            if u < 0.5 {
+                lo += 1;
+            }
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+        let frac = f64::from(lo) / f64::from(n);
+        assert!((frac - 0.5).abs() < 0.01, "frac={frac}");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_hit_endpoints() {
+        let mut rng = SeededRng::seed_from_u64(5);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0u64..10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..10 must appear");
+        for _ in 0..1_000 {
+            let v = rng.gen_range(5u64..=6);
+            assert!(v == 5 || v == 6);
+            let w = rng.gen_range(3u32..7);
+            assert!((3..7).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SeededRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_200..=2_800).contains(&hits), "hits={hits}");
+        assert!(!SeededRng::seed_from_u64(1).gen_bool(0.0));
+        assert!(SeededRng::seed_from_u64(1).gen_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        let _ = SeededRng::seed_from_u64(1).gen_range(5u64..5);
+    }
+}

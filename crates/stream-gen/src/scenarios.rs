@@ -17,8 +17,7 @@
 //!   `sliding-window` crate's `ReorderBuffer` exists to repair.
 
 use crate::event::Event;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SeededRng;
 
 /// Parameters of a flash-crowd / DDoS injection.
 #[derive(Debug, Clone)]
@@ -65,11 +64,11 @@ pub fn inject_flash_crowd(base: &[Event], crowd: &FlashCrowd) -> Vec<Event> {
     assert!(crowd.duration > 0, "burst duration must be positive");
     assert!(crowd.volume > 0, "burst volume must be positive");
     assert!(crowd.sources > 0, "need at least one source");
-    let mut rng = StdRng::seed_from_u64(crowd.seed);
+    let mut rng = SeededRng::seed_from_u64(crowd.seed);
     let mut burst: Vec<Event> = (0..crowd.volume)
         .map(|i| {
             // Stratified jitter keeps the burst dense across its whole span.
-            let u = (i as f64 + rng.gen::<f64>()) / crowd.volume as f64;
+            let u = (i as f64 + rng.gen_f64()) / crowd.volume as f64;
             Event {
                 ts: crowd.start + (u * crowd.duration as f64) as u64,
                 key: crowd.target_key,
@@ -137,12 +136,8 @@ pub fn inject_poll_bursts(base: &[Event], polls: &PollBursts) -> Vec<Event> {
 /// Returns `(delivery_order, max_observed_inversion)` where the inversion is
 /// the largest `ts_prev − ts_next` over consecutive delivered events —
 /// by construction at most `max_delay`.
-pub fn bounded_delay_shuffle(
-    base: &[Event],
-    max_delay: u64,
-    seed: u64,
-) -> (Vec<Event>, u64) {
-    let mut rng = StdRng::seed_from_u64(seed);
+pub fn bounded_delay_shuffle(base: &[Event], max_delay: u64, seed: u64) -> (Vec<Event>, u64) {
+    let mut rng = SeededRng::seed_from_u64(seed);
     let mut tagged: Vec<(u64, usize, Event)> = base
         .iter()
         .enumerate()
@@ -210,7 +205,9 @@ mod tests {
         // Outside the burst window, the target key is (almost) absent.
         let outside = attacked
             .iter()
-            .filter(|e| e.key == 12345 && (e.ts < crowd.start || e.ts >= crowd.start + crowd.duration))
+            .filter(|e| {
+                e.key == 12345 && (e.ts < crowd.start || e.ts >= crowd.start + crowd.duration)
+            })
             .count();
         assert!(outside < 50, "too much target mass outside: {outside}");
     }
@@ -372,8 +369,23 @@ mod tests {
 
     #[test]
     fn merge_sorted_handles_empty_and_interleaved() {
-        let a = [Event { ts: 1, key: 0, site: 0 }, Event { ts: 5, key: 0, site: 0 }];
-        let b = [Event { ts: 3, key: 1, site: 1 }];
+        let a = [
+            Event {
+                ts: 1,
+                key: 0,
+                site: 0,
+            },
+            Event {
+                ts: 5,
+                key: 0,
+                site: 0,
+            },
+        ];
+        let b = [Event {
+            ts: 3,
+            key: 1,
+            site: 1,
+        }];
         let m = merge_sorted(&a, &b);
         assert_eq!(m.iter().map(|e| e.ts).collect::<Vec<_>>(), vec![1, 3, 5]);
         assert_eq!(merge_sorted(&[], &b), b.to_vec());

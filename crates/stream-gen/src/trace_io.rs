@@ -255,7 +255,14 @@ mod tests {
         let text = "# header\n\n10,5,0\n # another\n11,6,1\n";
         let events = read_csv(text.as_bytes()).unwrap();
         assert_eq!(events.len(), 2);
-        assert_eq!(events[1], Event { ts: 11, key: 6, site: 1 });
+        assert_eq!(
+            events[1],
+            Event {
+                ts: 11,
+                key: 6,
+                site: 1
+            }
+        );
     }
 
     #[test]

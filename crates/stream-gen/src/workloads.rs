@@ -2,9 +2,8 @@
 //! CRAWDAD SNMP datasets (substitution rationale in DESIGN.md §4).
 
 use crate::event::Event;
+use crate::rng::SeededRng;
 use crate::zipf::ZipfSampler;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of a synthetic trace.
 #[derive(Debug, Clone)]
@@ -40,7 +39,7 @@ impl WorkloadSpec {
             "amplitude must be in [0,1)"
         );
         assert!(self.duration > 0, "duration must be positive");
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::seed_from_u64(self.seed);
         let keys = ZipfSampler::new(self.keys, self.key_skew);
         let sites = ZipfSampler::new(u64::from(self.sites), self.site_skew);
 
@@ -51,7 +50,7 @@ impl WorkloadSpec {
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             // Jittered stratified phases keep ticks sorted without a sort.
-            let u = (i as f64 + rng.gen::<f64>()) / n as f64;
+            let u = (i as f64 + rng.gen_f64()) / n as f64;
             // Monotone warp with derivative 1 − a·cos(2πk·u): arrival
             // density peaks once per simulated day.
             let warped = u - a * (two_pi_k * u).sin() / two_pi_k;
@@ -155,8 +154,7 @@ mod tests {
         let events = snmp_like(30_000, 3);
         let max_site = events.iter().map(|e| e.site).max().unwrap();
         assert!(max_site < 535);
-        let distinct: std::collections::HashSet<u32> =
-            events.iter().map(|e| e.site).collect();
+        let distinct: std::collections::HashSet<u32> = events.iter().map(|e| e.site).collect();
         assert!(distinct.len() > 300, "site coverage {}", distinct.len());
     }
 

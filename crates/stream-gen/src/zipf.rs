@@ -2,7 +2,7 @@
 //! cumulative table and binary search — exact, O(log n) per draw, no extra
 //! dependencies.
 
-use rand::Rng;
+use crate::rng::SeededRng;
 
 /// Samples keys `0..n` with `P(k) ∝ 1/(k+1)^s`.
 #[derive(Debug, Clone)]
@@ -49,8 +49,8 @@ impl ZipfSampler {
     }
 
     /// Draw one key.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut SeededRng) -> u64 {
+        let u = rng.gen_f64();
         self.cdf.partition_point(|&c| c < u) as u64
     }
 }
@@ -58,8 +58,6 @@ impl ZipfSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn uniform_when_s_zero() {
@@ -82,7 +80,7 @@ mod tests {
     #[test]
     fn empirical_head_matches_pmf() {
         let z = ZipfSampler::new(100, 1.0);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SeededRng::seed_from_u64(7);
         let n = 200_000;
         let mut counts = vec![0u64; 100];
         for _ in 0..n {
@@ -101,7 +99,7 @@ mod tests {
     #[test]
     fn samples_stay_in_domain() {
         let z = ZipfSampler::new(7, 2.0);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SeededRng::seed_from_u64(1);
         for _ in 0..10_000 {
             assert!(z.sample(&mut rng) < 7);
         }

@@ -12,7 +12,7 @@
 //! ```
 
 use distributed::{aggregate_tree, naive_compounded_epsilon, per_level_errors, HierarchyPlan};
-use ecm::{EcmConfig, EcmEh};
+use ecm::{EcmConfig, EcmEh, Query, SketchReader, WindowSpec};
 use sliding_window::EhConfig;
 use stream_gen::{partition_by_site, uniform_sites, WindowOracle};
 
@@ -23,22 +23,51 @@ const TARGET_EPS: f64 = 0.1;
 fn main() {
     // 1. Plan the deployment.
     let plan = HierarchyPlan::point_queries(TARGET_EPS, 0.05, WINDOW, SITES, 100_000);
-    println!("deployment plan for {} sites (h = {} levels):", plan.sites, plan.levels);
+    println!(
+        "deployment plan for {} sites (h = {} levels):",
+        plan.sites, plan.levels
+    );
     println!("  end-to-end target      ε  = {:.4}", plan.target_epsilon);
-    println!("  window / hashing split    = {:.4} / {:.4}", plan.window_epsilon, plan.hashing_epsilon);
+    println!(
+        "  window / hashing split    = {:.4} / {:.4}",
+        plan.window_epsilon, plan.hashing_epsilon
+    );
     println!("  budgeted per-site      ε  = {:.4}", plan.site_epsilon);
-    println!("  sketch dimensions         = {} × {}", plan.width, plan.depth);
-    println!("  predicted sketch size     ≈ {} KiB", plan.sketch_bytes / 1024);
-    println!("  predicted aggregation     ≈ {} KiB over {} transfers",
-        plan.transfer_bytes / 1024, 2 * (SITES - 1));
-    println!("  budgeting memory premium  ≈ {:.1}×", plan.budgeting_memory_factor());
+    println!(
+        "  sketch dimensions         = {} × {}",
+        plan.width, plan.depth
+    );
+    println!(
+        "  predicted sketch size     ≈ {} KiB",
+        plan.sketch_bytes / 1024
+    );
+    println!(
+        "  predicted aggregation     ≈ {} KiB over {} transfers",
+        plan.transfer_bytes / 1024,
+        2 * (SITES - 1)
+    );
+    println!(
+        "  budgeting memory premium  ≈ {:.1}×",
+        plan.budgeting_memory_factor()
+    );
 
     // What the error *would* do without budgeting, level by level.
-    println!("\nworst-case window error by level (site ε = window share {:.4}):",
-        plan.window_epsilon);
-    for (level, err) in per_level_errors(plan.window_epsilon, plan.levels).iter().enumerate() {
-        println!("  level {level}: {err:.4}{}",
-            if *err > plan.window_epsilon * 1.001 { "  ← over budget" } else { "" });
+    println!(
+        "\nworst-case window error by level (site ε = window share {:.4}):",
+        plan.window_epsilon
+    );
+    for (level, err) in per_level_errors(plan.window_epsilon, plan.levels)
+        .iter()
+        .enumerate()
+    {
+        println!(
+            "  level {level}: {err:.4}{}",
+            if *err > plan.window_epsilon * 1.001 {
+                "  ← over budget"
+            } else {
+                ""
+            }
+        );
     }
     println!(
         "  (naive per-level compounding would predict {:.4})",
@@ -79,7 +108,11 @@ fn main() {
         if exact == 0.0 {
             continue;
         }
-        let est = out.root.point_query(key, now, WINDOW);
+        let est = out
+            .query(&Query::point(key), WindowSpec::time(now, WINDOW))
+            .unwrap()
+            .into_value()
+            .value;
         let err = (est - exact).abs() / norm;
         worst = worst.max(err);
         sum += err;
@@ -87,8 +120,15 @@ fn main() {
     }
 
     println!("\nsimulated aggregation over {} events:", events.len());
-    println!("  actual transfer volume    = {} KiB", out.stats.bytes / 1024);
-    println!("  observed error: avg {:.5}, worst {:.5} (target {TARGET_EPS})", sum / f64::from(n), worst);
+    println!(
+        "  actual transfer volume    = {} KiB",
+        out.stats.bytes / 1024
+    );
+    println!(
+        "  observed error: avg {:.5}, worst {:.5} (target {TARGET_EPS})",
+        sum / f64::from(n),
+        worst
+    );
     assert!(worst <= TARGET_EPS, "deployment must meet its budget");
     println!("  → plan verified: the root meets its end-to-end target");
 }

@@ -83,10 +83,7 @@ fn main() {
     println!("  syncs:            {:>10}", stats.syncs);
     println!("  bytes shipped:    {:>10}", stats.bytes);
     println!("  ship-every-update baseline: {naive_bytes} bytes");
-    println!(
-        "  savings: {:.1}x",
-        naive_bytes as f64 / stats.bytes as f64
-    );
+    println!("  savings: {:.1}x", naive_bytes as f64 / stats.bytes as f64);
     assert!(
         crossings.iter().any(|&(_, _, above)| above),
         "the flood must push the function above the threshold"

@@ -12,10 +12,9 @@
 //! cargo run --release --example ddos_monitor
 //! ```
 
-use ecm::{EcmBuilder, EcmHierarchy, Threshold};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ecm::{EcmBuilder, EcmHierarchy, Query, SketchReader, Threshold, WindowSpec};
 use sliding_window::ExponentialHistogram;
+use stream_gen::SeededRng;
 
 const ROUTERS: usize = 8;
 const WINDOW: u64 = 10_000; // seconds
@@ -29,7 +28,7 @@ fn main() {
 
     // Background traffic: uniform-ish requests to many targets, observed by
     // random routers. Flood: target 0xBEEF hammered in the last quarter.
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = SeededRng::seed_from_u64(7);
     let total_ticks = 40_000u64;
     let victim = 0xBEEFu64;
     let mut victim_requests = 0u64;
@@ -53,15 +52,23 @@ fn main() {
     let global = EcmHierarchy::merge(&refs, &cfg.cell).unwrap();
 
     let now = total_ticks;
-    let in_window = global.total_arrivals(now, WINDOW);
+    let w = WindowSpec::time(now, WINDOW);
+    let in_window = global
+        .query(&Query::total_arrivals(), w)
+        .unwrap()
+        .into_value()
+        .value;
     println!("arrivals in the last {WINDOW}s (all routers): ≈ {in_window:.0}");
 
     // Capacity threshold: no single target should receive more than 5% of
     // recent traffic.
-    let alerts = global.heavy_hitters(Threshold::Relative(0.05), now, WINDOW);
+    let alerts = global
+        .query(&Query::heavy_hitters(Threshold::Relative(0.05)), w)
+        .unwrap()
+        .into_heavy_hitters();
     println!("\ntargets above 5% of recent traffic:");
     for (target, est) in &alerts {
-        println!("  {target:#07x}: ≈ {est:.0} requests in window");
+        println!("  {target:#07x}: ≈ {:.0} requests in window", est.value);
     }
     assert!(
         alerts.iter().any(|&(t, _)| t == victim),
@@ -72,11 +79,14 @@ fn main() {
     println!("\nvictim rate profile:");
     for range in [100u64, 1_000, 10_000] {
         let est = global
-            .levels()
-            .first()
+            .query(&Query::point(victim), WindowSpec::time(now, range))
             .unwrap()
-            .point_query(victim, now, range);
+            .into_value()
+            .value;
         println!("  last {range:>6}s: ≈ {est:>8.0} requests");
     }
-    println!("\nper-router memory: {} KiB", routers[0].memory_bytes() / 1024);
+    println!(
+        "\nper-router memory: {} KiB",
+        routers[0].memory_bytes() / 1024
+    );
 }

@@ -10,7 +10,7 @@
 //! ```
 
 use distributed::aggregate_tree;
-use ecm::{EcmBuilder, EcmEh};
+use ecm::{EcmBuilder, EcmEh, Query, SketchReader, WindowSpec};
 use stream_gen::{partition_by_site, worldcup_like, WindowOracle};
 
 const WINDOW: u64 = 1_000_000;
@@ -63,7 +63,11 @@ fn main() {
     println!("\nhottest keys, estimated vs exact (window = 10^6 s):");
     let mut worst: f64 = 0.0;
     for &(key, exact) in keys.iter().take(10) {
-        let est = outcome.root.point_query(key, now, WINDOW);
+        let est = outcome
+            .query(&Query::point(key), WindowSpec::time(now, WINDOW))
+            .unwrap()
+            .into_value()
+            .value;
         let err = (est - exact as f64).abs() / norm;
         worst = worst.max(err);
         println!("  key {key:>6}: est {est:>9.1}  exact {exact:>7}  err/‖a‖₁ {err:.5}");

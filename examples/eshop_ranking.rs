@@ -10,31 +10,29 @@
 //! cargo run --release --example eshop_ranking
 //! ```
 
-use ecm::{CountBasedEcm, EcmBuilder, EcmHierarchy, Threshold};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ecm::{CountBasedEcm, EcmBuilder, EcmHierarchy, Query, SketchReader, Threshold, WindowSpec};
 use sliding_window::ExponentialHistogram;
+use stream_gen::SeededRng;
 
 const WINDOW: u64 = 86_400; // one day of seconds
 const CATALOG_BITS: u32 = 14; // 16 384 products
 
 fn main() {
     let cfg = EcmBuilder::new(0.05, 0.05, WINDOW).seed(7).eh_config();
-    let mut visits: EcmHierarchy<ExponentialHistogram> =
-        EcmHierarchy::new(CATALOG_BITS, &cfg);
+    let mut visits: EcmHierarchy<ExponentialHistogram> = EcmHierarchy::new(CATALOG_BITS, &cfg);
     let cb_cfg = EcmBuilder::new(0.05, 0.05, 10_000).seed(8).eh_config();
     let mut last_visits: CountBasedEcm = CountBasedEcm::new(&cb_cfg);
 
     // Three days of browsing: steady Zipf-ish interest, plus a product
     // launch (id 777) that goes viral on day 3.
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = SeededRng::seed_from_u64(99);
     let total_ticks = 3 * WINDOW;
     for t in 1..=total_ticks {
         let product = if t > 2 * WINDOW && rng.gen_bool(0.25) {
             777 // viral launch
         } else {
             // Skewed catalog interest.
-            let r: f64 = rng.gen();
+            let r = rng.gen_f64();
             ((r * r * 16_000.0) as u64).min((1 << CATALOG_BITS) - 1)
         };
         visits.insert(product, t);
@@ -43,13 +41,21 @@ fn main() {
     let now = total_ticks;
 
     println!("catalog analytics over the last 24h (ECM hierarchy, ε = 0.05):");
-    let day_total = visits.total_arrivals(now, WINDOW);
+    let day = WindowSpec::time(now, WINDOW);
+    let day_total = visits
+        .query(&Query::total_arrivals(), day)
+        .unwrap()
+        .into_value()
+        .value;
     println!("  visits in window: ≈ {day_total:.0}");
 
-    let trending = visits.heavy_hitters(Threshold::Relative(0.02), now, WINDOW);
+    let trending = visits
+        .query(&Query::heavy_hitters(Threshold::Relative(0.02)), day)
+        .unwrap()
+        .into_heavy_hitters();
     println!("  trending products (> 2% of traffic):");
     for (product, est) in trending.iter().take(8) {
-        println!("    #{product:<6} ≈ {est:>8.0} visits");
+        println!("    #{product:<6} ≈ {:>8.0} visits", est.value);
     }
     assert!(
         trending.iter().any(|&(p, _)| p == 777),
@@ -58,12 +64,20 @@ fn main() {
 
     // Catalog concentration: which product id splits the traffic in half?
     for &phi in &[0.25f64, 0.5, 0.9] {
-        let q = visits.quantile(phi, now, WINDOW).unwrap();
+        let q = visits
+            .query(&Query::quantile(phi), day)
+            .unwrap()
+            .into_quantile()
+            .unwrap();
         println!("  {:.0}% of visits fall on products ≤ #{q}", phi * 100.0);
     }
 
     // Demand concentration via the self-join of the level-0 sketch.
-    let f2 = visits.levels()[0].self_join(now, WINDOW);
+    let f2 = visits
+        .query(&Query::self_join(), day)
+        .unwrap()
+        .into_value()
+        .value;
     let uniform_f2 = day_total * day_total / f64::from(1 << CATALOG_BITS);
     println!(
         "  demand skew: F2 ≈ {f2:.2e} ({}x the uniform-catalog baseline)",
@@ -72,7 +86,11 @@ fn main() {
 
     // Popularity over the last 10 000 visits, wall clock ignored.
     println!("\ncount-based ranking (last 10 000 visits):");
-    let viral = last_visits.point_query(777, 10_000);
+    let viral = last_visits
+        .query(&Query::point(777), WindowSpec::last(10_000))
+        .unwrap()
+        .into_value()
+        .value;
     println!("  #777 holds ≈ {viral:.0} of the last 10 000 visits");
     assert!(viral > 1_500.0, "viral product dominates recent visits");
 

@@ -18,7 +18,7 @@
 //! ```
 
 use distributed::DriftPropagation;
-use ecm::{EcmBuilder, EcmHierarchy, Threshold};
+use ecm::{EcmBuilder, EcmHierarchy, Query, SketchReader, Threshold, WindowSpec};
 use sliding_window::{EhConfig, ExponentialHistogram};
 use stream_gen::{inject_flash_crowd, uniform_sites, FlashCrowd};
 
@@ -51,9 +51,8 @@ fn main() {
     // Per-router state.
     let eps = 0.05;
     let cfg = EcmBuilder::new(eps, 0.05, WINDOW).seed(17).eh_config();
-    let mut routers: Vec<EcmHierarchy<ExponentialHistogram>> = (0..SITES)
-        .map(|_| EcmHierarchy::new(BITS, &cfg))
-        .collect();
+    let mut routers: Vec<EcmHierarchy<ExponentialHistogram>> =
+        (0..SITES).map(|_| EcmHierarchy::new(BITS, &cfg)).collect();
     // Volume tracking at the coordinator (drift budget 10%).
     let mut volume = DriftPropagation::new(SITES, &EhConfig::new(eps, WINDOW), 0.1);
 
@@ -71,7 +70,11 @@ fn main() {
         // sketch. (Real deployments would check only keys seen in the
         // arrival; we do exactly that.)
         if alarm.is_none() {
-            let local = routers[site].levels()[0].point_query(e.key, e.ts, WINDOW);
+            let local = routers[site]
+                .query(&Query::point(e.key), WindowSpec::time(e.ts, WINDOW))
+                .expect("in-window query")
+                .into_value()
+                .value;
             if local > local_threshold {
                 alarm = Some((e.ts, site));
             }
@@ -104,21 +107,26 @@ fn main() {
                     let mut buf = Vec::new();
                     h.encode(&mut buf);
                     shipped_bytes += buf.len() as u64;
-                    EcmHierarchy::decode(BITS, &cfg, &mut buf.as_slice())
-                        .expect("wire decode")
+                    EcmHierarchy::decode(BITS, &cfg, &mut buf.as_slice()).expect("wire decode")
                 })
                 .collect();
             let refs: Vec<&EcmHierarchy<ExponentialHistogram>> = decoded.iter().collect();
             let global = EcmHierarchy::merge(&refs, &cfg.cell).expect("homogeneous merge");
 
-            let suspects = global.heavy_hitters(Threshold::Relative(0.05), alarm_ts, WINDOW);
+            let suspects = global
+                .query(
+                    &Query::heavy_hitters(Threshold::Relative(0.05)),
+                    WindowSpec::time(alarm_ts, WINDOW),
+                )
+                .expect("in-window query")
+                .into_heavy_hitters();
             println!(
                 "\nescalation: shipped {} KiB of hierarchies; \
                  network-wide heavy hitters (φ = 5%):",
                 shipped_bytes / 1024
             );
             for (key, est) in &suspects {
-                println!("  key {key:<8} ≈ {est:>8.0} requests in window");
+                println!("  key {key:<8} ≈ {:>8.0} requests in window", est.value);
             }
             assert!(
                 suspects.iter().any(|&(k, _)| k == TARGET),
@@ -128,7 +136,11 @@ fn main() {
             // Forensics: where is the attack traffic entering?
             println!("\nper-router share of traffic to key {TARGET}:");
             for (i, r) in routers.iter().enumerate() {
-                let share = r.levels()[0].point_query(TARGET, alarm_ts, WINDOW);
+                let share = r
+                    .query(&Query::point(TARGET), WindowSpec::time(alarm_ts, WINDOW))
+                    .expect("in-window query")
+                    .into_value()
+                    .value;
                 println!("  router {i}: ≈ {share:>7.0}");
             }
         }
@@ -140,7 +152,13 @@ fn main() {
     let now = events.last().unwrap().ts;
     let refs: Vec<&EcmHierarchy<ExponentialHistogram>> = routers.iter().collect();
     let global = EcmHierarchy::merge(&refs, &cfg.cell).expect("homogeneous merge");
-    let after = global.heavy_hitters(Threshold::Relative(0.05), now, WINDOW);
+    let after = global
+        .query(
+            &Query::heavy_hitters(Threshold::Relative(0.05)),
+            WindowSpec::time(now, WINDOW),
+        )
+        .expect("in-window query")
+        .into_heavy_hitters();
     assert!(
         after.iter().all(|&(k, _)| k != TARGET),
         "the aged-out attack must disappear from fresh reports"

@@ -10,7 +10,7 @@
 //! cargo run --release --example parallel_ingest
 //! ```
 
-use ecm::{partition_pairs, EcmBuilder, ShardedEcm};
+use ecm::{partition_pairs, EcmBuilder, Query, ShardedEcm, SketchReader, WindowSpec};
 use sliding_window::ExponentialHistogram;
 use std::time::Instant;
 use stream_gen::{worldcup_like, WindowOracle};
@@ -36,8 +36,7 @@ fn main() {
     // Pre-partitioned ingestion (per-NIC-queue shape): no dispatcher.
     let parts = partition_pairs(pairs.iter().copied(), shards, cfg.seed);
     let start = Instant::now();
-    let pre: ShardedEcm<ExponentialHistogram> =
-        ShardedEcm::ingest_prepartitioned(&cfg, parts);
+    let pre: ShardedEcm<ExponentialHistogram> = ShardedEcm::ingest_prepartitioned(&cfg, parts);
     let prepart_rate = EVENTS as f64 / start.elapsed().as_secs_f64();
 
     println!("ingested {EVENTS} events:");
@@ -54,14 +53,22 @@ fn main() {
     hot.sort_unstable_by(|a, b| b.cmp(a));
 
     println!("\ntop keys, sharded estimate vs exact (window = {WINDOW} ticks):");
+    let w = WindowSpec::time(now, WINDOW);
     for &(exact, key) in hot.iter().take(5) {
-        let est = sketch.point_query(key, now, WINDOW);
+        let est = sketch.query(&Query::point(key), w).unwrap().into_value();
         let shard = sketch.shard_of(key);
-        println!("  key {key:<8} shard {shard}: est ≈ {est:>8.0}   exact {exact:>8}");
+        println!(
+            "  key {key:<8} shard {shard}: est ≈ {:>8.0}   exact {exact:>8}",
+            est.value
+        );
     }
 
     let f2_exact = oracle.self_join(now, WINDOW);
-    let f2_est = pre.self_join(now, WINDOW);
+    let f2_est = pre
+        .query(&Query::self_join(), w)
+        .unwrap()
+        .into_value()
+        .value;
     println!("\nself-join over the window: est ≈ {f2_est:.3e}, exact {f2_exact:.3e}");
     println!(
         "memory: {} KiB across {} shards",
@@ -70,8 +77,9 @@ fn main() {
     );
 
     // Both ingestion paths are deterministic and identical.
+    let probe = Query::point(hot[0].1);
     assert_eq!(
-        sketch.point_query(hot[0].1, now, WINDOW),
-        pre.point_query(hot[0].1, now, WINDOW)
+        sketch.query(&probe, w).unwrap(),
+        pre.query(&probe, w).unwrap()
     );
 }

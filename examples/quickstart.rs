@@ -1,11 +1,12 @@
 //! Quickstart: build an ECM-sketch over a sliding window, answer point and
-//! self-join queries, and compare against exact counts.
+//! self-join queries through the unified typed query API, and compare
+//! against exact counts.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
 
-use ecm::{EcmBuilder, EcmEh, QueryKind};
+use ecm::{EcmBuilder, EcmEh, Query, QueryKind, SketchReader, WindowSpec};
 use std::collections::HashMap;
 
 fn main() {
@@ -46,30 +47,42 @@ fn main() {
     let now = 7_200u64;
     let truth = |key: u64, range: u64| -> u64 {
         exact.get(&key).map_or(0, |ts| {
-            ts.iter().filter(|&&t| t > now.saturating_sub(range)).count() as u64
+            ts.iter()
+                .filter(|&&t| t > now.saturating_sub(range))
+                .count() as u64
         })
     };
 
     println!("\npoint queries over the last hour (window covers 3600..7200):");
     for key in [7u64, 13, 50] {
-        let est = sketch.point_query(key, now, window);
+        let est = sketch
+            .query(&Query::point(key), WindowSpec::time(now, window))
+            .expect("window is within configuration")
+            .into_value();
         println!(
-            "  key {key:>3}: estimated {est:>7.1}, exact {:>5}",
+            "  key {key:>3}: estimated {:>7.1} ± {:>5.1}, exact {:>5}",
+            est.value,
+            est.absolute_bound(3_600.0).unwrap(),
             truth(key, window)
         );
     }
 
     println!("\npoint queries over the last 10 minutes:");
     for key in [7u64, 13, 50] {
-        let est = sketch.point_query(key, now, 600);
+        let est = sketch
+            .query(&Query::point(key), WindowSpec::time(now, 600))
+            .unwrap()
+            .into_value();
         println!(
-            "  key {key:>3}: estimated {est:>7.1}, exact {:>5}",
+            "  key {key:>3}: estimated {:>7.1}, exact {:>5}",
+            est.value,
             truth(key, 600)
         );
     }
 
     // Self-join (F2) over the last hour — a measure of stream skew.
-    let sj = sketch.self_join(now, window);
+    let w = WindowSpec::time(now, window);
+    let sj = sketch.query(&Query::self_join(), w).unwrap().into_value();
     let exact_sj: f64 = exact
         .keys()
         .map(|&k| {
@@ -77,10 +90,21 @@ fn main() {
             f * f
         })
         .sum();
-    println!("\nself-join over the last hour: estimated {sj:.0}, exact {exact_sj:.0}");
+    println!(
+        "\nself-join over the last hour: estimated {:.0}, exact {exact_sj:.0}",
+        sj.value
+    );
+    let total = sketch
+        .query(&Query::total_arrivals(), w)
+        .unwrap()
+        .into_value();
     println!(
         "total arrivals in window: estimated {:.0}, exact 3600",
-        sketch.total_arrivals(now, window)
+        total.value
     );
+
+    // The typed API refuses out-of-contract windows instead of clamping.
+    let too_wide = sketch.query(&Query::point(7), WindowSpec::time(now, window * 2));
+    println!("asking for a 2-hour window: {}", too_wide.unwrap_err());
     println!("sketch memory: {} KiB", sketch.memory_bytes() / 1024);
 }

@@ -4,8 +4,8 @@
 //! un-budgeted deployment with the same target is measurably worse on deep
 //! trees.
 
-use ecm_suite::distributed::{aggregate_tree, achieved_epsilon, HierarchyPlan};
-use ecm_suite::ecm::{EcmBuilder, EcmEh, EcmConfig};
+use ecm_suite::distributed::{achieved_epsilon, aggregate_tree, HierarchyPlan};
+use ecm_suite::ecm::{EcmBuilder, EcmConfig, EcmEh, Query, SketchReader, WindowSpec};
 use ecm_suite::sliding_window::{EhConfig, ExponentialHistogram};
 use ecm_suite::stream_gen::{partition_by_site, uniform_sites, WindowOracle};
 
@@ -39,7 +39,11 @@ fn measure_root_error(
         if exact == 0.0 {
             continue;
         }
-        let est = out.root.point_query(key, now, WINDOW);
+        let est = out
+            .query(&Query::point(key), WindowSpec::time(now, WINDOW))
+            .unwrap()
+            .into_value()
+            .value;
         worst = worst.max((est - exact).abs() / norm);
     }
     worst

@@ -1,7 +1,7 @@
 //! Count-based sliding windows (paper §4.2.1) and the impossibility of
 //! their order-preserving aggregation (paper Fig. 2).
 
-use ecm::{EcmBuilder, EcmEh};
+use ecm::{EcmBuilder, EcmEh, Query, SketchReader, WindowSpec};
 use sliding_window::traits::WindowCounter;
 use sliding_window::{EhConfig, ExponentialHistogram};
 use std::collections::HashMap;
@@ -29,7 +29,13 @@ fn count_based_point_queries() {
         }
         for key in 0..37u64 {
             let exact = *truth.get(&key).unwrap_or(&0) as f64;
-            let est = sk.point_query(key, now, range);
+            // The counters are clock-agnostic: with arrival-index ticks a
+            // "time" window of N is exactly the last N arrivals.
+            let est = sk
+                .query(&Query::point(key), WindowSpec::time(now, range))
+                .unwrap()
+                .into_value()
+                .value;
             assert!(
                 (est - exact).abs() <= eps * range as f64 + 1.0,
                 "key={key} range={range} est={est} exact={exact}"
@@ -73,8 +79,16 @@ fn count_based_merge_is_information_theoretically_impossible() {
             .filter(|&&c| c == 'a')
             .count()
     };
-    let world1: Vec<char> = "a".repeat(10).chars().chain("b".repeat(90).chars()).collect();
-    let world2: Vec<char> = "b".repeat(90).chars().chain("a".repeat(10).chars()).collect();
+    let world1: Vec<char> = "a"
+        .repeat(10)
+        .chars()
+        .chain("b".repeat(90).chars())
+        .collect();
+    let world2: Vec<char> = "b"
+        .repeat(90)
+        .chars()
+        .chain("a".repeat(10).chars())
+        .collect();
     let t1 = truth(&world1, 50);
     let t2 = truth(&world2, 50);
     assert_eq!(t1, 0, "world 1: A's arrivals are ancient");
@@ -97,10 +111,7 @@ fn count_based_window_expires_by_arrival_count() {
     }
     // Exactly the last 100 arrivals are in the window.
     let est = eh.query(1_000, window);
-    assert!(
-        (est - 100.0).abs() <= 0.1 * 100.0,
-        "est={est}, want ≈ 100"
-    );
+    assert!((est - 100.0).abs() <= 0.1 * 100.0, "est={est}, want ≈ 100");
     // A longer range cannot see beyond the window.
     assert_eq!(eh.query(1_000, 10_000), est);
 }

@@ -11,10 +11,8 @@
 //! so each test replays the trace and queries at checkpoints: mid-attack and
 //! well after the attack.
 
-use ecm_suite::ecm::{EcmBuilder, EcmEh, EcmHierarchy, Threshold};
-use ecm_suite::stream_gen::{
-    inject_flash_crowd, uniform_sites, Event, FlashCrowd, WindowOracle,
-};
+use ecm_suite::ecm::{EcmBuilder, EcmEh, EcmHierarchy, Query, SketchReader, Threshold, WindowSpec};
+use ecm_suite::stream_gen::{inject_flash_crowd, uniform_sites, Event, FlashCrowd, WindowOracle};
 
 const WINDOW: u64 = 200_000;
 const SITES: u32 = 8;
@@ -58,7 +56,11 @@ fn aggregated_sketch_sees_the_attack() {
         let refs: Vec<&EcmEh> = sites.iter().collect();
         let root = EcmEh::merge(&refs, &cfg.cell).unwrap();
         let exact = oracle.frequency(TARGET, now, WINDOW) as f64;
-        let est = root.point_query(TARGET, now, WINDOW);
+        let est = root
+            .query(&Query::point(TARGET), WindowSpec::time(now, WINDOW))
+            .unwrap()
+            .into_value()
+            .value;
         let norm = oracle.total(now, WINDOW) as f64;
         let envelope = (h * eps * (1.0 + eps) + eps + 0.05) * norm;
         assert!(
@@ -109,14 +111,23 @@ fn hierarchy_flags_the_target_as_heavy_hitter_only_during_attack() {
 
     // φ = 5% of window arrivals: far above any organic key (50k keys,
     // near-uniform background), far below the burst.
-    let hh = h.heavy_hitters(Threshold::Relative(0.05), mid_attack, WINDOW);
+    let hh = h
+        .query(
+            &Query::heavy_hitters(Threshold::Relative(0.05)),
+            WindowSpec::time(mid_attack, WINDOW),
+        )
+        .unwrap()
+        .into_heavy_hitters();
     assert!(
         hh.iter().any(|&(k, _)| k == TARGET),
         "attack target missing from heavy hitters: {hh:?}"
     );
     // Theorem 5 semantics: with a uniform background, only the target (and
     // possibly a collision artifact or two) can clear the threshold.
-    assert!(hh.len() <= 3, "background keys misreported as heavy: {hh:?}");
+    assert!(
+        hh.len() <= 3,
+        "background keys misreported as heavy: {hh:?}"
+    );
 
     for e in it {
         if e.ts > after {
@@ -124,7 +135,13 @@ fn hierarchy_flags_the_target_as_heavy_hitter_only_during_attack() {
         }
         h.insert(e.key, e.ts);
     }
-    let hh_after = h.heavy_hitters(Threshold::Relative(0.05), after, WINDOW);
+    let hh_after = h
+        .query(
+            &Query::heavy_hitters(Threshold::Relative(0.05)),
+            WindowSpec::time(after, WINDOW),
+        )
+        .unwrap()
+        .into_heavy_hitters();
     assert!(
         hh_after.iter().all(|&(k, _)| k != TARGET),
         "aged-out attack still reported: {hh_after:?}"
@@ -152,10 +169,23 @@ fn per_site_thresholds_fire_at_attacking_sites() {
     let mut firing = 0u32;
     let mut innocent_firing = 0u32;
     for sk in &sites {
-        if sk.point_query(TARGET, mid_attack, WINDOW) > 200.0 {
+        let w = WindowSpec::time(mid_attack, WINDOW);
+        if sk
+            .query(&Query::point(TARGET), w)
+            .unwrap()
+            .into_value()
+            .value
+            > 200.0
+        {
             firing += 1;
         }
-        if sk.point_query(TARGET + 1, mid_attack, WINDOW) > 200.0 {
+        if sk
+            .query(&Query::point(TARGET + 1), w)
+            .unwrap()
+            .into_value()
+            .value
+            > 200.0
+        {
             innocent_firing += 1;
         }
     }

@@ -2,7 +2,17 @@
 //! tree aggregation, and root accuracy against the oracle (papers §5, §7.3).
 
 use distributed::aggregate_tree;
-use ecm::{EcmBuilder, EcmEh, EcmRw, EcmSketch};
+use ecm::{EcmBuilder, EcmEh, EcmRw, EcmSketch, Query, SketchReader, WindowSpec};
+
+/// Route a point query through the unified typed API (works identically
+/// for a plain sketch and for a whole aggregation outcome).
+fn point(reader: &dyn SketchReader, key: u64, now: u64, range: u64) -> f64 {
+    reader
+        .query(&Query::point(key), WindowSpec::time(now, range))
+        .expect("in-window query must succeed")
+        .into_value()
+        .value
+}
 use stream_gen::{partition_by_site, uniform_sites, worldcup_like, WindowOracle};
 
 const WINDOW: u64 = 1_000_000;
@@ -40,7 +50,7 @@ fn tree_root_tracks_oracle_at_33_sites() {
     let mut n = 0;
     for key in oracle.keys().take(400) {
         let exact = oracle.frequency(key, now, WINDOW) as f64;
-        let est = out.root.point_query(key, now, WINDOW);
+        let est = point(&out, key, now, WINDOW);
         avg_err += (est - exact).abs() / norm;
         n += 1;
     }
@@ -87,17 +97,15 @@ fn aggregation_through_the_wire_round_trips() {
         })
         .collect();
 
-    let direct =
-        EcmSketch::merge(&sketches.iter().collect::<Vec<_>>(), &cfg.cell).unwrap();
-    let wired =
-        EcmSketch::merge(&decoded.iter().collect::<Vec<_>>(), &cfg.cell).unwrap();
+    let direct = EcmSketch::merge(&sketches.iter().collect::<Vec<_>>(), &cfg.cell).unwrap();
+    let wired = EcmSketch::merge(&decoded.iter().collect::<Vec<_>>(), &cfg.cell).unwrap();
 
     let now = events.last().unwrap().ts;
     for key in [0u64, 1, 5, 100, 1000, 40_000] {
         for range in [10_000u64, WINDOW] {
             assert_eq!(
-                direct.point_query(key, now, range),
-                wired.point_query(key, now, range),
+                point(&direct, key, now, range),
+                point(&wired, key, now, range),
                 "key={key} range={range}"
             );
         }
@@ -130,8 +138,8 @@ fn rw_tree_equals_centralized_sketch_exactly() {
     for key in (0..50_000u64).step_by(997) {
         for range in [50_000u64, WINDOW] {
             assert_eq!(
-                out.root.point_query(key, now, range),
-                central.point_query(key, now, range),
+                point(&out, key, now, range),
+                point(&central, key, now, range),
                 "key={key} range={range}"
             );
         }
@@ -220,7 +228,7 @@ fn multilevel_epsilon_budgeting_keeps_root_on_target() {
     let norm = oracle.total(now, WINDOW) as f64;
     for key in oracle.keys().take(300) {
         let exact = oracle.frequency(key, now, WINDOW) as f64;
-        let est = out.root.point_query(key, now, WINDOW);
+        let est = point(&out, key, now, WINDOW);
         assert!(
             (est - exact).abs() <= target * norm + 1.0,
             "key={key}: est {est} exact {exact} target {target}"

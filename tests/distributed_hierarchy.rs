@@ -4,7 +4,9 @@
 //! range sums and quantiles — the full pipeline of the paper's
 //! network-monitoring application with byte-accurate wire hops.
 
-use ecm_suite::ecm::{EcmBuilder, EcmConfig, EcmHierarchy, Threshold};
+use ecm_suite::ecm::{
+    EcmBuilder, EcmConfig, EcmHierarchy, Query, SketchReader, Threshold, WindowSpec,
+};
 use ecm_suite::sliding_window::ExponentialHistogram;
 use ecm_suite::stream_gen::{partition_by_site, uniform_sites, WindowOracle};
 
@@ -67,11 +69,12 @@ fn coordinator_pipeline_over_the_wire() {
     let now = oracle.last_tick();
 
     // Heavy hitters: key 321 holds 10% of the window; φ = 5%.
-    let hh = global.heavy_hitters(Threshold::Relative(0.05), now, WINDOW);
-    assert!(
-        hh.iter().any(|&(k, _)| k == 321),
-        "hot key missing: {hh:?}"
-    );
+    let w = WindowSpec::time(now, WINDOW);
+    let hh = global
+        .query(&Query::heavy_hitters(Threshold::Relative(0.05)), w)
+        .unwrap()
+        .into_heavy_hitters();
+    assert!(hh.iter().any(|&(k, _)| k == 321), "hot key missing: {hh:?}");
     assert!(hh.len() <= 3, "spurious heavy hitters: {hh:?}");
 
     // Range sums within the merged-error envelope (Theorem 4 inflation on
@@ -81,7 +84,11 @@ fn coordinator_pipeline_over_the_wire() {
     let envelope = 2.0 * f64::from(BITS) * (eps * (1.0 + h)) * norm;
     for (lo, hi) in [(0u64, 4_095u64), (100, 400), (321, 321)] {
         let exact = oracle.range_sum(lo, hi, now, WINDOW) as f64;
-        let est = global.range_sum(lo, hi, now, WINDOW);
+        let est = global
+            .query(&Query::range_sum(lo, hi), w)
+            .unwrap()
+            .into_value()
+            .value;
         assert!(
             (est - exact).abs() <= envelope + 2.0,
             "[{lo},{hi}] est={est} exact={exact}"
@@ -89,8 +96,11 @@ fn coordinator_pipeline_over_the_wire() {
     }
 
     // Quantiles: the median key of the merged stream tracks the oracle's.
-    let total = global.total_arrivals(now, WINDOW);
-    let med = global.quantile_by_rank(total / 2.0, now, WINDOW).unwrap();
+    let med = global
+        .query(&Query::quantile(0.5), w)
+        .unwrap()
+        .into_quantile()
+        .unwrap();
     let exact_med = oracle
         .quantile_by_rank(oracle.total(now, WINDOW) / 2, now, WINDOW)
         .unwrap();

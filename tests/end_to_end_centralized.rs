@@ -2,16 +2,13 @@
 //! traces must meet its configured error envelope against the exact oracle
 //! (the property behind paper Fig. 4).
 
-use ecm::{EcmBuilder, EcmDw, EcmEh, EcmRw, EcmSketch, QueryKind};
+use ecm::{EcmBuilder, EcmDw, EcmEh, EcmRw, EcmSketch, Query, QueryKind, SketchReader, WindowSpec};
 use sliding_window::traits::WindowCounter;
 use stream_gen::{snmp_like, worldcup_like, WindowOracle};
 
 const WINDOW: u64 = 1_000_000;
 
-fn build<W: WindowCounter>(
-    cfg: &ecm::EcmConfig<W>,
-    events: &[stream_gen::Event],
-) -> EcmSketch<W> {
+fn build<W: WindowCounter>(cfg: &ecm::EcmConfig<W>, events: &[stream_gen::Event]) -> EcmSketch<W> {
     let mut sk = EcmSketch::new(cfg);
     for (i, e) in events.iter().enumerate() {
         sk.insert_with_id(e.key, e.ts, i as u64 + 1);
@@ -21,7 +18,7 @@ fn build<W: WindowCounter>(
 
 /// Fraction of point queries violating the ε envelope must stay within the
 /// configured δ (plus sampling slack).
-fn check_point_envelope<W: WindowCounter>(
+fn check_point_envelope<W: WindowCounter + 'static>(
     sk: &EcmSketch<W>,
     oracle: &WindowOracle,
     eps: f64,
@@ -37,7 +34,11 @@ fn check_point_envelope<W: WindowCounter>(
         let mut violations = 0usize;
         for key in oracle.keys().take(500) {
             let exact = oracle.frequency(key, now, range) as f64;
-            let est = sk.point_query(key, now, range);
+            let est = sk
+                .query(&Query::point(key), WindowSpec::time(now, range))
+                .unwrap()
+                .into_value()
+                .value;
             queries += 1;
             if (est - exact).abs() > eps * norm + 1.0 {
                 violations += 1;
@@ -104,7 +105,11 @@ fn self_join_envelope_on_both_datasets() {
                 continue;
             }
             let exact = oracle.self_join(now, range);
-            let est = sk.self_join(now, range);
+            let est = sk
+                .query(&Query::self_join(), WindowSpec::time(now, range))
+                .unwrap()
+                .into_value()
+                .value;
             assert!(
                 (est - exact).abs() <= eps * norm * norm,
                 "{label}: self-join est {est} exact {exact} norm {norm}"
@@ -124,7 +129,10 @@ fn memory_ordering_matches_paper() {
     let dw: EcmDw = build(&b.dw_config(), &events);
     let rw: EcmRw = build(&b.rw_config(), &events);
     let (m_eh, m_dw, m_rw) = (eh.memory_bytes(), dw.memory_bytes(), rw.memory_bytes());
-    assert!(m_eh < m_dw, "EH ({m_eh}) should be smaller than DW ({m_dw})");
+    assert!(
+        m_eh < m_dw,
+        "EH ({m_eh}) should be smaller than DW ({m_dw})"
+    );
     assert!(
         m_rw > 10 * m_eh,
         "RW ({m_rw}) should be ≥ 10x EH ({m_eh}) — the paper's headline gap"
@@ -140,10 +148,7 @@ fn update_rate_ordering_matches_paper() {
         .max_arrivals(events.len() as u64)
         .seed(9);
 
-    fn rate<W: WindowCounter>(
-        cfg: &ecm::EcmConfig<W>,
-        events: &[stream_gen::Event],
-    ) -> f64 {
+    fn rate<W: WindowCounter>(cfg: &ecm::EcmConfig<W>, events: &[stream_gen::Event]) -> f64 {
         let mut sk = EcmSketch::new(cfg);
         let t0 = Instant::now();
         for (i, e) in events.iter().enumerate() {

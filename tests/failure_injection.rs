@@ -5,8 +5,8 @@
 use ecm::{EcmBuilder, EcmEh, EcmRw, EcmSketch};
 use sliding_window::traits::WindowCounter;
 use sliding_window::{
-    merge_randomized_waves, CodecError, DwConfig, EhConfig, ExponentialHistogram,
-    MergeError, RandomizedWave, RwConfig,
+    merge_randomized_waves, CodecError, DwConfig, EhConfig, ExponentialHistogram, MergeError,
+    RandomizedWave, RwConfig,
 };
 
 fn sample_sketch(seed: u64) -> (ecm::EcmConfig<ExponentialHistogram>, EcmEh) {

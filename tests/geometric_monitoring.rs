@@ -48,8 +48,7 @@ fn self_join_monitoring_never_misses_a_crossing() {
             MonitorEvent::LocalOk | MonitorEvent::Balanced { .. } => {
                 let truth_above = m.true_global_value(ev.ts) > threshold;
                 assert_eq!(
-                    truth_above,
-                    last_side,
+                    truth_above, last_side,
                     "missed crossing at event {i} (t={})",
                     ev.ts
                 );
@@ -93,7 +92,11 @@ fn point_frequency_monitoring_tracks_one_item() {
     let mut crossed_up = false;
     for t in 1..=4_000u64 {
         // Steady background plus the monitored item arriving from t=1500.
-        let key = if t >= 1_500 && t % 2 == 0 { item } else { t % 900 };
+        let key = if t >= 1_500 && t % 2 == 0 {
+            item
+        } else {
+            t % 900
+        };
         let ev = Event {
             ts: t,
             key,
@@ -138,9 +141,17 @@ fn inner_product_fn_tracks_the_exact_inner_join() {
     for t in 1..=6_000u64 {
         let site = (t % n_sites as u64) as usize;
         a_sketches[site].insert(t % 100, t);
-        a_events.push(Event { ts: t, key: t % 100, site: site as u32 });
+        a_events.push(Event {
+            ts: t,
+            key: t % 100,
+            site: site as u32,
+        });
         b_sketches[site].insert(t % 200, t);
-        b_events.push(Event { ts: t, key: t % 200, site: site as u32 });
+        b_events.push(Event {
+            ts: t,
+            key: t % 200,
+            site: site as u32,
+        });
     }
     let now = 6_000u64;
     let oracle_a = WindowOracle::from_events(&a_events);

@@ -1,8 +1,9 @@
 //! Derived sliding-window queries over generated traces (paper §6.1):
 //! heavy hitters (Theorem 5 semantics), range sums and quantiles, scored
-//! against the exact oracle.
+//! against the exact oracle — all through the unified `SketchReader::query`
+//! surface.
 
-use ecm::{EcmBuilder, EcmHierarchy, Threshold};
+use ecm::{EcmBuilder, EcmHierarchy, Query, SketchReader, Threshold, WindowSpec};
 use sliding_window::ExponentialHistogram;
 use stream_gen::{worldcup_like, WindowOracle};
 
@@ -20,6 +21,16 @@ fn build_hierarchy(
         h.insert(e.key, e.ts);
     }
     h
+}
+
+/// Heavy-hitter keys through the typed query API.
+fn heavy_keys(h: &EcmHierarchy<ExponentialHistogram>, t: Threshold, w: WindowSpec) -> Vec<u64> {
+    h.query(&Query::heavy_hitters(t), w)
+        .expect("heavy-hitter query must succeed")
+        .into_heavy_hitters()
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect()
 }
 
 #[test]
@@ -41,11 +52,7 @@ fn heavy_hitters_have_full_recall_and_bounded_false_positives() {
             .into_iter()
             .map(|(k, _)| k)
             .collect();
-        let found: Vec<u64> = h
-            .heavy_hitters(Threshold::Relative(phi), now, range)
-            .into_iter()
-            .map(|(k, _)| k)
-            .collect();
+        let found = heavy_keys(&h, Threshold::Relative(phi), WindowSpec::time(now, range));
 
         // Theorem 5: every truly heavy key must be reported (estimates never
         // undershoot by more than the window error, which ε=0.02 covers).
@@ -69,6 +76,35 @@ fn heavy_hitters_have_full_recall_and_bounded_false_positives() {
 }
 
 #[test]
+fn heavy_hitter_estimates_carry_point_guarantees() {
+    let events = worldcup_like(30_000, 23);
+    let oracle = WindowOracle::from_events(&events);
+    let h = build_hierarchy(&events, 0.02, 7);
+    let now = oracle.last_tick();
+    let norm = oracle.total(now, WINDOW) as f64;
+
+    let hits = h
+        .query(
+            &Query::heavy_hitters(Threshold::Relative(0.01)),
+            WindowSpec::time(now, WINDOW),
+        )
+        .unwrap()
+        .into_heavy_hitters();
+    assert!(!hits.is_empty(), "trace must contain heavy keys");
+    for (key, est) in hits {
+        let g = est.guarantee.expect("EH estimates carry guarantees");
+        assert!(g.epsilon <= 0.02 + 1e-9, "per-key ε={}", g.epsilon);
+        let exact = oracle.frequency(key, now, WINDOW) as f64;
+        assert!(
+            (est.value - exact).abs() <= g.epsilon * norm + 2.0,
+            "key {key}: est {} exact {exact} ε {}",
+            est.value,
+            g.epsilon
+        );
+    }
+}
+
+#[test]
 fn range_sums_over_key_intervals() {
     let events = worldcup_like(40_000, 29);
     let oracle = WindowOracle::from_events(&events);
@@ -76,12 +112,17 @@ fn range_sums_over_key_intervals() {
     let now = oracle.last_tick();
     let range = WINDOW;
     let norm = oracle.total(now, range) as f64;
+    let w = WindowSpec::time(now, range);
 
     for &(lo, hi) in &[(0u64, 99u64), (100, 999), (0, 65_535), (500, 501)] {
         let exact: u64 = (lo..=hi.min(49_999))
             .map(|k| oracle.frequency(k, now, range))
             .sum();
-        let est = h.range_sum(lo, hi, now, range);
+        let est = h
+            .query(&Query::range_sum(lo, hi), w)
+            .unwrap()
+            .into_value()
+            .value;
         // Dyadic cover ≤ 2·BITS components, each ε-bounded.
         let budget = 2.0 * f64::from(BITS) * 0.02 * norm;
         assert!(
@@ -100,23 +141,33 @@ fn quantiles_match_oracle_within_rank_tolerance() {
     let range = WINDOW;
     let total = oracle.total(now, range);
     assert!(total > 1_000);
+    let w = WindowSpec::time(now, range);
 
     for &q in &[0.1f64, 0.25, 0.5, 0.75, 0.9] {
-        let rank = (q * total as f64).ceil() as u64;
         let est_key = h
-            .quantile_by_rank(rank as f64, now, range)
-            .expect("rank within total");
+            .query(&Query::quantile(q), w)
+            .unwrap()
+            .into_quantile()
+            .expect("window is non-empty");
         // Score by *rank error*: the exact rank of the returned key must be
-        // within ε·2·bits of the requested rank.
-        let exact_rank: u64 = (0..=est_key)
-            .map(|k| oracle.frequency(k, now, range))
-            .sum();
-        let tolerance = (0.01 * 2.0 * f64::from(BITS) * total as f64) as u64 + 2;
+        // within ε·2·bits of the requested rank, plus the anchor slack of
+        // the estimated total the φ-quantile derives its target rank from —
+        // bounded by the total-arrivals estimator's window error ε_sw
+        // (the builder's ε = 0.01 splits as ε_sw = √1.01 − 1).
+        let rank = (q * total as f64).ceil() as u64;
+        let exact_rank: u64 = (0..=est_key).map(|k| oracle.frequency(k, now, range)).sum();
+        let esw = 1.01f64.sqrt() - 1.0;
+        let anchor_slack = (esw * total as f64).ceil() as u64;
+        let tolerance = (0.01 * 2.0 * f64::from(BITS) * total as f64) as u64 + anchor_slack + 2;
         assert!(
             exact_rank + tolerance >= rank && exact_rank <= rank + tolerance,
             "q={q}: returned key {est_key} has rank {exact_rank}, want {rank}±{tolerance}"
         );
     }
+
+    // φ outside (0, 1] is a typed error, not a panic.
+    assert!(h.query(&Query::quantile(0.0), w).is_err());
+    assert!(h.query(&Query::quantile(1.5), w).is_err());
 }
 
 #[test]
@@ -144,23 +195,26 @@ fn heavy_hitters_follow_the_window_as_it_slides() {
     let now = oracle.last_tick();
 
     // Over the full window the burst key is prominent.
-    let full: Vec<u64> = h
-        .heavy_hitters(Threshold::Absolute(2_000.0), now, WINDOW)
-        .into_iter()
-        .map(|(k, _)| k)
-        .collect();
+    let full = heavy_keys(
+        &h,
+        Threshold::Absolute(2_000.0),
+        WindowSpec::time(now, WINDOW),
+    );
     // Over a recent range that excludes the burst it must vanish.
     let recent_range = 600_000u64;
-    let recent: Vec<u64> = h
-        .heavy_hitters(Threshold::Absolute(500.0), now, recent_range)
-        .into_iter()
-        .map(|(k, _)| k)
-        .collect();
+    let recent = heavy_keys(
+        &h,
+        Threshold::Absolute(500.0),
+        WindowSpec::time(now, recent_range),
+    );
     assert!(
         oracle.frequency(42, now, recent_range) < 100,
         "precondition: burst is outside the recent range"
     );
-    assert!(full.contains(&42), "burst key heavy over full window: {full:?}");
+    assert!(
+        full.contains(&42),
+        "burst key heavy over full window: {full:?}"
+    );
     assert!(
         !recent.contains(&42),
         "burst key must age out of recent heavy hitters: {recent:?}"

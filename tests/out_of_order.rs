@@ -3,11 +3,10 @@
 //! the per-site sketches, preserving the ECM error guarantees (the
 //! asynchronous-streams concern of paper §2, handled the practical way).
 
-use ecm::{EcmBuilder, EcmEh, EcmSketch};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ecm::{EcmBuilder, EcmEh, EcmSketch, Query, SketchReader, WindowSpec};
 use sliding_window::{ExponentialHistogram, ReorderBuffer, ReorderConfig};
 use std::collections::HashMap;
+use stream_gen::SeededRng;
 
 const WINDOW: u64 = 100_000;
 
@@ -54,7 +53,7 @@ fn delayed_arrivals_do_not_break_accuracy() {
     let eps = 0.1;
     let cfg = EcmBuilder::new(eps, 0.1, WINDOW).seed(3).eh_config();
     let delay_bound = 50u64;
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = SeededRng::seed_from_u64(9);
 
     let mut sites: Vec<Site> = (0..4)
         .map(|i| Site::new(&cfg, delay_bound, i as u64 + 1))
@@ -92,7 +91,11 @@ fn delayed_arrivals_do_not_break_accuracy() {
         let norm: u64 = counts.values().sum();
         for key in 0..50u64 {
             let exact = *counts.get(&key).unwrap_or(&0) as f64;
-            let est = merged.point_query(key, now, range);
+            let est = merged
+                .query(&Query::point(key), WindowSpec::time(now, range))
+                .unwrap()
+                .into_value()
+                .value;
             assert!(
                 (est - exact).abs() <= 2.0 * eps * norm as f64 + 2.0,
                 "key={key} range={range} est={est} exact={exact}"
@@ -111,7 +114,11 @@ fn excessively_late_events_are_dropped_not_misfiled() {
     assert_eq!(site.buffer.dropped(), 1);
     let sk = site.finish();
     // Exactly the two accepted arrivals are counted.
-    let est = sk.point_query(7, 1_000, WINDOW);
+    let est = sk
+        .query(&Query::point(7), WindowSpec::time(1_000, WINDOW))
+        .unwrap()
+        .into_value()
+        .value;
     assert!((est - 2.0).abs() < 1e-9, "est={est}");
 }
 
@@ -121,8 +128,7 @@ fn reorder_buffer_wraps_any_counter_generically() {
     // randomized wave as well.
     use sliding_window::{RandomizedWave, RwConfig};
     let cfg = RwConfig::new(0.3, 0.1, 10_000, 5_000, 11);
-    let mut buf: ReorderBuffer<RandomizedWave> =
-        ReorderBuffer::new(&cfg, ReorderConfig::new(4));
+    let mut buf: ReorderBuffer<RandomizedWave> = ReorderBuffer::new(&cfg, ReorderConfig::new(4));
     for i in (1..=1_000u64).rev().step_by(1) {
         // Deliver in blocks with local disorder: 4,3,2,1, 8,7,6,5, ...
         let block = (1_000 - i) / 4;

@@ -34,7 +34,11 @@ fn envelope_holds_through_a_flash_crowd() {
         window_ticks.push(e.ts);
         if i % 500 == 0 && i > 0 {
             let cutoff = e.ts.saturating_sub(WINDOW);
-            let exact = window_ticks.iter().rev().take_while(|&&t| t > cutoff).count() as f64;
+            let exact = window_ticks
+                .iter()
+                .rev()
+                .take_while(|&&t| t > cutoff)
+                .count() as f64;
             if exact < 200.0 {
                 continue;
             }

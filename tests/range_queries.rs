@@ -1,8 +1,9 @@
 //! Sliding-window range queries: the dyadic ECM hierarchy (paper §6.1)
 //! against the exact oracle and against the hybrid-histogram baseline the
-//! related-work section dismisses (§2).
+//! related-work section dismisses (§2). All hierarchy queries go through
+//! the unified `SketchReader::query` surface.
 
-use ecm_suite::ecm::{EcmBuilder, EcmHierarchy};
+use ecm_suite::ecm::{EcmBuilder, EcmHierarchy, Query, SketchReader, WindowSpec};
 use ecm_suite::sliding_window::{HybridConfig, HybridHistogram};
 use ecm_suite::stream_gen::{worldcup_like, WindowOracle};
 
@@ -13,6 +14,15 @@ fn build_inputs(events: usize, seed: u64) -> (Vec<ecm_suite::stream_gen::Event>,
     let events = worldcup_like(events, seed);
     let oracle = WindowOracle::from_events(&events);
     (events, oracle)
+}
+
+/// Route one scalar query through the typed API and unwrap its value.
+fn value(reader: &dyn SketchReader, q: &Query<'_>, w: WindowSpec) -> f64 {
+    reader
+        .query(q, w)
+        .expect("in-window query must succeed")
+        .into_value()
+        .value
 }
 
 #[test]
@@ -27,6 +37,7 @@ fn hierarchy_range_sums_meet_dyadic_envelope() {
     let now = oracle.last_tick();
 
     for range in [10_000u64, 100_000, WINDOW] {
+        let w = WindowSpec::time(now, range);
         let norm = oracle.total(now, range) as f64;
         if norm < 100.0 {
             continue;
@@ -42,11 +53,22 @@ fn hierarchy_range_sums_meet_dyadic_envelope() {
             (40_000, 49_999),
         ] {
             let exact = oracle.range_sum(lo, hi, now, range) as f64;
-            let est = h.range_sum(lo, hi, now, range);
+            let answer = h.query(&Query::range_sum(lo, hi), w).unwrap().into_value();
+            let est = answer.value;
             assert!(
                 (est - exact).abs() <= envelope + 2.0,
                 "range=({lo},{hi}) window={range} est={est} exact={exact} envelope={envelope}"
             );
+            // The reported guarantee is exactly the dyadic-cover inflation
+            // the envelope above hand-computes (the derived ε is tighter
+            // than the builder's target, never looser).
+            let g = answer.guarantee.expect("EH hierarchies carry a guarantee");
+            assert!(
+                g.epsilon <= 2.0 * f64::from(KEY_BITS) * eps,
+                "reported ε={} exceeds the analytical budget",
+                g.epsilon
+            );
+            assert!((est - exact).abs() <= g.epsilon * norm + 2.0);
         }
     }
 }
@@ -61,10 +83,18 @@ fn whole_domain_range_equals_total_arrivals_estimate() {
     }
     let now = oracle.last_tick();
     let exact = oracle.total(now, WINDOW) as f64;
-    let est = h.range_sum(0, (1 << KEY_BITS) - 1, now, WINDOW);
+    let w = WindowSpec::time(now, WINDOW);
+    let est = value(&h, &Query::range_sum(0, (1 << KEY_BITS) - 1), w);
     assert!(
         (est - exact).abs() <= 0.2 * exact + 2.0,
         "est={est} exact={exact}"
+    );
+    // The same window through Query::total_arrivals agrees with the
+    // whole-domain range sum.
+    let total = value(&h, &Query::total_arrivals(), w);
+    assert!(
+        (total - exact).abs() <= 0.2 * exact + 2.0,
+        "total={total} exact={exact}"
     );
 }
 
@@ -89,7 +119,11 @@ fn hybrid_baseline_fails_where_hierarchy_holds() {
     // Query a sibling key range in the same bin, truly empty.
     let (lo, hi) = (800u64, 900u64);
     let hybrid_est = hybrid.range_query(n, WINDOW, lo, hi);
-    let hier_est = hierarchy.range_sum(lo, hi, n, WINDOW);
+    let hier_est = value(
+        &hierarchy,
+        &Query::range_sum(lo, hi),
+        WindowSpec::time(n, WINDOW),
+    );
     assert!(
         hybrid_est > 0.3 * n as f64 * (101.0 / 256.0),
         "hybrid proration should misattribute mass, got {hybrid_est}"
@@ -117,11 +151,36 @@ fn range_queries_respect_the_time_dimension() {
         h.insert(64 + t % 16, t);
     }
     // Recent window: early keys aged out.
-    let early = h.range_sum(0, 15, 2_000, 900);
-    let late = h.range_sum(64, 79, 2_000, 900);
+    let w = WindowSpec::time(2_000, 900);
+    let early = value(&h, &Query::range_sum(0, 15), w);
+    let late = value(&h, &Query::range_sum(64, 79), w);
     assert!(early <= 150.0, "stale range must have aged out: {early}");
     assert!(
         (late - 900.0).abs() <= 250.0,
         "recent range must be present: {late}"
+    );
+}
+
+#[test]
+fn over_long_ranges_error_instead_of_clamping() {
+    let cfg = EcmBuilder::new(0.1, 0.05, 1_000).seed(8).eh_config();
+    let mut h = EcmHierarchy::new(8, &cfg);
+    for t in 1..=500u64 {
+        h.insert(t % 16, t);
+    }
+    // The legacy API silently clamped ranges beyond the configured window;
+    // the typed API reports them.
+    let err = h
+        .query(&Query::range_sum(0, 15), WindowSpec::time(500, 5_000))
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ecm_suite::ecm::QueryError::WindowTooLong {
+                requested: 5_000,
+                configured: 1_000
+            }
+        ),
+        "unexpected error: {err:?}"
     );
 }

@@ -3,7 +3,7 @@
 //! sequential processing under flash crowds, poll bursts and bounded-delay
 //! reordering (repaired by the reorder buffer).
 
-use ecm_suite::ecm::{partition_pairs, EcmBuilder, ShardedEcm};
+use ecm_suite::ecm::{partition_pairs, EcmBuilder, Query, ShardedEcm, SketchReader, WindowSpec};
 use ecm_suite::sliding_window::ExponentialHistogram;
 use ecm_suite::stream_gen::{
     bounded_delay_shuffle, inject_flash_crowd, inject_poll_bursts, uniform_sites, FlashCrowd,
@@ -14,6 +14,14 @@ use std::collections::BTreeMap;
 type Sharded = ShardedEcm<ExponentialHistogram>;
 
 const WINDOW: u64 = 300_000;
+
+/// Route a point query through the unified typed API.
+fn point(sh: &Sharded, key: u64, now: u64, range: u64) -> f64 {
+    sh.query(&Query::point(key), WindowSpec::time(now, range))
+        .expect("in-window query must succeed")
+        .into_value()
+        .value
+}
 
 #[test]
 fn sharded_sketch_detects_the_flash_crowd() {
@@ -44,7 +52,7 @@ fn sharded_sketch_detects_the_flash_crowd() {
     let sh = Sharded::ingest_parallel(&cfg, 4, prefix.iter().copied());
 
     let exact = oracle.frequency(777, mid, WINDOW) as f64;
-    let est = sh.point_query(777, mid, WINDOW);
+    let est = point(&sh, 777, mid, WINDOW);
     let norm = oracle.total(mid, WINDOW) as f64;
     assert!(exact > 3_000.0, "attack missing from the oracle: {exact}");
     assert!(
@@ -74,7 +82,7 @@ fn poll_bursts_show_up_as_per_site_keys() {
     let rounds_in_window = WINDOW / polls.interval;
     let expected = (rounds_in_window * polls.per_site as u64) as f64;
     for s in 0..5u64 {
-        let est = sh.point_query(9_000_000 + s, now, WINDOW);
+        let est = point(&sh, 9_000_000 + s, now, WINDOW);
         assert!(
             est >= expected * 0.6 && est <= expected * 1.8 + 100.0,
             "site {s}: est={est} expected≈{expected}"
@@ -141,8 +149,8 @@ fn reorder_buffer_repairs_bounded_delay_for_sharded_ingestion() {
     let now = base.last().unwrap().ts;
     for key in (0..2_000u64).step_by(29) {
         assert_eq!(
-            sh.point_query(key, now, WINDOW),
-            reference.point_query(key, now, WINDOW),
+            point(&sh, key, now, WINDOW),
+            point(&reference, key, now, WINDOW),
             "key={key}"
         );
     }

@@ -5,7 +5,7 @@
 //! test per contract the paper states, parameterized over the variants.
 
 use ecm_suite::distributed::aggregate_tree;
-use ecm_suite::ecm::{EcmBuilder, EcmConfig, EcmSketch};
+use ecm_suite::ecm::{EcmBuilder, EcmConfig, EcmSketch, Query, SketchReader, WindowSpec};
 use ecm_suite::sliding_window::traits::{MergeableCounter, WindowCounter};
 use ecm_suite::stream_gen::{worldcup_like, WindowOracle};
 
@@ -13,10 +13,26 @@ const WINDOW: u64 = 1_000_000;
 const EVENTS: usize = 12_000;
 const EPS: f64 = 0.15;
 
+/// Route a point query through the unified typed API.
+fn point<W>(sk: &EcmSketch<W>, key: u64, now: u64, range: u64) -> f64
+where
+    W: WindowCounter + 'static,
+    W::Config: 'static,
+{
+    sk.query(&Query::point(key), WindowSpec::time(now, range))
+        .expect("in-window query must succeed")
+        .into_value()
+        .value
+}
+
 /// Insert the trace with globally unique ids, query the hottest keys, and
 /// assert the Theorem 1 envelope; then round-trip the codec and require
 /// identical answers.
-fn centralized_contract<W: WindowCounter>(cfg: &EcmConfig<W>, label: &str) {
+fn centralized_contract<W>(cfg: &EcmConfig<W>, label: &str)
+where
+    W: WindowCounter + 'static,
+    W::Config: 'static,
+{
     let events = worldcup_like(EVENTS, 77);
     let oracle = WindowOracle::from_events(&events);
     let mut sk = EcmSketch::new(cfg);
@@ -31,7 +47,7 @@ fn centralized_contract<W: WindowCounter>(cfg: &EcmConfig<W>, label: &str) {
         if exact == 0.0 {
             continue;
         }
-        let est = sk.point_query(key, now, WINDOW);
+        let est = point(&sk, key, now, WINDOW);
         assert!(
             (est - exact).abs() <= EPS * norm + 2.0,
             "{label}: key={key} est={est} exact={exact}"
@@ -43,8 +59,8 @@ fn centralized_contract<W: WindowCounter>(cfg: &EcmConfig<W>, label: &str) {
     let back = EcmSketch::decode(cfg, &mut buf.as_slice()).expect("codec");
     for key in (0..300u64).step_by(17) {
         assert_eq!(
-            sk.point_query(key, now, WINDOW),
-            back.point_query(key, now, WINDOW),
+            point(&sk, key, now, WINDOW),
+            point(&back, key, now, WINDOW),
             "{label}: codec must preserve answers for key {key}"
         );
     }
@@ -59,7 +75,11 @@ fn centralized_contract<W: WindowCounter>(cfg: &EcmConfig<W>, label: &str) {
 }
 
 /// Tree-aggregate per-site sketches and assert the multi-level envelope.
-fn distributed_contract<W: MergeableCounter>(cfg: &EcmConfig<W>, label: &str, envelope: f64) {
+fn distributed_contract<W>(cfg: &EcmConfig<W>, label: &str, envelope: f64)
+where
+    W: MergeableCounter + 'static,
+    W::Config: 'static,
+{
     let sites = 8u32;
     let events = worldcup_like(EVENTS, 99);
     let oracle = WindowOracle::from_events(&events);
@@ -92,7 +112,7 @@ fn distributed_contract<W: MergeableCounter>(cfg: &EcmConfig<W>, label: &str, en
             continue;
         }
         checked += 1;
-        let est = out.root.point_query(key, now, WINDOW);
+        let est = point(&out.root, key, now, WINDOW);
         assert!(
             (est - exact).abs() <= envelope * norm + 2.0,
             "{label}: key={key} est={est} exact={exact}"
@@ -149,15 +169,12 @@ fn ew_baseline_centralized_wide_ranges_only() {
 #[test]
 fn variants_agree_on_empty_sketches() {
     let b = EcmBuilder::new(0.1, 0.1, 1_000).seed(8);
-    assert_eq!(EcmSketch::new(&b.eh_config()).point_query(5, 100, 1_000), 0.0);
-    assert_eq!(EcmSketch::new(&b.dw_config()).point_query(5, 100, 1_000), 0.0);
-    assert_eq!(EcmSketch::new(&b.rw_config()).point_query(5, 100, 1_000), 0.0);
+    assert_eq!(point(&EcmSketch::new(&b.eh_config()), 5, 100, 1_000), 0.0);
+    assert_eq!(point(&EcmSketch::new(&b.dw_config()), 5, 100, 1_000), 0.0);
+    assert_eq!(point(&EcmSketch::new(&b.rw_config()), 5, 100, 1_000), 0.0);
     assert_eq!(
-        EcmSketch::new(&b.exact_config()).point_query(5, 100, 1_000),
+        point(&EcmSketch::new(&b.exact_config()), 5, 100, 1_000),
         0.0
     );
-    assert_eq!(
-        EcmSketch::new(&b.ew_config(10)).point_query(5, 100, 1_000),
-        0.0
-    );
+    assert_eq!(point(&EcmSketch::new(&b.ew_config(10)), 5, 100, 1_000), 0.0);
 }
