@@ -1,0 +1,176 @@
+//! **Ingest throughput: per-event loop vs the batched fast path.**
+//!
+//! Feeds one bursty Zipf trace — runs of equal `(key, tick)` arrivals whose
+//! lengths follow a heavy-tailed burst distribution — through every ECM
+//! backend twice: once with the per-event `insert` loop and once through
+//! `ingest_batch`, verifying along the way that the two builds are
+//! **bit-identical** (the differential suite's invariant, re-checked here on
+//! the exact trace being timed).
+//!
+//! Results are printed and written as JSON to `BENCH_ingest.json` at the
+//! workspace root (`BENCH_INGEST_OUT` overrides the path); the schema is
+//! validated by `crates/bench/tests/bench_schema.rs`. Scale with
+//! `ECM_EVENTS` (default 200 000).
+
+use ecm::{EcmBuilder, EcmSketch, StreamEvent};
+use ecm_bench::event_budget;
+use sliding_window::traits::WindowCounter;
+use std::time::Instant;
+use stream_gen::{SeededRng, ZipfSampler};
+
+const WINDOW: u64 = 1_000_000;
+const ZIPF_SKEW: f64 = 1.2;
+const KEY_DOMAIN: u64 = 10_000;
+
+/// A bursty Zipf trace: ticks advance by small random gaps and each tick
+/// carries a run of the same key whose length is heavy-tailed (mostly
+/// singletons, occasionally hundreds — flash-crowd shape).
+fn bursty_trace(target_events: usize, seed: u64) -> Vec<StreamEvent> {
+    let mut rng = SeededRng::seed_from_u64(seed);
+    let zipf = ZipfSampler::new(KEY_DOMAIN, ZIPF_SKEW);
+    let mut out = Vec::with_capacity(target_events + 512);
+    let mut ts = 1u64;
+    while out.len() < target_events {
+        ts += rng.gen_range(0..4u64);
+        let key = zipf.sample(&mut rng);
+        // ~30% singletons; the rest heavy-tailed bursts (mean ≈ 70,
+        // occasionally 1000+ — the flash-crowd shape of the paper's
+        // network-monitoring workloads).
+        let weight = if rng.gen_bool(0.3) {
+            1
+        } else {
+            let u = rng.gen_f64();
+            (1.0 / (1.0 - u * 0.99)).powf(2.0).min(1024.0) as u64
+        };
+        for _ in 0..weight.max(1) {
+            out.push(StreamEvent::new(key, ts));
+        }
+    }
+    out
+}
+
+/// Count the runs the batched path will see.
+fn count_runs(events: &[StreamEvent]) -> usize {
+    ecm::grouped_runs(events).count()
+}
+
+struct Row {
+    backend: &'static str,
+    per_event_meps: f64,
+    batched_meps: f64,
+    speedup: f64,
+}
+
+/// Time both ingest paths for one backend and verify bit-identity.
+fn measure<W: WindowCounter>(
+    backend: &'static str,
+    cfg: &ecm::EcmConfig<W>,
+    events: &[StreamEvent],
+) -> Row {
+    // Warmup pass keeps allocator effects out of the measured runs.
+    let mut warm = EcmSketch::new(cfg);
+    warm.ingest_batch(&events[..events.len().min(10_000)]);
+
+    // Best of three passes per path: scheduler noise inflates single-pass
+    // timings far more than it deflates them.
+    let mut per_event = EcmSketch::new(cfg);
+    let mut per_event_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let mut sk = EcmSketch::new(cfg);
+        for e in events {
+            sk.insert(e.item, e.ts);
+        }
+        per_event_secs = per_event_secs.min(start.elapsed().as_secs_f64());
+        per_event = sk;
+    }
+
+    let mut batched = EcmSketch::new(cfg);
+    let mut batched_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let mut sk = EcmSketch::new(cfg);
+        sk.ingest_batch(events);
+        batched_secs = batched_secs.min(start.elapsed().as_secs_f64());
+        batched = sk;
+    }
+
+    // The timed builds must agree byte for byte — the bench is only valid
+    // if the fast path is the same sketch.
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    per_event.encode(&mut a);
+    batched.encode(&mut b);
+    assert_eq!(a, b, "{backend}: batched build diverged from per-event");
+
+    let n = events.len() as f64;
+    Row {
+        backend,
+        per_event_meps: n / per_event_secs / 1e6,
+        batched_meps: n / batched_secs / 1e6,
+        speedup: per_event_secs / batched_secs,
+    }
+}
+
+fn json_escape_free(rows: &[Row], events: usize, runs: usize) -> String {
+    let mut results = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            results.push_str(",\n");
+        }
+        results.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"per_event_meps\": {:.3}, \"batched_meps\": {:.3}, \"speedup\": {:.2}}}",
+            r.backend, r.per_event_meps, r.batched_meps, r.speedup
+        ));
+    }
+    format!(
+        "{{\n  \"schema_version\": 1,\n  \"bench\": \"ingest\",\n  \"workload\": {{\n    \
+         \"events\": {events},\n    \"runs\": {runs},\n    \"mean_run_weight\": {:.2},\n    \
+         \"zipf_skew\": {ZIPF_SKEW},\n    \"key_domain\": {KEY_DOMAIN},\n    \
+         \"window\": {WINDOW}\n  }},\n  \"results\": [\n{results}\n  ]\n}}\n",
+        events as f64 / runs as f64
+    )
+}
+
+fn main() {
+    let n_events = event_budget();
+    let events = bursty_trace(n_events, 42);
+    let runs = count_runs(&events);
+    println!(
+        "bursty Zipf ingest: {} events in {} runs (mean weight {:.1})",
+        events.len(),
+        runs,
+        events.len() as f64 / runs as f64
+    );
+    println!(
+        "{:<10} {:>16} {:>14} {:>9}",
+        "backend", "per_event_Mev/s", "batched_Mev/s", "speedup"
+    );
+
+    let builder = EcmBuilder::new(0.1, 0.1, WINDOW).seed(7);
+    let rw_builder = EcmBuilder::new(0.25, 0.2, WINDOW)
+        .max_arrivals(events.len() as u64)
+        .seed(7);
+    let dw_builder = EcmBuilder::new(0.1, 0.1, WINDOW)
+        .max_arrivals(events.len() as u64)
+        .seed(7);
+
+    let rows = vec![
+        measure("ecm-eh", &builder.eh_config(), &events),
+        measure("ecm-dw", &dw_builder.dw_config(), &events),
+        measure("ecm-exact", &builder.exact_config(), &events),
+        measure("ecm-rw", &rw_builder.rw_config(), &events),
+    ];
+    for r in &rows {
+        println!(
+            "{:<10} {:>16.3} {:>14.3} {:>8.2}x",
+            r.backend, r.per_event_meps, r.batched_meps, r.speedup
+        );
+    }
+
+    let json = json_escape_free(&rows, events.len(), runs);
+    let out = std::env::var("BENCH_INGEST_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json").to_string()
+    });
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("\nwrote {out}");
+}

@@ -11,8 +11,8 @@
 //! ECM_EPS=0.05 cargo run --release -p ecm-bench --bin replay_trace -- trace.bin
 //! ```
 
-use ecm::{EcmBuilder, EcmEh, QueryKind};
-use ecm_bench::{header, mb, score_point_queries, score_self_join};
+use ecm::{EcmBuilder, QueryKind};
+use ecm_bench::{build_sketch_batched, header, mb, score_point_queries, score_self_join};
 use std::fs::File;
 use stream_gen::{read_binary, read_csv, uniform_sites, write_csv, Event, WindowOracle};
 
@@ -72,10 +72,10 @@ fn main() {
             .query_kind(kind)
             .seed(7)
             .eh_config();
-        let mut sk = EcmEh::new(&cfg);
-        for (i, e) in events.iter().enumerate() {
-            sk.insert_with_id(e.key, e.ts, i as u64 + 1);
-        }
+        // Batched ingest: real traces carry same-(key, ts) bursts, which
+        // collapse into weighted updates (bit-identical to the per-event
+        // loop; see benches/ingest.rs for the throughput delta).
+        let sk = build_sketch_batched(&cfg, &events);
         let (label, s) = match kind {
             QueryKind::Point => ("point", score_point_queries(&sk, &oracle, now, 300)),
             QueryKind::InnerProduct => ("self-join", score_self_join(&sk, &oracle, now)),

@@ -5,6 +5,12 @@
 //! measures the wall-clock ingestion rate of [`ecm::ShardedEcm`] as the
 //! shard (worker-thread) count grows, and verifies that the sharded
 //! estimates stay inside the single-sketch accuracy envelope.
+//!
+//! Both ingestion paths ride the batched fast path: the dispatcher
+//! coalesces consecutive same-shard `(item, ts)` duplicates into weighted
+//! runs before they cross the channels, and the pre-partitioned workers do
+//! the same in-thread (see `benches/ingest.rs` for the single-sketch
+//! speedup).
 
 use ecm::{partition_pairs, EcmBuilder, Query, ShardedEcm, SketchReader, WindowSpec};
 use ecm_bench::{event_budget, header, Dataset, WINDOW};

@@ -1,0 +1,77 @@
+//! Schema validation for the checked-in `BENCH_ingest.json`: CI runs this
+//! with the ordinary test suite, so bench-result drift (renamed fields,
+//! missing backends, a fast path that lost its edge) fails the build rather
+//! than rotting silently. The parser is deliberately minimal — the file is
+//! machine-written by `benches/ingest.rs` with a fixed field order.
+
+use std::path::Path;
+
+fn load() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_ingest.json");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("BENCH_ingest.json must be checked in at {path:?}: {e}"))
+}
+
+/// Extract the number following `"key": ` (flat, machine-written JSON).
+fn field_f64(text: &str, key: &str) -> f64 {
+    let needle = format!("\"{key}\": ");
+    let at = text
+        .find(&needle)
+        .unwrap_or_else(|| panic!("missing field {key:?}"));
+    let rest = &text[at + needle.len()..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .unwrap_or_else(|e| panic!("field {key:?} is not a number: {e}"))
+}
+
+#[test]
+fn ingest_bench_schema_is_valid() {
+    let text = load();
+    assert_eq!(field_f64(&text, "schema_version") as u64, 1);
+    assert!(text.contains("\"bench\": \"ingest\""));
+    assert!(field_f64(&text, "events") >= 1_000.0, "workload too small");
+    assert!(field_f64(&text, "runs") >= 1.0);
+    assert!(
+        field_f64(&text, "mean_run_weight") > 1.0,
+        "trace not bursty"
+    );
+}
+
+#[test]
+fn ingest_bench_covers_every_backend() {
+    let text = load();
+    for backend in ["ecm-eh", "ecm-dw", "ecm-exact", "ecm-rw"] {
+        assert!(
+            text.contains(&format!("\"backend\": \"{backend}\"")),
+            "missing backend {backend}"
+        );
+    }
+}
+
+#[test]
+fn ingest_bench_speedups_are_sane_and_eh_meets_target() {
+    let text = load();
+    let mut eh_speedup = None;
+    for chunk in text.split("\"backend\": ").skip(1) {
+        let speedup = field_f64(chunk, "speedup");
+        let per_event = field_f64(chunk, "per_event_meps");
+        let batched = field_f64(chunk, "batched_meps");
+        assert!(speedup > 0.0 && per_event > 0.0 && batched > 0.0);
+        // The recorded speedup must be consistent with the recorded rates.
+        let implied = batched / per_event;
+        assert!(
+            (speedup - implied).abs() <= 0.15 * implied,
+            "speedup {speedup} inconsistent with rates ({implied:.2})"
+        );
+        if chunk.starts_with("\"ecm-eh\"") {
+            eh_speedup = Some(speedup);
+        }
+    }
+    // Acceptance target: the paper-default ECM-EH ingests ≥ 5× faster
+    // through the batched path on the bursty Zipf trace.
+    let eh = eh_speedup.expect("ecm-eh row present");
+    assert!(eh >= 5.0, "ECM-EH batched speedup regressed: {eh}x < 5x");
+}

@@ -8,9 +8,10 @@
 
 use crate::topology::{BinaryTree, KaryTree};
 use ecm::query::{Answer, Estimate, Guarantee, Query, QueryError, SketchReader, WindowSpec};
-use ecm::EcmSketch;
-use sliding_window::traits::MergeableCounter;
+use ecm::{EcmConfig, EcmSketch};
+use sliding_window::traits::{MergeableCounter, WindowCounter};
 use sliding_window::MergeError;
+use stream_gen::Event;
 
 /// Network accounting for one aggregation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -134,6 +135,36 @@ where
             quantile @ Answer::Quantile(_) => quantile,
         }
     }
+}
+
+/// Build one site's sketch from its timestamp-ordered event slice through
+/// the **batched ingest fast path**: runs of consecutive equal `(key, ts)`
+/// arrivals — the shape bursty site streams have — collapse into one
+/// weighted update each. The site's arrival ids live in their own
+/// `namespace`, and the result is bit-identical to per-event insertion, so
+/// sketches built this way merge exactly like conventionally built ones
+/// (including lossless randomized-wave composition across sites with
+/// distinct namespaces).
+///
+/// This is the leaf constructor to hand to [`aggregate_tree`] /
+/// [`aggregate_kary_tree`] when sites ingest at high rate.
+///
+/// # Panics
+/// If `namespace` does not fit the id-namespace contract of
+/// [`EcmSketch::set_id_namespace`] (must be `< 2²⁴`).
+pub fn site_sketch_batched<W: WindowCounter>(
+    cfg: &EcmConfig<W>,
+    namespace: u64,
+    events: &[Event],
+) -> EcmSketch<W> {
+    let mut sk = EcmSketch::new(cfg);
+    sk.set_id_namespace(namespace);
+    // Group directly over the borrowed slice — no O(n) staging copy on the
+    // hot ingest path.
+    for (e, n) in ecm::grouped_runs(events) {
+        sk.insert_weighted(e.key, e.ts, n);
+    }
+    sk
 }
 
 /// Aggregate `n_sites` per-site sketches up a balanced binary tree.
@@ -491,6 +522,61 @@ mod tests {
             let b = binary.root.point_query(key, now, window);
             assert_eq!(b, ternary.root.point_query(key, now, window), "key={key}");
             assert_eq!(b, star.root.point_query(key, now, window), "key={key}");
+        }
+    }
+
+    #[test]
+    fn batched_site_ingest_is_bit_identical_to_per_event() {
+        // Site streams with heavy same-(key, ts) bursts: the batched leaf
+        // constructor must reproduce the per-event sketch byte for byte,
+        // and the aggregated roots must therefore agree exactly.
+        let window = 100_000u64;
+        let cfg = EcmBuilder::new(0.15, 0.1, window).seed(19).eh_config();
+        let n_sites = 5u32;
+        let mut events = Vec::new();
+        for t in 1..=400u64 {
+            let burst = 1 + (t % 7);
+            for _ in 0..burst {
+                events.push(stream_gen::Event {
+                    ts: t * 3,
+                    key: t % 23,
+                    site: (t % u64::from(n_sites)) as u32,
+                });
+            }
+        }
+        let parts = partition_by_site(&events, n_sites);
+
+        let per_event_leaf = |i: usize| {
+            let mut sk = EcmEh::new(&cfg);
+            sk.set_id_namespace(i as u64 + 1);
+            for e in &parts[i] {
+                sk.insert(e.key, e.ts);
+            }
+            sk
+        };
+        for (i, part) in parts.iter().enumerate() {
+            let batched = site_sketch_batched(&cfg, i as u64 + 1, part);
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            per_event_leaf(i).encode(&mut a);
+            batched.encode(&mut b);
+            assert_eq!(a, b, "site {i}: batched leaf must be bit-identical");
+        }
+
+        let from_batched = aggregate_tree(
+            n_sites as usize,
+            |i| site_sketch_batched(&cfg, i as u64 + 1, &parts[i]),
+            &cfg.cell,
+        )
+        .unwrap();
+        let from_events = aggregate_tree(n_sites as usize, per_event_leaf, &cfg.cell).unwrap();
+        assert_eq!(from_batched.stats, from_events.stats);
+        let now = events.last().unwrap().ts;
+        for key in 0..23u64 {
+            assert_eq!(
+                from_batched.root.point_query(key, now, window),
+                from_events.root.point_query(key, now, window),
+                "key={key}"
+            );
         }
     }
 

@@ -27,7 +27,9 @@ pub mod geometric;
 pub mod propagation;
 pub mod topology;
 
-pub use aggregation::{aggregate_kary_tree, aggregate_tree, AggregationOutcome, TransferStats};
+pub use aggregation::{
+    aggregate_kary_tree, aggregate_tree, site_sketch_batched, AggregationOutcome, TransferStats,
+};
 pub use budget::{
     achieved_epsilon, multilevel_epsilon, naive_compounded_epsilon, per_level_errors, HierarchyPlan,
 };

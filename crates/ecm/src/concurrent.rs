@@ -42,9 +42,13 @@ fn route_hash(item: u64, seed: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Events are shipped to the shard workers in batches of this size; bounded
+/// Runs are shipped to the shard workers in batches of this size; bounded
 /// batching keeps the channels from buffering the whole stream.
 const BATCH: usize = 4096;
+
+/// One pre-grouped run shipped to a shard worker: `weight` consecutive
+/// occurrences of `item` at tick `ts`.
+type Run = (u64, u64, u64);
 
 /// A key-partitioned array of ECM-sketches with exact query composition.
 ///
@@ -104,6 +108,25 @@ impl<W: WindowCounter> ShardedEcm<W> {
     pub fn insert(&mut self, item: u64, ts: u64) {
         let s = self.shard_of(item);
         self.shards[s].insert(item, ts);
+    }
+
+    /// Insert `n` occurrences of `item` at tick `ts` through the owning
+    /// shard's weighted fast path (bit-identical to `n`
+    /// [`insert`](Self::insert) calls).
+    pub fn insert_weighted(&mut self, item: u64, ts: u64, n: u64) {
+        let s = self.shard_of(item);
+        self.shards[s].insert_weighted(item, ts, n);
+    }
+
+    /// Batched ingest: runs of consecutive equal `(item, ts)` events become
+    /// one weighted update on the owning shard. Consecutive events always
+    /// share a shard when they share an item, so grouping before routing
+    /// preserves every shard's arrival subsequence — the result is
+    /// bit-identical to per-event insertion.
+    pub fn ingest_batch(&mut self, events: &[crate::sketch::StreamEvent]) {
+        for (run, n) in crate::sketch::grouped_runs(events) {
+            self.insert_weighted(run.item, run.ts, n);
+        }
     }
 
     /// Point query: routed to the owning shard; Theorem 1 applies with the
@@ -200,9 +223,18 @@ where
     /// Build a sharded sketch by streaming `(item, tick)` pairs through one
     /// worker thread per shard.
     ///
-    /// Deterministic: the result is identical to sequential
-    /// [`insert`](Self::insert)ion of the same stream, because routing by
-    /// key hash preserves each shard's arrival subsequence (FIFO channels).
+    /// The dispatcher ships **pre-grouped runs** over the bounded channels:
+    /// successive same-shard events with equal `(item, tick)` coalesce into
+    /// one `(item, tick, weight)` record, which the worker applies through
+    /// the weighted fast path. On bursty streams this cuts both the channel
+    /// traffic and the per-event hashing by the mean burst length.
+    ///
+    /// Deterministic: the result is bit-identical to sequential
+    /// [`insert`](Self::insert)ion of the same stream — routing by key hash
+    /// preserves each shard's arrival subsequence (FIFO channels), and a
+    /// coalesced run covers events that are consecutive *within its shard's
+    /// substream*, so the weighted update assigns the same arrival ids the
+    /// per-event path would.
     ///
     /// # Panics
     /// If `shards == 0`, or propagates a worker panic (e.g. decreasing
@@ -218,27 +250,44 @@ where
             let mut handles = Vec::with_capacity(shards);
             for i in 0..shards {
                 // Bounded: at most a few batches in flight per shard.
-                let (tx, rx) = mpsc::sync_channel::<Vec<(u64, u64)>>(4);
+                let (tx, rx) = mpsc::sync_channel::<Vec<Run>>(4);
                 senders.push(tx);
                 handles.push(scope.spawn(move || {
                     let mut sk = EcmSketch::new(cfg);
                     sk.set_id_namespace(i as u64 + 1);
                     while let Ok(batch) = rx.recv() {
-                        for (item, ts) in batch {
-                            sk.insert(item, ts);
+                        for (item, ts, weight) in batch {
+                            sk.insert_weighted(item, ts, weight);
                         }
                     }
                     sk
                 }));
             }
-            let mut batches: Vec<Vec<(u64, u64)>> =
+            let mut batches: Vec<Vec<Run>> =
                 (0..shards).map(|_| Vec::with_capacity(BATCH)).collect();
+            // Per-shard open run, coalescing consecutive same-shard
+            // duplicates even when other shards' events interleave.
+            let mut pending: Vec<Option<Run>> = vec![None; shards];
             for (item, ts) in events {
                 let s = (route_hash(item, route_seed) % shards as u64) as usize;
-                batches[s].push((item, ts));
-                if batches[s].len() == BATCH {
-                    let full = std::mem::replace(&mut batches[s], Vec::with_capacity(BATCH));
-                    senders[s].send(full).expect("worker alive");
+                match &mut pending[s] {
+                    Some((pi, pt, w)) if *pi == item && *pt == ts => *w += 1,
+                    slot => {
+                        if let Some(run) = slot.take() {
+                            batches[s].push(run);
+                            if batches[s].len() == BATCH {
+                                let full =
+                                    std::mem::replace(&mut batches[s], Vec::with_capacity(BATCH));
+                                senders[s].send(full).expect("worker alive");
+                            }
+                        }
+                        *slot = Some((item, ts, 1));
+                    }
+                }
+            }
+            for (s, run) in pending.into_iter().enumerate() {
+                if let Some(run) = run {
+                    batches[s].push(run);
                 }
             }
             for (s, batch) in batches.into_iter().enumerate() {
@@ -281,13 +330,15 @@ where
                     scope.spawn(move || {
                         let mut sk = EcmSketch::new(cfg);
                         sk.set_id_namespace(i as u64 + 1);
-                        for (item, ts) in part {
+                        // Coalesce consecutive duplicates into weighted
+                        // updates (bit-identical; see ingest_parallel).
+                        for ((item, ts), w) in crate::sketch::grouped_runs(&part) {
                             debug_assert_eq!(
                                 (route_hash(item, route_seed) % shards as u64) as usize,
                                 i,
                                 "item {item} routed to the wrong shard"
                             );
-                            sk.insert(item, ts);
+                            sk.insert_weighted(item, ts, w);
                         }
                         sk
                     })

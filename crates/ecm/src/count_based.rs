@@ -60,6 +60,28 @@ impl<W: WindowCounter> CountBasedEcm<W> {
             .insert_with_id(item, self.arrivals, self.arrivals);
     }
 
+    /// Record `n` occurrences of `item`; the count-based clock advances by
+    /// `n`, so — unlike the same-tick bursts of time-based sketches — the
+    /// occurrences land on `n` **consecutive** ticks. The fast path hashes
+    /// the `d` bucket indices once per run instead of once per occurrence
+    /// and is bit-identical to `n` [`insert`](Self::insert) calls.
+    pub fn insert_many(&mut self, item: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let first = self.arrivals + 1;
+        self.arrivals += n;
+        self.inner.insert_ticking_run(item, first, first, n);
+    }
+
+    /// Batched ingest: runs of consecutive equal items collapse into
+    /// [`insert_many`](Self::insert_many) calls.
+    pub fn ingest_batch(&mut self, items: &[u64]) {
+        for (item, n) in crate::sketch::grouped_runs(items) {
+            self.insert_many(item, n);
+        }
+    }
+
     /// Estimated frequency of `item` among the last `last_n` arrivals.
     #[deprecated(
         since = "0.2.0",
@@ -206,6 +228,32 @@ impl<W: WindowCounter> CountBasedHierarchy<W> {
     pub fn insert(&mut self, x: u64) {
         self.arrivals += 1;
         self.inner.insert(x, self.arrivals);
+    }
+
+    /// Record `n` occurrences of key `x` on `n` consecutive clock ticks —
+    /// one hashed run per level, bit-identical to `n`
+    /// [`insert`](Self::insert) calls.
+    ///
+    /// # Panics
+    /// If `x` lies outside the universe.
+    pub fn insert_many(&mut self, x: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let first = self.arrivals + 1;
+        self.arrivals += n;
+        self.inner.insert_ticking_run(x, first, n);
+    }
+
+    /// Batched ingest: runs of consecutive equal keys collapse into
+    /// [`insert_many`](Self::insert_many) calls.
+    ///
+    /// # Panics
+    /// If any key lies outside the universe.
+    pub fn ingest_batch(&mut self, items: &[u64]) {
+        for (x, n) in crate::sketch::grouped_runs(items) {
+            self.insert_many(x, n);
+        }
     }
 
     /// Heavy hitters among the last `last_n` arrivals.

@@ -76,6 +76,46 @@ impl<W: WindowCounter> EcmHierarchy<W> {
         }
     }
 
+    /// Insert `n` occurrences of key `x`, all at tick `ts` — one weighted
+    /// update per level. Bit-identical to `n` [`insert`](Self::insert)
+    /// calls (each level sketch advances its sequence by `n`).
+    ///
+    /// # Panics
+    /// If `x` lies outside the universe.
+    pub fn insert_weighted(&mut self, x: u64, ts: u64, n: u64) {
+        assert!(
+            self.bits == 63 || x < (1u64 << self.bits),
+            "key {x} outside universe"
+        );
+        for (l, sk) in self.sketches.iter_mut().enumerate() {
+            sk.insert_weighted(x >> l, ts, n);
+        }
+    }
+
+    /// Batched ingest: runs of consecutive equal `(item, ts)` events become
+    /// one weighted update per level (see [`EcmSketch::ingest_batch`]).
+    ///
+    /// # Panics
+    /// If any key lies outside the universe.
+    pub fn ingest_batch(&mut self, events: &[crate::sketch::StreamEvent]) {
+        for (run, n) in crate::sketch::grouped_runs(events) {
+            self.insert_weighted(run.item, run.ts, n);
+        }
+    }
+
+    /// Count-based helper mirroring [`EcmSketch::insert_ticking_run_auto`]:
+    /// `n` occurrences of `x` at consecutive ticks, one hashed run per
+    /// level.
+    pub(crate) fn insert_ticking_run(&mut self, x: u64, first_ts: u64, n: u64) {
+        assert!(
+            self.bits == 63 || x < (1u64 << self.bits),
+            "key {x} outside universe"
+        );
+        for (l, sk) in self.sketches.iter_mut().enumerate() {
+            sk.insert_ticking_run_auto(x >> l, first_ts, n);
+        }
+    }
+
     /// Estimated weight of one dyadic range within `(now − range, now]`.
     #[allow(deprecated)] // plumbing shared by the legacy shims and the query layer
     pub fn range_point(&self, r: DyadicRange, now: u64, range: u64) -> f64 {

@@ -62,4 +62,4 @@ pub use count_based::{CountBasedEcm, CountBasedHierarchy};
 pub use decayed_cm::DecayedCm;
 pub use hierarchy::{EcmHierarchy, Threshold};
 pub use query::{Answer, Estimate, Guarantee, Query, QueryError, SketchReader, WindowSpec};
-pub use sketch::{EcmDw, EcmEh, EcmEw, EcmExact, EcmRw, EcmSketch};
+pub use sketch::{grouped_runs, EcmDw, EcmEh, EcmEw, EcmExact, EcmRw, EcmSketch, StreamEvent};

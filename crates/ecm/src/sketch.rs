@@ -12,6 +12,51 @@ use sliding_window::{
 
 const CODEC_VERSION: u8 = 1;
 
+/// One `(item, tick)` stream arrival — the unit of the batched ingest path
+/// ([`EcmSketch::ingest_batch`] and the batch entry points layered on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamEvent {
+    /// Stream item (the key being counted).
+    pub item: u64,
+    /// Arrival tick; non-decreasing within a batch and across batches.
+    pub ts: u64,
+}
+
+impl StreamEvent {
+    /// Build an event.
+    pub fn new(item: u64, ts: u64) -> Self {
+        StreamEvent { item, ts }
+    }
+}
+
+impl From<(u64, u64)> for StreamEvent {
+    /// `(item, ts)` pairs — the shape the sharded ingestion APIs use.
+    fn from((item, ts): (u64, u64)) -> Self {
+        StreamEvent { item, ts }
+    }
+}
+
+/// Group a slice into runs of **adjacent** equal elements, yielding each
+/// run's first element and its length. This is the one grouping rule every
+/// batched ingest surface shares: only adjacency may be exploited, because
+/// reordering occurrences would permute the arrival ids the randomized
+/// wave samples by.
+pub fn grouped_runs<T: PartialEq + Copy>(items: &[T]) -> impl Iterator<Item = (T, u64)> + '_ {
+    let mut i = 0usize;
+    std::iter::from_fn(move || {
+        if i >= items.len() {
+            return None;
+        }
+        let head = items[i];
+        let mut n = 1usize;
+        while i + n < items.len() && items[i + n] == head {
+            n += 1;
+        }
+        i += n;
+        Some((head, n as u64))
+    })
+}
+
 /// ECM-sketch over exponential histograms — the paper's default (ECM-EH).
 pub type EcmEh = EcmSketch<ExponentialHistogram>;
 /// ECM-sketch over deterministic waves (ECM-DW).
@@ -146,10 +191,96 @@ impl<W: WindowCounter> EcmSketch<W> {
     }
 
     /// Insert `weight` occurrences of `item` at tick `ts`.
+    ///
+    /// The `d` bucket indices are hashed once and each touched cell absorbs
+    /// the whole burst through its weighted fast path, so the cost is
+    /// `O(d · cell_burst_cost)` instead of `O(weight · d)`. **Arrival-id
+    /// semantics:** the burst is `weight` distinct arrivals — the local
+    /// sequence number advances by `weight` and the occurrences carry the
+    /// consecutive ids `seq+1 ..= seq+weight`, exactly as if
+    /// [`insert`](Self::insert) had been called `weight` times. The state is
+    /// bit-identical to that loop for every counter type, including the
+    /// id-sampled randomized wave.
     pub fn insert_weighted(&mut self, item: u64, ts: u64, weight: u64) {
-        for _ in 0..weight {
-            self.insert(item, ts);
+        if weight == 0 {
+            return;
         }
+        let first_id = (self.id_namespace << 40) + self.seq + 1;
+        self.seq += weight;
+        self.insert_weighted_with_id(item, ts, first_id, weight);
+    }
+
+    /// Insert `weight` occurrences of `item` at tick `ts` with an explicit
+    /// **first** arrival id; the occurrences carry the consecutive ids
+    /// `first_id .. first_id + weight`. Like
+    /// [`insert_with_id`](Self::insert_with_id), this does not advance the
+    /// local sequence counter — callers own the id space.
+    pub fn insert_weighted_with_id(&mut self, item: u64, ts: u64, first_id: u64, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        debug_assert!(
+            self.lifetime == 0 || ts >= self.last_ts,
+            "timestamps must be non-decreasing"
+        );
+        self.last_ts = ts;
+        self.lifetime += weight;
+        for j in 0..self.depth {
+            let idx = j * self.width + self.hashes.bucket(j, item, self.width);
+            self.cells[idx].insert_weighted(ts, first_id, weight);
+        }
+    }
+
+    /// Batched ingest: feed a timestamp-ordered slice of events, collapsing
+    /// each run of **consecutive** equal `(item, ts)` events into one
+    /// weighted update (one hash evaluation per row per run instead of per
+    /// event). Arrival order — and with it the id assignment — is
+    /// preserved, so the resulting sketch is bit-identical to inserting the
+    /// events one at a time; only adjacent duplicates are grouped, because
+    /// reordering occurrences would permute the ids the randomized wave
+    /// samples by.
+    pub fn ingest_batch(&mut self, events: &[StreamEvent]) {
+        for (run, n) in grouped_runs(events) {
+            self.insert_weighted(run.item, run.ts, n);
+        }
+    }
+
+    /// Count-based helper: `n` occurrences of `item` at the **consecutive**
+    /// ticks `first_ts .. first_ts + n`, carrying ids equal to their ticks'
+    /// offsets from `first_id`. This is the burst shape of count-based
+    /// windows, where the clock itself is the arrival index (one tick per
+    /// occurrence); the win over a plain loop is hashing the `d` bucket
+    /// indices once per run.
+    pub(crate) fn insert_ticking_run(&mut self, item: u64, first_ts: u64, first_id: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        debug_assert!(
+            self.lifetime == 0 || first_ts >= self.last_ts,
+            "timestamps must be non-decreasing"
+        );
+        self.last_ts = first_ts + (n - 1);
+        self.lifetime += n;
+        for j in 0..self.depth {
+            let idx = j * self.width + self.hashes.bucket(j, item, self.width);
+            let cell = &mut self.cells[idx];
+            for k in 0..n {
+                cell.insert(first_ts + k, first_id + k);
+            }
+        }
+    }
+
+    /// Like [`insert_ticking_run`](Self::insert_ticking_run) with
+    /// auto-assigned ids: advances the local sequence by `n` and derives the
+    /// id range from it (namespaced), mirroring `n` calls of
+    /// [`insert`](Self::insert) at consecutive ticks.
+    pub(crate) fn insert_ticking_run_auto(&mut self, item: u64, first_ts: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let first_id = (self.id_namespace << 40) + self.seq + 1;
+        self.seq += n;
+        self.insert_ticking_run(item, first_ts, first_id, n);
     }
 
     /// Point query (paper §4.1, Theorem 1): estimated frequency of `item`

@@ -138,9 +138,55 @@ impl DeterministicWave {
     }
 
     /// Record `n` arrivals, all at tick `ts`.
+    ///
+    /// Cost is `O(levels · capacity)` independent of `n` — the new ranks
+    /// divisible by each level's stride are enumerated directly, and ranks
+    /// that a sequential build would push and then evict are never
+    /// materialized. The resulting state is **bit-identical** to `n`
+    /// successive [`insert_one`](Self::insert_one) calls.
     pub fn insert_ones(&mut self, ts: u64, n: u64) {
-        for _ in 0..n {
+        if n == 0 {
+            return;
+        }
+        if n == 1 {
             self.insert_one(ts);
+            return;
+        }
+        debug_assert!(
+            self.count == 0 || ts >= self.last_ts,
+            "timestamps must be non-decreasing"
+        );
+        self.last_ts = ts;
+        let start = self.count;
+        self.count += n;
+        let cap = self.cap as u64;
+        for i in 0..self.queues.len() {
+            // Level i remembers the ranks divisible by 2^i; the burst
+            // contributes the multiples in (start, start + n].
+            let stride = 1u64 << i;
+            let hi = self.count / stride;
+            let num_new = hi - start / stride;
+            if num_new == 0 {
+                // Multiples of 2^(i+1) are a subset of multiples of 2^i:
+                // every higher level is empty too.
+                break;
+            }
+            // Entries a sequential build would push and evict again within
+            // this burst are skipped outright; skipping one is an eviction.
+            let skip = num_new.saturating_sub(cap);
+            if skip > 0 {
+                self.evicted[i] = true;
+            }
+            for m in (hi - (num_new - skip) + 1)..=hi {
+                self.queues[i].push_back(Entry {
+                    rank: m * stride,
+                    pos: ts,
+                });
+                if self.queues[i].len() > self.cap {
+                    self.queues[i].pop_front();
+                    self.evicted[i] = true;
+                }
+            }
         }
     }
 
@@ -270,6 +316,10 @@ impl WindowCounter for DeterministicWave {
         self.insert_one(ts);
     }
 
+    fn insert_weighted(&mut self, ts: u64, _first_id: u64, n: u64) {
+        self.insert_ones(ts, n);
+    }
+
     fn query(&self, now: u64, range: u64) -> f64 {
         self.estimate(now, range)
     }
@@ -338,8 +388,14 @@ impl WindowCounter for DeterministicWave {
                 let dr = get_varint(input, "dw rank")?;
                 let dp = get_varint(input, "dw pos")?;
                 let e = Entry {
-                    rank: prev.rank + dr,
-                    pos: prev.pos + dp,
+                    rank: prev
+                        .rank
+                        .checked_add(dr)
+                        .ok_or(CodecError::Corrupt { context: "dw rank" })?,
+                    pos: prev
+                        .pos
+                        .checked_add(dp)
+                        .ok_or(CodecError::Corrupt { context: "dw pos" })?,
                 };
                 q.push_back(e);
                 prev = e;

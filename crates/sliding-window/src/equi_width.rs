@@ -154,6 +154,10 @@ impl WindowCounter for EquiWidthWindow {
         self.insert_ones(ts, 1);
     }
 
+    fn insert_weighted(&mut self, ts: u64, _first_id: u64, n: u64) {
+        self.insert_ones(ts, n);
+    }
+
     fn query(&self, now: u64, range: u64) -> f64 {
         self.estimate(now, range)
     }
@@ -202,7 +206,9 @@ impl WindowCounter for EquiWidthWindow {
             if count == 0 || (i > 0 && di == 0) {
                 return Err(CodecError::Corrupt { context: "ew slot" });
             }
-            prev += di;
+            prev = prev.checked_add(di).ok_or(CodecError::Corrupt {
+                context: "ew index",
+            })?;
             slots.push_back(Slot { index: prev, count });
         }
         let last_ts = get_varint(input, "ew last_ts")?;

@@ -126,6 +126,10 @@ impl WindowCounter for ExactWindow {
         self.insert_ones(ts, 1);
     }
 
+    fn insert_weighted(&mut self, ts: u64, _first_id: u64, n: u64) {
+        self.insert_ones(ts, n);
+    }
+
     fn query(&self, now: u64, range: u64) -> f64 {
         self.count(now, range) as f64
     }
@@ -161,7 +165,9 @@ impl WindowCounter for ExactWindow {
             return Err(CodecError::BadVersion { found: version });
         }
         let n = get_varint(input, "exact runs")? as usize;
-        let mut runs = VecDeque::with_capacity(n);
+        // A corrupted length must not pre-allocate unbounded memory; the
+        // deque grows naturally if the runs genuinely decode.
+        let mut runs = VecDeque::with_capacity(n.min(1024));
         let mut prev = 0u64;
         let mut total = 0u64;
         for _ in 0..n {
@@ -172,8 +178,12 @@ impl WindowCounter for ExactWindow {
                     context: "exact run",
                 });
             }
-            prev += dt;
-            total += c;
+            prev = prev.checked_add(dt).ok_or(CodecError::Corrupt {
+                context: "exact tick",
+            })?;
+            total = total.checked_add(c).ok_or(CodecError::Corrupt {
+                context: "exact count",
+            })?;
             runs.push_back((prev, c));
         }
         let last_ts = get_varint(input, "exact last_ts")?;

@@ -138,6 +138,12 @@ impl ExponentialHistogram {
     }
 
     /// Record `n` 1-bits, all at tick `ts`.
+    ///
+    /// Cost is `O(levels · capacity)` independent of `n`: same-tick bits
+    /// are carried up the level cascade arithmetically (see
+    /// [`push_bits_bulk`](Self::push_bits_bulk)), producing a structure
+    /// **bit-identical** to `n` successive [`insert_one`](Self::insert_one)
+    /// calls — the equivalence the differential ingest suite pins down.
     pub fn insert_ones(&mut self, ts: u64, n: u64) {
         debug_assert!(
             self.first_ts.is_none() || ts >= self.last_ts,
@@ -152,8 +158,15 @@ impl ExponentialHistogram {
         }
         self.last_ts = ts;
         self.expire(ts);
-        for _ in 0..n {
-            self.push_bit(ts);
+        // Small bursts: the plain cascade is 2·n amortized deque ops, which
+        // beats the bulk path's fixed O(capacity) per touched level until
+        // the burst is a few times the level capacity.
+        if n < 2 * self.cap as u64 {
+            for _ in 0..n {
+                self.push_bit(ts);
+            }
+        } else {
+            self.push_bits_bulk(ts, n);
         }
         self.total += n;
         self.lifetime += n;
@@ -177,6 +190,76 @@ impl ExponentialHistogram {
             // up (bucket sizes are non-decreasing with age), so it enters at
             // the front (newest side).
             self.levels[i + 1].push_front(newer);
+            i += 1;
+        }
+    }
+
+    /// Push `n` same-tick bits with one pass per level instead of `n`
+    /// cascades.
+    ///
+    /// Level-by-level reformulation of the cascade: the buckets arriving at
+    /// level `i` are exactly the carries level `i − 1` emitted, in emission
+    /// order, and a level's final state depends only on its initial state
+    /// and its arrival sequence. Each level's arrivals are `explicit`
+    /// end-ticks (carries that merged pre-existing buckets; ascending, at
+    /// most one per pre-existing bucket pair) followed by `run` buckets
+    /// ending at `ts`. The explicit prefix is replayed one bucket at a time
+    /// (`O(capacity)`); the `ts`-run is resolved arithmetically: once the
+    /// level is topped up, every second push emits one `ts` carry, so the
+    /// carry count, the surviving pre-existing buckets and the surviving
+    /// `ts` buckets all follow in closed form.
+    fn push_bits_bulk(&mut self, ts: u64, n: u64) {
+        let cap = self.cap;
+        let cap64 = cap as u64;
+        // Carry buffers are reused across levels (≤ capacity entries each).
+        let mut explicit: Vec<u64> = Vec::with_capacity(cap);
+        let mut out_explicit: Vec<u64> = Vec::with_capacity(cap);
+        let mut run: u64 = n;
+        let mut i = 0usize;
+        while !explicit.is_empty() || run > 0 {
+            if self.levels.len() == i {
+                self.levels.push(VecDeque::with_capacity(cap + 1));
+            }
+            let level = &mut self.levels[i];
+            out_explicit.clear();
+            // Replay the explicit carries individually: each may merge the
+            // two oldest pre-existing buckets of this level.
+            for &end in &explicit {
+                level.push_front(end);
+                if level.len() > cap {
+                    let _older = level.pop_back().expect("level over capacity");
+                    let newer = level.pop_back().expect("level over capacity");
+                    out_explicit.push(newer);
+                }
+            }
+            // The ts-run, in closed form. With `len` buckets present, the
+            // first carry fires at push `cap − len + 1`, then one carry per
+            // two pushes.
+            let len = level.len() as u64;
+            let carries = if run + len <= cap64 {
+                0
+            } else {
+                1 + (run - (cap64 - len + 1)) / 2
+            };
+            // Carry j merges the (2j−1)-th and (2j)-th oldest buckets and
+            // keeps the newer; while those are pre-existing buckets the
+            // carry's end-tick is explicit, afterwards it is `ts`.
+            let consumed_old = (2 * carries).min(len);
+            for j in 1..=consumed_old {
+                let end = level.pop_back().expect("old bucket");
+                if j % 2 == 0 {
+                    out_explicit.push(end);
+                }
+            }
+            let ts_carries = carries - consumed_old / 2;
+            // Surviving ts buckets: pushed minus those consumed by carries.
+            let ts_kept = run - (2 * carries - consumed_old);
+            for _ in 0..ts_kept {
+                level.push_front(ts);
+            }
+            debug_assert!(level.len() <= cap);
+            std::mem::swap(&mut explicit, &mut out_explicit);
+            run = ts_carries;
             i += 1;
         }
     }
@@ -359,6 +442,10 @@ impl WindowCounter for ExponentialHistogram {
         self.insert_one(ts);
     }
 
+    fn insert_weighted(&mut self, ts: u64, _first_id: u64, n: u64) {
+        self.insert_ones(ts, n);
+    }
+
     fn query(&self, now: u64, range: u64) -> f64 {
         self.estimate(now, range)
     }
@@ -463,11 +550,21 @@ impl WindowCounter for ExponentialHistogram {
         } else {
             None
         };
-        let sum: u64 = levels
+        // Checked fold: 64 corrupt levels of large buckets must error on
+        // the mismatch, not overflow the consistency sum.
+        let sum = levels
             .iter()
             .enumerate()
-            .map(|(i, l)| (l.len() as u64) << i)
-            .sum();
+            .try_fold(0u64, |acc, (i, l)| {
+                // checked_mul, not checked_shl: a shift silently discards
+                // overflowing value bits and would let a crafted total pass.
+                1u64.checked_shl(i as u32)
+                    .and_then(|size| (l.len() as u64).checked_mul(size))
+                    .and_then(|v| acc.checked_add(v))
+            })
+            .ok_or(CodecError::Corrupt {
+                context: "eh total",
+            })?;
         if sum != total {
             return Err(CodecError::Corrupt {
                 context: "eh total",

@@ -396,3 +396,57 @@ proptest! {
         }
     }
 }
+
+#[test]
+fn bulk_insert_is_bit_identical_to_sequential() {
+    // Bursts large enough to carry several levels up in one call, mixed
+    // with singleton inserts and window-spanning gaps.
+    let cfg = EhConfig::new(0.1, 500);
+    let mut seq = ExponentialHistogram::new(&cfg);
+    let mut bulk = ExponentialHistogram::new(&cfg);
+    let mut t = 0u64;
+    for (gap, w) in [(1u64, 1u64), (0, 900), (3, 7), (600, 1), (1, 4096), (2, 2)] {
+        t += gap;
+        for _ in 0..w {
+            seq.insert_one(t);
+        }
+        bulk.insert_ones(t, w);
+    }
+    seq.validate().unwrap();
+    bulk.validate().unwrap();
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    seq.encode(&mut a);
+    bulk.encode(&mut b);
+    assert_eq!(a, b, "bulk cascade must replicate the sequential state");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The arithmetic carry propagation of `insert_ones` leaves exactly the
+    /// state `n` single-bit cascades would: encodings are byte-identical
+    /// across random bursty traces with ties and gaps.
+    #[test]
+    fn prop_bulk_insert_matches_sequential(
+        steps in proptest::collection::vec((0u64..40, 1u64..300), 1..60),
+        eps in 0.05f64..0.6,
+        window in 20u64..2000,
+    ) {
+        let cfg = EhConfig::new(eps, window);
+        let mut seq = ExponentialHistogram::new(&cfg);
+        let mut bulk = ExponentialHistogram::new(&cfg);
+        let mut t = 1u64;
+        for (gap, w) in steps {
+            t += gap;
+            for _ in 0..w {
+                seq.insert_one(t);
+            }
+            bulk.insert_ones(t, w);
+        }
+        prop_assert!(bulk.validate().is_ok(), "{:?}", bulk.validate());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        seq.encode(&mut a);
+        bulk.encode(&mut b);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -427,14 +427,22 @@ impl HybridHistogram {
                     }
                     bins[i] = c;
                 }
-                let b = HybridBucket { end, bins };
-                if b.total() != 1u64 << li {
+                // Checked sum: corrupted bin counts must error, not overflow.
+                let bucket_total = bins
+                    .iter()
+                    .try_fold(0u64, |acc, &c| acc.checked_add(c))
+                    .ok_or(CodecError::Corrupt {
+                        context: "hybrid bucket size",
+                    })?;
+                if bucket_total != 1u64 << li {
                     return Err(CodecError::Corrupt {
                         context: "hybrid bucket size",
                     });
                 }
-                total += b.total();
-                level.push_back(b);
+                total = total.checked_add(bucket_total).ok_or(CodecError::Corrupt {
+                    context: "hybrid total",
+                })?;
+                level.push_back(HybridBucket { end, bins });
             }
             levels.push(level);
         }

@@ -177,6 +177,47 @@ impl RandomizedWave {
         }
     }
 
+    /// Record `n` arrivals at tick `ts` carrying the **consecutive** ids
+    /// `first_id .. first_id + n` — a burst of distinct occurrences, not an
+    /// increment-by-`n` (see the [`WindowCounter`] trait docs).
+    ///
+    /// Every id is still hashed individually — the geometric level of an
+    /// arrival is a pure function of `(seed, id)` and admits no arithmetic
+    /// shortcut — so the state is **bit-identical** to `n` successive
+    /// [`insert_one`](Self::insert_one) calls. What the burst path saves is
+    /// the level-0 queue churn: of the `n` level-0 entries only the last
+    /// `capacity` can survive, so the rest are never pushed.
+    pub fn insert_weighted(&mut self, ts: u64, first_id: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        debug_assert!(
+            self.count == 0 || ts >= self.last_ts,
+            "timestamps must be non-decreasing"
+        );
+        self.last_ts = ts;
+        self.count += n;
+        // Level 0 stores every arrival: entries a sequential build would
+        // push and evict again within this burst are skipped outright, and
+        // skipping one is an eviction.
+        let skip = n.saturating_sub(self.cap as u64);
+        if skip > 0 {
+            self.evicted[0] = true;
+        }
+        for k in 0..n {
+            let id = first_id + k;
+            let lvl = self.level_of(id);
+            let lo = usize::from(k < skip);
+            for i in lo..=lvl {
+                self.queues[i].push_back(Sample { pos: ts, id });
+                if self.queues[i].len() > self.cap {
+                    self.queues[i].pop_front();
+                    self.evicted[i] = true;
+                }
+            }
+        }
+    }
+
     /// Lifetime arrivals observed.
     pub fn lifetime_ones(&self) -> u64 {
         self.count
@@ -227,6 +268,10 @@ impl WindowCounter for RandomizedWave {
 
     fn insert(&mut self, ts: u64, id: u64) {
         self.insert_one(ts, id);
+    }
+
+    fn insert_weighted(&mut self, ts: u64, first_id: u64, n: u64) {
+        RandomizedWave::insert_weighted(self, ts, first_id, n);
     }
 
     fn query(&self, now: u64, range: u64) -> f64 {
@@ -299,7 +344,9 @@ impl WindowCounter for RandomizedWave {
             for _ in 0..n {
                 let dp = get_varint(input, "rw pos")?;
                 let id = get_varint(input, "rw id")?;
-                prev_pos += dp;
+                prev_pos = prev_pos
+                    .checked_add(dp)
+                    .ok_or(CodecError::Corrupt { context: "rw pos" })?;
                 q.push_back(Sample { pos: prev_pos, id });
             }
             queues.push(q);

@@ -50,6 +50,19 @@ impl WindowGuarantee {
 ///   mergeable.
 /// * [`query`](WindowCounter::query) never sees a range larger than
 ///   [`window_len`](WindowCounter::window_len); callers clamp.
+///
+/// # Arrival-id semantics of weighted inserts
+///
+/// [`insert_weighted`](WindowCounter::insert_weighted) records a *burst*:
+/// `n` distinct arrivals that share one tick. It is **not** an
+/// increment-by-`n` of a single arrival — each of the `n` occurrences keeps
+/// its own stream-unique identity, namely the consecutive ids
+/// `first_id, first_id + 1, …, first_id + n − 1`. Callers that assign ids
+/// from a sequence counter must therefore advance the counter by `n`, not
+/// by 1. This is what lets the randomized wave sample a burst exactly as if
+/// the occurrences had arrived one at a time (and keeps independently built
+/// waves losslessly mergeable); deterministic synopses ignore the ids and
+/// only count the `n` bits.
 pub trait WindowCounter: Clone {
     /// Constructor parameters (window length, error targets, seeds, ...).
     type Config: Clone + std::fmt::Debug;
@@ -59,6 +72,20 @@ pub trait WindowCounter: Clone {
 
     /// Record one arrival with stream-unique `id` at tick `ts`.
     fn insert(&mut self, ts: u64, id: u64);
+
+    /// Record `n` arrivals, all at tick `ts`, carrying the consecutive
+    /// stream-unique ids `first_id .. first_id + n` (see the trait docs for
+    /// the arrival-id semantics). Equivalent to — and required to produce
+    /// exactly the same state as — `n` calls of
+    /// [`insert`](WindowCounter::insert) with incrementing ids, but
+    /// implementations override it with sub-linear fast paths (the
+    /// exponential histogram carries all `n` bits up its level cascade in
+    /// `O(levels · capacity)` regardless of `n`).
+    fn insert_weighted(&mut self, ts: u64, first_id: u64, n: u64) {
+        for k in 0..n {
+            self.insert(ts, first_id + k);
+        }
+    }
 
     /// Estimated number of arrivals with tick in `(now - range, now]`.
     ///

@@ -1,0 +1,323 @@
+//! Differential proof of the batched ingest fast path: for **every**
+//! window-counter implementation and **every** ECM backend, the weighted /
+//! batched entry points must produce state *bit-identical* (byte-equal
+//! encodings) to the equivalent sequential insert loop — including the
+//! id-sampled randomized wave, whose weighted path must consume the same
+//! per-occurrence arrival ids the loop would. Traces are random with
+//! bursts, same-tick ties, and window-spanning gaps.
+//!
+//! The generators are seeded (`stream_gen::SeededRng`), so every case is
+//! reproducible; each property runs over many sampled traces.
+
+use ecm_suite::ecm::{
+    CountBasedEcm, CountBasedHierarchy, EcmBuilder, EcmConfig, EcmHierarchy, EcmSketch, ShardedEcm,
+    StreamEvent,
+};
+use ecm_suite::sliding_window::traits::WindowCounter;
+use ecm_suite::sliding_window::{
+    DeterministicWave, DwConfig, EhConfig, EquiWidthConfig, EquiWidthWindow, ExactWindow,
+    ExactWindowConfig, ExponentialHistogram, RandomizedWave, RwConfig,
+};
+use ecm_suite::stream_gen::SeededRng;
+
+/// One weighted trace step: a gap, then a burst of one key at one tick.
+#[derive(Debug, Clone, Copy)]
+struct Burst {
+    gap: u64,
+    key: u64,
+    weight: u64,
+}
+
+/// Random bursty trace: mostly small runs, a heavy tail of large ones, and
+/// occasional gaps long enough to expire the whole window.
+fn random_bursts(rng: &mut SeededRng, steps: usize, window: u64, keys: u64) -> Vec<Burst> {
+    (0..steps)
+        .map(|_| {
+            let gap = if rng.gen_bool(0.05) {
+                window + rng.gen_range(1..window.max(2))
+            } else {
+                rng.gen_range(0..5u64)
+            };
+            let weight = if rng.gen_bool(0.4) {
+                1 + rng.gen_range(0..3u64)
+            } else {
+                1 + rng.gen_range(0..200u64)
+            };
+            Burst {
+                gap,
+                key: rng.gen_range(0..keys),
+                weight,
+            }
+        })
+        .collect()
+}
+
+fn encode_of<W: WindowCounter>(w: &W) -> Vec<u8> {
+    let mut buf = Vec::new();
+    w.encode(&mut buf);
+    buf
+}
+
+/// Window-counter level: trait `insert_weighted` vs the id-incrementing
+/// insert loop, byte-identical encodings on every trace.
+fn counter_differential<W: WindowCounter>(cfg: &W::Config, label: &str, seed: u64) {
+    let mut rng = SeededRng::seed_from_u64(seed);
+    for case in 0..25 {
+        let bursts = random_bursts(&mut rng, 40, 1_000, 1);
+        let mut seq = W::new(cfg);
+        let mut fast = W::new(cfg);
+        let mut ts = 1u64;
+        let mut id = 1u64;
+        for b in &bursts {
+            ts += b.gap;
+            for k in 0..b.weight {
+                seq.insert(ts, id + k);
+            }
+            fast.insert_weighted(ts, id, b.weight);
+            id += b.weight;
+        }
+        assert_eq!(
+            encode_of(&seq),
+            encode_of(&fast),
+            "{label} case {case}: weighted path diverged"
+        );
+        // Estimates must agree too (implied by the encoding, asserted for
+        // the randomized wave's sake where estimates are the contract).
+        for range in [1u64, 17, 500, 1_000] {
+            assert_eq!(seq.query(ts, range), fast.query(ts, range));
+        }
+    }
+}
+
+#[test]
+fn window_counters_weighted_equals_sequential() {
+    counter_differential::<ExponentialHistogram>(&EhConfig::new(0.1, 1_000), "eh", 11);
+    counter_differential::<ExponentialHistogram>(&EhConfig::new(0.4, 50), "eh-coarse", 12);
+    counter_differential::<DeterministicWave>(&DwConfig::new(0.1, 1_000, 300_000), "dw", 13);
+    counter_differential::<DeterministicWave>(&DwConfig::new(0.5, 60, 5_000), "dw-tight", 14);
+    counter_differential::<RandomizedWave>(&RwConfig::new(0.3, 0.2, 1_000, 300_000, 99), "rw", 15);
+    counter_differential::<RandomizedWave>(&RwConfig::new(0.5, 0.4, 80, 4_000, 7), "rw-small", 16);
+    counter_differential::<ExactWindow>(&ExactWindowConfig::new(1_000), "exact", 17);
+    counter_differential::<EquiWidthWindow>(&EquiWidthConfig::new(1_000, 20), "ew", 18);
+}
+
+/// Sketch level: `insert_weighted` + `ingest_batch` vs the per-event loop,
+/// byte-identical sketches for every backend.
+fn sketch_differential<W: WindowCounter>(cfg: &EcmConfig<W>, label: &str, seed: u64) {
+    let mut rng = SeededRng::seed_from_u64(seed);
+    for case in 0..10 {
+        let bursts = random_bursts(&mut rng, 60, 1_000, 32);
+        let mut seq = EcmSketch::new(cfg);
+        let mut weighted = EcmSketch::new(cfg);
+        let mut batched = EcmSketch::new(cfg);
+        let mut events = Vec::new();
+        let mut ts = 1u64;
+        for b in &bursts {
+            ts += b.gap;
+            for _ in 0..b.weight {
+                seq.insert(b.key, ts);
+                events.push(StreamEvent::new(b.key, ts));
+            }
+            weighted.insert_weighted(b.key, ts, b.weight);
+        }
+        batched.ingest_batch(&events);
+
+        let (mut a, mut b_, mut c) = (Vec::new(), Vec::new(), Vec::new());
+        seq.encode(&mut a);
+        weighted.encode(&mut b_);
+        batched.encode(&mut c);
+        assert_eq!(a, b_, "{label} case {case}: insert_weighted diverged");
+        assert_eq!(a, c, "{label} case {case}: ingest_batch diverged");
+    }
+}
+
+#[test]
+fn ecm_backends_batched_equals_sequential() {
+    let b = EcmBuilder::new(0.15, 0.1, 1_000)
+        .max_arrivals(400_000)
+        .seed(5);
+    sketch_differential(&b.eh_config(), "ecm-eh", 21);
+    sketch_differential(&b.dw_config(), "ecm-dw", 22);
+    sketch_differential(&b.rw_config(), "ecm-rw", 23);
+    sketch_differential(&b.exact_config(), "ecm-exact", 24);
+    sketch_differential(&b.ew_config(16), "ecm-ew", 25);
+}
+
+#[test]
+fn hierarchy_batched_equals_sequential() {
+    let cfg = EcmBuilder::new(0.2, 0.1, 1_000).seed(31).eh_config();
+    let mut rng = SeededRng::seed_from_u64(41);
+    for case in 0..6 {
+        let bursts = random_bursts(&mut rng, 50, 1_000, 256);
+        let mut seq = EcmHierarchy::new(8, &cfg);
+        let mut batched = EcmHierarchy::new(8, &cfg);
+        let mut events = Vec::new();
+        let mut ts = 1u64;
+        for b in &bursts {
+            ts += b.gap;
+            for _ in 0..b.weight {
+                seq.insert(b.key, ts);
+                events.push(StreamEvent::new(b.key, ts));
+            }
+        }
+        batched.ingest_batch(&events);
+        let (mut a, mut b_) = (Vec::new(), Vec::new());
+        seq.encode(&mut a);
+        batched.encode(&mut b_);
+        assert_eq!(a, b_, "hierarchy case {case}: ingest_batch diverged");
+    }
+}
+
+#[test]
+fn count_based_batched_equals_sequential() {
+    // Count-based bursts advance the clock per occurrence; the fast path
+    // must replicate the exact per-arrival ticks and ids.
+    let cfg = EcmBuilder::new(0.15, 0.1, 500).seed(51).eh_config();
+    let rw_cfg = EcmBuilder::new(0.3, 0.2, 500)
+        .max_arrivals(200_000)
+        .seed(51)
+        .rw_config();
+    let mut rng = SeededRng::seed_from_u64(61);
+    for case in 0..6 {
+        let bursts = random_bursts(&mut rng, 50, 500, 16);
+        let items: Vec<u64> = bursts
+            .iter()
+            .flat_map(|b| std::iter::repeat_n(b.key, b.weight as usize))
+            .collect();
+
+        let mut seq: CountBasedEcm = CountBasedEcm::new(&cfg);
+        let mut batched: CountBasedEcm = CountBasedEcm::new(&cfg);
+        let mut seq_rw = CountBasedEcm::<RandomizedWave>::new(&rw_cfg);
+        let mut batched_rw = CountBasedEcm::<RandomizedWave>::new(&rw_cfg);
+        for &x in &items {
+            seq.insert(x);
+            seq_rw.insert(x);
+        }
+        batched.ingest_batch(&items);
+        batched_rw.ingest_batch(&items);
+        assert_eq!(batched.arrivals(), seq.arrivals());
+        let (mut a, mut b2) = (Vec::new(), Vec::new());
+        seq.as_inner().encode(&mut a);
+        batched.as_inner().encode(&mut b2);
+        assert_eq!(a, b2, "count-based eh case {case} diverged");
+        let (mut a, mut b2) = (Vec::new(), Vec::new());
+        seq_rw.as_inner().encode(&mut a);
+        batched_rw.as_inner().encode(&mut b2);
+        assert_eq!(a, b2, "count-based rw case {case} diverged");
+
+        let mut seq_h: CountBasedHierarchy = CountBasedHierarchy::new(6, &cfg);
+        let mut batched_h: CountBasedHierarchy = CountBasedHierarchy::new(6, &cfg);
+        for &x in &items {
+            seq_h.insert(x % 64);
+        }
+        let capped: Vec<u64> = items.iter().map(|&x| x % 64).collect();
+        batched_h.ingest_batch(&capped);
+        let (mut a, mut b2) = (Vec::new(), Vec::new());
+        seq_h.as_inner().encode(&mut a);
+        batched_h.as_inner().encode(&mut b2);
+        assert_eq!(a, b2, "count-based hierarchy case {case} diverged");
+    }
+}
+
+/// Encode every shard of a sharded sketch (the bit-identity witness).
+fn encode_shards<W: WindowCounter>(sh: &ShardedEcm<W>) -> Vec<Vec<u8>> {
+    sh.shard_sketches()
+        .iter()
+        .map(|sk| {
+            let mut buf = Vec::new();
+            sk.encode(&mut buf);
+            buf
+        })
+        .collect()
+}
+
+/// `ShardedEcm::ingest_parallel` claims bit-determinism (module docs at
+/// crates/ecm/src/concurrent.rs) — enforce it byte-for-byte against
+/// sequential insertion, including the batched channel shipping and the
+/// pre-partitioned and `ingest_batch` paths, over random bursty streams.
+#[test]
+fn sharded_parallel_is_bit_identical_to_sequential() {
+    let mut rng = SeededRng::seed_from_u64(71);
+    for case in 0..8 {
+        let shards = 1 + (case % 5);
+        let cfg = EcmBuilder::new(0.2, 0.1, 2_000).seed(9).eh_config();
+        let bursts = random_bursts(&mut rng, 80, 2_000, 64);
+        let mut pairs = Vec::new();
+        let mut ts = 1u64;
+        for b in &bursts {
+            ts += b.gap;
+            for _ in 0..b.weight {
+                pairs.push((b.key, ts));
+            }
+        }
+
+        let mut seq = ShardedEcm::<ExponentialHistogram>::new(&cfg, shards);
+        for &(k, t) in &pairs {
+            seq.insert(k, t);
+        }
+        let want = encode_shards(&seq);
+
+        let chan = ShardedEcm::<ExponentialHistogram>::ingest_parallel(
+            &cfg,
+            shards,
+            pairs.iter().copied(),
+        );
+        assert_eq!(
+            encode_shards(&chan),
+            want,
+            "case {case}: channel-fed shards diverged"
+        );
+
+        let parts = ecm_suite::ecm::partition_pairs(pairs.iter().copied(), shards, cfg.seed);
+        let pre = ShardedEcm::<ExponentialHistogram>::ingest_prepartitioned(&cfg, parts);
+        assert_eq!(
+            encode_shards(&pre),
+            want,
+            "case {case}: pre-partitioned shards diverged"
+        );
+
+        let events: Vec<StreamEvent> = pairs.iter().map(|&(k, t)| StreamEvent::new(k, t)).collect();
+        let mut batched = ShardedEcm::<ExponentialHistogram>::new(&cfg, shards);
+        batched.ingest_batch(&events);
+        assert_eq!(
+            encode_shards(&batched),
+            want,
+            "case {case}: ingest_batch shards diverged"
+        );
+    }
+}
+
+/// The same determinism holds for the id-sampled randomized wave, whose
+/// weighted path must hand each occurrence the id the sequential dispatch
+/// would have assigned within its shard.
+#[test]
+fn sharded_parallel_is_bit_identical_for_randomized_waves() {
+    let mut rng = SeededRng::seed_from_u64(81);
+    let cfg = EcmBuilder::new(0.3, 0.2, 2_000)
+        .max_arrivals(100_000)
+        .seed(9)
+        .rw_config();
+    for case in 0..4 {
+        let shards = 2 + (case % 3);
+        let bursts = random_bursts(&mut rng, 60, 2_000, 48);
+        let mut pairs = Vec::new();
+        let mut ts = 1u64;
+        for b in &bursts {
+            ts += b.gap;
+            for _ in 0..b.weight {
+                pairs.push((b.key, ts));
+            }
+        }
+        let mut seq = ShardedEcm::<RandomizedWave>::new(&cfg, shards);
+        for &(k, t) in &pairs {
+            seq.insert(k, t);
+        }
+        let chan =
+            ShardedEcm::<RandomizedWave>::ingest_parallel(&cfg, shards, pairs.iter().copied());
+        assert_eq!(
+            encode_shards(&chan),
+            encode_shards(&seq),
+            "case {case}: randomized-wave shards diverged"
+        );
+    }
+}
