@@ -1,15 +1,21 @@
-//! Schema validation for the checked-in `BENCH_ingest.json`: CI runs this
-//! with the ordinary test suite, so bench-result drift (renamed fields,
-//! missing backends, a fast path that lost its edge) fails the build rather
-//! than rotting silently. The parser is deliberately minimal — the file is
-//! machine-written by `benches/ingest.rs` with a fixed field order.
+//! Schema validation for the checked-in `BENCH_ingest.json` and
+//! `BENCH_store.json`: CI runs this with the ordinary test suite, so
+//! bench-result drift (renamed fields, missing backends or fleet sizes, a
+//! fast path that lost its edge) fails the build rather than rotting
+//! silently. The parser is deliberately minimal — the files are
+//! machine-written by `benches/ingest.rs` / `benches/store.rs` with a fixed
+//! field order.
 
 use std::path::Path;
 
-fn load() -> String {
-    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_ingest.json");
+fn load_file(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("../../{name}"));
     std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("BENCH_ingest.json must be checked in at {path:?}: {e}"))
+        .unwrap_or_else(|e| panic!("{name} must be checked in at {path:?}: {e}"))
+}
+
+fn load() -> String {
+    load_file("BENCH_ingest.json")
 }
 
 /// Extract the number following `"key": ` (flat, machine-written JSON).
@@ -74,4 +80,47 @@ fn ingest_bench_speedups_are_sane_and_eh_meets_target() {
     // through the batched path on the bursty Zipf trace.
     let eh = eh_speedup.expect("ecm-eh row present");
     assert!(eh >= 5.0, "ECM-EH batched speedup regressed: {eh}x < 5x");
+}
+
+#[test]
+fn store_bench_schema_is_valid() {
+    let text = load_file("BENCH_store.json");
+    assert_eq!(field_f64(&text, "schema_version") as u64, 1);
+    assert!(text.contains("\"bench\": \"store\""));
+    assert!(field_f64(&text, "events") >= 1_000.0, "workload too small");
+    assert!(field_f64(&text, "batch") >= 1.0);
+    // Both fleet sizes of the acceptance scenario must be present.
+    for keys in [10_000u64, 100_000] {
+        assert!(
+            text.contains(&format!("\"keys\": {keys}")),
+            "missing {keys}-key row"
+        );
+    }
+}
+
+#[test]
+fn store_bench_rates_are_sane_and_the_facade_is_not_ruinous() {
+    let text = load_file("BENCH_store.json");
+    let mut rows = 0;
+    for chunk in text.split("\"keys\": ").skip(1) {
+        rows += 1;
+        let store = field_f64(chunk, "store_meps");
+        let map = field_f64(chunk, "hashmap_meps");
+        let relative = field_f64(chunk, "relative");
+        assert!(store > 0.0 && map > 0.0 && relative > 0.0);
+        // The recorded ratio must be consistent with the recorded rates.
+        let implied = store / map;
+        assert!(
+            (relative - implied).abs() <= 0.15 * implied,
+            "relative {relative} inconsistent with rates ({implied:.2})"
+        );
+        // Acceptance floor: the spec-built store (dyn dispatch + per-key
+        // grouping + eviction bookkeeping) must hold at least a quarter of
+        // hand-rolled concrete-sketch throughput.
+        assert!(
+            relative >= 0.25,
+            "store facade overhead regressed: {relative}x of hand-rolled"
+        );
+    }
+    assert_eq!(rows, 2, "expected exactly the 10k and 100k key rows");
 }

@@ -8,7 +8,7 @@
 
 use crate::topology::{BinaryTree, KaryTree};
 use ecm::query::{Answer, Estimate, Guarantee, Query, QueryError, SketchReader, WindowSpec};
-use ecm::{EcmConfig, EcmSketch};
+use ecm::{EcmConfig, EcmSketch, SketchSpec, SpecBackend, SpecError};
 use sliding_window::traits::{MergeableCounter, WindowCounter};
 use sliding_window::MergeError;
 use stream_gen::Event;
@@ -167,6 +167,57 @@ pub fn site_sketch_batched<W: WindowCounter>(
     sk
 }
 
+/// Build one site's sketch from a validated [`SketchSpec`] — the
+/// distributed entry point of the unified construction API. The *same*
+/// declarative spec that [`build`](SketchSpec::build)s local
+/// `Box<dyn Sketch>` handles materializes the typed, mergeable site
+/// sketches an aggregation tree needs, so a deployment cannot drift into
+/// sites and coordinator describing different sketches.
+///
+/// ```
+/// use distributed::{aggregate_tree, site_sketch_from_spec};
+/// use ecm::{Backend, Query, SketchReader, SketchSpec, WindowSpec};
+/// use sliding_window::ExponentialHistogram;
+/// use stream_gen::Event;
+///
+/// let spec = SketchSpec::time(1_000).epsilon(0.1).delta(0.1).seed(7);
+/// let cfg = spec.ecm_config::<ExponentialHistogram>().unwrap();
+/// let site_events: Vec<Vec<Event>> = (0..4u64)
+///     .map(|s| {
+///         (1..=100u64)
+///             .map(|t| Event { ts: t, key: s, site: s as u32 })
+///             .collect()
+///     })
+///     .collect();
+/// let out = aggregate_tree(
+///     4,
+///     |i| {
+///         site_sketch_from_spec::<ExponentialHistogram>(&spec, i as u64 + 1, &site_events[i])
+///             .expect("spec validated above")
+///     },
+///     &cfg.cell,
+/// )
+/// .unwrap();
+/// let est = out
+///     .query(&Query::point(2), WindowSpec::time(100, 1_000))
+///     .unwrap()
+///     .into_value();
+/// assert!((est.value - 100.0).abs() <= 0.3 * 400.0);
+/// ```
+///
+/// # Errors
+/// Any [`SpecError`] from validation, including
+/// [`BackendMismatch`](SpecError::BackendMismatch) when `W` disagrees with
+/// the spec's declared [`Backend`](ecm::Backend).
+pub fn site_sketch_from_spec<W: SpecBackend>(
+    spec: &SketchSpec,
+    namespace: u64,
+    events: &[Event],
+) -> Result<EcmSketch<W>, SpecError> {
+    let cfg = spec.ecm_config::<W>()?;
+    Ok(site_sketch_batched(&cfg, namespace, events))
+}
+
 /// Aggregate `n_sites` per-site sketches up a balanced binary tree.
 ///
 /// `leaf` builds (or hands over) the sketch of site `i`; leaves are
@@ -313,12 +364,16 @@ where
 
 #[cfg(test)]
 mod tests {
-    // These tests exercise the legacy positional-argument shims on purpose:
-    // they pin down the computational core the typed query layer delegates
-    // to. Query-surface coverage lives in the query module's own tests.
-    #![allow(deprecated)]
     use super::*;
     use ecm::{EcmBuilder, EcmEh, EcmRw};
+
+    /// Typed point query on any reader (sketches and roots alike).
+    fn point(r: &dyn SketchReader, key: u64, now: u64, range: u64) -> f64 {
+        r.query(&Query::point(key), WindowSpec::time(now, range))
+            .expect("in-window point query")
+            .into_value()
+            .value
+    }
     use stream_gen::{partition_by_site, uniform_sites, WindowOracle};
 
     #[test]
@@ -330,7 +385,7 @@ mod tests {
         assert_eq!(out.stats.bytes, 0);
         assert_eq!(out.stats.messages, 0);
         assert_eq!(out.stats.levels, 0);
-        assert_eq!(out.root.point_query(5, 10, 1000), 1.0);
+        assert_eq!(point(&out.root, 5, 10, 1000), 1.0);
     }
 
     #[test]
@@ -374,7 +429,7 @@ mod tests {
                 continue;
             }
             checked += 1;
-            let est = out.root.point_query(key, now, window);
+            let est = point(&out.root, key, now, window);
             assert!(
                 (est - exact).abs() <= envelope * norm + 2.0,
                 "key={key} est={est} exact={exact}"
@@ -421,8 +476,8 @@ mod tests {
         let now = events.last().unwrap().ts;
         for key in [0u64, 1, 7, 100, 999] {
             assert_eq!(
-                out.root.point_query(key, now, window),
-                central.point_query(key, now, window),
+                point(&out.root, key, now, window),
+                point(&central, key, now, window),
                 "key={key}"
             );
         }
@@ -458,8 +513,8 @@ mod tests {
             // Same information reaches the root: estimates agree within the
             // (small) merge-shape noise.
             for key in [0u64, 3, 17, 100] {
-                let a = binary.root.point_query(key, now, window);
-                let b = kary.root.point_query(key, now, window);
+                let a = point(&binary.root, key, now, window);
+                let b = point(&kary.root, key, now, window);
                 assert!(
                     (a - b).abs() <= 0.2 * a.max(b) + 2.0,
                     "fanout={fanout} key={key}: binary={a} kary={b}"
@@ -519,9 +574,9 @@ mod tests {
         let ternary = aggregate_kary_tree(6, 3, leaf, &cfg.cell).unwrap();
         let star = aggregate_kary_tree(6, 6, leaf, &cfg.cell).unwrap();
         for key in [0u64, 5, 42, 1_000] {
-            let b = binary.root.point_query(key, now, window);
-            assert_eq!(b, ternary.root.point_query(key, now, window), "key={key}");
-            assert_eq!(b, star.root.point_query(key, now, window), "key={key}");
+            let b = point(&binary.root, key, now, window);
+            assert_eq!(b, point(&ternary.root, key, now, window), "key={key}");
+            assert_eq!(b, point(&star.root, key, now, window), "key={key}");
         }
     }
 
@@ -573,8 +628,8 @@ mod tests {
         let now = events.last().unwrap().ts;
         for key in 0..23u64 {
             assert_eq!(
-                from_batched.root.point_query(key, now, window),
-                from_events.root.point_query(key, now, window),
+                point(&from_batched.root, key, now, window),
+                point(&from_events.root, key, now, window),
                 "key={key}"
             );
         }

@@ -28,7 +28,8 @@ pub mod propagation;
 pub mod topology;
 
 pub use aggregation::{
-    aggregate_kary_tree, aggregate_tree, site_sketch_batched, AggregationOutcome, TransferStats,
+    aggregate_kary_tree, aggregate_tree, site_sketch_batched, site_sketch_from_spec,
+    AggregationOutcome, TransferStats,
 };
 pub use budget::{
     achieved_epsilon, multilevel_epsilon, naive_compounded_epsilon, per_level_errors, HierarchyPlan,

@@ -129,25 +129,25 @@ impl<W: WindowCounter> ShardedEcm<W> {
         }
     }
 
+    /// Declare that the stream clock has reached `ts` with no arrivals
+    /// (forwarded to every shard sketch).
+    pub fn advance_to(&mut self, ts: u64) {
+        for shard in &mut self.shards {
+            shard.advance_to(ts);
+        }
+    }
+
     /// Point query: routed to the owning shard; Theorem 1 applies with the
-    /// shard's (smaller) stream norm.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use query::SketchReader::query with Query::point"
-    )]
-    #[allow(deprecated)]
-    pub fn point_query(&self, item: u64, now: u64, range: u64) -> f64 {
+    /// shard's (smaller) stream norm. Core of the typed
+    /// [`Query::point`](crate::query::Query::point) path.
+    pub(crate) fn point_query(&self, item: u64, now: u64, range: u64) -> f64 {
         self.shards[self.shard_of(item)].point_query(item, now, range)
     }
 
     /// Self-join (F₂) estimate: the exact key-disjoint decomposition
-    /// `Σ_shards F₂(shard)`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use query::SketchReader::query with Query::self_join"
-    )]
-    #[allow(deprecated)]
-    pub fn self_join(&self, now: u64, range: u64) -> f64 {
+    /// `Σ_shards F₂(shard)`; core of the typed
+    /// [`Query::self_join`](crate::query::Query::self_join) path.
+    pub(crate) fn self_join(&self, now: u64, range: u64) -> f64 {
         self.shards.iter().map(|s| s.self_join(now, range)).sum()
     }
 
@@ -157,12 +157,7 @@ impl<W: WindowCounter> ShardedEcm<W> {
     /// # Errors
     /// [`MergeError::IncompatibleConfig`] on shard-count or seed mismatch,
     /// or if any shard pair is incompatible.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use query::SketchReader::query with Query::inner_product"
-    )]
-    #[allow(deprecated)]
-    pub fn inner_product(
+    pub(crate) fn inner_product(
         &self,
         other: &ShardedEcm<W>,
         now: u64,
@@ -187,12 +182,7 @@ impl<W: WindowCounter> ShardedEcm<W> {
     }
 
     /// Estimated total arrivals in the query range (sum over shards).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use query::SketchReader::query with Query::total_arrivals"
-    )]
-    #[allow(deprecated)]
-    pub fn total_arrivals(&self, now: u64, range: u64) -> f64 {
+    pub(crate) fn total_arrivals(&self, now: u64, range: u64) -> f64 {
         self.shards
             .iter()
             .map(|s| s.total_arrivals(now, range))
@@ -375,10 +365,9 @@ pub fn partition_pairs(
 
 #[cfg(test)]
 mod tests {
-    // These tests exercise the legacy positional-argument shims on purpose:
-    // they pin down the computational core the typed query layer delegates
-    // to. Query-surface coverage lives in the query module's own tests.
-    #![allow(deprecated)]
+    // These tests exercise the crate-private positional core on purpose:
+    // they pin down the computation the typed query layer delegates to.
+    // Query-surface coverage lives in the query module's own tests.
     use super::*;
     use crate::config::{EcmBuilder, QueryKind};
     use sliding_window::ExponentialHistogram;

@@ -82,23 +82,14 @@ impl<W: WindowCounter> CountBasedEcm<W> {
         }
     }
 
-    /// Estimated frequency of `item` among the last `last_n` arrivals.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use query::SketchReader::query with Query::point and WindowSpec::last"
-    )]
-    #[allow(deprecated)]
-    pub fn point_query(&self, item: u64, last_n: u64) -> f64 {
+    /// Estimated frequency of `item` among the last `last_n` arrivals;
+    /// core of the typed [`Query::point`](crate::query::Query::point) path.
+    pub(crate) fn point_query(&self, item: u64, last_n: u64) -> f64 {
         self.inner.point_query(item, self.arrivals, last_n)
     }
 
     /// Self-join size estimate over the last `last_n` arrivals.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use query::SketchReader::query with Query::self_join and WindowSpec::last"
-    )]
-    #[allow(deprecated)]
-    pub fn self_join(&self, last_n: u64) -> f64 {
+    pub(crate) fn self_join(&self, last_n: u64) -> f64 {
         self.inner.self_join(self.arrivals, last_n)
     }
 
@@ -111,12 +102,7 @@ impl<W: WindowCounter> CountBasedEcm<W> {
     ///
     /// # Errors
     /// Propagates shape/seed mismatches.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use query::SketchReader::query with Query::inner_product and WindowSpec::last"
-    )]
-    #[allow(deprecated)]
-    pub fn inner_product(
+    pub(crate) fn inner_product(
         &self,
         other: &CountBasedEcm<W>,
         last_n: u64,
@@ -150,12 +136,7 @@ impl<W: WindowCounter> CountBasedEcm<W> {
 
     /// Estimated arrivals among the last `last_n` (≈ `min(last_n, arrivals)`;
     /// useful as a sanity probe of the row-average estimator).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use query::SketchReader::query with Query::total_arrivals and WindowSpec::last"
-    )]
-    #[allow(deprecated)]
-    pub fn total_arrivals(&self, last_n: u64) -> f64 {
+    pub(crate) fn total_arrivals(&self, last_n: u64) -> f64 {
         self.inner.total_arrivals(self.arrivals, last_n)
     }
 
@@ -257,22 +238,12 @@ impl<W: WindowCounter> CountBasedHierarchy<W> {
     }
 
     /// Heavy hitters among the last `last_n` arrivals.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use query::SketchReader::query with Query::heavy_hitters and WindowSpec::last"
-    )]
-    #[allow(deprecated)]
-    pub fn heavy_hitters(&self, threshold: Threshold, last_n: u64) -> Vec<(u64, f64)> {
+    pub(crate) fn heavy_hitters(&self, threshold: Threshold, last_n: u64) -> Vec<(u64, f64)> {
         self.inner.heavy_hitters(threshold, self.arrivals, last_n)
     }
 
     /// Estimated number of the last `last_n` arrivals with key in `[lo, hi]`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use query::SketchReader::query with Query::range_sum and WindowSpec::last"
-    )]
-    #[allow(deprecated)]
-    pub fn range_sum(&self, lo: u64, hi: u64, last_n: u64) -> f64 {
+    pub(crate) fn range_sum(&self, lo: u64, hi: u64, last_n: u64) -> f64 {
         self.inner.range_sum(lo, hi, self.arrivals, last_n)
     }
 
@@ -280,23 +251,13 @@ impl<W: WindowCounter> CountBasedHierarchy<W> {
     ///
     /// # Panics
     /// If `phi ∉ (0, 1]`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use query::SketchReader::query with Query::quantile and WindowSpec::last"
-    )]
-    #[allow(deprecated)]
-    pub fn quantile(&self, phi: f64, last_n: u64) -> Option<u64> {
+    pub(crate) fn quantile(&self, phi: f64, last_n: u64) -> Option<u64> {
         self.inner.quantile(phi, self.arrivals, last_n)
     }
 
     /// Estimated arrivals among the last `last_n`
     /// (≈ `min(last_n, arrivals)`).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use query::SketchReader::query with Query::total_arrivals and WindowSpec::last"
-    )]
-    #[allow(deprecated)]
-    pub fn total_arrivals(&self, last_n: u64) -> f64 {
+    pub(crate) fn total_arrivals(&self, last_n: u64) -> f64 {
         self.inner.total_arrivals(self.arrivals, last_n)
     }
 
@@ -313,10 +274,9 @@ impl<W: WindowCounter> CountBasedHierarchy<W> {
 
 #[cfg(test)]
 mod tests {
-    // These tests exercise the legacy positional-argument shims on purpose:
-    // they pin down the computational core the typed query layer delegates
-    // to. Query-surface coverage lives in the query module's own tests.
-    #![allow(deprecated)]
+    // These tests exercise the crate-private positional core on purpose:
+    // they pin down the computation the typed query layer delegates to.
+    // Query-surface coverage lives in the query module's own tests.
     use super::*;
     use crate::config::EcmBuilder;
     use std::collections::HashMap;

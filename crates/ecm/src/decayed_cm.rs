@@ -7,17 +7,82 @@
 //! decay. The semantic argument *against* it (bursts never fully age out)
 //! is what the paper's monitoring applications need sliding windows for;
 //! `sliding_window::decay` documents and tests the contrast.
+//!
+//! `DecayedCm` participates in both halves of the typed sketch API: it
+//! answers [`Query`](crate::query::Query) values through
+//! [`SketchReader`](crate::query::SketchReader) and ingests through
+//! [`SketchWriter`](crate::api::SketchWriter), so a `Box<dyn Sketch>` slot
+//! can hold a decayed sketch interchangeably with the sliding-window
+//! backends. One semantic difference is inherent to the model and
+//! documented on the reader impl: decay has no hard window edge, so the
+//! `range` of a time [`WindowSpec`](crate::query::WindowSpec) does not
+//! truncate anything — every arrival retains (exponentially shrunken)
+//! weight.
 
 use count_min::HashFamily;
 use sliding_window::decay::ExpDecayCounter;
+use sliding_window::MergeError;
+
+/// Construction parameters for a [`DecayedCm`]: the Count-Min shape plus
+/// the shared per-cell half-life — the decayed counterpart of
+/// [`EcmConfig`](crate::config::EcmConfig), and what
+/// [`SketchSpec`](crate::api::SketchSpec) materializes for
+/// [`Backend::Decayed`](crate::api::Backend::Decayed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecayedCmConfig {
+    /// Counters per row.
+    pub width: usize,
+    /// Rows / hash functions.
+    pub depth: usize,
+    /// Half-life of every cell, in ticks: an arrival of age `a` weighs
+    /// `2^(−a / half_life)`.
+    pub half_life: u64,
+    /// Hash-family seed; sketches pair in inner products only when seeds
+    /// match.
+    pub seed: u64,
+}
+
+impl DecayedCmConfig {
+    /// Shape a decayed Count-Min the same way the exact ECM variant is
+    /// shaped from accuracy targets: `width = ⌈e/ε⌉`, `depth = ⌈ln(1/δ)⌉`.
+    /// The estimate error is then at most `ε · ‖a‖₁` of the *decayed*
+    /// stream norm with probability `1 − δ`.
+    ///
+    /// # Panics
+    /// If `epsilon ∉ (0,1)`, `delta ∉ (0,1)`, or `half_life == 0`.
+    pub fn from_accuracy(epsilon: f64, delta: f64, half_life: u64, seed: u64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0,1), got {epsilon}"
+        );
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "delta must be in (0,1), got {delta}"
+        );
+        assert!(half_life > 0, "half-life must be positive");
+        let (width, depth) = crate::config::cm_shape(epsilon, delta);
+        DecayedCmConfig {
+            width,
+            depth,
+            half_life,
+            seed,
+        }
+    }
+}
 
 /// Count-Min sketch over exponentially decayed counters: ε‖a‖-style
 /// overestimates of each key's *decayed* frequency, in O(1) memory per cell.
 ///
 /// ```
-/// use ecm::DecayedCm;
+/// use ecm::{DecayedCm, DecayedCmConfig};
 ///
-/// let mut cm = DecayedCm::new(64, 3, /*half_life=*/ 100, /*seed=*/ 7);
+/// let cfg = DecayedCmConfig {
+///     width: 64,
+///     depth: 3,
+///     half_life: 100,
+///     seed: 7,
+/// };
+/// let mut cm = DecayedCm::new(&cfg);
 /// for t in 0..1_000u64 {
 ///     cm.insert(t % 10, t);
 /// }
@@ -28,32 +93,82 @@ use sliding_window::decay::ExpDecayCounter;
 pub struct DecayedCm {
     width: usize,
     depth: usize,
+    half_life: u64,
     hashes: HashFamily,
     cells: Vec<ExpDecayCounter>,
+    /// Tick of the most recent insertion or explicit clock advance.
+    last_ts: u64,
 }
 
 impl DecayedCm {
-    /// A `width × depth` array of decayed counters sharing `half_life`,
-    /// with hashes derived from `seed`.
+    /// A `width × depth` array of decayed counters sharing a half-life,
+    /// with hashes derived from the config's seed.
     ///
     /// # Panics
     /// If `width == 0`, `depth == 0`, or `half_life == 0`.
-    pub fn new(width: usize, depth: usize, half_life: u64, seed: u64) -> Self {
-        assert!(width > 0 && depth > 0, "dimensions must be positive");
+    pub fn new(cfg: &DecayedCmConfig) -> Self {
+        assert!(
+            cfg.width > 0 && cfg.depth > 0,
+            "dimensions must be positive"
+        );
         DecayedCm {
-            width,
-            depth,
-            hashes: HashFamily::from_seed(seed, depth),
-            cells: vec![ExpDecayCounter::new(half_life); width * depth],
+            width: cfg.width,
+            depth: cfg.depth,
+            half_life: cfg.half_life,
+            hashes: HashFamily::from_seed(cfg.seed, cfg.depth),
+            cells: vec![ExpDecayCounter::new(cfg.half_life); cfg.width * cfg.depth],
+            last_ts: 0,
         }
+    }
+
+    /// Sketch width `w`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sketch depth `d`.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The shared per-cell half-life, in ticks.
+    pub fn half_life(&self) -> u64 {
+        self.half_life
+    }
+
+    /// Tick of the most recent insertion or [`advance_to`](Self::advance_to)
+    /// (0 if empty).
+    pub fn last_tick(&self) -> u64 {
+        self.last_ts
     }
 
     /// Record one occurrence of `item` at tick `now` (non-decreasing).
     pub fn insert(&mut self, item: u64, now: u64) {
+        self.insert_weighted(item, now, 1);
+    }
+
+    /// Record `weight` occurrences of `item` at tick `now`. Decayed counts
+    /// are linear, so this is *exactly* `weight` unit insertions (there is
+    /// no arrival-id machinery in the decay model).
+    pub fn insert_weighted(&mut self, item: u64, now: u64, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        debug_assert!(now >= self.last_ts, "timestamps must be non-decreasing");
+        // max, not assignment: a clock set by advance_to must not be
+        // silently rewound in release builds either.
+        self.last_ts = self.last_ts.max(now);
         for j in 0..self.depth {
             let idx = j * self.width + self.hashes.bucket(j, item, self.width);
-            self.cells[idx].add(now, 1.0);
+            self.cells[idx].add(now, weight as f64);
         }
+    }
+
+    /// Declare that the stream clock has reached `ts` with no arrivals.
+    /// Decay is evaluated lazily at query time, so this only moves the
+    /// bookkeeping clock forward (later inserts must not precede it).
+    pub fn advance_to(&mut self, ts: u64) {
+        self.last_ts = self.last_ts.max(ts);
     }
 
     /// Decayed frequency estimate of `item` at tick `now` (row minimum —
@@ -67,6 +182,62 @@ impl DecayedCm {
             .fold(f64::INFINITY, f64::min)
     }
 
+    /// Self-join size of the decayed frequency vector at tick `now`: the
+    /// row minimum of per-cell squared sums, the decayed counterpart of the
+    /// sliding-window estimator (collisions only add mass, so this
+    /// overestimates `Σ_x ã(x)²`).
+    pub(crate) fn self_join(&self, now: u64) -> f64 {
+        (0..self.depth)
+            .map(|j| self.row_dot(self, j, now))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Inner product of two decayed frequency vectors at tick `now`.
+    ///
+    /// # Errors
+    /// [`MergeError::IncompatibleConfig`] if shapes, seeds or half-lives
+    /// differ.
+    pub(crate) fn inner_product(&self, other: &DecayedCm, now: u64) -> Result<f64, MergeError> {
+        if self.width != other.width
+            || self.depth != other.depth
+            || self.hashes != other.hashes
+            || self.half_life != other.half_life
+        {
+            return Err(MergeError::IncompatibleConfig {
+                detail: format!(
+                    "shape {}x{} seed {} half-life {} vs {}x{} seed {} half-life {}",
+                    self.width,
+                    self.depth,
+                    self.hashes.seed(),
+                    self.half_life,
+                    other.width,
+                    other.depth,
+                    other.hashes.seed(),
+                    other.half_life,
+                ),
+            });
+        }
+        Ok((0..self.depth)
+            .map(|j| self.row_dot(other, j, now))
+            .fold(f64::INFINITY, f64::min))
+    }
+
+    fn row_dot(&self, other: &DecayedCm, j: usize, now: u64) -> f64 {
+        let row = j * self.width;
+        (0..self.width)
+            .map(|i| self.cells[row + i].value(now) * other.cells[row + i].value(now))
+            .sum()
+    }
+
+    /// Total decayed stream mass at tick `now`, from the row average. Every
+    /// arrival lands exactly once per row, and sums are collision-blind, so
+    /// each row's sum is the *exact* decayed mass — the average only
+    /// smooths floating-point noise.
+    pub(crate) fn total_mass(&self, now: u64) -> f64 {
+        let sum: f64 = self.cells.iter().map(|c| c.value(now)).sum();
+        sum / self.depth as f64
+    }
+
     /// Memory held — constant in the stream, the model's selling point.
     pub fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>() + self.cells.capacity() * std::mem::size_of::<ExpDecayCounter>()
@@ -77,9 +248,18 @@ impl DecayedCm {
 mod tests {
     use super::*;
 
+    fn cfg(width: usize, depth: usize, half_life: u64, seed: u64) -> DecayedCmConfig {
+        DecayedCmConfig {
+            width,
+            depth,
+            half_life,
+            seed,
+        }
+    }
+
     #[test]
     fn decayed_cm_overestimates_only_and_stays_small() {
-        let mut cm = DecayedCm::new(64, 3, 500, 9);
+        let mut cm = DecayedCm::new(&cfg(64, 3, 500, 9));
         // Skewed stream: key 5 hot, 200 cold keys of noise.
         for t in 0..20_000u64 {
             cm.insert(if t % 4 == 0 { 5 } else { t % 200 }, t);
@@ -102,18 +282,75 @@ mod tests {
 
     #[test]
     fn empty_sketch_answers_zero() {
-        let cm = DecayedCm::new(8, 2, 10, 1);
+        let cm = DecayedCm::new(&cfg(8, 2, 10, 1));
         assert_eq!(cm.point_query(3, 50), 0.0);
+        assert_eq!(cm.total_mass(50), 0.0);
+        assert_eq!(cm.last_tick(), 0);
     }
 
     #[test]
     fn memory_is_flat_in_stream_length() {
-        let mut cm = DecayedCm::new(32, 3, 1_000, 2);
+        let mut cm = DecayedCm::new(&cfg(32, 3, 1_000, 2));
         cm.insert(1, 1);
         let early = cm.memory_bytes();
         for t in 2..=200_000u64 {
             cm.insert(t % 5_000, t);
         }
         assert_eq!(cm.memory_bytes(), early, "decayed CM must be O(1)-sized");
+    }
+
+    #[test]
+    fn weighted_insert_is_exactly_linear() {
+        let c = cfg(16, 2, 100, 5);
+        let mut unit = DecayedCm::new(&c);
+        let mut weighted = DecayedCm::new(&c);
+        for t in [10u64, 20, 35] {
+            for _ in 0..7 {
+                unit.insert(3, t);
+            }
+            weighted.insert_weighted(3, t, 7);
+        }
+        for probe in [3u64, 4, 99] {
+            assert_eq!(unit.point_query(probe, 50), weighted.point_query(probe, 50));
+        }
+        assert_eq!(unit.total_mass(50), weighted.total_mass(50));
+    }
+
+    #[test]
+    fn total_mass_is_exact_decayed_norm() {
+        let mut cm = DecayedCm::new(&cfg(32, 3, 200, 11));
+        let arrivals: Vec<u64> = (0..500u64).map(|i| i * 2).collect();
+        for &t in &arrivals {
+            cm.insert(t % 37, t);
+        }
+        let now = 1_200u64;
+        let direct: f64 = arrivals
+            .iter()
+            .map(|&t| 2f64.powf(-((now - t) as f64) / 200.0))
+            .sum();
+        let est = cm.total_mass(now);
+        assert!(
+            (est - direct).abs() < 1e-9 * direct.max(1.0),
+            "est={est} direct={direct}"
+        );
+    }
+
+    #[test]
+    fn inner_product_requires_matching_layout() {
+        let a = DecayedCm::new(&cfg(16, 2, 100, 5));
+        let b = DecayedCm::new(&cfg(16, 2, 100, 6));
+        assert!(a.inner_product(&b, 10).is_err());
+        let c = DecayedCm::new(&cfg(16, 2, 50, 5));
+        assert!(a.inner_product(&c, 10).is_err());
+        let d = DecayedCm::new(&cfg(16, 2, 100, 5));
+        assert_eq!(a.inner_product(&d, 10).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_shaping_matches_exact_variant_rule() {
+        let c = DecayedCmConfig::from_accuracy(0.1, 0.1, 500, 3);
+        assert_eq!(c.width, (std::f64::consts::E / 0.1).ceil() as usize);
+        assert_eq!(c.depth, 3); // ⌈ln 10⌉
+        assert_eq!(c.half_life, 500);
     }
 }

@@ -116,8 +116,15 @@ impl<W: WindowCounter> EcmHierarchy<W> {
         }
     }
 
+    /// Declare that the stream clock has reached `ts` with no arrivals
+    /// (forwarded to every level sketch).
+    pub fn advance_to(&mut self, ts: u64) {
+        for sk in &mut self.sketches {
+            sk.advance_to(ts);
+        }
+    }
+
     /// Estimated weight of one dyadic range within `(now − range, now]`.
-    #[allow(deprecated)] // plumbing shared by the legacy shims and the query layer
     pub fn range_point(&self, r: DyadicRange, now: u64, range: u64) -> f64 {
         if r.level >= self.bits {
             self.total_arrivals(now, range)
@@ -127,13 +134,10 @@ impl<W: WindowCounter> EcmHierarchy<W> {
     }
 
     /// Estimated number of arrivals with key in `[lo, hi]` and tick in
-    /// `(now − range, now]` (sliding-window range query, paper §6.1).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use query::SketchReader::query with Query::range_sum"
-    )]
-    #[allow(deprecated)]
-    pub fn range_sum(&self, lo: u64, hi: u64, now: u64, range: u64) -> f64 {
+    /// `(now − range, now]` (sliding-window range query, paper §6.1); core
+    /// of the typed [`Query::range_sum`](crate::query::Query::range_sum)
+    /// path.
+    pub(crate) fn range_sum(&self, lo: u64, hi: u64, now: u64, range: u64) -> f64 {
         dyadic_cover(lo, hi, self.bits)
             .into_iter()
             .map(|r| self.range_point(r, now, range))
@@ -142,12 +146,7 @@ impl<W: WindowCounter> EcmHierarchy<W> {
 
     /// Estimated total arrivals in the query range, from the level-0
     /// sketch's row-average (paper §6.1).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use query::SketchReader::query with Query::total_arrivals"
-    )]
-    #[allow(deprecated)]
-    pub fn total_arrivals(&self, now: u64, range: u64) -> f64 {
+    pub(crate) fn total_arrivals(&self, now: u64, range: u64) -> f64 {
         self.sketches[0].total_arrivals(now, range)
     }
 
@@ -157,13 +156,14 @@ impl<W: WindowCounter> EcmHierarchy<W> {
     ///
     /// Guarantees (Theorem 5 semantics): every key with true frequency
     /// ≥ (φ + ε)·‖a_r‖₁ is reported; keys with frequency < φ·‖a_r‖₁ are
-    /// reported only with probability δ each.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use query::SketchReader::query with Query::heavy_hitters"
-    )]
-    #[allow(deprecated)]
-    pub fn heavy_hitters(&self, threshold: Threshold, now: u64, range: u64) -> Vec<(u64, f64)> {
+    /// reported only with probability δ each. Core of the typed
+    /// [`Query::heavy_hitters`](crate::query::Query::heavy_hitters) path.
+    pub(crate) fn heavy_hitters(
+        &self,
+        threshold: Threshold,
+        now: u64,
+        range: u64,
+    ) -> Vec<(u64, f64)> {
         let thresh = match threshold {
             Threshold::Absolute(t) => t,
             Threshold::Relative(phi) => {
@@ -199,16 +199,12 @@ impl<W: WindowCounter> EcmHierarchy<W> {
     /// The φ-quantile of the keys in the query range: the smallest key `x`
     /// such that at least a φ fraction of the in-range arrivals have key
     /// ≤ `x` (paper §6.1 lists quantiles among the problems the dyadic
-    /// stack addresses). `None` on an empty range.
+    /// stack addresses). `None` on an empty range. Core of the typed
+    /// [`Query::quantile`](crate::query::Query::quantile) path.
     ///
     /// # Panics
     /// If `phi ∉ (0, 1]`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use query::SketchReader::query with Query::quantile"
-    )]
-    #[allow(deprecated)]
-    pub fn quantile(&self, phi: f64, now: u64, range: u64) -> Option<u64> {
+    pub(crate) fn quantile(&self, phi: f64, now: u64, range: u64) -> Option<u64> {
         assert!(phi > 0.0 && phi <= 1.0, "φ must be in (0,1], got {phi}");
         let total = self.total_arrivals(now, range);
         if total < 0.5 {
@@ -220,7 +216,6 @@ impl<W: WindowCounter> EcmHierarchy<W> {
     /// Smallest key whose cumulative in-range weight reaches `rank` by
     /// bitwise descent; `None` if the range holds less weight than `rank`.
     /// The φ-quantile of the window is `quantile_by_rank(φ·‖a_r‖₁, ..)`.
-    #[allow(deprecated)] // plumbing shared by the legacy shims and the query layer
     pub fn quantile_by_rank(&self, rank: f64, now: u64, range: u64) -> Option<u64> {
         if rank <= 0.0 || rank > self.total_arrivals(now, range) + 0.5 {
             return None;
@@ -327,10 +322,9 @@ impl<W: MergeableCounter> EcmHierarchy<W> {
 
 #[cfg(test)]
 mod tests {
-    // These tests exercise the legacy positional-argument shims on purpose:
-    // they pin down the computational core the typed query layer delegates
-    // to. Query-surface coverage lives in the query module's own tests.
-    #![allow(deprecated)]
+    // These tests exercise the crate-private positional core on purpose:
+    // they pin down the computation the typed query layer delegates to.
+    // Query-surface coverage lives in the query module's own tests.
     use super::*;
     use crate::config::EcmBuilder;
     use sliding_window::ExponentialHistogram;

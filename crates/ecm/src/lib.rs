@@ -18,6 +18,11 @@
 //!   lossless composition for randomized waves.
 //! * **Derived queries** ([`hierarchy`], paper §6.1): sliding-window heavy
 //!   hitters, range sums and quantiles through a dyadic stack of sketches.
+//! * **Typed construction & write API** ([`api`], [`store`]): the
+//!   object-safe [`SketchWriter`] / [`Sketch`] traits mirroring
+//!   [`query::SketchReader`] on the ingest side, the validating
+//!   [`SketchSpec`] builder that constructs *any* backend as a
+//!   `Box<dyn Sketch>`, and the keyed multi-tenant [`SketchStore`].
 //!
 //! # Quick start
 //!
@@ -45,6 +50,7 @@
 //! assert!(freq.value >= 20.0 * (1.0 - eps) && freq.value <= 20.0 + eps * 1000.0);
 //! ```
 
+pub mod api;
 pub mod concurrent;
 pub mod config;
 pub mod count_based;
@@ -52,14 +58,17 @@ pub mod decayed_cm;
 pub mod hierarchy;
 pub mod query;
 pub mod sketch;
+pub mod store;
 
+pub use api::{Backend, Clock, Sketch, SketchSpec, SketchWriter, SpecBackend, SpecError};
 pub use concurrent::{partition_pairs, ShardedEcm};
 pub use config::{
     split_inner_product, split_point_query, split_point_query_randomized, EcmBuilder, EcmConfig,
     QueryKind,
 };
 pub use count_based::{CountBasedEcm, CountBasedHierarchy};
-pub use decayed_cm::DecayedCm;
+pub use decayed_cm::{DecayedCm, DecayedCmConfig};
 pub use hierarchy::{EcmHierarchy, Threshold};
 pub use query::{Answer, Estimate, Guarantee, Query, QueryError, SketchReader, WindowSpec};
 pub use sketch::{grouped_runs, EcmDw, EcmEh, EcmEw, EcmExact, EcmRw, EcmSketch, StreamEvent};
+pub use store::{Eviction, SketchStore};

@@ -14,11 +14,11 @@
 //! * [`Estimate`] — *the result*, carrying the point estimate **and** the
 //!   (ε, δ) [`Guarantee`] derived from the backend's configuration.
 //! * [`SketchReader`] — *who answers*: implemented by
-//!   [`EcmSketch`](crate::EcmSketch), [`EcmHierarchy`](crate::EcmHierarchy),
-//!   [`CountBasedEcm`](crate::CountBasedEcm),
-//!   [`CountBasedHierarchy`](crate::CountBasedHierarchy),
-//!   [`ShardedEcm`](crate::ShardedEcm) and (in the `distributed` crate) the
-//!   tree-aggregation root, so callers can route the *same* [`Query`] value
+//!   [`crate::EcmSketch`], [`crate::EcmHierarchy`],
+//!   [`crate::CountBasedEcm`], [`crate::CountBasedHierarchy`],
+//!   [`crate::ShardedEcm`], [`crate::DecayedCm`] and (in the `distributed`
+//!   crate) the tree-aggregation root, so callers can
+//!   route the *same* [`Query`] value
 //!   over interchangeable backends — the property that makes sharding and
 //!   caching layers composable.
 //!
@@ -55,6 +55,7 @@ use std::fmt;
 
 use crate::concurrent::ShardedEcm;
 use crate::count_based::{CountBasedEcm, CountBasedHierarchy};
+use crate::decayed_cm::DecayedCm;
 use crate::hierarchy::{EcmHierarchy, Threshold};
 use crate::sketch::EcmSketch;
 use sliding_window::traits::{WindowCounter, WindowGuarantee};
@@ -615,7 +616,6 @@ where
     W: WindowCounter + 'static,
     W::Config: 'static,
 {
-    #[allow(deprecated)] // the legacy methods are the shared computational core
     fn query(&self, q: &Query<'_>, w: WindowSpec) -> Result<Answer, QueryError> {
         let (now, range) = w.resolve_time(self.backend(), self.window_len())?;
         let g = SketchGuarantees::derive::<W>(self.width(), self.depth(), self.cell_config());
@@ -665,7 +665,6 @@ where
     W: WindowCounter + 'static,
     W::Config: 'static,
 {
-    #[allow(deprecated)]
     fn query(&self, q: &Query<'_>, w: WindowSpec) -> Result<Answer, QueryError> {
         let level0 = &self.levels()[0];
         let (now, range) = w.resolve_time(self.backend(), level0.window_len())?;
@@ -733,7 +732,6 @@ where
     W: WindowCounter + 'static,
     W::Config: 'static,
 {
-    #[allow(deprecated)]
     fn query(&self, q: &Query<'_>, w: WindowSpec) -> Result<Answer, QueryError> {
         let inner = self.as_inner();
         let (_, last_n) = w.resolve_count(self.backend(), inner.window_len(), self.arrivals())?;
@@ -784,7 +782,6 @@ where
     W: WindowCounter + 'static,
     W::Config: 'static,
 {
-    #[allow(deprecated)]
     fn query(&self, q: &Query<'_>, w: WindowSpec) -> Result<Answer, QueryError> {
         let level0 = &self.as_inner().levels()[0];
         let (now, last_n) =
@@ -849,7 +846,6 @@ where
     W: WindowCounter + 'static,
     W::Config: 'static,
 {
-    #[allow(deprecated)]
     fn query(&self, q: &Query<'_>, w: WindowSpec) -> Result<Answer, QueryError> {
         let shard0 = &self.shard_sketches()[0];
         let (now, range) = w.resolve_time(self.backend(), shard0.window_len())?;
@@ -888,6 +884,101 @@ where
 
     fn backend(&self) -> &'static str {
         "ShardedEcm"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl SketchReader for DecayedCm {
+    /// The decayed backend answers the same vocabulary with *decayed*
+    /// semantics: frequencies, self-joins and totals are taken over the
+    /// exponentially weighted stream at the window's `now`.
+    ///
+    /// **The `range` of a time window is not a cutoff here.** Exponential
+    /// decay has no hard window edge — every arrival retains `2^(−age/h)`
+    /// weight — so only `now` participates; this is exactly the semantic
+    /// gap between the two time-decay models the paper contrasts (§1), kept
+    /// visible rather than papered over. Count-based windows are
+    /// [`QueryError::ClockMismatch`]es.
+    ///
+    /// Point estimates carry the Count-Min hashing contract relative to the
+    /// decayed stream norm (`ε = e/width`, `δ = e^{−depth}`); cells are
+    /// exact, so totals are error-free.
+    fn query(&self, q: &Query<'_>, w: WindowSpec) -> Result<Answer, QueryError> {
+        let now = match w {
+            WindowSpec::Time { now, .. } => now,
+            WindowSpec::Count { .. } => {
+                return Err(QueryError::ClockMismatch {
+                    backend: self.backend(),
+                    expected: "time-based",
+                    got: "count-based",
+                })
+            }
+        };
+        // Lazy decay destroys the past: cells only know their value as of
+        // their last update, so a `now` behind the write clock is
+        // unanswerable (other backends can rewind; this model cannot).
+        if now < self.last_tick() {
+            return Err(QueryError::InvalidParameter {
+                detail: format!(
+                    "decayed sketches cannot answer queries before their write \
+                     clock (now = {now} < last tick {})",
+                    self.last_tick()
+                ),
+            });
+        }
+        let hashing = Some(Guarantee {
+            epsilon: cm_epsilon(self.width()),
+            delta: cm_delta(self.depth()),
+        });
+        match *q {
+            Query::Point { item } => Ok(Answer::Value(Estimate::new(
+                self.point_query(item, now),
+                hashing,
+            ))),
+            Query::SelfJoin => Ok(Answer::Value(Estimate::new(self.self_join(now), hashing))),
+            Query::InnerProduct { other } => {
+                let other = downcast_operand::<DecayedCm>(other, self.backend())?;
+                // The operand's cells are just as lazily decayed as ours:
+                // a `now` behind *its* write clock is equally unanswerable.
+                if now < other.last_tick() {
+                    return Err(QueryError::InvalidParameter {
+                        detail: format!(
+                            "decayed sketches cannot answer queries before their \
+                             write clock (now = {now} < operand last tick {})",
+                            other.last_tick()
+                        ),
+                    });
+                }
+                let value = self.inner_product(other, now).map_err(|e| {
+                    QueryError::IncompatibleOperand {
+                        detail: e.to_string(),
+                    }
+                })?;
+                Ok(Answer::Value(Estimate::new(value, hashing)))
+            }
+            Query::TotalArrivals => Ok(Answer::Value(Estimate::new(
+                self.total_mass(now),
+                // Row sums are collision-blind and the cells are exact.
+                Some(Guarantee {
+                    epsilon: 0.0,
+                    delta: 0.0,
+                }),
+            ))),
+            Query::RangeSum { .. } | Query::HeavyHitters { .. } | Query::Quantile { .. } => {
+                Err(unsupported(
+                    self.backend(),
+                    q,
+                    "decayed sketches have no dyadic hierarchy; use an EcmHierarchy",
+                ))
+            }
+        }
+    }
+
+    fn backend(&self) -> &'static str {
+        "DecayedCm"
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -178,11 +178,10 @@ impl<W: WindowCounter> EcmSketch<W> {
     /// stream-unique arrival id (drives randomized-wave sampling; ignored by
     /// deterministic counters).
     pub fn insert_with_id(&mut self, item: u64, ts: u64, id: u64) {
-        debug_assert!(
-            self.lifetime == 0 || ts >= self.last_ts,
-            "timestamps must be non-decreasing"
-        );
-        self.last_ts = ts;
+        debug_assert!(ts >= self.last_ts, "timestamps must be non-decreasing");
+        // max, not assignment: a clock set by advance_to must not be
+        // silently rewound in release builds either.
+        self.last_ts = self.last_ts.max(ts);
         self.lifetime += 1;
         for j in 0..self.depth {
             let idx = j * self.width + self.hashes.bucket(j, item, self.width);
@@ -219,11 +218,8 @@ impl<W: WindowCounter> EcmSketch<W> {
         if weight == 0 {
             return;
         }
-        debug_assert!(
-            self.lifetime == 0 || ts >= self.last_ts,
-            "timestamps must be non-decreasing"
-        );
-        self.last_ts = ts;
+        debug_assert!(ts >= self.last_ts, "timestamps must be non-decreasing");
+        self.last_ts = self.last_ts.max(ts);
         self.lifetime += weight;
         for j in 0..self.depth {
             let idx = j * self.width + self.hashes.bucket(j, item, self.width);
@@ -256,10 +252,10 @@ impl<W: WindowCounter> EcmSketch<W> {
             return;
         }
         debug_assert!(
-            self.lifetime == 0 || first_ts >= self.last_ts,
+            first_ts >= self.last_ts,
             "timestamps must be non-decreasing"
         );
-        self.last_ts = first_ts + (n - 1);
+        self.last_ts = self.last_ts.max(first_ts + (n - 1));
         self.lifetime += n;
         for j in 0..self.depth {
             let idx = j * self.width + self.hashes.bucket(j, item, self.width);
@@ -283,14 +279,21 @@ impl<W: WindowCounter> EcmSketch<W> {
         self.insert_ticking_run(item, first_ts, first_id, n);
     }
 
+    /// Declare that the stream clock has reached `ts` with no arrivals:
+    /// later insertions must not precede it. Window counters are queried
+    /// with an explicit `now`, so this only moves the bookkeeping clock.
+    pub fn advance_to(&mut self, ts: u64) {
+        self.last_ts = self.last_ts.max(ts);
+    }
+
     /// Point query (paper §4.1, Theorem 1): estimated frequency of `item`
     /// among arrivals with tick in `(now − range, now]`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use query::SketchReader::query with Query::point"
-    )]
-    #[allow(deprecated)]
-    pub fn point_query(&self, item: u64, now: u64, range: u64) -> f64 {
+    ///
+    /// Computational core of the typed query layer (and of the in-crate
+    /// tests that pin it down); external callers go through
+    /// [`SketchReader::query`](crate::query::SketchReader) with
+    /// [`Query::point`](crate::query::Query::point).
+    pub(crate) fn point_query(&self, item: u64, now: u64, range: u64) -> f64 {
         (0..self.depth)
             .map(|j| {
                 let idx = j * self.width + self.hashes.bucket(j, item, self.width);
@@ -301,29 +304,21 @@ impl<W: WindowCounter> EcmSketch<W> {
     }
 
     /// Self-join size (second frequency moment `F₂`) estimate over the
-    /// query range (paper §4.1, Theorem 2 with `b = a`).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use query::SketchReader::query with Query::self_join"
-    )]
-    #[allow(deprecated)]
-    pub fn self_join(&self, now: u64, range: u64) -> f64 {
+    /// query range (paper §4.1, Theorem 2 with `b = a`); core of the typed
+    /// [`Query::self_join`](crate::query::Query::self_join) path.
+    pub(crate) fn self_join(&self, now: u64, range: u64) -> f64 {
         (0..self.depth)
             .map(|j| self.row_dot(self, j, now, range))
             .fold(f64::INFINITY, f64::min)
     }
 
     /// Inner-product estimate `â_r ⊙ b_r` against another sketch over the
-    /// same query range (paper §4.1, Theorem 2).
+    /// same query range (paper §4.1, Theorem 2); core of the typed
+    /// [`Query::inner_product`](crate::query::Query::inner_product) path.
     ///
     /// # Errors
     /// [`MergeError::IncompatibleConfig`] if shapes or hash seeds differ.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use query::SketchReader::query with Query::inner_product"
-    )]
-    #[allow(deprecated)]
-    pub fn inner_product(
+    pub(crate) fn inner_product(
         &self,
         other: &EcmSketch<W>,
         now: u64,
@@ -345,13 +340,9 @@ impl<W: WindowCounter> EcmSketch<W> {
     /// Estimate of the total number of arrivals in the query range, computed
     /// as the average of per-row cell-estimate sums (paper §6.1: each row's
     /// sum counts every arrival exactly once, modulo window error; averaging
-    /// rows cancels independent per-counter errors).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use query::SketchReader::query with Query::total_arrivals"
-    )]
-    #[allow(deprecated)]
-    pub fn total_arrivals(&self, now: u64, range: u64) -> f64 {
+    /// rows cancels independent per-counter errors); core of the typed
+    /// [`Query::total_arrivals`](crate::query::Query::total_arrivals) path.
+    pub(crate) fn total_arrivals(&self, now: u64, range: u64) -> f64 {
         let mut sum = 0.0;
         for j in 0..self.depth {
             let row = j * self.width;

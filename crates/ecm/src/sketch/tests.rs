@@ -1,8 +1,6 @@
-// These unit tests exercise the legacy positional-argument shims on
-// purpose: they pin down the computational core the typed query layer
-// delegates to. New query-surface coverage lives in ecm::query and
-// tests/query_api.rs.
-#![allow(deprecated)]
+// These unit tests exercise the crate-private positional core on purpose:
+// they pin down the computation the typed query layer delegates to. New
+// query-surface coverage lives in ecm::query and tests/query_api.rs.
 use crate::config::{EcmBuilder, QueryKind};
 use crate::sketch::{EcmDw, EcmEh, EcmExact, EcmRw, EcmSketch};
 use proptest::prelude::*;

@@ -1,0 +1,531 @@
+//! A keyed, multi-tenant facade over the typed sketch API: one
+//! [`SketchSpec`] describes every tenant's sketch, and the store creates,
+//! feeds and queries them per key.
+//!
+//! This is the scenario layer the paper's setting implies but a single
+//! sketch cannot express: *many* distributed streams (one per user, tenant,
+//! interface, …), each summarized by the same kind of window synopsis and
+//! queried uniformly. The store owns:
+//!
+//! * **Lazy creation** — sketches materialize on first write to a key, all
+//!   from the one validated spec.
+//! * **Batched keyed ingest** — [`ingest`](SketchStore::ingest) groups a
+//!   mixed-key batch into per-key runs first, so each tenant's sketch sees
+//!   one [`ingest_batch`](crate::api::SketchWriter::ingest_batch) call (and
+//!   its adjacent-run fast path) instead of interleaved single inserts.
+//! * **Cross-key queries** — per-key routing
+//!   ([`query`](SketchStore::query)), full scans
+//!   ([`query_all`](SketchStore::query_all)), and top-k selection over any
+//!   scalar query ([`top_k`](SketchStore::top_k)).
+//! * **Capacity control** — an optional key cap with LRU or FIFO eviction,
+//!   so unbounded key universes (attack traffic, ephemeral sessions) cannot
+//!   exhaust memory.
+//!
+//! # Example
+//!
+//! ```
+//! use ecm::api::{Backend, SketchSpec};
+//! use ecm::query::{Query, WindowSpec};
+//! use ecm::store::SketchStore;
+//!
+//! let spec = SketchSpec::time(1_000).epsilon(0.1).delta(0.1).seed(9);
+//! let mut store: SketchStore<&'static str> = SketchStore::new(spec).unwrap();
+//! for t in 1..=600u64 {
+//!     store.insert("alice", t, t % 3);
+//!     store.insert("bob", t, 7);
+//! }
+//! let w = WindowSpec::time(600, 1_000);
+//! let bob = store
+//!     .query(&"bob", &Query::point(7), w)
+//!     .expect("bob exists")
+//!     .unwrap()
+//!     .into_value();
+//! assert!((bob.value - 600.0).abs() <= bob.guarantee.unwrap().epsilon * 600.0);
+//! // Rank tenants by how much of key 0 they carry.
+//! let top = store.top_k(1, &Query::total_arrivals(), w);
+//! assert_eq!(top.len(), 1);
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+use crate::api::{Sketch, SketchSpec, SpecError};
+use crate::query::{Answer, Query, QueryError, WindowSpec};
+use crate::sketch::StreamEvent;
+
+/// Which resident key a full [`SketchStore`] discards for a new one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Eviction {
+    /// Discard the least recently *written* key (queries do not refresh
+    /// recency; reads are cheap and should not pin attack keys in).
+    Lru,
+    /// Discard the earliest-created key.
+    Fifo,
+}
+
+/// One tenant slot: the sketch plus the stamp of its current position in
+/// the eviction order (mirrors its key in [`SketchStore::order`] under
+/// LRU; under FIFO the order keeps the creation stamp instead).
+struct Entry {
+    sketch: Box<dyn Sketch>,
+    last_written: u64,
+}
+
+/// A keyed collection of identically-specified sketches with lazy creation,
+/// grouped batched ingest, cross-key queries and bounded capacity. See the
+/// [module docs](self) for the full tour.
+pub struct SketchStore<K> {
+    spec: SketchSpec,
+    entries: HashMap<K, Entry>,
+    /// Eviction index: policy stamp → key, ordered oldest-first. For LRU
+    /// the stamp is the key's `last_written`, for FIFO the stamp it was
+    /// created with; stamps are unique (one clock tick per write), so the
+    /// map's first entry is always the current victim and eviction is
+    /// O(log n).
+    order: BTreeMap<u64, K>,
+    capacity: Option<usize>,
+    eviction: Eviction,
+    /// Monotone stamp source for `created` / `last_written`.
+    clock: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Ord + Clone> SketchStore<K> {
+    /// An unbounded store; the spec is validated eagerly so a bad
+    /// description fails here, not on the first write.
+    ///
+    /// # Errors
+    /// Any [`SketchSpec::validate`] error.
+    pub fn new(spec: SketchSpec) -> Result<Self, SpecError> {
+        spec.validate()?;
+        Ok(SketchStore {
+            spec,
+            entries: HashMap::new(),
+            order: BTreeMap::new(),
+            capacity: None,
+            eviction: Eviction::Lru,
+            clock: 0,
+            evictions: 0,
+        })
+    }
+
+    /// A store holding at most `capacity` keys, discarding per `eviction`
+    /// when a new key arrives at the cap.
+    ///
+    /// # Errors
+    /// Any spec validation error, or an
+    /// [`InvalidParameter`](SpecError::InvalidParameter) for a zero
+    /// capacity.
+    pub fn with_capacity(
+        spec: SketchSpec,
+        capacity: usize,
+        eviction: Eviction,
+    ) -> Result<Self, SpecError> {
+        if capacity == 0 {
+            return Err(SpecError::InvalidParameter {
+                detail: "store capacity must be positive".into(),
+            });
+        }
+        let mut store = SketchStore::new(spec)?;
+        store.capacity = Some(capacity);
+        store.eviction = eviction;
+        Ok(store)
+    }
+
+    /// The spec every sketch is built from.
+    pub fn spec(&self) -> &SketchSpec {
+        &self.spec
+    }
+
+    /// Number of resident keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no key is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Keys discarded by the capacity policy so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The resident keys, in sorted order (the map iteration order is not
+    /// deterministic; scans and tests want one).
+    pub fn keys(&self) -> Vec<K> {
+        let mut keys: Vec<K> = self.entries.keys().cloned().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Read access to one key's sketch, if resident.
+    pub fn get(&self, key: &K) -> Option<&dyn Sketch> {
+        self.entries.get(key).map(|e| &*e.sketch)
+    }
+
+    /// Write access to one key's sketch, creating it from the spec on first
+    /// touch (evicting per policy if at capacity). Direct access marks the
+    /// key written; prefer [`insert`](Self::insert) /
+    /// [`ingest`](Self::ingest) unless you need trait methods not surfaced
+    /// here.
+    pub fn sketch_mut(&mut self, key: &K) -> &mut dyn Sketch {
+        self.clock += 1;
+        let stamp = self.clock;
+        if !self.entries.contains_key(key) {
+            if let Some(cap) = self.capacity {
+                if self.entries.len() >= cap {
+                    self.evict_one();
+                }
+            }
+            let sketch = self
+                .spec
+                .build()
+                .expect("spec was validated at store construction");
+            self.entries.insert(
+                key.clone(),
+                Entry {
+                    sketch,
+                    last_written: stamp,
+                },
+            );
+            self.order.insert(stamp, key.clone());
+            let entry = self.entries.get_mut(key).expect("just inserted");
+            return &mut *entry.sketch;
+        }
+        let entry = self.entries.get_mut(key).expect("presence checked");
+        if self.eviction == Eviction::Lru {
+            // Refresh the key's position in the eviction order.
+            self.order.remove(&entry.last_written);
+            self.order.insert(stamp, key.clone());
+        }
+        entry.last_written = stamp;
+        &mut *entry.sketch
+    }
+
+    /// Discard the policy's victim: the oldest stamp in the eviction
+    /// index, O(log n) even under sustained new-key churn at capacity.
+    fn evict_one(&mut self) {
+        if let Some((_, victim)) = self.order.pop_first() {
+            self.entries.remove(&victim);
+            self.evictions += 1;
+        }
+    }
+
+    /// Record one occurrence of `item` at tick `ts` on `key`'s stream.
+    pub fn insert(&mut self, key: K, ts: u64, item: u64) {
+        self.sketch_mut(&key).insert(ts, item);
+    }
+
+    /// Record `weight` occurrences of `item` at tick `ts` on `key`'s
+    /// stream, through the backend's weighted fast path.
+    pub fn insert_weighted(&mut self, key: K, ts: u64, item: u64, weight: u64) {
+        self.sketch_mut(&key).insert_weighted(ts, item, weight);
+    }
+
+    /// Batched keyed ingest: the mixed-key batch is grouped into per-key
+    /// event runs first (preserving each key's arrival order), then each
+    /// resident-or-created sketch absorbs its run through one
+    /// `ingest_batch` call. Keys are dispatched in order of first
+    /// appearance, which makes capacity eviction deterministic for a given
+    /// batch — note that within one batch, write recency (and so the LRU
+    /// order) follows that first-appearance order, not the raw event
+    /// interleaving.
+    pub fn ingest(&mut self, batch: &[(K, StreamEvent)]) {
+        let mut order: Vec<K> = Vec::new();
+        let mut runs: HashMap<K, Vec<StreamEvent>> = HashMap::new();
+        for (key, event) in batch {
+            let run = runs.entry(key.clone()).or_insert_with(|| {
+                order.push(key.clone());
+                Vec::new()
+            });
+            run.push(*event);
+        }
+        for key in order {
+            let events = runs.remove(&key).expect("run recorded for ordered key");
+            self.sketch_mut(&key).ingest_batch(&events);
+        }
+    }
+
+    /// Declare that every resident sketch's stream clock has reached `ts`
+    /// with no arrivals. Does not refresh write recency.
+    pub fn advance_to(&mut self, ts: u64) {
+        for entry in self.entries.values_mut() {
+            entry.sketch.advance_to(ts);
+        }
+    }
+
+    /// Answer `q` over `w` from `key`'s sketch; `None` when the key is not
+    /// resident (distinct from a resident sketch's [`QueryError`]).
+    pub fn query(
+        &self,
+        key: &K,
+        q: &Query<'_>,
+        w: WindowSpec,
+    ) -> Option<Result<Answer, QueryError>> {
+        self.entries.get(key).map(|e| e.sketch.query(q, w))
+    }
+
+    /// Answer `q` over `w` from every resident sketch, in sorted key order.
+    pub fn query_all(&self, q: &Query<'_>, w: WindowSpec) -> Vec<(K, Result<Answer, QueryError>)> {
+        let mut out: Vec<(K, Result<Answer, QueryError>)> = self
+            .entries
+            .iter()
+            .map(|(k, e)| (k.clone(), e.sketch.query(q, w)))
+            .collect();
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// The `k` keys with the largest scalar answers to `q` over `w`,
+    /// descending (ties broken by key). Keys whose backend rejects the
+    /// query or returns a non-scalar answer are skipped — the scan is a
+    /// ranking, not a validator.
+    pub fn top_k(&self, k: usize, q: &Query<'_>, w: WindowSpec) -> Vec<(K, f64)> {
+        let mut scored: Vec<(K, f64)> = self
+            .entries
+            .iter()
+            .filter_map(|(key, e)| {
+                let value = e.sketch.query(q, w).ok()?.value()?;
+                Some((key.clone(), value))
+            })
+            .collect();
+        scored.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        scored
+    }
+
+    /// Iterate resident `(key, sketch)` pairs in arbitrary order (use
+    /// [`keys`](Self::keys) + [`get`](Self::get) when order matters).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &dyn Sketch)> {
+        self.entries.iter().map(|(k, e)| (k, &*e.sketch))
+    }
+}
+
+impl<K> std::fmt::Debug for SketchStore<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SketchStore")
+            .field("spec", &self.spec)
+            .field("keys", &self.entries.len())
+            .field("capacity", &self.capacity)
+            .field("eviction", &self.eviction)
+            .field("evictions", &self.evictions)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Backend;
+
+    fn spec() -> SketchSpec {
+        SketchSpec::time(1_000).epsilon(0.1).delta(0.1).seed(3)
+    }
+
+    #[test]
+    fn lazy_creation_and_per_key_isolation() {
+        let mut store: SketchStore<u64> = SketchStore::new(spec()).unwrap();
+        assert!(store.is_empty());
+        for t in 1..=500u64 {
+            store.insert(t % 4, t, 7);
+        }
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.keys(), vec![0, 1, 2, 3]);
+        let w = WindowSpec::time(500, 1_000);
+        for key in 0..4u64 {
+            let est = store
+                .query(&key, &Query::point(7), w)
+                .unwrap()
+                .unwrap()
+                .into_value();
+            assert!((est.value - 125.0).abs() <= 0.1 * 125.0 + 1.0, "{est:?}");
+        }
+        assert!(store.query(&99, &Query::point(7), w).is_none());
+        assert!(store.get(&0).is_some() && store.get(&99).is_none());
+    }
+
+    #[test]
+    fn grouped_ingest_matches_per_event_inserts() {
+        let mut grouped: SketchStore<u64> = SketchStore::new(spec()).unwrap();
+        let mut single: SketchStore<u64> = SketchStore::new(spec()).unwrap();
+        let mut batch = Vec::new();
+        for t in 1..=2_000u64 {
+            let key = t % 5;
+            let item = t % 17;
+            batch.push((key, StreamEvent::new(item, t)));
+            single.insert(key, t, item);
+        }
+        grouped.ingest(&batch);
+        let w = WindowSpec::time(2_000, 1_000);
+        for key in 0..5u64 {
+            for item in 0..17u64 {
+                let a = grouped
+                    .query(&key, &Query::point(item), w)
+                    .unwrap()
+                    .unwrap()
+                    .into_value()
+                    .value;
+                let b = single
+                    .query(&key, &Query::point(item), w)
+                    .unwrap()
+                    .unwrap()
+                    .into_value()
+                    .value;
+                assert_eq!(a.to_bits(), b.to_bits(), "key={key} item={item}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_ranks_tenants_and_skips_unsupported() {
+        let mut store: SketchStore<&'static str> = SketchStore::new(spec()).unwrap();
+        for t in 1..=300u64 {
+            store.insert("heavy", t, 1);
+            if t % 3 == 0 {
+                store.insert("mid", t, 1);
+            }
+            if t % 30 == 0 {
+                store.insert("light", t, 1);
+            }
+        }
+        let w = WindowSpec::time(300, 1_000);
+        let top = store.top_k(2, &Query::total_arrivals(), w);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, "heavy");
+        assert_eq!(top[1].0, "mid");
+        assert!(top[0].1 > top[1].1);
+        // A query no plain-sketch backend supports ranks nothing.
+        assert!(store.top_k(2, &Query::range_sum(0, 10), w).is_empty());
+        // query_all surfaces the per-key errors instead.
+        let all = store.query_all(&Query::range_sum(0, 10), w);
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().all(|(_, r)| r.is_err()));
+    }
+
+    #[test]
+    fn capacity_evicts_lru_by_write_recency() {
+        let mut store: SketchStore<u64> =
+            SketchStore::with_capacity(spec(), 2, Eviction::Lru).unwrap();
+        store.insert(1, 10, 0);
+        store.insert(2, 11, 0);
+        store.insert(1, 12, 0); // refresh key 1; key 2 is now LRU
+        store.insert(3, 13, 0); // evicts key 2
+        assert_eq!(store.keys(), vec![1, 3]);
+        assert_eq!(store.evictions(), 1);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn grouped_ingest_eviction_follows_first_appearance_order() {
+        use crate::sketch::StreamEvent;
+        let mut store: SketchStore<&'static str> =
+            SketchStore::with_capacity(spec(), 2, Eviction::Lru).unwrap();
+        // Raw interleaving writes "a" last, but grouped dispatch stamps
+        // keys by first appearance: a, b, then c evicts a.
+        store.ingest(&[
+            ("a", StreamEvent::new(1, 1)),
+            ("b", StreamEvent::new(1, 1)),
+            ("a", StreamEvent::new(2, 2)),
+            ("c", StreamEvent::new(1, 3)),
+        ]);
+        assert_eq!(store.keys(), vec!["b", "c"]);
+        assert_eq!(store.evictions(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_fifo_by_creation() {
+        let mut store: SketchStore<u64> =
+            SketchStore::with_capacity(spec(), 2, Eviction::Fifo).unwrap();
+        store.insert(1, 10, 0);
+        store.insert(2, 11, 0);
+        store.insert(1, 12, 0); // writes don't matter to FIFO
+        store.insert(3, 13, 0); // evicts key 1 (oldest creation)
+        assert_eq!(store.keys(), vec![2, 3]);
+        assert_eq!(store.evictions(), 1);
+    }
+
+    #[test]
+    fn churning_one_shot_keys_stay_within_capacity() {
+        // The attack-traffic scenario: sustained brand-new keys at
+        // capacity. Every arrival evicts exactly one resident, the hot
+        // keys being rewritten stay resident under LRU, and the eviction
+        // index never drifts from the entry map.
+        let mut store: SketchStore<u64> =
+            SketchStore::with_capacity(spec(), 8, Eviction::Lru).unwrap();
+        for t in 1..=500u64 {
+            store.insert(t % 4, t, 0); // four hot tenants, always refreshed
+            store.insert(1_000 + t, t, 0); // one-shot noise key per tick
+        }
+        assert_eq!(store.len(), 8);
+        let keys = store.keys();
+        for hot in 0..4u64 {
+            assert!(keys.contains(&hot), "hot key {hot} evicted: {keys:?}");
+        }
+        // 500 noise keys entered an 8-slot store: all but the last few
+        // were pushed back out.
+        assert!(store.evictions() >= 490, "evictions={}", store.evictions());
+    }
+
+    #[test]
+    fn construction_validates_spec_and_capacity() {
+        assert!(SketchStore::<u64>::new(SketchSpec::time(0)).is_err());
+        assert!(
+            SketchStore::<u64>::with_capacity(spec(), 0, Eviction::Lru).is_err(),
+            "zero capacity must be rejected"
+        );
+        assert!(SketchStore::<u64>::new(SketchSpec::count(10).sharded(2)).is_err());
+    }
+
+    #[test]
+    fn store_works_over_count_based_and_decayed_specs() {
+        let mut counts: SketchStore<u64> =
+            SketchStore::new(SketchSpec::count(100).seed(1)).unwrap();
+        for i in 0..400u64 {
+            counts.insert(i % 2, i, 5);
+        }
+        let est = counts
+            .query(&0, &Query::point(5), WindowSpec::last(100))
+            .unwrap()
+            .unwrap()
+            .into_value();
+        assert!((est.value - 100.0).abs() <= 11.0);
+
+        let mut decayed: SketchStore<u64> =
+            SketchStore::new(SketchSpec::time(100).backend(Backend::Decayed)).unwrap();
+        for t in 0..200u64 {
+            decayed.insert(0, t, 9);
+        }
+        let est = decayed
+            .query(&0, &Query::point(9), WindowSpec::time(200, 1))
+            .unwrap()
+            .unwrap()
+            .into_value();
+        assert!(est.value > 0.0);
+    }
+
+    #[test]
+    fn advance_to_reaches_every_resident_sketch() {
+        let mut store: SketchStore<u64> = SketchStore::new(spec()).unwrap();
+        store.insert(1, 5, 0);
+        store.insert(2, 5, 0);
+        store.advance_to(50);
+        // Later writes at the advanced tick are monotone for every key.
+        store.insert(1, 50, 0);
+        store.insert(2, 50, 0);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn debug_formatting_is_stable() {
+        let store: SketchStore<u64> =
+            SketchStore::with_capacity(spec(), 7, Eviction::Fifo).unwrap();
+        let dbg = format!("{store:?}");
+        assert!(dbg.contains("SketchStore") && dbg.contains("capacity"));
+    }
+}

@@ -19,7 +19,7 @@
 
 /// Test-case generation: deterministic RNG and run configuration.
 pub mod test_runner {
-    /// How many cases [`crate::proptest!`](proptest) runs per property.
+    /// How many cases the `proptest!` macro runs per property.
     #[derive(Debug, Clone, Copy)]
     pub struct ProptestConfig {
         /// Number of sampled inputs per property function.

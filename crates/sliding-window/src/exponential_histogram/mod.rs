@@ -141,7 +141,7 @@ impl ExponentialHistogram {
     ///
     /// Cost is `O(levels · capacity)` independent of `n`: same-tick bits
     /// are carried up the level cascade arithmetically (see
-    /// [`push_bits_bulk`](Self::push_bits_bulk)), producing a structure
+    /// `push_bits_bulk`), producing a structure
     /// **bit-identical** to `n` successive [`insert_one`](Self::insert_one)
     /// calls — the equivalence the differential ingest suite pins down.
     pub fn insert_ones(&mut self, ts: u64, n: u64) {

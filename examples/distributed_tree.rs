@@ -9,8 +9,9 @@
 //! cargo run --release --example distributed_tree
 //! ```
 
-use distributed::aggregate_tree;
-use ecm::{EcmBuilder, EcmEh, Query, SketchReader, WindowSpec};
+use distributed::{aggregate_tree, site_sketch_from_spec};
+use ecm::{Query, SketchReader, SketchSpec, WindowSpec};
+use sliding_window::ExponentialHistogram;
 use stream_gen::{partition_by_site, worldcup_like, WindowOracle};
 
 const WINDOW: u64 = 1_000_000;
@@ -26,19 +27,20 @@ fn main() {
         SITES
     );
 
+    // One validated spec drives every site's construction — the same
+    // description that would build a local `Box<dyn Sketch>`.
     let eps = 0.1;
-    let cfg = EcmBuilder::new(eps, 0.1, WINDOW).seed(7).eh_config();
+    let spec = SketchSpec::time(WINDOW).epsilon(eps).delta(0.1).seed(7);
+    let cfg = spec
+        .ecm_config::<ExponentialHistogram>()
+        .expect("valid spec");
     let parts = partition_by_site(&events, SITES);
 
     let outcome = aggregate_tree(
         SITES as usize,
         |i| {
-            let mut sk = EcmEh::new(&cfg);
-            sk.set_id_namespace(i as u64 + 1);
-            for e in &parts[i] {
-                sk.insert(e.key, e.ts);
-            }
-            sk
+            site_sketch_from_spec::<ExponentialHistogram>(&spec, i as u64 + 1, &parts[i])
+                .expect("spec validated above")
         },
         &cfg.cell,
     )

@@ -1,0 +1,84 @@
+//! Multi-tenant quickstart: one `SketchSpec` describes every tenant's
+//! sketch, a `SketchStore` creates them lazily, ingests mixed-key batches,
+//! and answers cross-tenant queries — with a bounded key budget guarded by
+//! LRU eviction.
+//!
+//! The scenario: a shared API gateway tracks per-tenant request streams
+//! over a 1-hour sliding window. Most tenants are quiet; a few are heavy;
+//! a burst of ephemeral one-off keys (scrapers, scanners) must not grow
+//! the store without bound.
+//!
+//! ```bash
+//! cargo run --release --example multi_tenant
+//! ```
+
+use ecm::{Eviction, Query, SketchSpec, SketchStore, StreamEvent, WindowSpec};
+use stream_gen::{SeededRng, ZipfSampler};
+
+const WINDOW: u64 = 3_600; // 1 hour of 1-second ticks
+const TENANTS: u64 = 200;
+const CAPACITY: usize = 256;
+
+fn main() {
+    // One description for the whole fleet: ε = 0.1, δ = 0.1, ECM-EH cells.
+    let spec = SketchSpec::time(WINDOW).epsilon(0.1).delta(0.1).seed(42);
+    let mut store: SketchStore<u64> =
+        SketchStore::with_capacity(spec, CAPACITY, Eviction::Lru).expect("valid spec");
+
+    // Two hours of gateway traffic: tenant popularity is Zipf-skewed, each
+    // request carries an endpoint id (the item being counted).
+    let mut rng = SeededRng::seed_from_u64(7);
+    let tenants = ZipfSampler::new(TENANTS, 1.1);
+    let mut batch: Vec<(u64, StreamEvent)> = Vec::with_capacity(4_096);
+    let mut total = 0u64;
+    for t in 1..=(2 * WINDOW) {
+        for _ in 0..rng.gen_range(1..6u64) {
+            let tenant = tenants.sample(&mut rng);
+            let endpoint = rng.gen_range(0..32u64);
+            batch.push((tenant, StreamEvent::new(endpoint, t)));
+            total += 1;
+        }
+        // Ephemeral noise keys: one-shot tenants that LRU should age out.
+        if t % 16 == 0 {
+            batch.push((10_000 + t, StreamEvent::new(0, t)));
+            total += 1;
+        }
+        if batch.len() >= 4_096 {
+            store.ingest(&batch); // grouped per tenant before dispatch
+            batch.clear();
+        }
+    }
+    store.ingest(&batch);
+
+    let now = 2 * WINDOW;
+    let w = WindowSpec::time(now, WINDOW);
+    println!(
+        "{total} requests over {} tenants → {} resident sketches (cap {CAPACITY}, {} evicted)",
+        TENANTS,
+        store.len(),
+        store.evictions()
+    );
+
+    // Which tenants carried the most traffic in the last hour?
+    println!("\ntop tenants by windowed request volume:");
+    for (tenant, volume) in store.top_k(5, &Query::total_arrivals(), w) {
+        println!("  tenant {tenant:>5}: ≈ {volume:>8.0} requests");
+    }
+
+    // Drill into one tenant: per-endpoint frequency with its guarantee.
+    let (hot, _) = store.top_k(1, &Query::total_arrivals(), w).remove(0);
+    let est = store
+        .query(&hot, &Query::point(0), w)
+        .expect("hot tenant is resident")
+        .expect("in-window point query")
+        .into_value();
+    let g = est.guarantee.expect("EH sketches carry guarantees");
+    println!(
+        "\ntenant {hot}, endpoint 0: ≈ {:.0} requests (±ε·N with ε = {:.3}, δ = {:.2})",
+        est.value, g.epsilon, g.delta
+    );
+
+    // The ephemeral keys were evicted, not accumulated.
+    assert!(store.len() <= CAPACITY);
+    println!("\nstore stayed within its {CAPACITY}-key budget — LRU absorbed the noise keys");
+}

@@ -1,0 +1,547 @@
+//! Differential suite for the unified write API: a `SketchSpec`-built
+//! `Box<dyn Sketch>` fed through the object-safe `SketchWriter` surface
+//! (timestamp-first) must be **byte-identical** in its answers to the
+//! hand-constructed concrete backend fed through its *inherent*
+//! `(item, ts)`-order methods — for every backend, every ingest path
+//! (single, weighted, batched), and every query the backend supports.
+//! Plus the `SketchSpec` validation-error matrix.
+//!
+//! This is the write-side analogue of `tests/batched_ingest.rs`: f64
+//! results are compared by bit pattern, not tolerance.
+
+use ecm_suite::ecm::EcmSketch;
+use ecm_suite::ecm::{
+    grouped_runs, Answer, Backend, Clock, CountBasedEcm, CountBasedHierarchy, DecayedCm,
+    EcmBuilder, EcmConfig, EcmEh, EcmHierarchy, Query, QueryError, ShardedEcm, Sketch,
+    SketchReader, SketchSpec, SpecError, StreamEvent, Threshold, WindowSpec,
+};
+use ecm_suite::sliding_window::traits::WindowCounter;
+use ecm_suite::sliding_window::ExponentialHistogram;
+use ecm_suite::stream_gen::{SeededRng, ZipfSampler};
+
+const WINDOW: u64 = 10_000;
+const EVENTS: usize = 6_000;
+
+/// A bursty Zipf trace (runs of equal events included, so the batched path
+/// has something to group).
+fn trace(seed: u64) -> Vec<StreamEvent> {
+    let mut rng = SeededRng::seed_from_u64(seed);
+    let zipf = ZipfSampler::new(512, 1.1);
+    let mut out = Vec::with_capacity(EVENTS);
+    let mut ts = 1u64;
+    while out.len() < EVENTS {
+        ts += rng.gen_range(0..3u64);
+        let key = zipf.sample(&mut rng);
+        let run = if rng.gen_bool(0.25) {
+            rng.gen_range(1..20u64)
+        } else {
+            1
+        };
+        for _ in 0..run {
+            out.push(StreamEvent::new(key, ts));
+        }
+    }
+    out
+}
+
+/// Assert two readers give bit-identical scalar answers for a query set.
+fn assert_scalar_parity(
+    concrete: &dyn SketchReader,
+    boxed: &dyn SketchReader,
+    queries: &[Query<'_>],
+    w: WindowSpec,
+    label: &str,
+) {
+    for q in queries {
+        let a = concrete.query(q, w);
+        let b = boxed.query(q, w);
+        match (a, b) {
+            (Ok(Answer::Value(ea)), Ok(Answer::Value(eb))) => {
+                assert_eq!(
+                    ea.value.to_bits(),
+                    eb.value.to_bits(),
+                    "{label}: {q:?} diverged ({} vs {})",
+                    ea.value,
+                    eb.value
+                );
+                assert_eq!(ea.guarantee, eb.guarantee, "{label}: {q:?} guarantee");
+            }
+            (a, b) => panic!("{label}: {q:?} gave {a:?} vs {b:?}"),
+        }
+    }
+}
+
+/// Split the trace into the three ingest spellings: per-event, weighted
+/// runs, batched. Both sides of every parity test use the same split —
+/// the *concrete* side through each backend's inherent `(item, ts)`-order
+/// methods, the *boxed* side through the trait's `(ts, item)` order — so
+/// an argument-swap bug in any `SketchWriter` impl corrupts exactly one
+/// side and fails the bit comparison.
+fn thirds(events: &[StreamEvent]) -> (&[StreamEvent], &[StreamEvent], &[StreamEvent]) {
+    let third = events.len() / 3;
+    (
+        &events[..third],
+        &events[third..2 * third],
+        &events[2 * third..],
+    )
+}
+
+/// Trait-side feeding of a spec-built `Box<dyn Sketch>`.
+fn feed_trait(boxed: &mut dyn Sketch, events: &[StreamEvent]) {
+    let (single, weighted, batched) = thirds(events);
+    for e in single {
+        boxed.insert(e.ts, e.item);
+    }
+    for (run, n) in grouped_runs(weighted) {
+        boxed.insert_weighted(run.ts, run.item, n);
+    }
+    boxed.ingest_batch(batched);
+}
+
+/// Inherent-side feeding of a plain `EcmSketch<W>` (also each shard-less
+/// building block the other shapes wrap).
+fn feed_inherent_sketch<W: WindowCounter>(sk: &mut EcmSketch<W>, events: &[StreamEvent]) {
+    let (single, weighted, batched) = thirds(events);
+    for e in single {
+        sk.insert(e.item, e.ts);
+    }
+    for (run, n) in grouped_runs(weighted) {
+        sk.insert_weighted(run.item, run.ts, n);
+    }
+    sk.ingest_batch(batched);
+}
+
+/// Inherent-side feeding of an `EcmHierarchy<W>`.
+fn feed_inherent_hierarchy<W: WindowCounter>(h: &mut EcmHierarchy<W>, events: &[StreamEvent]) {
+    let (single, weighted, batched) = thirds(events);
+    for e in single {
+        h.insert(e.item, e.ts);
+    }
+    for (run, n) in grouped_runs(weighted) {
+        h.insert_weighted(run.item, run.ts, n);
+    }
+    h.ingest_batch(batched);
+}
+
+/// Inherent-side feeding of a `ShardedEcm<W>`.
+fn feed_inherent_sharded<W: WindowCounter>(sh: &mut ShardedEcm<W>, events: &[StreamEvent]) {
+    let (single, weighted, batched) = thirds(events);
+    for e in single {
+        sh.insert(e.item, e.ts);
+    }
+    for (run, n) in grouped_runs(weighted) {
+        sh.insert_weighted(run.item, run.ts, n);
+    }
+    sh.ingest_batch(batched);
+}
+
+/// Inherent-side feeding of a `CountBasedEcm<W>` (timestamps play no role).
+fn feed_inherent_count<W: WindowCounter>(cb: &mut CountBasedEcm<W>, events: &[StreamEvent]) {
+    let (single, weighted, batched) = thirds(events);
+    for e in single {
+        cb.insert(e.item);
+    }
+    for (run, n) in grouped_runs(weighted) {
+        cb.insert_many(run.item, n);
+    }
+    let items: Vec<u64> = batched.iter().map(|e| e.item).collect();
+    cb.ingest_batch(&items);
+}
+
+/// Inherent-side feeding of a `CountBasedHierarchy<W>`.
+fn feed_inherent_count_hierarchy<W: WindowCounter>(
+    ch: &mut CountBasedHierarchy<W>,
+    events: &[StreamEvent],
+) {
+    let (single, weighted, batched) = thirds(events);
+    for e in single {
+        ch.insert(e.item);
+    }
+    for (run, n) in grouped_runs(weighted) {
+        ch.insert_many(run.item, n);
+    }
+    let items: Vec<u64> = batched.iter().map(|e| e.item).collect();
+    ch.ingest_batch(&items);
+}
+
+/// Inherent-side feeding of a `DecayedCm` (no inherent batch entry point:
+/// the batched third goes through grouped weighted inserts, which the
+/// trait impl documents as its own batching rule).
+fn feed_inherent_decayed(cm: &mut DecayedCm, events: &[StreamEvent]) {
+    let (single, weighted, batched) = thirds(events);
+    for e in single {
+        cm.insert(e.item, e.ts);
+    }
+    for (run, n) in grouped_runs(weighted) {
+        cm.insert_weighted(run.item, run.ts, n);
+    }
+    for (run, n) in grouped_runs(batched) {
+        cm.insert_weighted(run.item, run.ts, n);
+    }
+}
+
+const EPS: f64 = 0.15;
+const DELTA: f64 = 0.1;
+const SEED: u64 = 31;
+
+fn spec(backend: Backend) -> SketchSpec {
+    SketchSpec::time(WINDOW)
+        .epsilon(EPS)
+        .delta(DELTA)
+        .seed(SEED)
+        .backend(backend)
+}
+
+fn builder() -> EcmBuilder {
+    EcmBuilder::new(EPS, DELTA, WINDOW).seed(SEED)
+}
+
+fn scalar_queries<'a>() -> Vec<Query<'a>> {
+    vec![
+        Query::point(1),
+        Query::point(7),
+        Query::self_join(),
+        Query::total_arrivals(),
+    ]
+}
+
+/// Inherent-vs-trait parity for one plain counter type: feed the typed
+/// sketch through inherent `(item, ts)` calls and the spec-built trait
+/// object through `(ts, item)` calls, then compare answers bit for bit.
+fn check_plain_backend<W>(label: &str, cfg: &EcmConfig<W>, boxed_spec: &SketchSpec)
+where
+    W: WindowCounter + std::fmt::Debug + 'static,
+    W::Config: 'static,
+{
+    let events = trace(1);
+    let now = events.last().unwrap().ts;
+    let mut concrete = EcmSketch::new(cfg);
+    let mut boxed = boxed_spec.build().unwrap();
+    feed_inherent_sketch(&mut concrete, &events);
+    feed_trait(&mut *boxed, &events);
+    for w in [
+        WindowSpec::time(now, WINDOW),
+        WindowSpec::time(now, WINDOW / 7),
+    ] {
+        assert_scalar_parity(&concrete, &*boxed, &scalar_queries(), w, label);
+    }
+}
+
+#[test]
+fn plain_sketch_backends_dispatch_identically() {
+    check_plain_backend("eh", &builder().eh_config(), &spec(Backend::Eh));
+    check_plain_backend(
+        "dw",
+        &builder().max_arrivals(EVENTS as u64 * 2).dw_config(),
+        &spec(Backend::Dw).max_arrivals(EVENTS as u64 * 2),
+    );
+    check_plain_backend(
+        "rw",
+        &EcmBuilder::new(0.3, DELTA, WINDOW)
+            .seed(SEED)
+            .max_arrivals(EVENTS as u64 * 2)
+            .rw_config(),
+        &SketchSpec::time(WINDOW)
+            .epsilon(0.3)
+            .delta(DELTA)
+            .seed(SEED)
+            .backend(Backend::Rw)
+            .max_arrivals(EVENTS as u64 * 2),
+    );
+    check_plain_backend("exact", &builder().exact_config(), &spec(Backend::Exact));
+    check_plain_backend(
+        "ew",
+        &builder().ew_config(8),
+        &spec(Backend::Ew { buckets: 8 }),
+    );
+}
+
+#[test]
+fn hierarchy_backends_dispatch_identically_including_key_queries() {
+    let events = trace(2);
+    let now = events.last().unwrap().ts;
+    let w = WindowSpec::time(now, WINDOW);
+
+    let mut concrete: EcmHierarchy<ExponentialHistogram> =
+        EcmHierarchy::new(10, &builder().eh_config());
+    let mut boxed = spec(Backend::Eh).hierarchy(10).build().unwrap();
+    feed_inherent_hierarchy(&mut concrete, &events);
+    feed_trait(&mut *boxed, &events);
+
+    assert_scalar_parity(&concrete, &*boxed, &scalar_queries(), w, "hierarchy");
+    assert_scalar_parity(
+        &concrete,
+        &*boxed,
+        &[Query::range_sum(3, 200), Query::range_sum(0, 1_023)],
+        w,
+        "hierarchy",
+    );
+    for q in [
+        Query::heavy_hitters(Threshold::Relative(0.02)),
+        Query::heavy_hitters(Threshold::Absolute(40.0)),
+    ] {
+        let a = concrete.query(&q, w).unwrap().into_heavy_hitters();
+        let b = boxed.query(&q, w).unwrap().into_heavy_hitters();
+        assert_eq!(a.len(), b.len(), "{q:?}");
+        for ((ka, ea), (kb, eb)) in a.iter().zip(&b) {
+            assert_eq!(ka, kb);
+            assert_eq!(ea.value.to_bits(), eb.value.to_bits());
+        }
+    }
+    for phi in [0.1, 0.5, 0.99] {
+        assert_eq!(
+            concrete.query(&Query::quantile(phi), w).unwrap(),
+            boxed.query(&Query::quantile(phi), w).unwrap(),
+            "phi={phi}"
+        );
+    }
+}
+
+#[test]
+fn sharded_backend_dispatches_identically() {
+    let events = trace(3);
+    let now = events.last().unwrap().ts;
+    let w = WindowSpec::time(now, WINDOW);
+
+    let mut concrete: ShardedEcm<ExponentialHistogram> = ShardedEcm::new(&builder().eh_config(), 4);
+    let mut boxed = spec(Backend::Eh).sharded(4).build().unwrap();
+    feed_inherent_sharded(&mut concrete, &events);
+    feed_trait(&mut *boxed, &events);
+    assert_scalar_parity(&concrete, &*boxed, &scalar_queries(), w, "sharded");
+}
+
+#[test]
+fn count_based_backends_dispatch_identically() {
+    let events = trace(4);
+    let w = WindowSpec::last(WINDOW / 2);
+
+    let mut concrete: CountBasedEcm<ExponentialHistogram> =
+        CountBasedEcm::new(&builder().eh_config());
+    let mut boxed = SketchSpec::count(WINDOW)
+        .epsilon(EPS)
+        .delta(DELTA)
+        .seed(SEED)
+        .build()
+        .unwrap();
+    feed_inherent_count(&mut concrete, &events);
+    feed_trait(&mut *boxed, &events);
+    assert_scalar_parity(&concrete, &*boxed, &scalar_queries(), w, "count-based");
+
+    let mut ch: CountBasedHierarchy<ExponentialHistogram> =
+        CountBasedHierarchy::new(10, &builder().eh_config());
+    let mut bh = SketchSpec::count(WINDOW)
+        .epsilon(EPS)
+        .delta(DELTA)
+        .seed(SEED)
+        .hierarchy(10)
+        .build()
+        .unwrap();
+    feed_inherent_count_hierarchy(&mut ch, &events);
+    feed_trait(&mut *bh, &events);
+    assert_scalar_parity(
+        &ch,
+        &*bh,
+        &[
+            Query::point(1),
+            Query::range_sum(0, 255),
+            Query::total_arrivals(),
+        ],
+        w,
+        "count-hierarchy",
+    );
+    assert_eq!(
+        ch.query(&Query::quantile(0.5), w).unwrap(),
+        bh.query(&Query::quantile(0.5), w).unwrap()
+    );
+}
+
+#[test]
+fn decayed_backend_dispatches_identically() {
+    let events = trace(5);
+    let now = events.last().unwrap().ts;
+    // Half-life = spec window for Backend::Decayed.
+    let spec = SketchSpec::time(WINDOW)
+        .epsilon(EPS)
+        .delta(DELTA)
+        .seed(SEED)
+        .backend(Backend::Decayed);
+    let mut concrete = DecayedCm::new(&spec.decayed_config().unwrap());
+    let mut boxed = spec.build().unwrap();
+    feed_inherent_decayed(&mut concrete, &events);
+    feed_trait(&mut *boxed, &events);
+
+    let w = WindowSpec::time(now, WINDOW);
+    assert_scalar_parity(&concrete, &*boxed, &scalar_queries(), w, "decayed");
+    // Decay has no hard window edge: range does not change the answer.
+    let narrow = concrete
+        .query(&Query::point(1), WindowSpec::time(now, 1))
+        .unwrap();
+    let wide = boxed
+        .query(&Query::point(1), WindowSpec::time(now, WINDOW))
+        .unwrap();
+    assert_eq!(narrow, wide);
+    // Lazy decay destroys the past: queries behind the write clock are
+    // typed errors, not debug panics or stale release values.
+    assert!(matches!(
+        boxed.query(&Query::point(1), WindowSpec::time(now - 1, 1)),
+        Err(QueryError::InvalidParameter { .. })
+    ));
+    // ... and count-based windows are clock mismatches, key-structured
+    // queries unsupported with a hint.
+    assert!(matches!(
+        boxed.query(&Query::point(1), WindowSpec::last(10)),
+        Err(QueryError::ClockMismatch { .. })
+    ));
+    match boxed.query(&Query::range_sum(0, 9), w) {
+        Err(QueryError::Unsupported { backend, hint, .. }) => {
+            assert_eq!(backend, "DecayedCm");
+            assert!(hint.contains("EcmHierarchy"));
+        }
+        other => panic!("wrong result: {other:?}"),
+    }
+}
+
+#[test]
+fn inner_product_works_through_trait_objects() {
+    let events = trace(6);
+    let now = events.last().unwrap().ts;
+    let w = WindowSpec::time(now, WINDOW);
+
+    let mut a = spec(Backend::Eh).build().unwrap();
+    let mut b = spec(Backend::Eh).build().unwrap();
+    let mut ca = EcmEh::new(&builder().eh_config());
+    let mut cb = EcmEh::new(&builder().eh_config());
+    for e in &events {
+        a.insert(e.ts, e.item);
+        ca.insert(e.item, e.ts);
+        b.insert(e.ts, e.item % 37);
+        cb.insert(e.item % 37, e.ts);
+    }
+    // The dyn-built operand must downcast inside the query layer exactly
+    // like the concrete one.
+    let concrete_ip = ca
+        .query(&Query::inner_product(&cb), w)
+        .unwrap()
+        .into_value();
+    let boxed_ip = a.query(&Query::inner_product(&*b), w).unwrap().into_value();
+    assert_eq!(concrete_ip.value.to_bits(), boxed_ip.value.to_bits());
+
+    // Mismatched trait objects are rejected with both backend names.
+    let dec = spec(Backend::Decayed).build().unwrap();
+    let err = a.query(&Query::inner_product(&*dec), w).unwrap_err();
+    match err {
+        QueryError::IncompatibleOperand { detail } => {
+            assert!(detail.contains("EcmSketch") && detail.contains("DecayedCm"));
+        }
+        other => panic!("wrong error: {other:?}"),
+    }
+
+    // The decayed pair also guards the *operand's* write clock: a `now`
+    // the left side can answer but the right side cannot is a typed
+    // error, not a stale un-decayed product.
+    let mut da = spec(Backend::Decayed).build().unwrap();
+    let mut db = spec(Backend::Decayed).build().unwrap();
+    da.insert(10, 1);
+    db.insert(50, 1);
+    let err = da
+        .query(&Query::inner_product(&*db), WindowSpec::time(10, WINDOW))
+        .unwrap_err();
+    assert!(
+        matches!(err, QueryError::InvalidParameter { .. }),
+        "operand clock must be guarded: {err:?}"
+    );
+    assert!(da
+        .query(&Query::inner_product(&*db), WindowSpec::time(50, WINDOW))
+        .is_ok());
+}
+
+#[test]
+fn a_heterogeneous_registry_of_dyn_sketches_is_usable() {
+    // The point of `Box<dyn Sketch>`: one collection, many backend shapes,
+    // driven through the same two traits.
+    let mut registry: Vec<(&str, Box<dyn Sketch>)> = vec![
+        ("eh", spec(Backend::Eh).build().unwrap()),
+        ("exact", spec(Backend::Exact).build().unwrap()),
+        ("hier", spec(Backend::Eh).hierarchy(10).build().unwrap()),
+        ("shard", spec(Backend::Eh).sharded(3).build().unwrap()),
+        ("decay", spec(Backend::Decayed).build().unwrap()),
+    ];
+    let events = trace(7);
+    let now = events.last().unwrap().ts;
+    for (_, sk) in &mut registry {
+        sk.ingest_batch(&events);
+        sk.advance_to(now);
+    }
+    let w = WindowSpec::time(now, WINDOW);
+    for (name, sk) in &registry {
+        let est = sk
+            .query(&Query::point(1), w)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .into_value();
+        assert!(est.value >= 0.0, "{name}");
+        assert!(!sk.backend().is_empty(), "{name}");
+    }
+}
+
+#[test]
+fn spec_validation_error_matrix() {
+    let cases: Vec<(SketchSpec, &str)> = vec![
+        (SketchSpec::time(0), "zero window"),
+        (SketchSpec::time(10).epsilon(0.0), "zero epsilon"),
+        (SketchSpec::time(10).epsilon(1.0), "epsilon at 1"),
+        (SketchSpec::time(10).epsilon(-0.5), "negative epsilon"),
+        (SketchSpec::time(10).delta(0.0), "zero delta"),
+        (SketchSpec::time(10).delta(1.5), "delta above 1"),
+        (SketchSpec::time(10).hierarchy(0), "zero bits"),
+        (SketchSpec::time(10).hierarchy(64), "too many bits"),
+        (SketchSpec::time(10).sharded(0), "zero shards"),
+        (SketchSpec::time(10).max_arrivals(0), "zero max_arrivals"),
+        (
+            SketchSpec::time(10).backend(Backend::Ew { buckets: 0 }),
+            "zero buckets",
+        ),
+        (
+            SketchSpec::time(10).hierarchy(4).sharded(2),
+            "hierarchy x sharded",
+        ),
+        (SketchSpec::count(10).sharded(2), "count x sharded"),
+        (
+            SketchSpec::count(10).backend(Backend::Decayed),
+            "count x decayed",
+        ),
+        (
+            SketchSpec::time(10).backend(Backend::Decayed).hierarchy(4),
+            "decayed x hierarchy",
+        ),
+    ];
+    for (bad, label) in cases {
+        let validate_err = bad.validate().expect_err(label);
+        let build_err = bad.build().map(|_| ()).expect_err(label);
+        assert_eq!(validate_err, build_err, "{label}: validate/build disagree");
+        assert!(!validate_err.to_string().is_empty(), "{label}");
+    }
+
+    // The error *kinds* are typed, not stringly.
+    assert!(matches!(
+        SketchSpec::time(0).validate(),
+        Err(SpecError::ZeroWindow)
+    ));
+    assert!(matches!(
+        SketchSpec::time(10).epsilon(7.0).validate(),
+        Err(SpecError::InvalidEpsilon { got }) if got == 7.0
+    ));
+    assert!(matches!(
+        SketchSpec::count(10).sharded(2).validate(),
+        Err(SpecError::Conflict { .. })
+    ));
+}
+
+#[test]
+fn spec_accessors_reflect_the_description() {
+    let s = SketchSpec::count(500).backend(Backend::Exact);
+    assert_eq!(s.clock(), Clock::Count);
+    assert_eq!(s.window(), 500);
+    assert_eq!(s.declared_backend(), Backend::Exact);
+    assert_eq!(Backend::Ew { buckets: 3 }.name(), "equi-width");
+    assert_eq!(Backend::Decayed.name(), "decayed");
+}

@@ -433,36 +433,36 @@ fn inner_product_pairs_compatible_backends_only() {
 }
 
 #[test]
-fn legacy_shims_agree_with_the_typed_api() {
-    // The deprecated positional methods are documented as thin delegating
-    // shims: equal answers, minus the window validation.
-    #![allow(deprecated)]
+fn spec_built_backends_agree_with_hand_constructed_ones() {
+    // The legacy positional shims are gone; the compatibility claim that
+    // replaces them is construction-side: a `SketchSpec`-built trait object
+    // answers byte-identically to the hand-built sketch it describes (the
+    // full per-backend matrix lives in tests/dyn_sketch.rs).
+    use ecm_suite::ecm::{Backend, SketchSpec};
     let events = worldcup_like(8_000, 21);
     let now = events.last().unwrap().ts;
     let cfg = EcmBuilder::new(EPS, 0.05, WINDOW).seed(9).eh_config();
     let mut sk = EcmEh::new(&cfg);
-    let mut h: EcmHierarchy<ExponentialHistogram> = EcmHierarchy::new(BITS, &cfg);
+    let mut dyn_sk = SketchSpec::time(WINDOW)
+        .epsilon(EPS)
+        .delta(0.05)
+        .seed(9)
+        .backend(Backend::Eh)
+        .build()
+        .expect("valid spec");
     for e in &events {
         sk.insert(e.key, e.ts);
-        h.insert(e.key, e.ts);
+        dyn_sk.insert(e.ts, e.key);
     }
     let w = WindowSpec::time(now, WINDOW);
     for key in (0..500u64).step_by(11) {
         assert_eq!(
-            sk.point_query(key, now, WINDOW),
-            value(&sk, &Query::point(key), w)
+            value(&sk, &Query::point(key), w),
+            value(&*dyn_sk, &Query::point(key), w)
         );
     }
     assert_eq!(
-        sk.self_join(now, WINDOW),
-        value(&sk, &Query::self_join(), w)
-    );
-    assert_eq!(
-        h.range_sum(10, 5_000, now, WINDOW),
-        value(&h, &Query::range_sum(10, 5_000), w)
-    );
-    assert_eq!(
-        h.quantile(0.5, now, WINDOW),
-        h.query(&Query::quantile(0.5), w).unwrap().into_quantile()
+        value(&sk, &Query::self_join(), w),
+        value(&*dyn_sk, &Query::self_join(), w)
     );
 }
