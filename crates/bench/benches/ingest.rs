@@ -12,42 +12,16 @@
 //! validated by `crates/bench/tests/bench_schema.rs`. Scale with
 //! `ECM_EVENTS` (default 200 000).
 
-use ecm::{EcmBuilder, EcmSketch, StreamEvent};
-use ecm_bench::event_budget;
+use count_min::HashFamily;
+use ecm::{EcmBuilder, EcmConfig, EcmSketch, StreamEvent};
+use ecm_bench::{bursty_zipf_trace, event_budget};
 use sliding_window::traits::WindowCounter;
+use sliding_window::ExponentialHistogram;
 use std::time::Instant;
-use stream_gen::{SeededRng, ZipfSampler};
 
 const WINDOW: u64 = 1_000_000;
 const ZIPF_SKEW: f64 = 1.2;
 const KEY_DOMAIN: u64 = 10_000;
-
-/// A bursty Zipf trace: ticks advance by small random gaps and each tick
-/// carries a run of the same key whose length is heavy-tailed (mostly
-/// singletons, occasionally hundreds — flash-crowd shape).
-fn bursty_trace(target_events: usize, seed: u64) -> Vec<StreamEvent> {
-    let mut rng = SeededRng::seed_from_u64(seed);
-    let zipf = ZipfSampler::new(KEY_DOMAIN, ZIPF_SKEW);
-    let mut out = Vec::with_capacity(target_events + 512);
-    let mut ts = 1u64;
-    while out.len() < target_events {
-        ts += rng.gen_range(0..4u64);
-        let key = zipf.sample(&mut rng);
-        // ~30% singletons; the rest heavy-tailed bursts (mean ≈ 70,
-        // occasionally 1000+ — the flash-crowd shape of the paper's
-        // network-monitoring workloads).
-        let weight = if rng.gen_bool(0.3) {
-            1
-        } else {
-            let u = rng.gen_f64();
-            (1.0 / (1.0 - u * 0.99)).powf(2.0).min(1024.0) as u64
-        };
-        for _ in 0..weight.max(1) {
-            out.push(StreamEvent::new(key, ts));
-        }
-    }
-    out
-}
 
 /// Count the runs the batched path will see.
 fn count_runs(events: &[StreamEvent]) -> usize {
@@ -111,7 +85,40 @@ fn measure<W: WindowCounter>(
     }
 }
 
-fn json_escape_free(rows: &[Row], events: usize, runs: usize) -> String {
+/// Memory of a warm ECM-EH sketch under the slab grid vs the per-cell
+/// layout it replaced: the slab number comes from the sketch itself, the
+/// per-cell number from a replica grid of standalone `ExponentialHistogram`
+/// values fed through the same hash routing on the same trace (each cell a
+/// `Vec<VecDeque>` histogram, as `EcmSketch` stored before the slab).
+struct MemoryComparison {
+    slab_bytes: usize,
+    per_cell_bytes: usize,
+}
+
+fn measure_memory(
+    cfg: &EcmConfig<ExponentialHistogram>,
+    sketch: &EcmSketch<ExponentialHistogram>,
+    events: &[StreamEvent],
+) -> MemoryComparison {
+    let hashes = HashFamily::from_seed(cfg.seed, cfg.depth);
+    let mut cells: Vec<ExponentialHistogram> = (0..cfg.width * cfg.depth)
+        .map(|_| ExponentialHistogram::new(&cfg.cell))
+        .collect();
+    for (e, n) in ecm::grouped_runs(events) {
+        for j in 0..cfg.depth {
+            let idx = j * cfg.width + hashes.bucket(j, e.item, cfg.width);
+            cells[idx].insert_ones(e.ts, n);
+        }
+    }
+    let per_cell_bytes = std::mem::size_of::<EcmSketch<ExponentialHistogram>>()
+        + cells.iter().map(WindowCounter::memory_bytes).sum::<usize>();
+    MemoryComparison {
+        slab_bytes: sketch.memory_bytes(),
+        per_cell_bytes,
+    }
+}
+
+fn json_escape_free(rows: &[Row], events: usize, runs: usize, memory: &MemoryComparison) -> String {
     let mut results = String::new();
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
@@ -126,14 +133,19 @@ fn json_escape_free(rows: &[Row], events: usize, runs: usize) -> String {
         "{{\n  \"schema_version\": 1,\n  \"bench\": \"ingest\",\n  \"workload\": {{\n    \
          \"events\": {events},\n    \"runs\": {runs},\n    \"mean_run_weight\": {:.2},\n    \
          \"zipf_skew\": {ZIPF_SKEW},\n    \"key_domain\": {KEY_DOMAIN},\n    \
-         \"window\": {WINDOW}\n  }},\n  \"results\": [\n{results}\n  ]\n}}\n",
-        events as f64 / runs as f64
+         \"window\": {WINDOW}\n  }},\n  \"memory\": {{\n    \"backend\": \"ecm-eh\",\n    \
+         \"slab_bytes\": {},\n    \"per_cell_bytes\": {},\n    \"ratio\": {:.3}\n  }},\n  \
+         \"results\": [\n{results}\n  ]\n}}\n",
+        events as f64 / runs as f64,
+        memory.slab_bytes,
+        memory.per_cell_bytes,
+        memory.slab_bytes as f64 / memory.per_cell_bytes as f64
     )
 }
 
 fn main() {
     let n_events = event_budget();
-    let events = bursty_trace(n_events, 42);
+    let events = bursty_zipf_trace(n_events, 42, KEY_DOMAIN, ZIPF_SKEW);
     let runs = count_runs(&events);
     println!(
         "bursty Zipf ingest: {} events in {} runs (mean weight {:.1})",
@@ -167,7 +179,17 @@ fn main() {
         );
     }
 
-    let json = json_escape_free(&rows, events.len(), runs);
+    let mut warm_eh = EcmSketch::new(&builder.eh_config());
+    warm_eh.ingest_batch(&events);
+    let memory = measure_memory(&builder.eh_config(), &warm_eh, &events);
+    println!(
+        "ecm-eh warm memory: slab {} B vs per-cell {} B ({:.1}% saved)",
+        memory.slab_bytes,
+        memory.per_cell_bytes,
+        100.0 * (1.0 - memory.slab_bytes as f64 / memory.per_cell_bytes as f64)
+    );
+
+    let json = json_escape_free(&rows, events.len(), runs, &memory);
     let out = std::env::var("BENCH_INGEST_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json").to_string()
     });

@@ -95,6 +95,10 @@ where
         "AggregationOutcome"
     }
 
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<TransferStats>() + self.root.memory_bytes()
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

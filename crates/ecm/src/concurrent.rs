@@ -209,6 +209,7 @@ impl<W: WindowCounter> ShardedEcm<W> {
 impl<W: WindowCounter + Send> ShardedEcm<W>
 where
     W::Config: Send + Sync,
+    W::GridStorage: Send,
 {
     /// Build a sharded sketch by streaming `(item, tick)` pairs through one
     /// worker thread per shard.

@@ -71,4 +71,4 @@ pub use decayed_cm::{DecayedCm, DecayedCmConfig};
 pub use hierarchy::{EcmHierarchy, Threshold};
 pub use query::{Answer, Estimate, Guarantee, Query, QueryError, SketchReader, WindowSpec};
 pub use sketch::{grouped_runs, EcmDw, EcmEh, EcmEw, EcmExact, EcmRw, EcmSketch, StreamEvent};
-pub use store::{Eviction, SketchStore};
+pub use store::{Eviction, MemoryReport, SketchStore};

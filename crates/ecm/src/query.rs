@@ -475,6 +475,12 @@ pub trait SketchReader {
     /// Short backend name used in error messages.
     fn backend(&self) -> &'static str;
 
+    /// Bytes of memory the backend currently holds (cells, hierarchies
+    /// and shards included) — the sizing signal capacity planners and the
+    /// keyed store's [`memory_report`](crate::store::SketchStore::memory_report)
+    /// aggregate.
+    fn memory_bytes(&self) -> usize;
+
     /// Downcast support for binary queries ([`Query::InnerProduct`]).
     fn as_any(&self) -> &dyn Any;
 }
@@ -655,6 +661,10 @@ where
         "EcmSketch"
     }
 
+    fn memory_bytes(&self) -> usize {
+        EcmSketch::memory_bytes(self)
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -722,6 +732,10 @@ where
         "EcmHierarchy"
     }
 
+    fn memory_bytes(&self) -> usize {
+        EcmHierarchy::memory_bytes(self)
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -770,6 +784,10 @@ where
 
     fn backend(&self) -> &'static str {
         "CountBasedEcm"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        CountBasedEcm::memory_bytes(self)
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -836,6 +854,10 @@ where
         "CountBasedHierarchy"
     }
 
+    fn memory_bytes(&self) -> usize {
+        CountBasedHierarchy::memory_bytes(self)
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -884,6 +906,10 @@ where
 
     fn backend(&self) -> &'static str {
         "ShardedEcm"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        ShardedEcm::memory_bytes(self)
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -979,6 +1005,10 @@ impl SketchReader for DecayedCm {
 
     fn backend(&self) -> &'static str {
         "DecayedCm"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        DecayedCm::memory_bytes(self)
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -4,6 +4,7 @@
 use crate::config::EcmConfig;
 use count_min::HashFamily;
 use sliding_window::codec::{get_u8, get_varint, put_u8, put_varint};
+use sliding_window::grid::CellStorage;
 use sliding_window::traits::{MergeableCounter, WindowCounter};
 use sliding_window::{
     CodecError, DeterministicWave, EquiWidthWindow, ExactWindow, ExponentialHistogram, MergeError,
@@ -42,17 +43,13 @@ impl From<(u64, u64)> for StreamEvent {
 /// reordering occurrences would permute the arrival ids the randomized
 /// wave samples by.
 pub fn grouped_runs<T: PartialEq + Copy>(items: &[T]) -> impl Iterator<Item = (T, u64)> + '_ {
-    let mut i = 0usize;
+    let mut rest = items;
     std::iter::from_fn(move || {
-        if i >= items.len() {
-            return None;
-        }
-        let head = items[i];
-        let mut n = 1usize;
-        while i + n < items.len() && items[i + n] == head {
-            n += 1;
-        }
-        i += n;
+        let (&head, tail) = rest.split_first()?;
+        // Iterator-based scan: the bounds check lives in the slice split,
+        // not in every comparison of the (hot) run-length loop.
+        let n = 1 + tail.iter().take_while(|&&e| e == head).count();
+        rest = &rest[n..];
         Some((head, n as u64))
     })
 }
@@ -84,8 +81,12 @@ pub struct EcmSketch<W: WindowCounter> {
     width: usize,
     depth: usize,
     hashes: HashFamily,
-    /// Row-major `depth × width` counter cells.
-    cells: Vec<W>,
+    /// Row-major `depth × width` counter cells, in the memory layout the
+    /// counter type selects ([`WindowCounter::GridStorage`]): a plain
+    /// `Vec` of counters for the wave/exact/equi-width backends, the
+    /// contiguous [`EhGrid`](sliding_window::EhGrid) slab for exponential
+    /// histograms.
+    cells: W::GridStorage,
     cell_cfg: W::Config,
     /// Arrival-identity namespace: auto-assigned ids are
     /// `(namespace << 40) + seq`, keeping ids from distinct sites disjoint
@@ -106,9 +107,7 @@ impl<W: WindowCounter> EcmSketch<W> {
             cfg.width > 0 && cfg.depth > 0,
             "dimensions must be positive"
         );
-        let cells = (0..cfg.width * cfg.depth)
-            .map(|_| W::new(&cfg.cell))
-            .collect();
+        let cells = W::GridStorage::new_grid(&cfg.cell, cfg.width * cfg.depth);
         EcmSketch {
             width: cfg.width,
             depth: cfg.depth,
@@ -139,10 +138,7 @@ impl<W: WindowCounter> EcmSketch<W> {
 
     /// Window length in ticks.
     pub fn window_len(&self) -> u64 {
-        self.cells
-            .first()
-            .map(WindowCounter::window_len)
-            .unwrap_or(0)
+        self.cells.window_len()
     }
 
     /// Lifetime arrivals inserted into this sketch.
@@ -185,7 +181,7 @@ impl<W: WindowCounter> EcmSketch<W> {
         self.lifetime += 1;
         for j in 0..self.depth {
             let idx = j * self.width + self.hashes.bucket(j, item, self.width);
-            self.cells[idx].insert(ts, id);
+            self.cells.insert(idx, ts, id);
         }
     }
 
@@ -221,9 +217,21 @@ impl<W: WindowCounter> EcmSketch<W> {
         debug_assert!(ts >= self.last_ts, "timestamps must be non-decreasing");
         self.last_ts = self.last_ts.max(ts);
         self.lifetime += weight;
-        for j in 0..self.depth {
-            let idx = j * self.width + self.hashes.bucket(j, item, self.width);
-            self.cells[idx].insert_weighted(ts, first_id, weight);
+        // Hand all d row cells to the storage at once: layouts that share
+        // per-occurrence work across the rows (the randomized wave's id
+        // sampling) exploit it; the rest fall back to a per-cell loop.
+        let mut idx_buf = [0usize; 64];
+        if self.depth <= idx_buf.len() {
+            for (j, slot) in idx_buf[..self.depth].iter_mut().enumerate() {
+                *slot = j * self.width + self.hashes.bucket(j, item, self.width);
+            }
+            self.cells
+                .insert_weighted_rows(&idx_buf[..self.depth], ts, first_id, weight);
+        } else {
+            for j in 0..self.depth {
+                let idx = j * self.width + self.hashes.bucket(j, item, self.width);
+                self.cells.insert_weighted(idx, ts, first_id, weight);
+            }
         }
     }
 
@@ -259,10 +267,7 @@ impl<W: WindowCounter> EcmSketch<W> {
         self.lifetime += n;
         for j in 0..self.depth {
             let idx = j * self.width + self.hashes.bucket(j, item, self.width);
-            let cell = &mut self.cells[idx];
-            for k in 0..n {
-                cell.insert(first_ts + k, first_id + k);
-            }
+            self.cells.insert_run(idx, first_ts, first_id, n);
         }
     }
 
@@ -297,7 +302,7 @@ impl<W: WindowCounter> EcmSketch<W> {
         (0..self.depth)
             .map(|j| {
                 let idx = j * self.width + self.hashes.bucket(j, item, self.width);
-                self.cells[idx].query(now, range)
+                self.cells.query(idx, now, range)
             })
             .fold(f64::INFINITY, f64::min)
             .min(f64::MAX)
@@ -333,7 +338,7 @@ impl<W: WindowCounter> EcmSketch<W> {
     fn row_dot(&self, other: &EcmSketch<W>, j: usize, now: u64, range: u64) -> f64 {
         let row = j * self.width;
         (0..self.width)
-            .map(|i| self.cells[row + i].query(now, range) * other.cells[row + i].query(now, range))
+            .map(|i| self.cells.query(row + i, now, range) * other.cells.query(row + i, now, range))
             .sum()
     }
 
@@ -347,7 +352,7 @@ impl<W: WindowCounter> EcmSketch<W> {
         for j in 0..self.depth {
             let row = j * self.width;
             for i in 0..self.width {
-                sum += self.cells[row + i].query(now, range);
+                sum += self.cells.query(row + i, now, range);
             }
         }
         sum / self.depth as f64
@@ -357,13 +362,15 @@ impl<W: WindowCounter> EcmSketch<W> {
     /// method monitor to extract statistics vectors, paper §6.2).
     pub fn cell_estimate(&self, row: usize, col: usize, now: u64, range: u64) -> f64 {
         assert!(row < self.depth && col < self.width, "cell out of bounds");
-        self.cells[row * self.width + col].query(now, range)
+        self.cells.query(row * self.width + col, now, range)
     }
 
     /// Extract the whole `d × w` estimate matrix for a query range as a flat
     /// row-major vector — the "statistics vector" of the geometric method.
     pub fn estimate_vector(&self, now: u64, range: u64) -> Vec<f64> {
-        self.cells.iter().map(|c| c.query(now, range)).collect()
+        (0..self.cells.n_cells())
+            .map(|idx| self.cells.query(idx, now, range))
+            .collect()
     }
 
     fn check_compatible(&self, other: &EcmSketch<W>) -> Result<(), MergeError> {
@@ -385,7 +392,7 @@ impl<W: WindowCounter> EcmSketch<W> {
 
     /// Bytes of memory currently held (dominated by the cells).
     pub fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.cells.iter().map(W::memory_bytes).sum::<usize>()
+        std::mem::size_of::<Self>() + self.cells.memory_bytes()
     }
 
     /// Append the compact wire encoding (what a site ships to its
@@ -396,8 +403,8 @@ impl<W: WindowCounter> EcmSketch<W> {
         put_varint(buf, self.width as u64);
         put_varint(buf, self.depth as u64);
         self.hashes.encode(buf);
-        for cell in &self.cells {
-            cell.encode(buf);
+        for idx in 0..self.cells.n_cells() {
+            self.cells.encode_cell(idx, buf);
         }
         put_varint(buf, self.id_namespace);
         put_varint(buf, self.seq);
@@ -432,10 +439,7 @@ impl<W: WindowCounter> EcmSketch<W> {
                 context: "ecm hashes",
             });
         }
-        let mut cells = Vec::with_capacity(width * depth);
-        for _ in 0..width * depth {
-            cells.push(W::decode(&cfg.cell, input)?);
-        }
+        let cells = W::GridStorage::decode_grid(&cfg.cell, width * depth, input)?;
         let id_namespace = get_varint(input, "ecm namespace")?;
         let seq = get_varint(input, "ecm seq")?;
         let last_ts = get_varint(input, "ecm last_ts")?;
@@ -473,11 +477,26 @@ impl<W: MergeableCounter> EcmSketch<W> {
         for p in &parts[1..] {
             first.check_compatible(p)?;
         }
-        let mut cells = Vec::with_capacity(first.cells.len());
-        for idx in 0..first.cells.len() {
-            let cell_parts: Vec<&W> = parts.iter().map(|p| &p.cells[idx]).collect();
-            cells.push(W::merge(&cell_parts, out_cell_cfg)?);
+        let n_cells = first.cells.n_cells();
+        let mut merged = Vec::with_capacity(n_cells);
+        for idx in 0..n_cells {
+            // Borrow cells where the layout stores them as counter values
+            // (every part shares one storage type); only packed layouts
+            // (the EH slab) pay a materialization copy.
+            let cell = if first.cells.cell_ref(idx).is_some() {
+                let refs: Vec<&W> = parts
+                    .iter()
+                    .map(|p| p.cells.cell_ref(idx).expect("parts share one layout"))
+                    .collect();
+                W::merge(&refs, out_cell_cfg)?
+            } else {
+                let owned: Vec<W> = parts.iter().map(|p| p.cells.materialize(idx)).collect();
+                let refs: Vec<&W> = owned.iter().collect();
+                W::merge(&refs, out_cell_cfg)?
+            };
+            merged.push(cell);
         }
+        let cells = W::GridStorage::from_counters(out_cell_cfg, merged);
         Ok(EcmSketch {
             width: first.width,
             depth: first.depth,

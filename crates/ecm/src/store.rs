@@ -305,6 +305,35 @@ impl<K: Eq + Hash + Ord + Clone> SketchStore<K> {
     pub fn iter(&self) -> impl Iterator<Item = (&K, &dyn Sketch)> {
         self.entries.iter().map(|(k, e)| (k, &*e.sketch))
     }
+
+    /// Total bytes held by all resident sketches (store bookkeeping
+    /// excluded; it is dwarfed by the sketches).
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.values().map(|e| e.sketch.memory_bytes()).sum()
+    }
+
+    /// Per-key memory breakdown plus the total — the fleet-sizing view of
+    /// [`SketchReader::memory_bytes`](crate::query::SketchReader::memory_bytes).
+    pub fn memory_report(&self) -> MemoryReport<K> {
+        let mut per_key: Vec<(K, usize)> = self
+            .entries
+            .iter()
+            .map(|(k, e)| (k.clone(), e.sketch.memory_bytes()))
+            .collect();
+        // Largest first; ties in key order so reports are deterministic.
+        per_key.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let total = per_key.iter().map(|&(_, b)| b).sum();
+        MemoryReport { per_key, total }
+    }
+}
+
+/// Per-key and total memory held by a [`SketchStore`]'s resident sketches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryReport<K> {
+    /// `(key, bytes)` pairs, largest consumer first (ties by key).
+    pub per_key: Vec<(K, usize)>,
+    /// Sum over all resident keys.
+    pub total: usize,
 }
 
 impl<K> std::fmt::Debug for SketchStore<K> {
@@ -519,6 +548,32 @@ mod tests {
         store.insert(1, 50, 0);
         store.insert(2, 50, 0);
         assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn memory_report_totals_and_ranks_tenants() {
+        let mut store: SketchStore<&'static str> = SketchStore::new(spec()).unwrap();
+        for t in 1..=2_000u64 {
+            store.insert("busy", t, t % 64);
+            if t % 50 == 0 {
+                store.insert("idle", t, 1);
+            }
+        }
+        let report = store.memory_report();
+        assert_eq!(report.per_key.len(), 2);
+        assert_eq!(report.total, store.memory_bytes());
+        assert_eq!(
+            report.total,
+            report.per_key.iter().map(|&(_, b)| b).sum::<usize>()
+        );
+        // The busy tenant holds more buckets, so it leads the report; the
+        // per-key numbers agree with the trait-object accessor.
+        assert_eq!(report.per_key[0].0, "busy");
+        assert!(report.per_key[0].1 >= report.per_key[1].1);
+        for (key, bytes) in &report.per_key {
+            assert_eq!(*bytes, store.get(key).unwrap().memory_bytes());
+            assert!(*bytes > 0);
+        }
     }
 
     #[test]

@@ -307,6 +307,7 @@ impl DeterministicWave {
 
 impl WindowCounter for DeterministicWave {
     type Config = DwConfig;
+    type GridStorage = crate::grid::VecCells<Self>;
 
     fn new(cfg: &Self::Config) -> Self {
         DeterministicWave::new(cfg)

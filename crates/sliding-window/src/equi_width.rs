@@ -145,6 +145,7 @@ impl EquiWidthWindow {
 
 impl WindowCounter for EquiWidthWindow {
     type Config = EquiWidthConfig;
+    type GridStorage = crate::grid::VecCells<Self>;
 
     fn new(cfg: &Self::Config) -> Self {
         EquiWidthWindow::new(cfg)

@@ -117,6 +117,7 @@ impl ExactWindow {
 
 impl WindowCounter for ExactWindow {
     type Config = ExactWindowConfig;
+    type GridStorage = crate::grid::VecCells<Self>;
 
     fn new(cfg: &Self::Config) -> Self {
         ExactWindow::new(cfg)

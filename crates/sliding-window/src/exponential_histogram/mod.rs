@@ -26,7 +26,7 @@ use crate::codec::{get_u8, get_varint, put_u8, put_varint};
 use crate::error::CodecError;
 use crate::traits::{MergeableCounter, WindowCounter, WindowGuarantee};
 
-const CODEC_VERSION: u8 = 1;
+pub(crate) const CODEC_VERSION: u8 = 1;
 
 /// Construction parameters for an [`ExponentialHistogram`].
 #[derive(Debug, Clone, PartialEq)]
@@ -130,6 +130,47 @@ impl ExponentialHistogram {
     /// The configuration this histogram was built with.
     pub fn config(&self) -> &EhConfig {
         &self.cfg
+    }
+
+    /// Raw level deques (newest bucket at each front) — the slab grid
+    /// imports and materializes cells through these.
+    pub(crate) fn raw_levels(&self) -> &[VecDeque<u64>] {
+        &self.levels
+    }
+
+    /// Raw scalar state: `(total, last_ts, first_ts, dropped_end,
+    /// lifetime)`.
+    pub(crate) fn raw_meta(&self) -> (u64, u64, Option<u64>, Option<u64>, u64) {
+        (
+            self.total,
+            self.last_ts,
+            self.first_ts,
+            self.dropped_end,
+            self.lifetime,
+        )
+    }
+
+    /// Assemble a histogram from raw state (the slab grid's materialization
+    /// path); callers are responsible for handing over a consistent state.
+    pub(crate) fn from_raw_parts(
+        cfg: &EhConfig,
+        levels: Vec<VecDeque<u64>>,
+        total: u64,
+        last_ts: u64,
+        first_ts: Option<u64>,
+        dropped_end: Option<u64>,
+        lifetime: u64,
+    ) -> Self {
+        ExponentialHistogram {
+            cap: cfg.level_capacity(),
+            cfg: cfg.clone(),
+            levels,
+            total,
+            last_ts,
+            first_ts,
+            dropped_end,
+            lifetime,
+        }
     }
 
     /// Record one 1-bit at tick `ts`. Ticks must be non-decreasing.
@@ -433,6 +474,9 @@ fn partition_desc(level: &VecDeque<u64>, cutoff: u64) -> usize {
 
 impl WindowCounter for ExponentialHistogram {
     type Config = EhConfig;
+    /// Grids of EH cells live in one contiguous slab (the level capacity is
+    /// fixed at construction, so rings replace the per-level deques).
+    type GridStorage = crate::eh_slab::EhGrid;
 
     fn new(cfg: &Self::Config) -> Self {
         ExponentialHistogram::new(cfg)

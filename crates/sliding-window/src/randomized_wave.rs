@@ -20,6 +20,7 @@ use std::collections::VecDeque;
 
 use crate::codec::{get_u8, get_varint, put_u8, put_varint};
 use crate::error::{CodecError, MergeError};
+use crate::grid::{CellStorage, VecCells};
 use crate::traits::{MergeableCounter, WindowCounter, WindowGuarantee};
 
 const CODEC_VERSION: u8 = 3;
@@ -100,6 +101,152 @@ struct Sample {
     id: u64,
 }
 
+/// A grid of randomized-wave cells that shares the per-occurrence id
+/// sampling across the cells of one update.
+///
+/// The geometric level of an arrival is a pure function of `(seed, id)`,
+/// and every cell of one sketch is built from the same configuration — so
+/// when a Count-Min update records one burst in `d` row cells, the mix,
+/// level draw and level-0 churn decision are computed **once per
+/// occurrence** here instead of once per occurrence *per row*
+/// (see [`CellStorage::insert_weighted_rows`]). Cell states stay exactly
+/// what per-cell insertion would produce.
+#[derive(Debug, Clone)]
+pub struct RwGrid {
+    /// All generic grid plumbing delegates to the one-value-per-cell
+    /// layout; only the burst kernel below is wave-specific.
+    inner: VecCells<RandomizedWave>,
+}
+
+impl crate::grid::sealed::Sealed for RwGrid {}
+
+impl CellStorage<RandomizedWave> for RwGrid {
+    fn new_grid(cfg: &RwConfig, n_cells: usize) -> Self {
+        RwGrid {
+            inner: VecCells::new_grid(cfg, n_cells),
+        }
+    }
+
+    fn n_cells(&self) -> usize {
+        self.inner.n_cells()
+    }
+
+    #[inline]
+    fn insert(&mut self, idx: usize, ts: u64, id: u64) {
+        self.inner.insert(idx, ts, id);
+    }
+
+    #[inline]
+    fn insert_weighted(&mut self, idx: usize, ts: u64, first_id: u64, n: u64) {
+        self.inner.insert_weighted(idx, ts, first_id, n);
+    }
+
+    fn insert_weighted_rows(&mut self, idxs: &[usize], ts: u64, first_id: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let cells = self.inner.cells_mut();
+        let Some((&first_idx, _)) = idxs.split_first() else {
+            return;
+        };
+        // Shared sampling parameters: every cell of a grid is built from
+        // one config (constructor and merge paths both guarantee it).
+        let (seed, cap, top) = {
+            let c = &cells[first_idx];
+            (c.cfg.seed, c.cap, c.queues.len() - 1)
+        };
+        for &i in idxs {
+            let c = &mut cells[i];
+            debug_assert_eq!(c.cfg.seed, seed, "grid cells must share a config");
+            debug_assert!(c.count == 0 || ts >= c.last_ts);
+            c.last_ts = ts;
+            c.count += n;
+        }
+        let skip = n.saturating_sub(cap as u64);
+        if skip > 0 {
+            for &i in idxs {
+                cells[i].evicted[0] = true;
+            }
+        }
+        for k in 0..n {
+            let id = first_id + k;
+            let h = splitmix64(id ^ seed);
+            let in_level0 = k >= skip;
+            if h & 1 != 0 {
+                // Level 0 only; churned straight out during the skip phase.
+                if in_level0 {
+                    for &i in idxs {
+                        cells[i].push_sampled(ts, id, 0, 0);
+                    }
+                }
+                continue;
+            }
+            let lvl = (h.trailing_zeros() as usize).min(top);
+            let lo = usize::from(!in_level0);
+            for &i in idxs {
+                cells[i].push_sampled(ts, id, lvl, lo);
+            }
+        }
+    }
+
+    #[inline]
+    fn query(&self, idx: usize, now: u64, range: u64) -> f64 {
+        self.inner.query(idx, now, range)
+    }
+
+    fn window_len(&self) -> u64 {
+        self.inner.window_len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+
+    fn encode_cell(&self, idx: usize, buf: &mut Vec<u8>) {
+        self.inner.encode_cell(idx, buf);
+    }
+
+    fn decode_grid(cfg: &RwConfig, n_cells: usize, input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(RwGrid {
+            inner: VecCells::decode_grid(cfg, n_cells, input)?,
+        })
+    }
+
+    fn cell_ref(&self, idx: usize) -> Option<&RandomizedWave> {
+        self.inner.cell_ref(idx)
+    }
+
+    fn materialize(&self, idx: usize) -> RandomizedWave {
+        self.inner.materialize(idx)
+    }
+
+    fn from_counters(cfg: &RwConfig, counters: Vec<RandomizedWave>) -> Self {
+        RwGrid {
+            inner: VecCells::from_counters(cfg, counters),
+        }
+    }
+}
+
+/// Push one sampled arrival into levels `1..=lvl` (level 0 already churned
+/// it out); shared by the burst kernel's phases.
+#[inline]
+fn push_upper(
+    queues: &mut [VecDeque<Sample>],
+    evicted: &mut [bool],
+    lvl: usize,
+    cap: usize,
+    pos: u64,
+    id: u64,
+) {
+    for (q, ev) in queues[1..=lvl].iter_mut().zip(&mut evicted[1..]) {
+        q.push_back(Sample { pos, id });
+        if q.len() > cap {
+            q.pop_front();
+            *ev = true;
+        }
+    }
+}
+
 /// Randomized (ε, δ)-approximate sliding-window counter with lossless
 /// aggregation. See the [module docs](self).
 ///
@@ -159,6 +306,21 @@ impl RandomizedWave {
         (h.trailing_zeros() as usize).min(self.queues.len() - 1)
     }
 
+    /// Store one already-sampled arrival in levels `lo..=lvl` — the
+    /// per-cell half of the shared-sampling grid kernel ([`RwGrid`]).
+    #[inline]
+    pub(crate) fn push_sampled(&mut self, pos: u64, id: u64, lvl: usize, lo: usize) {
+        let cap = self.cap;
+        for i in lo..=lvl {
+            let q = &mut self.queues[i];
+            q.push_back(Sample { pos, id });
+            if q.len() > cap {
+                q.pop_front();
+                self.evicted[i] = true;
+            }
+        }
+    }
+
     /// Record one arrival with stream-unique `id` at tick `ts`.
     pub fn insert_one(&mut self, ts: u64, id: u64) {
         debug_assert!(
@@ -197,24 +359,60 @@ impl RandomizedWave {
         );
         self.last_ts = ts;
         self.count += n;
+        // Hoist everything loop-invariant out of the occurrence loop: the
+        // hash seed, the capacity, the level clamp and the queue slices are
+        // all fixed for the burst, so the per-occurrence work reduces to
+        // one SplitMix64 mix plus the sample pushes its level demands.
+        let cap = self.cap;
+        let seed = self.cfg.seed;
+        let top = self.queues.len() - 1;
+        let queues = &mut self.queues[..];
+        let evicted = &mut self.evicted[..];
         // Level 0 stores every arrival: entries a sequential build would
         // push and evict again within this burst are skipped outright, and
         // skipping one is an eviction.
-        let skip = n.saturating_sub(self.cap as u64);
+        let skip = n.saturating_sub(cap as u64);
         if skip > 0 {
-            self.evicted[0] = true;
+            evicted[0] = true;
         }
-        for k in 0..n {
-            let id = first_id + k;
-            let lvl = self.level_of(id);
-            let lo = usize::from(k < skip);
-            for i in lo..=lvl {
-                self.queues[i].push_back(Sample { pos: ts, id });
-                if self.queues[i].len() > self.cap {
-                    self.queues[i].pop_front();
-                    self.evicted[i] = true;
+        // Phase 1 — occurrences churned straight out of level 0. Half of
+        // all ids sample level 0 only (odd mix), so the unrolled kernel
+        // checks the low bit before touching any queue.
+        let mut k = 0u64;
+        while k + 4 <= skip {
+            let h0 = splitmix64((first_id + k) ^ seed);
+            let h1 = splitmix64((first_id + k + 1) ^ seed);
+            let h2 = splitmix64((first_id + k + 2) ^ seed);
+            let h3 = splitmix64((first_id + k + 3) ^ seed);
+            for (j, h) in [h0, h1, h2, h3].into_iter().enumerate() {
+                if h & 1 == 0 {
+                    let lvl = (h.trailing_zeros() as usize).min(top);
+                    push_upper(queues, evicted, lvl, cap, ts, first_id + k + j as u64);
                 }
             }
+            k += 4;
+        }
+        while k < skip {
+            let h = splitmix64((first_id + k) ^ seed);
+            if h & 1 == 0 {
+                let lvl = (h.trailing_zeros() as usize).min(top);
+                push_upper(queues, evicted, lvl, cap, ts, first_id + k);
+            }
+            k += 1;
+        }
+        // Phase 2 — the tail that survives in level 0.
+        while k < n {
+            let id = first_id + k;
+            let lvl = (splitmix64(id ^ seed).trailing_zeros() as usize).min(top);
+            for i in 0..=lvl {
+                let q = &mut queues[i];
+                q.push_back(Sample { pos: ts, id });
+                if q.len() > cap {
+                    q.pop_front();
+                    evicted[i] = true;
+                }
+            }
+            k += 1;
         }
     }
 
@@ -261,6 +459,8 @@ impl RandomizedWave {
 
 impl WindowCounter for RandomizedWave {
     type Config = RwConfig;
+    /// Grids of wave cells share one id-sampling pass per update row set.
+    type GridStorage = RwGrid;
 
     fn new(cfg: &Self::Config) -> Self {
         RandomizedWave::new(cfg)

@@ -51,6 +51,17 @@ impl WindowGuarantee {
 /// * [`query`](WindowCounter::query) never sees a range larger than
 ///   [`window_len`](WindowCounter::window_len); callers clamp.
 ///
+/// # Grid storage
+///
+/// Sketches hold `width × depth` counters as a *grid*. The
+/// [`GridStorage`](WindowCounter::GridStorage) associated type selects the
+/// memory layout of that grid: the generic per-cell
+/// [`VecCells`](crate::grid::VecCells) for dynamically-sized counters, or a
+/// dense specialization like the exponential histogram's contiguous
+/// [`EhGrid`](crate::eh_slab::EhGrid) slab. Whatever the layout, every
+/// grid operation must be bit-identical to the same operation on
+/// standalone counter values — see [`crate::grid::CellStorage`].
+///
 /// # Arrival-id semantics of weighted inserts
 ///
 /// [`insert_weighted`](WindowCounter::insert_weighted) records a *burst*:
@@ -63,9 +74,13 @@ impl WindowGuarantee {
 /// the occurrences had arrived one at a time (and keeps independently built
 /// waves losslessly mergeable); deterministic synopses ignore the ids and
 /// only count the `n` bits.
-pub trait WindowCounter: Clone {
+pub trait WindowCounter: Clone + std::fmt::Debug {
     /// Constructor parameters (window length, error targets, seeds, ...).
     type Config: Clone + std::fmt::Debug;
+
+    /// Memory layout used when this counter fills a grid of sketch cells
+    /// (see the [trait docs](WindowCounter#grid-storage)).
+    type GridStorage: crate::grid::CellStorage<Self>;
 
     /// Create an empty counter.
     fn new(cfg: &Self::Config) -> Self;

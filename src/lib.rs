@@ -33,9 +33,9 @@ pub use stream_gen;
 // The typed construction / write / read surface, fronted at the root so the
 // facade is usable without spelunking into sub-crates.
 pub use ecm::{
-    Answer, Backend, Clock, EcmBuilder, Estimate, Eviction, Guarantee, Query, QueryError,
-    QueryKind, Sketch, SketchReader, SketchSpec, SketchStore, SketchWriter, SpecBackend, SpecError,
-    StreamEvent, Threshold, WindowSpec,
+    Answer, Backend, Clock, EcmBuilder, Estimate, Eviction, Guarantee, MemoryReport, Query,
+    QueryError, QueryKind, Sketch, SketchReader, SketchSpec, SketchStore, SketchWriter,
+    SpecBackend, SpecError, StreamEvent, Threshold, WindowSpec,
 };
 
 /// The working vocabulary in one import: spec-driven construction
@@ -47,8 +47,8 @@ pub mod prelude {
         AggregationOutcome,
     };
     pub use ecm::{
-        Answer, Backend, Clock, Estimate, Eviction, Guarantee, Query, QueryError, QueryKind,
-        Sketch, SketchReader, SketchSpec, SketchStore, SketchWriter, SpecBackend, SpecError,
-        StreamEvent, Threshold, WindowSpec,
+        Answer, Backend, Clock, Estimate, Eviction, Guarantee, MemoryReport, Query, QueryError,
+        QueryKind, Sketch, SketchReader, SketchSpec, SketchStore, SketchWriter, SpecBackend,
+        SpecError, StreamEvent, Threshold, WindowSpec,
     };
 }
