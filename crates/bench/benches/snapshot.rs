@@ -1,0 +1,208 @@
+//! **Checkpoint & restore throughput for the keyed `SketchStore` fleet.**
+//!
+//! Prices the durability layer the snapshot subsystem adds: how fast a
+//! multi-tenant store can write a **full** checkpoint, how much cheaper an
+//! **incremental** checkpoint is when only a small working set is dirty,
+//! and how quickly a crashed process can **restore** the whole fleet.
+//!
+//! Two fleet sizes (10k and 100k tenant keys) over the same Zipf-keyed
+//! trace the store bench uses. After each measurement the restored store is
+//! spot-checked for bit-identical answers, so the numbers can never come
+//! from a broken round trip. Results are printed and written as JSON to
+//! `BENCH_snapshot.json` at the workspace root (`BENCH_SNAPSHOT_OUT`
+//! overrides the path); the schema and floors are validated by
+//! `crates/bench/tests/bench_schema.rs`. Scale with `ECM_EVENTS`
+//! (default 200 000).
+
+use ecm::{Query, SketchSpec, SketchStore, StreamEvent, WindowSpec};
+use ecm_bench::event_budget;
+use std::time::Instant;
+use stream_gen::{SeededRng, ZipfSampler};
+
+const WINDOW: u64 = 1_000_000;
+const ZIPF_SKEW: f64 = 1.05;
+const BATCH: usize = 4_096;
+const EPS: f64 = 0.3;
+const DELTA: f64 = 0.25;
+const SEED: u64 = 23;
+/// Fraction of the fleet dirtied between the full checkpoint and the
+/// incremental one (a 1% working set — the shape incremental mode targets).
+const DIRTY_FRACTION: f64 = 0.01;
+
+fn keyed_trace(target_events: usize, keys: u64, seed: u64) -> Vec<(u64, StreamEvent)> {
+    let mut rng = SeededRng::seed_from_u64(seed);
+    let tenants = ZipfSampler::new(keys, ZIPF_SKEW);
+    let mut out = Vec::with_capacity(target_events + 8);
+    let mut ts = 1u64;
+    while out.len() < target_events {
+        ts += rng.gen_range(0..2u64);
+        let tenant = tenants.sample(&mut rng);
+        let run = if rng.gen_bool(0.3) {
+            rng.gen_range(2..6u64)
+        } else {
+            1
+        };
+        for _ in 0..run {
+            let item = rng.gen_range(0..64u64);
+            out.push((tenant, StreamEvent::new(item, ts)));
+        }
+    }
+    out.truncate(target_events);
+    out
+}
+
+struct Row {
+    keys: u64,
+    resident: usize,
+    snapshot_bytes: usize,
+    full_ms: f64,
+    full_keys_per_s: f64,
+    incr_keys: usize,
+    incr_bytes: usize,
+    incr_ms: f64,
+    restore_ms: f64,
+    restore_keys_per_s: f64,
+}
+
+fn measure(keys: u64, events: &[(u64, StreamEvent)], spec: &SketchSpec) -> Row {
+    let now = events.last().expect("non-empty trace").1.ts;
+
+    let mut store: SketchStore<u64> = SketchStore::new(spec.clone()).expect("valid spec");
+    for chunk in events.chunks(BATCH) {
+        store.ingest(chunk);
+    }
+    let resident = store.len();
+
+    // Full checkpoint (best of two; the first run warms allocators).
+    let mut full_secs = f64::INFINITY;
+    let mut snapshot = Vec::new();
+    for _ in 0..2 {
+        let start = Instant::now();
+        snapshot = store.write_snapshot().expect("fleet snapshots");
+        full_secs = full_secs.min(start.elapsed().as_secs_f64());
+    }
+
+    // Dirty a small working set, then take the incremental checkpoint.
+    let dirty_target = ((resident as f64 * DIRTY_FRACTION).ceil() as usize).max(1);
+    for key in store.keys().into_iter().take(dirty_target) {
+        store.insert(key, now + 1, 7);
+    }
+    let incr_start = Instant::now();
+    let delta = store.write_incremental().expect("fleet snapshots");
+    let incr_secs = incr_start.elapsed().as_secs_f64();
+
+    // Restore latency: full load (best of two), then the delta on top, then
+    // prove the round trip with bit-identical spot queries.
+    let mut restore_secs = f64::INFINITY;
+    let mut restored: SketchStore<u64> = SketchStore::new(spec.clone()).expect("valid spec");
+    for _ in 0..2 {
+        let start = Instant::now();
+        restored = SketchStore::load_snapshot(&snapshot).expect("snapshot restores");
+        restore_secs = restore_secs.min(start.elapsed().as_secs_f64());
+    }
+    restored.apply_incremental(&delta).expect("delta applies");
+    let w = WindowSpec::time(now + 1, WINDOW);
+    for probe in (1..=keys).step_by((keys / 37).max(1) as usize) {
+        let (Some(a), Some(b)) = (store.get(&probe), restored.get(&probe)) else {
+            continue;
+        };
+        for item in [0u64, 7, 63] {
+            let ea = a.query(&Query::point(item), w).expect("in-window");
+            let eb = b.query(&Query::point(item), w).expect("in-window");
+            assert_eq!(
+                ea.into_value().value.to_bits(),
+                eb.into_value().value.to_bits(),
+                "{keys} keys: tenant {probe} item {item} diverged after restore"
+            );
+        }
+    }
+
+    Row {
+        keys,
+        resident,
+        snapshot_bytes: snapshot.len(),
+        full_ms: full_secs * 1e3,
+        full_keys_per_s: resident as f64 / full_secs,
+        incr_keys: dirty_target,
+        incr_bytes: delta.len(),
+        incr_ms: incr_secs * 1e3,
+        restore_ms: restore_secs * 1e3,
+        restore_keys_per_s: resident as f64 / restore_secs,
+    }
+}
+
+fn render_json(rows: &[Row], events: usize) -> String {
+    let mut results = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            results.push_str(",\n");
+        }
+        results.push_str(&format!(
+            "    {{\"keys\": {}, \"resident\": {}, \"snapshot_bytes\": {}, \
+             \"full_ms\": {:.3}, \"full_keys_per_s\": {:.0}, \"incr_keys\": {}, \
+             \"incr_bytes\": {}, \"incr_ms\": {:.3}, \"restore_ms\": {:.3}, \
+             \"restore_keys_per_s\": {:.0}}}",
+            r.keys,
+            r.resident,
+            r.snapshot_bytes,
+            r.full_ms,
+            r.full_keys_per_s,
+            r.incr_keys,
+            r.incr_bytes,
+            r.incr_ms,
+            r.restore_ms,
+            r.restore_keys_per_s
+        ));
+    }
+    format!(
+        "{{\n  \"schema_version\": 1,\n  \"bench\": \"snapshot\",\n  \"workload\": {{\n    \
+         \"events\": {events},\n    \"batch\": {BATCH},\n    \"zipf_skew\": {ZIPF_SKEW},\n    \
+         \"epsilon\": {EPS},\n    \"delta\": {DELTA},\n    \"window\": {WINDOW},\n    \
+         \"dirty_fraction\": {DIRTY_FRACTION}\n  }},\n  \"results\": [\n{results}\n  ]\n}}\n"
+    )
+}
+
+fn main() {
+    let n_events = event_budget();
+    let spec = SketchSpec::time(WINDOW)
+        .epsilon(EPS)
+        .delta(DELTA)
+        .seed(SEED);
+    println!("fleet checkpoint/restore: {n_events} events per fleet size");
+    println!(
+        "{:>8} {:>9} {:>11} {:>9} {:>12} {:>10} {:>11} {:>12}",
+        "keys",
+        "resident",
+        "snap_MB",
+        "full_ms",
+        "full_keys/s",
+        "incr_ms",
+        "restore_ms",
+        "rest_keys/s"
+    );
+
+    let mut rows = Vec::new();
+    for keys in [10_000u64, 100_000] {
+        let events = keyed_trace(n_events, keys, 42 + keys);
+        let row = measure(keys, &events, &spec);
+        println!(
+            "{:>8} {:>9} {:>11.2} {:>9.2} {:>12.0} {:>10.3} {:>11.2} {:>12.0}",
+            row.keys,
+            row.resident,
+            row.snapshot_bytes as f64 / 1e6,
+            row.full_ms,
+            row.full_keys_per_s,
+            row.incr_ms,
+            row.restore_ms,
+            row.restore_keys_per_s
+        );
+        rows.push(row);
+    }
+
+    let json = render_json(&rows, n_events);
+    let out = std::env::var("BENCH_SNAPSHOT_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_snapshot.json").to_string()
+    });
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("\nwrote {out}");
+}

@@ -1,11 +1,12 @@
 //! Schema validation for the checked-in `BENCH_ingest.json`,
-//! `BENCH_store.json` and `BENCH_query.json`: CI runs this with the
-//! ordinary test suite, so bench-result drift (renamed fields, missing
-//! backends or fleet sizes, a fast path that lost its edge, a slab layout
-//! that stopped saving memory) fails the build rather than rotting
-//! silently. The parser is deliberately minimal — the files are
-//! machine-written by `benches/ingest.rs` / `benches/store.rs` /
-//! `benches/query_latency.rs` with a fixed field order.
+//! `BENCH_store.json`, `BENCH_query.json` and `BENCH_snapshot.json`: CI
+//! runs this with the ordinary test suite, so bench-result drift (renamed
+//! fields, missing backends or fleet sizes, a fast path that lost its edge,
+//! a slab layout that stopped saving memory, a checkpoint path that got
+//! slow) fails the build rather than rotting silently. The parser is
+//! deliberately minimal — the files are machine-written by
+//! `benches/ingest.rs` / `benches/store.rs` / `benches/query_latency.rs` /
+//! `benches/snapshot.rs` with a fixed field order.
 
 use std::path::Path;
 
@@ -196,6 +197,73 @@ fn store_bench_schema_is_valid() {
             "missing {keys}-key row"
         );
     }
+}
+
+#[test]
+fn snapshot_bench_schema_is_valid() {
+    let text = load_file("BENCH_snapshot.json");
+    assert_eq!(field_f64(&text, "schema_version") as u64, 1);
+    assert!(text.contains("\"bench\": \"snapshot\""));
+    assert!(field_f64(&text, "events") >= 1_000.0, "workload too small");
+    assert!(field_f64(&text, "dirty_fraction") > 0.0);
+    // Both fleet sizes of the acceptance scenario must be present.
+    for keys in [10_000u64, 100_000] {
+        assert!(
+            text.contains(&format!("\"keys\": {keys}")),
+            "missing {keys}-key row"
+        );
+    }
+}
+
+#[test]
+fn snapshot_bench_checkpoint_and_restore_meet_the_floors() {
+    let text = load_file("BENCH_snapshot.json");
+    let mut rows = 0;
+    for chunk in text.split("\"keys\": ").skip(1) {
+        rows += 1;
+        let resident = field_f64(chunk, "resident");
+        let snapshot_bytes = field_f64(chunk, "snapshot_bytes");
+        let full_ms = field_f64(chunk, "full_ms");
+        let full_rate = field_f64(chunk, "full_keys_per_s");
+        let incr_bytes = field_f64(chunk, "incr_bytes");
+        let incr_ms = field_f64(chunk, "incr_ms");
+        let restore_ms = field_f64(chunk, "restore_ms");
+        let restore_rate = field_f64(chunk, "restore_keys_per_s");
+        assert!(resident >= 1_000.0, "fleet too small to be meaningful");
+        assert!(snapshot_bytes > 0.0 && full_ms > 0.0 && restore_ms > 0.0);
+        // Recorded rates must be consistent with the recorded times.
+        let implied = resident / (full_ms / 1e3);
+        assert!(
+            (full_rate - implied).abs() <= 0.15 * implied,
+            "full rate {full_rate} inconsistent with time ({implied:.0})"
+        );
+        let implied = resident / (restore_ms / 1e3);
+        assert!(
+            (restore_rate - implied).abs() <= 0.15 * implied,
+            "restore rate {restore_rate} inconsistent with time ({implied:.0})"
+        );
+        // Incremental mode must actually be incremental: a 1%-dirty delta
+        // far smaller and far cheaper than the full checkpoint.
+        assert!(
+            incr_bytes < 0.5 * snapshot_bytes,
+            "delta {incr_bytes} B not smaller than full {snapshot_bytes} B"
+        );
+        assert!(
+            incr_ms < full_ms,
+            "delta {incr_ms} ms not cheaper than full {full_ms} ms"
+        );
+        // Acceptance floors (measured ~250k/~40k keys/s on the recording
+        // box; an order of magnitude of headroom against machine variance).
+        assert!(
+            full_rate >= 10_000.0,
+            "full checkpoint throughput regressed: {full_rate} keys/s < 10k"
+        );
+        assert!(
+            restore_rate >= 2_000.0,
+            "restore latency regressed: {restore_rate} keys/s < 2k"
+        );
+    }
+    assert_eq!(rows, 2, "expected exactly the 10k and 100k key rows");
 }
 
 #[test]

@@ -99,6 +99,10 @@ where
         std::mem::size_of::<TransferStats>() + self.root.memory_bytes()
     }
 
+    fn write_clock(&self) -> u64 {
+        self.root.last_tick()
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

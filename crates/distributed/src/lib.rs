@@ -19,12 +19,16 @@
 //! * [`propagation`] — drift-triggered shipping of local exponential
 //!   histograms to a coordinator (Chan et al., §2's related-work line on
 //!   continuous distributed sliding-window monitoring).
+//! * [`recovery`] — site crash recovery: versioned sketch checkpoints,
+//!   bit-exact restore + backlog replay, so a site rejoins its aggregation
+//!   tree with guarantees unchanged.
 
 pub mod aggregation;
 pub mod budget;
 pub mod continuous;
 pub mod geometric;
 pub mod propagation;
+pub mod recovery;
 pub mod topology;
 
 pub use aggregation::{
@@ -42,4 +46,5 @@ pub use geometric::{
     PointFn, SelfJoinFn,
 };
 pub use propagation::{DriftPropagation, PropagationStats};
+pub use recovery::{checkpoint_site, restore_site, resume_site};
 pub use topology::{BinaryTree, KaryTree};

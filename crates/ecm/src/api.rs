@@ -403,16 +403,18 @@ impl std::error::Error for SpecError {}
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct SketchSpec {
-    clock: Clock,
-    window: u64,
-    epsilon: f64,
-    delta: f64,
-    backend: Backend,
-    query_kind: QueryKind,
-    seed: u64,
-    max_arrivals: Option<u64>,
-    hierarchy_bits: Option<u32>,
-    shards: Option<usize>,
+    // Fields are crate-visible so the snapshot codec (`crate::snapshot`)
+    // can serialize a spec header without widening the public surface.
+    pub(crate) clock: Clock,
+    pub(crate) window: u64,
+    pub(crate) epsilon: f64,
+    pub(crate) delta: f64,
+    pub(crate) backend: Backend,
+    pub(crate) query_kind: QueryKind,
+    pub(crate) seed: u64,
+    pub(crate) max_arrivals: Option<u64>,
+    pub(crate) hierarchy_bits: Option<u32>,
+    pub(crate) shards: Option<usize>,
 }
 
 impl SketchSpec {

@@ -25,11 +25,14 @@
 use std::sync::mpsc;
 use std::thread;
 
+use sliding_window::codec::{get_u8, get_varint, put_u8, put_varint};
 use sliding_window::traits::WindowCounter;
-use sliding_window::MergeError;
+use sliding_window::{CodecError, MergeError};
 
 use crate::config::EcmConfig;
 use crate::sketch::EcmSketch;
+
+const CODEC_VERSION: u8 = 1;
 
 /// Multiplicative hash for shard routing (SplitMix64 finalizer). Kept
 /// separate from the Count-Min hash family so that shard routing and cell
@@ -200,9 +203,75 @@ impl<W: WindowCounter> ShardedEcm<W> {
         &self.shards
     }
 
+    /// Tick of the most recent insertion across all shards (0 if empty).
+    pub fn last_tick(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(EcmSketch::last_tick)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Total memory across shards.
     pub fn memory_bytes(&self) -> usize {
         self.shards.iter().map(EcmSketch::memory_bytes).sum()
+    }
+
+    /// Append the compact wire encoding: shard count, routing seed, then
+    /// every shard sketch in order — the full mutable state, including each
+    /// shard's arrival-id namespace and sequence.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        put_u8(buf, CODEC_VERSION);
+        put_varint(buf, self.shards.len() as u64);
+        put_varint(buf, self.route_seed);
+        for shard in &self.shards {
+            shard.encode(buf);
+        }
+    }
+
+    /// Size of the wire encoding in bytes.
+    pub fn encoded_len(&self) -> usize {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
+
+    /// Decode a sharded sketch previously produced by
+    /// [`encode`](Self::encode); `cfg` and `shards` must match the
+    /// encoder's construction parameters.
+    ///
+    /// # Errors
+    /// [`CodecError`] on truncation, corruption, an unsupported version, or
+    /// a shard-count / routing-seed mismatch.
+    pub fn decode(
+        cfg: &EcmConfig<W>,
+        shards: usize,
+        input: &mut &[u8],
+    ) -> Result<Self, CodecError> {
+        let version = get_u8(input, "sharded version")?;
+        if version != CODEC_VERSION {
+            return Err(CodecError::BadVersion { found: version });
+        }
+        let n = get_varint(input, "sharded count")? as usize;
+        if n != shards || n == 0 {
+            return Err(CodecError::Corrupt {
+                context: "sharded count",
+            });
+        }
+        let route_seed = get_varint(input, "sharded route seed")?;
+        if route_seed != cfg.seed {
+            return Err(CodecError::Corrupt {
+                context: "sharded route seed",
+            });
+        }
+        let mut decoded = Vec::with_capacity(n);
+        for _ in 0..n {
+            decoded.push(EcmSketch::decode(cfg, input)?);
+        }
+        Ok(ShardedEcm {
+            shards: decoded,
+            route_seed,
+        })
     }
 }
 

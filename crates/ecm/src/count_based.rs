@@ -13,8 +13,11 @@
 use crate::config::EcmConfig;
 use crate::hierarchy::{EcmHierarchy, Threshold};
 use crate::sketch::EcmSketch;
+use sliding_window::codec::{get_u8, get_varint, put_u8, put_varint};
 use sliding_window::traits::WindowCounter;
-use sliding_window::ExponentialHistogram;
+use sliding_window::{CodecError, ExponentialHistogram};
+
+const CODEC_VERSION: u8 = 1;
 
 /// ECM-sketch over a count-based window of the last `N` arrivals.
 ///
@@ -149,6 +152,37 @@ impl<W: WindowCounter> CountBasedEcm<W> {
     pub fn memory_bytes(&self) -> usize {
         self.inner.memory_bytes()
     }
+
+    /// Append the compact wire encoding: the arrival clock, then the
+    /// wrapped tick-addressed sketch.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        put_u8(buf, CODEC_VERSION);
+        put_varint(buf, self.arrivals);
+        self.inner.encode(buf);
+    }
+
+    /// Decode a sketch previously produced by [`encode`](Self::encode);
+    /// `cfg` must match the encoder's configuration.
+    ///
+    /// # Errors
+    /// [`CodecError`] on truncation, corruption, an unsupported version, or
+    /// an arrival clock that disagrees with the inner sketch's.
+    pub fn decode(cfg: &EcmConfig<W>, input: &mut &[u8]) -> Result<Self, CodecError> {
+        let version = get_u8(input, "count-based version")?;
+        if version != CODEC_VERSION {
+            return Err(CodecError::BadVersion { found: version });
+        }
+        let arrivals = get_varint(input, "count-based arrivals")?;
+        let inner = EcmSketch::decode(cfg, input)?;
+        // The count-based clock *is* the inner sketch's tick clock (one
+        // tick per arrival); a snapshot where they diverge is corrupt.
+        if inner.last_tick() != arrivals {
+            return Err(CodecError::Corrupt {
+                context: "count-based clock",
+            });
+        }
+        Ok(CountBasedEcm { inner, arrivals })
+    }
 }
 
 /// Dyadic hierarchy over a count-based window: sliding-window heavy
@@ -269,6 +303,35 @@ impl<W: WindowCounter> CountBasedHierarchy<W> {
     /// Memory held.
     pub fn memory_bytes(&self) -> usize {
         self.inner.memory_bytes()
+    }
+
+    /// Append the compact wire encoding: the arrival clock, then the
+    /// wrapped tick-addressed hierarchy.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        put_u8(buf, CODEC_VERSION);
+        put_varint(buf, self.arrivals);
+        self.inner.encode(buf);
+    }
+
+    /// Decode a hierarchy previously produced by [`encode`](Self::encode);
+    /// `bits` and `cfg` must match the encoder's construction parameters.
+    ///
+    /// # Errors
+    /// [`CodecError`] on truncation, corruption, an unsupported version, or
+    /// an arrival clock that disagrees with the inner hierarchy's.
+    pub fn decode(bits: u32, cfg: &EcmConfig<W>, input: &mut &[u8]) -> Result<Self, CodecError> {
+        let version = get_u8(input, "count-based hierarchy version")?;
+        if version != CODEC_VERSION {
+            return Err(CodecError::BadVersion { found: version });
+        }
+        let arrivals = get_varint(input, "count-based hierarchy arrivals")?;
+        let inner = EcmHierarchy::decode(bits, cfg, input)?;
+        if inner.last_tick() != arrivals {
+            return Err(CodecError::Corrupt {
+                context: "count-based hierarchy clock",
+            });
+        }
+        Ok(CountBasedHierarchy { inner, arrivals })
     }
 }
 

@@ -20,8 +20,11 @@
 //! weight.
 
 use count_min::HashFamily;
+use sliding_window::codec::{get_u8, get_varint, put_u8, put_varint};
 use sliding_window::decay::ExpDecayCounter;
-use sliding_window::MergeError;
+use sliding_window::{CodecError, MergeError};
+
+const CODEC_VERSION: u8 = 1;
 
 /// Construction parameters for a [`DecayedCm`]: the Count-Min shape plus
 /// the shared per-cell half-life — the decayed counterpart of
@@ -242,6 +245,68 @@ impl DecayedCm {
     pub fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>() + self.cells.capacity() * std::mem::size_of::<ExpDecayCounter>()
     }
+
+    /// Append the compact wire encoding: shape, hash family, every decayed
+    /// cell, and the write clock — the full mutable state, so a decoded
+    /// sketch answers every query bit-identically.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        put_u8(buf, CODEC_VERSION);
+        put_varint(buf, self.width as u64);
+        put_varint(buf, self.depth as u64);
+        put_varint(buf, self.half_life);
+        self.hashes.encode(buf);
+        for cell in &self.cells {
+            cell.encode(buf);
+        }
+        put_varint(buf, self.last_ts);
+    }
+
+    /// Size of the wire encoding in bytes.
+    pub fn encoded_len(&self) -> usize {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
+
+    /// Decode a sketch previously produced by [`encode`](Self::encode);
+    /// `cfg` must match the encoder's configuration.
+    ///
+    /// # Errors
+    /// [`CodecError`] on truncation, corruption, an unsupported version, or
+    /// any mismatch with `cfg` (shape, half-life, hash seed).
+    pub fn decode(cfg: &DecayedCmConfig, input: &mut &[u8]) -> Result<Self, CodecError> {
+        let version = get_u8(input, "decayed-cm version")?;
+        if version != CODEC_VERSION {
+            return Err(CodecError::BadVersion { found: version });
+        }
+        let width = get_varint(input, "decayed-cm width")? as usize;
+        let depth = get_varint(input, "decayed-cm depth")? as usize;
+        let half_life = get_varint(input, "decayed-cm half-life")?;
+        if width != cfg.width || depth != cfg.depth || half_life != cfg.half_life {
+            return Err(CodecError::Corrupt {
+                context: "decayed-cm shape",
+            });
+        }
+        let hashes = HashFamily::decode(input)?;
+        if hashes.depth() != depth || hashes.seed() != cfg.seed {
+            return Err(CodecError::Corrupt {
+                context: "decayed-cm hashes",
+            });
+        }
+        let mut cells = Vec::with_capacity(width * depth);
+        for _ in 0..width * depth {
+            cells.push(ExpDecayCounter::decode(half_life, input)?);
+        }
+        let last_ts = get_varint(input, "decayed-cm last_ts")?;
+        Ok(DecayedCm {
+            width,
+            depth,
+            half_life,
+            hashes,
+            cells,
+            last_ts,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -352,5 +417,57 @@ mod tests {
         assert_eq!(c.width, (std::f64::consts::E / 0.1).ceil() as usize);
         assert_eq!(c.depth, 3); // ⌈ln 10⌉
         assert_eq!(c.half_life, 500);
+    }
+
+    #[test]
+    fn codec_round_trips_and_checks_the_config() {
+        let c = cfg(24, 3, 150, 9);
+        let mut cm = DecayedCm::new(&c);
+        for t in 0..3_000u64 {
+            cm.insert(t % 40, t);
+        }
+        let mut buf = Vec::new();
+        cm.encode(&mut buf);
+        assert_eq!(buf.len(), cm.encoded_len());
+
+        let mut slice = buf.as_slice();
+        let back = DecayedCm::decode(&c, &mut slice).unwrap();
+        assert!(slice.is_empty());
+        assert_eq!(back.last_tick(), cm.last_tick());
+        for probe in [0u64, 7, 39, 123_456] {
+            assert_eq!(
+                back.point_query(probe, 5_000).to_bits(),
+                cm.point_query(probe, 5_000).to_bits(),
+                "probe {probe}"
+            );
+        }
+        let mut re = Vec::new();
+        back.encode(&mut re);
+        assert_eq!(re, buf, "re-encoding must be byte-identical");
+
+        // Mismatched configs are corrupt, not silently re-seeded.
+        for wrong in [cfg(25, 3, 150, 9), cfg(24, 3, 151, 9), cfg(24, 3, 150, 8)] {
+            let mut slice = buf.as_slice();
+            assert!(
+                matches!(
+                    DecayedCm::decode(&wrong, &mut slice),
+                    Err(CodecError::Corrupt { .. })
+                ),
+                "{wrong:?} must be rejected"
+            );
+        }
+        // Version bumps are typed errors.
+        let mut bad = buf.clone();
+        bad[0] = 0x7f;
+        let mut slice = bad.as_slice();
+        assert!(matches!(
+            DecayedCm::decode(&c, &mut slice),
+            Err(CodecError::BadVersion { found: 0x7f })
+        ));
+        // Every truncation fails cleanly.
+        for cut in (0..buf.len()).step_by(11) {
+            let mut slice = &buf[..cut];
+            assert!(DecayedCm::decode(&c, &mut slice).is_err(), "cut {cut}");
+        }
     }
 }

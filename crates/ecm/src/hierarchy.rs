@@ -62,6 +62,13 @@ impl<W: WindowCounter> EcmHierarchy<W> {
         &self.sketches
     }
 
+    /// Tick of the most recent insertion or clock advance (0 if empty).
+    /// Every level sketch observes the same stream, so level 0 speaks for
+    /// all of them.
+    pub fn last_tick(&self) -> u64 {
+        self.sketches[0].last_tick()
+    }
+
     /// Insert one occurrence of key `x` at tick `ts`.
     ///
     /// # Panics

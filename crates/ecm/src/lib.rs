@@ -58,6 +58,7 @@ pub mod decayed_cm;
 pub mod hierarchy;
 pub mod query;
 pub mod sketch;
+pub mod snapshot;
 pub mod store;
 
 pub use api::{Backend, Clock, Sketch, SketchSpec, SketchWriter, SpecBackend, SpecError};
@@ -71,4 +72,7 @@ pub use decayed_cm::{DecayedCm, DecayedCmConfig};
 pub use hierarchy::{EcmHierarchy, Threshold};
 pub use query::{Answer, Estimate, Guarantee, Query, QueryError, SketchReader, WindowSpec};
 pub use sketch::{grouped_runs, EcmDw, EcmEh, EcmEw, EcmExact, EcmRw, EcmSketch, StreamEvent};
+pub use snapshot::{
+    restore_any, restore_sketch, snapshot_sketch, SnapshotError, SnapshotKey, SNAPSHOT_VERSION,
+};
 pub use store::{Eviction, MemoryReport, SketchStore};

@@ -481,6 +481,13 @@ pub trait SketchReader {
     /// aggregate.
     fn memory_bytes(&self) -> usize;
 
+    /// The backend's write clock: the last tick written (or declared via
+    /// `advance_to`) for time-based backends, the total arrivals observed
+    /// for count-based ones. 0 when nothing has been written. Snapshot
+    /// headers record this so recovery managers can order checkpoints
+    /// without decoding payloads.
+    fn write_clock(&self) -> u64;
+
     /// Downcast support for binary queries ([`Query::InnerProduct`]).
     fn as_any(&self) -> &dyn Any;
 }
@@ -665,6 +672,10 @@ where
         EcmSketch::memory_bytes(self)
     }
 
+    fn write_clock(&self) -> u64 {
+        self.last_tick()
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -736,6 +747,10 @@ where
         EcmHierarchy::memory_bytes(self)
     }
 
+    fn write_clock(&self) -> u64 {
+        self.last_tick()
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -788,6 +803,10 @@ where
 
     fn memory_bytes(&self) -> usize {
         CountBasedEcm::memory_bytes(self)
+    }
+
+    fn write_clock(&self) -> u64 {
+        self.arrivals()
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -858,6 +877,10 @@ where
         CountBasedHierarchy::memory_bytes(self)
     }
 
+    fn write_clock(&self) -> u64 {
+        self.arrivals()
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -910,6 +933,10 @@ where
 
     fn memory_bytes(&self) -> usize {
         ShardedEcm::memory_bytes(self)
+    }
+
+    fn write_clock(&self) -> u64 {
+        self.last_tick()
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -1009,6 +1036,10 @@ impl SketchReader for DecayedCm {
 
     fn memory_bytes(&self) -> usize {
         DecayedCm::memory_bytes(self)
+    }
+
+    fn write_clock(&self) -> u64 {
+        self.last_tick()
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -1,0 +1,975 @@
+//! Versioned snapshot & recovery for every sketch backend (and, via
+//! [`SketchStore`](crate::store::SketchStore), whole keyed fleets).
+//!
+//! The paper's setting is *continuous* monitoring: sites run for weeks and
+//! a crash must not cost the sliding-window state the guarantees were paid
+//! for. This module turns the workspace's byte-accurate wire codec into a
+//! durable, self-describing snapshot format:
+//!
+//! ```text
+//! ┌───────┬─────────┬─────────────┬─────────────┬─────────────┬─────────┬──────────┐
+//! │ magic │ version │ spec header │ write clock │ payload len │ payload │ checksum │
+//! │ "ES"  │   u8    │ (SketchSpec)│   varint    │   varint    │  bytes  │ u64 FNV  │
+//! └───────┴─────────┴─────────────┴─────────────┴─────────────┴─────────┴──────────┘
+//! ```
+//!
+//! * **Self-describing**: the header carries the full [`SketchSpec`], so
+//!   [`restore_any`] rebuilds a sketch with zero prior configuration, and
+//!   [`SketchSpec::restore`] additionally *verifies* the snapshot matches
+//!   the spec the caller expects.
+//! * **Versioned**: the leading format version is checked before anything
+//!   else is parsed; snapshots from a future format are
+//!   [`SnapshotError::UnsupportedVersion`], never misparsed.
+//! * **Checksummed**: a 64-bit FNV-1a over the whole record precedes
+//!   payload decoding, so bit rot is a typed
+//!   [`SnapshotError::ChecksumMismatch`] rather than a garbage sketch.
+//! * **Bit-exact**: the payload is the backend's full mutable state
+//!   (including arrival-id namespaces and sequence counters), so a restored
+//!   sketch answers every query bit-identically, re-encodes byte-identically
+//!   and — crucially for the distributed setting — keeps ingesting with the
+//!   *same* arrival ids a never-crashed sketch would have assigned.
+//!
+//! Truncated, corrupted or version-bumped snapshot bytes always surface as
+//! [`SnapshotError`]s; no input panics the decoder (fuzzed alongside
+//! `codec_robustness.rs` in `tests/snapshot_recovery.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use ecm::api::{SketchSpec, SketchWriter};
+//! use ecm::query::{Query, SketchReader, WindowSpec};
+//!
+//! let spec = SketchSpec::time(1_000).epsilon(0.1).delta(0.1).seed(7);
+//! let mut sketch = spec.build().unwrap();
+//! for t in 1..=600u64 {
+//!     sketch.insert(t, t % 3);
+//! }
+//! let bytes = spec.snapshot(&*sketch).unwrap();
+//!
+//! // ... crash, restart ...
+//! let restored = spec.restore(&bytes).unwrap();
+//! let w = WindowSpec::time(600, 1_000);
+//! let a = sketch.query(&Query::point(2), w).unwrap().into_value().value;
+//! let b = restored.query(&Query::point(2), w).unwrap().into_value().value;
+//! assert_eq!(a.to_bits(), b.to_bits());
+//!
+//! // Corruption is a typed error, not a panic or a wrong answer.
+//! let mut bad = bytes.clone();
+//! *bad.last_mut().unwrap() ^= 0xff;
+//! assert!(spec.restore(&bad).is_err());
+//! ```
+
+use std::fmt;
+
+use crate::api::{Backend, Clock, Sketch, SketchSpec, SpecBackend, SpecError};
+use crate::concurrent::ShardedEcm;
+use crate::config::QueryKind;
+use crate::count_based::{CountBasedEcm, CountBasedHierarchy};
+use crate::decayed_cm::DecayedCm;
+use crate::hierarchy::EcmHierarchy;
+use crate::sketch::EcmSketch;
+use sliding_window::codec::{
+    get_f64, get_u64, get_u8, get_varint, put_f64, put_u64, put_u8, put_varint,
+};
+use sliding_window::{
+    CodecError, DeterministicWave, EquiWidthWindow, ExactWindow, ExponentialHistogram,
+    RandomizedWave,
+};
+
+/// Current snapshot format version. Bump on any layout change; older
+/// readers reject newer snapshots with
+/// [`SnapshotError::UnsupportedVersion`] instead of misparsing them.
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+/// Leading magic of every snapshot record ("ECM Sketch").
+pub(crate) const MAGIC: [u8; 2] = *b"ES";
+
+/// Why a snapshot could not be written or restored. Every failure mode of
+/// the durability path is typed — decoders never panic on untrusted bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The payload or framing bytes failed to decode.
+    Codec(CodecError),
+    /// The embedded spec (or the spec the caller supplied) is invalid.
+    Spec(SpecError),
+    /// The bytes do not start with the snapshot magic.
+    BadMagic,
+    /// The snapshot was written by a newer (or unknown) format version.
+    UnsupportedVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// The record's checksum does not cover its bytes — bit rot or
+    /// truncation-with-padding.
+    ChecksumMismatch {
+        /// What was being verified.
+        context: &'static str,
+    },
+    /// The snapshot describes a different sketch than the caller expects
+    /// (spec disagreement, or a trait object that is not what the spec
+    /// builds).
+    SpecMismatch {
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+    /// The header's write clock disagrees with the decoded payload's.
+    ClockMismatch {
+        /// Clock recorded in the header.
+        header: u64,
+        /// Clock carried by the decoded payload.
+        payload: u64,
+    },
+    /// An incremental store snapshot was applied out of order.
+    SequenceMismatch {
+        /// The base checkpoint sequence the delta requires.
+        expected: u64,
+        /// The sequence the target store is actually at.
+        found: u64,
+    },
+    /// Extra bytes follow a complete record.
+    TrailingBytes {
+        /// How many bytes were left over.
+        count: usize,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Codec(e) => write!(f, "snapshot codec failure: {e}"),
+            SnapshotError::Spec(e) => write!(f, "snapshot spec failure: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot: bad magic"),
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot format version {found}")
+            }
+            SnapshotError::ChecksumMismatch { context } => {
+                write!(f, "checksum mismatch over {context}")
+            }
+            SnapshotError::SpecMismatch { detail } => {
+                write!(f, "snapshot does not match the expected spec: {detail}")
+            }
+            SnapshotError::ClockMismatch { header, payload } => write!(
+                f,
+                "snapshot header clock {header} disagrees with payload clock {payload}"
+            ),
+            SnapshotError::SequenceMismatch { expected, found } => write!(
+                f,
+                "incremental snapshot applies to checkpoint {expected}, store is at {found}"
+            ),
+            SnapshotError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after a complete snapshot")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Codec(e) => Some(e),
+            SnapshotError::Spec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for SnapshotError {
+    fn from(e: CodecError) -> Self {
+        SnapshotError::Codec(e)
+    }
+}
+
+impl From<SpecError> for SnapshotError {
+    fn from(e: SpecError) -> Self {
+        SnapshotError::Spec(e)
+    }
+}
+
+/// 64-bit FNV-1a over `bytes` — the per-record integrity check. Not
+/// cryptographic; it guards against bit rot and truncation, not attackers.
+pub(crate) fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Store keys that can ride in a fleet snapshot
+/// ([`SketchStore::write_snapshot`](crate::store::SketchStore::write_snapshot)).
+/// Implemented for the owned key types a persisted store can use; borrowed
+/// keys (`&'static str`) have no restore path and stay snapshot-less.
+pub trait SnapshotKey: Sized {
+    /// Append the key's wire encoding.
+    fn encode_key(&self, buf: &mut Vec<u8>);
+
+    /// Decode a key previously produced by
+    /// [`encode_key`](Self::encode_key), advancing the slice.
+    ///
+    /// # Errors
+    /// [`CodecError`] on truncation or corruption.
+    fn decode_key(input: &mut &[u8]) -> Result<Self, CodecError>;
+}
+
+impl SnapshotKey for u64 {
+    fn encode_key(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, *self);
+    }
+
+    fn decode_key(input: &mut &[u8]) -> Result<Self, CodecError> {
+        get_varint(input, "u64 key")
+    }
+}
+
+impl SnapshotKey for u32 {
+    fn encode_key(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, u64::from(*self));
+    }
+
+    fn decode_key(input: &mut &[u8]) -> Result<Self, CodecError> {
+        u32::try_from(get_varint(input, "u32 key")?)
+            .map_err(|_| CodecError::Corrupt { context: "u32 key" })
+    }
+}
+
+impl SnapshotKey for String {
+    fn encode_key(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.len() as u64);
+        buf.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode_key(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = get_varint(input, "string key length")? as usize;
+        if len > input.len() {
+            return Err(CodecError::Truncated {
+                context: "string key",
+            });
+        }
+        let (bytes, rest) = input.split_at(len);
+        *input = rest;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Corrupt {
+            context: "string key utf-8",
+        })
+    }
+}
+
+fn put_opt(buf: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => put_u8(buf, 0),
+        Some(x) => {
+            put_u8(buf, 1);
+            put_varint(buf, x);
+        }
+    }
+}
+
+fn get_opt(input: &mut &[u8], context: &'static str) -> Result<Option<u64>, CodecError> {
+    match get_u8(input, context)? {
+        0 => Ok(None),
+        1 => Ok(Some(get_varint(input, context)?)),
+        _ => Err(CodecError::Corrupt { context }),
+    }
+}
+
+/// Format-v1 sanity bounds on what a snapshot header may describe, applied
+/// symmetrically on write and read. The wire checksums guard against bit
+/// rot, not adversaries; these bounds are the second layer, keeping a
+/// header whose varints or float bit patterns were blown up (or crafted)
+/// from driving giant derived allocations — Count-Min widths from a
+/// subnormal ε, shard vectors from a 2⁴⁴ shard count — before the payload
+/// decoders can fail cleanly. Real deployments sit orders of magnitude
+/// inside every bound.
+pub(crate) fn format_bounds(spec: &SketchSpec) -> Result<(), SnapshotError> {
+    const MAX_SHARDS: usize = 4096;
+    const MAX_EW_BUCKETS: usize = 1 << 16;
+    const MIN_ACCURACY: f64 = 1e-4;
+    const MAX_HORIZON: u64 = 1 << 48;
+    let fail = |detail: String| Err(SnapshotError::Spec(SpecError::InvalidParameter { detail }));
+    if spec.epsilon < MIN_ACCURACY || spec.delta < MIN_ACCURACY {
+        return fail(format!(
+            "snapshot format bound: epsilon/delta must be >= {MIN_ACCURACY}"
+        ));
+    }
+    if spec.window > MAX_HORIZON || spec.max_arrivals.is_some_and(|u| u > MAX_HORIZON) {
+        return fail(format!(
+            "snapshot format bound: window/max_arrivals must be <= 2^48, got {}",
+            spec.window
+        ));
+    }
+    if spec.shards.is_some_and(|n| n > MAX_SHARDS) {
+        return fail(format!(
+            "snapshot format bound: at most {MAX_SHARDS} shards"
+        ));
+    }
+    if let Backend::Ew { buckets } = spec.backend {
+        if buckets > MAX_EW_BUCKETS {
+            return fail(format!(
+                "snapshot format bound: at most {MAX_EW_BUCKETS} equi-width buckets"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Serialize a spec header (fixed field order; consumed by
+/// [`decode_spec`]).
+pub(crate) fn encode_spec(spec: &SketchSpec, buf: &mut Vec<u8>) {
+    put_u8(
+        buf,
+        match spec.clock {
+            Clock::Time => 0,
+            Clock::Count => 1,
+        },
+    );
+    put_varint(buf, spec.window);
+    put_f64(buf, spec.epsilon);
+    put_f64(buf, spec.delta);
+    match spec.backend {
+        Backend::Eh => put_u8(buf, 0),
+        Backend::Dw => put_u8(buf, 1),
+        Backend::Rw => put_u8(buf, 2),
+        Backend::Exact => put_u8(buf, 3),
+        Backend::Ew { buckets } => {
+            put_u8(buf, 4);
+            put_varint(buf, buckets as u64);
+        }
+        Backend::Decayed => put_u8(buf, 5),
+    }
+    put_u8(
+        buf,
+        match spec.query_kind {
+            QueryKind::Point => 0,
+            QueryKind::InnerProduct => 1,
+        },
+    );
+    put_u64(buf, spec.seed);
+    put_opt(buf, spec.max_arrivals);
+    put_opt(buf, spec.hierarchy_bits.map(u64::from));
+    put_opt(buf, spec.shards.map(|n| n as u64));
+}
+
+/// Parse a spec header and validate it — an embedded spec that fails
+/// [`SketchSpec::validate`] is corrupt by construction (no writer produces
+/// one).
+pub(crate) fn decode_spec(input: &mut &[u8]) -> Result<SketchSpec, SnapshotError> {
+    let clock = match get_u8(input, "spec clock")? {
+        0 => Clock::Time,
+        1 => Clock::Count,
+        _ => {
+            return Err(CodecError::Corrupt {
+                context: "spec clock",
+            }
+            .into())
+        }
+    };
+    let window = get_varint(input, "spec window")?;
+    let epsilon = get_f64(input, "spec epsilon")?;
+    let delta = get_f64(input, "spec delta")?;
+    let backend = match get_u8(input, "spec backend")? {
+        0 => Backend::Eh,
+        1 => Backend::Dw,
+        2 => Backend::Rw,
+        3 => Backend::Exact,
+        4 => Backend::Ew {
+            buckets: get_varint(input, "spec ew buckets")? as usize,
+        },
+        5 => Backend::Decayed,
+        _ => {
+            return Err(CodecError::Corrupt {
+                context: "spec backend",
+            }
+            .into())
+        }
+    };
+    let query_kind = match get_u8(input, "spec query kind")? {
+        0 => QueryKind::Point,
+        1 => QueryKind::InnerProduct,
+        _ => {
+            return Err(CodecError::Corrupt {
+                context: "spec query kind",
+            }
+            .into())
+        }
+    };
+    let seed = get_u64(input, "spec seed")?;
+    let max_arrivals = get_opt(input, "spec max_arrivals")?;
+    let hierarchy_bits = match get_opt(input, "spec hierarchy bits")? {
+        None => None,
+        Some(b) => Some(u32::try_from(b).map_err(|_| CodecError::Corrupt {
+            context: "spec hierarchy bits",
+        })?),
+    };
+    let shards = get_opt(input, "spec shards")?.map(|n| n as usize);
+    let spec = SketchSpec {
+        clock,
+        window,
+        epsilon,
+        delta,
+        backend,
+        query_kind,
+        seed,
+        max_arrivals,
+        hierarchy_bits,
+        shards,
+    };
+    spec.validate()?;
+    format_bounds(&spec)?;
+    Ok(spec)
+}
+
+/// The sketch trait object does not match what the spec describes.
+fn downcast<'a, T: 'static>(
+    sketch: &'a dyn Sketch,
+    expected: &'static str,
+) -> Result<&'a T, SnapshotError> {
+    sketch
+        .as_any()
+        .downcast_ref::<T>()
+        .ok_or_else(|| SnapshotError::SpecMismatch {
+            detail: format!(
+                "the sketch is a {}, but the spec describes a {expected}",
+                sketch.backend()
+            ),
+        })
+}
+
+/// Serialize the backend payload of `sketch` as described by `spec` —
+/// the structural dispatch mirror of [`SketchSpec::build`].
+pub(crate) fn encode_payload(
+    spec: &SketchSpec,
+    sketch: &dyn Sketch,
+    buf: &mut Vec<u8>,
+) -> Result<(), SnapshotError> {
+    match spec.backend {
+        Backend::Eh => encode_counter_payload::<ExponentialHistogram>(spec, sketch, buf),
+        Backend::Dw => encode_counter_payload::<DeterministicWave>(spec, sketch, buf),
+        Backend::Rw => encode_counter_payload::<RandomizedWave>(spec, sketch, buf),
+        Backend::Exact => encode_counter_payload::<ExactWindow>(spec, sketch, buf),
+        Backend::Ew { .. } => encode_counter_payload::<EquiWidthWindow>(spec, sketch, buf),
+        Backend::Decayed => {
+            downcast::<DecayedCm>(sketch, "decayed count-min")?.encode(buf);
+            Ok(())
+        }
+    }
+}
+
+fn encode_counter_payload<W>(
+    spec: &SketchSpec,
+    sketch: &dyn Sketch,
+    buf: &mut Vec<u8>,
+) -> Result<(), SnapshotError>
+where
+    W: SpecBackend + fmt::Debug + 'static,
+    W::Config: 'static,
+{
+    match (spec.clock, spec.hierarchy_bits, spec.shards) {
+        (Clock::Time, None, None) => downcast::<EcmSketch<W>>(sketch, "plain sketch")?.encode(buf),
+        (Clock::Time, Some(_), None) => {
+            downcast::<EcmHierarchy<W>>(sketch, "hierarchy")?.encode(buf)
+        }
+        (Clock::Time, None, Some(_)) => {
+            downcast::<ShardedEcm<W>>(sketch, "sharded sketch")?.encode(buf)
+        }
+        (Clock::Count, None, None) => {
+            downcast::<CountBasedEcm<W>>(sketch, "count-based sketch")?.encode(buf)
+        }
+        (Clock::Count, Some(_), None) => {
+            downcast::<CountBasedHierarchy<W>>(sketch, "count-based hierarchy")?.encode(buf)
+        }
+        // Hierarchy + sharding and count + sharding never validate, and
+        // every entry point validates the spec first.
+        _ => unreachable!("validate() rejects this combination"),
+    }
+    Ok(())
+}
+
+/// Decode one backend payload as described by `spec`, advancing the slice.
+pub(crate) fn decode_payload(
+    spec: &SketchSpec,
+    input: &mut &[u8],
+) -> Result<Box<dyn Sketch>, SnapshotError> {
+    match spec.backend {
+        Backend::Eh => decode_counter_payload::<ExponentialHistogram>(spec, input),
+        Backend::Dw => decode_counter_payload::<DeterministicWave>(spec, input),
+        Backend::Rw => decode_counter_payload::<RandomizedWave>(spec, input),
+        Backend::Exact => decode_counter_payload::<ExactWindow>(spec, input),
+        Backend::Ew { .. } => decode_counter_payload::<EquiWidthWindow>(spec, input),
+        Backend::Decayed => Ok(Box::new(DecayedCm::decode(&spec.decayed_config()?, input)?)),
+    }
+}
+
+fn decode_counter_payload<W>(
+    spec: &SketchSpec,
+    input: &mut &[u8],
+) -> Result<Box<dyn Sketch>, SnapshotError>
+where
+    W: SpecBackend + fmt::Debug + 'static,
+    W::Config: 'static,
+{
+    let cfg = spec.ecm_config::<W>()?;
+    Ok(match (spec.clock, spec.hierarchy_bits, spec.shards) {
+        (Clock::Time, None, None) => Box::new(EcmSketch::decode(&cfg, input)?),
+        (Clock::Time, Some(bits), None) => Box::new(EcmHierarchy::decode(bits, &cfg, input)?),
+        (Clock::Time, None, Some(n)) => Box::new(ShardedEcm::decode(&cfg, n, input)?),
+        (Clock::Count, None, None) => Box::new(CountBasedEcm::decode(&cfg, input)?),
+        (Clock::Count, Some(bits), None) => {
+            Box::new(CountBasedHierarchy::decode(bits, &cfg, input)?)
+        }
+        _ => unreachable!("validate() rejects this combination"),
+    })
+}
+
+/// A parsed-but-not-yet-decoded snapshot record: framing verified
+/// (magic, version, checksum), payload still raw.
+pub(crate) struct RawRecord<'a> {
+    pub(crate) spec: SketchSpec,
+    pub(crate) clock: u64,
+    pub(crate) payload: &'a [u8],
+}
+
+/// Parse one record's framing from `input`, advancing it past the record.
+/// The checksum is verified **before** the payload is decoded.
+pub(crate) fn parse_record<'a>(input: &mut &'a [u8]) -> Result<RawRecord<'a>, SnapshotError> {
+    let start = *input;
+    if input.len() < MAGIC.len() {
+        return Err(CodecError::Truncated {
+            context: "snapshot magic",
+        }
+        .into());
+    }
+    if start[..MAGIC.len()] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    *input = &input[MAGIC.len()..];
+    let version = get_u8(input, "snapshot version")?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    let spec = decode_spec(input)?;
+    let clock = get_varint(input, "snapshot clock")?;
+    let len = get_varint(input, "snapshot payload length")? as usize;
+    if len > input.len() {
+        return Err(CodecError::Truncated {
+            context: "snapshot payload",
+        }
+        .into());
+    }
+    let (payload, rest) = input.split_at(len);
+    *input = rest;
+    let covered = start.len() - input.len();
+    let expected = checksum(&start[..covered]);
+    let found = get_u64(input, "snapshot checksum")?;
+    if found != expected {
+        return Err(SnapshotError::ChecksumMismatch {
+            context: "snapshot record",
+        });
+    }
+    Ok(RawRecord {
+        spec,
+        clock,
+        payload,
+    })
+}
+
+/// Write one sealed record for `sketch` as described by `spec` (already
+/// validated by the caller).
+fn write_record(spec: &SketchSpec, sketch: &dyn Sketch) -> Result<Vec<u8>, SnapshotError> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MAGIC);
+    put_u8(&mut buf, SNAPSHOT_VERSION);
+    encode_spec(spec, &mut buf);
+    put_varint(&mut buf, sketch.write_clock());
+    let mut payload = Vec::new();
+    encode_payload(spec, sketch, &mut payload)?;
+    put_varint(&mut buf, payload.len() as u64);
+    buf.extend_from_slice(&payload);
+    let sum = checksum(&buf);
+    put_u64(&mut buf, sum);
+    Ok(buf)
+}
+
+/// Decode a verified record's payload and cross-check the header clock.
+fn decode_record(record: RawRecord<'_>) -> Result<(SketchSpec, Box<dyn Sketch>), SnapshotError> {
+    let mut payload = record.payload;
+    let sketch = decode_payload(&record.spec, &mut payload)?;
+    if !payload.is_empty() {
+        return Err(SnapshotError::TrailingBytes {
+            count: payload.len(),
+        });
+    }
+    if sketch.write_clock() != record.clock {
+        return Err(SnapshotError::ClockMismatch {
+            header: record.clock,
+            payload: sketch.write_clock(),
+        });
+    }
+    Ok((record.spec, sketch))
+}
+
+/// Restore a sketch from a snapshot **without** prior configuration: the
+/// record's embedded spec describes the backend. Returns the spec alongside
+/// the sketch so the caller can keep building identical peers or verify it
+/// against deployment expectations.
+///
+/// # Errors
+/// Any [`SnapshotError`]; trailing bytes after the record are rejected.
+pub fn restore_any(bytes: &[u8]) -> Result<(SketchSpec, Box<dyn Sketch>), SnapshotError> {
+    let mut input = bytes;
+    let record = parse_record(&mut input)?;
+    if !input.is_empty() {
+        return Err(SnapshotError::TrailingBytes { count: input.len() });
+    }
+    decode_record(record)
+}
+
+impl SketchSpec {
+    /// Serialize `sketch` — which must be the backend this spec
+    /// [`build`](SketchSpec::build)s — as one self-describing, checksummed
+    /// snapshot record (see the [module docs](self) for the layout).
+    ///
+    /// # Errors
+    /// Any validation error, or [`SnapshotError::SpecMismatch`] when
+    /// `sketch` is not the backend this spec describes.
+    pub fn snapshot(&self, sketch: &dyn Sketch) -> Result<Vec<u8>, SnapshotError> {
+        self.validate()?;
+        format_bounds(self)?;
+        write_record(self, sketch)
+    }
+
+    /// Restore a sketch from a snapshot produced by
+    /// [`snapshot`](SketchSpec::snapshot), verifying that the record's
+    /// embedded spec is **exactly** this spec (use [`restore_any`] to
+    /// restore without prior knowledge).
+    ///
+    /// # Errors
+    /// Any [`SnapshotError`], including
+    /// [`SpecMismatch`](SnapshotError::SpecMismatch) when the embedded spec
+    /// differs.
+    pub fn restore(&self, bytes: &[u8]) -> Result<Box<dyn Sketch>, SnapshotError> {
+        let (spec, sketch) = restore_any(bytes)?;
+        if spec != *self {
+            return Err(SnapshotError::SpecMismatch {
+                detail: format!("snapshot spec {spec:?} differs from expected {self:?}"),
+            });
+        }
+        Ok(sketch)
+    }
+}
+
+/// Structural guard for the typed (site-recovery) surface: it covers plain
+/// time-based sketches only — the shape aggregation-tree leaves have.
+fn require_plain_time(spec: &SketchSpec) -> Result<(), SnapshotError> {
+    if spec.clock != Clock::Time || spec.hierarchy_bits.is_some() || spec.shards.is_some() {
+        return Err(SnapshotError::SpecMismatch {
+            detail: "the typed snapshot surface covers plain time-based sketches \
+                     (aggregation-tree leaves); use SketchSpec::snapshot for \
+                     structured backends"
+                .into(),
+        });
+    }
+    Ok(())
+}
+
+/// Snapshot a **typed** sketch — the mergeable `EcmSketch<W>` the
+/// `distributed` crate's sites hold. The record is byte-identical to what
+/// [`SketchSpec::snapshot`] writes for the same state, so either side can
+/// restore it.
+///
+/// # Errors
+/// Any validation error, [`SpecError::BackendMismatch`] when `W` disagrees
+/// with the spec, or [`SnapshotError::SpecMismatch`] for structured specs.
+pub fn snapshot_sketch<W>(
+    spec: &SketchSpec,
+    sketch: &EcmSketch<W>,
+) -> Result<Vec<u8>, SnapshotError>
+where
+    W: SpecBackend + fmt::Debug + 'static,
+    W::Config: 'static,
+{
+    spec.ecm_config::<W>()?; // validates, checks W against the backend
+    format_bounds(spec)?;
+    require_plain_time(spec)?;
+    write_record(spec, sketch)
+}
+
+/// Restore a **typed** `EcmSketch<W>` from a snapshot record — the
+/// site-recovery counterpart of [`snapshot_sketch`]. The restored sketch
+/// resumes its arrival-id sequence exactly where the checkpoint left it, so
+/// replaying the post-checkpoint stream reproduces a never-crashed sketch
+/// bit for bit.
+///
+/// # Errors
+/// Any [`SnapshotError`], including spec disagreement with the record.
+pub fn restore_sketch<W>(spec: &SketchSpec, bytes: &[u8]) -> Result<EcmSketch<W>, SnapshotError>
+where
+    W: SpecBackend + fmt::Debug + 'static,
+    W::Config: 'static,
+{
+    let cfg = spec.ecm_config::<W>()?;
+    require_plain_time(spec)?;
+    let mut input = bytes;
+    let record = parse_record(&mut input)?;
+    if !input.is_empty() {
+        return Err(SnapshotError::TrailingBytes { count: input.len() });
+    }
+    if record.spec != *spec {
+        return Err(SnapshotError::SpecMismatch {
+            detail: format!(
+                "snapshot spec {:?} differs from expected {spec:?}",
+                record.spec
+            ),
+        });
+    }
+    let mut payload = record.payload;
+    let sketch = EcmSketch::decode(&cfg, &mut payload)?;
+    if !payload.is_empty() {
+        return Err(SnapshotError::TrailingBytes {
+            count: payload.len(),
+        });
+    }
+    if sketch.last_tick() != record.clock {
+        return Err(SnapshotError::ClockMismatch {
+            header: record.clock,
+            payload: sketch.last_tick(),
+        });
+    }
+    Ok(sketch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Query, SketchReader, WindowSpec};
+
+    fn warm_spec_sketch() -> (SketchSpec, Box<dyn Sketch>) {
+        let spec = SketchSpec::time(1_000).epsilon(0.2).delta(0.2).seed(11);
+        let mut sk = spec.build().unwrap();
+        for t in 1..=400u64 {
+            sk.insert(t, t % 13);
+        }
+        (spec, sk)
+    }
+
+    #[test]
+    fn spec_header_round_trips_every_axis() {
+        let specs = [
+            SketchSpec::time(1_000),
+            SketchSpec::time(1_000).backend(Backend::Dw).seed(u64::MAX),
+            SketchSpec::time(7)
+                .backend(Backend::Rw)
+                .epsilon(0.25)
+                .max_arrivals(5_000),
+            SketchSpec::time(1_000).backend(Backend::Exact),
+            SketchSpec::time(1_000).backend(Backend::Ew { buckets: 12 }),
+            SketchSpec::time(1_000).backend(Backend::Decayed),
+            SketchSpec::time(1_000).hierarchy(9),
+            SketchSpec::time(1_000).sharded(5),
+            SketchSpec::count(64).epsilon(0.05),
+            SketchSpec::count(64)
+                .hierarchy(8)
+                .query_kind(QueryKind::InnerProduct),
+        ];
+        for spec in specs {
+            let mut buf = Vec::new();
+            encode_spec(&spec, &mut buf);
+            let mut slice = buf.as_slice();
+            let back = decode_spec(&mut slice).unwrap();
+            assert!(slice.is_empty());
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn embedded_specs_that_fail_validation_are_rejected() {
+        // A zero-window spec can only appear via corruption. Window 1
+        // encodes as the single byte 0x01 right after the clock tag, so
+        // zeroing it keeps every later field aligned.
+        let mut buf = Vec::new();
+        encode_spec(&SketchSpec::time(1), &mut buf);
+        assert_eq!(buf[1], 1);
+        buf[1] = 0;
+        let mut slice = buf.as_slice();
+        assert!(matches!(
+            decode_spec(&mut slice),
+            Err(SnapshotError::Spec(SpecError::ZeroWindow))
+        ));
+    }
+
+    #[test]
+    fn restore_any_is_self_describing() {
+        let (spec, sk) = warm_spec_sketch();
+        let bytes = spec.snapshot(&*sk).unwrap();
+        let (embedded, restored) = restore_any(&bytes).unwrap();
+        assert_eq!(embedded, spec);
+        let w = WindowSpec::time(400, 1_000);
+        for item in 0..13u64 {
+            let a = sk.query(&Query::point(item), w).unwrap().into_value().value;
+            let b = restored
+                .query(&Query::point(item), w)
+                .unwrap()
+                .into_value()
+                .value;
+            assert_eq!(a.to_bits(), b.to_bits(), "item {item}");
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_a_sketch_from_a_different_spec() {
+        let (spec, _) = warm_spec_sketch();
+        let other = SketchSpec::time(1_000)
+            .backend(Backend::Dw)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            spec.snapshot(&*other),
+            Err(SnapshotError::SpecMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_spec_disagreement() {
+        let (spec, sk) = warm_spec_sketch();
+        let bytes = spec.snapshot(&*sk).unwrap();
+        let other = SketchSpec::time(1_000).epsilon(0.2).delta(0.2).seed(12);
+        assert!(matches!(
+            other.restore(&bytes),
+            Err(SnapshotError::SpecMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn framing_failures_are_typed() {
+        let (spec, sk) = warm_spec_sketch();
+        let bytes = spec.snapshot(&*sk).unwrap();
+
+        // Magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(spec.restore(&bad), Err(SnapshotError::BadMagic)));
+
+        // Future format version.
+        let mut bad = bytes.clone();
+        bad[2] = SNAPSHOT_VERSION + 1;
+        assert!(matches!(
+            spec.restore(&bad),
+            Err(SnapshotError::UnsupportedVersion { .. })
+        ));
+
+        // Payload bit flip → checksum.
+        let mut bad = bytes.clone();
+        let mid = bytes.len() / 2;
+        bad[mid] ^= 0x40;
+        assert!(spec.restore(&bad).is_err());
+
+        // Trailing bytes.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(matches!(
+            spec.restore(&bad),
+            Err(SnapshotError::TrailingBytes { count: 1 })
+        ));
+
+        // Every truncation point fails without panicking.
+        for cut in 0..bytes.len() {
+            assert!(spec.restore(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn typed_and_dyn_records_are_interchangeable() {
+        let spec = SketchSpec::time(500).epsilon(0.2).delta(0.2).seed(4);
+        let cfg = spec.ecm_config::<ExponentialHistogram>().unwrap();
+        let mut typed = EcmSketch::new(&cfg);
+        for t in 1..=200u64 {
+            typed.insert(t % 9, t);
+        }
+        let typed_bytes = snapshot_sketch(&spec, &typed).unwrap();
+
+        // The dyn path restores the typed record...
+        let restored_dyn = spec.restore(&typed_bytes).unwrap();
+        let w = WindowSpec::time(200, 500);
+        let a = restored_dyn
+            .query(&Query::point(3), w)
+            .unwrap()
+            .into_value()
+            .value;
+        // ...and the typed path restores the dyn path's record.
+        let mut dyn_built = spec.build().unwrap();
+        for t in 1..=200u64 {
+            dyn_built.insert(t, t % 9);
+        }
+        let dyn_bytes = spec.snapshot(&*dyn_built).unwrap();
+        assert_eq!(dyn_bytes, typed_bytes, "same state, same record bytes");
+        let restored_typed: EcmSketch<ExponentialHistogram> =
+            restore_sketch(&spec, &dyn_bytes).unwrap();
+        let b = restored_typed
+            .query(&Query::point(3), w)
+            .unwrap()
+            .into_value()
+            .value;
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn typed_surface_rejects_structured_specs() {
+        let spec = SketchSpec::time(100).hierarchy(4);
+        let plain = SketchSpec::time(100);
+        let cfg = plain.ecm_config::<ExponentialHistogram>().unwrap();
+        let sk = EcmSketch::new(&cfg);
+        assert!(matches!(
+            snapshot_sketch(&spec, &sk),
+            Err(SnapshotError::SpecMismatch { .. })
+        ));
+        assert!(matches!(
+            restore_sketch::<ExponentialHistogram>(&spec, &[]),
+            Err(SnapshotError::SpecMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn format_bounds_reject_blown_up_headers_on_both_sides() {
+        // Write side: a spec outside the v1 format bounds is refused before
+        // any bytes exist.
+        let tiny_eps = SketchSpec::time(100).epsilon(1e-9);
+        let sk = SketchSpec::time(100).build().unwrap();
+        assert!(matches!(
+            tiny_eps.snapshot(&*sk),
+            Err(SnapshotError::Spec(SpecError::InvalidParameter { .. }))
+        ));
+        // Read side: a crafted header describing 2^20 shards (validates —
+        // only zero is rejected by validate()) is refused by the bounds
+        // before any shard vector is allocated.
+        let crafted = SketchSpec::time(100).sharded(1 << 20);
+        assert!(crafted.validate().is_ok(), "bounds, not validate, gate it");
+        let mut buf = Vec::new();
+        encode_spec(&crafted, &mut buf);
+        let mut slice = buf.as_slice();
+        assert!(matches!(
+            decode_spec(&mut slice),
+            Err(SnapshotError::Spec(SpecError::InvalidParameter { .. }))
+        ));
+        // In-bounds specs are untouched.
+        let ok = SketchSpec::time(100).sharded(8).epsilon(0.01).delta(0.01);
+        let mut buf = Vec::new();
+        encode_spec(&ok, &mut buf);
+        let mut slice = buf.as_slice();
+        assert_eq!(decode_spec(&mut slice).unwrap(), ok);
+    }
+
+    #[test]
+    fn errors_display_their_cause_and_chain_sources() {
+        use std::error::Error as _;
+        let e = SnapshotError::UnsupportedVersion { found: 9 };
+        assert!(e.to_string().contains('9'));
+        let e = SnapshotError::SequenceMismatch {
+            expected: 3,
+            found: 5,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+        let e = SnapshotError::Codec(CodecError::Truncated { context: "x" });
+        assert!(e.source().is_some());
+        let e = SnapshotError::Spec(SpecError::ZeroWindow);
+        assert!(e.source().is_some() && e.to_string().contains("window"));
+    }
+}

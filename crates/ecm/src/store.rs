@@ -46,12 +46,18 @@
 //! assert_eq!(top.len(), 1);
 //! ```
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::Hash;
 
 use crate::api::{Sketch, SketchSpec, SpecError};
 use crate::query::{Answer, Query, QueryError, WindowSpec};
 use crate::sketch::StreamEvent;
+use crate::snapshot::{
+    checksum, decode_payload, decode_spec, encode_payload, encode_spec, SnapshotError, SnapshotKey,
+    SNAPSHOT_VERSION,
+};
+use sliding_window::codec::{get_u64, get_u8, get_varint, put_u64, put_u8, put_varint};
+use sliding_window::CodecError;
 
 /// Which resident key a full [`SketchStore`] discards for a new one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,11 +69,13 @@ pub enum Eviction {
     Fifo,
 }
 
-/// One tenant slot: the sketch plus the stamp of its current position in
-/// the eviction order (mirrors its key in [`SketchStore::order`] under
-/// LRU; under FIFO the order keeps the creation stamp instead).
+/// One tenant slot: the sketch plus its two clock stamps — `order_stamp`
+/// is the key's current position in [`SketchStore::order`] (refreshed per
+/// write under LRU, the creation stamp under FIFO), `last_written` the
+/// stamp of the most recent write.
 struct Entry {
     sketch: Box<dyn Sketch>,
+    order_stamp: u64,
     last_written: u64,
 }
 
@@ -88,6 +96,15 @@ pub struct SketchStore<K> {
     /// Monotone stamp source for `created` / `last_written`.
     clock: u64,
     evictions: u64,
+    /// Sequence number of the last checkpoint written or restored (0 =
+    /// none yet); incremental snapshots chain on it.
+    checkpoint_seq: u64,
+    /// Keys written (or created) since the last checkpoint — the working
+    /// set an incremental snapshot rewrites.
+    dirty: BTreeSet<K>,
+    /// Keys evicted since the last checkpoint — shipped as tombstones so an
+    /// incremental restore drops them too.
+    dropped: BTreeSet<K>,
 }
 
 impl<K: Eq + Hash + Ord + Clone> SketchStore<K> {
@@ -106,6 +123,9 @@ impl<K: Eq + Hash + Ord + Clone> SketchStore<K> {
             eviction: Eviction::Lru,
             clock: 0,
             evictions: 0,
+            checkpoint_seq: 0,
+            dirty: BTreeSet::new(),
+            dropped: BTreeSet::new(),
         })
     }
 
@@ -173,6 +193,7 @@ impl<K: Eq + Hash + Ord + Clone> SketchStore<K> {
     pub fn sketch_mut(&mut self, key: &K) -> &mut dyn Sketch {
         self.clock += 1;
         let stamp = self.clock;
+        self.dirty.insert(key.clone());
         if !self.entries.contains_key(key) {
             if let Some(cap) = self.capacity {
                 if self.entries.len() >= cap {
@@ -187,6 +208,7 @@ impl<K: Eq + Hash + Ord + Clone> SketchStore<K> {
                 key.clone(),
                 Entry {
                     sketch,
+                    order_stamp: stamp,
                     last_written: stamp,
                 },
             );
@@ -197,8 +219,9 @@ impl<K: Eq + Hash + Ord + Clone> SketchStore<K> {
         let entry = self.entries.get_mut(key).expect("presence checked");
         if self.eviction == Eviction::Lru {
             // Refresh the key's position in the eviction order.
-            self.order.remove(&entry.last_written);
+            self.order.remove(&entry.order_stamp);
             self.order.insert(stamp, key.clone());
+            entry.order_stamp = stamp;
         }
         entry.last_written = stamp;
         &mut *entry.sketch
@@ -210,6 +233,11 @@ impl<K: Eq + Hash + Ord + Clone> SketchStore<K> {
         if let Some((_, victim)) = self.order.pop_first() {
             self.entries.remove(&victim);
             self.evictions += 1;
+            // The victim leaves the incremental working set and becomes a
+            // tombstone; should it be recreated later, a fresh dirty record
+            // will shadow the tombstone (tombstones apply first).
+            self.dirty.remove(&victim);
+            self.dropped.insert(victim);
         }
     }
 
@@ -235,12 +263,21 @@ impl<K: Eq + Hash + Ord + Clone> SketchStore<K> {
     pub fn ingest(&mut self, batch: &[(K, StreamEvent)]) {
         let mut order: Vec<K> = Vec::new();
         let mut runs: HashMap<K, Vec<StreamEvent>> = HashMap::new();
-        for (key, event) in batch {
-            let run = runs.entry(key.clone()).or_insert_with(|| {
+        // Group adjacent same-key events first (mirroring `grouped_runs`),
+        // so the map is hashed once per *run* rather than once per event —
+        // on bursty keyed traffic most events share their predecessor's key.
+        let mut rest = batch;
+        while let Some(((key, _), _)) = rest.split_first() {
+            let n = 1 + rest[1..].iter().take_while(|(k, _)| k == key).count();
+            let (run, tail) = rest.split_at(n);
+            let events = run.iter().map(|&(_, e)| e);
+            if let Some(existing) = runs.get_mut(key) {
+                existing.extend(events);
+            } else {
                 order.push(key.clone());
-                Vec::new()
-            });
-            run.push(*event);
+                runs.insert(key.clone(), events.collect());
+            }
+            rest = tail;
         }
         for key in order {
             let events = runs.remove(&key).expect("run recorded for ordered key");
@@ -249,10 +286,17 @@ impl<K: Eq + Hash + Ord + Clone> SketchStore<K> {
     }
 
     /// Declare that every resident sketch's stream clock has reached `ts`
-    /// with no arrivals. Does not refresh write recency.
+    /// with no arrivals. Does not refresh write recency. Keys whose write
+    /// clock actually moves are marked dirty — the clock is sketch state an
+    /// incremental snapshot must carry — while keys already at or past `ts`
+    /// are provably unchanged and stay out of the next delta.
     pub fn advance_to(&mut self, ts: u64) {
-        for entry in self.entries.values_mut() {
+        for (key, entry) in &mut self.entries {
+            let before = entry.sketch.write_clock();
             entry.sketch.advance_to(ts);
+            if entry.sketch.write_clock() != before {
+                self.dirty.insert(key.clone());
+            }
         }
     }
 
@@ -324,6 +368,428 @@ impl<K: Eq + Hash + Ord + Clone> SketchStore<K> {
         per_key.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let total = per_key.iter().map(|&(_, b)| b).sum();
         MemoryReport { per_key, total }
+    }
+
+    /// Sequence number of the last checkpoint written or restored (0 when
+    /// none); incremental snapshots chain on it.
+    pub fn checkpoint_seq(&self) -> u64 {
+        self.checkpoint_seq
+    }
+
+    /// Number of resident keys an incremental snapshot would rewrite
+    /// (written or created since the last checkpoint).
+    pub fn dirty_len(&self) -> usize {
+        self.dirty
+            .iter()
+            .filter(|k| self.entries.contains_key(k))
+            .count()
+    }
+}
+
+/// Leading magic of a fleet (store) snapshot — distinct from the
+/// single-sketch record magic so the two formats cannot be confused.
+const STORE_MAGIC: [u8; 2] = *b"EF";
+
+const KIND_FULL: u8 = 0;
+const KIND_INCREMENTAL: u8 = 1;
+
+/// A parsed-and-verified store snapshot, ready to materialize.
+struct ParsedStore<K> {
+    kind: u8,
+    spec: SketchSpec,
+    seq: u64,
+    /// Checkpoint the delta applies on top of (incremental only).
+    base: u64,
+    capacity: Option<usize>,
+    eviction: Eviction,
+    clock: u64,
+    evictions: u64,
+    /// `(key, order_stamp, last_written, sketch)` in writer order.
+    records: Vec<(K, u64, u64, Box<dyn Sketch>)>,
+    tombstones: Vec<K>,
+}
+
+/// Fleet persistence: one snapshot holds the spec, the eviction state
+/// (stamps, clock, counters) and every resident sketch's full payload, so
+/// [`load_snapshot`](SketchStore::load_snapshot) rebuilds a store that is
+/// observationally identical — queries, memory accounting, and *future
+/// eviction decisions* included. [`write_incremental`](SketchStore::write_incremental)
+/// rewrites only keys dirtied since the last checkpoint (plus tombstones
+/// for evicted keys), chained by sequence number.
+impl<K: Eq + Hash + Ord + Clone + SnapshotKey> SketchStore<K> {
+    /// Serialize the whole fleet as a **full** checkpoint. Advances the
+    /// checkpoint sequence and resets the dirty set, so a subsequent
+    /// [`write_incremental`](Self::write_incremental) captures exactly the
+    /// writes from here on.
+    ///
+    /// **Durability contract:** the sequence advances when the bytes are
+    /// rendered, not when they reach disk — the caller owns persistence.
+    /// If persisting fails, retry with the *same returned bytes* (they
+    /// remain the checkpoint for this sequence number); discarding them and
+    /// writing the next checkpoint instead leaves a gap the restore side
+    /// reports as [`SequenceMismatch`](SnapshotError::SequenceMismatch).
+    ///
+    /// # Errors
+    /// [`SnapshotError::SpecMismatch`] if a resident sketch does not match
+    /// the spec (impossible through this API, possible through downcasting
+    /// games).
+    pub fn write_snapshot(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        let keys: Vec<K> = self.keys();
+        let bytes = self.render(KIND_FULL, &keys)?;
+        self.checkpoint_seq += 1;
+        self.dirty.clear();
+        self.dropped.clear();
+        Ok(bytes)
+    }
+
+    /// Serialize only the keys dirtied since the last checkpoint, plus
+    /// tombstones for keys evicted since — the delta to chain onto the
+    /// snapshot (full or incremental) with the current
+    /// [`checkpoint_seq`](Self::checkpoint_seq). Advances the sequence and
+    /// resets the dirty set. The durability contract of
+    /// [`write_snapshot`](Self::write_snapshot) applies: on a failed
+    /// persist, retry with the same returned bytes.
+    ///
+    /// # Errors
+    /// As [`write_snapshot`](Self::write_snapshot).
+    pub fn write_incremental(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        let keys: Vec<K> = self
+            .dirty
+            .iter()
+            .filter(|k| self.entries.contains_key(k))
+            .cloned()
+            .collect();
+        let bytes = self.render(KIND_INCREMENTAL, &keys)?;
+        self.checkpoint_seq += 1;
+        self.dirty.clear();
+        self.dropped.clear();
+        Ok(bytes)
+    }
+
+    fn render(&self, kind: u8, keys: &[K]) -> Result<Vec<u8>, SnapshotError> {
+        crate::snapshot::format_bounds(&self.spec)?;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&STORE_MAGIC);
+        put_u8(&mut buf, SNAPSHOT_VERSION);
+        put_u8(&mut buf, kind);
+        encode_spec(&self.spec, &mut buf);
+        put_varint(&mut buf, self.checkpoint_seq + 1);
+        if kind == KIND_INCREMENTAL {
+            put_varint(&mut buf, self.checkpoint_seq);
+        }
+        match self.capacity {
+            None => put_u8(&mut buf, 0),
+            Some(c) => {
+                put_u8(&mut buf, 1);
+                put_varint(&mut buf, c as u64);
+            }
+        }
+        put_u8(
+            &mut buf,
+            match self.eviction {
+                Eviction::Lru => 0,
+                Eviction::Fifo => 1,
+            },
+        );
+        put_varint(&mut buf, self.clock);
+        put_varint(&mut buf, self.evictions);
+        // Tombstones live in the header segment so that one header checksum
+        // and the per-record checksums together cover every byte exactly
+        // once — no redundant whole-file hashing pass on multi-MB fleets.
+        if kind == KIND_INCREMENTAL {
+            put_varint(&mut buf, self.dropped.len() as u64);
+            for key in &self.dropped {
+                key.encode_key(&mut buf);
+            }
+        } else {
+            put_varint(&mut buf, 0);
+        }
+        put_varint(&mut buf, keys.len() as u64);
+        let header_sum = checksum(&buf);
+        put_u64(&mut buf, header_sum);
+        for key in keys {
+            let entry = self.entries.get(key).expect("caller passes resident keys");
+            let start = buf.len();
+            key.encode_key(&mut buf);
+            put_varint(&mut buf, entry.order_stamp);
+            put_varint(&mut buf, entry.last_written);
+            let mut payload = Vec::new();
+            encode_payload(&self.spec, &*entry.sketch, &mut payload)?;
+            put_varint(&mut buf, payload.len() as u64);
+            buf.extend_from_slice(&payload);
+            let record_sum = checksum(&buf[start..]);
+            put_u64(&mut buf, record_sum);
+        }
+        Ok(buf)
+    }
+
+    fn parse(bytes: &[u8]) -> Result<ParsedStore<K>, SnapshotError> {
+        // Magic and format version first: a non-snapshot input should say
+        // so, not report a checksum failure.
+        if bytes.len() < 3 {
+            return Err(CodecError::Truncated {
+                context: "store snapshot header",
+            }
+            .into());
+        }
+        if bytes[..2] != STORE_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        if bytes[2] != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: bytes[2] });
+        }
+
+        let mut input = &bytes[3..];
+        let kind = get_u8(&mut input, "store snapshot kind")?;
+        if kind != KIND_FULL && kind != KIND_INCREMENTAL {
+            return Err(CodecError::Corrupt {
+                context: "store snapshot kind",
+            }
+            .into());
+        }
+        let spec = decode_spec(&mut input)?;
+        let seq = get_varint(&mut input, "store snapshot seq")?;
+        let base = if kind == KIND_INCREMENTAL {
+            get_varint(&mut input, "store snapshot base seq")?
+        } else {
+            0
+        };
+        let capacity = match get_u8(&mut input, "store capacity flag")? {
+            0 => None,
+            1 => {
+                let c = get_varint(&mut input, "store capacity")? as usize;
+                if c == 0 {
+                    return Err(CodecError::Corrupt {
+                        context: "store capacity",
+                    }
+                    .into());
+                }
+                Some(c)
+            }
+            _ => {
+                return Err(CodecError::Corrupt {
+                    context: "store capacity flag",
+                }
+                .into())
+            }
+        };
+        let eviction = match get_u8(&mut input, "store eviction policy")? {
+            0 => Eviction::Lru,
+            1 => Eviction::Fifo,
+            _ => {
+                return Err(CodecError::Corrupt {
+                    context: "store eviction policy",
+                }
+                .into())
+            }
+        };
+        let clock = get_varint(&mut input, "store clock")?;
+        let evictions = get_varint(&mut input, "store evictions")?;
+        let n_tombstones = get_varint(&mut input, "store tombstone count")? as usize;
+        if kind == KIND_FULL && n_tombstones != 0 {
+            return Err(CodecError::Corrupt {
+                context: "store tombstones",
+            }
+            .into());
+        }
+        let mut tombstones = Vec::with_capacity(n_tombstones.min(1024));
+        for _ in 0..n_tombstones {
+            tombstones.push(K::decode_key(&mut input)?);
+        }
+        let n_records = get_varint(&mut input, "store record count")? as usize;
+        // Header integrity (everything parsed so far) before the records
+        // are decoded; each record then carries its own checksum, so every
+        // byte is verified exactly once.
+        let header_len = bytes.len() - input.len();
+        let expected = checksum(&bytes[..header_len]);
+        let header_sum = get_u64(&mut input, "store header checksum")?;
+        if header_sum != expected {
+            return Err(SnapshotError::ChecksumMismatch {
+                context: "store snapshot header",
+            });
+        }
+        let mut records = Vec::new();
+        for _ in 0..n_records {
+            let start = input;
+            let key = K::decode_key(&mut input)?;
+            let order_stamp = get_varint(&mut input, "store order stamp")?;
+            let last_written = get_varint(&mut input, "store write stamp")?;
+            if order_stamp == 0 || order_stamp > clock || last_written > clock {
+                return Err(CodecError::Corrupt {
+                    context: "store stamps",
+                }
+                .into());
+            }
+            let len = get_varint(&mut input, "store payload length")? as usize;
+            if len > input.len() {
+                return Err(CodecError::Truncated {
+                    context: "store payload",
+                }
+                .into());
+            }
+            let (payload, rest) = input.split_at(len);
+            input = rest;
+            let covered = start.len() - input.len();
+            let expected = checksum(&start[..covered]);
+            let record_sum = get_u64(&mut input, "store record checksum")?;
+            if record_sum != expected {
+                return Err(SnapshotError::ChecksumMismatch {
+                    context: "store key record",
+                });
+            }
+            let mut payload = payload;
+            let sketch = decode_payload(&spec, &mut payload)?;
+            if !payload.is_empty() {
+                return Err(SnapshotError::TrailingBytes {
+                    count: payload.len(),
+                });
+            }
+            records.push((key, order_stamp, last_written, sketch));
+        }
+        if !input.is_empty() {
+            return Err(SnapshotError::TrailingBytes { count: input.len() });
+        }
+        Ok(ParsedStore {
+            kind,
+            spec,
+            seq,
+            base,
+            capacity,
+            eviction,
+            clock,
+            evictions,
+            records,
+            tombstones,
+        })
+    }
+
+    /// Rebuild a store from a **full** snapshot: spec, capacity policy,
+    /// eviction stamps and every sketch, observationally identical to the
+    /// store that wrote it. The restored store starts with a clean dirty
+    /// set at the snapshot's [`checkpoint_seq`](Self::checkpoint_seq),
+    /// ready for [`apply_incremental`](Self::apply_incremental) deltas.
+    ///
+    /// # Errors
+    /// Any [`SnapshotError`]; applying an incremental snapshot here is a
+    /// [`SpecMismatch`](SnapshotError::SpecMismatch).
+    pub fn load_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let parsed = Self::parse(bytes)?;
+        if parsed.kind != KIND_FULL {
+            return Err(SnapshotError::SpecMismatch {
+                detail: "incremental snapshot: load the full base first, \
+                         then apply_incremental"
+                    .into(),
+            });
+        }
+        let mut store = SketchStore::new(parsed.spec)?;
+        store.capacity = parsed.capacity;
+        store.eviction = parsed.eviction;
+        store.clock = parsed.clock;
+        store.evictions = parsed.evictions;
+        store.checkpoint_seq = parsed.seq;
+        store.insert_records(parsed.records)?;
+        store.check_capacity()?;
+        Ok(store)
+    }
+
+    /// Apply an incremental snapshot on top of this (restored) store:
+    /// tombstoned keys are dropped, rewritten keys replaced, and the
+    /// eviction clock fast-forwarded to the writer's. The delta must chain
+    /// directly on this store's [`checkpoint_seq`](Self::checkpoint_seq).
+    ///
+    /// # Errors
+    /// [`SnapshotError::SequenceMismatch`] when applied out of order,
+    /// [`SpecMismatch`](SnapshotError::SpecMismatch) when spec or capacity
+    /// policy differ, or any decode error.
+    pub fn apply_incremental(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let parsed = Self::parse(bytes)?;
+        if parsed.kind != KIND_INCREMENTAL {
+            return Err(SnapshotError::SpecMismatch {
+                detail: "full snapshot: use load_snapshot, not apply_incremental".into(),
+            });
+        }
+        if parsed.spec != self.spec {
+            return Err(SnapshotError::SpecMismatch {
+                detail: format!(
+                    "delta spec {:?} differs from the store's {:?}",
+                    parsed.spec, self.spec
+                ),
+            });
+        }
+        if parsed.capacity != self.capacity || parsed.eviction != self.eviction {
+            return Err(SnapshotError::SpecMismatch {
+                detail: "delta capacity/eviction policy differs from the store's".into(),
+            });
+        }
+        if parsed.base != self.checkpoint_seq {
+            return Err(SnapshotError::SequenceMismatch {
+                expected: parsed.base,
+                found: self.checkpoint_seq,
+            });
+        }
+        // Tombstones first: a key evicted and then recreated since the
+        // base carries both a tombstone and a fresh record.
+        for key in &parsed.tombstones {
+            if let Some(entry) = self.entries.remove(key) {
+                self.order.remove(&entry.order_stamp);
+            }
+        }
+        for (key, _, _, _) in &parsed.records {
+            if let Some(entry) = self.entries.remove(key) {
+                self.order.remove(&entry.order_stamp);
+            }
+        }
+        self.insert_records(parsed.records)?;
+        self.clock = parsed.clock;
+        self.evictions = parsed.evictions;
+        self.checkpoint_seq = parsed.seq;
+        self.dirty.clear();
+        self.dropped.clear();
+        self.check_capacity()
+    }
+
+    fn insert_records(
+        &mut self,
+        records: Vec<(K, u64, u64, Box<dyn Sketch>)>,
+    ) -> Result<(), SnapshotError> {
+        for (key, order_stamp, last_written, sketch) in records {
+            if self.order.insert(order_stamp, key.clone()).is_some() {
+                return Err(CodecError::Corrupt {
+                    context: "store duplicate order stamp",
+                }
+                .into());
+            }
+            if self
+                .entries
+                .insert(
+                    key,
+                    Entry {
+                        sketch,
+                        order_stamp,
+                        last_written,
+                    },
+                )
+                .is_some()
+            {
+                return Err(CodecError::Corrupt {
+                    context: "store duplicate key",
+                }
+                .into());
+            }
+        }
+        Ok(())
+    }
+
+    fn check_capacity(&self) -> Result<(), SnapshotError> {
+        if let Some(cap) = self.capacity {
+            if self.entries.len() > cap {
+                return Err(CodecError::Corrupt {
+                    context: "store capacity exceeded",
+                }
+                .into());
+            }
+        }
+        Ok(())
     }
 }
 
@@ -582,5 +1048,256 @@ mod tests {
             SketchStore::with_capacity(spec(), 7, Eviction::Fifo).unwrap();
         let dbg = format!("{store:?}");
         assert!(dbg.contains("SketchStore") && dbg.contains("capacity"));
+    }
+
+    /// Bit-identical point answers across two stores for every resident key.
+    fn assert_stores_agree(a: &SketchStore<u64>, b: &SketchStore<u64>, w: WindowSpec) {
+        assert_eq!(a.keys(), b.keys());
+        for key in a.keys() {
+            for item in 0..8u64 {
+                let va = a
+                    .query(&key, &Query::point(item), w)
+                    .unwrap()
+                    .unwrap()
+                    .into_value()
+                    .value;
+                let vb = b
+                    .query(&key, &Query::point(item), w)
+                    .unwrap()
+                    .unwrap()
+                    .into_value()
+                    .value;
+                assert_eq!(va.to_bits(), vb.to_bits(), "key {key} item {item}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_snapshot_round_trips_fleet_and_eviction_state() {
+        let mut store: SketchStore<u64> =
+            SketchStore::with_capacity(spec(), 4, Eviction::Lru).unwrap();
+        for t in 1..=800u64 {
+            store.insert(t % 6, t, t % 8); // 6 keys through a 4-slot store
+        }
+        let before_evictions = store.evictions();
+        let bytes = store.write_snapshot().unwrap();
+        assert_eq!(store.checkpoint_seq(), 1);
+        assert_eq!(store.dirty_len(), 0, "checkpoint resets the dirty set");
+
+        let restored = SketchStore::<u64>::load_snapshot(&bytes).unwrap();
+        assert_eq!(restored.checkpoint_seq(), 1);
+        assert_eq!(restored.evictions(), before_evictions);
+        assert_eq!(restored.memory_bytes(), store.memory_bytes());
+        assert_stores_agree(&store, &restored, WindowSpec::time(800, 1_000));
+
+        // The restored store makes the *same* future eviction decision: the
+        // LRU stamp index survived the round trip.
+        let mut live = store;
+        let mut back = restored;
+        live.insert(99, 801, 0);
+        back.insert(99, 801, 0);
+        assert_eq!(live.keys(), back.keys(), "same victim evicted");
+    }
+
+    #[test]
+    fn incremental_chain_restores_to_the_live_state() {
+        let mut store: SketchStore<u64> = SketchStore::new(spec()).unwrap();
+        for t in 1..=300u64 {
+            store.insert(t % 5, t, t % 8);
+        }
+        let full = store.write_snapshot().unwrap();
+
+        // Epoch 1: two keys move, one is brand new.
+        for t in 301..=400u64 {
+            store.insert(t % 2, t, 1);
+        }
+        store.insert(7, 401, 3);
+        assert_eq!(store.dirty_len(), 3);
+        let delta1 = store.write_incremental().unwrap();
+
+        // Epoch 2: one more key moves.
+        for t in 402..=450u64 {
+            store.insert(3, t, 5);
+        }
+        let delta2 = store.write_incremental().unwrap();
+
+        // Deltas only carry the dirty keys: far smaller than the base.
+        assert!(
+            delta1.len() < full.len(),
+            "{} !< {}",
+            delta1.len(),
+            full.len()
+        );
+
+        let mut restored = SketchStore::<u64>::load_snapshot(&full).unwrap();
+        restored.apply_incremental(&delta1).unwrap();
+        restored.apply_incremental(&delta2).unwrap();
+        assert_stores_agree(&store, &restored, WindowSpec::time(450, 1_000));
+
+        // Replays and skips are sequence errors, not silent corruption.
+        assert!(matches!(
+            restored.apply_incremental(&delta1),
+            Err(crate::snapshot::SnapshotError::SequenceMismatch { .. })
+        ));
+        let mut fresh = SketchStore::<u64>::load_snapshot(&full).unwrap();
+        assert!(matches!(
+            fresh.apply_incremental(&delta2),
+            Err(crate::snapshot::SnapshotError::SequenceMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn incremental_tombstones_carry_evictions() {
+        let mut store: SketchStore<u64> =
+            SketchStore::with_capacity(spec(), 3, Eviction::Lru).unwrap();
+        for key in 0..3u64 {
+            store.insert(key, 10, 0);
+        }
+        let full = store.write_snapshot().unwrap();
+        // Key 3 arrives, evicting key 0 (the LRU victim).
+        store.insert(3, 20, 0);
+        assert_eq!(store.keys(), vec![1, 2, 3]);
+        let delta = store.write_incremental().unwrap();
+
+        let mut restored = SketchStore::<u64>::load_snapshot(&full).unwrap();
+        assert_eq!(restored.keys(), vec![0, 1, 2]);
+        restored.apply_incremental(&delta).unwrap();
+        assert_eq!(restored.keys(), vec![1, 2, 3]);
+        assert_eq!(restored.evictions(), 1);
+    }
+
+    #[test]
+    fn eviction_shrinks_memory_accounting() {
+        // The exact backend's memory is content-proportional (the EH slab
+        // pre-allocates to capacity), so warm-vs-cold differences are
+        // visible in the accounting.
+        let exact_spec = spec().backend(Backend::Exact);
+        let mut store: SketchStore<u64> =
+            SketchStore::with_capacity(exact_spec, 3, Eviction::Lru).unwrap();
+        for t in 1..=600u64 {
+            store.insert(t % 3, t, t % 32);
+        }
+        let full3 = store.memory_bytes();
+        assert!(full3 > 0);
+        // A new key evicts one resident; the accounting must track it.
+        store.insert(50, 601, 0);
+        assert_eq!(store.len(), 3);
+        let after = store.memory_bytes();
+        assert!(
+            after < full3,
+            "evicting a warm sketch for a cold one must shrink memory: \
+             {full3} -> {after}"
+        );
+        assert_eq!(
+            after,
+            store
+                .memory_report()
+                .per_key
+                .iter()
+                .map(|&(_, b)| b)
+                .sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn snapshot_mid_eviction_round_trips() {
+        // The satellite scenario guarding the LRU stamp index: checkpoint a
+        // store that has already evicted (and will evict again), restore,
+        // and verify both the query surface and the *next* eviction.
+        let mut store: SketchStore<u64> =
+            SketchStore::with_capacity(spec(), 2, Eviction::Fifo).unwrap();
+        store.insert(1, 10, 0);
+        store.insert(2, 11, 0);
+        store.insert(3, 12, 0); // evicts 1 (FIFO)
+        assert_eq!(store.evictions(), 1);
+        let bytes = store.write_snapshot().unwrap();
+        let mut restored = SketchStore::<u64>::load_snapshot(&bytes).unwrap();
+        assert_eq!(restored.keys(), vec![2, 3]);
+        assert_eq!(restored.evictions(), 1);
+        // Next eviction victim must match the original store's.
+        store.insert(4, 13, 0);
+        restored.insert(4, 13, 0);
+        assert_eq!(store.keys(), restored.keys());
+        assert_eq!(store.evictions(), restored.evictions());
+    }
+
+    #[test]
+    fn store_snapshot_rejects_corruption_and_misuse() {
+        let mut store: SketchStore<u64> = SketchStore::new(spec()).unwrap();
+        for t in 1..=100u64 {
+            store.insert(t % 3, t, 1);
+        }
+        let full = store.write_snapshot().unwrap();
+        let delta = store.write_incremental().unwrap();
+
+        use crate::snapshot::SnapshotError;
+        // Kind misuse is typed.
+        assert!(matches!(
+            SketchStore::<u64>::load_snapshot(&delta),
+            Err(SnapshotError::SpecMismatch { .. })
+        ));
+        let mut target = SketchStore::<u64>::load_snapshot(&full).unwrap();
+        assert!(matches!(
+            target.apply_incremental(&full),
+            Err(SnapshotError::SpecMismatch { .. })
+        ));
+        // Bad magic, version bump, bit rot, truncation: all typed errors.
+        let mut bad = full.clone();
+        bad[0] = b'Z';
+        assert!(matches!(
+            SketchStore::<u64>::load_snapshot(&bad),
+            Err(SnapshotError::BadMagic)
+        ));
+        let mut bad = full.clone();
+        bad[2] = 0xfe;
+        assert!(matches!(
+            SketchStore::<u64>::load_snapshot(&bad),
+            Err(SnapshotError::UnsupportedVersion { found: 0xfe })
+        ));
+        let mut bad = full.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        assert!(SketchStore::<u64>::load_snapshot(&bad).is_err());
+        for cut in (0..full.len()).step_by(13) {
+            assert!(SketchStore::<u64>::load_snapshot(&full[..cut]).is_err());
+        }
+        // A delta for a different spec is refused.
+        let mut other: SketchStore<u64> =
+            SketchStore::new(SketchSpec::time(1_000).seed(99)).unwrap();
+        other.insert(1, 1, 1);
+        let _ = other.write_snapshot().unwrap();
+        other.insert(1, 2, 1);
+        let foreign = other.write_incremental().unwrap();
+        assert!(matches!(
+            target.apply_incremental(&foreign),
+            Err(SnapshotError::SpecMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn string_keyed_stores_snapshot_too() {
+        let mut store: SketchStore<String> = SketchStore::new(spec()).unwrap();
+        for t in 1..=200u64 {
+            store.insert(format!("tenant-{}", t % 4), t, t % 8);
+        }
+        let bytes = store.write_snapshot().unwrap();
+        let restored = SketchStore::<String>::load_snapshot(&bytes).unwrap();
+        assert_eq!(restored.keys(), store.keys());
+        let w = WindowSpec::time(200, 1_000);
+        for key in store.keys() {
+            let a = store
+                .query(&key, &Query::point(3), w)
+                .unwrap()
+                .unwrap()
+                .into_value()
+                .value;
+            let b = restored
+                .query(&key, &Query::point(3), w)
+                .unwrap()
+                .unwrap()
+                .into_value()
+                .value;
+            assert_eq!(a.to_bits(), b.to_bits(), "key {key}");
+        }
     }
 }

@@ -101,6 +101,40 @@ impl ExpDecayCounter {
         self.decay_to(now);
         self.value += other.value(now);
     }
+
+    /// Append the compact wire encoding: the lazily-held value and its
+    /// `as_of` tick (the half-life travels in the enclosing config).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        crate::codec::put_f64(buf, self.value);
+        crate::codec::put_varint(buf, self.as_of);
+    }
+
+    /// Decode a counter previously produced by [`encode`](Self::encode)
+    /// under the given half-life.
+    ///
+    /// # Errors
+    /// [`CodecError`](crate::CodecError) on truncation, or `Corrupt` when
+    /// the stored value is not a finite non-negative count (decayed masses
+    /// can never be negative, NaN or infinite).
+    pub fn decode(half_life: u64, input: &mut &[u8]) -> Result<Self, crate::CodecError> {
+        if half_life == 0 {
+            return Err(crate::CodecError::Corrupt {
+                context: "decay half-life",
+            });
+        }
+        let value = crate::codec::get_f64(input, "decay value")?;
+        if !value.is_finite() || value < 0.0 {
+            return Err(crate::CodecError::Corrupt {
+                context: "decay value",
+            });
+        }
+        let as_of = crate::codec::get_varint(input, "decay as_of")?;
+        Ok(ExpDecayCounter {
+            half_life,
+            value,
+            as_of,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -186,5 +220,50 @@ mod tests {
     fn value_before_any_add_is_zero() {
         let c = ExpDecayCounter::new(10);
         assert_eq!(c.value(1_000), 0.0);
+    }
+
+    #[test]
+    fn codec_round_trips_bit_exactly() {
+        let mut c = ExpDecayCounter::new(73);
+        for t in [5u64, 9, 400, 401] {
+            c.add(t, 1.25 * t as f64);
+        }
+        let mut buf = Vec::new();
+        c.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let back = ExpDecayCounter::decode(73, &mut slice).unwrap();
+        assert!(slice.is_empty());
+        assert_eq!(back, c);
+        assert_eq!(back.value(1_000).to_bits(), c.value(1_000).to_bits());
+    }
+
+    #[test]
+    fn codec_rejects_garbage() {
+        // Truncation.
+        let mut c = ExpDecayCounter::new(10);
+        c.add(3, 2.0);
+        let mut buf = Vec::new();
+        c.encode(&mut buf);
+        for cut in 0..buf.len() {
+            let mut slice = &buf[..cut];
+            assert!(
+                ExpDecayCounter::decode(10, &mut slice).is_err(),
+                "cut {cut}"
+            );
+        }
+        // Negative, NaN and infinite masses are impossible states.
+        for bad in [-1.0f64, f64::NAN, f64::INFINITY] {
+            let mut buf = Vec::new();
+            crate::codec::put_f64(&mut buf, bad);
+            crate::codec::put_varint(&mut buf, 7);
+            let mut slice = buf.as_slice();
+            assert!(matches!(
+                ExpDecayCounter::decode(10, &mut slice),
+                Err(crate::CodecError::Corrupt { .. })
+            ));
+        }
+        // A zero half-life cannot have produced any encoding.
+        let mut slice: &[u8] = &[0; 9];
+        assert!(ExpDecayCounter::decode(0, &mut slice).is_err());
     }
 }

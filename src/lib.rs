@@ -33,9 +33,9 @@ pub use stream_gen;
 // The typed construction / write / read surface, fronted at the root so the
 // facade is usable without spelunking into sub-crates.
 pub use ecm::{
-    Answer, Backend, Clock, EcmBuilder, Estimate, Eviction, Guarantee, MemoryReport, Query,
-    QueryError, QueryKind, Sketch, SketchReader, SketchSpec, SketchStore, SketchWriter,
-    SpecBackend, SpecError, StreamEvent, Threshold, WindowSpec,
+    restore_any, Answer, Backend, Clock, EcmBuilder, Estimate, Eviction, Guarantee, MemoryReport,
+    Query, QueryError, QueryKind, Sketch, SketchReader, SketchSpec, SketchStore, SketchWriter,
+    SnapshotError, SpecBackend, SpecError, StreamEvent, Threshold, WindowSpec,
 };
 
 /// The working vocabulary in one import: spec-driven construction
@@ -43,12 +43,12 @@ pub use ecm::{
 /// [`SketchStore`], and the distributed aggregation entry points.
 pub mod prelude {
     pub use distributed::{
-        aggregate_kary_tree, aggregate_tree, site_sketch_batched, site_sketch_from_spec,
-        AggregationOutcome,
+        aggregate_kary_tree, aggregate_tree, checkpoint_site, restore_site, resume_site,
+        site_sketch_batched, site_sketch_from_spec, AggregationOutcome,
     };
     pub use ecm::{
-        Answer, Backend, Clock, Estimate, Eviction, Guarantee, MemoryReport, Query, QueryError,
-        QueryKind, Sketch, SketchReader, SketchSpec, SketchStore, SketchWriter, SpecBackend,
-        SpecError, StreamEvent, Threshold, WindowSpec,
+        restore_any, Answer, Backend, Clock, Estimate, Eviction, Guarantee, MemoryReport, Query,
+        QueryError, QueryKind, Sketch, SketchReader, SketchSpec, SketchStore, SketchWriter,
+        SnapshotError, SpecBackend, SpecError, StreamEvent, Threshold, WindowSpec,
     };
 }

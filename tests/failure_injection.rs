@@ -151,6 +151,179 @@ fn monotonicity_contract_is_enforced_in_debug() {
     }
 }
 
+mod site_recovery {
+    //! Kill → restore → re-aggregate: a site that crashes mid-stream,
+    //! recovers from its checkpoint and replays its backlog must rejoin
+    //! the aggregation tree as if nothing happened — bit for bit.
+
+    use distributed::{aggregate_tree, checkpoint_site, restore_site, resume_site};
+    use ecm::snapshot::SnapshotError;
+    use ecm::{Query, SketchReader, SketchSpec, WindowSpec};
+    use sliding_window::{ExponentialHistogram, RandomizedWave};
+    use stream_gen::{partition_by_site, uniform_sites, Event};
+
+    const WINDOW: u64 = 2_600_000;
+
+    fn point(r: &dyn SketchReader, key: u64, now: u64) -> f64 {
+        r.query(&Query::point(key), WindowSpec::time(now, WINDOW))
+            .expect("in-window point query")
+            .into_value()
+            .value
+    }
+
+    #[test]
+    fn killed_site_rejoins_the_tree_bit_identically() {
+        let n_sites = 8u32;
+        let events = uniform_sites(16_000, n_sites, 21);
+        let parts = partition_by_site(&events, n_sites);
+        let spec = SketchSpec::time(WINDOW).epsilon(0.15).delta(0.1).seed(5);
+
+        // Every site ingests; site 3 checkpoints at 60% of its stream,
+        // then "crashes" and loses its in-memory sketch.
+        let crash_at = parts[3].len() * 6 / 10;
+        let doomed = distributed::site_sketch_from_spec::<ExponentialHistogram>(
+            &spec,
+            4,
+            &parts[3][..crash_at],
+        )
+        .unwrap();
+        let checkpoint = checkpoint_site(&spec, &doomed).unwrap();
+        drop(doomed);
+
+        // Recovery: restore + replay the backlog.
+        let recovered =
+            resume_site::<ExponentialHistogram>(&spec, &checkpoint, &parts[3][crash_at..]).unwrap();
+
+        // The recovered site is byte-identical to one that never crashed...
+        let pristine =
+            distributed::site_sketch_from_spec::<ExponentialHistogram>(&spec, 4, &parts[3])
+                .unwrap();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        recovered.encode(&mut a);
+        pristine.encode(&mut b);
+        assert_eq!(a, b, "recovered site must be bit-identical");
+
+        // ...so the aggregation roots (and their transfer accounting) agree
+        // exactly too: the crash is invisible to the coordinator.
+        let cfg = spec.ecm_config::<ExponentialHistogram>().unwrap();
+        let leaf_with_recovery = |i: usize| {
+            if i == 3 {
+                recovered.clone()
+            } else {
+                distributed::site_sketch_from_spec::<ExponentialHistogram>(
+                    &spec,
+                    i as u64 + 1,
+                    &parts[i],
+                )
+                .unwrap()
+            }
+        };
+        let leaf_pristine = |i: usize| {
+            distributed::site_sketch_from_spec::<ExponentialHistogram>(
+                &spec,
+                i as u64 + 1,
+                &parts[i],
+            )
+            .unwrap()
+        };
+        let with_recovery =
+            aggregate_tree(n_sites as usize, leaf_with_recovery, &cfg.cell).unwrap();
+        let without = aggregate_tree(n_sites as usize, leaf_pristine, &cfg.cell).unwrap();
+        assert_eq!(with_recovery.stats, without.stats);
+        let now = events.last().unwrap().ts;
+        for key in (0..1_000u64).step_by(29) {
+            assert_eq!(
+                point(&with_recovery.root, key, now),
+                point(&without.root, key, now),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn randomized_wave_recovery_preserves_lossless_composition() {
+        // The strongest id-sensitivity test: RW merges are lossless only
+        // because arrival ids are globally unique and stable. A restored
+        // site must resume its id sequence exactly, or composition breaks.
+        let n_sites = 4u32;
+        let events = uniform_sites(4_000, n_sites, 17);
+        let parts = partition_by_site(&events, n_sites);
+        let spec = SketchSpec::time(WINDOW)
+            .epsilon(0.3)
+            .delta(0.2)
+            .backend(ecm::Backend::Rw)
+            .max_arrivals(10_000)
+            .seed(2);
+        let cfg = spec.ecm_config::<RandomizedWave>().unwrap();
+
+        let leaf = |i: usize| {
+            let crash_at = parts[i].len() / 2;
+            let first_half = distributed::site_sketch_from_spec::<RandomizedWave>(
+                &spec,
+                i as u64 + 1,
+                &parts[i][..crash_at],
+            )
+            .unwrap();
+            // Crash every site and recover it.
+            let checkpoint = checkpoint_site(&spec, &first_half).unwrap();
+            resume_site::<RandomizedWave>(&spec, &checkpoint, &parts[i][crash_at..]).unwrap()
+        };
+        let pristine_leaf = |i: usize| {
+            distributed::site_sketch_from_spec::<RandomizedWave>(&spec, i as u64 + 1, &parts[i])
+                .unwrap()
+        };
+        let recovered = aggregate_tree(n_sites as usize, leaf, &cfg.cell).unwrap();
+        let pristine = aggregate_tree(n_sites as usize, pristine_leaf, &cfg.cell).unwrap();
+        let now = events.last().unwrap().ts;
+        for key in [0u64, 3, 42, 500, 999] {
+            assert_eq!(
+                point(&recovered.root, key, now),
+                point(&pristine.root, key, now),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_checkpoints_fail_recovery_loudly() {
+        let spec = SketchSpec::time(WINDOW).epsilon(0.2).delta(0.1).seed(9);
+        let events: Vec<Event> = (1..=500u64)
+            .map(|t| Event {
+                ts: t,
+                key: t % 20,
+                site: 0,
+            })
+            .collect();
+        let site =
+            distributed::site_sketch_from_spec::<ExponentialHistogram>(&spec, 1, &events).unwrap();
+        let checkpoint = checkpoint_site(&spec, &site).unwrap();
+
+        // Truncation, bit rot, version bumps: typed errors, never panics,
+        // never a silently-wrong site.
+        for cut in (0..checkpoint.len()).step_by(23) {
+            assert!(restore_site::<ExponentialHistogram>(&spec, &checkpoint[..cut]).is_err());
+        }
+        let mut bad = checkpoint.clone();
+        bad[2] = 0x7e;
+        assert!(matches!(
+            restore_site::<ExponentialHistogram>(&spec, &bad),
+            Err(SnapshotError::UnsupportedVersion { found: 0x7e })
+        ));
+        let mut bad = checkpoint.clone();
+        let mid = bad.len() - 12;
+        bad[mid] ^= 0x01;
+        assert!(restore_site::<ExponentialHistogram>(&spec, &bad).is_err());
+
+        // A checkpoint restored against the wrong deployment spec is a
+        // spec mismatch, not a subtly different sketch.
+        let other = SketchSpec::time(WINDOW).epsilon(0.2).delta(0.1).seed(10);
+        assert!(matches!(
+            restore_site::<ExponentialHistogram>(&other, &checkpoint),
+            Err(SnapshotError::SpecMismatch { .. })
+        ));
+    }
+}
+
 #[test]
 fn empty_merges_and_zero_budgets_fail_cleanly() {
     let cfg = EcmBuilder::new(0.2, 0.1, 1_000).seed(9).eh_config();
