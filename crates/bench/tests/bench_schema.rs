@@ -1,12 +1,13 @@
 //! Schema validation for the checked-in `BENCH_ingest.json`,
-//! `BENCH_store.json`, `BENCH_query.json` and `BENCH_snapshot.json`: CI
-//! runs this with the ordinary test suite, so bench-result drift (renamed
-//! fields, missing backends or fleet sizes, a fast path that lost its edge,
-//! a slab layout that stopped saving memory, a checkpoint path that got
-//! slow) fails the build rather than rotting silently. The parser is
-//! deliberately minimal — the files are machine-written by
-//! `benches/ingest.rs` / `benches/store.rs` / `benches/query_latency.rs` /
-//! `benches/snapshot.rs` with a fixed field order.
+//! `BENCH_store.json`, `BENCH_query.json`, `BENCH_snapshot.json` and
+//! `BENCH_server.json`: CI runs this with the ordinary test suite, so
+//! bench-result drift (renamed fields, missing backends or fleet sizes, a
+//! fast path that lost its edge, a slab layout that stopped saving memory,
+//! a checkpoint path that got slow, a server that stopped keeping up) fails
+//! the build rather than rotting silently. The parser is deliberately
+//! minimal — the files are machine-written by `benches/ingest.rs` /
+//! `benches/store.rs` / `benches/query_latency.rs` / `benches/snapshot.rs`
+//! / the `loadgen` binary in `crates/server` with a fixed field order.
 
 use std::path::Path;
 
@@ -180,6 +181,37 @@ fn query_bench_schema_is_valid() {
     assert!(
         point_ns < 10_000.0,
         "EH point-query latency regressed: {point_ns} ns"
+    );
+}
+
+#[test]
+fn server_bench_schema_is_valid() {
+    let text = load_file("BENCH_server.json");
+    assert_eq!(field_f64(&text, "schema_version") as u64, 1);
+    assert!(text.contains("\"bench\": \"server\""));
+    assert!(field_f64(&text, "events") >= 1_000.0, "workload too small");
+    assert!(field_f64(&text, "connections") >= 1.0);
+    assert!(field_f64(&text, "tenants") >= 2.0, "not multi-tenant");
+    // Client-observed numbers include the parser, the shard mailboxes, the
+    // TCP stack and JSON rendering, so the floors are far below the
+    // in-process rates — but a served system must still clear them.
+    let meps = field_f64(&text, "ingest_meps");
+    assert!(
+        meps >= 0.05,
+        "client-observed ingest regressed: {meps} Meps < 0.05"
+    );
+    let queries = field_f64(&text, "queries");
+    assert!(queries >= 100.0, "too few query round-trips: {queries}");
+    let p50 = field_f64(&text, "query_p50_us");
+    let p95 = field_f64(&text, "query_p95_us");
+    let p99 = field_f64(&text, "query_p99_us");
+    assert!(
+        p50 > 0.0 && p50 <= p95 && p95 <= p99,
+        "percentiles unordered"
+    );
+    assert!(
+        p99 < 1e6,
+        "loopback query p99 {p99} us outside sanity range"
     );
 }
 

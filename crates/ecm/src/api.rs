@@ -119,12 +119,13 @@ pub trait SketchWriter {
 ///
 /// Blanket-implemented, so every type with both halves (plus [`fmt::Debug`]
 /// — every backend derives it, and `Result<Box<dyn Sketch>, _>` combinators
-/// like `unwrap_err` need it) is a [`Sketch`]; `Box<dyn Sketch>` is the
-/// currency of [`SketchSpec::build`] and the keyed
-/// [`SketchStore`](crate::store::SketchStore).
-pub trait Sketch: SketchReader + SketchWriter + fmt::Debug {}
+/// like `unwrap_err` need it — and [`Send`], so a sketch or a whole
+/// [`SketchStore`](crate::store::SketchStore) can move onto a shard worker
+/// thread) is a [`Sketch`]; `Box<dyn Sketch>` is the currency of
+/// [`SketchSpec::build`] and the keyed store.
+pub trait Sketch: SketchReader + SketchWriter + fmt::Debug + Send {}
 
-impl<T: SketchReader + SketchWriter + fmt::Debug + ?Sized> Sketch for T {}
+impl<T: SketchReader + SketchWriter + fmt::Debug + Send + ?Sized> Sketch for T {}
 
 impl<W> SketchWriter for EcmSketch<W>
 where
@@ -512,6 +513,13 @@ impl SketchSpec {
     /// The spec's declared backend.
     pub fn declared_backend(&self) -> Backend {
         self.backend
+    }
+
+    /// The dyadic-hierarchy width in bits, if the spec stacks one. Serving
+    /// layers use this to validate untrusted items *before* ingest — a
+    /// hierarchy write panics on items outside its `2^bits` universe.
+    pub fn hierarchy_bits(&self) -> Option<u32> {
+        self.hierarchy_bits
     }
 
     /// Check the description for domain and conflict errors without

@@ -162,6 +162,13 @@ impl<K: Eq + Hash + Ord + Clone> SketchStore<K> {
         self.entries.len()
     }
 
+    /// Number of resident keys — an O(1) alias of [`len`](Self::len) named
+    /// for serving layers, where per-shard stores report fleet size
+    /// (`STATS`) without locking or scanning siblings.
+    pub fn key_count(&self) -> usize {
+        self.entries.len()
+    }
+
     /// Whether no key is resident.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()

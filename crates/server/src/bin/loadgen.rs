@@ -1,0 +1,99 @@
+//! `loadgen` — replay a bursty-Zipf trace against `sketchd` and record the
+//! client-observed numbers into `BENCH_server.json`.
+//!
+//! With `LOADGEN_ADDR` set, drives that live server (and leaves it
+//! running). Otherwise it spawns its own in-process server on an ephemeral
+//! port, drives it, and shuts it down — the self-contained mode CI uses.
+//!
+//! | Variable | Meaning |
+//! |---|---|
+//! | `LOADGEN_ADDR` | target server (spawn an in-process one if unset) |
+//! | `LOADGEN_CONNS` | concurrent ingest connections (4) |
+//! | `LOADGEN_BATCH` | events per `BATCH` frame (1 024) |
+//! | `LOADGEN_QUERIES` | query round-trips to measure (2 000) |
+//! | `LOADGEN_SEED` | trace seed (42) |
+//! | `LOADGEN_SHARDS` | shards of the spawned server (4) |
+//! | `ECM_EVENTS` | trace length (200 000; same knob as `crates/bench`) |
+//! | `BENCH_SERVER_OUT` | output path (`<workspace>/BENCH_server.json`) |
+
+use std::process::exit;
+
+use sketch_server::loadgen::{render_json, run, LoadgenConfig};
+use sketch_server::{Client, Server, ServerConfig, SketchSpec};
+
+fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let v = std::env::var(name).ok().filter(|v| !v.is_empty())?;
+    Some(v.parse().unwrap_or_else(|_| {
+        eprintln!("loadgen: {name}={v:?} does not parse");
+        exit(2);
+    }))
+}
+
+fn main() {
+    // Spawn-or-connect: an explicit address means a server someone else
+    // owns; otherwise bring one up here on an ephemeral port.
+    let spawned = match std::env::var("LOADGEN_ADDR") {
+        Ok(addr) if !addr.is_empty() => None,
+        _ => {
+            let cfg = ServerConfig::new(SketchSpec::time(1_000_000).seed(7))
+                .shards(env_parse("LOADGEN_SHARDS").unwrap_or(4))
+                .addr("127.0.0.1:0");
+            let server = Server::start(cfg).unwrap_or_else(|e| {
+                eprintln!("loadgen: cannot spawn server: {e}");
+                exit(1);
+            });
+            Some(server)
+        }
+    };
+    let addr = match &spawned {
+        Some(server) => server.local_addr().to_string(),
+        None => std::env::var("LOADGEN_ADDR").expect("checked above"),
+    };
+
+    let mut cfg = LoadgenConfig::new(&addr);
+    cfg.connections = env_parse("LOADGEN_CONNS").unwrap_or(cfg.connections);
+    cfg.batch = env_parse("LOADGEN_BATCH").unwrap_or(cfg.batch);
+    cfg.queries = env_parse("LOADGEN_QUERIES").unwrap_or(cfg.queries);
+    cfg.seed = env_parse("LOADGEN_SEED").unwrap_or(cfg.seed);
+    cfg.events = env_parse("ECM_EVENTS").unwrap_or(cfg.events);
+
+    println!(
+        "loadgen: {} events over {} connections (batch {}) against {addr}",
+        cfg.events, cfg.connections, cfg.batch
+    );
+    let report = run(&cfg).unwrap_or_else(|e| {
+        eprintln!("loadgen: {e}");
+        exit(1);
+    });
+    println!(
+        "ingest: {:.3} Meps ({} events in {:.2} s, {} tenants)",
+        report.ingest_meps, report.events, report.ingest_secs, report.tenants
+    );
+    println!(
+        "query RTT: p50 {:.1} us, p95 {:.1} us, p99 {:.1} us over {} calls",
+        report.query_p50_us, report.query_p95_us, report.query_p99_us, report.queries
+    );
+
+    if let Some(server) = spawned {
+        let mut client = Client::connect(&addr).unwrap_or_else(|e| {
+            eprintln!("loadgen: shutdown connect failed: {e}");
+            exit(1);
+        });
+        let resp = client.call("SHUTDOWN").unwrap_or_else(|e| {
+            eprintln!("loadgen: shutdown failed: {e}");
+            exit(1);
+        });
+        assert!(resp.contains("\"ok\":true"), "shutdown rejected: {resp}");
+        server.join();
+    }
+
+    let json = render_json(&report);
+    let out = std::env::var("BENCH_SERVER_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json").to_string()
+    });
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("loadgen: cannot write {out}: {e}");
+        exit(1);
+    });
+    println!("wrote {out}");
+}

@@ -1,0 +1,95 @@
+//! `sketchd` — the sketch server daemon.
+//!
+//! Zero-flag binary: everything is configured through `SKETCHD_*`
+//! environment variables (defaults in parentheses):
+//!
+//! | Variable | Meaning |
+//! |---|---|
+//! | `SKETCHD_ADDR` | listen address (`127.0.0.1:7070`; port 0 = ephemeral) |
+//! | `SKETCHD_SHARDS` | shard workers (4) |
+//! | `SKETCHD_MAILBOX` | per-shard mailbox depth (128) |
+//! | `SKETCHD_MAX_CONNS` | connection cap (64) |
+//! | `SKETCHD_WINDOW` | sliding-window span in ticks (1 000 000) |
+//! | `SKETCHD_CLOCK` | `time` or `count` window semantics (`time`) |
+//! | `SKETCHD_EPSILON` | relative error ε (spec default) |
+//! | `SKETCHD_DELTA` | failure probability δ (spec default) |
+//! | `SKETCHD_SEED` | hash seed (spec default) |
+//! | `SKETCHD_HIERARCHY_BITS` | stack a dyadic hierarchy of this width (off) |
+//! | `SKETCHD_SNAPSHOT_DIR` | restore on start, final checkpoint on `SHUTDOWN` (off) |
+//!
+//! The process serves until a client sends `SHUTDOWN`.
+
+use std::process::exit;
+
+use sketch_server::{Server, ServerConfig, SketchSpec};
+
+fn env_var(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|v| !v.is_empty())
+}
+
+fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+    env_var(name).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("sketchd: {name}={v:?} does not parse");
+            exit(2);
+        })
+    })
+}
+
+fn spec_from_env() -> SketchSpec {
+    let window: u64 = env_parse("SKETCHD_WINDOW").unwrap_or(1_000_000);
+    let mut spec = match env_var("SKETCHD_CLOCK").as_deref() {
+        None | Some("time") => SketchSpec::time(window),
+        Some("count") => SketchSpec::count(window),
+        Some(other) => {
+            eprintln!("sketchd: SKETCHD_CLOCK={other:?} must be \"time\" or \"count\"");
+            exit(2);
+        }
+    };
+    if let Some(eps) = env_parse::<f64>("SKETCHD_EPSILON") {
+        spec = spec.epsilon(eps);
+    }
+    if let Some(delta) = env_parse::<f64>("SKETCHD_DELTA") {
+        spec = spec.delta(delta);
+    }
+    if let Some(seed) = env_parse::<u64>("SKETCHD_SEED") {
+        spec = spec.seed(seed);
+    }
+    if let Some(bits) = env_parse::<u32>("SKETCHD_HIERARCHY_BITS") {
+        spec = spec.hierarchy(bits);
+    }
+    spec
+}
+
+fn main() {
+    let mut cfg = ServerConfig::new(spec_from_env())
+        .addr(env_var("SKETCHD_ADDR").unwrap_or_else(|| "127.0.0.1:7070".to_string()));
+    if let Some(shards) = env_parse("SKETCHD_SHARDS") {
+        cfg = cfg.shards(shards);
+    }
+    if let Some(depth) = env_parse("SKETCHD_MAILBOX") {
+        cfg = cfg.mailbox_depth(depth);
+    }
+    if let Some(conns) = env_parse("SKETCHD_MAX_CONNS") {
+        cfg = cfg.max_connections(conns);
+    }
+    if let Some(dir) = env_var("SKETCHD_SNAPSHOT_DIR") {
+        cfg = cfg.snapshot_dir(dir);
+    }
+    let shards = cfg.shards;
+    let snapshot = cfg.snapshot_dir.clone();
+    let server = Server::start(cfg).unwrap_or_else(|e| {
+        eprintln!("sketchd: {e}");
+        exit(1);
+    });
+    println!(
+        "sketchd listening on {} ({shards} shards{})",
+        server.local_addr(),
+        match &snapshot {
+            Some(dir) => format!(", snapshots in {}", dir.display()),
+            None => String::new(),
+        }
+    );
+    server.join();
+    println!("sketchd stopped");
+}

@@ -1,0 +1,129 @@
+//! `sketch-client`: a small blocking client for the `sketchd` protocol.
+//!
+//! One TCP connection, newline framing on both directions. [`Client::call`]
+//! is the one-shot request/response path; [`Client::pipeline`] writes many
+//! commands in one syscall before reading the replies (the server answers
+//! strictly in order, so the k-th reply belongs to the k-th command); and
+//! [`Client::batch`] wraps a `BATCH` frame — header plus data lines in one
+//! write, one ack back.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected `sketchd` client.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect and disable Nagle (the protocol is request/response; the
+    /// 40 ms delayed-ACK dance would dominate every RTT measurement).
+    ///
+    /// # Errors
+    /// Socket connect/clone failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Set (or clear) the socket read timeout, e.g. to keep a test from
+    /// hanging on a reply that never comes.
+    ///
+    /// # Errors
+    /// Socket option failures.
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(t)
+    }
+
+    /// Write one command line. `line` must not itself contain a newline —
+    /// that would be two commands.
+    ///
+    /// # Errors
+    /// Socket write failures.
+    pub fn send(&mut self, line: &str) -> std::io::Result<()> {
+        debug_assert!(!line.contains('\n'), "one command per send");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Read one response line (without its newline).
+    ///
+    /// # Errors
+    /// Socket read failures; a cleanly closed connection surfaces as
+    /// [`std::io::ErrorKind::UnexpectedEof`].
+    pub fn recv(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// One command, one reply.
+    ///
+    /// # Errors
+    /// As [`send`](Client::send) / [`recv`](Client::recv).
+    pub fn call(&mut self, line: &str) -> std::io::Result<String> {
+        self.send(line)?;
+        self.recv()
+    }
+
+    /// Write every command in one buffer flush, then collect the replies
+    /// in order. With n commands in flight the connection pays one RTT,
+    /// not n.
+    ///
+    /// # Errors
+    /// As [`send`](Client::send) / [`recv`](Client::recv).
+    pub fn pipeline<S: AsRef<str>>(&mut self, lines: &[S]) -> std::io::Result<Vec<String>> {
+        let mut buf = String::new();
+        for line in lines {
+            let line = line.as_ref();
+            debug_assert!(!line.contains('\n'), "one command per line");
+            buf.push_str(line);
+            buf.push('\n');
+        }
+        self.writer.write_all(buf.as_bytes())?;
+        let mut replies = Vec::with_capacity(lines.len());
+        for _ in lines {
+            replies.push(self.recv()?);
+        }
+        Ok(replies)
+    }
+
+    /// Send a `BATCH` frame: the header plus every data line
+    /// (`<key> <ts> <item> [<count>]`) in one write, returning the single
+    /// ack (or error) line.
+    ///
+    /// # Errors
+    /// As [`send`](Client::send) / [`recv`](Client::recv).
+    pub fn batch<S: AsRef<str>>(&mut self, lines: &[S]) -> std::io::Result<String> {
+        let mut buf = format!("BATCH {}\n", lines.len());
+        for line in lines {
+            let line = line.as_ref();
+            debug_assert!(!line.contains('\n'), "one event per line");
+            buf.push_str(line);
+            buf.push('\n');
+        }
+        self.writer.write_all(buf.as_bytes())?;
+        self.recv()
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("peer", &self.writer.peer_addr().ok())
+            .finish()
+    }
+}

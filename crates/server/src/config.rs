@@ -1,0 +1,101 @@
+//! Server configuration: sketch spec, shard topology, mailbox depth,
+//! socket limits and the optional snapshot directory.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ecm::SketchSpec;
+
+/// Everything a [`Server`](crate::frontend::Server) (or a bare
+/// [`Engine`](crate::engine::Engine)) needs to start.
+///
+/// Built with struct-update-style setters; every field has a conservative
+/// default except the [`SketchSpec`], which the caller must provide (it
+/// decides what every tenant's sketch looks like).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The one spec every per-key sketch is built from.
+    pub spec: SketchSpec,
+    /// Number of shard workers (default 4).
+    pub shards: usize,
+    /// Bounded mailbox depth per shard, in messages (default 128). A full
+    /// mailbox blocks the *sender* — hot shards apply backpressure locally
+    /// without stalling siblings.
+    pub mailbox_depth: usize,
+    /// Listen address (default `127.0.0.1:0` — an ephemeral port).
+    pub addr: String,
+    /// Per-connection read timeout (default 30 s): an idle connection is
+    /// closed, it does not pin a handler thread forever.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout (default 10 s).
+    pub write_timeout: Duration,
+    /// Maximum concurrent connections (default 64); excess connections are
+    /// refused with a JSON error, not queued.
+    pub max_connections: usize,
+    /// Snapshot directory. When set, `SHUTDOWN` writes a final full
+    /// checkpoint per shard here, and startup restores from it if it
+    /// already holds one (see [`Engine`](crate::engine::Engine)).
+    pub snapshot_dir: Option<PathBuf>,
+}
+
+impl ServerConfig {
+    /// A config with the given spec and every other field at its default.
+    pub fn new(spec: SketchSpec) -> Self {
+        ServerConfig {
+            spec,
+            shards: 4,
+            mailbox_depth: 128,
+            addr: "127.0.0.1:0".to_string(),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_connections: 64,
+            snapshot_dir: None,
+        }
+    }
+
+    /// Set the shard count (must be ≥ 1; validated by the engine).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Set the per-shard mailbox depth (must be ≥ 1; validated by the
+    /// engine).
+    pub fn mailbox_depth(mut self, depth: usize) -> Self {
+        self.mailbox_depth = depth;
+        self
+    }
+
+    /// Set the listen address (e.g. `"127.0.0.1:7070"`; port 0 asks the OS
+    /// for an ephemeral port, readable back via
+    /// [`Server::local_addr`](crate::frontend::Server::local_addr)).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Set the per-connection read timeout.
+    pub fn read_timeout(mut self, t: Duration) -> Self {
+        self.read_timeout = t;
+        self
+    }
+
+    /// Set the per-connection write timeout.
+    pub fn write_timeout(mut self, t: Duration) -> Self {
+        self.write_timeout = t;
+        self
+    }
+
+    /// Set the connection cap.
+    pub fn max_connections(mut self, n: usize) -> Self {
+        self.max_connections = n;
+        self
+    }
+
+    /// Set the snapshot directory (final checkpoint on shutdown, restore on
+    /// startup).
+    pub fn snapshot_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.snapshot_dir = Some(dir.into());
+        self
+    }
+}

@@ -1,0 +1,147 @@
+//! The serving engine: N long-lived shard workers behind one router.
+//!
+//! Modeled on SnelDB's shard-worker architecture: every key is
+//! deterministically mapped to a shard by FNV-1a hash, each shard worker
+//! is a plain OS thread owning a private `SketchStore<String>` partition,
+//! and all communication is typed [`ShardMsg`]s over **bounded**
+//! `sync_channel` mailboxes — a hot shard's full mailbox blocks its
+//! senders (local backpressure) without stalling sibling shards. Shards
+//! never share mutable state; cross-shard reads (`TOPK`, `STATS`) are
+//! broadcast and merged by the router.
+//!
+//! Invariants:
+//! * Same key → always the same shard, so each key's arrival order is the
+//!   per-shard mailbox order and every per-key sketch sees exactly the
+//!   event sequence an in-process [`SketchStore`](ecm::SketchStore) would —
+//!   the end-to-end test pins served answers bit-identical to library
+//!   answers.
+//! * [`Engine::shutdown`] closes the ingest gate, then sends `Shutdown`
+//!   behind all accepted messages; FIFO mailboxes mean every acked event
+//!   is applied (and checkpointed, when a snapshot dir is configured)
+//!   before the worker exits.
+
+mod router;
+mod shard;
+
+pub use router::{Engine, EngineError, SnapshotReport, MAX_INGEST_OCCURRENCES};
+
+use std::path::PathBuf;
+use std::sync::mpsc::Sender;
+
+use ecm::{Answer, QueryError, StreamEvent, WindowSpec};
+
+use crate::protocol::OwnedQuery;
+
+/// One shard's contribution to `STATS`, gathered by the worker itself (no
+/// cross-shard locking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Resident keys in this shard's store.
+    pub keys: usize,
+    /// Bytes held by this shard's resident sketches.
+    pub memory_bytes: usize,
+    /// Event occurrences ingested by this shard since startup (restores
+    /// reset the counter).
+    pub ingested: u64,
+    /// The shard store's checkpoint sequence number.
+    pub checkpoint_seq: u64,
+}
+
+/// A typed message delivered to one shard worker's mailbox.
+#[derive(Debug)]
+pub enum ShardMsg {
+    /// Apply a run of keyed events (every key in it routes to this shard).
+    Ingest(Vec<(String, StreamEvent)>),
+    /// Answer a query against one resident key.
+    Query {
+        /// The key (owned by this shard).
+        key: String,
+        /// What to compute.
+        query: OwnedQuery,
+        /// Which stream slice.
+        window: WindowSpec,
+        /// Where the worker sends its [`ShardReply::Answer`].
+        reply: Sender<ShardReply>,
+    },
+    /// This shard's local top-k by window arrivals (the router merges).
+    TopK {
+        /// How many keys.
+        k: usize,
+        /// Which stream slice.
+        window: WindowSpec,
+        /// Where the worker sends its [`ShardReply::TopK`].
+        reply: Sender<ShardReply>,
+    },
+    /// This shard's [`ShardStats`].
+    Stats {
+        /// Where the worker sends its [`ShardReply::Stats`].
+        reply: Sender<ShardReply>,
+    },
+    /// Advance every resident sketch's clock to `ts` with no arrivals.
+    Flush {
+        /// Target tick.
+        ts: u64,
+        /// Where the worker acks.
+        reply: Sender<ShardReply>,
+    },
+    /// Checkpoint this shard's store into `dir` as `shard-<i>.full` (or a
+    /// sequence-chained `shard-<i>.delta-<seq>` when `incremental`).
+    Snapshot {
+        /// Target directory.
+        dir: PathBuf,
+        /// Dirty-keys-only delta instead of a full checkpoint.
+        incremental: bool,
+        /// Where the worker reports bytes written or the error.
+        reply: Sender<ShardReply>,
+    },
+    /// Drain, write a final full checkpoint when a snapshot dir is
+    /// configured, ack, and exit the worker thread.
+    Shutdown {
+        /// Where the worker acks completion.
+        reply: Sender<ShardReply>,
+    },
+}
+
+/// A shard worker's reply to a request-shaped [`ShardMsg`].
+#[derive(Debug)]
+pub enum ShardReply {
+    /// Query outcome; `None` when the key is not resident on this shard.
+    Answer(Option<Result<Answer, QueryError>>),
+    /// Local `(key, value)` ranking, best first.
+    TopK(Vec<(String, f64)>),
+    /// Local statistics.
+    Stats(ShardStats),
+    /// `Flush` applied.
+    Flushed,
+    /// Checkpoint written: bytes on disk.
+    Snapshot {
+        /// Size of the written checkpoint file.
+        bytes: u64,
+    },
+    /// Checkpoint failed (I/O or encoding).
+    SnapshotError(String),
+    /// `Shutdown` complete (final checkpoint written if configured).
+    Stopped {
+        /// Error from the final checkpoint, if one was attempted and
+        /// failed (the worker still exits).
+        snapshot_error: Option<String>,
+    },
+}
+
+/// FNV-1a 64-bit hash of a key, the shard-routing function. Deterministic
+/// across runs and processes, so snapshots restore onto the same layout.
+pub fn fnv1a(key: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in key.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The shard that owns `key` in an `n`-shard engine.
+pub fn route(key: &str, n: usize) -> usize {
+    (fnv1a(key) % n as u64) as usize
+}

@@ -1,0 +1,532 @@
+//! The router: owns the shard mailboxes, partitions ingest batches,
+//! routes per-key queries, broadcasts cross-key ones, and orchestrates
+//! snapshot / shutdown.
+
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{channel, sync_channel, SyncSender};
+use std::sync::{Mutex, RwLock};
+use std::thread::JoinHandle;
+
+use ecm::{Answer, QueryError, SketchStore, SpecError, StreamEvent, WindowSpec};
+
+use super::shard;
+use super::{route, ShardMsg, ShardReply, ShardStats};
+use crate::config::ServerConfig;
+use crate::protocol::OwnedQuery;
+
+/// Hard cap on the total event occurrences one [`Engine::ingest`] call may
+/// expand to (batch lines × per-line counts): keeps one request from
+/// ballooning into an unbounded allocation.
+pub const MAX_INGEST_OCCURRENCES: u64 = 1 << 22;
+
+/// Name of the snapshot-directory manifest recording the shard layout.
+const MANIFEST: &str = "MANIFEST.json";
+
+/// Why an engine call failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The configured [`SketchSpec`](ecm::SketchSpec) is invalid.
+    Spec(SpecError),
+    /// A structural config field is out of domain.
+    InvalidConfig(&'static str),
+    /// The engine is shutting down (or already shut down); the request was
+    /// not applied.
+    ShuttingDown,
+    /// A shard worker is gone (it panicked); the engine is degraded.
+    ShardDied {
+        /// Which shard.
+        shard: usize,
+    },
+    /// An item is outside the spec's dyadic-hierarchy universe; the whole
+    /// batch was rejected (hierarchy writes would panic on it).
+    ItemOutOfUniverse {
+        /// The offending item.
+        item: u64,
+        /// The universe width in bits.
+        bits: u32,
+    },
+    /// An ingest call would expand past [`MAX_INGEST_OCCURRENCES`].
+    IngestTooHeavy {
+        /// The requested total occurrences.
+        requested: u64,
+    },
+    /// Writing or encoding a checkpoint failed.
+    Snapshot(String),
+    /// Restoring from the snapshot directory failed.
+    Restore(String),
+    /// The snapshot directory was written by an engine with a different
+    /// shard count; refusing to restore onto a mismatched layout.
+    ShardCountMismatch {
+        /// Shards recorded in the manifest.
+        manifest: usize,
+        /// Shards in the current config.
+        config: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Spec(e) => write!(f, "invalid sketch spec: {e}"),
+            EngineError::InvalidConfig(detail) => write!(f, "invalid config: {detail}"),
+            EngineError::ShuttingDown => write!(f, "engine is shutting down"),
+            EngineError::ShardDied { shard } => write!(f, "shard {shard} worker died"),
+            EngineError::ItemOutOfUniverse { item, bits } => write!(
+                f,
+                "item {item} outside the {bits}-bit hierarchy universe"
+            ),
+            EngineError::IngestTooHeavy { requested } => write!(
+                f,
+                "ingest of {requested} occurrences exceeds the per-request cap of {MAX_INGEST_OCCURRENCES}"
+            ),
+            EngineError::Snapshot(detail) => write!(f, "snapshot failed: {detail}"),
+            EngineError::Restore(detail) => write!(f, "restore failed: {detail}"),
+            EngineError::ShardCountMismatch { manifest, config } => write!(
+                f,
+                "snapshot dir was written with {manifest} shards, config has {config}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SpecError> for EngineError {
+    fn from(e: SpecError) -> Self {
+        EngineError::Spec(e)
+    }
+}
+
+impl EngineError {
+    /// Short machine-readable code for the JSON `error` field.
+    pub fn code(&self) -> &'static str {
+        match self {
+            EngineError::Spec(_) => "spec",
+            EngineError::InvalidConfig(_) => "config",
+            EngineError::ShuttingDown => "shutting_down",
+            EngineError::ShardDied { .. } => "shard_died",
+            EngineError::ItemOutOfUniverse { .. } => "item_out_of_universe",
+            EngineError::IngestTooHeavy { .. } => "ingest_too_heavy",
+            EngineError::Snapshot(_) => "snapshot",
+            EngineError::Restore(_) => "restore",
+            EngineError::ShardCountMismatch { .. } => "shard_count_mismatch",
+        }
+    }
+}
+
+/// Outcome of an [`Engine::snapshot`] broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotReport {
+    /// The directory written into.
+    pub dir: String,
+    /// Shards checkpointed.
+    pub shards: usize,
+    /// Total bytes across all shard files.
+    pub bytes: u64,
+    /// Whether the delta form was requested.
+    pub incremental: bool,
+}
+
+/// The sharded serving engine. Cheap to share behind an `Arc`; every
+/// method takes `&self`.
+pub struct Engine {
+    senders: Vec<SyncSender<ShardMsg>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Ingest/shutdown gate: readers (ingest, queries) proceed while the
+    /// flag is `false`; [`shutdown`](Engine::shutdown) flips it under the
+    /// write lock *before* enqueueing `Shutdown`, so no message can slip
+    /// into a mailbox behind the shutdown marker and be acked-but-dropped.
+    down: RwLock<bool>,
+    snapshot_dir: Option<PathBuf>,
+    /// `2^bits` when the spec stacks a hierarchy: items at or above this
+    /// would panic the hierarchy write path, so ingest rejects them first.
+    item_limit: Option<u64>,
+}
+
+impl Engine {
+    /// Build the shard fleet: validate the config, restore every shard
+    /// from the snapshot directory when it holds a manifest, and spawn one
+    /// worker thread per shard.
+    ///
+    /// # Errors
+    /// Spec/config validation errors, restore failures, or a shard-count
+    /// mismatch against the snapshot manifest.
+    pub fn start(cfg: &ServerConfig) -> Result<Engine, EngineError> {
+        cfg.spec.validate()?;
+        if cfg.shards == 0 {
+            return Err(EngineError::InvalidConfig("shards must be >= 1"));
+        }
+        if cfg.mailbox_depth == 0 {
+            return Err(EngineError::InvalidConfig("mailbox_depth must be >= 1"));
+        }
+        let restore_from = cfg
+            .snapshot_dir
+            .as_deref()
+            .filter(|dir| dir.join(MANIFEST).exists());
+        if let Some(dir) = restore_from {
+            let manifest = read_manifest(dir)?;
+            if manifest != cfg.shards {
+                return Err(EngineError::ShardCountMismatch {
+                    manifest,
+                    config: cfg.shards,
+                });
+            }
+        }
+        let mut senders = Vec::with_capacity(cfg.shards);
+        let mut handles = Vec::with_capacity(cfg.shards);
+        for i in 0..cfg.shards {
+            let store = match restore_from {
+                Some(dir) => shard::restore(i, dir).map_err(EngineError::Restore)?,
+                None => SketchStore::new(cfg.spec.clone())?,
+            };
+            let (tx, rx) = sync_channel(cfg.mailbox_depth);
+            let dir = cfg.snapshot_dir.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("sketchd-shard-{i}"))
+                    .spawn(move || shard::run(i, store, rx, dir))
+                    .expect("spawn shard worker"),
+            );
+            senders.push(tx);
+        }
+        Ok(Engine {
+            senders,
+            handles: Mutex::new(handles),
+            down: RwLock::new(false),
+            snapshot_dir: cfg.snapshot_dir.clone(),
+            item_limit: cfg
+                .spec
+                .hierarchy_bits()
+                .map(|bits| 1u64.checked_shl(bits).unwrap_or(u64::MAX)),
+        })
+    }
+
+    /// Number of shard workers.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Ingest a keyed batch: `(key, event, count)` triples in arrival
+    /// order. Counts expand into repeated events (the store's run grouping
+    /// collapses them back into one weighted update per run), the batch is
+    /// partitioned per shard preserving each key's order, and the call
+    /// returns once every shard has *accepted* its partition into its
+    /// mailbox — an `Ok` here means the events survive a graceful
+    /// shutdown. A full mailbox blocks (backpressure), a rejected batch
+    /// (universe violation, cap, shutdown race) is applied nowhere.
+    ///
+    /// # Errors
+    /// [`ItemOutOfUniverse`](EngineError::ItemOutOfUniverse),
+    /// [`IngestTooHeavy`](EngineError::IngestTooHeavy),
+    /// [`ShuttingDown`](EngineError::ShuttingDown), or
+    /// [`ShardDied`](EngineError::ShardDied).
+    pub fn ingest(&self, batch: &[(String, StreamEvent, u64)]) -> Result<u64, EngineError> {
+        let mut total: u64 = 0;
+        for (_, event, count) in batch {
+            if let Some(limit) = self.item_limit {
+                if event.item >= limit {
+                    return Err(EngineError::ItemOutOfUniverse {
+                        item: event.item,
+                        bits: limit.trailing_zeros(),
+                    });
+                }
+            }
+            total = total.saturating_add(*count);
+        }
+        if total > MAX_INGEST_OCCURRENCES {
+            return Err(EngineError::IngestTooHeavy { requested: total });
+        }
+        let n = self.senders.len();
+        let mut per_shard: Vec<Vec<(String, StreamEvent)>> = vec![Vec::new(); n];
+        for (key, event, count) in batch {
+            let bucket = &mut per_shard[route(key, n)];
+            for _ in 0..*count {
+                bucket.push((key.clone(), *event));
+            }
+        }
+        let gate = self.down.read().expect("gate poisoned");
+        if *gate {
+            return Err(EngineError::ShuttingDown);
+        }
+        for (i, events) in per_shard.into_iter().enumerate() {
+            if events.is_empty() {
+                continue;
+            }
+            self.senders[i]
+                .send(ShardMsg::Ingest(events))
+                .map_err(|_| EngineError::ShardDied { shard: i })?;
+        }
+        Ok(total)
+    }
+
+    /// Answer `query` over `window` from `key`'s sketch, on the shard that
+    /// owns the key. `Ok(None)` means the key has never been written.
+    ///
+    /// # Errors
+    /// [`ShuttingDown`](EngineError::ShuttingDown) or
+    /// [`ShardDied`](EngineError::ShardDied); per-sketch
+    /// [`QueryError`]s come back inside the `Some`.
+    pub fn query(
+        &self,
+        key: &str,
+        query: &OwnedQuery,
+        window: WindowSpec,
+    ) -> Result<Option<Result<Answer, QueryError>>, EngineError> {
+        let shard = route(key, self.senders.len());
+        let (tx, rx) = channel();
+        self.request(
+            shard,
+            ShardMsg::Query {
+                key: key.to_string(),
+                query: query.clone(),
+                window,
+                reply: tx,
+            },
+        )?;
+        match self.collect(shard, &rx)? {
+            ShardReply::Answer(a) => Ok(a),
+            _ => Err(EngineError::ShardDied { shard }),
+        }
+    }
+
+    /// The `k` keys with the most window arrivals across the whole fleet:
+    /// broadcast to every shard, merge the local rankings (value
+    /// descending, ties by key), truncate. Identical to what one
+    /// un-sharded store's `top_k` would return, since a global top-k key
+    /// is a top-k key of its own shard.
+    ///
+    /// # Errors
+    /// As [`query`](Engine::query).
+    pub fn top_k(&self, k: usize, window: WindowSpec) -> Result<Vec<(String, f64)>, EngineError> {
+        let replies = self.broadcast(|tx| ShardMsg::TopK {
+            k,
+            window,
+            reply: tx,
+        })?;
+        let mut merged: Vec<(String, f64)> = Vec::new();
+        for reply in replies {
+            match reply {
+                ShardReply::TopK(local) => merged.extend(local),
+                _ => return Err(EngineError::ShardDied { shard: 0 }),
+            }
+        }
+        merged.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        merged.truncate(k);
+        Ok(merged)
+    }
+
+    /// Per-shard statistics, in shard order. Each shard reports its own
+    /// partition from its own thread — no moment where the whole fleet is
+    /// locked at once.
+    ///
+    /// # Errors
+    /// As [`query`](Engine::query).
+    pub fn stats(&self) -> Result<Vec<ShardStats>, EngineError> {
+        let replies = self.broadcast(|tx| ShardMsg::Stats { reply: tx })?;
+        let mut out = Vec::with_capacity(replies.len());
+        for reply in replies {
+            match reply {
+                ShardReply::Stats(s) => out.push(s),
+                _ => return Err(EngineError::ShardDied { shard: 0 }),
+            }
+        }
+        out.sort_unstable_by_key(|s| s.shard);
+        Ok(out)
+    }
+
+    /// Advance every shard's stream clock to `ts` with no arrivals.
+    ///
+    /// # Errors
+    /// As [`query`](Engine::query).
+    pub fn flush(&self, ts: u64) -> Result<(), EngineError> {
+        let replies = self.broadcast(|tx| ShardMsg::Flush { ts, reply: tx })?;
+        for reply in replies {
+            match reply {
+                ShardReply::Flushed => {}
+                _ => return Err(EngineError::ShardDied { shard: 0 }),
+            }
+        }
+        Ok(())
+    }
+
+    /// Checkpoint every shard into `dir` (full by default; `incremental`
+    /// chains a dirty-keys delta per shard) and write the layout manifest.
+    ///
+    /// # Errors
+    /// [`Snapshot`](EngineError::Snapshot) carrying the first shard
+    /// failure, or the routing errors of [`query`](Engine::query).
+    pub fn snapshot(&self, dir: &Path, incremental: bool) -> Result<SnapshotReport, EngineError> {
+        let replies = self.broadcast(|tx| ShardMsg::Snapshot {
+            dir: dir.to_path_buf(),
+            incremental,
+            reply: tx,
+        })?;
+        let mut bytes = 0u64;
+        for reply in replies {
+            match reply {
+                ShardReply::Snapshot { bytes: b } => bytes += b,
+                ShardReply::SnapshotError(e) => return Err(EngineError::Snapshot(e)),
+                _ => return Err(EngineError::ShardDied { shard: 0 }),
+            }
+        }
+        write_manifest(dir, self.senders.len())?;
+        Ok(SnapshotReport {
+            dir: dir.display().to_string(),
+            shards: self.senders.len(),
+            bytes,
+            incremental,
+        })
+    }
+
+    /// Graceful shutdown: close the ingest gate, enqueue `Shutdown` behind
+    /// every accepted message, wait for each worker to drain its mailbox
+    /// (writing a final full checkpoint when a snapshot dir is
+    /// configured), and join all threads. Idempotent — later calls are
+    /// no-ops.
+    ///
+    /// # Errors
+    /// [`Snapshot`](EngineError::Snapshot) when a final checkpoint failed
+    /// (the engine still shuts down fully).
+    pub fn shutdown(&self) -> Result<(), EngineError> {
+        let mut receivers = Vec::new();
+        {
+            let mut gate = self.down.write().expect("gate poisoned");
+            if *gate {
+                return Ok(());
+            }
+            *gate = true;
+            for (i, sender) in self.senders.iter().enumerate() {
+                let (tx, rx) = channel();
+                // A send failure means the worker is already gone; still
+                // join the rest.
+                if sender.send(ShardMsg::Shutdown { reply: tx }).is_ok() {
+                    receivers.push((i, rx));
+                }
+            }
+        }
+        let mut snapshot_error = None;
+        for (i, rx) in receivers {
+            match rx.recv() {
+                Ok(ShardReply::Stopped {
+                    snapshot_error: Some(e),
+                }) => snapshot_error = Some(e),
+                Ok(_) => {}
+                Err(_) => snapshot_error = Some(format!("shard {i} died before stopping")),
+            }
+        }
+        let handles = std::mem::take(&mut *self.handles.lock().expect("handles poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        if snapshot_error.is_none() {
+            if let Some(dir) = &self.snapshot_dir {
+                write_manifest(dir, self.senders.len())?;
+            }
+        }
+        match snapshot_error {
+            Some(e) => Err(EngineError::Snapshot(e)),
+            None => Ok(()),
+        }
+    }
+
+    /// Whether [`shutdown`](Engine::shutdown) has begun.
+    pub fn is_down(&self) -> bool {
+        *self.down.read().expect("gate poisoned")
+    }
+
+    /// Send one request-shaped message under the read gate.
+    fn request(&self, shard: usize, msg: ShardMsg) -> Result<(), EngineError> {
+        let gate = self.down.read().expect("gate poisoned");
+        if *gate {
+            return Err(EngineError::ShuttingDown);
+        }
+        self.senders[shard]
+            .send(msg)
+            .map_err(|_| EngineError::ShardDied { shard })
+    }
+
+    /// Broadcast one request to every shard, then collect every reply.
+    fn broadcast(
+        &self,
+        make: impl Fn(std::sync::mpsc::Sender<ShardReply>) -> ShardMsg,
+    ) -> Result<Vec<ShardReply>, EngineError> {
+        let mut receivers = Vec::with_capacity(self.senders.len());
+        {
+            let gate = self.down.read().expect("gate poisoned");
+            if *gate {
+                return Err(EngineError::ShuttingDown);
+            }
+            for (i, sender) in self.senders.iter().enumerate() {
+                let (tx, rx) = channel();
+                sender
+                    .send(make(tx))
+                    .map_err(|_| EngineError::ShardDied { shard: i })?;
+                receivers.push((i, rx));
+            }
+        }
+        let mut replies = Vec::with_capacity(receivers.len());
+        for (i, rx) in receivers {
+            replies.push(self.collect(i, &rx)?);
+        }
+        Ok(replies)
+    }
+
+    fn collect(
+        &self,
+        shard: usize,
+        rx: &std::sync::mpsc::Receiver<ShardReply>,
+    ) -> Result<ShardReply, EngineError> {
+        rx.recv().map_err(|_| EngineError::ShardDied { shard })
+    }
+}
+
+impl Drop for Engine {
+    /// Best-effort graceful shutdown, so dropping an engine (e.g. a test
+    /// unwinding) never leaks worker threads or skips the final
+    /// checkpoint.
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("shards", &self.senders.len())
+            .field("down", &self.is_down())
+            .field("snapshot_dir", &self.snapshot_dir)
+            .finish()
+    }
+}
+
+/// Write the snapshot-layout manifest (`{"shards":N}`).
+fn write_manifest(dir: &Path, shards: usize) -> Result<(), EngineError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| EngineError::Snapshot(format!("create {}: {e}", dir.display())))?;
+    let path = dir.join(MANIFEST);
+    std::fs::write(&path, format!("{{\"shards\":{shards}}}\n"))
+        .map_err(|e| EngineError::Snapshot(format!("write {}: {e}", path.display())))
+}
+
+/// Read the shard count back from the manifest.
+fn read_manifest(dir: &Path) -> Result<usize, EngineError> {
+    let path = dir.join(MANIFEST);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| EngineError::Restore(format!("read {}: {e}", path.display())))?;
+    let needle = "\"shards\":";
+    let at = text
+        .find(needle)
+        .ok_or_else(|| EngineError::Restore(format!("{}: no shard count", path.display())))?;
+    let digits: String = text[at + needle.len()..]
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits
+        .parse()
+        .map_err(|e| EngineError::Restore(format!("{}: bad shard count: {e}", path.display())))
+}

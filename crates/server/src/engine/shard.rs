@@ -1,0 +1,156 @@
+//! The shard worker: one long-lived thread, one `SketchStore` partition.
+
+use std::path::Path;
+use std::sync::mpsc::Receiver;
+
+use ecm::{SketchStore, SnapshotError};
+
+use super::{ShardMsg, ShardReply, ShardStats};
+
+/// Name of shard `i`'s full-checkpoint file inside a snapshot directory.
+pub(super) fn full_file(shard: usize) -> String {
+    format!("shard-{shard}.full")
+}
+
+/// Name of shard `i`'s delta file for checkpoint sequence `seq`.
+pub(super) fn delta_file(shard: usize, seq: u64) -> String {
+    format!("shard-{shard}.delta-{seq:06}")
+}
+
+/// The worker loop. Runs until the mailbox disconnects or a `Shutdown`
+/// message arrives; replies are best-effort (a requester that hung up is
+/// not an error).
+pub(super) fn run(
+    shard: usize,
+    mut store: SketchStore<String>,
+    rx: Receiver<ShardMsg>,
+    snapshot_dir: Option<std::path::PathBuf>,
+) {
+    let mut ingested: u64 = 0;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Ingest(events) => {
+                ingested += events.len() as u64;
+                store.ingest(&events);
+            }
+            ShardMsg::Query {
+                key,
+                query,
+                window,
+                reply,
+            } => {
+                let answer = store.query(&key, &query.to_query(), window);
+                let _ = reply.send(ShardReply::Answer(answer));
+            }
+            ShardMsg::TopK { k, window, reply } => {
+                let local = store.top_k(k, &ecm::Query::total_arrivals(), window);
+                let _ = reply.send(ShardReply::TopK(local));
+            }
+            ShardMsg::Stats { reply } => {
+                let _ = reply.send(ShardReply::Stats(ShardStats {
+                    shard,
+                    keys: store.key_count(),
+                    memory_bytes: store.memory_bytes(),
+                    ingested,
+                    checkpoint_seq: store.checkpoint_seq(),
+                }));
+            }
+            ShardMsg::Flush { ts, reply } => {
+                store.advance_to(ts);
+                let _ = reply.send(ShardReply::Flushed);
+            }
+            ShardMsg::Snapshot {
+                dir,
+                incremental,
+                reply,
+            } => {
+                let outcome = checkpoint(shard, &mut store, &dir, incremental);
+                let _ = reply.send(match outcome {
+                    Ok(bytes) => ShardReply::Snapshot { bytes },
+                    Err(e) => ShardReply::SnapshotError(e),
+                });
+            }
+            ShardMsg::Shutdown { reply } => {
+                // Everything sent before this message has been applied (the
+                // mailbox is FIFO); the final full checkpoint therefore
+                // captures every acked event.
+                let snapshot_error = match &snapshot_dir {
+                    Some(dir) => checkpoint(shard, &mut store, dir, false).err(),
+                    None => None,
+                };
+                let _ = reply.send(ShardReply::Stopped { snapshot_error });
+                return;
+            }
+        }
+    }
+}
+
+/// Write this shard's checkpoint file. A full checkpoint replaces the
+/// `.full` file and removes the now-stale delta chain; an incremental one
+/// appends a `.delta-<seq>` link (falling back to a full checkpoint when
+/// the store has never been checkpointed, so a chain always has a base).
+fn checkpoint(
+    shard: usize,
+    store: &mut SketchStore<String>,
+    dir: &Path,
+    incremental: bool,
+) -> Result<u64, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let fail = |stage: &str, e: &dyn std::fmt::Display| format!("shard {shard} {stage}: {e}");
+    if incremental && store.checkpoint_seq() > 0 {
+        let bytes = store
+            .write_incremental()
+            .map_err(|e: SnapshotError| fail("delta encode", &e))?;
+        let path = dir.join(delta_file(shard, store.checkpoint_seq()));
+        std::fs::write(&path, &bytes).map_err(|e| fail("delta write", &e))?;
+        Ok(bytes.len() as u64)
+    } else {
+        let bytes = store
+            .write_snapshot()
+            .map_err(|e: SnapshotError| fail("full encode", &e))?;
+        let path = dir.join(full_file(shard));
+        std::fs::write(&path, &bytes).map_err(|e| fail("full write", &e))?;
+        remove_stale_deltas(shard, dir);
+        Ok(bytes.len() as u64)
+    }
+}
+
+/// Best-effort removal of this shard's delta files: after a new full
+/// checkpoint they no longer chain onto anything restorable.
+fn remove_stale_deltas(shard: usize, dir: &Path) {
+    let prefix = format!("shard-{shard}.delta-");
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if entry.file_name().to_string_lossy().starts_with(&prefix) {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+/// Restore one shard's store from a snapshot directory: load the full
+/// checkpoint, then apply every delta in sequence order.
+pub(super) fn restore(shard: usize, dir: &Path) -> Result<SketchStore<String>, String> {
+    let full = dir.join(full_file(shard));
+    let bytes = std::fs::read(&full).map_err(|e| format!("read {}: {e}", full.display()))?;
+    let mut store = SketchStore::<String>::load_snapshot(&bytes)
+        .map_err(|e| format!("decode {}: {e}", full.display()))?;
+    // Delta files sort lexicographically by their zero-padded sequence
+    // number, which is exactly chain order.
+    let prefix = format!("shard-{shard}.delta-");
+    let mut deltas: Vec<std::path::PathBuf> = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        if entry.file_name().to_string_lossy().starts_with(&prefix) {
+            deltas.push(entry.path());
+        }
+    }
+    deltas.sort();
+    for path in deltas {
+        let bytes = std::fs::read(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        store
+            .apply_incremental(&bytes)
+            .map_err(|e| format!("apply {}: {e}", path.display()))?;
+    }
+    Ok(store)
+}

@@ -1,0 +1,453 @@
+//! The TCP listener, connection handlers, and the bounded line reader.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ecm::StreamEvent;
+
+use crate::config::ServerConfig;
+use crate::engine::{Engine, EngineError};
+use crate::protocol::{parse_command, parse_data_line, response, CmdError, Command, MAX_LINE};
+
+/// Why [`Server::start`] failed.
+#[derive(Debug)]
+pub enum StartError {
+    /// The engine could not start (bad spec/config, failed restore).
+    Engine(EngineError),
+    /// The listener socket could not be bound.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StartError::Engine(e) => write!(f, "engine start failed: {e}"),
+            StartError::Io(e) => write!(f, "listener bind failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StartError {}
+
+impl From<EngineError> for StartError {
+    fn from(e: EngineError) -> Self {
+        StartError::Engine(e)
+    }
+}
+
+impl From<std::io::Error> for StartError {
+    fn from(e: std::io::Error) -> Self {
+        StartError::Io(e)
+    }
+}
+
+/// State shared between the acceptor, the connection handlers and the
+/// [`Server`] handle.
+struct Shared {
+    stop: AtomicBool,
+    active: AtomicUsize,
+    next_id: AtomicU64,
+    /// Socket clones of live connections, so shutdown can unblock handler
+    /// threads stuck in a read.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+    max_connections: usize,
+    read_timeout: Duration,
+    write_timeout: Duration,
+}
+
+/// A running `sketchd` instance: an engine plus a TCP acceptor.
+///
+/// Stops when a client sends `SHUTDOWN`, or programmatically via
+/// [`Server::stop`]; [`Server::join`] then waits for the acceptor and all
+/// connection handlers to exit.
+pub struct Server {
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind the listen socket, start the engine (restoring from the
+    /// snapshot directory if it holds a manifest), and spawn the acceptor.
+    ///
+    /// # Errors
+    /// Engine validation/restore errors, or socket bind failures.
+    pub fn start(cfg: ServerConfig) -> Result<Server, StartError> {
+        let engine = Arc::new(Engine::start(&cfg)?);
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            next_id: AtomicU64::new(0),
+            conns: Mutex::new(HashMap::new()),
+            handlers: Mutex::new(Vec::new()),
+            max_connections: cfg.max_connections,
+            read_timeout: cfg.read_timeout,
+            write_timeout: cfg.write_timeout,
+        });
+        let acceptor = {
+            let engine = Arc::clone(&engine);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("sketchd-acceptor".to_string())
+                .spawn(move || accept_loop(listener, engine, shared))
+                .map_err(StartError::Io)?
+        };
+        Ok(Server {
+            addr,
+            engine,
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the OS-chosen ephemeral
+    /// port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine behind the socket, for in-process inspection (tests,
+    /// embedding).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Programmatic equivalent of a client `SHUTDOWN`: drain and stop the
+    /// engine, stop accepting, and unblock every connection handler.
+    /// Idempotent.
+    ///
+    /// # Errors
+    /// The engine's final-checkpoint error, if any (the server still
+    /// stops).
+    pub fn stop(&self) -> Result<(), EngineError> {
+        let outcome = self.engine.shutdown();
+        halt_frontend(&self.shared);
+        outcome
+    }
+
+    /// Wait for the acceptor and every connection handler to exit. Call
+    /// after `SHUTDOWN` has been sent (or [`Server::stop`]); the engine is
+    /// drained and stopped by then.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let handlers = std::mem::take(&mut *self.shared.handlers.lock().expect("handlers"));
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("engine", &self.engine)
+            .finish()
+    }
+}
+
+impl Drop for Server {
+    /// Best-effort stop, so a dropped handle (test unwinding) never leaks
+    /// the acceptor thread or a bound port.
+    fn drop(&mut self) {
+        let _ = self.stop();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+/// Flag the front-end down and force every live socket closed, unblocking
+/// handler threads stuck in `read`.
+fn halt_frontend(shared: &Shared) {
+    shared.stop.store(true, Ordering::SeqCst);
+    let conns = shared.conns.lock().expect("conns");
+    for stream in conns.values() {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+fn accept_loop(listener: TcpListener, engine: Arc<Engine>, shared: Arc<Shared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => spawn_handler(stream, &engine, &shared),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn spawn_handler(mut stream: TcpStream, engine: &Arc<Engine>, shared: &Arc<Shared>) {
+    if shared.active.load(Ordering::SeqCst) >= shared.max_connections {
+        // Refuse, don't queue: the cap bounds handler threads.
+        let refusal = response::error("too_many_connections", "connection cap reached");
+        let _ = stream.write_all(refusal.as_bytes());
+        let _ = stream.write_all(b"\n");
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    if let Ok(clone) = stream.try_clone() {
+        shared.conns.lock().expect("conns").insert(id, clone);
+    }
+    shared.active.fetch_add(1, Ordering::SeqCst);
+    let engine = Arc::clone(engine);
+    let shared_for_conn = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("sketchd-conn-{id}"))
+        .spawn(move || {
+            handle_connection(stream, &engine, &shared_for_conn);
+            shared_for_conn.conns.lock().expect("conns").remove(&id);
+            shared_for_conn.active.fetch_sub(1, Ordering::SeqCst);
+        });
+    match handle {
+        Ok(h) => shared.handlers.lock().expect("handlers").push(h),
+        Err(_) => {
+            // Thread spawn failed; roll the registration back.
+            shared.conns.lock().expect("conns").remove(&id);
+        }
+    }
+}
+
+/// One line from the bounded reader.
+enum Line {
+    /// A complete line (without its newline).
+    Data(Vec<u8>),
+    /// A line longer than [`MAX_LINE`]; its bytes were discarded up to the
+    /// next newline, so the stream is re-synchronized.
+    TooLong,
+    /// Peer closed (or the read timed out).
+    Eof,
+}
+
+/// Newline framing over a raw stream with a hard per-line byte bound —
+/// `BufReader::read_line` would buffer an attacker-length line in full.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    pos: usize,
+    eof: bool,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> Self {
+        LineReader {
+            stream,
+            buf: Vec::new(),
+            pos: 0,
+            eof: false,
+        }
+    }
+
+    fn next_line(&mut self) -> Line {
+        if self.eof {
+            return Line::Eof;
+        }
+        let mut line: Vec<u8> = Vec::new();
+        let mut overlong = false;
+        loop {
+            if let Some(nl) = self.buf[self.pos..].iter().position(|&b| b == b'\n') {
+                let chunk = &self.buf[self.pos..self.pos + nl];
+                let fits = !overlong && line.len() + chunk.len() <= MAX_LINE;
+                if fits {
+                    line.extend_from_slice(chunk);
+                }
+                self.pos += nl + 1;
+                return if fits {
+                    Line::Data(line)
+                } else {
+                    Line::TooLong
+                };
+            }
+            // No newline buffered: absorb what's there and read more.
+            let chunk = &self.buf[self.pos..];
+            if !overlong {
+                if line.len() + chunk.len() > MAX_LINE {
+                    overlong = true;
+                    line.clear();
+                } else {
+                    line.extend_from_slice(chunk);
+                }
+            }
+            self.buf.clear();
+            self.pos = 0;
+            let mut read_buf = [0u8; 4096];
+            match self.stream.read(&mut read_buf) {
+                Ok(0) | Err(_) => {
+                    // EOF (or timeout/reset). A final unterminated line
+                    // still counts as a line.
+                    self.eof = true;
+                    return if !overlong && !line.is_empty() {
+                        Line::Data(line)
+                    } else {
+                        Line::Eof
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&read_buf[..n]),
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, engine: &Engine, shared: &Shared) {
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = writer;
+    let mut reader = LineReader::new(stream);
+    loop {
+        let line = match reader.next_line() {
+            Line::Eof => return,
+            Line::TooLong => {
+                let resp = response::error(
+                    "line_too_long",
+                    &CmdError::LineTooLong { limit: MAX_LINE }.to_string(),
+                );
+                if respond(&mut writer, &resp).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Line::Data(line) => line,
+        };
+        // Blank lines are ignored rather than answered: a trailing newline
+        // must not desynchronize a pipelining client's reply counting.
+        if line.iter().all(|b| b.is_ascii_whitespace()) {
+            continue;
+        }
+        let resp = match parse_command(&line) {
+            Err(e) => response::error(e.code(), &e.to_string()),
+            Ok(Command::Batch { n }) => match read_batch(&mut reader, n) {
+                None => return, // connection died mid-batch
+                Some(Err(resp)) => resp,
+                Some(Ok(triples)) => ingest(engine, &triples),
+            },
+            Ok(cmd) => match dispatch(cmd, engine, shared, &mut writer) {
+                Some(resp) => resp,
+                None => return, // SHUTDOWN: reply already written
+            },
+        };
+        if respond(&mut writer, &resp).is_err() {
+            return;
+        }
+    }
+}
+
+fn respond(writer: &mut TcpStream, resp: &str) -> std::io::Result<()> {
+    writer.write_all(resp.as_bytes())?;
+    writer.write_all(b"\n")
+}
+
+/// Read the `n` data lines of a `BATCH` body. The frame is atomic: on a
+/// bad line the remaining lines are still consumed (framing survives) and
+/// the whole batch is rejected with one error naming the first bad line.
+/// `None` means the connection died mid-body.
+#[allow(clippy::type_complexity)]
+fn read_batch(
+    reader: &mut LineReader,
+    n: usize,
+) -> Option<Result<Vec<(String, StreamEvent, u64)>, String>> {
+    let mut triples = Vec::with_capacity(n.min(4096));
+    let mut bad: Option<(usize, CmdError)> = None;
+    for i in 0..n {
+        match reader.next_line() {
+            Line::Eof => return None,
+            Line::TooLong => {
+                bad.get_or_insert((i, CmdError::LineTooLong { limit: MAX_LINE }));
+            }
+            Line::Data(line) => {
+                if bad.is_none() {
+                    match parse_data_line(&line) {
+                        Ok(triple) => triples.push(triple),
+                        Err(e) => bad = Some((i, e)),
+                    }
+                }
+            }
+        }
+    }
+    Some(match bad {
+        Some((i, e)) => Err(response::error(e.code(), &format!("batch line {i}: {e}"))),
+        None => Ok(triples),
+    })
+}
+
+fn ingest(engine: &Engine, triples: &[(String, StreamEvent, u64)]) -> String {
+    match engine.ingest(triples) {
+        Ok(n) => response::ingested(n),
+        Err(e) => response::error(e.code(), &e.to_string()),
+    }
+}
+
+/// Handle every command except `BATCH`. Returns the response line, or
+/// `None` after `SHUTDOWN` (which writes its own ack and ends the
+/// connection).
+fn dispatch(
+    cmd: Command,
+    engine: &Engine,
+    shared: &Shared,
+    writer: &mut TcpStream,
+) -> Option<String> {
+    Some(match cmd {
+        Command::Ping => response::pong(),
+        Command::Store {
+            key,
+            ts,
+            item,
+            count,
+        } => ingest(engine, &[(key, StreamEvent::new(item, ts), count)]),
+        Command::Batch { .. } => unreachable!("BATCH handled by the caller"),
+        Command::Query { key, query, window } => match engine.query(&key, &query, window) {
+            Err(e) => response::error(e.code(), &e.to_string()),
+            Ok(None) => response::error("unknown_key", &format!("no sketch for key {key:?}")),
+            Ok(Some(Err(e))) => response::query_error(&e),
+            Ok(Some(Ok(answer))) => response::answer(query.name(), &answer),
+        },
+        Command::TopK { k, window } => match engine.top_k(k, window) {
+            Ok(rows) => response::topk(&rows),
+            Err(e) => response::error(e.code(), &e.to_string()),
+        },
+        Command::Stats => match engine.stats() {
+            Ok(rows) => response::stats(&rows),
+            Err(e) => response::error(e.code(), &e.to_string()),
+        },
+        Command::Flush { ts } => match engine.flush(ts) {
+            Ok(()) => response::flushed(ts),
+            Err(e) => response::error(e.code(), &e.to_string()),
+        },
+        Command::Snapshot { dir, incremental } => {
+            match engine.snapshot(Path::new(&dir), incremental) {
+                Ok(report) => response::snapshot(&report),
+                Err(e) => response::error(e.code(), &e.to_string()),
+            }
+        }
+        Command::Shutdown => {
+            // Drain + final checkpoint + worker join happen *before* the
+            // ack, so a client that saw the ack knows every prior ack is
+            // durable.
+            let resp = match engine.shutdown() {
+                Ok(()) => response::shutdown(),
+                Err(e) => response::error(e.code(), &e.to_string()),
+            };
+            let _ = respond(writer, &resp);
+            halt_frontend(shared);
+            return None;
+        }
+    })
+}

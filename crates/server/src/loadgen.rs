@@ -1,0 +1,194 @@
+//! Load generation against a live `sketchd`: replay a `stream-gen`
+//! bursty-Zipf trace over M connections, then measure query round-trips.
+//!
+//! The numbers reported are **client-observed** — they include the parser,
+//! the shard mailboxes, the TCP stack and the JSON rendering, unlike the
+//! in-process `crates/bench` suites. Each site of the trace becomes one
+//! tenant key (`site-<s>`); sites are partitioned across connections by
+//! `site % connections`, which keeps every tenant's events on one
+//! connection in trace order — time-based sketches require per-key
+//! non-decreasing ticks.
+
+use std::time::Instant;
+
+use stream_gen::worldcup_like;
+
+use crate::client::Client;
+use crate::protocol::response::is_ok;
+
+/// What to replay, and against whom.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent ingest connections (default 4).
+    pub connections: usize,
+    /// Trace length in events (default 200 000).
+    pub events: usize,
+    /// Events per `BATCH` frame (default 1 024).
+    pub batch: usize,
+    /// Point-query round-trips to measure (default 2 000).
+    pub queries: usize,
+    /// Window range (ticks) used by the measured queries (default 1 000 —
+    /// safely inside any realistic spec window).
+    pub query_range: u64,
+    /// Trace seed (default 42).
+    pub seed: u64,
+}
+
+impl LoadgenConfig {
+    /// Defaults against `addr`.
+    pub fn new(addr: impl Into<String>) -> Self {
+        LoadgenConfig {
+            addr: addr.into(),
+            connections: 4,
+            events: 200_000,
+            batch: 1_024,
+            queries: 2_000,
+            query_range: 1_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Client-observed results of one loadgen run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Event occurrences acked by the server.
+    pub events: u64,
+    /// Ingest connections used.
+    pub connections: usize,
+    /// Events per `BATCH` frame.
+    pub batch: usize,
+    /// Distinct tenant keys in the trace.
+    pub tenants: usize,
+    /// Wall-clock seconds of the ingest phase.
+    pub ingest_secs: f64,
+    /// Client-observed ingest throughput, million events per second.
+    pub ingest_meps: f64,
+    /// Query round-trips measured.
+    pub queries: u64,
+    /// Median query round-trip, microseconds.
+    pub query_p50_us: f64,
+    /// 95th-percentile query round-trip, microseconds.
+    pub query_p95_us: f64,
+    /// 99th-percentile query round-trip, microseconds.
+    pub query_p99_us: f64,
+}
+
+fn io_err(detail: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, detail)
+}
+
+/// Replay the trace, then measure query latency; see the module docs for
+/// the workload shape.
+///
+/// # Errors
+/// Connection failures, or a server reply that is not an ack (surfaced
+/// with the offending response line).
+pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
+    assert!(cfg.connections >= 1, "need at least one connection");
+    assert!(cfg.batch >= 1, "need a positive batch size");
+    let trace = worldcup_like(cfg.events, cfg.seed);
+    let max_ts = trace.last().map_or(1, |e| e.ts);
+    let tenants = {
+        let mut sites: Vec<u32> = trace.iter().map(|e| e.site).collect();
+        sites.sort_unstable();
+        sites.dedup();
+        sites.len()
+    };
+
+    // Partition by site so each tenant's events stay on one connection in
+    // trace order.
+    let mut per_conn: Vec<Vec<String>> = vec![Vec::new(); cfg.connections];
+    for e in &trace {
+        per_conn[e.site as usize % cfg.connections]
+            .push(format!("site-{} {} {}", e.site, e.ts, e.key));
+    }
+
+    let started = Instant::now();
+    let acked: u64 = std::thread::scope(|scope| {
+        let mut workers = Vec::with_capacity(cfg.connections);
+        for lines in &per_conn {
+            workers.push(scope.spawn(move || -> std::io::Result<u64> {
+                let mut client = Client::connect(&cfg.addr)?;
+                let mut acked = 0u64;
+                for chunk in lines.chunks(cfg.batch) {
+                    let resp = client.batch(chunk)?;
+                    if !is_ok(&resp) {
+                        return Err(io_err(format!("batch rejected: {resp}")));
+                    }
+                    acked += chunk.len() as u64;
+                }
+                Ok(acked)
+            }));
+        }
+        let mut total = 0u64;
+        for worker in workers {
+            total += worker.join().expect("ingest worker panicked")?;
+        }
+        Ok::<u64, std::io::Error>(total)
+    })?;
+    let ingest_secs = started.elapsed().as_secs_f64();
+
+    // Query phase: point lookups for real (tenant, item) pairs spread
+    // across the trace, one synchronous round-trip each.
+    let mut client = Client::connect(&cfg.addr)?;
+    let mut lat_us: Vec<f64> = Vec::with_capacity(cfg.queries);
+    let stride = (trace.len() / cfg.queries.max(1)).max(1);
+    for e in trace.iter().step_by(stride).take(cfg.queries) {
+        let cmd = format!(
+            "QUERY site-{} point {} time {max_ts} {}",
+            e.site, e.key, cfg.query_range
+        );
+        let t0 = Instant::now();
+        let resp = client.call(&cmd)?;
+        lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        if !is_ok(&resp) {
+            return Err(io_err(format!("query rejected: {resp}")));
+        }
+    }
+    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |q: f64| -> f64 {
+        if lat_us.is_empty() {
+            return 0.0;
+        }
+        let idx = ((q * lat_us.len() as f64) as usize).min(lat_us.len() - 1);
+        lat_us[idx]
+    };
+
+    Ok(LoadgenReport {
+        events: acked,
+        connections: cfg.connections,
+        batch: cfg.batch,
+        tenants,
+        ingest_secs,
+        ingest_meps: acked as f64 / ingest_secs / 1e6,
+        queries: lat_us.len() as u64,
+        query_p50_us: pct(0.50),
+        query_p95_us: pct(0.95),
+        query_p99_us: pct(0.99),
+    })
+}
+
+/// The report as the flat machine-written JSON `BENCH_server.json` holds
+/// (schema-validated by `crates/bench/tests/bench_schema.rs`).
+pub fn render_json(r: &LoadgenReport) -> String {
+    format!(
+        "{{\n  \"schema_version\": 1,\n  \"bench\": \"server\",\n  \"workload\": {{\n    \
+         \"events\": {},\n    \"connections\": {},\n    \"batch\": {},\n    \
+         \"tenants\": {}\n  }},\n  \"results\": {{\n    \"ingest_secs\": {:.4},\n    \
+         \"ingest_meps\": {:.4},\n    \"queries\": {},\n    \"query_p50_us\": {:.2},\n    \
+         \"query_p95_us\": {:.2},\n    \"query_p99_us\": {:.2}\n  }}\n}}\n",
+        r.events,
+        r.connections,
+        r.batch,
+        r.tenants,
+        r.ingest_secs,
+        r.ingest_meps,
+        r.queries,
+        r.query_p50_us,
+        r.query_p95_us,
+        r.query_p99_us
+    )
+}

@@ -1,0 +1,38 @@
+//! The `sketchd` wire protocol: a newline-delimited command language in, a
+//! JSON object per response line out.
+//!
+//! One request line maps to one response line (the `BATCH` body lines are
+//! the sole exception: the `n` data lines that follow a `BATCH n` header
+//! are acknowledged by a single response). The command grammar is parsed by
+//! [`parser`]; responses are rendered by [`response`], and every estimate
+//! travels **with** the (ε, δ) guarantee its backend derived — a remote
+//! reader gets exactly the accuracy contract an in-process
+//! [`SketchReader`](ecm::SketchReader) caller would.
+//!
+//! | Command | Reply |
+//! |---|---|
+//! | `PING` | `{"ok":true,"pong":true}` |
+//! | `STORE <key> <ts> <item> [<count>]` | `{"ok":true,"ingested":n}` |
+//! | `BATCH <n>` + n × `<key> <ts> <item> [<count>]` | one `{"ok":true,"ingested":n}` |
+//! | `QUERY <key> point <item> <window>` | `{"ok":true,...,"value":v,"guarantee":{...}}` |
+//! | `QUERY <key> range <lo> <hi> <window>` | as above |
+//! | `QUERY <key> self_join <window>` | as above |
+//! | `QUERY <key> total <window>` | as above |
+//! | `QUERY <key> heavy_hitters <rel:φ\|abs:n> <window>` | `{"ok":true,...,"hitters":[...]}` |
+//! | `QUERY <key> quantile <φ> <window>` | `{"ok":true,...,"key":k}` |
+//! | `TOPK <k> <window>` | `{"ok":true,"topk":[...]}` |
+//! | `STATS` | per-shard key counts / memory / ingest counters |
+//! | `FLUSH <ts>` | advance every shard's clock to `ts` |
+//! | `SNAPSHOT <dir> [full\|incr]` | checkpoint every shard into `dir` |
+//! | `SHUTDOWN` | drain, final snapshot, stop the server |
+//!
+//! `<window>` is either `time <now> <range>` (a time-based window covering
+//! ticks `(now − range, now]`) or `last <n>` (the most recent `n` arrivals,
+//! for count-based specs).
+
+pub mod parser;
+pub mod response;
+
+pub use parser::{
+    parse_command, parse_data_line, CmdError, Command, OwnedQuery, MAX_BATCH, MAX_KEY, MAX_LINE,
+};

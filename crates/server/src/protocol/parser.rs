@@ -1,0 +1,577 @@
+//! Hand-rolled, zero-dependency command parser.
+//!
+//! Input is one raw line (without the trailing `\n`, an optional trailing
+//! `\r` is tolerated); output is a typed [`Command`] or a typed
+//! [`CmdError`]. The parser is total: any byte sequence yields one of the
+//! two, never a panic — `tests/protocol_robustness.rs` fuzzes it with
+//! random bytes to keep that true.
+
+use std::fmt;
+
+use ecm::{Query, StreamEvent, Threshold, WindowSpec};
+
+/// Longest accepted request line in bytes (longer lines are rejected and
+/// the connection handler discards until the next newline).
+pub const MAX_LINE: usize = 4096;
+
+/// Longest accepted key token in bytes.
+pub const MAX_KEY: usize = 128;
+
+/// Largest accepted `BATCH` body size in lines.
+pub const MAX_BATCH: usize = 1 << 16;
+
+/// Largest accepted per-event `count` (keeps one line from expanding into
+/// an unbounded weighted ingest).
+pub const MAX_COUNT: u64 = 1 << 20;
+
+/// An owned query description — the wire/mailbox form of
+/// [`ecm::Query`], which cannot itself cross a channel because its
+/// inner-product variant borrows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedQuery {
+    /// Frequency of one item.
+    Point {
+        /// The queried item.
+        item: u64,
+    },
+    /// Self-join size (F₂) of the window.
+    SelfJoin,
+    /// Arrivals with key in `[lo, hi]` (hierarchy specs only).
+    Range {
+        /// Lowest key, inclusive.
+        lo: u64,
+        /// Highest key, inclusive.
+        hi: u64,
+    },
+    /// Keys at or above a frequency threshold (hierarchy specs only).
+    HeavyHitters {
+        /// The threshold.
+        threshold: Threshold,
+    },
+    /// The φ-quantile key (hierarchy specs only).
+    Quantile {
+        /// Rank fraction in (0, 1].
+        phi: f64,
+    },
+    /// Total arrivals in the window.
+    Total,
+}
+
+impl OwnedQuery {
+    /// The equivalent borrowed [`ecm::Query`] value.
+    pub fn to_query(&self) -> Query<'static> {
+        match *self {
+            OwnedQuery::Point { item } => Query::point(item),
+            OwnedQuery::SelfJoin => Query::self_join(),
+            OwnedQuery::Range { lo, hi } => Query::range_sum(lo, hi),
+            OwnedQuery::HeavyHitters { threshold } => Query::heavy_hitters(threshold),
+            OwnedQuery::Quantile { phi } => Query::quantile(phi),
+            OwnedQuery::Total => Query::total_arrivals(),
+        }
+    }
+
+    /// The query's wire verb (also used in responses).
+    pub fn name(&self) -> &'static str {
+        match self {
+            OwnedQuery::Point { .. } => "point",
+            OwnedQuery::SelfJoin => "self_join",
+            OwnedQuery::Range { .. } => "range",
+            OwnedQuery::HeavyHitters { .. } => "heavy_hitters",
+            OwnedQuery::Quantile { .. } => "quantile",
+            OwnedQuery::Total => "total",
+        }
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Liveness probe.
+    Ping,
+    /// One keyed event: `count` occurrences of `item` at tick `ts`.
+    Store {
+        /// Tenant key.
+        key: String,
+        /// Arrival tick.
+        ts: u64,
+        /// Stream item.
+        item: u64,
+        /// Occurrences (≥ 1).
+        count: u64,
+    },
+    /// Header of an `n`-line batch; the next `n` lines are data lines.
+    Batch {
+        /// Number of data lines that follow.
+        n: usize,
+    },
+    /// A typed query against one key's sketch.
+    Query {
+        /// Tenant key.
+        key: String,
+        /// What to compute.
+        query: OwnedQuery,
+        /// Which stream slice.
+        window: WindowSpec,
+    },
+    /// The `k` keys with the most window arrivals, across all shards.
+    TopK {
+        /// How many keys.
+        k: usize,
+        /// Which stream slice.
+        window: WindowSpec,
+    },
+    /// Per-shard fleet statistics.
+    Stats,
+    /// Advance every shard's stream clock to `ts` with no arrivals.
+    Flush {
+        /// The tick every sketch's clock must reach.
+        ts: u64,
+    },
+    /// Checkpoint every shard into a directory.
+    Snapshot {
+        /// Target directory (created if missing).
+        dir: String,
+        /// `true` for an incremental (dirty-keys-only) delta.
+        incremental: bool,
+    },
+    /// Drain, optionally snapshot, and stop the server.
+    Shutdown,
+}
+
+/// Why a request line could not be parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CmdError {
+    /// Blank line (or only whitespace).
+    Empty,
+    /// The line exceeded [`MAX_LINE`] bytes.
+    LineTooLong {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// The line is not valid UTF-8.
+    NotUtf8,
+    /// The first token is not a known verb.
+    UnknownVerb {
+        /// The offending token (truncated for display).
+        verb: String,
+    },
+    /// Right verb, wrong number of arguments.
+    WrongArity {
+        /// The verb.
+        verb: &'static str,
+        /// The expected shape.
+        expected: &'static str,
+    },
+    /// A numeric argument did not parse or is out of domain.
+    BadNumber {
+        /// Which argument.
+        what: &'static str,
+        /// The offending token.
+        got: String,
+    },
+    /// A key token is empty, too long, or otherwise malformed.
+    BadKey {
+        /// What was wrong.
+        detail: &'static str,
+    },
+    /// A window clause did not parse.
+    BadWindow {
+        /// What was wrong.
+        detail: &'static str,
+    },
+    /// A heavy-hitter threshold did not parse (`rel:<φ>` or `abs:<n>`).
+    BadThreshold {
+        /// The offending token.
+        got: String,
+    },
+    /// A `BATCH` header exceeds [`MAX_BATCH`] lines.
+    BatchTooLarge {
+        /// The requested size.
+        got: usize,
+        /// The limit.
+        limit: usize,
+    },
+    /// A `BATCH 0` header: an empty batch is a protocol error.
+    EmptyBatch,
+}
+
+impl CmdError {
+    /// Short machine-readable error code for the JSON `error` field.
+    pub fn code(&self) -> &'static str {
+        match self {
+            CmdError::Empty => "empty",
+            CmdError::LineTooLong { .. } => "line_too_long",
+            CmdError::NotUtf8 => "not_utf8",
+            CmdError::UnknownVerb { .. } => "unknown_verb",
+            CmdError::WrongArity { .. } => "wrong_arity",
+            CmdError::BadNumber { .. } => "bad_number",
+            CmdError::BadKey { .. } => "bad_key",
+            CmdError::BadWindow { .. } => "bad_window",
+            CmdError::BadThreshold { .. } => "bad_threshold",
+            CmdError::BatchTooLarge { .. } => "batch_too_large",
+            CmdError::EmptyBatch => "empty_batch",
+        }
+    }
+}
+
+impl fmt::Display for CmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmdError::Empty => write!(f, "empty command line"),
+            CmdError::LineTooLong { limit } => {
+                write!(f, "line exceeds the {limit}-byte limit")
+            }
+            CmdError::NotUtf8 => write!(f, "line is not valid UTF-8"),
+            CmdError::UnknownVerb { verb } => write!(f, "unknown verb {verb:?}"),
+            CmdError::WrongArity { verb, expected } => {
+                write!(f, "{verb} expects: {expected}")
+            }
+            CmdError::BadNumber { what, got } => {
+                write!(f, "{what} is not a valid number: {got:?}")
+            }
+            CmdError::BadKey { detail } => write!(f, "bad key: {detail}"),
+            CmdError::BadWindow { detail } => write!(f, "bad window: {detail}"),
+            CmdError::BadThreshold { got } => write!(
+                f,
+                "bad threshold {got:?}: expected rel:<phi in (0,1)> or abs:<count>"
+            ),
+            CmdError::BatchTooLarge { got, limit } => {
+                write!(f, "batch of {got} lines exceeds the {limit}-line limit")
+            }
+            CmdError::EmptyBatch => write!(f, "batch must contain at least one line"),
+        }
+    }
+}
+
+impl std::error::Error for CmdError {}
+
+/// The line as UTF-8 tokens, or the appropriate error. Rejects over-long
+/// and non-UTF-8 lines before any token is inspected.
+fn tokens(line: &[u8]) -> Result<Vec<&str>, CmdError> {
+    if line.len() > MAX_LINE {
+        return Err(CmdError::LineTooLong { limit: MAX_LINE });
+    }
+    // Tolerate a trailing \r from CRLF clients (e.g. telnet / nc -C).
+    let line = line.strip_suffix(b"\r").unwrap_or(line);
+    let text = std::str::from_utf8(line).map_err(|_| CmdError::NotUtf8)?;
+    let toks: Vec<&str> = text.split_ascii_whitespace().collect();
+    if toks.is_empty() {
+        return Err(CmdError::Empty);
+    }
+    Ok(toks)
+}
+
+fn num<T: std::str::FromStr>(tok: &str, what: &'static str) -> Result<T, CmdError> {
+    tok.parse().map_err(|_| CmdError::BadNumber {
+        what,
+        got: truncate_for_display(tok),
+    })
+}
+
+/// Keep error payloads bounded even when the offending token is huge.
+fn truncate_for_display(tok: &str) -> String {
+    if tok.len() <= 32 {
+        tok.to_string()
+    } else {
+        let mut end = 32;
+        while !tok.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &tok[..end])
+    }
+}
+
+fn key(tok: &str) -> Result<String, CmdError> {
+    if tok.is_empty() {
+        return Err(CmdError::BadKey {
+            detail: "key must be non-empty",
+        });
+    }
+    if tok.len() > MAX_KEY {
+        return Err(CmdError::BadKey {
+            detail: "key exceeds the 128-byte limit",
+        });
+    }
+    Ok(tok.to_string())
+}
+
+/// Parse the trailing window clause: `time <now> <range>` or `last <n>`.
+fn window(toks: &[&str]) -> Result<WindowSpec, CmdError> {
+    match toks {
+        ["time", now, range] => Ok(WindowSpec::time(
+            num(now, "window now")?,
+            num(range, "window range")?,
+        )),
+        ["last", n] => Ok(WindowSpec::last(num(n, "window last_n")?)),
+        [] => Err(CmdError::BadWindow {
+            detail: "missing window clause: time <now> <range> | last <n>",
+        }),
+        _ => Err(CmdError::BadWindow {
+            detail: "expected: time <now> <range> | last <n>",
+        }),
+    }
+}
+
+fn threshold(tok: &str) -> Result<Threshold, CmdError> {
+    let bad = || CmdError::BadThreshold {
+        got: truncate_for_display(tok),
+    };
+    if let Some(rest) = tok.strip_prefix("rel:") {
+        let phi: f64 = rest.parse().map_err(|_| bad())?;
+        if !(phi > 0.0 && phi < 1.0) {
+            return Err(bad());
+        }
+        Ok(Threshold::Relative(phi))
+    } else if let Some(rest) = tok.strip_prefix("abs:") {
+        let n: f64 = rest.parse().map_err(|_| bad())?;
+        if !(n.is_finite() && n >= 0.0) {
+            return Err(bad());
+        }
+        Ok(Threshold::Absolute(n))
+    } else {
+        Err(bad())
+    }
+}
+
+/// Parse the `(ts, item, count)` tail shared by `STORE` and batch data
+/// lines.
+fn event_tail(toks: &[&str], verb: &'static str) -> Result<(u64, u64, u64), CmdError> {
+    let (ts_tok, item_tok, count_tok) = match toks {
+        [ts, item] => (*ts, *item, None),
+        [ts, item, count] => (*ts, *item, Some(*count)),
+        _ => {
+            return Err(CmdError::WrongArity {
+                verb,
+                expected: "<key> <ts> <item> [<count>]",
+            })
+        }
+    };
+    let ts = num(ts_tok, "ts")?;
+    let item = num(item_tok, "item")?;
+    let count: u64 = match count_tok {
+        None => 1,
+        Some(tok) => num(tok, "count")?,
+    };
+    if count == 0 || count > MAX_COUNT {
+        return Err(CmdError::BadNumber {
+            what: "count",
+            got: truncate_for_display(count_tok.unwrap_or("0")),
+        });
+    }
+    Ok((ts, item, count))
+}
+
+/// Parse one command line (everything except `BATCH` body lines).
+///
+/// # Errors
+/// A [`CmdError`] describing exactly what was malformed; never panics.
+pub fn parse_command(line: &[u8]) -> Result<Command, CmdError> {
+    let toks = tokens(line)?;
+    match toks[0] {
+        "PING" => match toks.len() {
+            1 => Ok(Command::Ping),
+            _ => Err(CmdError::WrongArity {
+                verb: "PING",
+                expected: "no arguments",
+            }),
+        },
+        "STORE" => {
+            if toks.len() < 2 {
+                return Err(CmdError::WrongArity {
+                    verb: "STORE",
+                    expected: "<key> <ts> <item> [<count>]",
+                });
+            }
+            let key = key(toks[1])?;
+            let (ts, item, count) = event_tail(&toks[2..], "STORE")?;
+            Ok(Command::Store {
+                key,
+                ts,
+                item,
+                count,
+            })
+        }
+        "BATCH" => {
+            if toks.len() != 2 {
+                return Err(CmdError::WrongArity {
+                    verb: "BATCH",
+                    expected: "<n>",
+                });
+            }
+            let n: usize = num(toks[1], "batch size")?;
+            if n == 0 {
+                return Err(CmdError::EmptyBatch);
+            }
+            if n > MAX_BATCH {
+                return Err(CmdError::BatchTooLarge {
+                    got: n,
+                    limit: MAX_BATCH,
+                });
+            }
+            Ok(Command::Batch { n })
+        }
+        "QUERY" => {
+            if toks.len() < 3 {
+                return Err(CmdError::WrongArity {
+                    verb: "QUERY",
+                    expected: "<key> <kind> [args…] <window>",
+                });
+            }
+            let key = key(toks[1])?;
+            let (query, rest) = match toks[2] {
+                "point" => {
+                    if toks.len() < 4 {
+                        return Err(CmdError::WrongArity {
+                            verb: "QUERY",
+                            expected: "<key> point <item> <window>",
+                        });
+                    }
+                    (
+                        OwnedQuery::Point {
+                            item: num(toks[3], "item")?,
+                        },
+                        &toks[4..],
+                    )
+                }
+                "self_join" => (OwnedQuery::SelfJoin, &toks[3..]),
+                "range" => {
+                    if toks.len() < 5 {
+                        return Err(CmdError::WrongArity {
+                            verb: "QUERY",
+                            expected: "<key> range <lo> <hi> <window>",
+                        });
+                    }
+                    (
+                        OwnedQuery::Range {
+                            lo: num(toks[3], "range lo")?,
+                            hi: num(toks[4], "range hi")?,
+                        },
+                        &toks[5..],
+                    )
+                }
+                "heavy_hitters" => {
+                    if toks.len() < 4 {
+                        return Err(CmdError::WrongArity {
+                            verb: "QUERY",
+                            expected: "<key> heavy_hitters <rel:φ|abs:n> <window>",
+                        });
+                    }
+                    (
+                        OwnedQuery::HeavyHitters {
+                            threshold: threshold(toks[3])?,
+                        },
+                        &toks[4..],
+                    )
+                }
+                "quantile" => {
+                    if toks.len() < 4 {
+                        return Err(CmdError::WrongArity {
+                            verb: "QUERY",
+                            expected: "<key> quantile <phi> <window>",
+                        });
+                    }
+                    let phi: f64 = num(toks[3], "phi")?;
+                    (OwnedQuery::Quantile { phi }, &toks[4..])
+                }
+                "total" => (OwnedQuery::Total, &toks[3..]),
+                other => {
+                    return Err(CmdError::UnknownVerb {
+                        verb: format!("QUERY {}", truncate_for_display(other)),
+                    })
+                }
+            };
+            Ok(Command::Query {
+                key,
+                query,
+                window: window(rest)?,
+            })
+        }
+        "TOPK" => {
+            if toks.len() < 2 {
+                return Err(CmdError::WrongArity {
+                    verb: "TOPK",
+                    expected: "<k> <window>",
+                });
+            }
+            let k: usize = num(toks[1], "k")?;
+            if k == 0 {
+                return Err(CmdError::BadNumber {
+                    what: "k",
+                    got: "0".to_string(),
+                });
+            }
+            Ok(Command::TopK {
+                k,
+                window: window(&toks[2..])?,
+            })
+        }
+        "STATS" => match toks.len() {
+            1 => Ok(Command::Stats),
+            _ => Err(CmdError::WrongArity {
+                verb: "STATS",
+                expected: "no arguments",
+            }),
+        },
+        "FLUSH" => match toks.len() {
+            2 => Ok(Command::Flush {
+                ts: num(toks[1], "ts")?,
+            }),
+            _ => Err(CmdError::WrongArity {
+                verb: "FLUSH",
+                expected: "<ts>",
+            }),
+        },
+        "SNAPSHOT" => {
+            let incremental = match toks.len() {
+                2 => false,
+                3 => match toks[2] {
+                    "full" => false,
+                    "incr" => true,
+                    _ => {
+                        return Err(CmdError::WrongArity {
+                            verb: "SNAPSHOT",
+                            expected: "<dir> [full|incr]",
+                        })
+                    }
+                },
+                _ => {
+                    return Err(CmdError::WrongArity {
+                        verb: "SNAPSHOT",
+                        expected: "<dir> [full|incr]",
+                    })
+                }
+            };
+            Ok(Command::Snapshot {
+                dir: toks[1].to_string(),
+                incremental,
+            })
+        }
+        "SHUTDOWN" => match toks.len() {
+            1 => Ok(Command::Shutdown),
+            _ => Err(CmdError::WrongArity {
+                verb: "SHUTDOWN",
+                expected: "no arguments",
+            }),
+        },
+        other => Err(CmdError::UnknownVerb {
+            verb: truncate_for_display(other),
+        }),
+    }
+}
+
+/// Parse one `BATCH` body line: `<key> <ts> <item> [<count>]`.
+///
+/// # Errors
+/// A [`CmdError`]; never panics.
+pub fn parse_data_line(line: &[u8]) -> Result<(String, StreamEvent, u64), CmdError> {
+    let toks = tokens(line)?;
+    if toks.len() < 3 {
+        return Err(CmdError::WrongArity {
+            verb: "BATCH line",
+            expected: "<key> <ts> <item> [<count>]",
+        });
+    }
+    let key = key(toks[0])?;
+    let (ts, item, count) = event_tail(&toks[1..], "BATCH line")?;
+    Ok((key, StreamEvent::new(item, ts), count))
+}

@@ -1,0 +1,165 @@
+//! JSON response rendering — one object per line, hand-rolled (the
+//! container has no JSON dependency).
+//!
+//! Numbers are rendered with Rust's shortest-round-trip `f64` formatting,
+//! so a response is **bit-identical** to the in-process estimate it
+//! reports: the end-to-end test renders the same [`Answer`] through the
+//! same functions on both sides and compares strings. Non-finite values
+//! (which no correct backend produces) render as `null` rather than
+//! emitting invalid JSON.
+
+use ecm::{Answer, Estimate, QueryError};
+
+use crate::engine::{ShardStats, SnapshotReport};
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Shortest-round-trip rendering of a finite `f64`; `null` otherwise.
+fn float(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn estimate(e: &Estimate) -> String {
+    let guarantee = match e.guarantee {
+        Some(g) => format!(
+            "{{\"epsilon\":{},\"delta\":{}}}",
+            float(g.epsilon),
+            float(g.delta)
+        ),
+        None => "null".to_string(),
+    };
+    format!("\"value\":{},\"guarantee\":{}", float(e.value), guarantee)
+}
+
+/// `{"ok":false,...}` with a machine-readable code and a human detail.
+pub fn error(code: &str, detail: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":\"{}\",\"detail\":\"{}\"}}",
+        escape(code),
+        escape(detail)
+    )
+}
+
+/// A [`QueryError`] as a response line.
+pub fn query_error(e: &QueryError) -> String {
+    error("query", &e.to_string())
+}
+
+/// Reply to `PING`.
+pub fn pong() -> String {
+    "{\"ok\":true,\"pong\":true}".to_string()
+}
+
+/// Ack for `STORE` / `BATCH`: `n` event occurrences accepted.
+pub fn ingested(n: u64) -> String {
+    format!("{{\"ok\":true,\"ingested\":{n}}}")
+}
+
+/// Ack for `FLUSH`.
+pub fn flushed(ts: u64) -> String {
+    format!("{{\"ok\":true,\"advanced_to\":{ts}}}")
+}
+
+/// Ack for `SHUTDOWN` (sent before the socket closes).
+pub fn shutdown() -> String {
+    "{\"ok\":true,\"shutdown\":true}".to_string()
+}
+
+/// A query [`Answer`] as a response line; `query` is the wire verb.
+pub fn answer(query: &str, a: &Answer) -> String {
+    match a {
+        Answer::Value(e) => format!(
+            "{{\"ok\":true,\"query\":\"{}\",{}}}",
+            escape(query),
+            estimate(e)
+        ),
+        Answer::HeavyHitters(hits) => {
+            let rows: Vec<String> = hits
+                .iter()
+                .map(|(k, e)| format!("{{\"key\":{k},{}}}", estimate(e)))
+                .collect();
+            format!(
+                "{{\"ok\":true,\"query\":\"{}\",\"hitters\":[{}]}}",
+                escape(query),
+                rows.join(",")
+            )
+        }
+        Answer::Quantile(k) => {
+            let key = match k {
+                Some(k) => k.to_string(),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"ok\":true,\"query\":\"{}\",\"key\":{key}}}",
+                escape(query)
+            )
+        }
+    }
+}
+
+/// A merged `TOPK` ranking as a response line.
+pub fn topk(rows: &[(String, f64)]) -> String {
+    let rows: Vec<String> = rows
+        .iter()
+        .map(|(k, v)| format!("{{\"key\":\"{}\",\"value\":{}}}", escape(k), float(*v)))
+        .collect();
+    format!("{{\"ok\":true,\"topk\":[{}]}}", rows.join(","))
+}
+
+/// Per-shard `STATS` as a response line, plus fleet-wide totals.
+pub fn stats(rows: &[ShardStats]) -> String {
+    let keys: usize = rows.iter().map(|s| s.keys).sum();
+    let memory: usize = rows.iter().map(|s| s.memory_bytes).sum();
+    let ingested: u64 = rows.iter().map(|s| s.ingested).sum();
+    let shards: Vec<String> = rows
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"shard\":{},\"keys\":{},\"memory_bytes\":{},\"ingested\":{},\
+                 \"checkpoint_seq\":{}}}",
+                s.shard, s.keys, s.memory_bytes, s.ingested, s.checkpoint_seq
+            )
+        })
+        .collect();
+    format!(
+        "{{\"ok\":true,\"keys\":{keys},\"memory_bytes\":{memory},\"ingested\":{ingested},\
+         \"shards\":[{}]}}",
+        shards.join(",")
+    )
+}
+
+/// A completed `SNAPSHOT` as a response line.
+pub fn snapshot(r: &SnapshotReport) -> String {
+    format!(
+        "{{\"ok\":true,\"snapshot\":\"{}\",\"dir\":\"{}\",\"shards\":{},\"bytes\":{}}}",
+        if r.incremental { "incr" } else { "full" },
+        escape(&r.dir),
+        r.shards,
+        r.bytes
+    )
+}
+
+/// Whether a response line reports success (cheap client-side check that
+/// avoids a JSON parser).
+pub fn is_ok(resp: &str) -> bool {
+    resp.starts_with("{\"ok\":true")
+}

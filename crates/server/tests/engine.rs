@@ -1,0 +1,134 @@
+//! Engine-level tests below the TCP layer: routing determinism, the
+//! ingest gate, typed refusals, and backpressure-safe shutdown.
+
+use ecm::StreamEvent;
+use sketch_server::engine::{fnv1a, route, Engine, EngineError};
+use sketch_server::protocol::OwnedQuery;
+use sketch_server::{ServerConfig, SketchSpec, WindowSpec};
+
+fn spec() -> SketchSpec {
+    SketchSpec::time(10_000).epsilon(0.2).delta(0.2).seed(3)
+}
+
+#[test]
+fn fnv1a_matches_the_reference_vectors() {
+    // Published FNV-1a 64-bit test vectors.
+    assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+    assert_eq!(fnv1a("a"), 0xaf63_dc4c_8601_ec8c);
+    assert_eq!(fnv1a("foobar"), 0x85944171f73967e8);
+}
+
+#[test]
+fn routing_is_deterministic_and_covers_all_shards() {
+    let n = 8;
+    for key in ["alice", "bob", "user-123", ""] {
+        assert_eq!(route(key, n), route(key, n), "stable for {key:?}");
+        assert!(route(key, n) < n);
+    }
+    // 1000 distinct keys must not all collapse onto a few shards.
+    let mut hit = vec![false; n];
+    for i in 0..1000 {
+        hit[route(&format!("key-{i}"), n)] = true;
+    }
+    assert!(hit.iter().all(|&h| h), "every shard owns some keys");
+}
+
+#[test]
+fn config_domain_errors_are_typed() {
+    let err = Engine::start(&ServerConfig::new(spec()).shards(0)).expect_err("0 shards");
+    assert!(matches!(err, EngineError::InvalidConfig(_)));
+    let err = Engine::start(&ServerConfig::new(spec()).mailbox_depth(0)).expect_err("0 depth");
+    assert!(matches!(err, EngineError::InvalidConfig(_)));
+    let bad_spec = SketchSpec::time(10_000).epsilon(0.0);
+    let err = Engine::start(&ServerConfig::new(bad_spec)).expect_err("bad spec");
+    assert!(matches!(err, EngineError::Spec(_)));
+}
+
+#[test]
+fn hierarchy_universe_guard_rejects_the_whole_batch() {
+    let cfg = ServerConfig::new(spec().hierarchy(4)).shards(2);
+    let engine = Engine::start(&cfg).expect("engine");
+    // Item 16 is outside the 2^4 universe: reject, and apply nothing.
+    let batch = vec![
+        ("a".to_string(), StreamEvent::new(3, 1), 1),
+        ("b".to_string(), StreamEvent::new(16, 1), 1),
+    ];
+    let err = engine.ingest(&batch).expect_err("out of universe");
+    assert!(matches!(
+        err,
+        EngineError::ItemOutOfUniverse { item: 16, bits: 4 }
+    ));
+    let stats = engine.stats().expect("stats");
+    assert_eq!(stats.iter().map(|s| s.ingested).sum::<u64>(), 0);
+    engine.shutdown().expect("shutdown");
+}
+
+#[test]
+fn oversized_weighted_batches_are_refused() {
+    let engine = Engine::start(&ServerConfig::new(spec()).shards(1)).expect("engine");
+    let heavy: Vec<_> = (0..8)
+        .map(|i| (format!("k{i}"), StreamEvent::new(1, 1), 1 << 20))
+        .collect();
+    let err = engine.ingest(&heavy).expect_err("too heavy");
+    assert!(matches!(err, EngineError::IngestTooHeavy { .. }));
+    engine.shutdown().expect("shutdown");
+}
+
+#[test]
+fn shutdown_is_idempotent_and_closes_the_gate() {
+    let engine = Engine::start(&ServerConfig::new(spec()).shards(2)).expect("engine");
+    engine
+        .ingest(&[("k".to_string(), StreamEvent::new(1, 5), 2)])
+        .expect("ingest");
+    engine.shutdown().expect("first shutdown");
+    engine.shutdown().expect("second shutdown is a no-op");
+    assert!(engine.is_down());
+
+    let w = WindowSpec::time(10, 10);
+    assert!(matches!(
+        engine.ingest(&[("k".to_string(), StreamEvent::new(1, 6), 1)]),
+        Err(EngineError::ShuttingDown)
+    ));
+    assert!(matches!(
+        engine.query("k", &OwnedQuery::Total, w),
+        Err(EngineError::ShuttingDown)
+    ));
+    assert!(matches!(engine.stats(), Err(EngineError::ShuttingDown)));
+    assert!(matches!(engine.flush(10), Err(EngineError::ShuttingDown)));
+}
+
+#[test]
+fn tiny_mailboxes_still_drain_everything() {
+    // Depth-1 mailboxes: every send blocks until the worker drains —
+    // pure backpressure, zero loss.
+    let cfg = ServerConfig::new(spec()).shards(2).mailbox_depth(1);
+    let engine = Engine::start(&cfg).expect("engine");
+    for i in 0..200u64 {
+        engine
+            .ingest(&[(format!("k{}", i % 7), StreamEvent::new(i % 8, 1 + i), 1)])
+            .expect("ingest under backpressure");
+    }
+    let stats = engine.stats().expect("stats");
+    assert_eq!(stats.iter().map(|s| s.ingested).sum::<u64>(), 200);
+    assert_eq!(stats.iter().map(|s| s.keys).sum::<usize>(), 7);
+    assert!(stats.iter().all(|s| s.memory_bytes > 0 || s.keys == 0));
+    engine.shutdown().expect("shutdown");
+}
+
+#[test]
+fn broadcast_top_k_merges_like_one_store() {
+    let engine = Engine::start(&ServerConfig::new(spec()).shards(4)).expect("engine");
+    // Distinct volumes: k0 gets 50, k1 gets 40, ... k4 gets 10.
+    let mut batch = Vec::new();
+    for (i, n) in [(0u64, 50u64), (1, 40), (2, 30), (3, 20), (4, 10)] {
+        batch.push((format!("k{i}"), StreamEvent::new(1, 100), n));
+    }
+    engine.ingest(&batch).expect("ingest");
+    let top = engine
+        .top_k(3, WindowSpec::time(100, 10_000))
+        .expect("top_k");
+    let names: Vec<&str> = top.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(names, ["k0", "k1", "k2"]);
+    assert!(top[0].1 > top[1].1 && top[1].1 > top[2].1);
+    engine.shutdown().expect("shutdown");
+}

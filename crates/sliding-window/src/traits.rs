@@ -74,13 +74,16 @@ impl WindowGuarantee {
 /// the occurrences had arrived one at a time (and keeps independently built
 /// waves losslessly mergeable); deterministic synopses ignore the ids and
 /// only count the `n` bits.
-pub trait WindowCounter: Clone + std::fmt::Debug {
+pub trait WindowCounter: Clone + std::fmt::Debug + Send {
     /// Constructor parameters (window length, error targets, seeds, ...).
-    type Config: Clone + std::fmt::Debug;
+    /// `Send` (like the counter and its grid) so whole sketches can move
+    /// onto worker threads — the serving layer shards its store per
+    /// thread.
+    type Config: Clone + std::fmt::Debug + Send;
 
     /// Memory layout used when this counter fills a grid of sketch cells
     /// (see the [trait docs](WindowCounter#grid-storage)).
-    type GridStorage: crate::grid::CellStorage<Self>;
+    type GridStorage: crate::grid::CellStorage<Self> + Send;
 
     /// Create an empty counter.
     fn new(cfg: &Self::Config) -> Self;

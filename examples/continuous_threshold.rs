@@ -4,16 +4,130 @@
 //! recent window is above a threshold — while communicating only when some
 //! site's local drift ball actually crosses it.
 //!
+//! The union stream is also mirrored into a live `sketchd` through the
+//! pipelining `sketch-client`: an in-process server by default, or an
+//! external one when `SKETCHD_ADDR` is set (start it with a matching spec,
+//! e.g. `SKETCHD_WINDOW=5000 SKETCHD_SEED=99`). At every synchronization
+//! point the server's windowed self-join estimate is cross-checked against
+//! the coordinator's value — the network path and the in-process geometric
+//! method must tell the same story.
+//!
 //! ```bash
 //! cargo run --release --example continuous_threshold
+//! # or against an already-running server:
+//! SKETCHD_ADDR=127.0.0.1:7070 cargo run --release --example continuous_threshold
 //! ```
 
 use distributed::{GeometricMonitor, MonitorEvent, SelfJoinFn};
 use ecm::{EcmBuilder, EcmEh, QueryKind};
+use sketch_server::protocol::response::is_ok;
+use sketch_server::{Client, Server, ServerConfig, SketchSpec};
 use stream_gen::Event;
 
 const SITES: u32 = 4;
 const WINDOW: u64 = 5_000;
+/// Events buffered client-side before they are shipped in one `BATCH` frame.
+const MIRROR_BATCH: usize = 512;
+
+/// Mirror of the union stream inside a real `sketchd`.
+///
+/// Every event the monitor observes is also shipped to a server under one
+/// tenant key, and each synchronization point additionally asks the server
+/// for the windowed self-join over the wire.
+struct ServerMirror {
+    client: Client,
+    /// `Some` when the example spawned its own in-process server (the
+    /// default); `None` when `SKETCHD_ADDR` named an external one.
+    spawned: Option<Server>,
+    pending: Vec<String>,
+    /// Per-sync rows: (t, coordinator f(avg), served f(avg), above).
+    checks: Vec<(u64, f64, f64, bool)>,
+}
+
+impl ServerMirror {
+    fn start() -> ServerMirror {
+        let (client, spawned) = match std::env::var("SKETCHD_ADDR") {
+            Ok(addr) => {
+                println!("mirroring the union stream to live sketchd at {addr}");
+                let client = Client::connect(&addr).expect("connect to SKETCHD_ADDR");
+                (client, None)
+            }
+            Err(_) => {
+                // Same accuracy contract as the sites: the InnerProduct
+                // split spends the ε budget the way a self-join caller
+                // should.
+                let spec = SketchSpec::time(WINDOW)
+                    .epsilon(0.1)
+                    .delta(0.1)
+                    .seed(99)
+                    .query_kind(QueryKind::InnerProduct);
+                let server =
+                    Server::start(ServerConfig::new(spec)).expect("start in-process sketchd");
+                let addr = server.local_addr();
+                println!("mirroring the union stream to in-process sketchd at {addr}");
+                let client = Client::connect(addr).expect("connect to in-process sketchd");
+                (client, Some(server))
+            }
+        };
+        ServerMirror {
+            client,
+            spawned,
+            pending: Vec::new(),
+            checks: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, ev: &Event) {
+        self.pending.push(format!("union {} {}", ev.ts, ev.key));
+        if self.pending.len() >= MIRROR_BATCH {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let ack = self.client.batch(&self.pending).expect("BATCH ingest");
+        assert!(is_ok(&ack), "server refused a mirrored batch: {ack}");
+        self.pending.clear();
+    }
+
+    /// At a sync point: drain the mirror, then ask the server for the same
+    /// self-join the coordinator just evaluated. The served estimate is for
+    /// F2 of the raw union stream; dividing by n² puts it on the monitor's
+    /// f(avg) scale.
+    fn cross_check(&mut self, t: u64, monitor_value: f64, above: bool) {
+        self.flush();
+        let resp = self
+            .client
+            .call(&format!("QUERY union self_join time {t} {WINDOW}"))
+            .expect("self-join query");
+        assert!(is_ok(&resp), "self-join query failed: {resp}");
+        let served = json_value(&resp) / f64::from(SITES * SITES);
+        self.checks.push((t, monitor_value, served, above));
+    }
+
+    /// Drain what is left and, if the server is ours, take it down cleanly.
+    fn finish(mut self) {
+        self.flush();
+        if self.spawned.is_some() {
+            let ack = self.client.call("SHUTDOWN").expect("SHUTDOWN");
+            assert!(is_ok(&ack), "shutdown refused: {ack}");
+        }
+        if let Some(server) = self.spawned.take() {
+            server.join();
+        }
+    }
+}
+
+/// Pull the `"value":` field out of a one-line JSON reply.
+fn json_value(resp: &str) -> f64 {
+    let idx = resp.find("\"value\":").expect("reply carries a value");
+    let rest = &resp[idx + "\"value\":".len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].parse().expect("numeric value")
+}
 
 fn main() {
     let cfg = EcmBuilder::new(0.1, 0.1, WINDOW)
@@ -43,6 +157,8 @@ fn main() {
         cfg.width, cfg.depth
     );
 
+    let mut mirror = ServerMirror::start();
+
     // Phase 1: diverse traffic (low skew). Phase 2: one key floods (skew
     // spikes → crossing). Phase 3: flood stops; window drains (crossing
     // back down).
@@ -60,8 +176,10 @@ fn main() {
             site: (t % u64::from(SITES)) as u32,
         };
         events_seen += 1;
+        mirror.record(&ev);
         if let MonitorEvent::Synced { value, above } = monitor.observe(ev) {
             crossings.push((t, value, above));
+            mirror.cross_check(t, value, above);
         }
     }
 
@@ -92,4 +210,26 @@ fn main() {
         !crossings.last().unwrap().2,
         "after the window drains the function must come back down"
     );
+
+    println!("\nserved self-join at sync points (both on the f(avg) scale):");
+    for &(t, coordinator, served, above) in mirror.checks.iter().take(12) {
+        println!(
+            "  t = {t:>6}: coordinator ≈ {coordinator:>10.0}, served ≈ {served:>10.0} → {}",
+            if above { "ABOVE" } else { "below" }
+        );
+    }
+    if mirror.checks.len() > 12 {
+        println!("  ... ({} more)", mirror.checks.len() - 12);
+    }
+    // CM inner-product estimates never undershoot, so during the flood
+    // (true f(avg) ≈ 1M ≫ threshold) the served value must agree with the
+    // coordinator that the function is above.
+    assert!(
+        mirror
+            .checks
+            .iter()
+            .any(|&(_, _, served, above)| above && served >= threshold),
+        "the served self-join must also see the flood cross the threshold"
+    );
+    mirror.finish();
 }
