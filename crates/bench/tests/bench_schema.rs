@@ -324,3 +324,51 @@ fn store_bench_rates_are_sane_and_the_facade_is_not_ruinous() {
     }
     assert_eq!(rows, 2, "expected exactly the 10k and 100k key rows");
 }
+
+#[test]
+fn wal_bench_schema_is_valid() {
+    let text = load_file("BENCH_wal.json");
+    assert_eq!(field_f64(&text, "schema_version") as u64, 1);
+    assert!(text.contains("\"bench\": \"wal\""));
+    assert!(field_f64(&text, "events") >= 1_000.0, "workload too small");
+    assert!(field_f64(&text, "shards") >= 1.0);
+    assert!(field_f64(&text, "batch") >= 1.0);
+    // All three ingest modes and at least two replay lengths are recorded.
+    for key in ["off_meps", "on_meps", "on_over_off", "fsync_meps"] {
+        assert!(field_f64(&text, key) > 0.0, "{key} must be positive");
+    }
+    assert!(
+        text.split("\"wal_events\": ").skip(1).count() >= 2,
+        "expected several replay log lengths"
+    );
+}
+
+#[test]
+fn wal_bench_durability_tax_and_replay_meet_the_floors() {
+    let text = load_file("BENCH_wal.json");
+    let off = field_f64(&text, "off_meps");
+    let on = field_f64(&text, "on_meps");
+    let ratio = field_f64(&text, "on_over_off");
+    // The recorded ratio must be consistent with the recorded rates.
+    let implied = on / off;
+    assert!(
+        (ratio - implied).abs() <= 0.05 * implied,
+        "on_over_off {ratio} inconsistent with rates ({implied:.3})"
+    );
+    // Acceptance floor: ack-after-append may not cost more than half the
+    // enqueue-is-ack throughput (measured ~1x on the recording box — the
+    // append is a buffered page-cache write on the shard's own thread).
+    assert!(
+        ratio >= 0.5,
+        "durability tax regressed: on is {ratio}x of off (< 0.5)"
+    );
+    for chunk in text.split("\"wal_events\": ").skip(1) {
+        let events = field_f64(chunk, "replay_ms");
+        let meps = field_f64(chunk, "replay_meps");
+        assert!(events > 0.0);
+        // Acceptance floor: recovery replays at least 1M events/s
+        // (measured ~3.3 Meps), so even a maximal 16 MiB-per-shard log is
+        // replayed in well under a second.
+        assert!(meps >= 1.0, "replay throughput regressed: {meps} Meps < 1");
+    }
+}

@@ -60,6 +60,7 @@ pub mod query;
 pub mod sketch;
 pub mod snapshot;
 pub mod store;
+pub mod wal;
 
 pub use api::{Backend, Clock, Sketch, SketchSpec, SketchWriter, SpecBackend, SpecError};
 pub use concurrent::{partition_pairs, ShardedEcm};
@@ -76,3 +77,4 @@ pub use snapshot::{
     restore_any, restore_sketch, snapshot_sketch, SnapshotError, SnapshotKey, SNAPSHOT_VERSION,
 };
 pub use store::{Eviction, MemoryReport, SketchStore};
+pub use wal::{ReplayReport, WalRecord, WalSegment, WalSegmentHeader, WAL_VERSION};

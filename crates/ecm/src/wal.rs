@@ -1,0 +1,819 @@
+//! Per-shard write-ahead logging for [`SketchStore`] fleets.
+//!
+//! Snapshots ([`store`](crate::store)) bound recovery loss to "everything
+//! since the last checkpoint" — for the paper's continuous monitoring
+//! setting that is still too much: an acked event must survive a crash.
+//! This module closes the gap with an append-only log of ingest runs,
+//! written *before* the events are applied (and before the caller's ack),
+//! so recovery = latest snapshot + WAL replay reproduces a never-crashed
+//! store bit for bit, by the same arrival-id-sequence argument the
+//! snapshot differential tests already prove.
+//!
+//! A log is a chain of **segment** files. Each segment opens with a
+//! checksummed header and carries length-framed, checksummed,
+//! sequence-numbered records:
+//!
+//! ```text
+//! segment header                          one record (repeated)
+//! ┌───────┬─────────┬───────┬─────────┬──────────┬──────────┬──────────┐
+//! │ magic │ version │ shard │ segment │ base rec │ base ckpt│ checksum │
+//! │ "EL"  │   u8    │varint │ varint  │  varint  │  varint  │ u64 FNV  │
+//! └───────┴─────────┴───────┴─────────┴──────────┴──────────┴──────────┘
+//! ┌──────────┬──────┬─────────┬─────────────────────────────┬──────────┐
+//! │ body len │ kind │ rec seq │ payload                     │ checksum │
+//! │  varint  │  u8  │ varint  │ ingest run / checkpoint seq │ u64 FNV  │
+//! └──────────┴──────┴─────────┴─────────────────────────────┴──────────┘
+//! ```
+//!
+//! Two record kinds exist: an **ingest** record carries one batched run of
+//! keyed [`StreamEvent`]s (the unit the store applies), and a
+//! **checkpoint marker** records that checkpoint `checkpoint_seq` was cut
+//! at this point of the stream. Markers are appended *before* the
+//! checkpoint file is written, so a crash between the two leaves a chain
+//! that still replays from the previous marker. [`replay`] finds the last
+//! marker matching the restored store's
+//! [`checkpoint_seq`](SketchStore::checkpoint_seq) and re-applies every
+//! ingest record after it (skipping markers of checkpoints that never
+//! landed).
+//!
+//! Torn-tail handling is typed, never a panic: a final record (or final
+//! segment header) with too few bytes is the interrupted last write — it
+//! is silently dropped and [`ReplayReport::torn_tail`] is set so the owner
+//! can truncate the file and keep appending. A *complete* record that
+//! fails its checksum, a gap in record sequence numbers, or corruption
+//! anywhere before the tail is a hard [`SnapshotError`]: the log is not
+//! trustworthy and replay refuses to guess.
+
+use std::hash::Hash;
+
+use crate::sketch::StreamEvent;
+use crate::snapshot::{checksum, SnapshotError, SnapshotKey};
+use crate::store::SketchStore;
+use sliding_window::codec::{get_u64, get_u8, get_varint, put_u64, put_u8, put_varint};
+use sliding_window::CodecError;
+
+/// Current WAL format version. Bump on any layout change; older readers
+/// reject newer logs with [`SnapshotError::UnsupportedVersion`].
+pub const WAL_VERSION: u8 = 1;
+
+/// Leading magic of every WAL segment ("ECM Log").
+pub(crate) const WAL_MAGIC: [u8; 2] = *b"EL";
+
+const KIND_INGEST: u8 = 0;
+const KIND_CHECKPOINT: u8 = 1;
+
+/// The self-describing header opening every segment file: which shard the
+/// log belongs to, the segment's position in the chain, and the record /
+/// checkpoint sequences the segment continues from (so replay can verify
+/// chain contiguity after older segments were truncated away).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalSegmentHeader {
+    /// Shard index the log belongs to.
+    pub shard: u64,
+    /// This segment's index in the chain (1-based, contiguous).
+    pub segment: u64,
+    /// Sequence number of the last record written before this segment
+    /// (0 for the first segment of a fresh log).
+    pub base_record_seq: u64,
+    /// The owning store's checkpoint sequence when the segment was opened
+    /// (informational; replay chains on markers, not on this).
+    pub base_checkpoint_seq: u64,
+}
+
+/// Encode a segment header (magic, version, fields, checksum).
+pub fn encode_segment_header(h: &WalSegmentHeader) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32);
+    buf.extend_from_slice(&WAL_MAGIC);
+    put_u8(&mut buf, WAL_VERSION);
+    put_varint(&mut buf, h.shard);
+    put_varint(&mut buf, h.segment);
+    put_varint(&mut buf, h.base_record_seq);
+    put_varint(&mut buf, h.base_checkpoint_seq);
+    let sum = checksum(&buf);
+    put_u64(&mut buf, sum);
+    buf
+}
+
+/// Decode a segment header, advancing the slice past it. The checksum is
+/// verified before the header is trusted.
+///
+/// # Errors
+/// [`SnapshotError::BadMagic`], [`SnapshotError::UnsupportedVersion`],
+/// [`SnapshotError::ChecksumMismatch`], or truncation as a
+/// [`CodecError`] (callers decide whether a truncated header is a torn
+/// tail or hard corruption).
+pub fn decode_segment_header(input: &mut &[u8]) -> Result<WalSegmentHeader, SnapshotError> {
+    let start = *input;
+    if input.len() < WAL_MAGIC.len() {
+        return Err(CodecError::Truncated {
+            context: "wal magic",
+        }
+        .into());
+    }
+    if start[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    *input = &input[WAL_MAGIC.len()..];
+    let version = get_u8(input, "wal version")?;
+    if version != WAL_VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    let header = WalSegmentHeader {
+        shard: get_varint(input, "wal shard")?,
+        segment: get_varint(input, "wal segment index")?,
+        base_record_seq: get_varint(input, "wal base record seq")?,
+        base_checkpoint_seq: get_varint(input, "wal base checkpoint seq")?,
+    };
+    let covered = start.len() - input.len();
+    let expected = checksum(&start[..covered]);
+    let found = get_u64(input, "wal header checksum")?;
+    if found != expected {
+        return Err(SnapshotError::ChecksumMismatch {
+            context: "wal segment header",
+        });
+    }
+    Ok(header)
+}
+
+/// One decoded log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord<K> {
+    /// A batched ingest run, exactly as the store applied (or will
+    /// re-apply) it.
+    Ingest {
+        /// This record's sequence number (contiguous per log).
+        seq: u64,
+        /// The keyed events of the run, in arrival order.
+        events: Vec<(K, StreamEvent)>,
+    },
+    /// Checkpoint `checkpoint_seq` was cut here: everything before this
+    /// point is captured by that checkpoint (if it landed on disk).
+    Checkpoint {
+        /// This record's sequence number (contiguous per log).
+        seq: u64,
+        /// The store checkpoint sequence the marker chains to.
+        checkpoint_seq: u64,
+    },
+}
+
+impl<K> WalRecord<K> {
+    /// The record's sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            WalRecord::Ingest { seq, .. } | WalRecord::Checkpoint { seq, .. } => *seq,
+        }
+    }
+}
+
+/// Frame `body` as one record: `[varint len][body][u64 FNV over both]`.
+fn frame_record(body: &[u8], buf: &mut Vec<u8>) {
+    let start = buf.len();
+    put_varint(buf, body.len() as u64);
+    buf.extend_from_slice(body);
+    let sum = checksum(&buf[start..]);
+    put_u64(buf, sum);
+}
+
+/// Append one ingest record for `events` with sequence number `seq`.
+pub fn encode_ingest<K: SnapshotKey>(seq: u64, events: &[(K, StreamEvent)], buf: &mut Vec<u8>) {
+    let mut body = Vec::with_capacity(16 + events.len() * 6);
+    put_u8(&mut body, KIND_INGEST);
+    put_varint(&mut body, seq);
+    put_varint(&mut body, events.len() as u64);
+    for (key, event) in events {
+        key.encode_key(&mut body);
+        put_varint(&mut body, event.item);
+        put_varint(&mut body, event.ts);
+    }
+    frame_record(&body, buf);
+}
+
+/// Append one checkpoint marker chaining to `checkpoint_seq`.
+pub fn encode_checkpoint(seq: u64, checkpoint_seq: u64, buf: &mut Vec<u8>) {
+    let mut body = Vec::with_capacity(8);
+    put_u8(&mut body, KIND_CHECKPOINT);
+    put_varint(&mut body, seq);
+    put_varint(&mut body, checkpoint_seq);
+    frame_record(&body, buf);
+}
+
+/// Decode one checksum-verified record body.
+fn decode_body<K: SnapshotKey>(input: &mut &[u8]) -> Result<WalRecord<K>, SnapshotError> {
+    let kind = get_u8(input, "wal record kind")?;
+    let seq = get_varint(input, "wal record seq")?;
+    match kind {
+        KIND_INGEST => {
+            let n = get_varint(input, "wal run length")? as usize;
+            // The run length is checksummed, but cap the pre-allocation so
+            // an (impossibly) crafted record cannot demand gigabytes up
+            // front; the vector still grows to any honest length.
+            let mut events = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let key = K::decode_key(input)?;
+                let item = get_varint(input, "wal event item")?;
+                let ts = get_varint(input, "wal event ts")?;
+                events.push((key, StreamEvent::new(item, ts)));
+            }
+            Ok(WalRecord::Ingest { seq, events })
+        }
+        KIND_CHECKPOINT => Ok(WalRecord::Checkpoint {
+            seq,
+            checkpoint_seq: get_varint(input, "wal checkpoint seq")?,
+        }),
+        _ => Err(CodecError::Corrupt {
+            context: "wal record kind",
+        }
+        .into()),
+    }
+}
+
+/// One segment file handed to [`replay`]: its chain index (parsed from the
+/// file name) and its full contents.
+#[derive(Debug, Clone, Copy)]
+pub struct WalSegment<'a> {
+    /// The segment's index in the chain.
+    pub index: u64,
+    /// The segment file's bytes.
+    pub bytes: &'a [u8],
+}
+
+/// A decoded segment: header, complete records, and how much of the file
+/// they cover (the torn tail, if any, lies beyond `valid_len`).
+#[derive(Debug)]
+pub struct SegmentScan<K> {
+    /// The verified header, or `None` when the header itself was torn.
+    pub header: Option<WalSegmentHeader>,
+    /// Every complete, checksum-verified record, in log order.
+    pub records: Vec<WalRecord<K>>,
+    /// File bytes covered by the header and the complete records; a torn
+    /// tail starts here.
+    pub valid_len: usize,
+    /// Whether the file ended inside a record (or inside the header).
+    pub torn: bool,
+}
+
+/// Scan one segment file: verify the header, then decode records until the
+/// bytes end — cleanly, or inside an interrupted final write (`torn`).
+///
+/// # Errors
+/// Hard corruption only: bad magic, unsupported version, a checksum
+/// mismatch over *complete* bytes, a malformed checksum-valid body.
+/// Truncation anywhere is reported through `torn` + `valid_len`, not as an
+/// error — the caller knows whether this segment is allowed a torn tail.
+pub fn scan_segment<K: SnapshotKey>(bytes: &[u8]) -> Result<SegmentScan<K>, SnapshotError> {
+    let mut input = bytes;
+    let header = match decode_segment_header(&mut input) {
+        Ok(h) => h,
+        Err(SnapshotError::Codec(CodecError::Truncated { .. })) => {
+            // The file ends inside its own header: the interrupted first
+            // write of a fresh segment.
+            return Ok(SegmentScan {
+                header: None,
+                records: Vec::new(),
+                valid_len: 0,
+                torn: true,
+            });
+        }
+        Err(e) => return Err(e),
+    };
+    let mut records = Vec::new();
+    let mut valid_len = bytes.len() - input.len();
+    let mut torn = false;
+    while !input.is_empty() {
+        let frame = input;
+        let mut cur = frame;
+        let len = match get_varint(&mut cur, "wal record length") {
+            Ok(v) => v as usize,
+            Err(CodecError::Truncated { .. }) => {
+                torn = true;
+                break;
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let len_bytes = frame.len() - cur.len();
+        if cur.len() < len + 8 {
+            torn = true;
+            break;
+        }
+        let covered = &frame[..len_bytes + len];
+        let mut sum_bytes = &cur[len..len + 8];
+        let found = get_u64(&mut sum_bytes, "wal record checksum")?;
+        if found != checksum(covered) {
+            return Err(SnapshotError::ChecksumMismatch {
+                context: "wal record",
+            });
+        }
+        let mut body = &cur[..len];
+        let record = decode_body::<K>(&mut body)?;
+        if !body.is_empty() {
+            return Err(SnapshotError::TrailingBytes { count: body.len() });
+        }
+        records.push(record);
+        input = &cur[len + 8..];
+        valid_len = bytes.len() - input.len();
+    }
+    Ok(SegmentScan {
+        header: Some(header),
+        records,
+        valid_len,
+        torn,
+    })
+}
+
+/// What [`replay`] did, and what it learned about the log's tail — the
+/// owner uses `last_segment_valid_len` / `torn_tail` to truncate the
+/// interrupted write before appending again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Segments scanned.
+    pub segments: usize,
+    /// Complete records decoded across all segments.
+    pub records: u64,
+    /// Ingest records re-applied to the store (those after the chain
+    /// marker).
+    pub applied_records: u64,
+    /// Event occurrences re-applied.
+    pub applied_events: u64,
+    /// Sequence number of the last complete record (0 when the log holds
+    /// none); the owner continues appending from here.
+    pub last_seq: u64,
+    /// Whether the final segment ended inside an interrupted write.
+    pub torn_tail: bool,
+    /// Byte length of the final segment's valid prefix (0 when even its
+    /// header was torn, in which case the file holds nothing worth
+    /// keeping).
+    pub last_segment_valid_len: usize,
+}
+
+/// Replay a shard's log into its restored store: find the last checkpoint
+/// marker matching `store.checkpoint_seq()` and re-apply every ingest
+/// record after it, in log order. Markers after the chain point — cut for
+/// checkpoints that never landed on disk — are skipped.
+///
+/// `segments` must be the shard's segment files in ascending index order
+/// (the caller lists and reads them; this layer stays I/O-free).
+///
+/// # Errors
+/// * [`SnapshotError::SpecMismatch`] — a segment belongs to a different
+///   shard, or its header disagrees with its file name / chain position.
+/// * [`SnapshotError::SequenceMismatch`] — a gap in record sequence
+///   numbers, or no marker matches the store's checkpoint (the log does
+///   not continue this store).
+/// * Any hard corruption error from [`scan_segment`]; a torn tail in a
+///   non-final segment is corruption (rotation only happens after a
+///   complete write), a torn tail in the final segment is the interrupted
+///   last write and is silently dropped.
+pub fn replay<K>(
+    store: &mut SketchStore<K>,
+    shard: u64,
+    segments: &[WalSegment<'_>],
+) -> Result<ReplayReport, SnapshotError>
+where
+    K: Eq + Hash + Ord + Clone + SnapshotKey,
+{
+    let target = store.checkpoint_seq();
+    let mut report = ReplayReport {
+        segments: segments.len(),
+        records: 0,
+        applied_records: 0,
+        applied_events: 0,
+        last_seq: 0,
+        torn_tail: false,
+        last_segment_valid_len: 0,
+    };
+    let mut records: Vec<WalRecord<K>> = Vec::new();
+    let mut expected_seq: Option<u64> = None;
+    let mut prev_index: Option<u64> = None;
+    for (pos, segment) in segments.iter().enumerate() {
+        let last = pos + 1 == segments.len();
+        let scan = scan_segment::<K>(segment.bytes)?;
+        if scan.torn && !last {
+            return Err(CodecError::Corrupt {
+                context: "wal torn segment before the log tail",
+            }
+            .into());
+        }
+        if last {
+            report.torn_tail = scan.torn;
+            report.last_segment_valid_len = scan.valid_len;
+        }
+        let Some(header) = scan.header else {
+            // Header-torn final segment: the interrupted first write of a
+            // rotation; the file carries nothing.
+            continue;
+        };
+        if header.shard != shard {
+            return Err(SnapshotError::SpecMismatch {
+                detail: format!(
+                    "wal segment belongs to shard {}, expected shard {shard}",
+                    header.shard
+                ),
+            });
+        }
+        if header.segment != segment.index {
+            return Err(SnapshotError::SpecMismatch {
+                detail: format!(
+                    "wal segment header says index {}, file name says {}",
+                    header.segment, segment.index
+                ),
+            });
+        }
+        if let Some(prev) = prev_index {
+            if header.segment != prev + 1 {
+                return Err(SnapshotError::SpecMismatch {
+                    detail: format!("wal segment chain gap: {} follows {prev}", header.segment),
+                });
+            }
+        }
+        prev_index = Some(header.segment);
+        // The oldest surviving segment declares its own base; every later
+        // one must continue exactly where its predecessor stopped.
+        let mut expected = match expected_seq {
+            None => header.base_record_seq,
+            Some(e) => {
+                if header.base_record_seq != e {
+                    return Err(SnapshotError::SequenceMismatch {
+                        expected: e,
+                        found: header.base_record_seq,
+                    });
+                }
+                e
+            }
+        };
+        for record in scan.records {
+            if record.seq() != expected + 1 {
+                return Err(SnapshotError::SequenceMismatch {
+                    expected: expected + 1,
+                    found: record.seq(),
+                });
+            }
+            expected = record.seq();
+            records.push(record);
+        }
+        expected_seq = Some(expected);
+    }
+    report.records = records.len() as u64;
+    report.last_seq = records.last().map_or(0, WalRecord::seq);
+    if records.is_empty() {
+        return Ok(report);
+    }
+    let chain = records.iter().rposition(
+        |r| matches!(r, WalRecord::Checkpoint { checkpoint_seq, .. } if *checkpoint_seq == target),
+    );
+    let Some(chain) = chain else {
+        let found = records
+            .iter()
+            .rev()
+            .find_map(|r| match r {
+                WalRecord::Checkpoint { checkpoint_seq, .. } => Some(*checkpoint_seq),
+                WalRecord::Ingest { .. } => None,
+            })
+            .unwrap_or(0);
+        return Err(SnapshotError::SequenceMismatch {
+            expected: target,
+            found,
+        });
+    };
+    for record in &records[chain + 1..] {
+        if let WalRecord::Ingest { events, .. } = record {
+            store.ingest(events);
+            report.applied_records += 1;
+            report.applied_events += events.len() as u64;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::SketchSpec;
+    use crate::query::{Query, WindowSpec};
+
+    fn spec() -> SketchSpec {
+        SketchSpec::time(10_000).epsilon(0.2).delta(0.2).seed(3)
+    }
+
+    fn batch(tag: u64, base_ts: u64) -> Vec<(u64, StreamEvent)> {
+        (0..40)
+            .map(|i| (tag % 3, StreamEvent::new((tag + i) % 7, base_ts + i)))
+            .collect()
+    }
+
+    /// A log as a live shard writes it: one segment, genesis marker first.
+    fn small_log(batches: &[Vec<(u64, StreamEvent)>]) -> Vec<u8> {
+        let mut bytes = encode_segment_header(&WalSegmentHeader {
+            shard: 0,
+            segment: 1,
+            base_record_seq: 0,
+            base_checkpoint_seq: 0,
+        });
+        encode_checkpoint(1, 0, &mut bytes);
+        for (i, b) in batches.iter().enumerate() {
+            encode_ingest(2 + i as u64, b, &mut bytes);
+        }
+        bytes
+    }
+
+    fn arrivals(store: &SketchStore<u64>, key: u64) -> u64 {
+        store
+            .query(
+                &key,
+                &Query::total_arrivals(),
+                WindowSpec::time(200, 10_000),
+            )
+            .map_or(0, |r| r.unwrap().into_value().value as u64)
+    }
+
+    #[test]
+    fn header_round_trips_and_rejects_tampering() {
+        let h = WalSegmentHeader {
+            shard: 7,
+            segment: 42,
+            base_record_seq: 99,
+            base_checkpoint_seq: 3,
+        };
+        let bytes = encode_segment_header(&h);
+        let mut input = bytes.as_slice();
+        assert_eq!(decode_segment_header(&mut input).unwrap(), h);
+        assert!(input.is_empty());
+
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            decode_segment_header(&mut bad.as_slice()),
+            Err(SnapshotError::BadMagic)
+        ));
+        let mut bad = bytes.clone();
+        bad[2] = WAL_VERSION + 1;
+        assert!(matches!(
+            decode_segment_header(&mut bad.as_slice()),
+            Err(SnapshotError::UnsupportedVersion { .. })
+        ));
+        let mut bad = bytes.clone();
+        bad[4] ^= 0x10;
+        assert!(matches!(
+            decode_segment_header(&mut bad.as_slice()),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn replay_reapplies_records_after_the_chain_marker() {
+        let batches = [batch(1, 1), batch(2, 50), batch(4, 100)];
+        let mut live = SketchStore::<u64>::new(spec()).unwrap();
+        for b in &batches {
+            live.ingest(b);
+        }
+        let bytes = small_log(&batches);
+        let mut restored = SketchStore::<u64>::new(spec()).unwrap();
+        let report = replay(
+            &mut restored,
+            0,
+            &[WalSegment {
+                index: 1,
+                bytes: &bytes,
+            }],
+        )
+        .unwrap();
+        assert_eq!(report.applied_records, 3);
+        assert_eq!(report.applied_events, 120);
+        assert_eq!(report.last_seq, 4);
+        assert!(!report.torn_tail);
+        assert_eq!(report.last_segment_valid_len, bytes.len());
+        for key in 0..3 {
+            assert_eq!(arrivals(&live, key), arrivals(&restored, key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn markers_for_unlanded_checkpoints_are_skipped() {
+        // Log: marker(0), b1, marker(1) [checkpoint 1 never landed], b2.
+        let b1 = batch(1, 1);
+        let b2 = batch(2, 50);
+        let mut bytes = encode_segment_header(&WalSegmentHeader {
+            shard: 0,
+            segment: 1,
+            base_record_seq: 0,
+            base_checkpoint_seq: 0,
+        });
+        encode_checkpoint(1, 0, &mut bytes);
+        encode_ingest(2, &b1, &mut bytes);
+        encode_checkpoint(3, 1, &mut bytes);
+        encode_ingest(4, &b2, &mut bytes);
+
+        let mut live = SketchStore::<u64>::new(spec()).unwrap();
+        live.ingest(&b1);
+        live.ingest(&b2);
+        let mut restored = SketchStore::<u64>::new(spec()).unwrap();
+        let report = replay(
+            &mut restored,
+            0,
+            &[WalSegment {
+                index: 1,
+                bytes: &bytes,
+            }],
+        )
+        .unwrap();
+        // Both ingest records replay: the store is at checkpoint 0, so the
+        // chain point is marker(0), not the unlanded marker(1).
+        assert_eq!(report.applied_records, 2);
+        for key in 0..3 {
+            assert_eq!(arrivals(&live, key), arrivals(&restored, key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn replay_spans_segments_and_rejects_chain_gaps() {
+        let b1 = batch(1, 1);
+        let b2 = batch(2, 50);
+        let mut seg1 = encode_segment_header(&WalSegmentHeader {
+            shard: 0,
+            segment: 1,
+            base_record_seq: 0,
+            base_checkpoint_seq: 0,
+        });
+        encode_checkpoint(1, 0, &mut seg1);
+        encode_ingest(2, &b1, &mut seg1);
+        let mut seg2 = encode_segment_header(&WalSegmentHeader {
+            shard: 0,
+            segment: 2,
+            base_record_seq: 2,
+            base_checkpoint_seq: 0,
+        });
+        encode_ingest(3, &b2, &mut seg2);
+
+        let mut restored = SketchStore::<u64>::new(spec()).unwrap();
+        let report = replay(
+            &mut restored,
+            0,
+            &[
+                WalSegment {
+                    index: 1,
+                    bytes: &seg1,
+                },
+                WalSegment {
+                    index: 2,
+                    bytes: &seg2,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(report.applied_records, 2);
+        assert_eq!(report.last_seq, 3);
+
+        // A missing middle segment is a chain gap, not a silent skip.
+        let mut seg3 = encode_segment_header(&WalSegmentHeader {
+            shard: 0,
+            segment: 3,
+            base_record_seq: 3,
+            base_checkpoint_seq: 0,
+        });
+        encode_ingest(4, &b1, &mut seg3);
+        let mut fresh = SketchStore::<u64>::new(spec()).unwrap();
+        assert!(matches!(
+            replay(
+                &mut fresh,
+                0,
+                &[
+                    WalSegment {
+                        index: 1,
+                        bytes: &seg1,
+                    },
+                    WalSegment {
+                        index: 3,
+                        bytes: &seg3,
+                    },
+                ],
+            ),
+            Err(SnapshotError::SpecMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_shard_and_missing_chain_marker_are_typed() {
+        let bytes = small_log(&[batch(1, 1)]);
+        let seg = [WalSegment {
+            index: 1,
+            bytes: &bytes,
+        }];
+        let mut fresh = SketchStore::<u64>::new(spec()).unwrap();
+        assert!(matches!(
+            replay(&mut fresh, 5, &seg),
+            Err(SnapshotError::SpecMismatch { .. })
+        ));
+        // A store claiming checkpoint 9 finds no marker(9) in this log.
+        let mut live = SketchStore::<u64>::new(spec()).unwrap();
+        live.ingest(&batch(1, 1));
+        for _ in 0..9 {
+            live.write_snapshot().unwrap();
+        }
+        assert!(matches!(
+            replay(&mut live, 0, &seg),
+            Err(SnapshotError::SequenceMismatch {
+                expected: 9,
+                found: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn record_seq_gaps_are_rejected() {
+        let mut bytes = encode_segment_header(&WalSegmentHeader {
+            shard: 0,
+            segment: 1,
+            base_record_seq: 0,
+            base_checkpoint_seq: 0,
+        });
+        encode_checkpoint(1, 0, &mut bytes);
+        encode_ingest(3, &batch(1, 1), &mut bytes); // gap: 2 is missing
+        let mut fresh = SketchStore::<u64>::new(spec()).unwrap();
+        assert!(matches!(
+            replay(
+                &mut fresh,
+                0,
+                &[WalSegment {
+                    index: 1,
+                    bytes: &bytes,
+                }],
+            ),
+            Err(SnapshotError::SequenceMismatch {
+                expected: 2,
+                found: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn torn_tail_drops_the_last_record_only() {
+        let batches = [batch(1, 1), batch(2, 50)];
+        let full = small_log(&batches);
+        let one = small_log(&batches[..1]);
+        // Cut inside the second ingest record: replay applies the first
+        // and reports the valid prefix for truncation.
+        let cut = &full[..one.len() + 10];
+        let mut restored = SketchStore::<u64>::new(spec()).unwrap();
+        let report = replay(
+            &mut restored,
+            0,
+            &[WalSegment {
+                index: 1,
+                bytes: cut,
+            }],
+        )
+        .unwrap();
+        assert_eq!(report.applied_records, 1);
+        assert!(report.torn_tail);
+        assert_eq!(report.last_segment_valid_len, one.len());
+
+        // But a torn segment *before* the tail is hard corruption.
+        let mut seg2 = encode_segment_header(&WalSegmentHeader {
+            shard: 0,
+            segment: 2,
+            base_record_seq: 3,
+            base_checkpoint_seq: 0,
+        });
+        encode_ingest(4, &batches[0], &mut seg2);
+        let mut fresh = SketchStore::<u64>::new(spec()).unwrap();
+        assert!(replay(
+            &mut fresh,
+            0,
+            &[
+                WalSegment {
+                    index: 1,
+                    bytes: cut,
+                },
+                WalSegment {
+                    index: 2,
+                    bytes: &seg2,
+                },
+            ],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_log_and_header_only_segment_replay_to_nothing() {
+        let mut fresh = SketchStore::<u64>::new(spec()).unwrap();
+        let report = replay(&mut fresh, 0, &[]).unwrap();
+        assert_eq!(report.records, 0);
+        let header = encode_segment_header(&WalSegmentHeader {
+            shard: 0,
+            segment: 1,
+            base_record_seq: 0,
+            base_checkpoint_seq: 0,
+        });
+        let report = replay(
+            &mut fresh,
+            0,
+            &[WalSegment {
+                index: 1,
+                bytes: &header,
+            }],
+        )
+        .unwrap();
+        assert_eq!(report.records, 0);
+        assert!(!report.torn_tail);
+        assert_eq!(report.last_segment_valid_len, header.len());
+    }
+}

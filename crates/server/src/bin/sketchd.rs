@@ -16,6 +16,10 @@
 //! | `SKETCHD_SEED` | hash seed (spec default) |
 //! | `SKETCHD_HIERARCHY_BITS` | stack a dyadic hierarchy of this width (off) |
 //! | `SKETCHD_SNAPSHOT_DIR` | restore on start, final checkpoint on `SHUTDOWN` (off) |
+//! | `SKETCHD_DURABILITY` | `1`/`true`: per-shard WAL, ack-after-append (off) |
+//! | `SKETCHD_WAL_SEGMENT_BYTES` | WAL segment rotation threshold (4 MiB) |
+//! | `SKETCHD_WAL_COMPACT_BYTES` | WAL compaction threshold (16 MiB) |
+//! | `SKETCHD_WAL_FSYNC` | `1`/`true`: fsync every WAL append (off) |
 //!
 //! The process serves until a client sends `SHUTDOWN`.
 
@@ -33,6 +37,17 @@ fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
             eprintln!("sketchd: {name}={v:?} does not parse");
             exit(2);
         })
+    })
+}
+
+fn env_flag(name: &str) -> Option<bool> {
+    env_var(name).map(|v| match v.as_str() {
+        "1" | "true" | "on" | "yes" => true,
+        "0" | "false" | "off" | "no" => false,
+        other => {
+            eprintln!("sketchd: {name}={other:?} must be a boolean (1/0/true/false)");
+            exit(2);
+        }
     })
 }
 
@@ -76,19 +91,33 @@ fn main() {
     if let Some(dir) = env_var("SKETCHD_SNAPSHOT_DIR") {
         cfg = cfg.snapshot_dir(dir);
     }
+    if let Some(on) = env_flag("SKETCHD_DURABILITY") {
+        cfg = cfg.durability(on);
+    }
+    if let Some(bytes) = env_parse("SKETCHD_WAL_SEGMENT_BYTES") {
+        cfg = cfg.wal_segment_bytes(bytes);
+    }
+    if let Some(bytes) = env_parse("SKETCHD_WAL_COMPACT_BYTES") {
+        cfg = cfg.wal_compact_bytes(bytes);
+    }
+    if let Some(on) = env_flag("SKETCHD_WAL_FSYNC") {
+        cfg = cfg.wal_fsync(on);
+    }
     let shards = cfg.shards;
     let snapshot = cfg.snapshot_dir.clone();
+    let durable = cfg.durability;
     let server = Server::start(cfg).unwrap_or_else(|e| {
         eprintln!("sketchd: {e}");
         exit(1);
     });
     println!(
-        "sketchd listening on {} ({shards} shards{})",
+        "sketchd listening on {} ({shards} shards{}{})",
         server.local_addr(),
         match &snapshot {
             Some(dir) => format!(", snapshots in {}", dir.display()),
             None => String::new(),
-        }
+        },
+        if durable { ", wal on" } else { "" }
     );
     server.join();
     println!("sketchd stopped");

@@ -36,6 +36,24 @@ pub struct ServerConfig {
     /// checkpoint per shard here, and startup restores from it if it
     /// already holds one (see [`Engine`](crate::engine::Engine)).
     pub snapshot_dir: Option<PathBuf>,
+    /// Per-shard write-ahead logging (default off). When on, every ingest
+    /// run is appended to `shard-<i>.wal-<seg>` in the snapshot directory
+    /// *before* it is acked, and startup replays the log on top of the
+    /// latest checkpoint — an acked event survives `kill -9`, not just
+    /// graceful shutdown. Requires `snapshot_dir`.
+    pub durability: bool,
+    /// WAL segment rotation threshold in bytes (default 4 MiB): a segment
+    /// that grows past this is sealed and a new one is opened.
+    pub wal_segment_bytes: u64,
+    /// WAL compaction threshold in bytes (default 16 MiB): when a shard's
+    /// total log exceeds this, the worker folds the log into a fresh full
+    /// checkpoint and truncates every sealed segment.
+    pub wal_compact_bytes: u64,
+    /// Fsync every WAL append (default off). The default survives process
+    /// death — `write(2)` hands the bytes to the OS before the ack — while
+    /// fsync additionally survives kernel panics and power loss, at a
+    /// large throughput cost.
+    pub wal_fsync: bool,
 }
 
 impl ServerConfig {
@@ -50,6 +68,10 @@ impl ServerConfig {
             write_timeout: Duration::from_secs(10),
             max_connections: 64,
             snapshot_dir: None,
+            durability: false,
+            wal_segment_bytes: 4 << 20,
+            wal_compact_bytes: 16 << 20,
+            wal_fsync: false,
         }
     }
 
@@ -96,6 +118,34 @@ impl ServerConfig {
     /// startup).
     pub fn snapshot_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.snapshot_dir = Some(dir.into());
+        self
+    }
+
+    /// Enable or disable the per-shard write-ahead log (requires a
+    /// snapshot directory; validated by the engine).
+    pub fn durability(mut self, on: bool) -> Self {
+        self.durability = on;
+        self
+    }
+
+    /// Set the WAL segment rotation threshold in bytes (must be ≥ 1;
+    /// validated by the engine).
+    pub fn wal_segment_bytes(mut self, bytes: u64) -> Self {
+        self.wal_segment_bytes = bytes;
+        self
+    }
+
+    /// Set the WAL compaction threshold in bytes (must be ≥ 1; validated
+    /// by the engine).
+    pub fn wal_compact_bytes(mut self, bytes: u64) -> Self {
+        self.wal_compact_bytes = bytes;
+        self
+    }
+
+    /// Fsync every WAL append (survive power loss, not just process
+    /// death).
+    pub fn wal_fsync(mut self, on: bool) -> Self {
+        self.wal_fsync = on;
         self
     }
 }

@@ -22,6 +22,7 @@
 
 mod router;
 mod shard;
+mod wal;
 
 pub use router::{Engine, EngineError, SnapshotReport, MAX_INGEST_OCCURRENCES};
 
@@ -47,13 +48,29 @@ pub struct ShardStats {
     pub ingested: u64,
     /// The shard store's checkpoint sequence number.
     pub checkpoint_seq: u64,
+    /// Bytes in this shard's write-ahead log (0 with durability off).
+    pub wal_bytes: u64,
+    /// Segment files in this shard's write-ahead log (0 with durability
+    /// off).
+    pub wal_segments: u64,
+    /// WAL compactions folded into full checkpoints since startup.
+    pub compactions: u64,
 }
 
 /// A typed message delivered to one shard worker's mailbox.
 #[derive(Debug)]
 pub enum ShardMsg {
     /// Apply a run of keyed events (every key in it routes to this shard).
-    Ingest(Vec<(String, StreamEvent)>),
+    Ingest {
+        /// The run, in arrival order.
+        events: Vec<(String, StreamEvent)>,
+        /// Durability ack: when present, the worker replies
+        /// [`ShardReply::Ingested`] only after the run is appended to the
+        /// write-ahead log and applied (ack-after-append), or
+        /// [`ShardReply::WalError`] when the append failed — in which case
+        /// the run was **not** applied.
+        reply: Option<Sender<ShardReply>>,
+    },
     /// Answer a query against one resident key.
     Query {
         /// The key (owned by this shard).
@@ -115,6 +132,10 @@ pub enum ShardReply {
     Stats(ShardStats),
     /// `Flush` applied.
     Flushed,
+    /// The ingest run is on the write-ahead log and applied.
+    Ingested,
+    /// The write-ahead-log append failed; the run was not applied.
+    WalError(String),
     /// Checkpoint written: bytes on disk.
     Snapshot {
         /// Size of the written checkpoint file.

@@ -10,6 +10,7 @@ use std::thread::JoinHandle;
 use ecm::{Answer, QueryError, SketchStore, SpecError, StreamEvent, WindowSpec};
 
 use super::shard;
+use super::wal::{ShardWal, WalConfig};
 use super::{route, ShardMsg, ShardReply, ShardStats};
 use crate::config::ServerConfig;
 use crate::protocol::OwnedQuery;
@@ -52,6 +53,8 @@ pub enum EngineError {
     },
     /// Writing or encoding a checkpoint failed.
     Snapshot(String),
+    /// Appending to the write-ahead log failed; the batch was not applied.
+    Wal(String),
     /// Restoring from the snapshot directory failed.
     Restore(String),
     /// The snapshot directory was written by an engine with a different
@@ -80,6 +83,7 @@ impl std::fmt::Display for EngineError {
                 "ingest of {requested} occurrences exceeds the per-request cap of {MAX_INGEST_OCCURRENCES}"
             ),
             EngineError::Snapshot(detail) => write!(f, "snapshot failed: {detail}"),
+            EngineError::Wal(detail) => write!(f, "write-ahead log failed: {detail}"),
             EngineError::Restore(detail) => write!(f, "restore failed: {detail}"),
             EngineError::ShardCountMismatch { manifest, config } => write!(
                 f,
@@ -108,6 +112,7 @@ impl EngineError {
             EngineError::ItemOutOfUniverse { .. } => "item_out_of_universe",
             EngineError::IngestTooHeavy { .. } => "ingest_too_heavy",
             EngineError::Snapshot(_) => "snapshot",
+            EngineError::Wal(_) => "wal",
             EngineError::Restore(_) => "restore",
             EngineError::ShardCountMismatch { .. } => "shard_count_mismatch",
         }
@@ -138,6 +143,9 @@ pub struct Engine {
     /// into a mailbox behind the shutdown marker and be acked-but-dropped.
     down: RwLock<bool>,
     snapshot_dir: Option<PathBuf>,
+    /// Whether ingest waits for per-shard WAL-append acks before
+    /// returning (ack-after-append; see [`Engine::ingest`]).
+    durable: bool,
     /// `2^bits` when the spec stacks a hierarchy: items at or above this
     /// would panic the hierarchy write path, so ingest rejects them first.
     item_limit: Option<u64>,
@@ -159,6 +167,18 @@ impl Engine {
         if cfg.mailbox_depth == 0 {
             return Err(EngineError::InvalidConfig("mailbox_depth must be >= 1"));
         }
+        if cfg.durability {
+            if cfg.snapshot_dir.is_none() {
+                return Err(EngineError::InvalidConfig(
+                    "durability requires a snapshot_dir",
+                ));
+            }
+            if cfg.wal_segment_bytes == 0 || cfg.wal_compact_bytes == 0 {
+                return Err(EngineError::InvalidConfig(
+                    "wal_segment_bytes and wal_compact_bytes must be >= 1",
+                ));
+            }
+        }
         let restore_from = cfg
             .snapshot_dir
             .as_deref()
@@ -172,19 +192,49 @@ impl Engine {
                 });
             }
         }
+        if cfg.durability {
+            // Record the layout up front: a crash before the first
+            // checkpoint must still restore (WAL-only) onto the same shard
+            // count.
+            let dir = cfg.snapshot_dir.as_deref().expect("validated above");
+            if restore_from.is_none() {
+                write_manifest(dir, cfg.shards)?;
+            }
+        }
         let mut senders = Vec::with_capacity(cfg.shards);
         let mut handles = Vec::with_capacity(cfg.shards);
         for i in 0..cfg.shards {
-            let store = match restore_from {
-                Some(dir) => shard::restore(i, dir).map_err(EngineError::Restore)?,
-                None => SketchStore::new(cfg.spec.clone())?,
+            let (store, wal) = if cfg.durability {
+                let dir = cfg.snapshot_dir.as_deref().expect("validated above");
+                // The latest checkpoint (when one exists), then the log on
+                // top of it; a crash before any checkpoint replays the
+                // whole log into a fresh store.
+                let mut store = if dir.join(shard::full_file(i)).exists() {
+                    shard::restore(i, dir).map_err(EngineError::Restore)?
+                } else {
+                    SketchStore::new(cfg.spec.clone())?
+                };
+                let wal_cfg = WalConfig {
+                    segment_bytes: cfg.wal_segment_bytes,
+                    compact_bytes: cfg.wal_compact_bytes,
+                    fsync: cfg.wal_fsync,
+                };
+                let (wal, _report) =
+                    ShardWal::open(dir, i, wal_cfg, &mut store).map_err(EngineError::Restore)?;
+                (store, Some(wal))
+            } else {
+                let store = match restore_from {
+                    Some(dir) => shard::restore(i, dir).map_err(EngineError::Restore)?,
+                    None => SketchStore::new(cfg.spec.clone())?,
+                };
+                (store, None)
             };
             let (tx, rx) = sync_channel(cfg.mailbox_depth);
             let dir = cfg.snapshot_dir.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("sketchd-shard-{i}"))
-                    .spawn(move || shard::run(i, store, rx, dir))
+                    .spawn(move || shard::run(i, store, rx, dir, wal))
                     .expect("spawn shard worker"),
             );
             senders.push(tx);
@@ -194,6 +244,7 @@ impl Engine {
             handles: Mutex::new(handles),
             down: RwLock::new(false),
             snapshot_dir: cfg.snapshot_dir.clone(),
+            durable: cfg.durability,
             item_limit: cfg
                 .spec
                 .hierarchy_bits()
@@ -208,17 +259,23 @@ impl Engine {
 
     /// Ingest a keyed batch: `(key, event, count)` triples in arrival
     /// order. Counts expand into repeated events (the store's run grouping
-    /// collapses them back into one weighted update per run), the batch is
-    /// partitioned per shard preserving each key's order, and the call
-    /// returns once every shard has *accepted* its partition into its
-    /// mailbox — an `Ok` here means the events survive a graceful
-    /// shutdown. A full mailbox blocks (backpressure), a rejected batch
-    /// (universe violation, cap, shutdown race) is applied nowhere.
+    /// collapses them back into one weighted update per run) and the batch
+    /// is partitioned per shard preserving each key's order.
+    ///
+    /// Without durability, the call returns once every shard has
+    /// *accepted* its partition into its mailbox — an `Ok` means the
+    /// events survive a graceful shutdown. With durability on, the call
+    /// additionally waits for each shard to append its partition to the
+    /// write-ahead log (ack-after-append) — an `Ok` means the events
+    /// survive `kill -9`. A full mailbox blocks (backpressure), a rejected
+    /// batch (universe violation, cap, shutdown race, WAL failure) is
+    /// applied nowhere.
     ///
     /// # Errors
     /// [`ItemOutOfUniverse`](EngineError::ItemOutOfUniverse),
     /// [`IngestTooHeavy`](EngineError::IngestTooHeavy),
-    /// [`ShuttingDown`](EngineError::ShuttingDown), or
+    /// [`ShuttingDown`](EngineError::ShuttingDown),
+    /// [`Wal`](EngineError::Wal), or
     /// [`ShardDied`](EngineError::ShardDied).
     pub fn ingest(&self, batch: &[(String, StreamEvent, u64)]) -> Result<u64, EngineError> {
         let mut total: u64 = 0;
@@ -248,13 +305,33 @@ impl Engine {
         if *gate {
             return Err(EngineError::ShuttingDown);
         }
+        let mut pending = Vec::new();
         for (i, events) in per_shard.into_iter().enumerate() {
             if events.is_empty() {
                 continue;
             }
+            let reply = if self.durable {
+                let (tx, rx) = channel();
+                pending.push((i, rx));
+                Some(tx)
+            } else {
+                None
+            };
             self.senders[i]
-                .send(ShardMsg::Ingest(events))
+                .send(ShardMsg::Ingest { events, reply })
                 .map_err(|_| EngineError::ShardDied { shard: i })?;
+        }
+        drop(gate);
+        // Durable acks: every shard confirms its partition is on the log
+        // before the batch-level ack. A partial failure leaves the failing
+        // shard's partition unapplied while sibling partitions landed —
+        // the error tells the client the batch (as a whole) is not acked.
+        for (i, rx) in pending {
+            match rx.recv() {
+                Ok(ShardReply::Ingested) => {}
+                Ok(ShardReply::WalError(e)) => return Err(EngineError::Wal(e)),
+                Ok(_) | Err(_) => return Err(EngineError::ShardDied { shard: i }),
+            }
         }
         Ok(total)
     }

@@ -1,10 +1,12 @@
-//! The shard worker: one long-lived thread, one `SketchStore` partition.
+//! The shard worker: one long-lived thread, one `SketchStore` partition,
+//! and (with durability on) one write-ahead log.
 
 use std::path::Path;
 use std::sync::mpsc::Receiver;
 
 use ecm::{SketchStore, SnapshotError};
 
+use super::wal::ShardWal;
 use super::{ShardMsg, ShardReply, ShardStats};
 
 /// Name of shard `i`'s full-checkpoint file inside a snapshot directory.
@@ -25,13 +27,46 @@ pub(super) fn run(
     mut store: SketchStore<String>,
     rx: Receiver<ShardMsg>,
     snapshot_dir: Option<std::path::PathBuf>,
+    mut wal: Option<ShardWal>,
 ) {
     let mut ingested: u64 = 0;
     while let Ok(msg) = rx.recv() {
         match msg {
-            ShardMsg::Ingest(events) => {
-                ingested += events.len() as u64;
-                store.ingest(&events);
+            ShardMsg::Ingest { events, reply } => {
+                // Ack-after-append: the run reaches the log before it is
+                // applied or acked, so an acked event survives `kill -9`.
+                // On append failure the run is applied *nowhere* — the
+                // store and the log never disagree.
+                let appended = match &mut wal {
+                    Some(w) => w.append_ingest(&events, store.checkpoint_seq()),
+                    None => Ok(()),
+                };
+                match appended {
+                    Ok(()) => {
+                        ingested += events.len() as u64;
+                        store.ingest(&events);
+                        if let Some(reply) = reply {
+                            let _ = reply.send(ShardReply::Ingested);
+                        }
+                        if let Some(w) = &mut wal {
+                            if w.needs_compaction() {
+                                if let Some(dir) = &snapshot_dir {
+                                    // Compaction failure degrades to "log
+                                    // keeps growing" — ingest stays up and
+                                    // the next batch retries.
+                                    if let Err(e) = compact(shard, &mut store, dir, w) {
+                                        eprintln!("sketchd: shard {shard} compaction failed: {e}");
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        if let Some(reply) = reply {
+                            let _ = reply.send(ShardReply::WalError(e));
+                        }
+                    }
+                }
             }
             ShardMsg::Query {
                 key,
@@ -53,6 +88,9 @@ pub(super) fn run(
                     memory_bytes: store.memory_bytes(),
                     ingested,
                     checkpoint_seq: store.checkpoint_seq(),
+                    wal_bytes: wal.as_ref().map_or(0, ShardWal::total_bytes),
+                    wal_segments: wal.as_ref().map_or(0, ShardWal::segments),
+                    compactions: wal.as_ref().map_or(0, ShardWal::compactions),
                 }));
             }
             ShardMsg::Flush { ts, reply } => {
@@ -64,7 +102,17 @@ pub(super) fn run(
                 incremental,
                 reply,
             } => {
-                let outcome = checkpoint(shard, &mut store, &dir, incremental);
+                // A checkpoint into the WAL's own directory chains the log
+                // onto it (marker before file); any other directory is a
+                // plain export that must not touch the log.
+                let chained = match &mut wal {
+                    Some(w) if snapshot_dir.as_deref() == Some(dir.as_path()) => Some(w),
+                    _ => None,
+                };
+                let outcome = match chained {
+                    Some(w) if !incremental => compact(shard, &mut store, &dir, w),
+                    _ => checkpoint(shard, &mut store, &dir, incremental, chained),
+                };
                 let _ = reply.send(match outcome {
                     Ok(bytes) => ShardReply::Snapshot { bytes },
                     Err(e) => ShardReply::SnapshotError(e),
@@ -75,7 +123,10 @@ pub(super) fn run(
                 // mailbox is FIFO); the final full checkpoint therefore
                 // captures every acked event.
                 let snapshot_error = match &snapshot_dir {
-                    Some(dir) => checkpoint(shard, &mut store, dir, false).err(),
+                    Some(dir) => match &mut wal {
+                        Some(w) => compact(shard, &mut store, dir, w).err(),
+                        None => checkpoint(shard, &mut store, dir, false, None).err(),
+                    },
                     None => None,
                 };
                 let _ = reply.send(ShardReply::Stopped { snapshot_error });
@@ -89,11 +140,15 @@ pub(super) fn run(
 /// `.full` file and removes the now-stale delta chain; an incremental one
 /// appends a `.delta-<seq>` link (falling back to a full checkpoint when
 /// the store has never been checkpointed, so a chain always has a base).
+/// With `wal` present (checkpointing into the log's directory), a marker
+/// is appended *before* the file lands — the crash window between the two
+/// leaves a log that still replays from the previous marker.
 fn checkpoint(
     shard: usize,
     store: &mut SketchStore<String>,
     dir: &Path,
     incremental: bool,
+    wal: Option<&mut ShardWal>,
 ) -> Result<u64, String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
     let fail = |stage: &str, e: &dyn std::fmt::Display| format!("shard {shard} {stage}: {e}");
@@ -101,6 +156,9 @@ fn checkpoint(
         let bytes = store
             .write_incremental()
             .map_err(|e: SnapshotError| fail("delta encode", &e))?;
+        if let Some(w) = wal {
+            w.append_marker(store.checkpoint_seq())?;
+        }
         let path = dir.join(delta_file(shard, store.checkpoint_seq()));
         std::fs::write(&path, &bytes).map_err(|e| fail("delta write", &e))?;
         Ok(bytes.len() as u64)
@@ -108,11 +166,40 @@ fn checkpoint(
         let bytes = store
             .write_snapshot()
             .map_err(|e: SnapshotError| fail("full encode", &e))?;
+        if let Some(w) = wal {
+            w.append_marker(store.checkpoint_seq())?;
+        }
         let path = dir.join(full_file(shard));
         std::fs::write(&path, &bytes).map_err(|e| fail("full write", &e))?;
         remove_stale_deltas(shard, dir);
         Ok(bytes.len() as u64)
     }
+}
+
+/// Fold the log into a fresh full checkpoint: encode the snapshot, rotate
+/// onto a new segment, pin the marker there, land the checkpoint file,
+/// then delete every sealed segment (and stale deltas). The marker lives
+/// in the surviving active segment, so every crash window along the way
+/// leaves a recoverable chain; afterwards the log is one near-empty
+/// segment.
+fn compact(
+    shard: usize,
+    store: &mut SketchStore<String>,
+    dir: &Path,
+    wal: &mut ShardWal,
+) -> Result<u64, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let bytes = store
+        .write_snapshot()
+        .map_err(|e: SnapshotError| format!("shard {shard} full encode: {e}"))?;
+    wal.rotate(store.checkpoint_seq())?;
+    wal.append_marker(store.checkpoint_seq())?;
+    let path = dir.join(full_file(shard));
+    std::fs::write(&path, &bytes).map_err(|e| format!("shard {shard} full write: {e}"))?;
+    remove_stale_deltas(shard, dir);
+    wal.truncate_sealed()?;
+    wal.note_compaction();
+    Ok(bytes.len() as u64)
 }
 
 /// Best-effort removal of this shard's delta files: after a new full

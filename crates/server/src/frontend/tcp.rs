@@ -5,7 +5,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -45,6 +45,17 @@ impl From<std::io::Error> for StartError {
     fn from(e: std::io::Error) -> Self {
         StartError::Io(e)
     }
+}
+
+/// Lock a registry mutex, recovering from poison: the guarded state is a
+/// plain registry (socket map, join-handle list) whose invariants hold
+/// after any partial mutation, so a handler that panicked while holding
+/// the lock must not cascade into every `.lock().expect(..)` taking down
+/// the acceptor and all healthy connections.
+fn registry<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// State shared between the acceptor, the connection handlers and the
@@ -143,7 +154,7 @@ impl Server {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        let handlers = std::mem::take(&mut *self.shared.handlers.lock().expect("handlers"));
+        let handlers = std::mem::take(&mut *registry(&self.shared.handlers));
         for h in handlers {
             let _ = h.join();
         }
@@ -174,9 +185,25 @@ impl Drop for Server {
 /// handler threads stuck in `read`.
 fn halt_frontend(shared: &Shared) {
     shared.stop.store(true, Ordering::SeqCst);
-    let conns = shared.conns.lock().expect("conns");
+    let conns = registry(&shared.conns);
     for stream in conns.values() {
         let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Undo one connection's registration when its handler exits — by return
+/// *or* by panic. Running in `Drop` keeps the connection cap and the
+/// socket map honest even when a handler unwinds: a leaked `active` slot
+/// would silently shrink the cap forever.
+struct Deregister {
+    shared: Arc<Shared>,
+    id: u64,
+}
+
+impl Drop for Deregister {
+    fn drop(&mut self) {
+        registry(&self.shared.conns).remove(&self.id);
+        self.shared.active.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -205,7 +232,7 @@ fn spawn_handler(mut stream: TcpStream, engine: &Arc<Engine>, shared: &Arc<Share
     let _ = stream.set_nodelay(true);
     let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
     if let Ok(clone) = stream.try_clone() {
-        shared.conns.lock().expect("conns").insert(id, clone);
+        registry(&shared.conns).insert(id, clone);
     }
     shared.active.fetch_add(1, Ordering::SeqCst);
     let engine = Arc::clone(engine);
@@ -213,15 +240,19 @@ fn spawn_handler(mut stream: TcpStream, engine: &Arc<Engine>, shared: &Arc<Share
     let handle = std::thread::Builder::new()
         .name(format!("sketchd-conn-{id}"))
         .spawn(move || {
+            let deregister = Deregister {
+                shared: Arc::clone(&shared_for_conn),
+                id,
+            };
             handle_connection(stream, &engine, &shared_for_conn);
-            shared_for_conn.conns.lock().expect("conns").remove(&id);
-            shared_for_conn.active.fetch_sub(1, Ordering::SeqCst);
+            drop(deregister);
         });
     match handle {
-        Ok(h) => shared.handlers.lock().expect("handlers").push(h),
+        Ok(h) => registry(&shared.handlers).push(h),
         Err(_) => {
             // Thread spawn failed; roll the registration back.
-            shared.conns.lock().expect("conns").remove(&id);
+            registry(&shared.conns).remove(&id);
+            shared.active.fetch_sub(1, Ordering::SeqCst);
         }
     }
 }
@@ -331,6 +362,14 @@ fn handle_connection(stream: TcpStream, engine: &Engine, shared: &Shared) {
         // must not desynchronize a pipelining client's reply counting.
         if line.iter().all(|b| b.is_ascii_whitespace()) {
             continue;
+        }
+        // Fault injection, armed only by SKETCHD_TEST_PANIC: panic while
+        // holding the connection registry, poisoning the mutex — the worst
+        // spot a real handler bug could die in, and exactly what the
+        // poison-recovering `registry` path must survive.
+        if std::env::var_os("SKETCHD_TEST_PANIC").is_some() && line.as_slice() == b"__PANIC__" {
+            let _poisoner = shared.conns.lock();
+            panic!("test-injected connection handler panic");
         }
         let resp = match parse_command(&line) {
             Err(e) => response::error(e.code(), &e.to_string()),

@@ -125,7 +125,12 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         }
         let mut total = 0u64;
         for worker in workers {
-            total += worker.join().expect("ingest worker panicked")?;
+            // A panicked worker is a typed report, not an abort of the
+            // whole run's reporting.
+            let outcome = worker
+                .join()
+                .map_err(|_| io_err("ingest worker panicked".to_string()))?;
+            total += outcome?;
         }
         Ok::<u64, std::io::Error>(total)
     })?;
@@ -148,13 +153,18 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
             return Err(io_err(format!("query rejected: {resp}")));
         }
     }
-    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    // total_cmp: a non-finite sample (a clock hiccup, a future refactor)
+    // sorts to an end instead of panicking the whole run.
+    lat_us.sort_by(f64::total_cmp);
+    // Nearest-rank percentile: ceil(q·n) is the 1-based rank, so p99 of
+    // 100 samples reads sample 99, not the max (truncation read the max
+    // for every q > (n-1)/n).
     let pct = |q: f64| -> f64 {
         if lat_us.is_empty() {
             return 0.0;
         }
-        let idx = ((q * lat_us.len() as f64) as usize).min(lat_us.len() - 1);
-        lat_us[idx]
+        let rank = (q * lat_us.len() as f64).ceil() as usize;
+        lat_us[rank.clamp(1, lat_us.len()) - 1]
     };
 
     Ok(LoadgenReport {

@@ -130,19 +130,29 @@ pub fn stats(rows: &[ShardStats]) -> String {
     let keys: usize = rows.iter().map(|s| s.keys).sum();
     let memory: usize = rows.iter().map(|s| s.memory_bytes).sum();
     let ingested: u64 = rows.iter().map(|s| s.ingested).sum();
+    let wal_bytes: u64 = rows.iter().map(|s| s.wal_bytes).sum();
+    let compactions: u64 = rows.iter().map(|s| s.compactions).sum();
     let shards: Vec<String> = rows
         .iter()
         .map(|s| {
             format!(
                 "{{\"shard\":{},\"keys\":{},\"memory_bytes\":{},\"ingested\":{},\
-                 \"checkpoint_seq\":{}}}",
-                s.shard, s.keys, s.memory_bytes, s.ingested, s.checkpoint_seq
+                 \"checkpoint_seq\":{},\"wal_bytes\":{},\"wal_segments\":{},\
+                 \"compactions\":{}}}",
+                s.shard,
+                s.keys,
+                s.memory_bytes,
+                s.ingested,
+                s.checkpoint_seq,
+                s.wal_bytes,
+                s.wal_segments,
+                s.compactions
             )
         })
         .collect();
     format!(
         "{{\"ok\":true,\"keys\":{keys},\"memory_bytes\":{memory},\"ingested\":{ingested},\
-         \"shards\":[{}]}}",
+         \"wal_bytes\":{wal_bytes},\"compactions\":{compactions},\"shards\":[{}]}}",
         shards.join(",")
     )
 }

@@ -1,0 +1,313 @@
+//! Durability acceptance: a real `sketchd` process killed with SIGKILL
+//! mid-life must come back serving answers **bit-identical** to an
+//! in-process mirror of everything it acked — the write-ahead log, not
+//! luck, carries the tail since the last checkpoint. Also pins the
+//! compaction contract (the log stays bounded across checkpoint cycles)
+//! and the config surface (durability without a snapshot dir is refused,
+//! typed).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::net::ToSocketAddrs;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use ecm::{Query, SketchStore};
+use sketch_server::protocol::response;
+use sketch_server::{Client, Server, ServerConfig, SketchSpec, StreamEvent, WindowSpec};
+use stream_gen::SeededRng;
+
+const WINDOW: u64 = 100_000;
+const SHARDS: usize = 4;
+
+fn spec() -> SketchSpec {
+    SketchSpec::time(WINDOW)
+        .epsilon(0.1)
+        .delta(0.1)
+        .seed(11)
+        .hierarchy(8)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sketchd-wal-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A seeded keyed trace over 8 tenants, items in the 2^8 hierarchy
+/// universe, globally non-decreasing ticks.
+fn trace(events: usize, seed: u64, base_ts: u64) -> Vec<(String, StreamEvent)> {
+    let mut rng = SeededRng::seed_from_u64(seed);
+    let mut ts = base_ts;
+    (0..events)
+        .map(|_| {
+            ts += rng.next_u64() % 3;
+            let tenant = rng.next_u64() % 8;
+            let item = rng.next_u64() % 256;
+            (format!("user-{tenant}"), StreamEvent::new(item, ts))
+        })
+        .collect()
+}
+
+fn connect<A: ToSocketAddrs>(addr: A) -> Client {
+    let client = Client::connect(addr).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    client
+}
+
+/// BATCH the whole trace; every frame must come back acked.
+fn ingest_acked(client: &mut Client, events: &[(String, StreamEvent)]) {
+    let lines: Vec<String> = events
+        .iter()
+        .map(|(key, e)| format!("{key} {} {} 1", e.ts, e.item))
+        .collect();
+    for chunk in lines.chunks(512) {
+        let resp = client.batch(chunk).expect("BATCH");
+        assert!(response::is_ok(&resp), "batch rejected: {resp}");
+    }
+}
+
+/// Spawn the real `sketchd` binary, durability on, and parse the
+/// ephemeral listen address off its first stdout line.
+fn spawn_sketchd(dir: &Path, extra: &[(&str, String)]) -> (Child, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_sketchd"));
+    cmd.env("SKETCHD_ADDR", "127.0.0.1:0")
+        .env("SKETCHD_SHARDS", SHARDS.to_string())
+        .env("SKETCHD_WINDOW", WINDOW.to_string())
+        .env("SKETCHD_EPSILON", "0.1")
+        .env("SKETCHD_DELTA", "0.1")
+        .env("SKETCHD_SEED", "11")
+        .env("SKETCHD_HIERARCHY_BITS", "8")
+        .env("SKETCHD_SNAPSHOT_DIR", dir.display().to_string())
+        .env("SKETCHD_DURABILITY", "1")
+        .stdout(Stdio::piped());
+    for (k, v) in extra {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn().expect("spawn sketchd");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read banner");
+    // "sketchd listening on 127.0.0.1:PORT (4 shards, ...)"
+    let addr = line
+        .split_whitespace()
+        .nth(3)
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .to_string();
+    assert!(line.contains("wal on"), "durability not armed: {line:?}");
+    (child, addr)
+}
+
+/// The durable config an in-process life uses (so the test can also drive
+/// graceful shutdown cheaply).
+fn restart_config(dir: &Path) -> ServerConfig {
+    ServerConfig::new(spec())
+        .shards(SHARDS)
+        .read_timeout(Duration::from_secs(10))
+        .snapshot_dir(dir.to_path_buf())
+        .durability(true)
+}
+
+/// Served answers for every tenant must render byte-identically to the
+/// mirror's answers through the same JSON path, across a spread of query
+/// classes.
+fn assert_bit_identical(client: &mut Client, store: &SketchStore<String>, now: u64) {
+    let probes: Vec<(String, &'static str, Query<'static>)> = vec![
+        (
+            format!("total time {now} {WINDOW}"),
+            "total",
+            Query::total_arrivals(),
+        ),
+        (
+            format!("self_join time {now} {WINDOW}"),
+            "self_join",
+            Query::self_join(),
+        ),
+        (
+            format!("point 3 time {now} {WINDOW}"),
+            "point",
+            Query::point(3),
+        ),
+        (
+            format!("point 200 time {now} {WINDOW}"),
+            "point",
+            Query::point(200),
+        ),
+        (
+            format!("range 0 63 time {now} {WINDOW}"),
+            "range",
+            Query::range_sum(0, 63),
+        ),
+        (
+            format!("heavy_hitters rel:0.05 time {now} {WINDOW}"),
+            "heavy_hitters",
+            Query::heavy_hitters(ecm::Threshold::Relative(0.05)),
+        ),
+        (
+            format!("quantile 0.5 time {now} {WINDOW}"),
+            "quantile",
+            Query::quantile(0.5),
+        ),
+    ];
+    for key in store.keys() {
+        for (wire, name, query) in &probes {
+            let served = client
+                .call(&format!("QUERY {key} {wire}"))
+                .expect("query round-trip");
+            let expected = match store
+                .query(&key, query, WindowSpec::time(now, WINDOW))
+                .unwrap()
+            {
+                Ok(answer) => response::answer(name, &answer),
+                Err(e) => response::query_error(&e),
+            };
+            assert_eq!(served, expected, "QUERY {key} {wire}");
+        }
+    }
+}
+
+#[test]
+fn sigkill_mid_ingest_loses_no_acked_event() {
+    let dir = scratch("kill9");
+    let phase1 = trace(12_000, 0x4B39, 1);
+    let now1 = phase1.last().unwrap().1.ts;
+
+    let mut mirror: SketchStore<String> = SketchStore::new(spec()).unwrap();
+    mirror.ingest(&phase1);
+
+    // First life: the real binary, durability on. Every batch is acked,
+    // which with the WAL means "on disk" — then the process dies with
+    // SIGKILL, no drain, no checkpoint, no destructors.
+    let (mut child, addr) = spawn_sketchd(&dir, &[]);
+    let mut client = connect(addr.as_str());
+    ingest_acked(&mut client, &phase1);
+    child.kill().expect("SIGKILL sketchd");
+    child.wait().expect("reap");
+
+    // Second life: recovery = snapshot (none yet) + WAL replay. Every
+    // acked event present, none duplicated — bit-identical to the mirror.
+    // It keeps accepting durable writes, then dies hard again to prove
+    // replay-then-append chains correctly.
+    let (mut child, addr) = spawn_sketchd(&dir, &[]);
+    let mut client = connect(addr.as_str());
+    assert_bit_identical(&mut client, &mirror, now1);
+    let phase2 = trace(4_000, 0xB0B, now1);
+    let now2 = phase2.last().unwrap().1.ts;
+    mirror.ingest(&phase2);
+    ingest_acked(&mut client, &phase2);
+    child.kill().expect("SIGKILL sketchd again");
+    child.wait().expect("reap");
+
+    // Third life: in-process, same directory — both phases present.
+    let server = Server::start(restart_config(&dir)).expect("durable restart");
+    let mut client = connect(server.local_addr());
+    assert_bit_identical(&mut client, &mirror, now2);
+    client.call("SHUTDOWN").expect("shutdown");
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Pull the first (top-level, fleet-wide) `"name":<u64>` field out of a
+/// STATS response line.
+fn stat(resp: &str, name: &str) -> u64 {
+    let tag = format!("\"{name}\":");
+    let at = resp
+        .find(&tag)
+        .unwrap_or_else(|| panic!("{name} in {resp}"));
+    resp[at + tag.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("numeric stat")
+}
+
+#[test]
+fn compaction_bounds_the_log_across_checkpoint_cycles() {
+    let dir = scratch("compact");
+    // Tiny thresholds so a modest trace forces many rotations and at
+    // least three full compaction cycles per shard.
+    let (mut child, addr) = spawn_sketchd(
+        &dir,
+        &[
+            ("SKETCHD_WAL_SEGMENT_BYTES", (4u64 << 10).to_string()),
+            ("SKETCHD_WAL_COMPACT_BYTES", (16u64 << 10).to_string()),
+        ],
+    );
+    let mut client = connect(addr.as_str());
+
+    let events = trace(30_000, 0xC0DE, 1);
+    let now = events.last().unwrap().1.ts;
+    let mut mirror: SketchStore<String> = SketchStore::new(spec()).unwrap();
+    mirror.ingest(&events);
+    ingest_acked(&mut client, &events);
+
+    let stats = client.call("STATS").expect("stats");
+    assert!(response::is_ok(&stats), "stats failed: {stats}");
+    let compactions = stat(&stats, "compactions");
+    let wal_bytes = stat(&stats, "wal_bytes");
+    assert!(
+        compactions >= 3,
+        "expected >= 3 compaction cycles, saw {compactions}: {stats}"
+    );
+    // The log is bounded: compaction keeps each shard's log near one
+    // active segment, nowhere near the bytes the raw trace appended.
+    assert!(
+        wal_bytes <= SHARDS as u64 * 2 * (16 << 10),
+        "log unbounded: {wal_bytes} bytes after {compactions} compactions"
+    );
+
+    // The compacted state (checkpoint + truncated log, not the full
+    // history) still recovers bit-identically after a SIGKILL.
+    child.kill().expect("SIGKILL sketchd");
+    child.wait().expect("reap");
+    let server = Server::start(restart_config(&dir)).expect("restart after compaction");
+    let mut client = connect(server.local_addr());
+    let mut per_key: HashMap<String, u64> = HashMap::new();
+    for (key, _) in &events {
+        *per_key.entry(key.clone()).or_default() += 1;
+    }
+    for key in per_key.keys() {
+        let served = client
+            .call(&format!("QUERY {key} total time {now} {WINDOW}"))
+            .expect("total");
+        let local = mirror
+            .query(key, &Query::total_arrivals(), WindowSpec::time(now, WINDOW))
+            .unwrap()
+            .unwrap();
+        assert_eq!(served, response::answer("total", &local), "{key}");
+    }
+    client.call("SHUTDOWN").expect("shutdown");
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durability_without_a_snapshot_dir_is_refused_typed() {
+    let err = Server::start(ServerConfig::new(spec()).durability(true))
+        .expect_err("durability without snapshot_dir must refuse");
+    assert!(
+        err.to_string().contains("snapshot_dir"),
+        "unexpected error: {err}"
+    );
+
+    let dir = scratch("zero");
+    let err = Server::start(
+        ServerConfig::new(spec())
+            .snapshot_dir(dir.clone())
+            .durability(true)
+            .wal_segment_bytes(0),
+    )
+    .expect_err("zero segment size must refuse");
+    assert!(
+        err.to_string().contains("wal_segment_bytes"),
+        "unexpected error: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

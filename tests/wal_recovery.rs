@@ -1,0 +1,332 @@
+//! Differential suite for the write-ahead log: for **every** backend a
+//! `SketchSpec` can build, latest-snapshot + WAL replay must reproduce a
+//! store that never crashed — bit-identical answers, byte-identical
+//! re-encoded snapshots, and identical continued ingest. Torn tails and
+//! corrupted bytes must come back as clean prefixes or typed
+//! `SnapshotError`s, never panics — the log is fuzzed by truncating and
+//! bit-flipping at every offset, in the same spirit as
+//! `tests/snapshot_recovery.rs`.
+
+use ecm_suite::ecm::wal::{
+    encode_checkpoint, encode_ingest, encode_segment_header, replay, WalSegment, WalSegmentHeader,
+};
+use ecm_suite::ecm::{Backend, Query, SketchSpec, SketchStore, StreamEvent, WindowSpec};
+use ecm_suite::stream_gen::SeededRng;
+
+const WINDOW: u64 = 2_000;
+
+/// The full backend matrix of the acceptance criterion — the same specs the
+/// snapshot differential suite proves round-trip.
+fn spec_matrix() -> Vec<(&'static str, SketchSpec)> {
+    vec![
+        ("eh", SketchSpec::time(WINDOW).epsilon(0.2).seed(3)),
+        (
+            "dw",
+            SketchSpec::time(WINDOW)
+                .backend(Backend::Dw)
+                .epsilon(0.2)
+                .seed(3),
+        ),
+        (
+            "rw",
+            SketchSpec::time(WINDOW)
+                .backend(Backend::Rw)
+                .epsilon(0.3)
+                .delta(0.2)
+                .max_arrivals(20_000)
+                .seed(3),
+        ),
+        (
+            "exact",
+            SketchSpec::time(WINDOW).backend(Backend::Exact).seed(3),
+        ),
+        (
+            "ew",
+            SketchSpec::time(WINDOW)
+                .backend(Backend::Ew { buckets: 8 })
+                .seed(3),
+        ),
+        (
+            "decayed",
+            SketchSpec::time(WINDOW).backend(Backend::Decayed).seed(3),
+        ),
+        (
+            "hierarchy",
+            SketchSpec::time(WINDOW).epsilon(0.2).hierarchy(8).seed(3),
+        ),
+        (
+            "sharded",
+            SketchSpec::time(WINDOW).epsilon(0.2).sharded(3).seed(3),
+        ),
+        ("count", SketchSpec::count(WINDOW).epsilon(0.2).seed(3)),
+        (
+            "count-hierarchy",
+            SketchSpec::count(WINDOW).epsilon(0.2).hierarchy(8).seed(3),
+        ),
+    ]
+}
+
+/// Deterministic keyed batches with globally non-decreasing timestamps
+/// (which implies the per-key monotonicity ingest requires) over an 8-bit
+/// item universe (hierarchies reject anything wider).
+fn batches(seed: u64, count: usize, base_ts: u64) -> Vec<Vec<(u64, StreamEvent)>> {
+    let mut rng = SeededRng::seed_from_u64(seed);
+    let mut ts = base_ts;
+    (0..count)
+        .map(|_| {
+            (0..48)
+                .map(|_| {
+                    ts += rng.gen_range(0..2u64);
+                    let key = rng.gen_range(0..5u64);
+                    let item = rng.gen_range(0..200u64);
+                    (key, StreamEvent::new(item, ts))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn fresh_header() -> Vec<u8> {
+    encode_segment_header(&WalSegmentHeader {
+        shard: 0,
+        segment: 1,
+        base_record_seq: 0,
+        base_checkpoint_seq: 0,
+    })
+}
+
+fn window_for(spec: &SketchSpec, now: u64) -> WindowSpec {
+    match spec.clock() {
+        ecm_suite::ecm::Clock::Time => WindowSpec::time(now, WINDOW),
+        ecm_suite::ecm::Clock::Count => WindowSpec::last(WINDOW),
+    }
+}
+
+/// Compare two fleets over point / self-join / total-arrival queries on
+/// every key, bit for bit.
+fn assert_fleets_bit_identical(
+    label: &str,
+    a: &SketchStore<u64>,
+    b: &SketchStore<u64>,
+    w: WindowSpec,
+) {
+    assert_eq!(a.keys(), b.keys(), "{label}: resident key sets diverged");
+    let mut queries: Vec<Query<'_>> = (0..200).step_by(13).map(Query::point).collect();
+    queries.push(Query::self_join());
+    queries.push(Query::total_arrivals());
+    for key in a.keys() {
+        for q in &queries {
+            let ra = a.query(&key, q, w).unwrap();
+            let rb = b.query(&key, q, w).unwrap();
+            match (ra, rb) {
+                (Ok(va), Ok(vb)) => {
+                    let (va, vb) = (va.into_value(), vb.into_value());
+                    assert_eq!(
+                        va.value.to_bits(),
+                        vb.value.to_bits(),
+                        "{label}: key {key} diverged on {q:?}"
+                    );
+                }
+                (Err(_), Err(_)) => {} // both reject it the same way
+                (ra, rb) => panic!("{label}: answers diverged structurally: {ra:?} vs {rb:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_plus_replay_is_bit_identical_for_every_backend() {
+    for (label, spec) in spec_matrix() {
+        let bs = batches(42, 30, 1);
+        let mut live = SketchStore::<u64>::new(spec.clone()).unwrap();
+        let mut log = fresh_header();
+        encode_checkpoint(1, 0, &mut log);
+        let mut seq = 1u64;
+        let mut snap: Option<Vec<u8>> = None;
+        for (i, b) in bs.iter().enumerate() {
+            if i == 18 {
+                // Mid-stream checkpoint, in the crash-safe order the server
+                // uses: marker into the log first, then the snapshot lands.
+                seq += 1;
+                encode_checkpoint(seq, live.checkpoint_seq() + 1, &mut log);
+                snap = Some(live.write_snapshot().unwrap());
+            }
+            seq += 1;
+            encode_ingest(seq, b, &mut log);
+            live.ingest(b);
+        }
+        let now = bs.last().unwrap().last().unwrap().1.ts;
+
+        let mut restored = SketchStore::<u64>::load_snapshot(&snap.unwrap())
+            .unwrap_or_else(|e| panic!("{label}: load: {e}"));
+        let report = replay(
+            &mut restored,
+            0,
+            &[WalSegment {
+                index: 1,
+                bytes: &log,
+            }],
+        )
+        .unwrap_or_else(|e| panic!("{label}: replay: {e}"));
+        assert_eq!(report.applied_records, 12, "{label}: records after marker");
+        assert!(!report.torn_tail, "{label}");
+
+        assert_fleets_bit_identical(label, &live, &restored, window_for(&spec, now));
+
+        // The strongest form of "never crashed": both fleets re-encode to
+        // the very same checkpoint bytes...
+        assert_eq!(
+            live.write_snapshot().unwrap(),
+            restored.write_snapshot().unwrap(),
+            "{label}: re-encoded snapshots diverged"
+        );
+        // ...and keep ingesting identically (clock and arrival-id sequence
+        // survive the crash).
+        for b in batches(7, 3, now) {
+            live.ingest(&b);
+            restored.ingest(&b);
+        }
+        assert_eq!(
+            live.write_incremental().unwrap(),
+            restored.write_incremental().unwrap(),
+            "{label}: post-recovery ingest diverged"
+        );
+    }
+}
+
+#[test]
+fn replay_spans_rotated_segments_bit_identically() {
+    // The same records split across three rotated segments must replay to
+    // the same fleet a single segment produces.
+    let spec = SketchSpec::time(WINDOW).epsilon(0.25).seed(11);
+    let bs = batches(5, 9, 1);
+    let mut single = fresh_header();
+    encode_checkpoint(1, 0, &mut single);
+    let mut segments: Vec<Vec<u8>> = vec![fresh_header()];
+    encode_checkpoint(1, 0, segments.last_mut().unwrap());
+    let mut seq = 1u64;
+    for (i, b) in bs.iter().enumerate() {
+        if i > 0 && i % 3 == 0 {
+            segments.push(encode_segment_header(&WalSegmentHeader {
+                shard: 0,
+                segment: segments.len() as u64 + 1,
+                base_record_seq: seq,
+                base_checkpoint_seq: 0,
+            }));
+        }
+        seq += 1;
+        encode_ingest(seq, b, &mut single);
+        encode_ingest(seq, b, segments.last_mut().unwrap());
+    }
+
+    let mut a = SketchStore::<u64>::new(spec.clone()).unwrap();
+    replay(
+        &mut a,
+        0,
+        &[WalSegment {
+            index: 1,
+            bytes: &single,
+        }],
+    )
+    .unwrap();
+    let mut b = SketchStore::<u64>::new(spec).unwrap();
+    let segs: Vec<WalSegment<'_>> = segments
+        .iter()
+        .enumerate()
+        .map(|(i, bytes)| WalSegment {
+            index: i as u64 + 1,
+            bytes,
+        })
+        .collect();
+    let report = replay(&mut b, 0, &segs).unwrap();
+    assert_eq!(report.segments, 3);
+    assert_eq!(report.applied_records, 9);
+    assert_eq!(a.write_snapshot().unwrap(), b.write_snapshot().unwrap());
+}
+
+#[test]
+fn truncation_at_every_offset_is_a_clean_prefix() {
+    let spec = SketchSpec::time(WINDOW).epsilon(0.25).seed(7);
+    let bs = batches(9, 4, 1);
+    let mut log = fresh_header();
+    encode_checkpoint(1, 0, &mut log);
+    for (i, b) in bs.iter().enumerate() {
+        encode_ingest(2 + i as u64, b, &mut log);
+    }
+    let total: u64 = bs.iter().map(|b| b.len() as u64).sum();
+
+    let mut applied_so_far = 0u64;
+    for cut in 0..=log.len() {
+        let mut store = SketchStore::<u64>::new(spec.clone()).unwrap();
+        let r = replay(
+            &mut store,
+            0,
+            &[WalSegment {
+                index: 1,
+                bytes: &log[..cut],
+            }],
+        )
+        .unwrap_or_else(|e| panic!("cut at {cut} must be survivable: {e}"));
+        assert!(r.applied_events <= total, "cut {cut}");
+        assert!(r.last_segment_valid_len <= cut, "cut {cut}");
+        // Longer prefixes never recover fewer events.
+        assert!(r.applied_events >= applied_so_far, "cut {cut}");
+        applied_so_far = r.applied_events;
+
+        // Truncating the file to the reported valid prefix (what the
+        // server does before appending again) yields a clean log with the
+        // same recovered events.
+        let mut store2 = SketchStore::<u64>::new(spec.clone()).unwrap();
+        let r2 = replay(
+            &mut store2,
+            0,
+            &[WalSegment {
+                index: 1,
+                bytes: &log[..r.last_segment_valid_len],
+            }],
+        )
+        .unwrap();
+        assert_eq!(r2.applied_events, r.applied_events, "cut {cut}");
+        // An empty valid prefix is a header-torn file — the owner replaces
+        // it; any other prefix must scan clean.
+        assert!(
+            !r2.torn_tail || r.last_segment_valid_len == 0,
+            "cut {cut}: truncation to the valid prefix must be clean"
+        );
+    }
+    assert_eq!(applied_so_far, total, "the full log recovers everything");
+}
+
+#[test]
+fn bit_flips_at_every_offset_fail_typed_or_drop_the_tail() {
+    let spec = SketchSpec::time(WINDOW).epsilon(0.25).seed(7);
+    let bs = batches(13, 3, 1);
+    let mut log = fresh_header();
+    encode_checkpoint(1, 0, &mut log);
+    for (i, b) in bs.iter().enumerate() {
+        encode_ingest(2 + i as u64, b, &mut log);
+    }
+    let total: u64 = bs.iter().map(|b| b.len() as u64).sum();
+
+    for at in 0..log.len() {
+        for bit in [0u32, 3, 7] {
+            let mut bad = log.clone();
+            bad[at] ^= 1 << bit;
+            let mut store = SketchStore::<u64>::new(spec.clone()).unwrap();
+            // A typed rejection is the expected outcome; when the flip
+            // lands in a length field it can only shorten the decodable
+            // log (checksums cover everything else), so whatever replays
+            // is a clean prefix, never corrupted state.
+            if let Ok(r) = replay(
+                &mut store,
+                0,
+                &[WalSegment {
+                    index: 1,
+                    bytes: &bad,
+                }],
+            ) {
+                assert!(r.applied_events <= total, "flip at {at} bit {bit}");
+            }
+        }
+    }
+}
