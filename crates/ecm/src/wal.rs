@@ -40,9 +40,14 @@
 //! segment header) with too few bytes is the interrupted last write — it
 //! is silently dropped and [`ReplayReport::torn_tail`] is set so the owner
 //! can truncate the file and keep appending. A *complete* record that
-//! fails its checksum, a gap in record sequence numbers, or corruption
-//! anywhere before the tail is a hard [`SnapshotError`]: the log is not
-//! trustworthy and replay refuses to guess.
+//! fails its checksum, a gap in record sequence numbers, or any corruption
+//! in a sealed (non-final) segment is a hard [`SnapshotError`]: the log is
+//! not trustworthy and replay refuses to guess. One caveat is inherent to
+//! length-framed logs: in the *final* segment, a corrupted length varint
+//! makes the frame (and everything after it) indistinguishable from a torn
+//! tail, so such damage truncates rather than erroring — only corruption
+//! that leaves the length framing intact is guaranteed to surface as a
+//! hard error there.
 
 use std::hash::Hash;
 
@@ -291,7 +296,17 @@ pub fn scan_segment<K: SnapshotKey>(bytes: &[u8]) -> Result<SegmentScan<K>, Snap
             Err(e) => return Err(e.into()),
         };
         let len_bytes = frame.len() - cur.len();
-        if cur.len() < len + 8 {
+        // `len` is untrusted (its checksum sits *after* the payload it
+        // sizes): a corrupt varint can claim up to u64::MAX bytes, so the
+        // `+ 8` must not wrap into a passing comparison.
+        let need = match len.checked_add(8) {
+            Some(need) => need,
+            None => {
+                torn = true;
+                break;
+            }
+        };
+        if cur.len() < need {
             torn = true;
             break;
         }
@@ -790,6 +805,35 @@ mod tests {
             ],
         )
         .is_err());
+    }
+
+    #[test]
+    fn absurd_record_length_is_torn_not_a_panic() {
+        // A length varint claiming u64::MAX bytes: `len + 8` must not wrap
+        // into a passing bounds check (release) or panic (debug) — the
+        // frame is indistinguishable from a torn tail and drops as one.
+        let header = encode_segment_header(&WalSegmentHeader {
+            shard: 0,
+            segment: 1,
+            base_record_seq: 0,
+            base_checkpoint_seq: 0,
+        });
+        let mut bytes = header.clone();
+        put_varint(&mut bytes, u64::MAX);
+        bytes.extend_from_slice(&[0xAB; 16]);
+        let mut fresh = SketchStore::<u64>::new(spec()).unwrap();
+        let report = replay(
+            &mut fresh,
+            0,
+            &[WalSegment {
+                index: 1,
+                bytes: &bytes,
+            }],
+        )
+        .unwrap();
+        assert_eq!(report.records, 0);
+        assert!(report.torn_tail);
+        assert_eq!(report.last_segment_valid_len, header.len());
     }
 
     #[test]

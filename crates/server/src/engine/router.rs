@@ -53,7 +53,12 @@ pub enum EngineError {
     },
     /// Writing or encoding a checkpoint failed.
     Snapshot(String),
-    /// Appending to the write-ahead log failed; the batch was not applied.
+    /// Appending to the write-ahead log failed on at least one shard. The
+    /// failing shard's partition was not applied, but sibling shards'
+    /// partitions may already be applied **and durable** — durable ingest
+    /// is at-least-once, not atomic, across shards, so a blind retry of
+    /// the whole batch can double-count the partitions that succeeded
+    /// (see [`Engine::ingest`]).
     Wal(String),
     /// Restoring from the snapshot directory failed.
     Restore(String),
@@ -267,9 +272,20 @@ impl Engine {
     /// events survive a graceful shutdown. With durability on, the call
     /// additionally waits for each shard to append its partition to the
     /// write-ahead log (ack-after-append) — an `Ok` means the events
-    /// survive `kill -9`. A full mailbox blocks (backpressure), a rejected
-    /// batch (universe violation, cap, shutdown race, WAL failure) is
-    /// applied nowhere.
+    /// survive `kill -9`. A full mailbox blocks (backpressure), and a
+    /// batch rejected *before* dispatch (universe violation, cap,
+    /// shutdown race) is applied nowhere.
+    ///
+    /// **Retry semantics under durability.** Each shard appends and
+    /// applies its partition independently, so a
+    /// [`Wal`](EngineError::Wal) / [`ShardDied`](EngineError::ShardDied)
+    /// error means only that the batch *as a whole* is not acked: sibling
+    /// partitions that already appended are applied and durable (they
+    /// replay after a crash). Durable ingest is therefore at-least-once
+    /// across shards — a client that retries a failed batch verbatim may
+    /// double-count the partitions that succeeded. Clients that cannot
+    /// tolerate that should treat a durable-ingest error as "partially
+    /// applied, amount unknown" rather than "safe to replay".
     ///
     /// # Errors
     /// [`ItemOutOfUniverse`](EngineError::ItemOutOfUniverse),
@@ -580,13 +596,18 @@ impl std::fmt::Debug for Engine {
     }
 }
 
-/// Write the snapshot-layout manifest (`{"shards":N}`).
+/// Write the snapshot-layout manifest (`{"shards":N}`) via a same-dir
+/// temp + rename, so a crash mid-write can't tear the manifest a restart
+/// needs to restore at all.
 fn write_manifest(dir: &Path, shards: usize) -> Result<(), EngineError> {
     std::fs::create_dir_all(dir)
         .map_err(|e| EngineError::Snapshot(format!("create {}: {e}", dir.display())))?;
+    let tmp = dir.join(format!(".tmp.{MANIFEST}"));
+    std::fs::write(&tmp, format!("{{\"shards\":{shards}}}\n"))
+        .map_err(|e| EngineError::Snapshot(format!("write {}: {e}", tmp.display())))?;
     let path = dir.join(MANIFEST);
-    std::fs::write(&path, format!("{{\"shards\":{shards}}}\n"))
-        .map_err(|e| EngineError::Snapshot(format!("write {}: {e}", path.display())))
+    std::fs::rename(&tmp, &path)
+        .map_err(|e| EngineError::Snapshot(format!("rename {}: {e}", path.display())))
 }
 
 /// Read the shard count back from the manifest.

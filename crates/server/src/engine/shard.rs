@@ -19,6 +19,36 @@ pub(super) fn delta_file(shard: usize, seq: u64) -> String {
     format!("shard-{shard}.delta-{seq:06}")
 }
 
+/// Crash-safe checkpoint-file write: land the bytes in a same-directory
+/// temp file, then `rename` over the target (atomic on POSIX). The target
+/// either keeps its old contents or holds the complete new ones — a kill
+/// mid-write can no longer tear the only `.full` file and strand the
+/// shard. The temp name's leading dot keeps it out of every
+/// `shard-<i>.*` prefix scan (restore, delta cleanup, WAL listing), and
+/// being deterministic means a crash leaves at most one stale temp per
+/// target, overwritten by the next attempt. With `fsync`, the data and
+/// the directory entry are on the platter before this returns.
+fn write_atomic(dir: &Path, name: &str, bytes: &[u8], fsync: bool) -> Result<(), String> {
+    use std::io::Write;
+    let tmp = dir.join(format!(".tmp.{name}"));
+    let mut file =
+        std::fs::File::create(&tmp).map_err(|e| format!("create {}: {e}", tmp.display()))?;
+    file.write_all(bytes)
+        .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    if fsync {
+        file.sync_data()
+            .map_err(|e| format!("fsync {}: {e}", tmp.display()))?;
+    }
+    drop(file);
+    let target = dir.join(name);
+    std::fs::rename(&tmp, &target)
+        .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), target.display()))?;
+    if fsync {
+        super::wal::sync_dir(dir)?;
+    }
+    Ok(())
+}
+
 /// The worker loop. Runs until the mailbox disconnects or a `Shutdown`
 /// message arrives; replies are best-effort (a requester that hung up is
 /// not an error).
@@ -152,6 +182,7 @@ fn checkpoint(
 ) -> Result<u64, String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
     let fail = |stage: &str, e: &dyn std::fmt::Display| format!("shard {shard} {stage}: {e}");
+    let fsync = wal.as_ref().is_some_and(|w| w.fsync());
     if incremental && store.checkpoint_seq() > 0 {
         let bytes = store
             .write_incremental()
@@ -159,8 +190,8 @@ fn checkpoint(
         if let Some(w) = wal {
             w.append_marker(store.checkpoint_seq())?;
         }
-        let path = dir.join(delta_file(shard, store.checkpoint_seq()));
-        std::fs::write(&path, &bytes).map_err(|e| fail("delta write", &e))?;
+        let name = delta_file(shard, store.checkpoint_seq());
+        write_atomic(dir, &name, &bytes, fsync).map_err(|e| fail("delta write", &e))?;
         Ok(bytes.len() as u64)
     } else {
         let bytes = store
@@ -169,8 +200,7 @@ fn checkpoint(
         if let Some(w) = wal {
             w.append_marker(store.checkpoint_seq())?;
         }
-        let path = dir.join(full_file(shard));
-        std::fs::write(&path, &bytes).map_err(|e| fail("full write", &e))?;
+        write_atomic(dir, &full_file(shard), &bytes, fsync).map_err(|e| fail("full write", &e))?;
         remove_stale_deltas(shard, dir);
         Ok(bytes.len() as u64)
     }
@@ -194,8 +224,8 @@ fn compact(
         .map_err(|e: SnapshotError| format!("shard {shard} full encode: {e}"))?;
     wal.rotate(store.checkpoint_seq())?;
     wal.append_marker(store.checkpoint_seq())?;
-    let path = dir.join(full_file(shard));
-    std::fs::write(&path, &bytes).map_err(|e| format!("shard {shard} full write: {e}"))?;
+    write_atomic(dir, &full_file(shard), &bytes, wal.fsync())
+        .map_err(|e| format!("shard {shard} full write: {e}"))?;
     remove_stale_deltas(shard, dir);
     wal.truncate_sealed()?;
     wal.note_compaction();

@@ -22,6 +22,17 @@ pub(super) fn wal_file(shard: usize, segment: u64) -> String {
     format!("shard-{shard}.wal-{segment:06}")
 }
 
+/// Fsync a directory so file creations, renames, and removals inside it
+/// survive power loss. Appends only sync file *contents*; the directory
+/// entry pointing at a fresh segment (or the ordering of a removal) needs
+/// its own sync, or a freshly rotated segment can vanish on power loss and
+/// replay sees a chain gap.
+pub(super) fn sync_dir(dir: &Path) -> Result<(), String> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| format!("sync dir {}: {e}", dir.display()))
+}
+
 /// The durability knobs a [`ShardWal`] runs with, copied out of the
 /// [`ServerConfig`](crate::config::ServerConfig).
 #[derive(Debug, Clone, Copy)]
@@ -176,6 +187,12 @@ impl ShardWal {
         self.compactions
     }
 
+    /// Whether this log syncs every write (checkpoint files written next
+    /// to it must then sync too, or the log's durability claim is hollow).
+    pub(super) fn fsync(&self) -> bool {
+        self.cfg.fsync
+    }
+
     /// Whether the log has outgrown the compaction threshold.
     pub(super) fn needs_compaction(&self) -> bool {
         self.total_bytes() > self.cfg.compact_bytes
@@ -229,6 +246,9 @@ impl ShardWal {
             std::fs::remove_file(&path)
                 .map_err(|e| format!("shard {} wal remove {}: {e}", self.shard, path.display()))?;
         }
+        if self.cfg.fsync {
+            sync_dir(&self.dir).map_err(|e| format!("shard {} wal {e}", self.shard))?;
+        }
         self.sealed_bytes = 0;
         self.sealed_segments = 0;
         Ok(())
@@ -251,6 +271,15 @@ impl ShardWal {
             .map_err(|e| format!("shard {} wal create {}: {e}", self.shard, path.display()))?;
         file.write_all(&header)
             .map_err(|e| format!("shard {} wal header write: {e}", self.shard))?;
+        if self.cfg.fsync {
+            // The header and the directory entry must both be on the
+            // platter before any record relies on this segment existing —
+            // otherwise power loss after a rotation can drop the whole
+            // segment and replay reports a chain gap (hard SpecMismatch).
+            file.sync_data()
+                .map_err(|e| format!("shard {} wal header fsync: {e}", self.shard))?;
+            sync_dir(&self.dir).map_err(|e| format!("shard {} wal {e}", self.shard))?;
+        }
         self.file = file;
         self.active_bytes = header.len() as u64;
         Ok(())
