@@ -1,0 +1,324 @@
+//! **Standing views: read-at-memory-speed vs recompute-per-read, and the
+//! ingest tax of incremental maintenance.**
+//!
+//! The `ecm::views` subsystem trades a little work on the write path for
+//! cached answers on the read path. This bench prices both sides of that
+//! trade on a Zipf-keyed tenant fleet:
+//!
+//! * **Reads** — a hot view's `ViewSet::read` (a clone of the maintained
+//!   answer) against the equivalent on-demand query evaluated from the
+//!   sketch on every call, for the three view kinds (heavy hitters,
+//!   threshold on a self-join, fleet top-k). The headline claim is the
+//!   speedup column: views must be ≥ 10× cheaper than recomputing.
+//! * **Ingest** — end-to-end keyed ingest throughput with 0, 1 and 16
+//!   threshold views registered on the hottest tenants, maintenance run
+//!   after every batch (exactly the server's publication cadence). The
+//!   floor is a relative throughput ≥ 0.8 at 16 views (tax ≤ 20%).
+//!
+//! Results are printed and written as JSON to `BENCH_views.json` at the
+//! workspace root (`BENCH_VIEWS_OUT` overrides the path); the schema and
+//! floors are validated by `crates/bench/tests/bench_schema.rs`. Scale
+//! with `ECM_EVENTS` (default 200 000).
+
+use ecm::{
+    Query, ScalarQuery, SketchSpec, SketchStore, StandingQuery, StreamEvent, Threshold, ViewDef,
+    ViewSet, ViewWindow,
+};
+use ecm_bench::event_budget;
+use std::time::Instant;
+use stream_gen::{SeededRng, ZipfSampler};
+
+const WINDOW: u64 = 1_000_000;
+const ZIPF_SKEW: f64 = 1.05;
+const BATCH: usize = 4_096;
+const KEYS: u64 = 1_000;
+const EPS: f64 = 0.1;
+const SEED: u64 = 17;
+/// Read-side sample count (each sample is one full read call).
+const READS: usize = 2_000;
+
+/// The same keyed-trace shape as the store bench: Zipf-hot tenants,
+/// slowly advancing ticks, items inside the 8-bit hierarchy universe.
+fn keyed_trace(target_events: usize, seed: u64) -> Vec<(u64, StreamEvent)> {
+    let mut rng = SeededRng::seed_from_u64(seed);
+    let tenants = ZipfSampler::new(KEYS, ZIPF_SKEW);
+    let mut out = Vec::with_capacity(target_events + 8);
+    let mut ts = 1u64;
+    while out.len() < target_events {
+        ts += rng.gen_range(0..2u64);
+        let tenant = tenants.sample(&mut rng);
+        let run = if rng.gen_bool(0.3) {
+            rng.gen_range(2..6u64)
+        } else {
+            1
+        };
+        for _ in 0..run {
+            let item = rng.gen_range(0..64u64);
+            out.push((tenant, StreamEvent::new(item, ts)));
+        }
+    }
+    out.truncate(target_events);
+    out
+}
+
+fn spec() -> SketchSpec {
+    // A hierarchy so heavy-hitter views are answerable.
+    SketchSpec::time(WINDOW)
+        .epsilon(EPS)
+        .hierarchy(8)
+        .seed(SEED)
+}
+
+/// Hot tenant under Zipf skew: key 1 sees the most traffic.
+fn hot_key() -> u64 {
+    1
+}
+
+struct ReadRow {
+    view: &'static str,
+    read_us: f64,
+    recompute_us: f64,
+    speedup: f64,
+}
+
+/// Time `READS` calls of `f`, best of two passes, in µs per call.
+fn time_us(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let start = Instant::now();
+        for _ in 0..READS {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best / READS as f64 * 1e6
+}
+
+fn measure_reads(store: &SketchStore<u64>) -> Vec<ReadRow> {
+    let w = ViewWindow::Time { range: WINDOW };
+    let defs = [
+        (
+            "heavy_hitters",
+            ViewDef {
+                name: "hh".to_string(),
+                key: Some(hot_key()),
+                query: StandingQuery::HeavyHitters {
+                    threshold: Threshold::Relative(0.05),
+                },
+                window: w,
+            },
+        ),
+        (
+            "threshold_self_join",
+            ViewDef {
+                name: "sj".to_string(),
+                key: Some(hot_key()),
+                query: StandingQuery::Threshold {
+                    query: ScalarQuery::SelfJoin,
+                    limit: 1e12,
+                },
+                window: w,
+            },
+        ),
+        (
+            "topk",
+            ViewDef {
+                name: "top".to_string(),
+                key: None,
+                query: StandingQuery::TopK { k: 10 },
+                window: w,
+            },
+        ),
+    ];
+    let mut views: ViewSet<u64> = ViewSet::new();
+    for (_, def) in &defs {
+        views.create(def.clone()).expect("valid defs");
+    }
+    views.maintain(store); // materialize nothing (all cold) …
+    for (_, def) in &defs {
+        views.read(&def.name, store).expect("data resident"); // … warm here
+    }
+
+    let now = store
+        .get(&hot_key())
+        .expect("hot tenant resident")
+        .write_clock();
+    defs.iter()
+        .map(|(label, def)| {
+            // Hot cached read.
+            let read_us = time_us(|| {
+                let r = views.read(&def.name, store).expect("hot view");
+                std::hint::black_box(r);
+            });
+            // The equivalent on-demand evaluation, once per call.
+            let recompute_us = match &def.query {
+                StandingQuery::HeavyHitters { threshold } => {
+                    let q = Query::heavy_hitters(*threshold);
+                    time_us(|| {
+                        let a = store
+                            .query(&hot_key(), &q, def.window.resolve(now))
+                            .expect("resident")
+                            .expect("supported");
+                        std::hint::black_box(a);
+                    })
+                }
+                StandingQuery::Threshold { query, .. } => {
+                    let q = query.to_query();
+                    time_us(|| {
+                        let a = store
+                            .query(&hot_key(), &q, def.window.resolve(now))
+                            .expect("resident")
+                            .expect("supported");
+                        std::hint::black_box(a);
+                    })
+                }
+                StandingQuery::TopK { k } => {
+                    let q = Query::total_arrivals();
+                    time_us(|| {
+                        let a = store.top_k(*k, &q, def.window.resolve(now));
+                        std::hint::black_box(a);
+                    })
+                }
+            };
+            ReadRow {
+                view: label,
+                read_us,
+                recompute_us,
+                speedup: recompute_us / read_us,
+            }
+        })
+        .collect()
+}
+
+struct IngestRow {
+    views: usize,
+    meps: f64,
+    relative: f64,
+}
+
+/// Keyed ingest with `n_views` threshold views on the hottest tenants,
+/// maintenance after every batch — the server's publication cadence. The
+/// first batch (plus one read per view, pulling it out of cold partial
+/// state so maintenance actually recomputes it) happens off the clock.
+fn measure_ingest(events: &[(u64, StreamEvent)], n_views: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut timed_events = 0usize;
+    for _ in 0..2 {
+        let mut store: SketchStore<u64> = SketchStore::new(spec()).expect("valid spec");
+        let mut views: ViewSet<u64> = ViewSet::new();
+        for i in 0..n_views {
+            views
+                .create(ViewDef {
+                    name: format!("v{i}"),
+                    key: Some(1 + i as u64), // Zipf: keys 1..=16 are hottest
+                    query: StandingQuery::Threshold {
+                        query: ScalarQuery::Total,
+                        limit: 1e9,
+                    },
+                    window: ViewWindow::Time { range: WINDOW },
+                })
+                .expect("valid defs");
+        }
+        let mut chunks = events.chunks(BATCH);
+        let warmup = chunks.next().expect("non-empty trace");
+        store.ingest(warmup);
+        for i in 0..n_views {
+            // A not-yet-resident key leaves the view pending; it
+            // materializes (and is maintained) from its first write on.
+            let _ = views.read(&format!("v{i}"), &store);
+        }
+        timed_events = events.len() - warmup.len();
+        let start = Instant::now();
+        for chunk in chunks {
+            store.ingest(chunk);
+            std::hint::black_box(views.maintain(&store));
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+        // Hot views must actually have been maintained, or the tax is fake.
+        assert!(
+            n_views == 0 || views.stats().maintenance > 0,
+            "maintenance never ran with {n_views} views"
+        );
+    }
+    timed_events as f64 / best / 1e6
+}
+
+fn render_json(reads: &[ReadRow], ingest: &[IngestRow], events: usize) -> String {
+    let mut read_rows = String::new();
+    for (i, r) in reads.iter().enumerate() {
+        if i > 0 {
+            read_rows.push_str(",\n");
+        }
+        read_rows.push_str(&format!(
+            "    {{\"view\": \"{}\", \"read_us\": {:.4}, \"recompute_us\": {:.4}, \"speedup\": {:.2}}}",
+            r.view, r.read_us, r.recompute_us, r.speedup
+        ));
+    }
+    let mut ingest_rows = String::new();
+    for (i, r) in ingest.iter().enumerate() {
+        if i > 0 {
+            ingest_rows.push_str(",\n");
+        }
+        ingest_rows.push_str(&format!(
+            "    {{\"views\": {}, \"meps\": {:.3}, \"relative\": {:.3}}}",
+            r.views, r.meps, r.relative
+        ));
+    }
+    format!(
+        "{{\n  \"schema_version\": 1,\n  \"bench\": \"views\",\n  \"workload\": {{\n    \
+         \"events\": {events},\n    \"batch\": {BATCH},\n    \"keys\": {KEYS},\n    \
+         \"zipf_skew\": {ZIPF_SKEW},\n    \"epsilon\": {EPS},\n    \"window\": {WINDOW},\n    \
+         \"reads\": {READS}\n  }},\n  \"reads\": [\n{read_rows}\n  ],\n  \
+         \"ingest\": [\n{ingest_rows}\n  ]\n}}\n"
+    )
+}
+
+fn main() {
+    let n_events = event_budget();
+    let events = keyed_trace(n_events, 42);
+
+    // Read side: a fully-ingested fleet, views warmed, then read hot.
+    let mut store: SketchStore<u64> = SketchStore::new(spec()).expect("valid spec");
+    for chunk in events.chunks(BATCH) {
+        store.ingest(chunk);
+    }
+    println!("standing views: {n_events} events, {KEYS} Zipf({ZIPF_SKEW}) tenants");
+    println!(
+        "{:>22} {:>10} {:>14} {:>9}",
+        "view", "read_us", "recompute_us", "speedup"
+    );
+    let reads = measure_reads(&store);
+    for r in &reads {
+        println!(
+            "{:>22} {:>10.4} {:>14.4} {:>8.1}x",
+            r.view, r.read_us, r.recompute_us, r.speedup
+        );
+    }
+
+    // Write side: the maintenance tax at 0 / 1 / 16 registered views.
+    println!("\n{:>8} {:>10} {:>9}", "views", "Mev/s", "relative");
+    let base = measure_ingest(&events, 0);
+    let mut ingest = vec![IngestRow {
+        views: 0,
+        meps: base,
+        relative: 1.0,
+    }];
+    for n_views in [1usize, 16] {
+        let meps = measure_ingest(&events, n_views);
+        ingest.push(IngestRow {
+            views: n_views,
+            meps,
+            relative: meps / base,
+        });
+    }
+    for r in &ingest {
+        println!("{:>8} {:>10.3} {:>9.3}", r.views, r.meps, r.relative);
+    }
+
+    let json = render_json(&reads, &ingest, n_events);
+    let out = std::env::var("BENCH_VIEWS_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_views.json").to_string()
+    });
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("\nwrote {out}");
+}

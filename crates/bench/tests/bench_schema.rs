@@ -1,6 +1,7 @@
 //! Schema validation for the checked-in `BENCH_ingest.json`,
-//! `BENCH_store.json`, `BENCH_query.json`, `BENCH_snapshot.json` and
-//! `BENCH_server.json`: CI runs this with the ordinary test suite, so
+//! `BENCH_store.json`, `BENCH_query.json`, `BENCH_snapshot.json`,
+//! `BENCH_server.json`, `BENCH_wal.json` and `BENCH_views.json`: CI runs
+//! this with the ordinary test suite, so
 //! bench-result drift (renamed fields, missing backends or fleet sizes, a
 //! fast path that lost its edge, a slab layout that stopped saving memory,
 //! a checkpoint path that got slow, a server that stopped keeping up) fails
@@ -323,6 +324,81 @@ fn store_bench_rates_are_sane_and_the_facade_is_not_ruinous() {
         );
     }
     assert_eq!(rows, 2, "expected exactly the 10k and 100k key rows");
+}
+
+#[test]
+fn views_bench_schema_is_valid() {
+    let text = load_file("BENCH_views.json");
+    assert_eq!(field_f64(&text, "schema_version") as u64, 1);
+    assert!(text.contains("\"bench\": \"views\""));
+    assert!(field_f64(&text, "events") >= 1_000.0, "workload too small");
+    assert!(field_f64(&text, "keys") >= 2.0, "not multi-tenant");
+    assert!(field_f64(&text, "reads") >= 100.0, "too few read samples");
+    // Every view kind of the read matrix and every fleet size of the
+    // ingest matrix must be present.
+    for view in ["heavy_hitters", "threshold_self_join", "topk"] {
+        assert!(
+            text.contains(&format!("\"view\": \"{view}\"")),
+            "missing {view} read row"
+        );
+    }
+    for views in [0u64, 1, 16] {
+        assert!(
+            text.contains(&format!("\"views\": {views},")),
+            "missing {views}-view ingest row"
+        );
+    }
+}
+
+#[test]
+fn views_bench_reads_beat_recompute_and_the_ingest_tax_is_bounded() {
+    let text = load_file("BENCH_views.json");
+    for chunk in text.split("\"view\": ").skip(1) {
+        let read = field_f64(chunk, "read_us");
+        let recompute = field_f64(chunk, "recompute_us");
+        let speedup = field_f64(chunk, "speedup");
+        assert!(read > 0.0 && recompute > 0.0 && speedup > 0.0);
+        // The recorded speedup must be consistent with the recorded times.
+        let implied = recompute / read;
+        assert!(
+            (speedup - implied).abs() <= 0.15 * implied,
+            "speedup {speedup} inconsistent with times ({implied:.1})"
+        );
+        // Acceptance target: a maintained view answers ≥ 10× faster than
+        // recomputing from the sketch (measured 500–100 000× on the
+        // recording box — a cached clone vs a grid walk or a fleet scan).
+        assert!(
+            speedup >= 10.0,
+            "view-read speedup regressed: {speedup}x < 10x"
+        );
+    }
+    let mut base = None;
+    for chunk in text.split("\"views\": ").skip(1) {
+        let n: f64 = field_f64(chunk, "meps");
+        let relative = field_f64(chunk, "relative");
+        assert!(n > 0.0 && relative > 0.0);
+        let views = chunk
+            .split(',')
+            .next()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .expect("views count");
+        if views == 0 {
+            base = Some(n);
+            continue;
+        }
+        let implied = n / base.expect("0-view row comes first");
+        assert!(
+            (relative - implied).abs() <= 0.15 * implied,
+            "relative {relative} inconsistent with rates ({implied:.3})"
+        );
+        // Acceptance target: maintaining 16 hot views after every batch
+        // costs at most 20% of bare ingest throughput (measured ~2% —
+        // dirty-key tracking touches only the registered keys).
+        assert!(
+            relative >= 0.8,
+            "ingest tax at {views} views regressed: {relative}x of bare < 0.8x"
+        );
+    }
 }
 
 #[test]

@@ -60,6 +60,7 @@ pub mod query;
 pub mod sketch;
 pub mod snapshot;
 pub mod store;
+pub mod views;
 pub mod wal;
 
 pub use api::{Backend, Clock, Sketch, SketchSpec, SketchWriter, SpecBackend, SpecError};
@@ -77,4 +78,8 @@ pub use snapshot::{
     restore_any, restore_sketch, snapshot_sketch, SnapshotError, SnapshotKey, SNAPSHOT_VERSION,
 };
 pub use store::{Eviction, MemoryReport, SketchStore};
+pub use views::{
+    ScalarQuery, StandingQuery, ViewAnswer, ViewDef, ViewError, ViewEvent, ViewReadout, ViewSet,
+    ViewSetStats, ViewWindow,
+};
 pub use wal::{ReplayReport, WalRecord, WalSegment, WalSegmentHeader, WAL_VERSION};

@@ -391,6 +391,31 @@ impl<K: Eq + Hash + Ord + Clone> SketchStore<K> {
             .filter(|k| self.entries.contains_key(k))
             .count()
     }
+
+    /// The store's current write-stamp clock: a monotone version that
+    /// advances once per write. A reader that remembers a version and
+    /// later asks [`written_since`](Self::written_since) sees exactly the
+    /// keys written in between — the standing-view maintainer's dirty-key
+    /// feed.
+    pub fn version(&self) -> u64 {
+        self.clock
+    }
+
+    /// The resident keys written strictly after write-stamp `version`, in
+    /// sorted order. Note that [`advance_to`](Self::advance_to) moves
+    /// window clocks without refreshing write stamps, so a pure clock
+    /// advance is invisible here — callers tracking window slides must
+    /// re-evaluate on advance, not wait for a write.
+    pub fn written_since(&self, version: u64) -> Vec<&K> {
+        let mut keys: Vec<&K> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.last_written > version)
+            .map(|(k, _)| k)
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
 }
 
 /// Leading magic of a fleet (store) snapshot — distinct from the

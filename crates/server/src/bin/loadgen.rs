@@ -11,6 +11,7 @@
 //! | `LOADGEN_CONNS` | concurrent ingest connections (4) |
 //! | `LOADGEN_BATCH` | events per `BATCH` frame (1 024) |
 //! | `LOADGEN_QUERIES` | query round-trips to measure (2 000) |
+//! | `LOADGEN_VIEWS` | standing views to register + read/subscribe (0 = off) |
 //! | `LOADGEN_SEED` | trace seed (42) |
 //! | `LOADGEN_SHARDS` | shards of the spawned server (4) |
 //! | `ECM_EVENTS` | trace length (200 000; same knob as `crates/bench`) |
@@ -54,6 +55,7 @@ fn main() {
     cfg.connections = env_parse("LOADGEN_CONNS").unwrap_or(cfg.connections);
     cfg.batch = env_parse("LOADGEN_BATCH").unwrap_or(cfg.batch);
     cfg.queries = env_parse("LOADGEN_QUERIES").unwrap_or(cfg.queries);
+    cfg.views = env_parse("LOADGEN_VIEWS").unwrap_or(cfg.views);
     cfg.seed = env_parse("LOADGEN_SEED").unwrap_or(cfg.seed);
     cfg.events = env_parse("ECM_EVENTS").unwrap_or(cfg.events);
 
@@ -73,6 +75,17 @@ fn main() {
         "query RTT: p50 {:.1} us, p95 {:.1} us, p99 {:.1} us over {} calls",
         report.query_p50_us, report.query_p95_us, report.query_p99_us, report.queries
     );
+    if report.views > 0 {
+        println!(
+            "views: {} registered, VIEW READ p50 {:.1} us / p95 {:.1} us over {} calls, \
+             {} notifications drained",
+            report.views,
+            report.view_read_p50_us,
+            report.view_read_p95_us,
+            report.view_reads,
+            report.notifications
+        );
+    }
 
     if let Some(server) = spawned {
         let mut client = Client::connect(&addr).unwrap_or_else(|e| {

@@ -118,6 +118,19 @@ impl Client {
         self.writer.write_all(buf.as_bytes())?;
         self.recv()
     }
+
+    /// Subscribe this connection to a standing view's notification stream.
+    /// Returns the server's ack line; after an `"ok":true` ack the
+    /// connection is push-only — keep calling [`recv`](Client::recv) to
+    /// drain notifications (including `"notify":"ping"` heartbeats and
+    /// `"notify":"dropped"` backlog markers). On an error ack (unknown
+    /// view) the connection stays in command mode.
+    ///
+    /// # Errors
+    /// As [`send`](Client::send) / [`recv`](Client::recv).
+    pub fn subscribe(&mut self, view: &str) -> std::io::Result<String> {
+        self.call(&format!("SUBSCRIBE {view}"))
+    }
 }
 
 impl std::fmt::Debug for Client {

@@ -54,6 +54,11 @@ pub struct ServerConfig {
     /// fsync additionally survives kernel panics and power loss, at a
     /// large throughput cost.
     pub wal_fsync: bool,
+    /// Per-subscriber notification outbox depth, in messages (default
+    /// 256). A subscriber that falls further behind than this loses
+    /// notifications — marked by a typed drop record on its stream — so a
+    /// slow consumer can never block a shard worker.
+    pub subscriber_outbox: usize,
 }
 
 impl ServerConfig {
@@ -72,6 +77,7 @@ impl ServerConfig {
             wal_segment_bytes: 4 << 20,
             wal_compact_bytes: 16 << 20,
             wal_fsync: false,
+            subscriber_outbox: 256,
         }
     }
 
@@ -146,6 +152,13 @@ impl ServerConfig {
     /// death).
     pub fn wal_fsync(mut self, on: bool) -> Self {
         self.wal_fsync = on;
+        self
+    }
+
+    /// Set the per-subscriber notification outbox depth (must be ≥ 1;
+    /// validated by the engine).
+    pub fn subscriber_outbox(mut self, depth: usize) -> Self {
+        self.subscriber_outbox = depth;
         self
     }
 }

@@ -1,0 +1,203 @@
+//! The notification hub: fans standing-view events out to subscribers
+//! over bounded per-subscriber outboxes.
+//!
+//! Shard workers publish already-rendered notification lines here after
+//! every maintenance round. Delivery is strictly non-blocking
+//! (`try_send`): a subscriber that falls behind its outbox depth loses
+//! lines, and the loss is *typed* — before its next successful delivery
+//! the subscriber receives a `{"notify":"dropped","count":N}` marker
+//! accounting for every line it missed. A slow consumer can therefore
+//! never block a shard worker, and can always tell that (and how much)
+//! it missed.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Mutex;
+
+use crate::protocol::response;
+
+/// One subscriber's state: its view filter, its bounded outbox, and the
+/// count of lines dropped since its last successful delivery.
+struct Subscriber {
+    view: String,
+    tx: SyncSender<String>,
+    /// Lines lost since the last line that reached the outbox; folded
+    /// into the next drop marker.
+    pending_drops: u64,
+}
+
+/// Aggregate hub counters for `STATS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HubStats {
+    /// Live subscribers.
+    pub subscribers: usize,
+    /// Notification lines dropped on full outboxes since startup.
+    pub dropped: u64,
+}
+
+/// The fan-out registry. Cheap to share behind an `Arc`; publishing
+/// takes the lock only long enough to `try_send` (never a blocking
+/// send), so contention between shard workers stays bounded.
+pub struct ViewHub {
+    subs: Mutex<HashMap<u64, Subscriber>>,
+    next_id: Mutex<u64>,
+    dropped: Mutex<u64>,
+    outbox_depth: usize,
+}
+
+impl ViewHub {
+    /// A hub whose subscribers each buffer up to `outbox_depth` lines.
+    pub fn new(outbox_depth: usize) -> ViewHub {
+        ViewHub {
+            subs: Mutex::new(HashMap::new()),
+            next_id: Mutex::new(0),
+            dropped: Mutex::new(0),
+            outbox_depth: outbox_depth.max(1),
+        }
+    }
+
+    /// Register a subscriber for `view`'s notifications. Returns the
+    /// subscription id (for [`unsubscribe`](Self::unsubscribe)) and the
+    /// receiving end of the outbox.
+    pub fn subscribe(&self, view: &str) -> (u64, Receiver<String>) {
+        let (tx, rx) = sync_channel(self.outbox_depth);
+        let id = {
+            let mut next = self.next_id.lock().expect("hub id poisoned");
+            *next += 1;
+            *next
+        };
+        self.subs.lock().expect("hub poisoned").insert(
+            id,
+            Subscriber {
+                view: view.to_string(),
+                tx,
+                pending_drops: 0,
+            },
+        );
+        (id, rx)
+    }
+
+    /// Remove a subscriber (its receiver hangs up).
+    pub fn unsubscribe(&self, id: u64) {
+        self.subs.lock().expect("hub poisoned").remove(&id);
+    }
+
+    /// Live subscribers of one view (`SUBSCRIBE` answers with it).
+    pub fn subscriber_count(&self, view: &str) -> usize {
+        self.subs
+            .lock()
+            .expect("hub poisoned")
+            .values()
+            .filter(|s| s.view == view)
+            .count()
+    }
+
+    /// Aggregate counters for `STATS`.
+    pub fn stats(&self) -> HubStats {
+        HubStats {
+            subscribers: self.subs.lock().expect("hub poisoned").len(),
+            dropped: *self.dropped.lock().expect("hub drop count poisoned"),
+        }
+    }
+
+    /// Drop every subscriber whose view was just dropped.
+    pub fn evict_view(&self, view: &str) {
+        self.subs
+            .lock()
+            .expect("hub poisoned")
+            .retain(|_, s| s.view != view);
+    }
+
+    /// Deliver one rendered notification line to every subscriber of
+    /// `view`. Never blocks: a full outbox records a drop instead, and a
+    /// subscriber owing drops gets a typed marker before its next line so
+    /// the gap is visible on its stream.
+    pub fn publish(&self, view: &str, line: &str) {
+        let mut total_dropped = 0u64;
+        let mut subs = self.subs.lock().expect("hub poisoned");
+        for sub in subs.values_mut().filter(|s| s.view == view) {
+            if sub.pending_drops > 0 {
+                let marker = response::drop_marker(sub.pending_drops, view);
+                match sub.tx.try_send(marker) {
+                    Ok(()) => sub.pending_drops = 0,
+                    Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                        // Still wedged: this line joins the owed count.
+                        sub.pending_drops += 1;
+                        total_dropped += 1;
+                        continue;
+                    }
+                }
+            }
+            match sub.tx.try_send(line.to_string()) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                    sub.pending_drops += 1;
+                    total_dropped += 1;
+                }
+            }
+        }
+        drop(subs);
+        if total_dropped > 0 {
+            *self.dropped.lock().expect("hub drop count poisoned") += total_dropped;
+        }
+    }
+}
+
+impl std::fmt::Debug for ViewHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ViewHub")
+            .field("subscribers", &stats.subscribers)
+            .field("dropped", &stats.dropped)
+            .field("outbox_depth", &self.outbox_depth)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_reaches_only_matching_subscribers() {
+        let hub = ViewHub::new(8);
+        let (_ida, rxa) = hub.subscribe("a");
+        let (_idb, rxb) = hub.subscribe("b");
+        hub.publish("a", "line-1");
+        assert_eq!(rxa.try_recv().unwrap(), "line-1");
+        assert!(rxb.try_recv().is_err());
+        assert_eq!(hub.subscriber_count("a"), 1);
+        assert_eq!(hub.stats().subscribers, 2);
+    }
+
+    #[test]
+    fn slow_subscriber_gets_typed_drop_marker_not_a_stall() {
+        let hub = ViewHub::new(2);
+        let (_id, rx) = hub.subscribe("v");
+        for i in 0..5 {
+            hub.publish("v", &format!("line-{i}"));
+        }
+        // Outbox depth 2: lines 0 and 1 landed, 2..5 dropped.
+        assert_eq!(rx.try_recv().unwrap(), "line-0");
+        assert_eq!(rx.try_recv().unwrap(), "line-1");
+        assert!(rx.try_recv().is_err());
+        assert_eq!(hub.stats().dropped, 3);
+        // The next publish first accounts for the gap, then delivers.
+        hub.publish("v", "line-5");
+        let marker = rx.try_recv().unwrap();
+        assert!(marker.contains("\"notify\":\"dropped\"") && marker.contains("\"count\":3"));
+        assert_eq!(rx.try_recv().unwrap(), "line-5");
+    }
+
+    #[test]
+    fn unsubscribe_and_evict_remove_subscribers() {
+        let hub = ViewHub::new(4);
+        let (id, rx) = hub.subscribe("v");
+        hub.unsubscribe(id);
+        hub.publish("v", "x");
+        assert!(rx.try_recv().is_err());
+        let (_id2, _rx2) = hub.subscribe("v");
+        hub.evict_view("v");
+        assert_eq!(hub.stats().subscribers, 0);
+    }
+}

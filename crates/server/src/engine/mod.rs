@@ -20,18 +20,35 @@
 //!   is applied (and checkpointed, when a snapshot dir is configured)
 //!   before the worker exits.
 
+mod hub;
 mod router;
 mod shard;
 mod wal;
 
+pub use hub::{HubStats, ViewHub};
 pub use router::{Engine, EngineError, SnapshotReport, MAX_INGEST_OCCURRENCES};
 
 use std::path::PathBuf;
 use std::sync::mpsc::Sender;
 
-use ecm::{Answer, QueryError, StreamEvent, WindowSpec};
+use ecm::{Answer, QueryError, StreamEvent, ViewDef, ViewError, ViewReadout, WindowSpec};
 
 use crate::protocol::OwnedQuery;
+
+/// Fleet-wide standing-view counters for `STATS`: the registry size, the
+/// summed per-shard maintenance cost, and the hub's subscriber numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ViewsSummary {
+    /// Views in the engine registry.
+    pub registered: usize,
+    /// Per-view recomputations on the maintenance path since startup,
+    /// summed over shards.
+    pub maintenance: u64,
+    /// Live subscribers.
+    pub subscribers: usize,
+    /// Notification lines dropped on full subscriber outboxes.
+    pub dropped: u64,
+}
 
 /// One shard's contribution to `STATS`, gathered by the worker itself (no
 /// cross-shard locking).
@@ -55,6 +72,11 @@ pub struct ShardStats {
     pub wal_segments: u64,
     /// WAL compactions folded into full checkpoints since startup.
     pub compactions: u64,
+    /// Standing views registered on this shard.
+    pub views: usize,
+    /// Per-view recomputations this shard's maintenance path has run
+    /// since startup.
+    pub view_maintenance: u64,
 }
 
 /// A typed message delivered to one shard worker's mailbox.
@@ -113,6 +135,29 @@ pub enum ShardMsg {
         /// Where the worker reports bytes written or the error.
         reply: Sender<ShardReply>,
     },
+    /// Register a standing view on this shard (keyed views go only to the
+    /// key's owner; fleet-wide views go to every shard).
+    ViewCreate {
+        /// The validated definition.
+        def: ViewDef<String>,
+        /// Where the worker acks.
+        reply: Sender<ShardReply>,
+    },
+    /// Drop a standing view from this shard's registry.
+    ViewDrop {
+        /// The view name.
+        name: String,
+        /// Where the worker acks.
+        reply: Sender<ShardReply>,
+    },
+    /// Read a standing view's materialized answer (computing it on first
+    /// read — partial state).
+    ViewRead {
+        /// The view name.
+        name: String,
+        /// Where the worker sends its [`ShardReply::View`].
+        reply: Sender<ShardReply>,
+    },
     /// Drain, write a final full checkpoint when a snapshot dir is
     /// configured, ack, and exit the worker thread.
     Shutdown {
@@ -143,6 +188,10 @@ pub enum ShardReply {
     },
     /// Checkpoint failed (I/O or encoding).
     SnapshotError(String),
+    /// `ViewCreate` / `ViewDrop` applied on this shard.
+    ViewOk,
+    /// `ViewRead` outcome.
+    View(Result<ViewReadout<String>, ViewError>),
     /// `Shutdown` complete (final checkpoint written if configured).
     Stopped {
         /// Error from the final checkpoint, if one was attempted and

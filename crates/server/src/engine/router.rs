@@ -2,18 +2,23 @@
 //! routes per-key queries, broadcasts cross-key ones, and orchestrates
 //! snapshot / shutdown.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::mpsc::{channel, sync_channel, SyncSender};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 
-use ecm::{Answer, QueryError, SketchStore, SpecError, StreamEvent, WindowSpec};
+use ecm::{
+    Answer, QueryError, SketchStore, SpecError, StandingQuery, StreamEvent, ViewAnswer, ViewDef,
+    ViewError, ViewReadout, WindowSpec,
+};
 
+use super::hub::ViewHub;
 use super::shard;
 use super::wal::{ShardWal, WalConfig};
-use super::{route, ShardMsg, ShardReply, ShardStats};
+use super::{route, ShardMsg, ShardReply, ShardStats, ViewsSummary};
 use crate::config::ServerConfig;
-use crate::protocol::OwnedQuery;
+use crate::protocol::{parse_view_def, wire_view_def, OwnedQuery};
 
 /// Hard cap on the total event occurrences one [`Engine::ingest`] call may
 /// expand to (batch lines × per-line counts): keeps one request from
@@ -70,6 +75,8 @@ pub enum EngineError {
         /// Shards in the current config.
         config: usize,
     },
+    /// A standing-view operation failed.
+    View(ViewError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -94,6 +101,7 @@ impl std::fmt::Display for EngineError {
                 f,
                 "snapshot dir was written with {manifest} shards, config has {config}"
             ),
+            EngineError::View(e) => write!(f, "{e}"),
         }
     }
 }
@@ -120,6 +128,7 @@ impl EngineError {
             EngineError::Wal(_) => "wal",
             EngineError::Restore(_) => "restore",
             EngineError::ShardCountMismatch { .. } => "shard_count_mismatch",
+            EngineError::View(e) => e.code(),
         }
     }
 }
@@ -154,6 +163,12 @@ pub struct Engine {
     /// `2^bits` when the spec stacks a hierarchy: items at or above this
     /// would panic the hierarchy write path, so ingest rejects them first.
     item_limit: Option<u64>,
+    /// The authoritative standing-view registry: validation, routing
+    /// (keyed views live on one shard, fleet views on all), `VIEW LIST`,
+    /// and manifest persistence all read it.
+    views: Mutex<BTreeMap<String, ViewDef<String>>>,
+    /// The notification fan-out shared with every shard worker.
+    hub: Arc<ViewHub>,
 }
 
 impl Engine {
@@ -184,17 +199,33 @@ impl Engine {
                 ));
             }
         }
+        if cfg.subscriber_outbox == 0 {
+            return Err(EngineError::InvalidConfig("subscriber_outbox must be >= 1"));
+        }
         let restore_from = cfg
             .snapshot_dir
             .as_deref()
             .filter(|dir| dir.join(MANIFEST).exists());
+        let mut restored_views: BTreeMap<String, ViewDef<String>> = BTreeMap::new();
         if let Some(dir) = restore_from {
-            let manifest = read_manifest(dir)?;
+            let (manifest, view_defs) = read_manifest(dir)?;
             if manifest != cfg.shards {
                 return Err(EngineError::ShardCountMismatch {
                     manifest,
                     config: cfg.shards,
                 });
+            }
+            for wire in view_defs {
+                let toks: Vec<&str> = wire.split_ascii_whitespace().collect();
+                let def = parse_view_def(&toks)
+                    .map_err(|e| EngineError::Restore(format!("manifest view {wire:?}: {e}")))?;
+                def.validate()
+                    .map_err(|e| EngineError::Restore(format!("manifest view {wire:?}: {e}")))?;
+                if restored_views.insert(def.name.clone(), def).is_some() {
+                    return Err(EngineError::Restore(format!(
+                        "manifest view {wire:?}: duplicate name"
+                    )));
+                }
             }
         }
         if cfg.durability {
@@ -203,9 +234,10 @@ impl Engine {
             // count.
             let dir = cfg.snapshot_dir.as_deref().expect("validated above");
             if restore_from.is_none() {
-                write_manifest(dir, cfg.shards)?;
+                write_manifest(dir, cfg.shards, &[])?;
             }
         }
+        let hub = Arc::new(ViewHub::new(cfg.subscriber_outbox));
         let mut senders = Vec::with_capacity(cfg.shards);
         let mut handles = Vec::with_capacity(cfg.shards);
         for i in 0..cfg.shards {
@@ -236,10 +268,21 @@ impl Engine {
             };
             let (tx, rx) = sync_channel(cfg.mailbox_depth);
             let dir = cfg.snapshot_dir.clone();
+            // Each shard rebuilds exactly the restored views it owns:
+            // keyed views live on the key's shard, fleet views everywhere.
+            let shard_views: Vec<ViewDef<String>> = restored_views
+                .values()
+                .filter(|def| match &def.key {
+                    Some(k) => route(k, cfg.shards) == i,
+                    None => true,
+                })
+                .cloned()
+                .collect();
+            let shard_hub = Arc::clone(&hub);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("sketchd-shard-{i}"))
-                    .spawn(move || shard::run(i, store, rx, dir, wal))
+                    .spawn(move || shard::run(i, store, rx, dir, wal, shard_hub, shard_views))
                     .expect("spawn shard worker"),
             );
             senders.push(tx);
@@ -254,6 +297,8 @@ impl Engine {
                 .spec
                 .hierarchy_bits()
                 .map(|bits| 1u64.checked_shl(bits).unwrap_or(u64::MAX)),
+            views: Mutex::new(restored_views),
+            hub,
         })
     }
 
@@ -431,6 +476,224 @@ impl Engine {
         Ok(out)
     }
 
+    /// The notification hub (the front-end's `SUBSCRIBE` handler attaches
+    /// subscribers here).
+    pub fn hub(&self) -> &Arc<ViewHub> {
+        &self.hub
+    }
+
+    /// Register a standing view: validate, route the definition to the
+    /// owning shard (keyed) or every shard (fleet-wide top-k), record it
+    /// in the registry, and — when durable — persist it to the manifest
+    /// immediately so it survives `kill -9`.
+    ///
+    /// # Errors
+    /// [`View`](EngineError::View) (invalid or duplicate definition), or
+    /// the routing errors of [`query`](Engine::query).
+    pub fn view_create(&self, def: ViewDef<String>) -> Result<(), EngineError> {
+        def.validate().map_err(EngineError::View)?;
+        // Names and keys must survive the wire/manifest round trip, which
+        // tokenizes on whitespace: enforce token shape here, not at parse
+        // time, so programmatic callers get the same contract.
+        for tok in [Some(&def.name), def.key.as_ref()].into_iter().flatten() {
+            if tok.len() > crate::protocol::MAX_KEY
+                || tok.chars().any(|c| c.is_whitespace() || c.is_control())
+            {
+                return Err(EngineError::View(ViewError::Invalid {
+                    detail: "view names and keys must be whitespace-free tokens of at most \
+                             128 bytes",
+                }));
+            }
+        }
+        let mut registry = self.views.lock().expect("view registry poisoned");
+        if registry.contains_key(&def.name) {
+            return Err(EngineError::View(ViewError::Duplicate {
+                name: def.name.clone(),
+            }));
+        }
+        for shard in self.view_shards(&def) {
+            let (tx, rx) = channel();
+            self.request(
+                shard,
+                ShardMsg::ViewCreate {
+                    def: def.clone(),
+                    reply: tx,
+                },
+            )?;
+            match self.collect(shard, &rx)? {
+                ShardReply::ViewOk => {}
+                ShardReply::View(Err(e)) => return Err(EngineError::View(e)),
+                _ => return Err(EngineError::ShardDied { shard }),
+            }
+        }
+        registry.insert(def.name.clone(), def);
+        self.persist_views(&registry)
+    }
+
+    /// Drop a standing view everywhere: registry, owning shard(s), its
+    /// subscribers (their streams end), and the durable manifest.
+    ///
+    /// # Errors
+    /// [`View`](EngineError::View) when no view of that name exists, or
+    /// the routing errors of [`query`](Engine::query).
+    pub fn view_drop(&self, name: &str) -> Result<(), EngineError> {
+        let mut registry = self.views.lock().expect("view registry poisoned");
+        let def = registry.remove(name).ok_or_else(|| {
+            EngineError::View(ViewError::Unknown {
+                name: name.to_string(),
+            })
+        })?;
+        for shard in self.view_shards(&def) {
+            let (tx, rx) = channel();
+            self.request(
+                shard,
+                ShardMsg::ViewDrop {
+                    name: name.to_string(),
+                    reply: tx,
+                },
+            )?;
+            match self.collect(shard, &rx)? {
+                ShardReply::ViewOk => {}
+                _ => return Err(EngineError::ShardDied { shard }),
+            }
+        }
+        self.hub.evict_view(name);
+        self.persist_views(&registry)
+    }
+
+    /// Read a standing view's current answer. Keyed views read from the
+    /// owning shard (first read materializes — partial state); fleet-wide
+    /// top-k views broadcast and merge exactly like
+    /// [`top_k`](Engine::top_k), with `now` the maximum shard clock and
+    /// `seq` the (monotone) sum of shard publication sequences.
+    ///
+    /// # Errors
+    /// [`View`](EngineError::View) — including
+    /// [`NoData`](ecm::ViewError::NoData) when the view's key has never
+    /// been written — or the routing errors of [`query`](Engine::query).
+    pub fn view_read(&self, name: &str) -> Result<ViewReadout<String>, EngineError> {
+        let def = self
+            .views
+            .lock()
+            .expect("view registry poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| {
+                EngineError::View(ViewError::Unknown {
+                    name: name.to_string(),
+                })
+            })?;
+        match &def.key {
+            Some(k) => {
+                let shard = route(k, self.senders.len());
+                let (tx, rx) = channel();
+                self.request(
+                    shard,
+                    ShardMsg::ViewRead {
+                        name: name.to_string(),
+                        reply: tx,
+                    },
+                )?;
+                match self.collect(shard, &rx)? {
+                    ShardReply::View(r) => r.map_err(EngineError::View),
+                    _ => Err(EngineError::ShardDied { shard }),
+                }
+            }
+            None => {
+                let k = match def.query {
+                    StandingQuery::TopK { k } => k,
+                    _ => unreachable!("validated: fleet-wide views are top-k"),
+                };
+                let replies = self.broadcast(|tx| ShardMsg::ViewRead {
+                    name: name.to_string(),
+                    reply: tx,
+                })?;
+                let mut merged: Vec<(String, f64)> = Vec::new();
+                let (mut now, mut seq, mut any) = (0u64, 0u64, false);
+                for reply in replies {
+                    let readout = match reply {
+                        ShardReply::View(Ok(r)) => r,
+                        // An empty shard has no data for the fleet view
+                        // yet; its siblings may.
+                        ShardReply::View(Err(ViewError::NoData { .. })) => continue,
+                        ShardReply::View(Err(e)) => return Err(EngineError::View(e)),
+                        _ => return Err(EngineError::ShardDied { shard: 0 }),
+                    };
+                    any = true;
+                    now = now.max(readout.now);
+                    seq += readout.seq;
+                    match readout.answer {
+                        ViewAnswer::Ranking(local) => merged.extend(local),
+                        _ => return Err(EngineError::ShardDied { shard: 0 }),
+                    }
+                }
+                if !any {
+                    return Err(EngineError::View(ViewError::NoData {
+                        name: name.to_string(),
+                    }));
+                }
+                merged.sort_unstable_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| a.0.cmp(&b.0))
+                });
+                merged.truncate(k);
+                Ok(ViewReadout {
+                    answer: ViewAnswer::Ranking(merged),
+                    now,
+                    seq,
+                })
+            }
+        }
+    }
+
+    /// Registered definitions, in name order.
+    pub fn view_list(&self) -> Vec<ViewDef<String>> {
+        self.views
+            .lock()
+            .expect("view registry poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// The fleet-wide standing-view counters for `STATS`, combining the
+    /// registry, the per-shard maintenance totals, and the hub.
+    pub fn views_summary(&self, stats: &[ShardStats]) -> ViewsSummary {
+        let hub = self.hub.stats();
+        ViewsSummary {
+            registered: self.views.lock().expect("view registry poisoned").len(),
+            maintenance: stats.iter().map(|s| s.view_maintenance).sum(),
+            subscribers: hub.subscribers,
+            dropped: hub.dropped,
+        }
+    }
+
+    /// The shards a definition lives on.
+    fn view_shards(&self, def: &ViewDef<String>) -> Vec<usize> {
+        match &def.key {
+            Some(k) => vec![route(k, self.senders.len())],
+            None => (0..self.senders.len()).collect(),
+        }
+    }
+
+    /// Re-write the manifest with the current view set — only when the
+    /// engine is durable (the manifest already exists and must stay in
+    /// step). Non-durable engines persist views at `SNAPSHOT` / shutdown,
+    /// when the manifest is written next to the checkpoint files it
+    /// belongs with.
+    fn persist_views(
+        &self,
+        registry: &BTreeMap<String, ViewDef<String>>,
+    ) -> Result<(), EngineError> {
+        if !self.durable {
+            return Ok(());
+        }
+        let dir = self.snapshot_dir.as_deref().expect("durable has a dir");
+        let wire: Vec<String> = registry.values().map(wire_view_def).collect();
+        write_manifest(dir, self.senders.len(), &wire)
+    }
+
     /// Advance every shard's stream clock to `ts` with no arrivals.
     ///
     /// # Errors
@@ -466,7 +729,7 @@ impl Engine {
                 _ => return Err(EngineError::ShardDied { shard: 0 }),
             }
         }
-        write_manifest(dir, self.senders.len())?;
+        write_manifest(dir, self.senders.len(), &self.wire_views())?;
         Ok(SnapshotReport {
             dir: dir.display().to_string(),
             shards: self.senders.len(),
@@ -517,7 +780,7 @@ impl Engine {
         }
         if snapshot_error.is_none() {
             if let Some(dir) = &self.snapshot_dir {
-                write_manifest(dir, self.senders.len())?;
+                write_manifest(dir, self.senders.len(), &self.wire_views())?;
             }
         }
         match snapshot_error {
@@ -575,6 +838,16 @@ impl Engine {
     ) -> Result<ShardReply, EngineError> {
         rx.recv().map_err(|_| EngineError::ShardDied { shard })
     }
+
+    /// The registry in persisted (wire) form.
+    fn wire_views(&self) -> Vec<String> {
+        self.views
+            .lock()
+            .expect("view registry poisoned")
+            .values()
+            .map(wire_view_def)
+            .collect()
+    }
 }
 
 impl Drop for Engine {
@@ -596,22 +869,93 @@ impl std::fmt::Debug for Engine {
     }
 }
 
-/// Write the snapshot-layout manifest (`{"shards":N}`) via a same-dir
-/// temp + rename, so a crash mid-write can't tear the manifest a restart
-/// needs to restore at all.
-fn write_manifest(dir: &Path, shards: usize) -> Result<(), EngineError> {
+/// JSON-escape a manifest view string. View wire definitions are
+/// whitespace-joined tokens, so only `"` and `\` can actually occur, but
+/// the full escape keeps the manifest valid JSON no matter what.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write the snapshot-layout manifest
+/// (`{"shards":N,"views":["…", …]}`) via a same-dir temp + rename, so a
+/// crash mid-write can't tear the manifest a restart needs to restore at
+/// all. Each view is persisted as its `VIEW CREATE` wire tail, re-parsed
+/// on restore by the same protocol grammar that created it.
+fn write_manifest(dir: &Path, shards: usize, views: &[String]) -> Result<(), EngineError> {
     std::fs::create_dir_all(dir)
         .map_err(|e| EngineError::Snapshot(format!("create {}: {e}", dir.display())))?;
+    let views: Vec<String> = views
+        .iter()
+        .map(|v| format!("\"{}\"", json_escape(v)))
+        .collect();
     let tmp = dir.join(format!(".tmp.{MANIFEST}"));
-    std::fs::write(&tmp, format!("{{\"shards\":{shards}}}\n"))
-        .map_err(|e| EngineError::Snapshot(format!("write {}: {e}", tmp.display())))?;
+    std::fs::write(
+        &tmp,
+        format!("{{\"shards\":{shards},\"views\":[{}]}}\n", views.join(",")),
+    )
+    .map_err(|e| EngineError::Snapshot(format!("write {}: {e}", tmp.display())))?;
     let path = dir.join(MANIFEST);
     std::fs::rename(&tmp, &path)
         .map_err(|e| EngineError::Snapshot(format!("rename {}: {e}", path.display())))
 }
 
-/// Read the shard count back from the manifest.
-fn read_manifest(dir: &Path) -> Result<usize, EngineError> {
+/// Parse the JSON string array following `at` in `text` (the opening `[`
+/// position): minimal, escape-aware, and tolerant of whitespace.
+fn parse_string_array(text: &str, context: &str) -> Result<Vec<String>, EngineError> {
+    let corrupt = |what: &str| EngineError::Restore(format!("{context}: {what}"));
+    let mut out = Vec::new();
+    let mut chars = text.chars();
+    loop {
+        // Between elements: skip whitespace and separators until a string
+        // opens or the array closes.
+        let open = loop {
+            match chars.next() {
+                Some(']') => return Ok(out),
+                Some('"') => break '"',
+                Some(c) if c.is_whitespace() || c == ',' => continue,
+                _ => return Err(corrupt("malformed view array")),
+            }
+        };
+        let _ = open;
+        let mut s = String::new();
+        loop {
+            match chars.next() {
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('n') => s.push('\n'),
+                    Some('r') => s.push('\r'),
+                    Some('t') => s.push('\t'),
+                    Some('u') => {
+                        let hex: String = chars.by_ref().take(4).collect();
+                        let code =
+                            u32::from_str_radix(&hex, 16).map_err(|_| corrupt("bad \\u escape"))?;
+                        s.push(char::from_u32(code).ok_or_else(|| corrupt("bad \\u escape"))?);
+                    }
+                    _ => return Err(corrupt("bad escape")),
+                },
+                Some(c) => s.push(c),
+                None => return Err(corrupt("unterminated view string")),
+            }
+        }
+        out.push(s);
+    }
+}
+
+/// Read the shard count and persisted view definitions back from the
+/// manifest. A PR-7-era manifest without a `views` field restores with an
+/// empty view set.
+fn read_manifest(dir: &Path) -> Result<(usize, Vec<String>), EngineError> {
     let path = dir.join(MANIFEST);
     let text = std::fs::read_to_string(&path)
         .map_err(|e| EngineError::Restore(format!("read {}: {e}", path.display())))?;
@@ -624,7 +968,18 @@ fn read_manifest(dir: &Path) -> Result<usize, EngineError> {
         .skip_while(|c| c.is_whitespace())
         .take_while(|c| c.is_ascii_digit())
         .collect();
-    digits
+    let shards = digits
         .parse()
-        .map_err(|e| EngineError::Restore(format!("{}: bad shard count: {e}", path.display())))
+        .map_err(|e| EngineError::Restore(format!("{}: bad shard count: {e}", path.display())))?;
+    let views = match text.find("\"views\":") {
+        None => Vec::new(),
+        Some(at) => {
+            let rest = &text[at + "\"views\":".len()..];
+            let open = rest
+                .find('[')
+                .ok_or_else(|| EngineError::Restore(format!("{}: bad views", path.display())))?;
+            parse_string_array(&rest[open + 1..], &format!("{} views", path.display()))?
+        }
+    };
+    Ok((shards, views))
 }

@@ -3,11 +3,14 @@
 
 use std::path::Path;
 use std::sync::mpsc::Receiver;
+use std::sync::Arc;
 
-use ecm::{SketchStore, SnapshotError};
+use ecm::{SketchStore, SnapshotError, ViewDef, ViewEvent, ViewSet};
 
+use super::hub::ViewHub;
 use super::wal::ShardWal;
 use super::{ShardMsg, ShardReply, ShardStats};
+use crate::protocol::response;
 
 /// Name of shard `i`'s full-checkpoint file inside a snapshot directory.
 pub(super) fn full_file(shard: usize) -> String {
@@ -49,17 +52,42 @@ fn write_atomic(dir: &Path, name: &str, bytes: &[u8], fsync: bool) -> Result<(),
     Ok(())
 }
 
+/// Publish maintenance events to the hub. Only keyed notifications
+/// (threshold crossings, heavy-hitter set changes) go out: a fleet-wide
+/// top-k view's per-shard ranking is partial state no subscriber should
+/// see, so those views are read-merged by the router instead.
+fn publish(hub: &ViewHub, events: &[ViewEvent<String>]) {
+    for event in events {
+        if matches!(event, ViewEvent::RankingChanged { .. }) {
+            continue;
+        }
+        hub.publish(event.view(), &response::view_event(event));
+    }
+}
+
 /// The worker loop. Runs until the mailbox disconnects or a `Shutdown`
 /// message arrives; replies are best-effort (a requester that hung up is
-/// not an error).
+/// not an error). `restored_views` (present only when restoring) are
+/// registered and eagerly rematerialized from the restored sketches
+/// before the first message.
 pub(super) fn run(
     shard: usize,
     mut store: SketchStore<String>,
     rx: Receiver<ShardMsg>,
     snapshot_dir: Option<std::path::PathBuf>,
     mut wal: Option<ShardWal>,
+    hub: Arc<ViewHub>,
+    restored_views: Vec<ViewDef<String>>,
 ) {
     let mut ingested: u64 = 0;
+    let mut views: ViewSet<String> = ViewSet::new();
+    for def in restored_views {
+        // The engine validated and de-duplicated these when they were
+        // first created; a failure here would mean a corrupt manifest,
+        // which the router rejects before spawning workers.
+        let _ = views.create(def);
+    }
+    views.rebuild(&store);
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Ingest { events, reply } => {
@@ -78,6 +106,10 @@ pub(super) fn run(
                         if let Some(reply) = reply {
                             let _ = reply.send(ShardReply::Ingested);
                         }
+                        // Maintenance runs behind the ack but before the
+                        // next message: a reader queued behind this batch
+                        // (FIFO mailbox) always sees the maintained view.
+                        publish(&hub, &views.maintain(&store));
                         if let Some(w) = &mut wal {
                             if w.needs_compaction() {
                                 if let Some(dir) = &snapshot_dir {
@@ -112,6 +144,7 @@ pub(super) fn run(
                 let _ = reply.send(ShardReply::TopK(local));
             }
             ShardMsg::Stats { reply } => {
+                let view_stats = views.stats();
                 let _ = reply.send(ShardReply::Stats(ShardStats {
                     shard,
                     keys: store.key_count(),
@@ -121,11 +154,30 @@ pub(super) fn run(
                     wal_bytes: wal.as_ref().map_or(0, ShardWal::total_bytes),
                     wal_segments: wal.as_ref().map_or(0, ShardWal::segments),
                     compactions: wal.as_ref().map_or(0, ShardWal::compactions),
+                    views: view_stats.views,
+                    view_maintenance: view_stats.maintenance,
                 }));
             }
             ShardMsg::Flush { ts, reply } => {
                 store.advance_to(ts);
                 let _ = reply.send(ShardReply::Flushed);
+                // A clock advance slides windows without writing any key,
+                // so the dirty-key watermark sees nothing; every non-cold
+                // view re-evaluates instead.
+                publish(&hub, &views.refresh(&store));
+            }
+            ShardMsg::ViewCreate { def, reply } => {
+                let _ = reply.send(match views.create(def) {
+                    Ok(()) => ShardReply::ViewOk,
+                    Err(e) => ShardReply::View(Err(e)),
+                });
+            }
+            ShardMsg::ViewDrop { name, reply } => {
+                views.drop_view(&name);
+                let _ = reply.send(ShardReply::ViewOk);
+            }
+            ShardMsg::ViewRead { name, reply } => {
+                let _ = reply.send(ShardReply::View(views.read(&name, &store)));
             }
             ShardMsg::Snapshot {
                 dir,

@@ -13,7 +13,9 @@ use ecm::StreamEvent;
 
 use crate::config::ServerConfig;
 use crate::engine::{Engine, EngineError};
-use crate::protocol::{parse_command, parse_data_line, response, CmdError, Command, MAX_LINE};
+use crate::protocol::{
+    parse_command, parse_data_line, response, wire_view_def, CmdError, Command, MAX_LINE,
+};
 
 /// Why [`Server::start`] failed.
 #[derive(Debug)]
@@ -463,9 +465,43 @@ fn dispatch(
             Err(e) => response::error(e.code(), &e.to_string()),
         },
         Command::Stats => match engine.stats() {
-            Ok(rows) => response::stats(&rows),
+            Ok(rows) => {
+                let views = engine.views_summary(&rows);
+                response::stats(&rows, &views)
+            }
             Err(e) => response::error(e.code(), &e.to_string()),
         },
+        Command::ViewCreate { def } => {
+            let name = def.name.clone();
+            match engine.view_create(def) {
+                Ok(()) => response::view_created(&name),
+                Err(e) => response::error(e.code(), &e.to_string()),
+            }
+        }
+        Command::ViewRead { name } => match engine.view_read(&name) {
+            Ok(readout) => response::view_read(&name, &readout),
+            Err(e) => response::error(e.code(), &e.to_string()),
+        },
+        Command::ViewDrop { name } => match engine.view_drop(&name) {
+            Ok(()) => response::view_dropped(&name),
+            Err(e) => response::error(e.code(), &e.to_string()),
+        },
+        Command::ViewList => {
+            let rows: Vec<(String, &'static str, String)> = engine
+                .view_list()
+                .iter()
+                .map(|d| (d.name.clone(), d.kind(), wire_view_def(d)))
+                .collect();
+            response::view_list(&rows)
+        }
+        Command::Subscribe { view } => {
+            if !engine.view_list().iter().any(|d| d.name == view) {
+                response::error("unknown_view", &format!("no view named {view:?}"))
+            } else {
+                subscribe_loop(&view, engine, shared, writer);
+                return None; // push-only from here; the connection is done
+            }
+        }
         Command::Flush { ts } => match engine.flush(ts) {
             Ok(()) => response::flushed(ts),
             Err(e) => response::error(e.code(), &e.to_string()),
@@ -489,4 +525,50 @@ fn dispatch(
             return None;
         }
     })
+}
+
+/// Turn the connection push-only: ack the subscription, then forward every
+/// notification the hub publishes for `view` until the server stops, the
+/// view is dropped (the hub disconnects its subscribers), or the peer
+/// stops reading. A 5-second idle gap emits a `ping` notification so a
+/// half-dead peer is detected by the write instead of lingering forever.
+fn subscribe_loop(view: &str, engine: &Engine, shared: &Shared, writer: &mut TcpStream) {
+    let hub = engine.hub();
+    let (id, rx) = hub.subscribe(view);
+    // A subscription is a declaration of interest: warm the view out of its
+    // cold partial state now, otherwise a subscribe-only client would never
+    // see a notification (cold views are skipped by maintenance until some
+    // read materializes them). `NoData` is fine — the first write will
+    // materialize it.
+    let _ = engine.view_read(view);
+    if respond(writer, &response::subscribed(view)).is_err() {
+        hub.unsubscribe(id);
+        return;
+    }
+    let tick = Duration::from_millis(100);
+    let mut idle = Duration::ZERO;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match rx.recv_timeout(tick) {
+            Ok(line) => {
+                idle = Duration::ZERO;
+                if respond(writer, &line).is_err() {
+                    break;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                idle += tick;
+                if idle >= Duration::from_secs(5) {
+                    idle = Duration::ZERO;
+                    if respond(writer, &response::heartbeat()).is_err() {
+                        break;
+                    }
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    hub.unsubscribe(id);
 }

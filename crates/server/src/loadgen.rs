@@ -9,7 +9,8 @@
 //! connection in trace order — time-based sketches require per-key
 //! non-decreasing ticks.
 
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 use stream_gen::worldcup_like;
 
@@ -34,6 +35,11 @@ pub struct LoadgenConfig {
     pub query_range: u64,
     /// Trace seed (default 42).
     pub seed: u64,
+    /// Standing views to register before ingest (default 0 = off). With
+    /// views on, a subscriber drains one view's notification stream during
+    /// ingest and the query phase additionally measures `VIEW READ`
+    /// round-trips.
+    pub views: usize,
 }
 
 impl LoadgenConfig {
@@ -47,6 +53,7 @@ impl LoadgenConfig {
             queries: 2_000,
             query_range: 1_000,
             seed: 42,
+            views: 0,
         }
     }
 }
@@ -74,6 +81,18 @@ pub struct LoadgenReport {
     pub query_p95_us: f64,
     /// 99th-percentile query round-trip, microseconds.
     pub query_p99_us: f64,
+    /// Standing views registered for this run (0 = views mode off).
+    pub views: usize,
+    /// `VIEW READ` round-trips measured (views mode only).
+    pub view_reads: u64,
+    /// Median `VIEW READ` round-trip, microseconds (views mode only).
+    pub view_read_p50_us: f64,
+    /// 95th-percentile `VIEW READ` round-trip, microseconds (views mode
+    /// only).
+    pub view_read_p95_us: f64,
+    /// Notification lines the subscriber drained during ingest (views mode
+    /// only; includes heartbeats and drop markers).
+    pub notifications: u64,
 }
 
 fn io_err(detail: String) -> std::io::Error {
@@ -91,11 +110,73 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     assert!(cfg.batch >= 1, "need a positive batch size");
     let trace = worldcup_like(cfg.events, cfg.seed);
     let max_ts = trace.last().map_or(1, |e| e.ts);
-    let tenants = {
+    let sites = {
         let mut sites: Vec<u32> = trace.iter().map(|e| e.site).collect();
         sites.sort_unstable();
         sites.dedup();
-        sites.len()
+        sites
+    };
+    let tenants = sites.len();
+
+    // Views mode: register the standing views before ingest (alternating
+    // keyed threshold and fleet-wide top-k definitions — both kinds every
+    // backend can answer), and point a subscriber at the first one so the
+    // notification path is exercised concurrently with the ingest it
+    // reacts to.
+    let view_names: Vec<String> = (0..cfg.views).map(|i| format!("lg-view-{i}")).collect();
+    if cfg.views > 0 {
+        let mut control = Client::connect(&cfg.addr)?;
+        for (i, name) in view_names.iter().enumerate() {
+            let site = sites[i % sites.len()];
+            let def = if i % 2 == 0 {
+                // A sub-one limit: any in-window arrival crosses it, and a
+                // quiet window crosses back — the subscriber sees real
+                // threshold notifications in both directions.
+                format!(
+                    "{name} threshold site-{site} total 0.5 time {}",
+                    cfg.query_range
+                )
+            } else {
+                format!("{name} topk 10 time {}", cfg.query_range)
+            };
+            let resp = control.call(&format!("VIEW CREATE {def}"))?;
+            if !is_ok(&resp) {
+                return Err(io_err(format!("view create rejected: {resp}")));
+            }
+        }
+    }
+    // The subscription must be acked before the first ingest batch, or a
+    // fast trace outruns it and the crossings happen unobserved.
+    let stop_subscriber = AtomicBool::new(false);
+    let subscription = if cfg.views > 0 {
+        let mut sub = Client::connect(&cfg.addr)?;
+        sub.set_read_timeout(Some(Duration::from_millis(100)))?;
+        let ack = sub.subscribe(&view_names[0])?;
+        if !is_ok(&ack) {
+            return Err(io_err(format!("subscribe rejected: {ack}")));
+        }
+        Some(sub)
+    } else {
+        None
+    };
+    let subscriber = |mut sub: Client, stop: &AtomicBool| -> u64 {
+        let mut drained = 0u64;
+        loop {
+            match sub.recv() {
+                Ok(_) => drained += 1,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if stop.load(Ordering::SeqCst) {
+                        return drained;
+                    }
+                }
+                Err(_) => return drained,
+            }
+        }
     };
 
     // Partition by site so each tenant's events stay on one connection in
@@ -107,7 +188,9 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     }
 
     let started = Instant::now();
-    let acked: u64 = std::thread::scope(|scope| {
+    let mut ingest_secs = 0.0;
+    let (acked, notifications): (u64, u64) = std::thread::scope(|scope| {
+        let sub_handle = subscription.map(|sub| scope.spawn(|| subscriber(sub, &stop_subscriber)));
         let mut workers = Vec::with_capacity(cfg.connections);
         for lines in &per_conn {
             workers.push(scope.spawn(move || -> std::io::Result<u64> {
@@ -132,9 +215,18 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                 .map_err(|_| io_err("ingest worker panicked".to_string()))?;
             total += outcome?;
         }
-        Ok::<u64, std::io::Error>(total)
+        // The subscriber keeps draining until ingest is done, so the
+        // timed window covers exactly the mixed ingest+notify phase.
+        ingest_secs = started.elapsed().as_secs_f64();
+        stop_subscriber.store(true, Ordering::SeqCst);
+        let notes = match sub_handle {
+            Some(h) => h
+                .join()
+                .map_err(|_| io_err("subscriber panicked".to_string()))?,
+            None => 0,
+        };
+        Ok::<(u64, u64), std::io::Error>((total, notes))
     })?;
-    let ingest_secs = started.elapsed().as_secs_f64();
 
     // Query phase: point lookups for real (tenant, item) pairs spread
     // across the trace, one synchronous round-trip each.
@@ -153,19 +245,37 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
             return Err(io_err(format!("query rejected: {resp}")));
         }
     }
+    // Views mode: the same number of `VIEW READ` round-trips, round-robin
+    // over the registered views — a materialized read instead of a
+    // recompute, so its RTT prices the protocol + mailbox path alone.
+    let mut view_lat_us: Vec<f64> = Vec::new();
+    if cfg.views > 0 {
+        for i in 0..cfg.queries {
+            let cmd = format!("VIEW READ {}", view_names[i % view_names.len()]);
+            let t0 = Instant::now();
+            let resp = client.call(&cmd)?;
+            view_lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+            if !is_ok(&resp) {
+                return Err(io_err(format!("view read rejected: {resp}")));
+            }
+        }
+        view_lat_us.sort_by(f64::total_cmp);
+    }
+
     // total_cmp: a non-finite sample (a clock hiccup, a future refactor)
     // sorts to an end instead of panicking the whole run.
     lat_us.sort_by(f64::total_cmp);
     // Nearest-rank percentile: ceil(q·n) is the 1-based rank, so p99 of
     // 100 samples reads sample 99, not the max (truncation read the max
     // for every q > (n-1)/n).
-    let pct = |q: f64| -> f64 {
-        if lat_us.is_empty() {
+    let pct_of = |samples: &[f64], q: f64| -> f64 {
+        if samples.is_empty() {
             return 0.0;
         }
-        let rank = (q * lat_us.len() as f64).ceil() as usize;
-        lat_us[rank.clamp(1, lat_us.len()) - 1]
+        let rank = (q * samples.len() as f64).ceil() as usize;
+        samples[rank.clamp(1, samples.len()) - 1]
     };
+    let pct = |q: f64| pct_of(&lat_us, q);
 
     Ok(LoadgenReport {
         events: acked,
@@ -178,18 +288,35 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         query_p50_us: pct(0.50),
         query_p95_us: pct(0.95),
         query_p99_us: pct(0.99),
+        views: cfg.views,
+        view_reads: view_lat_us.len() as u64,
+        view_read_p50_us: pct_of(&view_lat_us, 0.50),
+        view_read_p95_us: pct_of(&view_lat_us, 0.95),
+        notifications,
     })
 }
 
 /// The report as the flat machine-written JSON `BENCH_server.json` holds
 /// (schema-validated by `crates/bench/tests/bench_schema.rs`).
 pub fn render_json(r: &LoadgenReport) -> String {
+    // The views block appears only in views mode, so the default server
+    // bench file keeps its original shape.
+    let views = if r.views > 0 {
+        format!(
+            ",\n    \"views\": {},\n    \"view_reads\": {},\n    \
+             \"view_read_p50_us\": {:.2},\n    \"view_read_p95_us\": {:.2},\n    \
+             \"notifications\": {}",
+            r.views, r.view_reads, r.view_read_p50_us, r.view_read_p95_us, r.notifications
+        )
+    } else {
+        String::new()
+    };
     format!(
         "{{\n  \"schema_version\": 1,\n  \"bench\": \"server\",\n  \"workload\": {{\n    \
          \"events\": {},\n    \"connections\": {},\n    \"batch\": {},\n    \
          \"tenants\": {}\n  }},\n  \"results\": {{\n    \"ingest_secs\": {:.4},\n    \
          \"ingest_meps\": {:.4},\n    \"queries\": {},\n    \"query_p50_us\": {:.2},\n    \
-         \"query_p95_us\": {:.2},\n    \"query_p99_us\": {:.2}\n  }}\n}}\n",
+         \"query_p95_us\": {:.2},\n    \"query_p99_us\": {:.2}{views}\n  }}\n}}\n",
         r.events,
         r.connections,
         r.batch,

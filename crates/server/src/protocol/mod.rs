@@ -24,15 +24,27 @@
 //! | `STATS` | per-shard key counts / memory / ingest counters |
 //! | `FLUSH <ts>` | advance every shard's clock to `ts` |
 //! | `SNAPSHOT <dir> [full\|incr]` | checkpoint every shard into `dir` |
+//! | `VIEW CREATE <name> <def>` | register a standing view |
+//! | `VIEW READ <name>` | `{"ok":true,"view":...,"now":n,"seq":s}` |
+//! | `VIEW DROP <name>` | `{"ok":true,...,"dropped":true}` |
+//! | `VIEW LIST` | `{"ok":true,"views":[...]}` |
+//! | `SUBSCRIBE <view>` | push stream of maintenance notifications |
 //! | `SHUTDOWN` | drain, final snapshot, stop the server |
 //!
 //! `<window>` is either `time <now> <range>` (a time-based window covering
 //! ticks `(now − range, now]`) or `last <n>` (the most recent `n` arrivals,
-//! for count-based specs).
+//! for count-based specs). Standing-view definitions use windows *without*
+//! `now` (`time <range>` / `last <n>`): the view pins `now` to the
+//! sketch's write clock at every maintenance round. `<def>` is
+//! `<name> hh <key> <rel:φ|abs:n> <window>`,
+//! `<name> threshold <key> <point <item>|self_join|total> <limit> <window>`,
+//! or `<name> topk <k> <window>` (see
+//! [`parser::parse_view_def`]).
 
 pub mod parser;
 pub mod response;
 
 pub use parser::{
-    parse_command, parse_data_line, CmdError, Command, OwnedQuery, MAX_BATCH, MAX_KEY, MAX_LINE,
+    parse_command, parse_data_line, parse_view_def, wire_view_def, CmdError, Command, OwnedQuery,
+    MAX_BATCH, MAX_KEY, MAX_LINE,
 };

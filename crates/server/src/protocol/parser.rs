@@ -8,7 +8,9 @@
 
 use std::fmt;
 
-use ecm::{Query, StreamEvent, Threshold, WindowSpec};
+use ecm::{
+    Query, ScalarQuery, StandingQuery, StreamEvent, Threshold, ViewDef, ViewWindow, WindowSpec,
+};
 
 /// Longest accepted request line in bytes (longer lines are rejected and
 /// the connection handler discards until the next newline).
@@ -133,6 +135,28 @@ pub enum Command {
         dir: String,
         /// `true` for an incremental (dirty-keys-only) delta.
         incremental: bool,
+    },
+    /// Register a standing view.
+    ViewCreate {
+        /// The parsed definition.
+        def: ViewDef<String>,
+    },
+    /// Read a standing view's materialized answer.
+    ViewRead {
+        /// The view name.
+        name: String,
+    },
+    /// Drop a standing view.
+    ViewDrop {
+        /// The view name.
+        name: String,
+    },
+    /// List registered views.
+    ViewList,
+    /// Turn this connection into a push stream of `view`'s notifications.
+    Subscribe {
+        /// The view name.
+        view: String,
     },
     /// Drain, optionally snapshot, and stop the server.
     Shutdown,
@@ -330,6 +354,152 @@ fn threshold(tok: &str) -> Result<Threshold, CmdError> {
         Ok(Threshold::Absolute(n))
     } else {
         Err(bad())
+    }
+}
+
+/// Parse a standing-view window clause: `time <range>` or `last <n>`.
+/// Unlike an on-demand window there is no `now` — the view pins `now` to
+/// the sketch's write clock at every maintenance round.
+fn view_window(toks: &[&str]) -> Result<ViewWindow, CmdError> {
+    match toks {
+        ["time", range] => Ok(ViewWindow::Time {
+            range: num(range, "window range")?,
+        }),
+        ["last", n] => Ok(ViewWindow::Last {
+            n: num(n, "window last_n")?,
+        }),
+        _ => Err(CmdError::BadWindow {
+            detail: "expected: time <range> | last <n> (views pin `now` themselves)",
+        }),
+    }
+}
+
+/// Parse a view-definition tail: `<name> <kind> [args…] <window>`. This
+/// is both the `VIEW CREATE` argument grammar and the form view specs are
+/// persisted in (the snapshot manifest stores exactly this string, so a
+/// restored definition re-enters through the same parser).
+///
+/// Kinds: `hh <key> <rel:φ|abs:n>`, `threshold <key> <point <item>|
+/// self_join|total> <limit>`, `topk <k>`.
+///
+/// # Errors
+/// A [`CmdError`]; never panics.
+pub fn parse_view_def(toks: &[&str]) -> Result<ViewDef<String>, CmdError> {
+    let arity = |expected| CmdError::WrongArity {
+        verb: "VIEW CREATE",
+        expected,
+    };
+    if toks.len() < 2 {
+        return Err(arity("<name> <hh|threshold|topk> [args…] <window>"));
+    }
+    let name = key(toks[0])?;
+    match toks[1] {
+        "hh" => {
+            if toks.len() < 4 {
+                return Err(arity("<name> hh <key> <rel:φ|abs:n> <window>"));
+            }
+            Ok(ViewDef {
+                name,
+                key: Some(key(toks[2])?),
+                query: StandingQuery::HeavyHitters {
+                    threshold: threshold(toks[3])?,
+                },
+                window: view_window(&toks[4..])?,
+            })
+        }
+        "threshold" => {
+            if toks.len() < 4 {
+                return Err(arity(
+                    "<name> threshold <key> <point <item>|self_join|total> <limit> <window>",
+                ));
+            }
+            let target = key(toks[2])?;
+            let (query, rest) = match toks[3] {
+                "point" => {
+                    if toks.len() < 5 {
+                        return Err(arity(
+                            "<name> threshold <key> point <item> <limit> <window>",
+                        ));
+                    }
+                    (
+                        ScalarQuery::Point {
+                            item: num(toks[4], "item")?,
+                        },
+                        &toks[5..],
+                    )
+                }
+                "self_join" => (ScalarQuery::SelfJoin, &toks[4..]),
+                "total" => (ScalarQuery::Total, &toks[4..]),
+                other => {
+                    return Err(CmdError::UnknownVerb {
+                        verb: format!("VIEW CREATE threshold {}", truncate_for_display(other)),
+                    })
+                }
+            };
+            let [limit, window @ ..] = rest else {
+                return Err(arity("<name> threshold <key> <query> <limit> <window>"));
+            };
+            let limit: f64 = num(limit, "limit")?;
+            Ok(ViewDef {
+                name,
+                key: Some(target),
+                query: StandingQuery::Threshold { query, limit },
+                window: view_window(window)?,
+            })
+        }
+        "topk" => {
+            if toks.len() < 3 {
+                return Err(arity("<name> topk <k> <window>"));
+            }
+            Ok(ViewDef {
+                name,
+                key: None,
+                query: StandingQuery::TopK {
+                    k: num(toks[2], "k")?,
+                },
+                window: view_window(&toks[3..])?,
+            })
+        }
+        other => Err(CmdError::UnknownVerb {
+            verb: format!("VIEW CREATE {}", truncate_for_display(other)),
+        }),
+    }
+}
+
+/// Render a definition back into its [`parse_view_def`] tail — the
+/// persisted (manifest) and `VIEW LIST` form. Round-trips exactly: names
+/// and keys are whitespace-free tokens and numbers use shortest
+/// round-trip formatting.
+pub fn wire_view_def(def: &ViewDef<String>) -> String {
+    let window = match def.window {
+        ViewWindow::Time { range } => format!("time {range}"),
+        ViewWindow::Last { n } => format!("last {n}"),
+    };
+    match &def.query {
+        StandingQuery::HeavyHitters { threshold } => {
+            let threshold = match threshold {
+                Threshold::Relative(phi) => format!("rel:{phi:?}"),
+                Threshold::Absolute(n) => format!("abs:{n:?}"),
+            };
+            format!(
+                "{} hh {} {threshold} {window}",
+                def.name,
+                def.key.as_deref().unwrap_or("?")
+            )
+        }
+        StandingQuery::Threshold { query, limit } => {
+            let query = match query {
+                ScalarQuery::Point { item } => format!("point {item}"),
+                ScalarQuery::SelfJoin => "self_join".to_string(),
+                ScalarQuery::Total => "total".to_string(),
+            };
+            format!(
+                "{} threshold {} {query} {limit:?} {window}",
+                def.name,
+                def.key.as_deref().unwrap_or("?")
+            )
+        }
+        StandingQuery::TopK { k } => format!("{} topk {k} {window}", def.name),
     }
 }
 
@@ -546,6 +716,56 @@ pub fn parse_command(line: &[u8]) -> Result<Command, CmdError> {
                 incremental,
             })
         }
+        "VIEW" => {
+            if toks.len() < 2 {
+                return Err(CmdError::WrongArity {
+                    verb: "VIEW",
+                    expected: "CREATE|READ|DROP|LIST …",
+                });
+            }
+            match toks[1] {
+                "CREATE" => Ok(Command::ViewCreate {
+                    def: parse_view_def(&toks[2..])?,
+                }),
+                "READ" => match toks.len() {
+                    3 => Ok(Command::ViewRead {
+                        name: key(toks[2])?,
+                    }),
+                    _ => Err(CmdError::WrongArity {
+                        verb: "VIEW READ",
+                        expected: "<name>",
+                    }),
+                },
+                "DROP" => match toks.len() {
+                    3 => Ok(Command::ViewDrop {
+                        name: key(toks[2])?,
+                    }),
+                    _ => Err(CmdError::WrongArity {
+                        verb: "VIEW DROP",
+                        expected: "<name>",
+                    }),
+                },
+                "LIST" => match toks.len() {
+                    2 => Ok(Command::ViewList),
+                    _ => Err(CmdError::WrongArity {
+                        verb: "VIEW LIST",
+                        expected: "no arguments",
+                    }),
+                },
+                other => Err(CmdError::UnknownVerb {
+                    verb: format!("VIEW {}", truncate_for_display(other)),
+                }),
+            }
+        }
+        "SUBSCRIBE" => match toks.len() {
+            2 => Ok(Command::Subscribe {
+                view: key(toks[1])?,
+            }),
+            _ => Err(CmdError::WrongArity {
+                verb: "SUBSCRIBE",
+                expected: "<view>",
+            }),
+        },
         "SHUTDOWN" => match toks.len() {
             1 => Ok(Command::Shutdown),
             _ => Err(CmdError::WrongArity {

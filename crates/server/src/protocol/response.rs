@@ -8,9 +8,9 @@
 //! (which no correct backend produces) render as `null` rather than
 //! emitting invalid JSON.
 
-use ecm::{Answer, Estimate, QueryError};
+use ecm::{Answer, Estimate, QueryError, ViewAnswer, ViewError, ViewEvent, ViewReadout};
 
-use crate::engine::{ShardStats, SnapshotReport};
+use crate::engine::{ShardStats, SnapshotReport, ViewsSummary};
 
 /// Escape a string for inclusion in a JSON string literal.
 fn escape(s: &str) -> String {
@@ -125,8 +125,9 @@ pub fn topk(rows: &[(String, f64)]) -> String {
     format!("{{\"ok\":true,\"topk\":[{}]}}", rows.join(","))
 }
 
-/// Per-shard `STATS` as a response line, plus fleet-wide totals.
-pub fn stats(rows: &[ShardStats]) -> String {
+/// Per-shard `STATS` as a response line, plus fleet-wide totals and the
+/// standing-view counters.
+pub fn stats(rows: &[ShardStats], views: &ViewsSummary) -> String {
     let keys: usize = rows.iter().map(|s| s.keys).sum();
     let memory: usize = rows.iter().map(|s| s.memory_bytes).sum();
     let ingested: u64 = rows.iter().map(|s| s.ingested).sum();
@@ -138,7 +139,7 @@ pub fn stats(rows: &[ShardStats]) -> String {
             format!(
                 "{{\"shard\":{},\"keys\":{},\"memory_bytes\":{},\"ingested\":{},\
                  \"checkpoint_seq\":{},\"wal_bytes\":{},\"wal_segments\":{},\
-                 \"compactions\":{}}}",
+                 \"compactions\":{},\"views\":{},\"view_maintenance\":{}}}",
                 s.shard,
                 s.keys,
                 s.memory_bytes,
@@ -146,13 +147,21 @@ pub fn stats(rows: &[ShardStats]) -> String {
                 s.checkpoint_seq,
                 s.wal_bytes,
                 s.wal_segments,
-                s.compactions
+                s.compactions,
+                s.views,
+                s.view_maintenance
             )
         })
         .collect();
     format!(
         "{{\"ok\":true,\"keys\":{keys},\"memory_bytes\":{memory},\"ingested\":{ingested},\
-         \"wal_bytes\":{wal_bytes},\"compactions\":{compactions},\"shards\":[{}]}}",
+         \"wal_bytes\":{wal_bytes},\"compactions\":{compactions},\
+         \"views\":{{\"registered\":{},\"maintenance\":{},\"subscribers\":{},\
+         \"dropped_notifications\":{}}},\"shards\":[{}]}}",
+        views.registered,
+        views.maintenance,
+        views.subscribers,
+        views.dropped,
         shards.join(",")
     )
 }
@@ -166,6 +175,147 @@ pub fn snapshot(r: &SnapshotReport) -> String {
         r.shards,
         r.bytes
     )
+}
+
+/// Heavy-hitter rows — the same rendering [`answer`] uses, so a view
+/// readout's hitters are string-identical to the on-demand query's.
+fn hitter_rows(hits: &[(u64, Estimate)]) -> String {
+    let rows: Vec<String> = hits
+        .iter()
+        .map(|(k, e)| format!("{{\"key\":{k},{}}}", estimate(e)))
+        .collect();
+    rows.join(",")
+}
+
+/// Ranking rows — the same rendering [`topk`] uses.
+fn ranking_rows(rows: &[(String, f64)]) -> String {
+    let rows: Vec<String> = rows
+        .iter()
+        .map(|(k, v)| format!("{{\"key\":\"{}\",\"value\":{}}}", escape(k), float(*v)))
+        .collect();
+    rows.join(",")
+}
+
+/// Ack for `VIEW CREATE`.
+pub fn view_created(name: &str) -> String {
+    format!(
+        "{{\"ok\":true,\"view\":\"{}\",\"created\":true}}",
+        escape(name)
+    )
+}
+
+/// Ack for `VIEW DROP`.
+pub fn view_dropped(name: &str) -> String {
+    format!(
+        "{{\"ok\":true,\"view\":\"{}\",\"dropped\":true}}",
+        escape(name)
+    )
+}
+
+/// `VIEW LIST` as a response line: `(name, kind, wire definition)` rows.
+pub fn view_list(rows: &[(String, &'static str, String)]) -> String {
+    let rows: Vec<String> = rows
+        .iter()
+        .map(|(name, kind, def)| {
+            format!(
+                "{{\"name\":\"{}\",\"kind\":\"{kind}\",\"def\":\"{}\"}}",
+                escape(name),
+                escape(def)
+            )
+        })
+        .collect();
+    format!("{{\"ok\":true,\"views\":[{}]}}", rows.join(","))
+}
+
+/// A `VIEW READ` readout as a response line. The answer body uses the
+/// same estimate / row rendering as the on-demand [`answer`] and
+/// [`topk`] responses — the differential suite compares the substrings.
+pub fn view_read(name: &str, r: &ViewReadout<String>) -> String {
+    let body = match &r.answer {
+        ViewAnswer::Scalar { estimate: e, above } => format!("{},\"above\":{above}", estimate(e)),
+        ViewAnswer::Hitters(hits) => format!("\"hitters\":[{}]", hitter_rows(hits)),
+        ViewAnswer::Ranking(rows) => format!("\"topk\":[{}]", ranking_rows(rows)),
+    };
+    format!(
+        "{{\"ok\":true,\"view\":\"{}\",\"kind\":\"{}\",{body},\"now\":{},\"seq\":{}}}",
+        escape(name),
+        r.answer.kind(),
+        r.now,
+        r.seq
+    )
+}
+
+/// A [`ViewError`] as a response line.
+pub fn view_error(e: &ViewError) -> String {
+    error(e.code(), &e.to_string())
+}
+
+/// Ack for `SUBSCRIBE` (sent before the connection turns push-only).
+pub fn subscribed(view: &str) -> String {
+    format!("{{\"ok\":true,\"subscribed\":\"{}\"}}", escape(view))
+}
+
+/// A maintenance notification as a push line.
+pub fn view_event(e: &ViewEvent<String>) -> String {
+    match e {
+        ViewEvent::ThresholdCrossed {
+            name,
+            above,
+            estimate: est,
+            now,
+            seq,
+        } => format!(
+            "{{\"ok\":true,\"notify\":\"threshold\",\"view\":\"{}\",\"above\":{above},{},\
+             \"now\":{now},\"seq\":{seq}}}",
+            escape(name),
+            estimate(est)
+        ),
+        ViewEvent::HittersChanged {
+            name,
+            entered,
+            left,
+            hitters,
+            now,
+            seq,
+        } => {
+            let entered: Vec<String> = entered.iter().map(u64::to_string).collect();
+            let left: Vec<String> = left.iter().map(u64::to_string).collect();
+            format!(
+                "{{\"ok\":true,\"notify\":\"heavy_hitters\",\"view\":\"{}\",\
+                 \"entered\":[{}],\"left\":[{}],\"hitters\":[{}],\"now\":{now},\"seq\":{seq}}}",
+                escape(name),
+                entered.join(","),
+                left.join(","),
+                hitter_rows(hitters)
+            )
+        }
+        ViewEvent::RankingChanged {
+            name,
+            ranking,
+            now,
+            seq,
+        } => format!(
+            "{{\"ok\":true,\"notify\":\"topk\",\"view\":\"{}\",\"topk\":[{}],\
+             \"now\":{now},\"seq\":{seq}}}",
+            escape(name),
+            ranking_rows(ranking)
+        ),
+    }
+}
+
+/// The typed gap record a slow subscriber sees in place of the `count`
+/// notifications its full outbox lost.
+pub fn drop_marker(count: u64, view: &str) -> String {
+    format!(
+        "{{\"ok\":true,\"notify\":\"dropped\",\"view\":\"{}\",\"count\":{count}}}",
+        escape(view)
+    )
+}
+
+/// The idle keep-alive line on a subscription stream (lets the server
+/// detect a dead peer by write failure).
+pub fn heartbeat() -> String {
+    "{\"ok\":true,\"notify\":\"ping\"}".to_string()
 }
 
 /// Whether a response line reports success (cheap client-side check that

@@ -7,10 +7,14 @@
 //! The union stream is also mirrored into a live `sketchd` through the
 //! pipelining `sketch-client`: an in-process server by default, or an
 //! external one when `SKETCHD_ADDR` is set (start it with a matching spec,
-//! e.g. `SKETCHD_WINDOW=5000 SKETCHD_SEED=99`). At every synchronization
-//! point the server's windowed self-join estimate is cross-checked against
-//! the coordinator's value — the network path and the in-process geometric
-//! method must tell the same story.
+//! e.g. `SKETCHD_WINDOW=5000 SKETCHD_SEED=99`). The server side is a
+//! registered standing view (`VIEW CREATE … threshold … self_join`): the
+//! server maintains the windowed self-join incrementally on its ingest
+//! path, and every synchronization point is a cheap `VIEW READ` — not a
+//! recompute — cross-checked against the coordinator's value. A second
+//! connection `SUBSCRIBE`s to the view and collects the pushed crossing
+//! notifications. The network path and the in-process geometric method
+//! must tell the same story.
 //!
 //! ```bash
 //! cargo run --release --example continuous_threshold
@@ -28,6 +32,10 @@ const SITES: u32 = 4;
 const WINDOW: u64 = 5_000;
 /// Events buffered client-side before they are shipped in one `BATCH` frame.
 const MIRROR_BATCH: usize = 512;
+/// Threshold on the self-join of the *average* statistics vector (the
+/// monitor's scale); the served view watches the raw union-stream F₂, which
+/// is n² times larger.
+const F2_THRESHOLD: f64 = 50_000.0;
 
 /// Mirror of the union stream inside a real `sketchd`.
 ///
@@ -36,6 +44,9 @@ const MIRROR_BATCH: usize = 512;
 /// for the windowed self-join over the wire.
 struct ServerMirror {
     client: Client,
+    /// A second connection in push mode, collecting the view's crossing
+    /// notifications as the server's maintenance publishes them.
+    subscriber: Client,
     /// `Some` when the example spawned its own in-process server (the
     /// default); `None` when `SKETCHD_ADDR` named an external one.
     spawned: Option<Server>,
@@ -69,12 +80,40 @@ impl ServerMirror {
                 (client, Some(server))
             }
         };
-        ServerMirror {
-            client,
-            spawned,
-            pending: Vec::new(),
-            checks: Vec::new(),
-        }
+        let mut mirror =
+            ServerMirror {
+                client,
+                subscriber: Client::connect(std::env::var("SKETCHD_ADDR").unwrap_or_else(|_| {
+                    spawned.as_ref().expect("spawned").local_addr().to_string()
+                }))
+                .expect("connect subscriber"),
+                spawned,
+                pending: Vec::new(),
+                checks: Vec::new(),
+            };
+        // Register the standing query once: the server re-evaluates it
+        // incrementally as batches land, so sync points read a cached
+        // answer instead of recomputing the window. The limit is on the
+        // raw-F2 scale (f(avg) × n²).
+        let limit = F2_THRESHOLD * f64::from(SITES * SITES);
+        let ack = mirror
+            .client
+            .call(&format!(
+                "VIEW CREATE f2 threshold union self_join {limit} time {WINDOW}"
+            ))
+            .expect("VIEW CREATE");
+        assert!(
+            is_ok(&ack) || ack.contains("duplicate_view"), // external reruns
+            "server refused the view: {ack}"
+        );
+        // Push mode: threshold crossings arrive here without being polled.
+        mirror
+            .subscriber
+            .set_read_timeout(Some(std::time::Duration::from_millis(50)))
+            .expect("read timeout");
+        let ack = mirror.subscriber.subscribe("f2").expect("SUBSCRIBE");
+        assert!(is_ok(&ack), "server refused the subscription: {ack}");
+        mirror
     }
 
     fn record(&mut self, ev: &Event) {
@@ -93,24 +132,55 @@ impl ServerMirror {
         self.pending.clear();
     }
 
-    /// At a sync point: drain the mirror, then ask the server for the same
-    /// self-join the coordinator just evaluated. The served estimate is for
-    /// F2 of the raw union stream; dividing by n² puts it on the monitor's
-    /// f(avg) scale.
+    /// At a sync point: drain the mirror, then read the standing view the
+    /// server has been maintaining. The view's consistency point is the
+    /// sketch's write clock — the event at tick `t` that triggered this
+    /// sync is the last one flushed, so the cached answer covers exactly
+    /// the window the coordinator just evaluated. The served estimate is
+    /// for F2 of the raw union stream; dividing by n² puts it on the
+    /// monitor's f(avg) scale.
     fn cross_check(&mut self, t: u64, monitor_value: f64, above: bool) {
         self.flush();
-        let resp = self
-            .client
-            .call(&format!("QUERY union self_join time {t} {WINDOW}"))
-            .expect("self-join query");
-        assert!(is_ok(&resp), "self-join query failed: {resp}");
-        let served = json_value(&resp) / f64::from(SITES * SITES);
+        let resp = self.client.call("VIEW READ f2").expect("view read");
+        assert!(is_ok(&resp), "view read failed: {resp}");
+        // An external server may carry state from earlier runs; only the
+        // fresh in-process one pins its write clock to our stream.
+        assert!(
+            self.spawned.is_none() || resp.contains(&format!("\"now\":{t}")),
+            "the view's consistency point must be the sync tick {t}: {resp}"
+        );
+        let raw = json_value(&resp);
+        // The view's crossing verdict and its estimate must agree.
+        let served_above = resp.contains("\"above\":true");
+        assert_eq!(
+            served_above,
+            raw > F2_THRESHOLD * f64::from(SITES * SITES),
+            "view verdict disagrees with its own estimate: {resp}"
+        );
+        let served = raw / f64::from(SITES * SITES);
         self.checks.push((t, monitor_value, served, above));
     }
 
-    /// Drain what is left and, if the server is ours, take it down cleanly.
-    fn finish(mut self) {
+    /// Drain what is left, collect the pushed crossing notifications, and,
+    /// if the server is ours, take it down cleanly. Returns the threshold
+    /// pushes the subscriber received.
+    fn finish(mut self) -> Vec<String> {
         self.flush();
+        // Maintenance publishes after the ingest ack; give the final
+        // batch's notifications a moment to land, then drain.
+        let mut pushes = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while std::time::Instant::now() < deadline {
+            match self.subscriber.recv() {
+                Ok(line) if line.contains("\"notify\":\"threshold\"") => pushes.push(line),
+                Ok(_) => continue, // heartbeat
+                Err(_) => {
+                    if !pushes.is_empty() {
+                        break; // quiet after the crossings: done
+                    }
+                }
+            }
+        }
         if self.spawned.is_some() {
             let ack = self.client.call("SHUTDOWN").expect("SHUTDOWN");
             assert!(is_ok(&ack), "shutdown refused: {ack}");
@@ -118,6 +188,7 @@ impl ServerMirror {
         if let Some(server) = self.spawned.take() {
             server.join();
         }
+        pushes
     }
 }
 
@@ -145,11 +216,10 @@ fn main() {
         width: cfg.width,
         depth: cfg.depth,
     };
-    // Threshold on the self-join of the *average* statistics vector.
     // Note the scaling: f(avg) ≈ F2(union)/n², so the diverse background
     // (≈ 62 500 / 16 ≈ 4 000) sits below, and the flood (≈ 16M / 16 ≈ 1M)
     // far above.
-    let threshold = 50_000.0;
+    let threshold = F2_THRESHOLD;
     let mut monitor = GeometricMonitor::new(nodes, func, threshold, WINDOW, 0);
     println!(
         "monitoring F2(avg vector) > {threshold} across {SITES} sites \
@@ -231,5 +301,16 @@ fn main() {
             .any(|&(_, _, served, above)| above && served >= threshold),
         "the served self-join must also see the flood cross the threshold"
     );
-    mirror.finish();
+    let own_server = mirror.spawned.is_some();
+    let pushes = mirror.finish();
+    println!("\nsubscriber received {} pushed crossing(s):", pushes.len());
+    for line in pushes.iter().take(4) {
+        println!("  {line}");
+    }
+    // On a fresh server the flood's upward crossing must have been pushed
+    // (an external server may already have been above before we started).
+    assert!(
+        !own_server || pushes.iter().any(|l| l.contains("\"above\":true")),
+        "the subscriber must see the flood's crossing pushed"
+    );
 }
