@@ -75,7 +75,11 @@ fn measure_engine(cfg: &ServerConfig, trace: &[(String, StreamEvent, u64)]) -> f
     }
     let stats = engine.stats().expect("stats");
     let secs = start.elapsed().as_secs_f64();
-    let applied: u64 = stats.iter().map(|s| s.ingested).sum();
+    let applied: u64 = stats
+        .iter()
+        .filter_map(|s| s.stats.as_ref())
+        .map(|s| s.ingested)
+        .sum();
     assert_eq!(applied, trace.len() as u64, "events lost in flight");
     engine.shutdown().expect("shutdown");
     trace.len() as f64 / secs / 1e6

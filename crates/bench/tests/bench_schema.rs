@@ -214,6 +214,36 @@ fn server_bench_schema_is_valid() {
         p99 < 1e6,
         "loopback query p99 {p99} us outside sanity range"
     );
+    // Client-resilience counters are always recorded (a fault-free run
+    // simply records zeros).
+    assert!(field_f64(&text, "retries") >= 0.0);
+    assert!(field_f64(&text, "sheds") >= 0.0);
+}
+
+#[test]
+fn server_bench_degraded_mode_meets_the_floor() {
+    let text = load_file("BENCH_server.json");
+    let relative = field_f64(&text, "degraded_relative");
+    let d_meps = field_f64(&text, "degraded_ingest_meps");
+    let d_p99 = field_f64(&text, "degraded_query_p99_us");
+    assert!(d_meps > 0.0, "degraded pass recorded no throughput");
+    assert!(
+        d_p99 > 0.0 && d_p99 < 1e6,
+        "degraded query p99 {d_p99} us outside sanity range"
+    );
+    // The recorded ratio must be consistent with the recorded rates.
+    let implied = d_meps / field_f64(&text, "ingest_meps");
+    assert!(
+        (relative - implied).abs() <= 0.05 * implied,
+        "degraded_relative {relative} inconsistent with rates ({implied:.3})"
+    );
+    // Acceptance floor: with one shard killed and supervised back
+    // mid-ingest, the surviving fleet keeps at least half the fault-free
+    // client-observed throughput.
+    assert!(
+        relative >= 0.5,
+        "degraded throughput regressed: {relative}x of baseline < 0.5"
+    );
 }
 
 #[test]

@@ -14,12 +14,13 @@
 //! | `LOADGEN_VIEWS` | standing views to register + read/subscribe (0 = off) |
 //! | `LOADGEN_SEED` | trace seed (42) |
 //! | `LOADGEN_SHARDS` | shards of the spawned server (4) |
+//! | `LOADGEN_DEGRADED` | degraded-mode pass with a mid-ingest shard restart (1 = on; spawned mode only) |
 //! | `ECM_EVENTS` | trace length (200 000; same knob as `crates/bench`) |
 //! | `BENCH_SERVER_OUT` | output path (`<workspace>/BENCH_server.json`) |
 
 use std::process::exit;
 
-use sketch_server::loadgen::{render_json, run, LoadgenConfig};
+use sketch_server::loadgen::{render_json, run, run_degraded, LoadgenConfig};
 use sketch_server::{Client, Server, ServerConfig, SketchSpec};
 
 fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
@@ -87,6 +88,36 @@ fn main() {
         );
     }
 
+    // Degraded-mode pass: replay the trace again while shard 0 is killed
+    // and supervised back up, pricing what one restart costs the fleet.
+    // Needs the in-process engine handle, so it only runs in spawned mode
+    // (disable with LOADGEN_DEGRADED=0).
+    let degraded = match &spawned {
+        Some(server) if env_parse::<u8>("LOADGEN_DEGRADED").unwrap_or(1) != 0 => {
+            let engine = server.engine();
+            let d = run_degraded(&cfg, report.ingest_meps, &|| {
+                if let Err(e) = engine.restart_shard(0) {
+                    eprintln!("loadgen: restart trigger failed: {e}");
+                }
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("loadgen: degraded pass: {e}");
+                exit(1);
+            });
+            println!(
+                "degraded: {:.3} Meps ({:.0}% of baseline), query p99 {:.1} us, \
+                 {} retries, {} sheds",
+                d.ingest_meps,
+                d.relative * 100.0,
+                d.query_p99_us,
+                d.retries,
+                d.sheds
+            );
+            Some(d)
+        }
+        _ => None,
+    };
+
     if let Some(server) = spawned {
         let mut client = Client::connect(&addr).unwrap_or_else(|e| {
             eprintln!("loadgen: shutdown connect failed: {e}");
@@ -100,7 +131,7 @@ fn main() {
         server.join();
     }
 
-    let json = render_json(&report);
+    let json = render_json(&report, degraded.as_ref());
     let out = std::env::var("BENCH_SERVER_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json").to_string()
     });

@@ -20,10 +20,15 @@
 //! | `SKETCHD_WAL_SEGMENT_BYTES` | WAL segment rotation threshold (4 MiB) |
 //! | `SKETCHD_WAL_COMPACT_BYTES` | WAL compaction threshold (16 MiB) |
 //! | `SKETCHD_WAL_FSYNC` | `1`/`true`: fsync every WAL append (off) |
+//! | `SKETCHD_ADMISSION_TIMEOUT_MS` | how long a full mailbox blocks admission before shedding (5 000) |
+//! | `SKETCHD_REQUEST_TIMEOUT_MS` | per-request reply deadline (30 000) |
+//! | `SKETCHD_HEALTH_DEADLINE_MS` | busy-this-long marks a shard wedged (2 000) |
+//! | `SKETCHD_FAULTS` | deterministic fault plan (debug/`fault-injection` builds only; see README) |
 //!
 //! The process serves until a client sends `SHUTDOWN`.
 
 use std::process::exit;
+use std::time::Duration;
 
 use sketch_server::{Server, ServerConfig, SketchSpec};
 
@@ -102,6 +107,21 @@ fn main() {
     }
     if let Some(on) = env_flag("SKETCHD_WAL_FSYNC") {
         cfg = cfg.wal_fsync(on);
+    }
+    if let Some(ms) = env_parse::<u64>("SKETCHD_ADMISSION_TIMEOUT_MS") {
+        cfg = cfg.admission_timeout(Duration::from_millis(ms));
+    }
+    if let Some(ms) = env_parse::<u64>("SKETCHD_REQUEST_TIMEOUT_MS") {
+        cfg = cfg.request_timeout(Duration::from_millis(ms));
+    }
+    if let Some(ms) = env_parse::<u64>("SKETCHD_HEALTH_DEADLINE_MS") {
+        cfg = cfg.health_deadline(Duration::from_millis(ms));
+    }
+    // Fault plans exist only in debug / `fault-injection` builds; gating the
+    // lookup too keeps the knob's very name out of release binaries.
+    #[cfg(any(debug_assertions, feature = "fault-injection"))]
+    if let Some(plan) = env_var("SKETCHD_FAULTS") {
+        cfg = cfg.fault_plan(plan);
     }
     let shards = cfg.shards;
     let snapshot = cfg.snapshot_dir.clone();

@@ -59,6 +59,28 @@ pub struct ServerConfig {
     /// notifications — marked by a typed drop record on its stream — so a
     /// slow consumer can never block a shard worker.
     pub subscriber_outbox: usize,
+    /// How long a request waits for space in a full shard mailbox before
+    /// the engine sheds it with a typed retryable
+    /// [`Overloaded`](crate::engine::EngineError::Overloaded) error
+    /// (default 5 s). Backpressure below the deadline still blocks — only
+    /// a shard that stays full past it turns senders away.
+    pub admission_timeout: Duration,
+    /// How long a request waits for a shard's reply before failing with a
+    /// typed [`ShardTimeout`](crate::engine::EngineError::ShardTimeout)
+    /// (default 30 s). Bounds every engine call: a wedged worker can stall
+    /// its shard, never a caller forever.
+    pub request_timeout: Duration,
+    /// How long a shard worker may stay inside one message before the
+    /// supervisor marks it wedged and quarantines its mailbox (default
+    /// 2 s). A quarantined shard sheds requests instead of queueing them;
+    /// it recovers when the message finishes (or is respawned if it
+    /// panics).
+    pub health_deadline: Duration,
+    /// Deterministic fault plan (default none); see
+    /// [`fault`](crate::fault). Only honored by debug builds and builds
+    /// with the `fault-injection` feature — a plain release build refuses
+    /// a config that sets it.
+    pub fault_plan: Option<String>,
 }
 
 impl ServerConfig {
@@ -78,6 +100,10 @@ impl ServerConfig {
             wal_compact_bytes: 16 << 20,
             wal_fsync: false,
             subscriber_outbox: 256,
+            admission_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(30),
+            health_deadline: Duration::from_secs(2),
+            fault_plan: None,
         }
     }
 
@@ -159,6 +185,33 @@ impl ServerConfig {
     /// validated by the engine).
     pub fn subscriber_outbox(mut self, depth: usize) -> Self {
         self.subscriber_outbox = depth;
+        self
+    }
+
+    /// Set how long a full shard mailbox blocks a sender before the
+    /// request is shed with a typed `retry_after` error.
+    pub fn admission_timeout(mut self, t: Duration) -> Self {
+        self.admission_timeout = t;
+        self
+    }
+
+    /// Set how long an engine call waits for a shard's reply.
+    pub fn request_timeout(mut self, t: Duration) -> Self {
+        self.request_timeout = t;
+        self
+    }
+
+    /// Set how long a worker may sit inside one message before its shard
+    /// is quarantined as wedged.
+    pub fn health_deadline(mut self, t: Duration) -> Self {
+        self.health_deadline = t;
+        self
+    }
+
+    /// Set a deterministic fault plan (see [`fault`](crate::fault) for the
+    /// grammar). Refused by plain release builds.
+    pub fn fault_plan(mut self, plan: impl Into<String>) -> Self {
+        self.fault_plan = Some(plan.into());
         self
     }
 }

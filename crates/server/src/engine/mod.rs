@@ -23,6 +23,7 @@
 mod hub;
 mod router;
 mod shard;
+mod supervisor;
 mod wal;
 
 pub use hub::{HubStats, ViewHub};
@@ -77,6 +78,37 @@ pub struct ShardStats {
     /// Per-view recomputations this shard's maintenance path has run
     /// since startup.
     pub view_maintenance: u64,
+}
+
+/// Supervision state of one shard, always reportable — even while the
+/// shard's worker is down and cannot answer for itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// `"up"`, `"wedged"`, `"restarting"`, or `"dead"`.
+    pub state: &'static str,
+    /// Times the supervisor has respawned this shard's worker.
+    pub restarts: u64,
+    /// Milliseconds from engine start to the latest respawn (0 = never
+    /// restarted).
+    pub last_restart_ms: u64,
+    /// High-water mark of the shard's mailbox depth since engine start.
+    pub mailbox_hwm: u64,
+    /// Requests shed by admission control: the mailbox stayed full past
+    /// the deadline, or the worker was quarantined as wedged.
+    pub shed_requests: u64,
+}
+
+/// One shard's row in [`Engine::stats`]: supervision health plus the
+/// worker-reported statistics when the worker could answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: usize,
+    /// Supervision health (never absent).
+    pub health: ShardHealth,
+    /// The worker's own numbers; `None` while it is restarting, dead, or
+    /// quarantined.
+    pub stats: Option<ShardStats>,
 }
 
 /// A typed message delivered to one shard worker's mailbox.
@@ -164,6 +196,13 @@ pub enum ShardMsg {
         /// Where the worker acks completion.
         reply: Sender<ShardReply>,
     },
+    /// Exit the worker thread *without* a final checkpoint — a
+    /// crash-shaped, supervisor-recoverable stop used by
+    /// [`Engine::restart_shard`]. Messages already queued ahead of it are
+    /// processed; anything enqueued behind it dies with the mailbox
+    /// (unreplied, so durable senders see a retryable error, never a
+    /// false ack).
+    Exit,
 }
 
 /// A shard worker's reply to a request-shaped [`ShardMsg`].

@@ -1,12 +1,16 @@
 //! The router: owns the shard mailboxes, partitions ingest batches,
-//! routes per-key queries, broadcasts cross-key ones, and orchestrates
-//! snapshot / shutdown.
+//! routes per-key queries, broadcasts cross-key ones, applies admission
+//! control, and orchestrates snapshot / shutdown. Worker lifecycle —
+//! spawn, crash detection, respawn — lives in
+//! [`supervisor`](super::supervisor).
 
 use std::collections::BTreeMap;
-use std::path::{Path, PathBuf};
-use std::sync::mpsc::{channel, sync_channel, SyncSender};
-use std::sync::{Arc, Mutex, RwLock};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError, TrySendError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use ecm::{
     Answer, QueryError, SketchStore, SpecError, StandingQuery, StreamEvent, ViewAnswer, ViewDef,
@@ -15,9 +19,11 @@ use ecm::{
 
 use super::hub::ViewHub;
 use super::shard;
+use super::supervisor::{self, Fleet, SlotState};
 use super::wal::{ShardWal, WalConfig};
-use super::{route, ShardMsg, ShardReply, ShardStats, ViewsSummary};
+use super::{route, ShardMsg, ShardReply, ShardStats, ShardStatus, ViewsSummary};
 use crate::config::ServerConfig;
+use crate::fault::{FaultHook, FaultPlan};
 use crate::protocol::{parse_view_def, wire_view_def, OwnedQuery};
 
 /// Hard cap on the total event occurrences one [`Engine::ingest`] call may
@@ -38,11 +44,39 @@ pub enum EngineError {
     /// The engine is shutting down (or already shut down); the request was
     /// not applied.
     ShuttingDown,
-    /// A shard worker is gone (it panicked); the engine is degraded.
+    /// A shard worker is gone for good: its respawn failed (or shutdown
+    /// raced its death) and the shard stays down.
     ShardDied {
         /// Which shard.
         shard: usize,
     },
+    /// The shard's worker died and the supervisor is rebuilding it from
+    /// checkpoint + WAL replay; the request was not applied. **Retryable**
+    /// — the shard returns in restore-time, not operator-time.
+    ShardRestarting {
+        /// Which shard.
+        shard: usize,
+    },
+    /// Admission control shed the request: the shard's mailbox stayed
+    /// full past the admission deadline (or its worker is quarantined as
+    /// wedged). The request was not enqueued. **Retryable** after
+    /// `retry_after_ms`.
+    Overloaded {
+        /// Which shard.
+        shard: usize,
+        /// Suggested client backoff before retrying.
+        retry_after_ms: u64,
+    },
+    /// The shard accepted the request but did not reply within the
+    /// request deadline. The request **may still apply** after this error
+    /// — retryable only for idempotent reads.
+    ShardTimeout {
+        /// Which shard.
+        shard: usize,
+    },
+    /// The configured fault plan did not parse (or this is a release
+    /// build without the `fault-injection` feature).
+    FaultPlan(String),
     /// An item is outside the spec's dyadic-hierarchy universe; the whole
     /// batch was rejected (hierarchy writes would panic on it).
     ItemOutOfUniverse {
@@ -86,6 +120,20 @@ impl std::fmt::Display for EngineError {
             EngineError::InvalidConfig(detail) => write!(f, "invalid config: {detail}"),
             EngineError::ShuttingDown => write!(f, "engine is shutting down"),
             EngineError::ShardDied { shard } => write!(f, "shard {shard} worker died"),
+            EngineError::ShardRestarting { shard } => {
+                write!(f, "shard {shard} is restarting; retry shortly")
+            }
+            EngineError::Overloaded {
+                shard,
+                retry_after_ms,
+            } => write!(
+                f,
+                "shard {shard} is overloaded; retry after {retry_after_ms} ms"
+            ),
+            EngineError::ShardTimeout { shard } => {
+                write!(f, "shard {shard} did not reply within the request deadline")
+            }
+            EngineError::FaultPlan(detail) => write!(f, "invalid fault plan: {detail}"),
             EngineError::ItemOutOfUniverse { item, bits } => write!(
                 f,
                 "item {item} outside the {bits}-bit hierarchy universe"
@@ -122,6 +170,10 @@ impl EngineError {
             EngineError::InvalidConfig(_) => "config",
             EngineError::ShuttingDown => "shutting_down",
             EngineError::ShardDied { .. } => "shard_died",
+            EngineError::ShardRestarting { .. } => "shard_restarting",
+            EngineError::Overloaded { .. } => "overloaded",
+            EngineError::ShardTimeout { .. } => "shard_timeout",
+            EngineError::FaultPlan(_) => "fault_plan",
             EngineError::ItemOutOfUniverse { .. } => "item_out_of_universe",
             EngineError::IngestTooHeavy { .. } => "ingest_too_heavy",
             EngineError::Snapshot(_) => "snapshot",
@@ -130,6 +182,20 @@ impl EngineError {
             EngineError::ShardCountMismatch { .. } => "shard_count_mismatch",
             EngineError::View(e) => e.code(),
         }
+    }
+
+    /// Whether a client may safely retry the failed call verbatim.
+    /// `true` means the request was **not applied** and the condition is
+    /// transient ([`ShardRestarting`](EngineError::ShardRestarting),
+    /// [`Overloaded`](EngineError::Overloaded)).
+    /// [`ShardTimeout`](EngineError::ShardTimeout) is deliberately
+    /// excluded: the request may still apply behind the timeout, so only
+    /// idempotent reads should retry it.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            EngineError::ShardRestarting { .. } | EngineError::Overloaded { .. }
+        )
     }
 }
 
@@ -146,29 +212,20 @@ pub struct SnapshotReport {
     pub incremental: bool,
 }
 
+/// Suggested client backoff attached to [`EngineError::Overloaded`].
+const RETRY_AFTER_MS: u64 = 100;
+
 /// The sharded serving engine. Cheap to share behind an `Arc`; every
 /// method takes `&self`.
+///
+/// The engine owns only the pieces of the fleet the supervisor must not:
+/// the supervisor thread's handle and stop flag. Everything the router
+/// and supervisor share — shard slots, the shutdown gate, the view
+/// registry, the hub — lives in the `Fleet`.
 pub struct Engine {
-    senders: Vec<SyncSender<ShardMsg>>,
-    handles: Mutex<Vec<JoinHandle<()>>>,
-    /// Ingest/shutdown gate: readers (ingest, queries) proceed while the
-    /// flag is `false`; [`shutdown`](Engine::shutdown) flips it under the
-    /// write lock *before* enqueueing `Shutdown`, so no message can slip
-    /// into a mailbox behind the shutdown marker and be acked-but-dropped.
-    down: RwLock<bool>,
-    snapshot_dir: Option<PathBuf>,
-    /// Whether ingest waits for per-shard WAL-append acks before
-    /// returning (ack-after-append; see [`Engine::ingest`]).
-    durable: bool,
-    /// `2^bits` when the spec stacks a hierarchy: items at or above this
-    /// would panic the hierarchy write path, so ingest rejects them first.
-    item_limit: Option<u64>,
-    /// The authoritative standing-view registry: validation, routing
-    /// (keyed views live on one shard, fleet views on all), `VIEW LIST`,
-    /// and manifest persistence all read it.
-    views: Mutex<BTreeMap<String, ViewDef<String>>>,
-    /// The notification fan-out shared with every shard worker.
-    hub: Arc<ViewHub>,
+    fleet: Arc<Fleet>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+    supervisor_stop: Arc<AtomicBool>,
 }
 
 impl Engine {
@@ -237,9 +294,37 @@ impl Engine {
                 write_manifest(dir, cfg.shards, &[])?;
             }
         }
+        // An empty/absent plan never reaches the parser, so release builds
+        // (where the parser always errors) run clean with faults unset.
+        let faults = match cfg.fault_plan.as_deref().filter(|t| !t.trim().is_empty()) {
+            Some(text) => FaultPlan::parse(text).map_err(EngineError::FaultPlan)?,
+            None => FaultPlan::default(),
+        };
         let hub = Arc::new(ViewHub::new(cfg.subscriber_outbox));
-        let mut senders = Vec::with_capacity(cfg.shards);
-        let mut handles = Vec::with_capacity(cfg.shards);
+        let wal_cfg = cfg.durability.then_some(WalConfig {
+            segment_bytes: cfg.wal_segment_bytes,
+            compact_bytes: cfg.wal_compact_bytes,
+            fsync: cfg.wal_fsync,
+        });
+        let item_limit = cfg
+            .spec
+            .hierarchy_bits()
+            .map(|bits| 1u64.checked_shl(bits).unwrap_or(u64::MAX));
+        let (exit_tx, exit_rx) = channel();
+        let fleet = Arc::new(Fleet::new(
+            cfg.shards,
+            Instant::now(),
+            cfg.snapshot_dir.clone(),
+            cfg.durability,
+            cfg.spec.clone(),
+            wal_cfg,
+            cfg,
+            item_limit,
+            restored_views,
+            hub,
+            exit_tx,
+            faults,
+        ));
         for i in 0..cfg.shards {
             let (store, wal) = if cfg.durability {
                 let dir = cfg.snapshot_dir.as_deref().expect("validated above");
@@ -251,13 +336,14 @@ impl Engine {
                 } else {
                     SketchStore::new(cfg.spec.clone())?
                 };
-                let wal_cfg = WalConfig {
-                    segment_bytes: cfg.wal_segment_bytes,
-                    compact_bytes: cfg.wal_compact_bytes,
-                    fsync: cfg.wal_fsync,
-                };
-                let (wal, _report) =
-                    ShardWal::open(dir, i, wal_cfg, &mut store).map_err(EngineError::Restore)?;
+                let (wal, _report) = ShardWal::open(
+                    dir,
+                    i,
+                    wal_cfg.expect("durable has a wal config"),
+                    &mut store,
+                    FaultHook::new(&fleet.faults, i, supervisor::WAL_SALT),
+                )
+                .map_err(EngineError::Restore)?;
                 (store, Some(wal))
             } else {
                 let store = match restore_from {
@@ -266,11 +352,12 @@ impl Engine {
                 };
                 (store, None)
             };
-            let (tx, rx) = sync_channel(cfg.mailbox_depth);
-            let dir = cfg.snapshot_dir.clone();
             // Each shard rebuilds exactly the restored views it owns:
             // keyed views live on the key's shard, fleet views everywhere.
-            let shard_views: Vec<ViewDef<String>> = restored_views
+            let shard_views: Vec<ViewDef<String>> = fleet
+                .views
+                .lock()
+                .expect("view registry poisoned")
                 .values()
                 .filter(|def| match &def.key {
                     Some(k) => route(k, cfg.shards) == i,
@@ -278,33 +365,44 @@ impl Engine {
                 })
                 .cloned()
                 .collect();
-            let shard_hub = Arc::clone(&hub);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("sketchd-shard-{i}"))
-                    .spawn(move || shard::run(i, store, rx, dir, wal, shard_hub, shard_views))
-                    .expect("spawn shard worker"),
-            );
-            senders.push(tx);
+            supervisor::spawn_worker(&fleet, i, store, wal, shard_views);
         }
+        let supervisor_stop = Arc::new(AtomicBool::new(false));
+        let sup_fleet = Arc::clone(&fleet);
+        let sup_stop = Arc::clone(&supervisor_stop);
+        let supervisor = std::thread::Builder::new()
+            .name("sketchd-supervisor".to_string())
+            .spawn(move || supervisor::supervise(sup_fleet, exit_rx, sup_stop))
+            .expect("spawn supervisor");
         Ok(Engine {
-            senders,
-            handles: Mutex::new(handles),
-            down: RwLock::new(false),
-            snapshot_dir: cfg.snapshot_dir.clone(),
-            durable: cfg.durability,
-            item_limit: cfg
-                .spec
-                .hierarchy_bits()
-                .map(|bits| 1u64.checked_shl(bits).unwrap_or(u64::MAX)),
-            views: Mutex::new(restored_views),
-            hub,
+            fleet,
+            supervisor: Mutex::new(Some(supervisor)),
+            supervisor_stop,
         })
     }
 
     /// Number of shard workers.
     pub fn shards(&self) -> usize {
-        self.senders.len()
+        self.fleet.slots.len()
+    }
+
+    /// Crash-shaped restart of one shard: enqueue [`ShardMsg::Exit`], the
+    /// worker exits without a final checkpoint, and the supervisor
+    /// rebuilds it from checkpoint + WAL-tail replay. Returns once `Exit`
+    /// is accepted into the mailbox — the repair itself is asynchronous.
+    /// Messages already queued behind `Exit` die unreplied (durable
+    /// senders see a retryable error, never a false ack).
+    ///
+    /// # Errors
+    /// [`ShuttingDown`](EngineError::ShuttingDown), the admission errors
+    /// of [`ingest`](Engine::ingest), or
+    /// [`InvalidConfig`](EngineError::InvalidConfig) for an out-of-range
+    /// shard index.
+    pub fn restart_shard(&self, shard: usize) -> Result<(), EngineError> {
+        if shard >= self.fleet.slots.len() {
+            return Err(EngineError::InvalidConfig("shard index out of range"));
+        }
+        self.request(shard, ShardMsg::Exit)
     }
 
     /// Ingest a keyed batch: `(key, event, count)` triples in arrival
@@ -317,9 +415,11 @@ impl Engine {
     /// events survive a graceful shutdown. With durability on, the call
     /// additionally waits for each shard to append its partition to the
     /// write-ahead log (ack-after-append) — an `Ok` means the events
-    /// survive `kill -9`. A full mailbox blocks (backpressure), and a
-    /// batch rejected *before* dispatch (universe violation, cap,
-    /// shutdown race) is applied nowhere.
+    /// survive `kill -9`. A full mailbox applies backpressure up to the
+    /// admission deadline, then sheds with
+    /// [`Overloaded`](EngineError::Overloaded); a batch rejected *before*
+    /// dispatch (universe violation, cap, shutdown race, admission) is
+    /// applied nowhere.
     ///
     /// **Retry semantics under durability.** Each shard appends and
     /// applies its partition independently, so a
@@ -336,12 +436,15 @@ impl Engine {
     /// [`ItemOutOfUniverse`](EngineError::ItemOutOfUniverse),
     /// [`IngestTooHeavy`](EngineError::IngestTooHeavy),
     /// [`ShuttingDown`](EngineError::ShuttingDown),
+    /// [`Overloaded`](EngineError::Overloaded),
+    /// [`ShardRestarting`](EngineError::ShardRestarting),
+    /// [`ShardTimeout`](EngineError::ShardTimeout),
     /// [`Wal`](EngineError::Wal), or
     /// [`ShardDied`](EngineError::ShardDied).
     pub fn ingest(&self, batch: &[(String, StreamEvent, u64)]) -> Result<u64, EngineError> {
         let mut total: u64 = 0;
         for (_, event, count) in batch {
-            if let Some(limit) = self.item_limit {
+            if let Some(limit) = self.fleet.item_limit {
                 if event.item >= limit {
                     return Err(EngineError::ItemOutOfUniverse {
                         item: event.item,
@@ -354,7 +457,7 @@ impl Engine {
         if total > MAX_INGEST_OCCURRENCES {
             return Err(EngineError::IngestTooHeavy { requested: total });
         }
-        let n = self.senders.len();
+        let n = self.fleet.slots.len();
         let mut per_shard: Vec<Vec<(String, StreamEvent)>> = vec![Vec::new(); n];
         for (key, event, count) in batch {
             let bucket = &mut per_shard[route(key, n)];
@@ -362,7 +465,7 @@ impl Engine {
                 bucket.push((key.clone(), *event));
             }
         }
-        let gate = self.down.read().expect("gate poisoned");
+        let gate = self.fleet.down.read().expect("gate poisoned");
         if *gate {
             return Err(EngineError::ShuttingDown);
         }
@@ -371,16 +474,14 @@ impl Engine {
             if events.is_empty() {
                 continue;
             }
-            let reply = if self.durable {
+            let reply = if self.fleet.durable {
                 let (tx, rx) = channel();
                 pending.push((i, rx));
                 Some(tx)
             } else {
                 None
             };
-            self.senders[i]
-                .send(ShardMsg::Ingest { events, reply })
-                .map_err(|_| EngineError::ShardDied { shard: i })?;
+            self.send(i, ShardMsg::Ingest { events, reply })?;
         }
         drop(gate);
         // Durable acks: every shard confirms its partition is on the log
@@ -388,10 +489,14 @@ impl Engine {
         // shard's partition unapplied while sibling partitions landed —
         // the error tells the client the batch (as a whole) is not acked.
         for (i, rx) in pending {
-            match rx.recv() {
+            match rx.recv_timeout(self.fleet.request_timeout) {
                 Ok(ShardReply::Ingested) => {}
                 Ok(ShardReply::WalError(e)) => return Err(EngineError::Wal(e)),
-                Ok(_) | Err(_) => return Err(EngineError::ShardDied { shard: i }),
+                Ok(_) => return Err(EngineError::ShardDied { shard: i }),
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(EngineError::ShardTimeout { shard: i })
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(self.unavailable(i)),
             }
         }
         Ok(total)
@@ -401,7 +506,10 @@ impl Engine {
     /// owns the key. `Ok(None)` means the key has never been written.
     ///
     /// # Errors
-    /// [`ShuttingDown`](EngineError::ShuttingDown) or
+    /// [`ShuttingDown`](EngineError::ShuttingDown),
+    /// [`Overloaded`](EngineError::Overloaded),
+    /// [`ShardRestarting`](EngineError::ShardRestarting),
+    /// [`ShardTimeout`](EngineError::ShardTimeout), or
     /// [`ShardDied`](EngineError::ShardDied); per-sketch
     /// [`QueryError`]s come back inside the `Some`.
     pub fn query(
@@ -410,7 +518,7 @@ impl Engine {
         query: &OwnedQuery,
         window: WindowSpec,
     ) -> Result<Option<Result<Answer, QueryError>>, EngineError> {
-        let shard = route(key, self.senders.len());
+        let shard = route(key, self.fleet.slots.len());
         let (tx, rx) = channel();
         self.request(
             shard,
@@ -457,29 +565,45 @@ impl Engine {
         Ok(merged)
     }
 
-    /// Per-shard statistics, in shard order. Each shard reports its own
-    /// partition from its own thread — no moment where the whole fleet is
-    /// locked at once.
+    /// Per-shard status, in shard order: the supervision health row is
+    /// always present, the worker-reported [`ShardStats`] only when the
+    /// worker could answer. A restarting, dead, wedged, or overloaded
+    /// shard therefore degrades its row instead of failing the whole
+    /// `STATS` call — exactly when the operator most needs to see it.
     ///
     /// # Errors
-    /// As [`query`](Engine::query).
-    pub fn stats(&self) -> Result<Vec<ShardStats>, EngineError> {
-        let replies = self.broadcast(|tx| ShardMsg::Stats { reply: tx })?;
-        let mut out = Vec::with_capacity(replies.len());
-        for reply in replies {
-            match reply {
-                ShardReply::Stats(s) => out.push(s),
-                _ => return Err(EngineError::ShardDied { shard: 0 }),
-            }
+    /// [`ShuttingDown`](EngineError::ShuttingDown) only.
+    pub fn stats(&self) -> Result<Vec<ShardStatus>, EngineError> {
+        let mut rows = Vec::with_capacity(self.fleet.slots.len());
+        for shard in 0..self.fleet.slots.len() {
+            let stats = match self.shard_stats(shard) {
+                Ok(s) => Some(s),
+                Err(EngineError::ShuttingDown) => return Err(EngineError::ShuttingDown),
+                Err(_) => None,
+            };
+            rows.push(ShardStatus {
+                shard,
+                health: self.fleet.health(shard),
+                stats,
+            });
         }
-        out.sort_unstable_by_key(|s| s.shard);
-        Ok(out)
+        Ok(rows)
+    }
+
+    /// One shard's worker-reported statistics.
+    fn shard_stats(&self, shard: usize) -> Result<ShardStats, EngineError> {
+        let (tx, rx) = channel();
+        self.request(shard, ShardMsg::Stats { reply: tx })?;
+        match self.collect(shard, &rx)? {
+            ShardReply::Stats(s) => Ok(s),
+            _ => Err(EngineError::ShardDied { shard }),
+        }
     }
 
     /// The notification hub (the front-end's `SUBSCRIBE` handler attaches
     /// subscribers here).
     pub fn hub(&self) -> &Arc<ViewHub> {
-        &self.hub
+        &self.fleet.hub
     }
 
     /// Register a standing view: validate, route the definition to the
@@ -505,7 +629,7 @@ impl Engine {
                 }));
             }
         }
-        let mut registry = self.views.lock().expect("view registry poisoned");
+        let mut registry = self.fleet.views.lock().expect("view registry poisoned");
         if registry.contains_key(&def.name) {
             return Err(EngineError::View(ViewError::Duplicate {
                 name: def.name.clone(),
@@ -537,7 +661,7 @@ impl Engine {
     /// [`View`](EngineError::View) when no view of that name exists, or
     /// the routing errors of [`query`](Engine::query).
     pub fn view_drop(&self, name: &str) -> Result<(), EngineError> {
-        let mut registry = self.views.lock().expect("view registry poisoned");
+        let mut registry = self.fleet.views.lock().expect("view registry poisoned");
         let def = registry.remove(name).ok_or_else(|| {
             EngineError::View(ViewError::Unknown {
                 name: name.to_string(),
@@ -557,7 +681,7 @@ impl Engine {
                 _ => return Err(EngineError::ShardDied { shard }),
             }
         }
-        self.hub.evict_view(name);
+        self.fleet.hub.evict_view(name);
         self.persist_views(&registry)
     }
 
@@ -573,6 +697,7 @@ impl Engine {
     /// been written — or the routing errors of [`query`](Engine::query).
     pub fn view_read(&self, name: &str) -> Result<ViewReadout<String>, EngineError> {
         let def = self
+            .fleet
             .views
             .lock()
             .expect("view registry poisoned")
@@ -585,7 +710,7 @@ impl Engine {
             })?;
         match &def.key {
             Some(k) => {
-                let shard = route(k, self.senders.len());
+                let shard = route(k, self.fleet.slots.len());
                 let (tx, rx) = channel();
                 self.request(
                     shard,
@@ -649,7 +774,8 @@ impl Engine {
 
     /// Registered definitions, in name order.
     pub fn view_list(&self) -> Vec<ViewDef<String>> {
-        self.views
+        self.fleet
+            .views
             .lock()
             .expect("view registry poisoned")
             .values()
@@ -658,12 +784,22 @@ impl Engine {
     }
 
     /// The fleet-wide standing-view counters for `STATS`, combining the
-    /// registry, the per-shard maintenance totals, and the hub.
-    pub fn views_summary(&self, stats: &[ShardStats]) -> ViewsSummary {
-        let hub = self.hub.stats();
+    /// registry, the per-shard maintenance totals (shards whose worker
+    /// could not answer contribute nothing), and the hub.
+    pub fn views_summary(&self, rows: &[ShardStatus]) -> ViewsSummary {
+        let hub = self.fleet.hub.stats();
         ViewsSummary {
-            registered: self.views.lock().expect("view registry poisoned").len(),
-            maintenance: stats.iter().map(|s| s.view_maintenance).sum(),
+            registered: self
+                .fleet
+                .views
+                .lock()
+                .expect("view registry poisoned")
+                .len(),
+            maintenance: rows
+                .iter()
+                .filter_map(|r| r.stats)
+                .map(|s| s.view_maintenance)
+                .sum(),
             subscribers: hub.subscribers,
             dropped: hub.dropped,
         }
@@ -672,8 +808,8 @@ impl Engine {
     /// The shards a definition lives on.
     fn view_shards(&self, def: &ViewDef<String>) -> Vec<usize> {
         match &def.key {
-            Some(k) => vec![route(k, self.senders.len())],
-            None => (0..self.senders.len()).collect(),
+            Some(k) => vec![route(k, self.fleet.slots.len())],
+            None => (0..self.fleet.slots.len()).collect(),
         }
     }
 
@@ -686,12 +822,16 @@ impl Engine {
         &self,
         registry: &BTreeMap<String, ViewDef<String>>,
     ) -> Result<(), EngineError> {
-        if !self.durable {
+        if !self.fleet.durable {
             return Ok(());
         }
-        let dir = self.snapshot_dir.as_deref().expect("durable has a dir");
+        let dir = self
+            .fleet
+            .snapshot_dir
+            .as_deref()
+            .expect("durable has a dir");
         let wire: Vec<String> = registry.values().map(wire_view_def).collect();
-        write_manifest(dir, self.senders.len(), &wire)
+        write_manifest(dir, self.fleet.slots.len(), &wire)
     }
 
     /// Advance every shard's stream clock to `ts` with no arrivals.
@@ -729,10 +869,10 @@ impl Engine {
                 _ => return Err(EngineError::ShardDied { shard: 0 }),
             }
         }
-        write_manifest(dir, self.senders.len(), &self.wire_views())?;
+        write_manifest(dir, self.fleet.slots.len(), &self.wire_views())?;
         Ok(SnapshotReport {
             dir: dir.display().to_string(),
-            shards: self.senders.len(),
+            shards: self.fleet.slots.len(),
             bytes,
             incremental,
         })
@@ -750,15 +890,18 @@ impl Engine {
     pub fn shutdown(&self) -> Result<(), EngineError> {
         let mut receivers = Vec::new();
         {
-            let mut gate = self.down.write().expect("gate poisoned");
+            let mut gate = self.fleet.down.write().expect("gate poisoned");
             if *gate {
                 return Ok(());
             }
             *gate = true;
-            for (i, sender) in self.senders.iter().enumerate() {
+            for (i, slot) in self.fleet.slots.iter().enumerate() {
+                let sender = slot.sender.read().expect("sender poisoned").clone();
                 let (tx, rx) = channel();
-                // A send failure means the worker is already gone; still
-                // join the rest.
+                // A send failure means the worker is already gone (a
+                // mid-restart shard's sender points at the dead
+                // incarnation); still stop the rest. The supervisor sees
+                // the gate and retires any worker it respawns after this.
                 if sender.send(ShardMsg::Shutdown { reply: tx }).is_ok() {
                     receivers.push((i, rx));
                 }
@@ -774,13 +917,22 @@ impl Engine {
                 Err(_) => snapshot_error = Some(format!("shard {i} died before stopping")),
             }
         }
-        let handles = std::mem::take(&mut *self.handles.lock().expect("handles poisoned"));
-        for handle in handles {
+        // Stop the supervisor before reaping worker handles: after the
+        // join, no respawn (which installs a fresh handle) can be racing.
+        self.supervisor_stop.store(true, Ordering::Relaxed);
+        let supervisor = self.supervisor.lock().expect("supervisor poisoned").take();
+        if let Some(handle) = supervisor {
             let _ = handle.join();
         }
+        for slot in &self.fleet.slots {
+            let handle = slot.handle.lock().expect("handle poisoned").take();
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
+        }
         if snapshot_error.is_none() {
-            if let Some(dir) = &self.snapshot_dir {
-                write_manifest(dir, self.senders.len(), &self.wire_views())?;
+            if let Some(dir) = &self.fleet.snapshot_dir {
+                write_manifest(dir, self.fleet.slots.len(), &self.wire_views())?;
             }
         }
         match snapshot_error {
@@ -791,18 +943,87 @@ impl Engine {
 
     /// Whether [`shutdown`](Engine::shutdown) has begun.
     pub fn is_down(&self) -> bool {
-        *self.down.read().expect("gate poisoned")
+        *self.fleet.down.read().expect("gate poisoned")
     }
 
     /// Send one request-shaped message under the read gate.
     fn request(&self, shard: usize, msg: ShardMsg) -> Result<(), EngineError> {
-        let gate = self.down.read().expect("gate poisoned");
+        let gate = self.fleet.down.read().expect("gate poisoned");
         if *gate {
             return Err(EngineError::ShuttingDown);
         }
-        self.senders[shard]
-            .send(msg)
-            .map_err(|_| EngineError::ShardDied { shard })
+        self.send(shard, msg)
+    }
+
+    /// Admission-controlled enqueue onto one shard's mailbox. Never
+    /// blocks indefinitely: a quarantined (wedged) shard sheds
+    /// immediately, a full mailbox applies backpressure in 200 µs waits
+    /// up to the admission deadline and then sheds, and a down shard
+    /// answers with its supervision state instead of hanging the caller.
+    fn send(&self, shard: usize, msg: ShardMsg) -> Result<(), EngineError> {
+        let slot = &self.fleet.slots[shard];
+        {
+            let state = slot.state.lock().expect("state poisoned");
+            match &*state {
+                SlotState::Up => {}
+                SlotState::Wedged => {
+                    drop(state);
+                    slot.shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(EngineError::Overloaded {
+                        shard,
+                        retry_after_ms: RETRY_AFTER_MS,
+                    });
+                }
+                SlotState::Restarting => return Err(EngineError::ShardRestarting { shard }),
+                SlotState::Dead(_) => return Err(EngineError::ShardDied { shard }),
+            }
+        }
+        // Clone the sender out of the slot so a mid-loop respawn swaps
+        // the slot without blocking on us: our clone points at the dead
+        // incarnation and fails fast as Disconnected.
+        let sender = slot.sender.read().expect("sender poisoned").clone();
+        let deadline = Instant::now() + self.fleet.admission_timeout;
+        let mut msg = msg;
+        loop {
+            match sender.try_send(msg) {
+                Ok(()) => {
+                    slot.gauge.note_enqueue();
+                    return Ok(());
+                }
+                Err(TrySendError::Disconnected(_)) => return Err(self.unavailable(shard)),
+                Err(TrySendError::Full(m)) => {
+                    if Instant::now() >= deadline {
+                        slot.shed.fetch_add(1, Ordering::Relaxed);
+                        return Err(EngineError::Overloaded {
+                            shard,
+                            retry_after_ms: RETRY_AFTER_MS,
+                        });
+                    }
+                    msg = m;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }
+    }
+
+    /// What a disconnected mailbox or reply channel means for the caller:
+    /// the shard is gone for good ([`ShardDied`](EngineError::ShardDied))
+    /// when its respawn failed or shutdown raced its death, and
+    /// [`ShardRestarting`](EngineError::ShardRestarting) — retryable —
+    /// while the supervisor is repairing it.
+    fn unavailable(&self, shard: usize) -> EngineError {
+        let dead = matches!(
+            &*self.fleet.slots[shard]
+                .state
+                .lock()
+                .expect("state poisoned"),
+            SlotState::Dead(_)
+        );
+        if dead || *self.fleet.down.read().expect("gate poisoned") {
+            EngineError::ShardDied { shard }
+        } else {
+            EngineError::ShardRestarting { shard }
+        }
     }
 
     /// Broadcast one request to every shard, then collect every reply.
@@ -810,17 +1031,15 @@ impl Engine {
         &self,
         make: impl Fn(std::sync::mpsc::Sender<ShardReply>) -> ShardMsg,
     ) -> Result<Vec<ShardReply>, EngineError> {
-        let mut receivers = Vec::with_capacity(self.senders.len());
+        let mut receivers = Vec::with_capacity(self.fleet.slots.len());
         {
-            let gate = self.down.read().expect("gate poisoned");
+            let gate = self.fleet.down.read().expect("gate poisoned");
             if *gate {
                 return Err(EngineError::ShuttingDown);
             }
-            for (i, sender) in self.senders.iter().enumerate() {
+            for i in 0..self.fleet.slots.len() {
                 let (tx, rx) = channel();
-                sender
-                    .send(make(tx))
-                    .map_err(|_| EngineError::ShardDied { shard: i })?;
+                self.send(i, make(tx))?;
                 receivers.push((i, rx));
             }
         }
@@ -831,17 +1050,25 @@ impl Engine {
         Ok(replies)
     }
 
+    /// Wait for one shard's reply, bounded by the request deadline so a
+    /// worker dying (or wedging) mid-request surfaces as a typed error
+    /// instead of a hang.
     fn collect(
         &self,
         shard: usize,
         rx: &std::sync::mpsc::Receiver<ShardReply>,
     ) -> Result<ShardReply, EngineError> {
-        rx.recv().map_err(|_| EngineError::ShardDied { shard })
+        match rx.recv_timeout(self.fleet.request_timeout) {
+            Ok(reply) => Ok(reply),
+            Err(RecvTimeoutError::Timeout) => Err(EngineError::ShardTimeout { shard }),
+            Err(RecvTimeoutError::Disconnected) => Err(self.unavailable(shard)),
+        }
     }
 
     /// The registry in persisted (wire) form.
     fn wire_views(&self) -> Vec<String> {
-        self.views
+        self.fleet
+            .views
             .lock()
             .expect("view registry poisoned")
             .values()
@@ -862,9 +1089,9 @@ impl Drop for Engine {
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
-            .field("shards", &self.senders.len())
+            .field("shards", &self.fleet.slots.len())
             .field("down", &self.is_down())
-            .field("snapshot_dir", &self.snapshot_dir)
+            .field("snapshot_dir", &self.fleet.snapshot_dir)
             .finish()
     }
 }

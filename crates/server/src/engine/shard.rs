@@ -8,8 +8,10 @@ use std::sync::Arc;
 use ecm::{SketchStore, SnapshotError, ViewDef, ViewEvent, ViewSet};
 
 use super::hub::ViewHub;
+use super::supervisor::ShardGauge;
 use super::wal::ShardWal;
 use super::{ShardMsg, ShardReply, ShardStats};
+use crate::fault::{FaultHook, FaultSite};
 use crate::protocol::response;
 
 /// Name of shard `i`'s full-checkpoint file inside a snapshot directory.
@@ -65,11 +67,16 @@ fn publish(hub: &ViewHub, events: &[ViewEvent<String>]) {
     }
 }
 
-/// The worker loop. Runs until the mailbox disconnects or a `Shutdown`
-/// message arrives; replies are best-effort (a requester that hung up is
-/// not an error). `restored_views` (present only when restoring) are
-/// registered and eagerly rematerialized from the restored sketches
-/// before the first message.
+/// The worker loop. Runs until the mailbox disconnects or a `Shutdown` /
+/// `Exit` message arrives; replies are best-effort (a requester that hung
+/// up is not an error). `restored_views` (present when restoring or
+/// respawning) are registered and eagerly rematerialized from the
+/// restored sketches before the first message.
+///
+/// Returns `true` for a clean end (drained `Shutdown`, or the engine
+/// dropped the mailbox) and `false` for a crash-shaped [`ShardMsg::Exit`]
+/// — the supervisor repairs `false` and panics, never `true`.
+#[allow(clippy::too_many_arguments)]
 pub(super) fn run(
     shard: usize,
     mut store: SketchStore<String>,
@@ -78,7 +85,9 @@ pub(super) fn run(
     mut wal: Option<ShardWal>,
     hub: Arc<ViewHub>,
     restored_views: Vec<ViewDef<String>>,
-) {
+    gauge: Arc<ShardGauge>,
+    mut faults: FaultHook,
+) -> bool {
     let mut ingested: u64 = 0;
     let mut views: ViewSet<String> = ViewSet::new();
     for def in restored_views {
@@ -89,8 +98,13 @@ pub(super) fn run(
     }
     views.rebuild(&store);
     while let Ok(msg) = rx.recv() {
+        gauge.note_dequeue();
         match msg {
             ShardMsg::Ingest { events, reply } => {
+                // Parse forbids `err` at this site, so a firing rule
+                // panics or sleeps — before the WAL sees the run, keeping
+                // acked ⇔ applied exact across an injected crash.
+                let _ = faults.fire(FaultSite::Shard);
                 // Ack-after-append: the run reaches the log before it is
                 // applied or acked, so an acked event survives `kill -9`.
                 // On append failure the run is applied *nowhere* — the
@@ -116,7 +130,8 @@ pub(super) fn run(
                                     // Compaction failure degrades to "log
                                     // keeps growing" — ingest stays up and
                                     // the next batch retries.
-                                    if let Err(e) = compact(shard, &mut store, dir, w) {
+                                    if let Err(e) = compact(shard, &mut store, dir, w, &mut faults)
+                                    {
                                         eprintln!("sketchd: shard {shard} compaction failed: {e}");
                                     }
                                 }
@@ -136,6 +151,7 @@ pub(super) fn run(
                 window,
                 reply,
             } => {
+                let _ = faults.fire(FaultSite::Shard);
                 let answer = store.query(&key, &query.to_query(), window);
                 let _ = reply.send(ShardReply::Answer(answer));
             }
@@ -192,8 +208,8 @@ pub(super) fn run(
                     _ => None,
                 };
                 let outcome = match chained {
-                    Some(w) if !incremental => compact(shard, &mut store, &dir, w),
-                    _ => checkpoint(shard, &mut store, &dir, incremental, chained),
+                    Some(w) if !incremental => compact(shard, &mut store, &dir, w, &mut faults),
+                    _ => checkpoint(shard, &mut store, &dir, incremental, chained, &mut faults),
                 };
                 let _ = reply.send(match outcome {
                     Ok(bytes) => ShardReply::Snapshot { bytes },
@@ -206,16 +222,25 @@ pub(super) fn run(
                 // captures every acked event.
                 let snapshot_error = match &snapshot_dir {
                     Some(dir) => match &mut wal {
-                        Some(w) => compact(shard, &mut store, dir, w).err(),
-                        None => checkpoint(shard, &mut store, dir, false, None).err(),
+                        Some(w) => compact(shard, &mut store, dir, w, &mut faults).err(),
+                        None => checkpoint(shard, &mut store, dir, false, None, &mut faults).err(),
                     },
                     None => None,
                 };
                 let _ = reply.send(ShardReply::Stopped { snapshot_error });
-                return;
+                gauge.note_idle();
+                return true;
+            }
+            ShardMsg::Exit => {
+                // Crash-shaped: no final checkpoint, no ack. Recovery is
+                // the supervisor's restore-and-replay, same as a panic.
+                gauge.note_idle();
+                return false;
             }
         }
+        gauge.note_idle();
     }
+    true
 }
 
 /// Write this shard's checkpoint file. A full checkpoint replaces the
@@ -231,7 +256,9 @@ fn checkpoint(
     dir: &Path,
     incremental: bool,
     wal: Option<&mut ShardWal>,
+    faults: &mut FaultHook,
 ) -> Result<u64, String> {
+    faults.fire(FaultSite::Snapshot)?;
     std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
     let fail = |stage: &str, e: &dyn std::fmt::Display| format!("shard {shard} {stage}: {e}");
     let fsync = wal.as_ref().is_some_and(|w| w.fsync());
@@ -269,7 +296,9 @@ fn compact(
     store: &mut SketchStore<String>,
     dir: &Path,
     wal: &mut ShardWal,
+    faults: &mut FaultHook,
 ) -> Result<u64, String> {
+    faults.fire(FaultSite::Snapshot)?;
     std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
     let bytes = store
         .write_snapshot()

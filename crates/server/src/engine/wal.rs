@@ -16,6 +16,8 @@ use ecm::wal::{
 };
 use ecm::{ReplayReport, SketchStore, StreamEvent};
 
+use crate::fault::{FaultHook, FaultSite};
+
 /// Name of shard `i`'s WAL segment `seg` inside the snapshot directory.
 /// Zero-padded so lexicographic order is chain order.
 pub(super) fn wal_file(shard: usize, segment: u64) -> String {
@@ -65,6 +67,9 @@ pub(super) struct ShardWal {
     /// Compactions performed since this handle opened.
     compactions: u64,
     buf: Vec<u8>,
+    /// Deterministic fault injection on the append/rotate paths
+    /// (zero-sized no-op in release builds).
+    faults: FaultHook,
 }
 
 impl ShardWal {
@@ -79,6 +84,7 @@ impl ShardWal {
         shard: usize,
         cfg: WalConfig,
         store: &mut SketchStore<String>,
+        faults: FaultHook,
     ) -> Result<(ShardWal, ReplayReport), String> {
         std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
         let fail =
@@ -124,6 +130,7 @@ impl ShardWal {
             sealed_segments: 0,
             compactions: 0,
             buf: Vec::new(),
+            faults,
         };
         match indexed.last() {
             None => {
@@ -207,6 +214,9 @@ impl ShardWal {
         events: &[(String, StreamEvent)],
         checkpoint_seq: u64,
     ) -> Result<(), String> {
+        // Fires *before* any byte is written: an injected append error is
+        // the clean ack-after-append failure (the run lands nowhere).
+        self.faults.fire(FaultSite::WalAppend)?;
         self.buf.clear();
         encode_ingest(self.record_seq + 1, events, &mut self.buf);
         self.write_buf()?;
@@ -231,6 +241,7 @@ impl ShardWal {
 
     /// Seal the active segment and open the next one.
     pub(super) fn rotate(&mut self, checkpoint_seq: u64) -> Result<(), String> {
+        self.faults.fire(FaultSite::WalRotate)?;
         self.sealed_bytes += self.active_bytes;
         self.sealed_segments += 1;
         self.segment += 1;

@@ -365,10 +365,12 @@ fn handle_connection(stream: TcpStream, engine: &Engine, shared: &Shared) {
         if line.iter().all(|b| b.is_ascii_whitespace()) {
             continue;
         }
-        // Fault injection, armed only by SKETCHD_TEST_PANIC: panic while
-        // holding the connection registry, poisoning the mutex — the worst
-        // spot a real handler bug could die in, and exactly what the
-        // poison-recovering `registry` path must survive.
+        // Fault injection, armed only by SKETCHD_TEST_PANIC (and compiled
+        // out of plain release builds, like the engine's fault hooks):
+        // panic while holding the connection registry, poisoning the mutex
+        // — the worst spot a real handler bug could die in, and exactly
+        // what the poison-recovering `registry` path must survive.
+        #[cfg(any(debug_assertions, feature = "fault-injection"))]
         if std::env::var_os("SKETCHD_TEST_PANIC").is_some() && line.as_slice() == b"__PANIC__" {
             let _poisoner = shared.conns.lock();
             panic!("test-injected connection handler panic");
@@ -429,10 +431,26 @@ fn read_batch(
     })
 }
 
+/// Render an [`EngineError`] as a response line. Transient errors that
+/// are safe to retry verbatim get the `retryable` form with a backoff
+/// hint; everything else (including `shard_timeout`, whose request may
+/// still apply) is a plain error the client interprets by code.
+fn engine_error(e: &EngineError) -> String {
+    if e.is_retryable() {
+        let retry_after_ms = match e {
+            EngineError::Overloaded { retry_after_ms, .. } => *retry_after_ms,
+            _ => 50,
+        };
+        response::retry_error(e.code(), &e.to_string(), retry_after_ms)
+    } else {
+        response::error(e.code(), &e.to_string())
+    }
+}
+
 fn ingest(engine: &Engine, triples: &[(String, StreamEvent, u64)]) -> String {
     match engine.ingest(triples) {
         Ok(n) => response::ingested(n),
-        Err(e) => response::error(e.code(), &e.to_string()),
+        Err(e) => engine_error(&e),
     }
 }
 
@@ -455,36 +473,36 @@ fn dispatch(
         } => ingest(engine, &[(key, StreamEvent::new(item, ts), count)]),
         Command::Batch { .. } => unreachable!("BATCH handled by the caller"),
         Command::Query { key, query, window } => match engine.query(&key, &query, window) {
-            Err(e) => response::error(e.code(), &e.to_string()),
+            Err(e) => engine_error(&e),
             Ok(None) => response::error("unknown_key", &format!("no sketch for key {key:?}")),
             Ok(Some(Err(e))) => response::query_error(&e),
             Ok(Some(Ok(answer))) => response::answer(query.name(), &answer),
         },
         Command::TopK { k, window } => match engine.top_k(k, window) {
             Ok(rows) => response::topk(&rows),
-            Err(e) => response::error(e.code(), &e.to_string()),
+            Err(e) => engine_error(&e),
         },
         Command::Stats => match engine.stats() {
             Ok(rows) => {
                 let views = engine.views_summary(&rows);
                 response::stats(&rows, &views)
             }
-            Err(e) => response::error(e.code(), &e.to_string()),
+            Err(e) => engine_error(&e),
         },
         Command::ViewCreate { def } => {
             let name = def.name.clone();
             match engine.view_create(def) {
                 Ok(()) => response::view_created(&name),
-                Err(e) => response::error(e.code(), &e.to_string()),
+                Err(e) => engine_error(&e),
             }
         }
         Command::ViewRead { name } => match engine.view_read(&name) {
             Ok(readout) => response::view_read(&name, &readout),
-            Err(e) => response::error(e.code(), &e.to_string()),
+            Err(e) => engine_error(&e),
         },
         Command::ViewDrop { name } => match engine.view_drop(&name) {
             Ok(()) => response::view_dropped(&name),
-            Err(e) => response::error(e.code(), &e.to_string()),
+            Err(e) => engine_error(&e),
         },
         Command::ViewList => {
             let rows: Vec<(String, &'static str, String)> = engine
@@ -504,12 +522,12 @@ fn dispatch(
         }
         Command::Flush { ts } => match engine.flush(ts) {
             Ok(()) => response::flushed(ts),
-            Err(e) => response::error(e.code(), &e.to_string()),
+            Err(e) => engine_error(&e),
         },
         Command::Snapshot { dir, incremental } => {
             match engine.snapshot(Path::new(&dir), incremental) {
                 Ok(report) => response::snapshot(&report),
-                Err(e) => response::error(e.code(), &e.to_string()),
+                Err(e) => engine_error(&e),
             }
         }
         Command::Shutdown => {
@@ -518,7 +536,7 @@ fn dispatch(
             // durable.
             let resp = match engine.shutdown() {
                 Ok(()) => response::shutdown(),
-                Err(e) => response::error(e.code(), &e.to_string()),
+                Err(e) => engine_error(&e),
             };
             let _ = respond(writer, &resp);
             halt_frontend(shared);

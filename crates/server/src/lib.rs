@@ -49,11 +49,12 @@
 pub mod client;
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod frontend;
 pub mod loadgen;
 pub mod protocol;
 
-pub use client::Client;
+pub use client::{Client, ClientError, RetryPolicy};
 pub use config::ServerConfig;
 pub use engine::{Engine, EngineError};
 pub use frontend::Server;

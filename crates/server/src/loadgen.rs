@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use stream_gen::worldcup_like;
 
-use crate::client::Client;
+use crate::client::{Client, ClientError};
 use crate::protocol::response::is_ok;
 
 /// What to replay, and against whom.
@@ -93,6 +93,33 @@ pub struct LoadgenReport {
     /// Notification lines the subscriber drained during ingest (views mode
     /// only; includes heartbeats and drop markers).
     pub notifications: u64,
+    /// Client-side retries absorbed across all connections (transport
+    /// failures and `"retryable":true` server errors).
+    pub retries: u64,
+    /// `overloaded` (admission-shed) responses absorbed across all
+    /// connections.
+    pub sheds: u64,
+}
+
+/// Client-observed numbers for the degraded-mode pass: the same workload
+/// driven while one shard is killed and supervised back up mid-ingest.
+#[derive(Debug, Clone)]
+pub struct DegradedReport {
+    /// Event occurrences acked during the degraded pass.
+    pub events: u64,
+    /// Client-observed ingest throughput with the restart in the middle,
+    /// million events per second.
+    pub ingest_meps: f64,
+    /// 99th-percentile query round-trip measured right after the restart,
+    /// microseconds.
+    pub query_p99_us: f64,
+    /// Degraded ingest throughput relative to the fault-free baseline
+    /// (1.0 = no cost).
+    pub relative: f64,
+    /// Client-side retries absorbed during the degraded pass.
+    pub retries: u64,
+    /// Admission sheds absorbed during the degraded pass.
+    pub sheds: u64,
 }
 
 fn io_err(detail: String) -> std::io::Error {
@@ -164,12 +191,7 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         loop {
             match sub.recv() {
                 Ok(_) => drained += 1,
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
+                Err(ClientError::TimedOut) => {
                     if stop.load(Ordering::SeqCst) {
                         return drained;
                     }
@@ -189,31 +211,33 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
 
     let started = Instant::now();
     let mut ingest_secs = 0.0;
-    let (acked, notifications): (u64, u64) = std::thread::scope(|scope| {
+    let (acked, notifications, mut retries, mut sheds) = std::thread::scope(|scope| {
         let sub_handle = subscription.map(|sub| scope.spawn(|| subscriber(sub, &stop_subscriber)));
         let mut workers = Vec::with_capacity(cfg.connections);
         for lines in &per_conn {
-            workers.push(scope.spawn(move || -> std::io::Result<u64> {
+            workers.push(scope.spawn(move || -> std::io::Result<(u64, u64, u64)> {
                 let mut client = Client::connect(&cfg.addr)?;
                 let mut acked = 0u64;
                 for chunk in lines.chunks(cfg.batch) {
-                    let resp = client.batch(chunk)?;
+                    let resp = client.batch_retry(chunk)?;
                     if !is_ok(&resp) {
                         return Err(io_err(format!("batch rejected: {resp}")));
                     }
                     acked += chunk.len() as u64;
                 }
-                Ok(acked)
+                Ok((acked, client.retries(), client.sheds()))
             }));
         }
-        let mut total = 0u64;
+        let (mut total, mut retries, mut sheds) = (0u64, 0u64, 0u64);
         for worker in workers {
             // A panicked worker is a typed report, not an abort of the
             // whole run's reporting.
-            let outcome = worker
+            let (a, r, s) = worker
                 .join()
-                .map_err(|_| io_err("ingest worker panicked".to_string()))?;
-            total += outcome?;
+                .map_err(|_| io_err("ingest worker panicked".to_string()))??;
+            total += a;
+            retries += r;
+            sheds += s;
         }
         // The subscriber keeps draining until ingest is done, so the
         // timed window covers exactly the mixed ingest+notify phase.
@@ -225,7 +249,7 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                 .map_err(|_| io_err("subscriber panicked".to_string()))?,
             None => 0,
         };
-        Ok::<(u64, u64), std::io::Error>((total, notes))
+        Ok::<(u64, u64, u64, u64), std::io::Error>((total, notes, retries, sheds))
     })?;
 
     // Query phase: point lookups for real (tenant, item) pairs spread
@@ -239,12 +263,14 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
             e.site, e.key, cfg.query_range
         );
         let t0 = Instant::now();
-        let resp = client.call(&cmd)?;
+        let resp = client.call_retry(&cmd)?;
         lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
         if !is_ok(&resp) {
             return Err(io_err(format!("query rejected: {resp}")));
         }
     }
+    retries += client.retries();
+    sheds += client.sheds();
     // Views mode: the same number of `VIEW READ` round-trips, round-robin
     // over the registered views — a materialized read instead of a
     // recompute, so its RTT prices the protocol + mailbox path alone.
@@ -293,12 +319,125 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         view_read_p50_us: pct_of(&view_lat_us, 0.50),
         view_read_p95_us: pct_of(&view_lat_us, 0.95),
         notifications,
+        retries,
+        sheds,
+    })
+}
+
+/// Replay the same trace again — timestamps shifted past the baseline pass
+/// so per-tenant ticks stay non-decreasing — while `trigger` kills a shard
+/// at roughly 25% of ingest. The surviving throughput and the post-restart
+/// query p99 price what one supervised restart costs the fleet.
+///
+/// Query responses are *not* required to be acks here: a non-durable server
+/// forgets restarted tenants, and this pass measures latency under
+/// degradation, not correctness (the chaos tests own that).
+///
+/// # Errors
+/// Connection failures, or an ingest batch that is rejected even after the
+/// client's retry budget is spent.
+pub fn run_degraded(
+    cfg: &LoadgenConfig,
+    baseline_meps: f64,
+    trigger: &(dyn Fn() + Sync),
+) -> std::io::Result<DegradedReport> {
+    assert!(cfg.connections >= 1, "need at least one connection");
+    assert!(cfg.batch >= 1, "need a positive batch size");
+    let trace = worldcup_like(cfg.events, cfg.seed);
+    let max_ts = trace.last().map_or(1, |e| e.ts);
+    let mut per_conn: Vec<Vec<String>> = vec![Vec::new(); cfg.connections];
+    for e in &trace {
+        per_conn[e.site as usize % cfg.connections].push(format!(
+            "site-{} {} {}",
+            e.site,
+            e.ts + max_ts,
+            e.key
+        ));
+    }
+
+    let fired = AtomicBool::new(false);
+    let started = Instant::now();
+    let (acked, mut retries, mut sheds) = std::thread::scope(|scope| {
+        let mut workers = Vec::with_capacity(cfg.connections);
+        for (w, lines) in per_conn.iter().enumerate() {
+            let fired = &fired;
+            workers.push(scope.spawn(move || -> std::io::Result<(u64, u64, u64)> {
+                let mut client = Client::connect(&cfg.addr)?;
+                let mut acked = 0u64;
+                let kick_at = lines.chunks(cfg.batch).count() / 4;
+                for (i, chunk) in lines.chunks(cfg.batch).enumerate() {
+                    // Worker 0 pulls the trigger once, a quarter of the way
+                    // in — far enough that the mailboxes are warm, early
+                    // enough that most of the pass runs degraded.
+                    if w == 0 && i == kick_at && !fired.swap(true, Ordering::SeqCst) {
+                        trigger();
+                    }
+                    let resp = client.batch_retry(chunk)?;
+                    if !is_ok(&resp) {
+                        return Err(io_err(format!("batch rejected: {resp}")));
+                    }
+                    acked += chunk.len() as u64;
+                }
+                Ok((acked, client.retries(), client.sheds()))
+            }));
+        }
+        let (mut total, mut retries, mut sheds) = (0u64, 0u64, 0u64);
+        for worker in workers {
+            let (a, r, s) = worker
+                .join()
+                .map_err(|_| io_err("degraded ingest worker panicked".to_string()))??;
+            total += a;
+            retries += r;
+            sheds += s;
+        }
+        Ok::<(u64, u64, u64), std::io::Error>((total, retries, sheds))
+    })?;
+    let ingest_secs = started.elapsed().as_secs_f64().max(f64::EPSILON);
+
+    // Post-restart query latency: the same point-lookup mix, right after
+    // the pass that contained the restart.
+    let mut client = Client::connect(&cfg.addr)?;
+    let mut lat_us: Vec<f64> = Vec::with_capacity(cfg.queries);
+    let stride = (trace.len() / cfg.queries.max(1)).max(1);
+    let shifted_max = max_ts.saturating_mul(2);
+    for e in trace.iter().step_by(stride).take(cfg.queries) {
+        let cmd = format!(
+            "QUERY site-{} point {} time {shifted_max} {}",
+            e.site, e.key, cfg.query_range
+        );
+        let t0 = Instant::now();
+        let _resp = client.call_retry(&cmd)?;
+        lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    retries += client.retries();
+    sheds += client.sheds();
+    lat_us.sort_by(f64::total_cmp);
+    let p99 = if lat_us.is_empty() {
+        0.0
+    } else {
+        let rank = (0.99 * lat_us.len() as f64).ceil() as usize;
+        lat_us[rank.clamp(1, lat_us.len()) - 1]
+    };
+
+    let ingest_meps = acked as f64 / ingest_secs / 1e6;
+    Ok(DegradedReport {
+        events: acked,
+        ingest_meps,
+        query_p99_us: p99,
+        relative: if baseline_meps > 0.0 {
+            ingest_meps / baseline_meps
+        } else {
+            0.0
+        },
+        retries,
+        sheds,
     })
 }
 
 /// The report as the flat machine-written JSON `BENCH_server.json` holds
-/// (schema-validated by `crates/bench/tests/bench_schema.rs`).
-pub fn render_json(r: &LoadgenReport) -> String {
+/// (schema-validated by `crates/bench/tests/bench_schema.rs`). The degraded
+/// block appears only when a degraded-mode pass ran.
+pub fn render_json(r: &LoadgenReport, degraded: Option<&DegradedReport>) -> String {
     // The views block appears only in views mode, so the default server
     // bench file keeps its original shape.
     let views = if r.views > 0 {
@@ -311,12 +450,21 @@ pub fn render_json(r: &LoadgenReport) -> String {
     } else {
         String::new()
     };
+    let degraded = degraded.map_or(String::new(), |d| {
+        format!(
+            ",\n    \"degraded_events\": {},\n    \"degraded_ingest_meps\": {:.4},\n    \
+             \"degraded_query_p99_us\": {:.2},\n    \"degraded_relative\": {:.4},\n    \
+             \"degraded_retries\": {},\n    \"degraded_sheds\": {}",
+            d.events, d.ingest_meps, d.query_p99_us, d.relative, d.retries, d.sheds
+        )
+    });
     format!(
         "{{\n  \"schema_version\": 1,\n  \"bench\": \"server\",\n  \"workload\": {{\n    \
          \"events\": {},\n    \"connections\": {},\n    \"batch\": {},\n    \
          \"tenants\": {}\n  }},\n  \"results\": {{\n    \"ingest_secs\": {:.4},\n    \
          \"ingest_meps\": {:.4},\n    \"queries\": {},\n    \"query_p50_us\": {:.2},\n    \
-         \"query_p95_us\": {:.2},\n    \"query_p99_us\": {:.2}{views}\n  }}\n}}\n",
+         \"query_p95_us\": {:.2},\n    \"query_p99_us\": {:.2},\n    \"retries\": {},\n    \
+         \"sheds\": {}{views}{degraded}\n  }}\n}}\n",
         r.events,
         r.connections,
         r.batch,
@@ -326,6 +474,8 @@ pub fn render_json(r: &LoadgenReport) -> String {
         r.queries,
         r.query_p50_us,
         r.query_p95_us,
-        r.query_p99_us
+        r.query_p99_us,
+        r.retries,
+        r.sheds
     )
 }

@@ -10,7 +10,7 @@
 
 use ecm::{Answer, Estimate, QueryError, ViewAnswer, ViewError, ViewEvent, ViewReadout};
 
-use crate::engine::{ShardStats, SnapshotReport, ViewsSummary};
+use crate::engine::{ShardStatus, SnapshotReport, ViewsSummary};
 
 /// Escape a string for inclusion in a JSON string literal.
 fn escape(s: &str) -> String {
@@ -62,6 +62,18 @@ pub fn error(code: &str, detail: &str) -> String {
 /// A [`QueryError`] as a response line.
 pub fn query_error(e: &QueryError) -> String {
     error("query", &e.to_string())
+}
+
+/// `{"ok":false,...}` for a transient failure the client may retry:
+/// carries `"retryable":true` and a suggested backoff so a generic
+/// client needs no per-code table.
+pub fn retry_error(code: &str, detail: &str, retry_after_ms: u64) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":\"{}\",\"detail\":\"{}\",\"retryable\":true,\
+         \"retry_after_ms\":{retry_after_ms}}}",
+        escape(code),
+        escape(detail)
+    )
 }
 
 /// Reply to `PING`.
@@ -126,31 +138,45 @@ pub fn topk(rows: &[(String, f64)]) -> String {
 }
 
 /// Per-shard `STATS` as a response line, plus fleet-wide totals and the
-/// standing-view counters.
-pub fn stats(rows: &[ShardStats], views: &ViewsSummary) -> String {
-    let keys: usize = rows.iter().map(|s| s.keys).sum();
-    let memory: usize = rows.iter().map(|s| s.memory_bytes).sum();
-    let ingested: u64 = rows.iter().map(|s| s.ingested).sum();
-    let wal_bytes: u64 = rows.iter().map(|s| s.wal_bytes).sum();
-    let compactions: u64 = rows.iter().map(|s| s.compactions).sum();
+/// standing-view counters. Every shard row carries its supervision
+/// `health` block; the worker-reported numbers are present only when the
+/// worker could answer (a restarting or dead shard still gets a row, so
+/// the operator sees *that* it is down and how often it has been). The
+/// fleet totals sum over the shards that answered.
+pub fn stats(rows: &[ShardStatus], views: &ViewsSummary) -> String {
+    let answered = || rows.iter().filter_map(|r| r.stats.as_ref());
+    let keys: usize = answered().map(|s| s.keys).sum();
+    let memory: usize = answered().map(|s| s.memory_bytes).sum();
+    let ingested: u64 = answered().map(|s| s.ingested).sum();
+    let wal_bytes: u64 = answered().map(|s| s.wal_bytes).sum();
+    let compactions: u64 = answered().map(|s| s.compactions).sum();
     let shards: Vec<String> = rows
         .iter()
-        .map(|s| {
-            format!(
-                "{{\"shard\":{},\"keys\":{},\"memory_bytes\":{},\"ingested\":{},\
-                 \"checkpoint_seq\":{},\"wal_bytes\":{},\"wal_segments\":{},\
-                 \"compactions\":{},\"views\":{},\"view_maintenance\":{}}}",
-                s.shard,
-                s.keys,
-                s.memory_bytes,
-                s.ingested,
-                s.checkpoint_seq,
-                s.wal_bytes,
-                s.wal_segments,
-                s.compactions,
-                s.views,
-                s.view_maintenance
-            )
+        .map(|r| {
+            let h = &r.health;
+            let health = format!(
+                "\"health\":{{\"state\":\"{}\",\"restarts\":{},\"last_restart_ms\":{},\
+                 \"mailbox_hwm\":{},\"shed_requests\":{}}}",
+                h.state, h.restarts, h.last_restart_ms, h.mailbox_hwm, h.shed_requests
+            );
+            match &r.stats {
+                Some(s) => format!(
+                    "{{\"shard\":{},{health},\"keys\":{},\"memory_bytes\":{},\"ingested\":{},\
+                     \"checkpoint_seq\":{},\"wal_bytes\":{},\"wal_segments\":{},\
+                     \"compactions\":{},\"views\":{},\"view_maintenance\":{}}}",
+                    r.shard,
+                    s.keys,
+                    s.memory_bytes,
+                    s.ingested,
+                    s.checkpoint_seq,
+                    s.wal_bytes,
+                    s.wal_segments,
+                    s.compactions,
+                    s.views,
+                    s.view_maintenance
+                ),
+                None => format!("{{\"shard\":{},{health}}}", r.shard),
+            }
         })
         .collect();
     format!(
@@ -301,6 +327,18 @@ pub fn view_event(e: &ViewEvent<String>) -> String {
             ranking_rows(ranking)
         ),
     }
+}
+
+/// The marker a subscriber sees when a shard serving its view died and
+/// was rebuilt: notifications between the crash and the restart are gone
+/// (the view's state is restored, its in-flight pushes are not), so the
+/// marker is published *before* the replacement worker's first
+/// post-restart notification.
+pub fn restarted(view: &str, shard: usize) -> String {
+    format!(
+        "{{\"ok\":true,\"notify\":\"restarted\",\"view\":\"{}\",\"shard\":{shard}}}",
+        escape(view)
+    )
 }
 
 /// The typed gap record a slow subscriber sees in place of the `count`

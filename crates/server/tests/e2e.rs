@@ -220,6 +220,12 @@ fn served_answers_are_bit_identical_to_in_process_store() {
         "stats must count {expanded} occurrences: {stats}"
     );
     assert_eq!(stats.matches("\"shard\":").count(), SHARDS);
+    // Every shard carries a health block; a healthy fleet has no restarts
+    // and shed nothing.
+    assert_eq!(stats.matches("\"health\":").count(), SHARDS);
+    assert_eq!(stats.matches("\"state\":\"up\"").count(), SHARDS);
+    assert_eq!(stats.matches("\"restarts\":0").count(), SHARDS);
+    assert_eq!(stats.matches("\"shed_requests\":0").count(), SHARDS);
 
     // Typed refusals, not panics or silence.
     let unknown = client

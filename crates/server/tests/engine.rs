@@ -59,7 +59,12 @@ fn hierarchy_universe_guard_rejects_the_whole_batch() {
         EngineError::ItemOutOfUniverse { item: 16, bits: 4 }
     ));
     let stats = engine.stats().expect("stats");
-    assert_eq!(stats.iter().map(|s| s.ingested).sum::<u64>(), 0);
+    let ingested: u64 = stats
+        .iter()
+        .filter_map(|s| s.stats.as_ref())
+        .map(|s| s.ingested)
+        .sum();
+    assert_eq!(ingested, 0);
     engine.shutdown().expect("shutdown");
 }
 
@@ -109,9 +114,11 @@ fn tiny_mailboxes_still_drain_everything() {
             .expect("ingest under backpressure");
     }
     let stats = engine.stats().expect("stats");
-    assert_eq!(stats.iter().map(|s| s.ingested).sum::<u64>(), 200);
-    assert_eq!(stats.iter().map(|s| s.keys).sum::<usize>(), 7);
-    assert!(stats.iter().all(|s| s.memory_bytes > 0 || s.keys == 0));
+    let rows: Vec<_> = stats.iter().filter_map(|s| s.stats.as_ref()).collect();
+    assert_eq!(rows.len(), stats.len(), "all shards answered");
+    assert_eq!(rows.iter().map(|s| s.ingested).sum::<u64>(), 200);
+    assert_eq!(rows.iter().map(|s| s.keys).sum::<usize>(), 7);
+    assert!(rows.iter().all(|s| s.memory_bytes > 0 || s.keys == 0));
     engine.shutdown().expect("shutdown");
 }
 
@@ -130,5 +137,151 @@ fn broadcast_top_k_merges_like_one_store() {
     let names: Vec<&str> = top.iter().map(|(k, _)| k.as_str()).collect();
     assert_eq!(names, ["k0", "k1", "k2"]);
     assert!(top[0].1 > top[1].1 && top[1].1 > top[2].1);
+    engine.shutdown().expect("shutdown");
+}
+
+/// Retry an engine call through restart blips: retryable errors mean "not
+/// applied, try again"; anything else is a real failure.
+fn retry_until_ok<T>(mut call: impl FnMut() -> Result<T, EngineError>, what: &str) -> T {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        match call() {
+            Ok(v) => return v,
+            Err(e) if e.is_retryable() => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "{what}: still retrying after 10s: {e}"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(e) => panic!("{what}: non-retryable: {e}"),
+        }
+    }
+}
+
+#[test]
+fn restart_shard_respawns_from_wal_without_losing_siblings() {
+    // Durable engine: a crash-shaped restart must replay the WAL tail, so
+    // every *acked* write survives. (Without durability an ack only means
+    // "accepted into the mailbox" — a crash may legitimately drop it.)
+    let dir = std::env::temp_dir().join(format!("sketchd-engine-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let cfg = ServerConfig::new(spec())
+        .shards(2)
+        .snapshot_dir(&dir)
+        .durability(true);
+    let engine = Engine::start(&cfg).expect("engine");
+    // "a" routes to one shard, "b" to the other (checked below) — killing
+    // a's shard must leave b's untouched.
+    let (sa, sb) = (route("a", 2), route("b", 2));
+    assert_ne!(sa, sb, "the test needs the keys on different shards");
+    engine
+        .ingest(&[
+            ("a".to_string(), StreamEvent::new(1, 10), 3),
+            ("b".to_string(), StreamEvent::new(1, 10), 5),
+        ])
+        .expect("ingest");
+
+    engine.restart_shard(sa).expect("restart");
+    // The sibling keeps answering throughout; go through the typed-retry
+    // path anyway so a routing change cannot turn this into a hang.
+    let w = WindowSpec::time(10, 10_000);
+    let b = retry_until_ok(|| engine.query("b", &OwnedQuery::Total, w), "query b");
+    let b = b
+        .expect("b exists")
+        .expect("answers")
+        .value()
+        .expect("scalar");
+    assert_eq!(b.round() as u64, 5);
+
+    // The killed shard comes back with the acked history replayed, and
+    // keeps serving new writes.
+    retry_until_ok(
+        || engine.ingest(&[("a".to_string(), StreamEvent::new(2, 10), 7)]),
+        "ingest a after restart",
+    );
+    let a = retry_until_ok(|| engine.query("a", &OwnedQuery::Total, w), "query a");
+    let a = a
+        .expect("a exists")
+        .expect("answers")
+        .value()
+        .expect("scalar");
+    assert_eq!(
+        a.round() as u64,
+        3 + 7,
+        "WAL tail replayed, new write applied"
+    );
+
+    let stats = engine.stats().expect("stats");
+    assert_eq!(stats[sa].health.restarts, 1);
+    assert_eq!(stats[sb].health.restarts, 0);
+    assert_eq!(stats[sa].health.state, "up");
+    engine.shutdown().expect("shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn out_of_range_restart_is_a_typed_refusal() {
+    let engine = Engine::start(&ServerConfig::new(spec()).shards(2)).expect("engine");
+    assert!(matches!(
+        engine.restart_shard(2),
+        Err(EngineError::InvalidConfig(_))
+    ));
+    engine.shutdown().expect("shutdown");
+}
+
+#[test]
+fn malformed_fault_plan_is_a_typed_start_error() {
+    let cfg = ServerConfig::new(spec()).fault_plan("bogus:explode@now");
+    assert!(matches!(
+        Engine::start(&cfg),
+        Err(EngineError::FaultPlan(_))
+    ));
+}
+
+#[test]
+fn wedged_shard_sheds_typed_overloaded_then_recovers() {
+    // The 3rd message stalls its worker for 1.5 s; with a 200 ms health
+    // deadline the supervisor quarantines the shard as wedged (no respawn:
+    // the thread is alive), and admission sheds instead of blocking.
+    let cfg = ServerConfig::new(spec())
+        .shards(1)
+        .mailbox_depth(1)
+        .health_deadline(std::time::Duration::from_millis(200))
+        .admission_timeout(std::time::Duration::from_millis(100))
+        .fault_plan("shard:delay=1500ms@seq=3");
+    let engine = Engine::start(&cfg).expect("engine");
+    let event = |i: u64| vec![("k".to_string(), StreamEvent::new(1, i), 1)];
+    engine.ingest(&event(1)).expect("ingest 1");
+    engine.ingest(&event(2)).expect("ingest 2");
+    // Message 3 stalls the worker. Fire it from a helper thread (the reply
+    // will wait out the stall) and shed against the full mailbox here.
+    std::thread::scope(|scope| {
+        // The helper competes with the probing loop below for the depth-1
+        // mailbox, so it may get shed too — it retries through it.
+        let stalled = scope.spawn(|| retry_until_ok(|| engine.ingest(&event(3)), "stalled ingest"));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let shed = loop {
+            match engine.ingest(&event(4)) {
+                Err(e @ EngineError::Overloaded { .. }) => break e,
+                Err(e) if e.is_retryable() => {}
+                Ok(_) => {} // admitted before the stall bit — keep probing
+                Err(e) => panic!("unexpected: {e}"),
+            }
+            assert!(std::time::Instant::now() < deadline, "never shed");
+        };
+        assert!(shed.is_retryable());
+        assert!(shed.to_string().contains("retry"), "hint in: {shed}");
+
+        // The stall passes, the supervisor flips the shard back to up, and
+        // the queue drains — the stalled send eventually lands.
+        stalled.join().expect("stalled sender");
+    });
+    retry_until_ok(|| engine.ingest(&event(9)), "ingest after recovery");
+    let stats = retry_until_ok(|| engine.stats(), "stats");
+    assert_eq!(stats[0].health.state, "up");
+    assert_eq!(stats[0].health.restarts, 0, "wedged is not dead");
+    assert!(stats[0].health.shed_requests >= 1, "{:?}", stats[0].health);
     engine.shutdown().expect("shutdown");
 }

@@ -48,14 +48,7 @@ fn await_notification(sub: &mut Client, pred: impl Fn(&str) -> bool) -> String {
         match sub.recv() {
             Ok(line) if pred(&line) => return line,
             Ok(_) => continue, // heartbeat or an unrelated change
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                continue
-            }
+            Err(sketch_server::ClientError::TimedOut) => continue,
             Err(e) => panic!("subscriber connection died: {e}"),
         }
     }
@@ -222,6 +215,76 @@ fn slow_subscriber_gets_drop_marker_not_backpressure() {
     assert!(after.contains("\"hitters\":"), "got: {after}");
 
     hub.unsubscribe(id);
+    drop(server);
+}
+
+#[test]
+fn views_survive_shard_restart_mid_subscribe() {
+    // A supervised shard restart must re-register the standing views on
+    // the fresh worker, and live subscribers must learn about the blip:
+    // the typed `{"notify":"restarted"}` marker arrives *before* the next
+    // real publication from the reborn shard.
+    let dir = scratch("shard-restart");
+    let (server, mut client) = start(
+        ServerConfig::new(spec())
+            .shards(2)
+            .snapshot_dir(&dir)
+            .durability(true),
+    );
+    let ack = client
+        .call("VIEW CREATE alarm threshold user-7 total 50 time 5000")
+        .unwrap();
+    assert!(is_ok(&ack), "create rejected: {ack}");
+
+    let mut sub = Client::connect(server.local_addr()).expect("connect subscriber");
+    sub.set_read_timeout(Some(Duration::from_millis(200)))
+        .unwrap();
+    let sub_ack = sub.subscribe("alarm").unwrap();
+    assert!(is_ok(&sub_ack), "subscribe rejected: {sub_ack}");
+
+    // Pre-restart state below the threshold, then kill the shard that owns
+    // the view's key and wait for the supervisor to bring it back.
+    feed(&mut client, "user-7", 1, 1, 10);
+    server.engine().restart_shard(0).expect("restart shard 0");
+    server.engine().restart_shard(1).expect("restart shard 1");
+
+    // Post-restart ingest crosses the threshold. The WAL replay restored
+    // the pre-restart counts, so 10 + 60 > 50 crosses exactly as it would
+    // have without the blip. Retry while the mailbox is quarantined.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let lines: Vec<String> = (0..60).map(|i| format!("user-7 {} 1", 11 + i)).collect();
+        let ack = client.batch_retry(&lines).expect("batch after restart");
+        if is_ok(&ack) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "ingest never re-admitted: {ack}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The subscriber sees the restart marker first, then the crossing —
+    // strictly in that order on the one notification stream.
+    let marker = await_notification(&mut sub, |l| {
+        l.contains("\"notify\":\"restarted\"") || l.contains("\"notify\":\"threshold\"")
+    });
+    assert!(
+        marker.contains("\"notify\":\"restarted\""),
+        "crossing arrived before the restart marker: {marker}"
+    );
+    assert!(marker.contains("\"view\":\"alarm\""), "got: {marker}");
+    let crossing = await_notification(&mut sub, |l| l.contains("\"notify\":\"threshold\""));
+    assert!(crossing.contains("\"above\":true"), "got: {crossing}");
+
+    // The re-registered view answers reads with the merged history.
+    let read = client.call("VIEW READ alarm").unwrap();
+    assert!(is_ok(&read), "read after restart: {read}");
+    assert!(read.contains("\"above\":true"), "got: {read}");
+
+    // STATS records the restarts in the health block.
+    let stats = client.call("STATS").unwrap();
+    assert!(stats.contains("\"restarts\":1"), "got: {stats}");
+
+    let _ = std::fs::remove_dir_all(&dir);
     drop(server);
 }
 
