@@ -11,6 +11,14 @@
 //! * `heavy_hitters` — dyadic group testing over an 8-bit hierarchy
 //!   (ECM-EH only), the top-talker report.
 //!
+//! A fourth section prices the *server's* two read paths against each
+//! other while writes keep flowing: `read_scaling` runs 1/2/4 reader
+//! threads through the wait-free published-epoch path
+//! (`Engine::query_published`) and through the worker-mailbox path
+//! (`Engine::query_via_worker`) and reports queries/sec for each cell.
+//! The published path must beat the serialized path and must not
+//! collapse as readers are added; `bench_schema.rs` holds the floors.
+//!
 //! Results are printed and written as JSON to `BENCH_query.json` at the
 //! workspace root (`BENCH_QUERY_OUT` overrides the path); the schema is
 //! validated by `crates/bench/tests/bench_schema.rs`. Scale with
@@ -18,9 +26,14 @@
 
 use ecm::{EcmBuilder, EcmHierarchy, EcmSketch, Query, SketchReader, Threshold, WindowSpec};
 use ecm_bench::{bursty_zipf_trace, event_budget};
+use sketch_server::engine::Engine;
+use sketch_server::protocol::OwnedQuery;
+use sketch_server::{ServerConfig, SketchSpec, StreamEvent};
 use sliding_window::traits::WindowCounter;
 use sliding_window::ExponentialHistogram;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use stream_gen::{SeededRng, ZipfSampler};
 
 const WINDOW: u64 = 1_000_000;
@@ -90,7 +103,71 @@ fn point_rows<W: WindowCounter + 'static>(
     });
 }
 
-fn json(rows: &[Row], events: usize, eh_bytes: usize) -> String {
+struct ScaleRow {
+    path: &'static str,
+    readers: usize,
+    queries_per_sec: f64,
+}
+
+/// Throughput of `readers` concurrent threads hammering point queries
+/// down one read path for a fixed wall-clock slice, while a background
+/// writer keeps acked batches flowing (so the published copies are
+/// genuinely republished throughout, not frozen).
+fn read_scaling_cell(
+    engine: &Arc<Engine>,
+    keys: &[String],
+    now: u64,
+    path: &'static str,
+    readers: usize,
+) -> ScaleRow {
+    const MEASURE: Duration = Duration::from_millis(250);
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..readers)
+        .map(|r| {
+            let engine = Arc::clone(engine);
+            let keys = keys.to_vec();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let w = WindowSpec::time(now, WINDOW);
+                let mut done = 0u64;
+                let mut i = r; // stagger the key walk per thread
+                while !stop.load(Ordering::Relaxed) {
+                    let key = &keys[i % keys.len()];
+                    let q = OwnedQuery::Point {
+                        item: (i % 256) as u64,
+                    };
+                    i += 1;
+                    let ok = match path {
+                        "published" => engine.query_published(key, &q, w).answer.is_some(),
+                        _ => engine
+                            .query_via_worker(key, &q, w)
+                            .map(|(a, _)| a.is_some())
+                            .unwrap_or(false),
+                    };
+                    if ok {
+                        done += 1;
+                    }
+                }
+                done
+            })
+        })
+        .collect();
+    let start = Instant::now();
+    std::thread::sleep(MEASURE);
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("reader thread"))
+        .sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    ScaleRow {
+        path,
+        readers,
+        queries_per_sec: total as f64 / elapsed,
+    }
+}
+
+fn json(rows: &[Row], scaling: &[ScaleRow], events: usize, eh_bytes: usize) -> String {
     let mut results = String::new();
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
@@ -101,11 +178,22 @@ fn json(rows: &[Row], events: usize, eh_bytes: usize) -> String {
             r.backend, r.query, r.ops, r.ns_per_op
         ));
     }
+    let mut scale = String::new();
+    for (i, s) in scaling.iter().enumerate() {
+        if i > 0 {
+            scale.push_str(",\n");
+        }
+        scale.push_str(&format!(
+            "    {{\"path\": \"{}\", \"readers\": {}, \"queries_per_sec\": {:.1}}}",
+            s.path, s.readers, s.queries_per_sec
+        ));
+    }
     format!(
         "{{\n  \"schema_version\": 1,\n  \"bench\": \"query\",\n  \"workload\": {{\n    \
          \"events\": {events},\n    \"zipf_skew\": {ZIPF_SKEW},\n    \"key_domain\": {KEY_DOMAIN},\n    \
          \"window\": {WINDOW},\n    \"hierarchy_bits\": {HIER_BITS}\n  }},\n  \
-         \"warm_eh_memory_bytes\": {eh_bytes},\n  \"results\": [\n{results}\n  ]\n}}\n"
+         \"warm_eh_memory_bytes\": {eh_bytes},\n  \"results\": [\n{results}\n  ],\n  \
+         \"read_scaling\": [\n{scale}\n  ]\n}}\n"
     )
 }
 
@@ -177,7 +265,77 @@ fn main() {
     let eh_bytes = SketchReader::memory_bytes(&eh);
     println!("warm ECM-EH memory_bytes: {eh_bytes}");
 
-    let out = json(&rows, events.len(), eh_bytes);
+    // Read scaling: the server's wait-free published-epoch path vs the
+    // worker-mailbox path, 1/2/4 reader threads each, writes flowing.
+    // Flat per-tenant sketches and a 16-batch publish interval keep the
+    // worker's publication work modest, so the mailbox cells price the
+    // serialized read path itself rather than queueing behind clones.
+    let spec = SketchSpec::time(WINDOW).epsilon(0.1).delta(0.1).seed(7);
+    let engine = Arc::new(
+        Engine::start(&ServerConfig::new(spec).shards(2).publish_interval(16))
+            .expect("engine start"),
+    );
+    let keys: Vec<String> = (0..64).map(|t| format!("tenant-{t}")).collect();
+    let mut rng = SeededRng::seed_from_u64(21);
+    let mut ts = 0u64;
+    let mut warm = Vec::with_capacity(20_000);
+    for _ in 0..20_000 {
+        ts += rng.next_u64() % 3;
+        warm.push((
+            keys[(rng.next_u64() % 64) as usize].clone(),
+            StreamEvent::new(rng.next_u64() % 256, ts),
+            1u64,
+        ));
+    }
+    for chunk in warm.chunks(512) {
+        engine.ingest(chunk).expect("warm ingest");
+    }
+    let served_now = ts;
+    let stop_writer = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let engine = Arc::clone(&engine);
+        let keys = keys.clone();
+        let stop = Arc::clone(&stop_writer);
+        std::thread::spawn(move || {
+            let mut rng = SeededRng::seed_from_u64(22);
+            while !stop.load(Ordering::Relaxed) {
+                let batch: Vec<_> = (0..16)
+                    .map(|_| {
+                        ts += 1;
+                        (
+                            keys[(rng.next_u64() % 64) as usize].clone(),
+                            StreamEvent::new(rng.next_u64() % 256, ts),
+                            1u64,
+                        )
+                    })
+                    .collect();
+                let _ = engine.ingest(&batch);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+    let mut scaling = Vec::new();
+    for path in ["published", "mailbox"] {
+        for readers in [1usize, 2, 4] {
+            scaling.push(read_scaling_cell(&engine, &keys, served_now, path, readers));
+        }
+    }
+    stop_writer.store(true, Ordering::Relaxed);
+    writer.join().expect("background writer");
+    engine.shutdown().expect("engine shutdown");
+
+    println!(
+        "\n{:<12} {:>8} {:>16}",
+        "path", "readers", "queries_per_sec"
+    );
+    for s in &scaling {
+        println!(
+            "{:<12} {:>8} {:>16.1}",
+            s.path, s.readers, s.queries_per_sec
+        );
+    }
+
+    let out = json(&rows, &scaling, events.len(), eh_bytes);
     let path = std::env::var("BENCH_QUERY_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json").to_string()
     });

@@ -185,6 +185,49 @@ fn query_bench_schema_is_valid() {
     );
 }
 
+/// Queries/sec of one `read_scaling` cell in `BENCH_query.json`.
+fn scaling_qps(text: &str, path: &str, readers: u64) -> f64 {
+    let cell = format!("\"path\": \"{path}\", \"readers\": {readers},");
+    let chunk = text
+        .split(&cell)
+        .nth(1)
+        .unwrap_or_else(|| panic!("missing read_scaling cell {path}/{readers}"));
+    field_f64(chunk, "queries_per_sec")
+}
+
+#[test]
+fn query_bench_read_scaling_meets_the_floors() {
+    let text = load_file("BENCH_query.json");
+    // The full 2-path × {1,2,4}-reader matrix must be present and sane.
+    for path in ["published", "mailbox"] {
+        for readers in [1, 2, 4] {
+            let qps = scaling_qps(&text, path, readers);
+            assert!(
+                qps > 0.0 && qps < 1e10,
+                "{path}@{readers}: {qps} queries/sec outside sanity range"
+            );
+        }
+    }
+    // Acceptance floor: four concurrent readers on the wait-free
+    // published-epoch path must beat one reader on the worker-serialized
+    // mailbox path by >= 3x (the tentpole's read-scaling claim).
+    let published4 = scaling_qps(&text, "published", 4);
+    let mailbox1 = scaling_qps(&text, "mailbox", 1);
+    assert!(
+        published4 >= 3.0 * mailbox1,
+        "read scaling regressed: published@4 = {published4} < 3x mailbox@1 = {mailbox1}"
+    );
+    // Wait-free must mean no reader-side collapse: adding readers cannot
+    // cost the published path more than half its single-reader rate
+    // (pins share no locks; on a one-core box the cells time-slice, so
+    // parity — not linear speedup — is the honest expectation).
+    let published1 = scaling_qps(&text, "published", 1);
+    assert!(
+        published4 >= 0.5 * published1,
+        "published path collapsed under readers: {published4} < 0.5x {published1}"
+    );
+}
+
 #[test]
 fn server_bench_schema_is_valid() {
     let text = load_file("BENCH_server.json");

@@ -119,13 +119,44 @@ pub trait SketchWriter {
 ///
 /// Blanket-implemented, so every type with both halves (plus [`fmt::Debug`]
 /// — every backend derives it, and `Result<Box<dyn Sketch>, _>` combinators
-/// like `unwrap_err` need it — and [`Send`], so a sketch or a whole
+/// like `unwrap_err` need it — [`Send`] + [`Sync`], so a sketch or a whole
 /// [`SketchStore`](crate::store::SketchStore) can move onto a shard worker
-/// thread) is a [`Sketch`]; `Box<dyn Sketch>` is the currency of
-/// [`SketchSpec::build`] and the keyed store.
-pub trait Sketch: SketchReader + SketchWriter + fmt::Debug + Send {}
+/// thread and a *published* copy of it can be read from many threads at
+/// once (see [`crate::publish`]) — and [`CloneSketch`], so published
+/// snapshots are one deep copy away) is a [`Sketch`]; `Box<dyn Sketch>` is
+/// the currency of [`SketchSpec::build`] and the keyed store.
+pub trait Sketch: SketchReader + SketchWriter + CloneSketch + fmt::Debug + Send + Sync {}
 
-impl<T: SketchReader + SketchWriter + fmt::Debug + Send + ?Sized> Sketch for T {}
+impl<T: SketchReader + SketchWriter + CloneSketch + fmt::Debug + Send + Sync + ?Sized> Sketch
+    for T
+{
+}
+
+/// Object-safe cloning for boxed sketches: what lets a
+/// [`SketchStore`](crate::store::SketchStore) full of `Box<dyn Sketch>`
+/// derive a deep copy, which is what the left-right publication path
+/// ([`crate::publish`]) snapshots. Blanket-implemented for every `Clone`
+/// backend; the slab-backed grids (PR 4) make the copy one contiguous
+/// `memcpy` per row, not a pointer chase.
+pub trait CloneSketch {
+    /// A deep copy of this sketch behind a fresh box.
+    fn clone_box(&self) -> Box<dyn Sketch>;
+}
+
+impl<T> CloneSketch for T
+where
+    T: SketchReader + SketchWriter + Clone + fmt::Debug + Send + Sync + 'static,
+{
+    fn clone_box(&self) -> Box<dyn Sketch> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Sketch> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
 
 impl<W> SketchWriter for EcmSketch<W>
 where

@@ -21,6 +21,15 @@
 //! bounded channels — plain `std` threading, no extra dependencies — and is
 //! deterministic: it produces bit-identical shards to sequential insertion
 //! because routing by key preserves each shard's arrival order.
+//!
+//! **Reads do not go through the ingest threads.** A `ShardedEcm` is
+//! plain data: queries run on whatever thread holds a reference. For
+//! concurrent readers beside a writer, wrap it in the left-right pair of
+//! [`crate::publish`] ([`EcmWriter`](crate::EcmWriter) /
+//! [`EcmReader`](crate::EcmReader)): the writer batches into a private
+//! copy and periodically publishes an immutable snapshot that any number
+//! of readers pin and query wait-free, with answers bit-identical to the
+//! write copy's at the publication point.
 
 use std::sync::mpsc;
 use std::thread;

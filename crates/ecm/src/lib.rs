@@ -56,6 +56,7 @@ pub mod config;
 pub mod count_based;
 pub mod decayed_cm;
 pub mod hierarchy;
+pub mod publish;
 pub mod query;
 pub mod sketch;
 pub mod snapshot;
@@ -63,7 +64,9 @@ pub mod store;
 pub mod views;
 pub mod wal;
 
-pub use api::{Backend, Clock, Sketch, SketchSpec, SketchWriter, SpecBackend, SpecError};
+pub use api::{
+    Backend, Clock, CloneSketch, Sketch, SketchSpec, SketchWriter, SpecBackend, SpecError,
+};
 pub use concurrent::{partition_pairs, ShardedEcm};
 pub use config::{
     split_inner_product, split_point_query, split_point_query_randomized, EcmBuilder, EcmConfig,
@@ -72,6 +75,7 @@ pub use config::{
 pub use count_based::{CountBasedEcm, CountBasedHierarchy};
 pub use decayed_cm::{DecayedCm, DecayedCmConfig};
 pub use hierarchy::{EcmHierarchy, Threshold};
+pub use publish::{EcmReader, EcmWriter, Epoch, LeftRight};
 pub use query::{Answer, Estimate, Guarantee, Query, QueryError, SketchReader, WindowSpec};
 pub use sketch::{grouped_runs, EcmDw, EcmEh, EcmEw, EcmExact, EcmRw, EcmSketch, StreamEvent};
 pub use snapshot::{

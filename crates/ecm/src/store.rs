@@ -73,6 +73,7 @@ pub enum Eviction {
 /// is the key's current position in [`SketchStore::order`] (refreshed per
 /// write under LRU, the creation stamp under FIFO), `last_written` the
 /// stamp of the most recent write.
+#[derive(Clone)]
 struct Entry {
     sketch: Box<dyn Sketch>,
     order_stamp: u64,
@@ -82,6 +83,14 @@ struct Entry {
 /// A keyed collection of identically-specified sketches with lazy creation,
 /// grouped batched ingest, cross-key queries and bounded capacity. See the
 /// [module docs](self) for the full tour.
+///
+/// The store is `Clone`: a clone is a deep, bit-identical copy (every
+/// boxed sketch is copied through [`crate::api::CloneSketch`], clock and
+/// write stamps included), which is what the left-right publication path
+/// ([`crate::publish`]) snapshots — queries against the clone answer
+/// exactly what the original would have answered at the moment of the
+/// copy.
+#[derive(Clone)]
 pub struct SketchStore<K> {
     spec: SketchSpec,
     entries: HashMap<K, Entry>,

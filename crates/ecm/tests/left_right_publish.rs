@@ -1,0 +1,163 @@
+//! Stress of the *real* `LeftRight` implementation with racing threads
+//! (the interleaving suite checks the protocol exhaustively on a step
+//! model; this file runs the shipped SeqCst code under genuine
+//! contention), plus the [`EcmWriter`]/[`EcmReader`] bit-identity
+//! contract: a published epoch answers exactly like the write copy at the
+//! same publication point.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ecm::publish::{EcmWriter, Epoch, LeftRight};
+use ecm::{EcmBuilder, Query, SketchReader, WindowSpec};
+use sliding_window::ExponentialHistogram;
+
+/// Racing pins against a publishing writer: every pinned epoch must be
+/// internally consistent (value derived from its clock) and publication
+/// sequence numbers must never run backwards within one reader.
+#[test]
+fn racing_pins_only_ever_see_whole_epochs() {
+    // Value is a function of clock; a torn epoch would break the pairing.
+    let lr = Arc::new(LeftRight::new(Epoch::initial((0u64, 0u64), 0, 0)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Arc::new(AtomicUsize::new(0));
+
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let lr = Arc::clone(&lr);
+            let stop = Arc::clone(&stop);
+            let started = Arc::clone(&started);
+            std::thread::spawn(move || {
+                let mut announced = false;
+                let mut last_seq = 0u64;
+                let mut pins = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let e = lr.pin();
+                    if !announced {
+                        started.fetch_add(1, Ordering::SeqCst);
+                        announced = true;
+                    }
+                    assert_eq!(
+                        e.value,
+                        (e.clock, e.clock.wrapping_mul(0x9E37_79B9)),
+                        "torn epoch at seq {}",
+                        e.seq
+                    );
+                    assert!(e.seq >= last_seq, "seq ran backwards");
+                    last_seq = e.seq;
+                    pins += 1;
+                }
+                pins
+            })
+        })
+        .collect();
+
+    // Publish until every reader has pinned at least once (on a one-core
+    // box the publisher can otherwise finish before readers run at all),
+    // with a floor so the writer side is genuinely hot.
+    let mut clock = 0u64;
+    while clock < 20_000 || started.load(Ordering::SeqCst) < 3 {
+        clock += 1;
+        lr.publish(Epoch {
+            value: (clock, clock.wrapping_mul(0x9E37_79B9)),
+            seq: 0,
+            clock,
+            applied: clock,
+        });
+        if clock % 64 == 0 {
+            std::thread::yield_now();
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        assert!(r.join().expect("reader panicked") > 0, "reader starved");
+    }
+    let last = lr.pin();
+    assert_eq!(last.clock, clock, "final pin sees the final publication");
+    assert_eq!(lr.seq(), clock);
+}
+
+/// A reader's answer equals the write copy's answer at the publication
+/// point — for every query in the vocabulary, after every publish.
+#[test]
+fn reader_answers_are_bit_identical_to_the_write_copy_at_each_publish() {
+    let cfg = EcmBuilder::new(0.1, 0.1, 1_000).seed(9).eh_config();
+    let mut w: EcmWriter<ExponentialHistogram> = EcmWriter::new(&cfg, 3, 1);
+    let reader = w.reader();
+
+    let mut ts = 0u64;
+    for round in 0..20u64 {
+        for _ in 0..50 {
+            ts += 1;
+            w.insert(ts % 16, ts);
+        }
+        w.publish();
+        let window = WindowSpec::time(ts, 1_000);
+        for q in [
+            Query::total_arrivals(),
+            Query::self_join(),
+            Query::point(3),
+            Query::point(round % 16),
+        ] {
+            let published = reader.query(&q, window);
+            let direct = w.write_copy().query(&q, window);
+            match (published, direct) {
+                (Ok(p), Ok(d)) => {
+                    assert_eq!(
+                        p.value().expect("scalar").to_bits(),
+                        d.value().expect("scalar").to_bits(),
+                        "round {round}: published != write copy for {q:?}"
+                    );
+                }
+                (p, d) => panic!("round {round}: {q:?} diverged: {p:?} vs {d:?}"),
+            }
+        }
+        assert_eq!(reader.write_clock(), ts);
+        // Interval 1 publishes per write batch, so 50 inserts + the
+        // explicit publish advance seq by 51 each round.
+        assert_eq!(reader.epoch().seq, (round + 1) * 51);
+    }
+}
+
+/// Pinned epochs are immutable snapshots: a pin taken before later writes
+/// keeps answering from its own publication point.
+#[test]
+fn old_pins_keep_their_snapshot_while_the_writer_moves_on() {
+    let cfg = EcmBuilder::new(0.1, 0.1, 1_000).seed(4).eh_config();
+    let mut w: EcmWriter<ExponentialHistogram> = EcmWriter::new(&cfg, 2, 1);
+    let reader = w.reader();
+
+    for t in 1..=100u64 {
+        w.insert(7, t);
+    }
+    w.publish();
+    let frozen = reader.epoch();
+    let before = frozen
+        .value
+        .query(&Query::total_arrivals(), WindowSpec::time(100, 1_000))
+        .expect("total")
+        .into_value()
+        .value;
+
+    for t in 101..=200u64 {
+        w.insert(7, t);
+    }
+    w.publish();
+
+    let after = frozen
+        .value
+        .query(&Query::total_arrivals(), WindowSpec::time(100, 1_000))
+        .expect("total")
+        .into_value()
+        .value;
+    assert_eq!(before.to_bits(), after.to_bits(), "old pin mutated");
+    assert!(
+        reader
+            .query(&Query::total_arrivals(), WindowSpec::time(200, 1_000))
+            .expect("total")
+            .into_value()
+            .value
+            > before,
+        "fresh pin sees the new writes"
+    );
+}

@@ -531,6 +531,24 @@ fn server_retry_hint(resp: &str, code_retry: bool) -> Option<Option<u64>> {
     None
 }
 
+/// The `"now"` consistency point of a `QUERY` response line: the owning
+/// shard's write clock (maximum applied tick) when the answer was
+/// computed. `None` for error responses and responses without the field
+/// (`TOPK`, `STATS`, pre-publication servers). Clients that need
+/// read-your-writes across keys can compare it against the ticks they
+/// ingested.
+pub fn answer_now(resp: &str) -> Option<u64> {
+    if !resp.starts_with("{\"ok\":true") {
+        return None;
+    }
+    let at = resp.rfind(",\"now\":")? + ",\"now\":".len();
+    let digits = &resp[at..resp.len().checked_sub(1)?];
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
 /// Parse the `retry_after_ms` field of a retryable error response.
 fn retry_after_ms(resp: &str) -> Option<u64> {
     let at = resp.find("\"retry_after_ms\":")? + "\"retry_after_ms\":".len();
@@ -571,6 +589,27 @@ mod tests {
         ] {
             assert!(!idempotent(line), "{line} must not be idempotent");
         }
+    }
+
+    #[test]
+    fn answer_now_parses_the_trailing_clock() {
+        assert_eq!(
+            answer_now(
+                "{\"ok\":true,\"query\":\"freq\",\"value\":4.0,\"guarantee\":null,\"now\":1200}"
+            ),
+            Some(1200)
+        );
+        // No field, error line, or a "now" that is not the trailing
+        // numeric field: no consistency point.
+        assert_eq!(
+            answer_now("{\"ok\":true,\"query\":\"freq\",\"value\":4.0,\"guarantee\":null}"),
+            None
+        );
+        assert_eq!(
+            answer_now("{\"ok\":false,\"error\":\"query\",\"now\":3}"),
+            None
+        );
+        assert_eq!(answer_now("{\"ok\":true,\"topk\":[]}"), None);
     }
 
     #[test]

@@ -1,20 +1,38 @@
-//! The serving engine: N long-lived shard workers behind one router.
+//! The serving engine: N long-lived shard workers behind one router,
+//! with a wait-free published read path beside the mailboxes.
 //!
 //! Modeled on SnelDB's shard-worker architecture: every key is
 //! deterministically mapped to a shard by FNV-1a hash, each shard worker
 //! is a plain OS thread owning a private `SketchStore<String>` partition,
-//! and all communication is typed [`ShardMsg`]s over **bounded**
+//! and all **writes** are typed [`ShardMsg`]s over **bounded**
 //! `sync_channel` mailboxes — a hot shard's full mailbox blocks its
 //! senders (local backpressure) without stalling sibling shards. Shards
-//! never share mutable state; cross-shard reads (`TOPK`, `STATS`) are
-//! broadcast and merged by the router.
+//! never share mutable state.
+//!
+//! **Reads do not normally enqueue.** Each worker periodically publishes
+//! an immutable snapshot of its store through a left-right epoch pair
+//! (see [`ecm::publish`]); the router answers point / range / self-join /
+//! heavy-hitter queries — and each shard's `TOPK` contribution — by
+//! pinning the shard's published epoch, wait-free and without touching
+//! the mailbox. A freshness gate preserves read-your-writes: the router
+//! counts the write messages each shard has accepted, and serves the
+//! published copy only when it already reflects every accepted write;
+//! otherwise the query falls back to the retained mailbox path, whose
+//! FIFO order queues it behind the writes it must observe. `STATS` and
+//! `VIEW READ` stay on the mailbox path (they report worker-owned
+//! state).
 //!
 //! Invariants:
 //! * Same key → always the same shard, so each key's arrival order is the
 //!   per-shard mailbox order and every per-key sketch sees exactly the
-//!   event sequence an in-process [`SketchStore`](ecm::SketchStore) would —
-//!   the end-to-end test pins served answers bit-identical to library
-//!   answers.
+//!   event sequence an in-process [`SketchStore`](ecm::SketchStore) would.
+//!   A published snapshot is a deep clone of that store, so a published
+//!   answer is **bit-identical** to the worker-path answer at the same
+//!   write clock — the end-to-end and differential tests pin both against
+//!   library answers.
+//! * **Ack-before-publish**: a worker publishes only after the batch is
+//!   on the write-ahead log (when durable), applied, and acked. A reader
+//!   can therefore never observe state that a crash could un-happen.
 //! * [`Engine::shutdown`] closes the ingest gate, then sends `Shutdown`
 //!   behind all accepted messages; FIFO mailboxes mean every acked event
 //!   is applied (and checkpointed, when a snapshot dir is configured)
@@ -27,7 +45,7 @@ mod supervisor;
 mod wal;
 
 pub use hub::{HubStats, ViewHub};
-pub use router::{Engine, EngineError, SnapshotReport, MAX_INGEST_OCCURRENCES};
+pub use router::{Engine, EngineError, ServedAnswer, SnapshotReport, MAX_INGEST_OCCURRENCES};
 
 use std::path::PathBuf;
 use std::sync::mpsc::Sender;
@@ -96,6 +114,11 @@ pub struct ShardHealth {
     /// Requests shed by admission control: the mailbox stayed full past
     /// the deadline, or the worker was quarantined as wedged.
     pub shed_requests: u64,
+    /// Queries served wait-free from this shard's published epoch.
+    pub published_reads: u64,
+    /// Queries that fell back to the worker mailbox because the published
+    /// epoch did not yet reflect every accepted write.
+    pub fallback_reads: u64,
 }
 
 /// One shard's row in [`Engine::stats`]: supervision health plus the
@@ -208,8 +231,17 @@ pub enum ShardMsg {
 /// A shard worker's reply to a request-shaped [`ShardMsg`].
 #[derive(Debug)]
 pub enum ShardReply {
-    /// Query outcome; `None` when the key is not resident on this shard.
-    Answer(Option<Result<Answer, QueryError>>),
+    /// Query outcome; `answer` is `None` when the key is not resident on
+    /// this shard.
+    Answer {
+        /// The per-sketch outcome.
+        answer: Option<Result<Answer, QueryError>>,
+        /// The shard's write clock (maximum tick applied) when the worker
+        /// answered — the response's consistency point, deterministic
+        /// across restarts because it is a function of the acked event
+        /// multiset alone.
+        clock: u64,
+    },
     /// Local `(key, value)` ranking, best first.
     TopK(Vec<(String, f64)>),
     /// Local statistics.

@@ -215,6 +215,25 @@ pub struct SnapshotReport {
 /// Suggested client backoff attached to [`EngineError::Overloaded`].
 const RETRY_AFTER_MS: u64 = 100;
 
+/// A query outcome with its consistency point, as returned by
+/// [`Engine::query_served`].
+#[derive(Debug)]
+pub struct ServedAnswer {
+    /// The per-sketch outcome; `None` when the key has never been
+    /// written.
+    pub answer: Option<Result<ecm::Answer, QueryError>>,
+    /// The owning shard's write clock (maximum applied tick) at the
+    /// moment the answer was computed. Deterministic across restarts —
+    /// it is a function of the acked event multiset alone — which is why
+    /// responses carry it (and not the publication sequence number,
+    /// which is incarnation-local).
+    pub clock: u64,
+    /// `true` when the answer came wait-free from the shard's published
+    /// epoch; `false` when the freshness gate sent it through the worker
+    /// mailbox.
+    pub published: bool,
+}
+
 /// The sharded serving engine. Cheap to share behind an `Arc`; every
 /// method takes `&self`.
 ///
@@ -258,6 +277,9 @@ impl Engine {
         }
         if cfg.subscriber_outbox == 0 {
             return Err(EngineError::InvalidConfig("subscriber_outbox must be >= 1"));
+        }
+        if cfg.publish_interval == 0 {
+            return Err(EngineError::InvalidConfig("publish_interval must be >= 1"));
         }
         let restore_from = cfg
             .snapshot_dir
@@ -502,22 +524,79 @@ impl Engine {
         Ok(total)
     }
 
-    /// Answer `query` over `window` from `key`'s sketch, on the shard that
-    /// owns the key. `Ok(None)` means the key has never been written.
+    /// Answer `query` over `window` from `key`'s sketch — wait-free from
+    /// the owning shard's published epoch when the freshness gate allows,
+    /// through the worker mailbox otherwise. This is the front-end's read
+    /// path.
+    ///
+    /// The gate: the router counts every write message a shard accepts
+    /// (`accepted`), and each published epoch records how many writes it
+    /// reflects (`applied`). The published copy is served only when
+    /// `applied ≥ accepted` at query arrival — so a client that received
+    /// an ingest ack always reads its own write, published or not. The
+    /// fallback enqueues behind the pending writes (FIFO mailbox), which
+    /// restores the same guarantee at mailbox latency. Either way the
+    /// answer is bit-identical to an in-process store's at the same write
+    /// clock; the returned [`ServedAnswer::clock`] is that consistency
+    /// point.
+    ///
+    /// A published read never touches the mailbox, so it keeps serving
+    /// while the worker is restarting or wedged (the fallback path would
+    /// shed or fail).
     ///
     /// # Errors
-    /// [`ShuttingDown`](EngineError::ShuttingDown),
-    /// [`Overloaded`](EngineError::Overloaded),
+    /// [`ShuttingDown`](EngineError::ShuttingDown); on the fallback path
+    /// also [`Overloaded`](EngineError::Overloaded),
     /// [`ShardRestarting`](EngineError::ShardRestarting),
     /// [`ShardTimeout`](EngineError::ShardTimeout), or
     /// [`ShardDied`](EngineError::ShardDied); per-sketch
     /// [`QueryError`]s come back inside the `Some`.
-    pub fn query(
+    pub fn query_served(
         &self,
         key: &str,
         query: &OwnedQuery,
         window: WindowSpec,
-    ) -> Result<Option<Result<Answer, QueryError>>, EngineError> {
+    ) -> Result<ServedAnswer, EngineError> {
+        if *self.fleet.down.read().expect("gate poisoned") {
+            return Err(EngineError::ShuttingDown);
+        }
+        let shard = route(key, self.fleet.slots.len());
+        let slot = &self.fleet.slots[shard];
+        let accepted = slot.accepted.load(Ordering::SeqCst);
+        let epoch = slot.published.pin();
+        if epoch.applied >= accepted {
+            slot.published_reads.fetch_add(1, Ordering::Relaxed);
+            let answer = epoch
+                .value
+                .query(&key.to_string(), &query.to_query(), window);
+            return Ok(ServedAnswer {
+                answer,
+                clock: epoch.clock,
+                published: true,
+            });
+        }
+        slot.fallback_reads.fetch_add(1, Ordering::Relaxed);
+        let (answer, clock) = self.query_via_worker(key, query, window)?;
+        Ok(ServedAnswer {
+            answer,
+            clock,
+            published: false,
+        })
+    }
+
+    /// Answer `query` through the worker mailbox unconditionally — the
+    /// pre-publication read path, retained as the freshness-gate fallback.
+    /// Public so the differential suite can compare both paths at the
+    /// same write clock.
+    ///
+    /// # Errors
+    /// As the fallback arm of [`query_served`](Engine::query_served).
+    pub fn query_via_worker(
+        &self,
+        key: &str,
+        query: &OwnedQuery,
+        window: WindowSpec,
+    ) -> Result<(Option<Result<Answer, QueryError>>, u64), EngineError> {
         let shard = route(key, self.fleet.slots.len());
         let (tx, rx) = channel();
         self.request(
@@ -530,30 +609,97 @@ impl Engine {
             },
         )?;
         match self.collect(shard, &rx)? {
-            ShardReply::Answer(a) => Ok(a),
+            ShardReply::Answer { answer, clock } => Ok((answer, clock)),
             _ => Err(EngineError::ShardDied { shard }),
         }
     }
 
-    /// The `k` keys with the most window arrivals across the whole fleet:
-    /// broadcast to every shard, merge the local rankings (value
-    /// descending, ties by key), truncate. Identical to what one
-    /// un-sharded store's `top_k` would return, since a global top-k key
-    /// is a top-k key of its own shard.
+    /// Answer `query` from the owning shard's published epoch,
+    /// unconditionally and wait-free: pin, query, done — no gate, no
+    /// mailbox, no error path. The answer may lag the write copy by up to
+    /// the configured publish interval; [`ServedAnswer::clock`] says
+    /// exactly how far. This is the read-scaling bench's path.
+    pub fn query_published(
+        &self,
+        key: &str,
+        query: &OwnedQuery,
+        window: WindowSpec,
+    ) -> ServedAnswer {
+        let shard = route(key, self.fleet.slots.len());
+        let slot = &self.fleet.slots[shard];
+        let epoch = slot.published.pin();
+        slot.published_reads.fetch_add(1, Ordering::Relaxed);
+        ServedAnswer {
+            answer: epoch
+                .value
+                .query(&key.to_string(), &query.to_query(), window),
+            clock: epoch.clock,
+            published: true,
+        }
+    }
+
+    /// Answer `query` over `window` from `key`'s sketch. `Ok(None)` means
+    /// the key has never been written. Compatibility wrapper around
+    /// [`query_served`](Engine::query_served) that drops the consistency
+    /// point.
     ///
     /// # Errors
-    /// As [`query`](Engine::query).
+    /// As [`query_served`](Engine::query_served).
+    pub fn query(
+        &self,
+        key: &str,
+        query: &OwnedQuery,
+        window: WindowSpec,
+    ) -> Result<Option<Result<Answer, QueryError>>, EngineError> {
+        Ok(self.query_served(key, query, window)?.answer)
+    }
+
+    /// The `k` keys with the most window arrivals across the whole fleet:
+    /// collect each shard's local ranking, merge (value descending, ties
+    /// by key), truncate. Identical to what one un-sharded store's
+    /// `top_k` would return, since a global top-k key is a top-k key of
+    /// its own shard.
+    ///
+    /// Each shard's contribution comes wait-free from its published epoch
+    /// when the freshness gate allows — a broadcast read becomes N
+    /// concurrent pins — and falls back to that shard's mailbox
+    /// otherwise.
+    ///
+    /// # Errors
+    /// As [`query_served`](Engine::query_served).
     pub fn top_k(&self, k: usize, window: WindowSpec) -> Result<Vec<(String, f64)>, EngineError> {
-        let replies = self.broadcast(|tx| ShardMsg::TopK {
-            k,
-            window,
-            reply: tx,
-        })?;
         let mut merged: Vec<(String, f64)> = Vec::new();
-        for reply in replies {
-            match reply {
+        let mut pending = Vec::new();
+        {
+            let gate = self.fleet.down.read().expect("gate poisoned");
+            if *gate {
+                return Err(EngineError::ShuttingDown);
+            }
+            for (i, slot) in self.fleet.slots.iter().enumerate() {
+                let accepted = slot.accepted.load(Ordering::SeqCst);
+                let epoch = slot.published.pin();
+                if epoch.applied >= accepted {
+                    slot.published_reads.fetch_add(1, Ordering::Relaxed);
+                    merged.extend(epoch.value.top_k(k, &ecm::Query::total_arrivals(), window));
+                } else {
+                    slot.fallback_reads.fetch_add(1, Ordering::Relaxed);
+                    let (tx, rx) = channel();
+                    self.send(
+                        i,
+                        ShardMsg::TopK {
+                            k,
+                            window,
+                            reply: tx,
+                        },
+                    )?;
+                    pending.push((i, rx));
+                }
+            }
+        }
+        for (i, rx) in pending {
+            match self.collect(i, &rx)? {
                 ShardReply::TopK(local) => merged.extend(local),
-                _ => return Err(EngineError::ShardDied { shard: 0 }),
+                _ => return Err(EngineError::ShardDied { shard: i }),
             }
         }
         merged.sort_unstable_by(|a, b| {
@@ -962,6 +1108,11 @@ impl Engine {
     /// answers with its supervision state instead of hanging the caller.
     fn send(&self, shard: usize, msg: ShardMsg) -> Result<(), EngineError> {
         let slot = &self.fleet.slots[shard];
+        // Writes count toward the freshness gate the moment they are
+        // accepted: a published epoch is served only once it reflects
+        // every message counted here (the worker counts each one it
+        // finishes — applied or WAL-refused — into `epoch.applied`).
+        let is_write = matches!(msg, ShardMsg::Ingest { .. } | ShardMsg::Flush { .. });
         {
             let state = slot.state.lock().expect("state poisoned");
             match &*state {
@@ -987,6 +1138,9 @@ impl Engine {
         loop {
             match sender.try_send(msg) {
                 Ok(()) => {
+                    if is_write {
+                        slot.accepted.fetch_add(1, Ordering::SeqCst);
+                    }
                     slot.gauge.note_enqueue();
                     return Ok(());
                 }

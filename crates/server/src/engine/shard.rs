@@ -5,7 +5,7 @@ use std::path::Path;
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 
-use ecm::{SketchStore, SnapshotError, ViewDef, ViewEvent, ViewSet};
+use ecm::{Epoch, LeftRight, SketchStore, SnapshotError, ViewDef, ViewEvent, ViewSet};
 
 use super::hub::ViewHub;
 use super::supervisor::ShardGauge;
@@ -54,6 +54,91 @@ fn write_atomic(dir: &Path, name: &str, bytes: &[u8], fsync: bool) -> Result<(),
     Ok(())
 }
 
+/// The worker's half of the left-right read path (see `ecm::publish`):
+/// decides *when* a fresh snapshot of the store is published and stamps
+/// each epoch with the shard's write clock and applied-write counter.
+///
+/// The worker counts every write message it finishes (`Ingest` — applied
+/// or refused by a WAL error — and `Flush`) and publishes when
+/// `publish_interval` writes have accumulated **or** the mailbox has
+/// drained, and always after a `Flush`. Publication runs *after* the ack
+/// (ack-before-publish), so a pinned epoch never shows state a crash
+/// could un-happen, and the router's freshness gate
+/// (`epoch.applied ≥ accepted`) can trust the counter.
+pub(super) struct Publisher {
+    lr: Arc<LeftRight<SketchStore<String>>>,
+    interval: u64,
+    applied: u64,
+    since_publish: u64,
+    clock: u64,
+}
+
+impl Publisher {
+    /// A publisher resuming from `applied` accepted writes, with the
+    /// clock read off the restored store.
+    pub(super) fn new(
+        lr: Arc<LeftRight<SketchStore<String>>>,
+        interval: u64,
+        applied: u64,
+        store: &SketchStore<String>,
+    ) -> Publisher {
+        let clock = store
+            .iter()
+            .map(|(_, s)| s.write_clock())
+            .max()
+            .unwrap_or(0);
+        Publisher {
+            lr,
+            interval,
+            applied,
+            since_publish: 0,
+            clock,
+        }
+    }
+
+    /// Count one finished write message whose latest tick was `ts`.
+    fn wrote(&mut self, ts: u64) {
+        self.applied += 1;
+        self.since_publish += 1;
+        self.clock = self.clock.max(ts);
+    }
+
+    /// The shard's write clock (maximum applied tick) — the consistency
+    /// point stamped onto every query response.
+    pub(super) fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Publish a snapshot of `store` now, returning the pinned epoch (so
+    /// maintenance can read exactly what readers will).
+    pub(super) fn publish_now(
+        &mut self,
+        store: &SketchStore<String>,
+    ) -> Arc<Epoch<SketchStore<String>>> {
+        self.since_publish = 0;
+        self.lr.publish(Epoch {
+            value: store.clone(),
+            seq: 0, // assigned by LeftRight::publish
+            clock: self.clock,
+            applied: self.applied,
+        });
+        self.lr.pin()
+    }
+
+    /// Publish if the interval elapsed or the mailbox drained.
+    fn maybe_publish(
+        &mut self,
+        store: &SketchStore<String>,
+        drained: bool,
+    ) -> Option<Arc<Epoch<SketchStore<String>>>> {
+        if self.since_publish >= self.interval || drained {
+            Some(self.publish_now(store))
+        } else {
+            None
+        }
+    }
+}
+
 /// Publish maintenance events to the hub. Only keyed notifications
 /// (threshold crossings, heavy-hitter set changes) go out: a fleet-wide
 /// top-k view's per-shard ranking is partial state no subscriber should
@@ -87,6 +172,7 @@ pub(super) fn run(
     restored_views: Vec<ViewDef<String>>,
     gauge: Arc<ShardGauge>,
     mut faults: FaultHook,
+    mut publisher: Publisher,
 ) -> bool {
     let mut ingested: u64 = 0;
     let mut views: ViewSet<String> = ViewSet::new();
@@ -116,14 +202,22 @@ pub(super) fn run(
                 match appended {
                     Ok(()) => {
                         ingested += events.len() as u64;
+                        let latest = events.iter().map(|(_, e)| e.ts).max().unwrap_or(0);
                         store.ingest(&events);
                         if let Some(reply) = reply {
                             let _ = reply.send(ShardReply::Ingested);
                         }
-                        // Maintenance runs behind the ack but before the
-                        // next message: a reader queued behind this batch
-                        // (FIFO mailbox) always sees the maintained view.
-                        publish(&hub, &views.maintain(&store));
+                        // Ack-before-publish: the snapshot lands behind
+                        // the ack but before the next message, so a
+                        // pinned epoch never shows unacked state and a
+                        // reader queued behind this batch (FIFO mailbox)
+                        // always sees it applied. Maintenance reads the
+                        // just-published epoch — views observe exactly
+                        // what wait-free readers do.
+                        publisher.wrote(latest);
+                        if let Some(epoch) = publisher.maybe_publish(&store, gauge.is_drained()) {
+                            publish(&hub, &views.maintain(&epoch.value));
+                        }
                         if let Some(w) = &mut wal {
                             if w.needs_compaction() {
                                 if let Some(dir) = &snapshot_dir {
@@ -142,6 +236,13 @@ pub(super) fn run(
                         if let Some(reply) = reply {
                             let _ = reply.send(ShardReply::WalError(e));
                         }
+                        // The refused run still counts toward the
+                        // freshness gate (the router bumped `accepted` at
+                        // enqueue): republish the unchanged store with
+                        // the new applied count, so readers are not
+                        // pinned to the fallback path forever.
+                        publisher.wrote(0);
+                        let _ = publisher.maybe_publish(&store, gauge.is_drained());
                     }
                 }
             }
@@ -153,7 +254,10 @@ pub(super) fn run(
             } => {
                 let _ = faults.fire(FaultSite::Shard);
                 let answer = store.query(&key, &query.to_query(), window);
-                let _ = reply.send(ShardReply::Answer(answer));
+                let _ = reply.send(ShardReply::Answer {
+                    answer,
+                    clock: publisher.clock(),
+                });
             }
             ShardMsg::TopK { k, window, reply } => {
                 let local = store.top_k(k, &ecm::Query::total_arrivals(), window);
@@ -177,10 +281,14 @@ pub(super) fn run(
             ShardMsg::Flush { ts, reply } => {
                 store.advance_to(ts);
                 let _ = reply.send(ShardReply::Flushed);
-                // A clock advance slides windows without writing any key,
-                // so the dirty-key watermark sees nothing; every non-cold
-                // view re-evaluates instead.
-                publish(&hub, &views.refresh(&store));
+                // A flush always publishes — the slid windows must be
+                // visible to wait-free readers immediately. A clock
+                // advance writes no key, so the dirty-key watermark sees
+                // nothing; every non-cold view re-evaluates against the
+                // published epoch instead.
+                publisher.wrote(ts);
+                let epoch = publisher.publish_now(&store);
+                publish(&hub, &views.refresh(&epoch.value));
             }
             ShardMsg::ViewCreate { def, reply } => {
                 let _ = reply.send(match views.create(def) {

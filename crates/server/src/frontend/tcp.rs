@@ -472,11 +472,13 @@ fn dispatch(
             count,
         } => ingest(engine, &[(key, StreamEvent::new(item, ts), count)]),
         Command::Batch { .. } => unreachable!("BATCH handled by the caller"),
-        Command::Query { key, query, window } => match engine.query(&key, &query, window) {
+        Command::Query { key, query, window } => match engine.query_served(&key, &query, window) {
             Err(e) => engine_error(&e),
-            Ok(None) => response::error("unknown_key", &format!("no sketch for key {key:?}")),
-            Ok(Some(Err(e))) => response::query_error(&e),
-            Ok(Some(Ok(answer))) => response::answer(query.name(), &answer),
+            Ok(served) => match served.answer {
+                None => response::error("unknown_key", &format!("no sketch for key {key:?}")),
+                Some(Err(e)) => response::query_error(&e),
+                Some(Ok(answer)) => response::answer_at(query.name(), &answer, served.clock),
+            },
         },
         Command::TopK { k, window } => match engine.top_k(k, window) {
             Ok(rows) => response::topk(&rows),

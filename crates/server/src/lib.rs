@@ -11,10 +11,14 @@
 //!   [`SketchSpec`]. Keys are routed by FNV-1a hash, typed
 //!   [`ShardMsg`](engine::ShardMsg)s travel over **bounded** mailboxes
 //!   (`std::sync::mpsc::sync_channel`), so a hot shard applies backpressure
-//!   to its senders without stalling sibling shards. Cross-key queries
-//!   broadcast to every shard and merge; per-key queries route to the one
-//!   shard that owns the key. `Snapshot` messages reuse the PR-5
-//!   checkpoint machinery per shard.
+//!   to its senders without stalling sibling shards. Mailboxes carry
+//!   *writes*; queries are served wait-free from each shard's published
+//!   left-right epoch ([`ecm::publish`]) — per-key queries pin the owning
+//!   shard's epoch, cross-key queries pin all N concurrently and merge —
+//!   with a freshness gate that falls back to the worker mailbox whenever
+//!   the published copy trails the shard's accepted writes, preserving
+//!   read-your-writes. `Snapshot` messages reuse the PR-5 checkpoint
+//!   machinery per shard.
 //! * **Protocol + front-end** ([`protocol`], [`frontend`]) — a
 //!   newline-delimited command language (`STORE`, `BATCH`, `QUERY`, `TOPK`,
 //!   `STATS`, `FLUSH`, `SNAPSHOT`, `PING`, `SHUTDOWN`) with a hand-rolled
@@ -54,7 +58,7 @@ pub mod frontend;
 pub mod loadgen;
 pub mod protocol;
 
-pub use client::{Client, ClientError, RetryPolicy};
+pub use client::{answer_now, Client, ClientError, RetryPolicy};
 pub use config::ServerConfig;
 pub use engine::{Engine, EngineError};
 pub use frontend::Server;

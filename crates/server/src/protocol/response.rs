@@ -128,6 +128,19 @@ pub fn answer(query: &str, a: &Answer) -> String {
     }
 }
 
+/// A query [`Answer`] with its consistency point: [`answer`] plus a
+/// trailing `"now"` field carrying the owning shard's write clock (the
+/// maximum applied tick) at the moment the answer was computed. The
+/// clock is a pure function of the acked event multiset, so two servers
+/// that acked the same events render byte-identical responses — which is
+/// what lets the differential and chaos suites keep comparing whole
+/// strings.
+pub fn answer_at(query: &str, a: &Answer, now: u64) -> String {
+    let base = answer(query, a);
+    debug_assert!(base.ends_with('}'));
+    format!("{},\"now\":{now}}}", &base[..base.len() - 1])
+}
+
 /// A merged `TOPK` ranking as a response line.
 pub fn topk(rows: &[(String, f64)]) -> String {
     let rows: Vec<String> = rows
@@ -156,8 +169,15 @@ pub fn stats(rows: &[ShardStatus], views: &ViewsSummary) -> String {
             let h = &r.health;
             let health = format!(
                 "\"health\":{{\"state\":\"{}\",\"restarts\":{},\"last_restart_ms\":{},\
-                 \"mailbox_hwm\":{},\"shed_requests\":{}}}",
-                h.state, h.restarts, h.last_restart_ms, h.mailbox_hwm, h.shed_requests
+                 \"mailbox_hwm\":{},\"shed_requests\":{},\"published_reads\":{},\
+                 \"fallback_reads\":{}}}",
+                h.state,
+                h.restarts,
+                h.last_restart_ms,
+                h.mailbox_hwm,
+                h.shed_requests,
+                h.published_reads,
+                h.fallback_reads
             );
             match &r.stats {
                 Some(s) => format!(

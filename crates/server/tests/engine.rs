@@ -263,7 +263,11 @@ fn wedged_shard_sheds_typed_overloaded_then_recovers() {
         let stalled = scope.spawn(|| retry_until_ok(|| engine.ingest(&event(3)), "stalled ingest"));
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         let shed = loop {
-            match engine.ingest(&event(4)) {
+            // Same timestamp as the helper's event: either sender may win
+            // the depth-1 mailbox slot (and become the stalled seq-3
+            // message), and equal timestamps keep the worker's per-key
+            // non-decreasing ordering valid in both interleavings.
+            match engine.ingest(&event(3)) {
                 Err(e @ EngineError::Overloaded { .. }) => break e,
                 Err(e) if e.is_retryable() => {}
                 Ok(_) => {} // admitted before the stall bit — keep probing

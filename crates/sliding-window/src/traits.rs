@@ -74,16 +74,19 @@ impl WindowGuarantee {
 /// the occurrences had arrived one at a time (and keeps independently built
 /// waves losslessly mergeable); deterministic synopses ignore the ids and
 /// only count the `n` bits.
-pub trait WindowCounter: Clone + std::fmt::Debug + Send {
+pub trait WindowCounter: Clone + std::fmt::Debug + Send + Sync {
     /// Constructor parameters (window length, error targets, seeds, ...).
-    /// `Send` (like the counter and its grid) so whole sketches can move
-    /// onto worker threads — the serving layer shards its store per
-    /// thread.
-    type Config: Clone + std::fmt::Debug + Send;
+    /// `Send + Sync` (like the counter and its grid) so whole sketches can
+    /// move onto worker threads — the serving layer shards its store per
+    /// thread — and so a *published* snapshot of a sketch can be queried
+    /// from many reader threads at once (the left-right read path in
+    /// `ecm::publish`). Counters are plain data with no interior
+    /// mutability, so the bound costs implementations nothing.
+    type Config: Clone + std::fmt::Debug + Send + Sync;
 
     /// Memory layout used when this counter fills a grid of sketch cells
     /// (see the [trait docs](WindowCounter#grid-storage)).
-    type GridStorage: crate::grid::CellStorage<Self> + Send;
+    type GridStorage: crate::grid::CellStorage<Self> + Send + Sync;
 
     /// Create an empty counter.
     fn new(cfg: &Self::Config) -> Self;
